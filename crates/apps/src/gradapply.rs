@@ -1,0 +1,61 @@
+//! grad-apply admissions workload (§5): "an applicant's folder may be
+//! accessed only by the respective applicant and any faculty."
+
+/// The annotated schema following the paper's description.
+pub fn annotated_schema() -> String {
+    "PRINCTYPE physical_user EXTERNAL; \
+     PRINCTYPE reviewer, candidate, letter_p; \
+     CREATE TABLE reviewers ( reviewer_id int, email varchar(120), \
+       (email physical_user) SPEAKS FOR (reviewer_id reviewer) ); \
+     CREATE TABLE candidates ( candidate_id int, email varchar(120), \
+       gre_score int ENC FOR (candidate_id candidate), \
+       statement text ENC FOR (candidate_id candidate), \
+       (email physical_user) SPEAKS FOR (candidate_id candidate), \
+       (reviewers.reviewer_id reviewer) SPEAKS FOR (candidate_id candidate) ); \
+     CREATE TABLE letters ( letter_id int, candidate_id int, \
+       letter text ENC FOR (letter_id letter_p), \
+       (reviewers.reviewer_id reviewer) SPEAKS FOR (letter_id letter_p) )"
+        .to_string()
+}
+
+/// Lines of login/logout glue (Fig. 8).
+pub const PAPER_LOGIN_LOC: usize = 2;
+/// Sensitive fields secured in the paper's deployment (Fig. 8): grades
+/// (61), scores (17), recommendations, reviews.
+pub const PAPER_SENSITIVE_FIELDS: usize = 103;
+
+/// Plain schema for analysis runs.
+pub fn schema() -> Vec<String> {
+    vec![
+        "CREATE TABLE candidates (candidate_id int, email varchar(120), name varchar(100), \
+         gre_score int, toefl_score int, gpa int, statement text, area varchar(60))"
+            .into(),
+        "CREATE TABLE letters (letter_id int, candidate_id int, writer_email varchar(120), \
+         letter text)"
+            .into(),
+        "CREATE TABLE reviews (review_id int, candidate_id int, reviewer_id int, score int, \
+         comments text)"
+            .into(),
+        "CREATE TABLE reviewers (reviewer_id int, email varchar(120), name varchar(100))".into(),
+    ]
+}
+
+/// Representative queries for the Fig. 9 analysis.
+pub fn analysis_workload() -> Vec<String> {
+    vec![
+        "INSERT INTO candidates (candidate_id, email, name, gre_score, toefl_score, gpa, \
+         statement, area) VALUES (1, 'a@b.edu', 'Ada', 168, 110, 395, 'I love systems', 'OS')"
+            .into(),
+        "INSERT INTO reviews (review_id, candidate_id, reviewer_id, score, comments) VALUES \
+         (1, 1, 9, 5, 'excellent')"
+            .into(),
+        "SELECT name, statement FROM candidates WHERE candidate_id = 1".into(),
+        "SELECT candidate_id FROM candidates WHERE area = 'OS'".into(),
+        "SELECT AVG(score) FROM reviews WHERE candidate_id = 1".into(),
+        "SELECT letter FROM letters WHERE candidate_id = 1".into(),
+        "SELECT candidates.name FROM candidates JOIN reviews \
+         ON candidates.candidate_id = reviews.candidate_id"
+            .into(),
+        "SELECT candidate_id FROM reviews WHERE score >= 4".into(),
+    ]
+}

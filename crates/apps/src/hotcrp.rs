@@ -1,0 +1,73 @@
+//! HotCRP conference review workload (§5, Fig. 6).
+
+/// The annotated schema (the paper's Figure 6, plus paper content fields).
+pub fn annotated_schema() -> String {
+    "PRINCTYPE physical_user EXTERNAL; \
+     PRINCTYPE contact, review, paper; \
+     CREATE TABLE ContactInfo ( contactId int, email varchar(120), \
+       password varchar(60) ENC FOR (contactId contact), \
+       (email physical_user) SPEAKS FOR (contactId contact) ); \
+     CREATE TABLE PCMember ( contactId int ); \
+     CREATE TABLE PaperConflict ( paperId int, contactId int ); \
+     CREATE TABLE Paper ( paperId int, title varchar(200), \
+       abstract text ENC FOR (paperId paper), \
+       authorInformation text ENC FOR (paperId paper), \
+       (PCMember.contactId contact) SPEAKS FOR (paperId paper) ); \
+     CREATE TABLE PaperReview ( paperId int, \
+       reviewerId int ENC FOR (paperId review), \
+       commentsToPC text ENC FOR (paperId review), \
+       commentsToAuthor text ENC FOR (paperId review), \
+       (PCMember.contactId contact) SPEAKS FOR (paperId review) \
+         IF NoConflict(paperId, contactId) )"
+        .to_string()
+}
+
+/// The paper's NoConflict predicate as a SQL template for
+/// `Proxy::register_predicate`.
+pub const NOCONFLICT_SQL: &str =
+    "SELECT COUNT(*) = 0 FROM PaperConflict WHERE paperId = $1 AND contactId = $2";
+
+/// Lines of login/logout glue the paper reports (Fig. 8).
+pub const PAPER_LOGIN_LOC: usize = 2;
+/// Sensitive fields secured in the paper's deployment (Fig. 8).
+pub const PAPER_SENSITIVE_FIELDS: usize = 22;
+
+/// Plain schema for single-proxy analysis runs.
+pub fn schema() -> Vec<String> {
+    vec![
+        "CREATE TABLE ContactInfo (contactId int, email varchar(120), password varchar(60), \
+         affiliation varchar(200))"
+            .into(),
+        "CREATE TABLE Paper (paperId int, title varchar(200), abstract text, \
+         authorInformation text, outcome int, leadContactId int)"
+            .into(),
+        "CREATE TABLE PaperReview (reviewId int, paperId int, reviewerId int, \
+         overAllMerit int, commentsToPC text, commentsToAuthor text)"
+            .into(),
+        "CREATE TABLE PaperConflict (paperId int, contactId int)".into(),
+        "CREATE TABLE PCMember (contactId int)".into(),
+    ]
+}
+
+/// Representative queries for the Fig. 9 onion-level analysis.
+pub fn analysis_workload() -> Vec<String> {
+    vec![
+        "INSERT INTO ContactInfo (contactId, email, password, affiliation) VALUES \
+         (1, 'pc@conf.org', 'hash1', 'MIT')"
+            .into(),
+        "INSERT INTO Paper (paperId, title, abstract, authorInformation, outcome, \
+         leadContactId) VALUES (1, 'CryptDB', 'We present...', 'R. Popa et al', 0, 1)"
+            .into(),
+        "INSERT INTO PaperReview (reviewId, paperId, reviewerId, overAllMerit, commentsToPC, \
+         commentsToAuthor) VALUES (1, 1, 1, 4, 'strong work', 'nice paper')"
+            .into(),
+        "SELECT title, abstract FROM Paper WHERE paperId = 1".into(),
+        "SELECT COUNT(*) FROM PaperReview WHERE paperId = 1".into(),
+        "SELECT paperId FROM PaperReview WHERE reviewerId = 1".into(),
+        "SELECT reviewId FROM PaperReview WHERE overAllMerit >= 4".into(),
+        "SELECT contactId FROM PaperConflict WHERE paperId = 1".into(),
+        "SELECT Paper.title FROM Paper JOIN PaperReview ON Paper.paperId = PaperReview.paperId"
+            .into(),
+        "SELECT AVG(overAllMerit) FROM PaperReview WHERE paperId = 1".into(),
+    ]
+}

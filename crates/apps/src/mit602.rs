@@ -1,0 +1,42 @@
+//! The MIT 6.02 class web application (§8): student grades.
+
+/// The class-site schema (15 columns; 13 considered for encryption).
+pub fn schema() -> Vec<String> {
+    vec![
+        "CREATE TABLE students (student_id int, username varchar(50), full_name varchar(100), \
+         section int, year int)"
+            .into(),
+        "CREATE TABLE assignments (assignment_id int, title varchar(100), due_date int, \
+         max_points int)"
+            .into(),
+        "CREATE TABLE grades (grade_id int, student_id int, assignment_id int, points int, \
+         feedback text, graded_at int)"
+            .into(),
+        "CREATE INDEX ON grades (student_id)".into(),
+    ]
+}
+
+/// Paper-reported Fig. 9 row for MIT 6.02.
+pub mod paper {
+    pub const TOTAL_COLS: usize = 15;
+    pub const SENSITIVE: usize = 13;
+    pub const MOST_SENSITIVE_AT_HIGH: (usize, usize) = (1, 1);
+}
+
+/// Representative queries.
+pub fn analysis_workload() -> Vec<String> {
+    vec![
+        "INSERT INTO students (student_id, username, full_name, section, year) VALUES \
+         (1, 'student1', 'Alyssa P. Hacker', 2, 2011)"
+            .into(),
+        "INSERT INTO grades (grade_id, student_id, assignment_id, points, feedback, graded_at) \
+         VALUES (1, 1, 1, 95, 'good work', 20110920)"
+            .into(),
+        "SELECT points, feedback FROM grades WHERE student_id = 1".into(),
+        "SELECT AVG(points) FROM grades WHERE assignment_id = 1".into(),
+        "SELECT username FROM students WHERE student_id = 1".into(),
+        "SELECT student_id FROM students WHERE section = 2".into(),
+        "SELECT MAX(points) FROM grades WHERE assignment_id = 1".into(),
+        "SELECT student_id FROM grades WHERE points > 90".into(),
+    ]
+}

@@ -1,0 +1,49 @@
+//! PHP-calendar workload (§8): people's schedules.
+
+/// The calendar schema (25 columns; 12 considered sensitive).
+pub fn schema() -> Vec<String> {
+    vec![
+        "CREATE TABLE calendars (cid int, cal_name varchar(60), owner_uid int, timezone \
+         varchar(40))"
+            .into(),
+        "CREATE TABLE events (eid int, cid int, owner_uid int, subject varchar(100), \
+         description text, start_ts int, end_ts int, location varchar(100), category int)"
+            .into(),
+        "CREATE TABLE occurrences (oid int, eid int, day int, starttime int, endtime int)"
+            .into(),
+        "CREATE TABLE cal_users (uid int, username varchar(50), password varchar(40), \
+         email varchar(100), default_cid int, admin int)"
+            .into(),
+        "CREATE INDEX ON events (cid); CREATE INDEX ON occurrences (day)".into(),
+    ]
+}
+
+/// Paper-reported Fig. 9 row for PHP-calendar.
+pub mod paper {
+    pub const TOTAL_COLS: usize = 25;
+    pub const SENSITIVE: usize = 12;
+    pub const NEEDS_PLAINTEXT: usize = 2;
+    pub const MOST_SENSITIVE_AT_HIGH: (usize, usize) = (3, 4);
+}
+
+/// Representative queries, including the unsupported string/date
+/// manipulations the paper reports for this app (§8.2).
+pub fn analysis_workload() -> Vec<String> {
+    vec![
+        "INSERT INTO cal_users (uid, username, password, email, default_cid, admin) VALUES \
+         (1, 'carol', 'pwhash', 'carol@example.org', 1, 0)"
+            .into(),
+        "INSERT INTO events (eid, cid, owner_uid, subject, description, start_ts, end_ts, \
+         location, category) VALUES (1, 1, 1, 'dentist', 'teeth cleaning', 20110901, \
+         20110901, 'clinic', 2)"
+            .into(),
+        "SELECT subject, description FROM events WHERE cid = 1".into(),
+        "SELECT eid FROM occurrences WHERE day BETWEEN 20110901 AND 20110930".into(),
+        "SELECT uid, password FROM cal_users WHERE username = 'carol'".into(),
+        "SELECT COUNT(*) FROM events WHERE owner_uid = 1".into(),
+        "SELECT subject FROM events WHERE eid = 1".into(),
+        // Unsupported: substring/lowercase manipulation on sensitive text.
+        "SELECT eid FROM events WHERE LOWER(subject) = 'dentist'".into(),
+        "SELECT SUBSTR(description, 1, 10) FROM events WHERE eid = 1".into(),
+    ]
+}

@@ -1,0 +1,63 @@
+//! Fig. 8: developer effort — schema annotations and login/logout glue
+//! needed to secure each application.
+
+use cryptdb_apps::{annotation_stats, gradapply, hotcrp, phpbb};
+use cryptdb_bench::{banner, TablePrinter};
+
+fn main() {
+    banner(
+        "Figure 8",
+        "annotations and lines of code to secure the multi-user applications",
+    );
+    let p = TablePrinter::new(vec![12, 26, 26, 20, 22]);
+    p.row(&[
+        "App".into(),
+        "Annotations (paper)".into(),
+        "Annotations (ours)".into(),
+        "Login/logout LoC".into(),
+        "Fields secured".into(),
+    ]);
+    p.rule();
+
+    let php = annotation_stats(&phpbb::annotated_schema());
+    p.row(&[
+        "phpBB".into(),
+        "31 (11 unique)".into(),
+        format!("{} ({} unique)", php.total, php.unique),
+        format!("paper: {}", phpbb::PAPER_LOGIN_LOC),
+        format!("paper: {} / ours: {}", phpbb::PAPER_SENSITIVE_FIELDS, php.enc_for_columns),
+    ]);
+
+    let hc = annotation_stats(&hotcrp::annotated_schema());
+    p.row(&[
+        "HotCRP".into(),
+        "29 (12 unique)".into(),
+        format!("{} ({} unique)", hc.total, hc.unique),
+        format!("paper: {}", hotcrp::PAPER_LOGIN_LOC),
+        format!("paper: {} / ours: {}", hotcrp::PAPER_SENSITIVE_FIELDS, hc.enc_for_columns),
+    ]);
+
+    let ga = annotation_stats(&gradapply::annotated_schema());
+    p.row(&[
+        "grad-apply".into(),
+        "111 (13 unique)".into(),
+        format!("{} ({} unique)", ga.total, ga.unique),
+        format!("paper: {}", gradapply::PAPER_LOGIN_LOC),
+        format!("paper: {} / ours: {}", gradapply::PAPER_SENSITIVE_FIELDS, ga.enc_for_columns),
+    ]);
+
+    p.row(&[
+        "TPC-C".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        format!("paper: 92 / ours: {}", cryptdb_apps::tpcc::COLUMNS),
+    ]);
+    println!();
+    println!(
+        "note: our schemas follow the paper's published excerpts, so the\n\
+         annotation totals are smaller than the full deployments; the shape\n\
+         (one ENC FOR per protected column, a handful of SPEAKS FOR rules,\n\
+         trivial login glue) is the reproduced result."
+    );
+}

@@ -1,0 +1,83 @@
+//! Fig. 15: end-to-end latency per phpBB request type, MySQL vs CryptDB.
+//! Paper: CryptDB adds 7–18 ms (6–20%) per request.
+
+use cryptdb_apps::phpbb::{self, PhpbbScale, Request};
+use cryptdb_bench::{banner, cryptdb_stack, mysql_stack, scaled, sensitive_policy, Stack, TablePrinter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+fn prepare(stack: &Stack, scale: &PhpbbScale) {
+    let mut rng = StdRng::seed_from_u64(5);
+    for ddl in phpbb::schema() {
+        stack.run(&ddl);
+    }
+    if let Stack::CryptDb(p) = stack {
+        // The forum workload never joins; drop every JOIN layer (§3.5.2).
+        p.discard_unused_join_layers();
+    }
+    for stmt in phpbb::load_statements(&mut rng, scale) {
+        stack.run(&stmt);
+    }
+    if let Stack::CryptDb(p) = stack {
+        let mut id = 5_000_i64;
+        let mut rng = StdRng::seed_from_u64(6);
+        for req in Request::ALL {
+            for stmt in phpbb::request_statements(&mut rng, req, scale, &mut id) {
+                let _ = p.execute(&stmt);
+            }
+        }
+    }
+}
+
+fn request_latency(stack: &Stack, scale: &PhpbbScale, req: Request, iters: usize, id0: i64) -> Duration {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut id = id0;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for stmt in phpbb::request_statements(&mut rng, req, scale, &mut id) {
+            stack.run(&stmt);
+        }
+    }
+    start.elapsed() / iters as u32
+}
+
+fn main() {
+    banner("Figure 15", "phpBB request latency (read/write posts & messages)");
+    let scale = PhpbbScale::default();
+    let mysql = mysql_stack();
+    prepare(&mysql, &scale);
+    let cdb = cryptdb_stack(sensitive_policy(&phpbb::sensitive_fields()));
+    prepare(&cdb, &scale);
+
+    let paper = [
+        (Request::Login, "60 ms", "67 ms"),
+        (Request::ReadPost, "50 ms", "60 ms"),
+        (Request::WritePost, "133 ms", "151 ms"),
+        (Request::ReadMsg, "61 ms", "73 ms"),
+        (Request::WriteMsg, "237 ms", "251 ms"),
+    ];
+    let iters = scaled(40);
+    let p = TablePrinter::new(vec![10, 14, 14, 12, 24]);
+    p.row(&[
+        "request".into(),
+        "MySQL".into(),
+        "CryptDB".into(),
+        "overhead".into(),
+        "paper (MySQL/CryptDB)".into(),
+    ]);
+    p.rule();
+    for (req, pm, pc) in paper {
+        let m = request_latency(&mysql, &scale, req, iters, 200_000);
+        let c = request_latency(&cdb, &scale, req, iters, 300_000);
+        p.row(&[
+            req.label().into(),
+            cryptdb_bench::ms(m),
+            cryptdb_bench::ms(c),
+            format!("{:+.0}%", 100.0 * (c.as_secs_f64() / m.as_secs_f64() - 1.0)),
+            format!("{pm} / {pc}"),
+        ]);
+    }
+    println!();
+    println!("expected shape: single-digit-to-~20% latency overhead per request.");
+}

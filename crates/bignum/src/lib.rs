@@ -1,0 +1,26 @@
+//! Arbitrary-precision unsigned integer arithmetic for CryptDB.
+//!
+//! The paper's implementation used NTL for its number theory; this crate is
+//! the from-scratch substitute. It provides everything the cryptographic
+//! subsystems need:
+//!
+//! * [`Ubig`] — an unsigned big integer on 64-bit limbs with schoolbook and
+//!   Karatsuba multiplication and Knuth Algorithm D division.
+//! * [`Montgomery`] — Montgomery-form modular multiplication and
+//!   exponentiation for odd moduli (Paillier's hot path).
+//! * [`prime`] — Miller–Rabin probable-prime testing and random prime
+//!   generation (Paillier key generation).
+//!
+//! The crate is `#![forbid(unsafe_code)]`: all invariants (limb
+//! normalisation, divisor non-zero, modulus oddness) are enforced at module
+//! boundaries.
+
+#![forbid(unsafe_code)]
+
+mod mont;
+mod prime;
+mod ubig;
+
+pub use mont::Montgomery;
+pub use prime::{gen_prime, gen_safe_prime, is_prime, miller_rabin};
+pub use ubig::Ubig;

@@ -1,0 +1,223 @@
+//! Montgomery-form modular arithmetic (CIOS multiplication).
+
+use crate::Ubig;
+
+/// A Montgomery context for a fixed odd modulus.
+///
+/// Precomputes `-n^{-1} mod 2^64` and `R^2 mod n` (with `R = 2^(64·s)` for an
+/// `s`-limb modulus) so repeated multiplications and exponentiations avoid
+/// full-width division. This is the hot path of Paillier encryption.
+///
+/// # Examples
+///
+/// ```
+/// use cryptdb_bignum::{Montgomery, Ubig};
+///
+/// let m = Montgomery::new(Ubig::from_u64(1_000_003));
+/// let r = m.pow(&Ubig::from_u64(2), &Ubig::from_u64(20));
+/// assert_eq!(r.to_u64().unwrap(), (1 << 20) % 1_000_003);
+/// ```
+pub struct Montgomery {
+    n: Ubig,
+    n_limbs: Vec<u64>,
+    n0inv: u64,
+    rr: Ubig,
+}
+
+impl Montgomery {
+    /// Creates a context for the odd modulus `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, one, or even.
+    pub fn new(n: Ubig) -> Self {
+        assert!(!n.is_zero() && !n.is_one(), "modulus must be > 1");
+        assert!(!n.is_even(), "Montgomery requires an odd modulus");
+        let s = n.limbs().len();
+        let n0 = n.limbs()[0];
+        // Newton iteration for the inverse of n0 mod 2^64; five steps double
+        // the valid bits from 5 to >64.
+        let mut inv: u64 = n0; // Valid to 5 bits for odd n0.
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+        let rr = Ubig::one().shl(128 * s).rem(&n);
+        Montgomery {
+            n_limbs: n.limbs().to_vec(),
+            n,
+            n0inv,
+            rr,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    fn limbs_of(&self, v: &Ubig) -> Vec<u64> {
+        let mut l = v.limbs().to_vec();
+        l.resize(self.n_limbs.len(), 0);
+        l
+    }
+
+    /// Montgomery product of two values already in Montgomery form.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let s = self.n_limbs.len();
+        let n = &self.n_limbs;
+        let mut t = vec![0u64; s + 2];
+        for &bi in b.iter().take(s) {
+            let bi = bi as u128;
+            let mut carry: u128 = 0;
+            for j in 0..s {
+                let sum = t[j] as u128 + a[j] as u128 * bi + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[s] as u128 + carry;
+            t[s] = sum as u64;
+            t[s + 1] = (sum >> 64) as u64;
+
+            let m = t[0].wrapping_mul(self.n0inv) as u128;
+            let sum = t[0] as u128 + m * n[0] as u128;
+            let mut carry = sum >> 64;
+            for j in 1..s {
+                let sum = t[j] as u128 + m * n[j] as u128 + carry;
+                t[j - 1] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[s] as u128 + carry;
+            t[s - 1] = sum as u64;
+            t[s] = t[s + 1].wrapping_add((sum >> 64) as u64);
+            t[s + 1] = 0;
+        }
+        let mut r = Ubig::from_limbs(t[..=s].to_vec());
+        if r >= self.n {
+            r = r.sub(&self.n);
+        }
+        self.limbs_of(&r)
+    }
+
+    /// Converts into Montgomery form.
+    pub fn to_mont(&self, v: &Ubig) -> Vec<u64> {
+        let reduced = v.rem(&self.n);
+        self.mont_mul(&self.limbs_of(&reduced), &self.limbs_of(&self.rr))
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, v: &[u64]) -> Ubig {
+        let mut one = vec![0u64; self.n_limbs.len()];
+        one[0] = 1;
+        Ubig::from_limbs(self.mont_mul(v, &one))
+    }
+
+    /// Modular multiplication `a·b mod n` for plain (non-Montgomery) values.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` with a 4-bit fixed window.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one().rem(&self.n);
+        }
+        let base_m = self.to_mont(base);
+        // Precompute base^0..base^15 in Montgomery form.
+        let one_m = self.to_mont(&Ubig::one());
+        let mut table = Vec::with_capacity(16);
+        table.push(one_m.clone());
+        table.push(base_m.clone());
+        for i in 2..16 {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+        let bits = exp.bits();
+        let mut acc = one_m;
+        let mut started = false;
+        // Consume the exponent in 4-bit windows, most significant first.
+        let top_window = bits.div_ceil(4);
+        for w in (0..top_window).rev() {
+            let mut nibble = 0usize;
+            for k in 0..4 {
+                if exp.bit(w * 4 + k) {
+                    nibble |= 1 << k;
+                }
+            }
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            if nibble != 0 {
+                acc = self.mont_mul(&acc, &table[nibble]);
+                started = true;
+            } else if !started {
+                continue;
+            }
+        }
+        if !started {
+            return Ubig::one().rem(&self.n);
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_generic_modexp_small() {
+        let n = Ubig::from_u64(0xffff_ffff_ffff_ffc5); // Large odd (prime) modulus.
+        let m = Montgomery::new(n.clone());
+        for (b, e) in [(2u64, 1000u64), (12345, 6789), (0xdead_beef, 31337)] {
+            let expect = naive_modexp(b, e, 0xffff_ffff_ffff_ffc5);
+            let got = m.pow(&Ubig::from_u64(b), &Ubig::from_u64(e));
+            assert_eq!(got.to_u64().unwrap(), expect, "b={b} e={e}");
+        }
+    }
+
+    #[test]
+    fn multi_limb_fermat() {
+        // p = 2^89 - 1 is a Mersenne prime: a^(p-1) ≡ 1 (mod p).
+        let p = Ubig::one().shl(89).sub(&Ubig::one());
+        let m = Montgomery::new(p.clone());
+        let a = Ubig::from_u64(123_456_789);
+        let r = m.pow(&a, &p.sub(&Ubig::one()));
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn mul_matches_mod_mul() {
+        let n = Ubig::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let m = Montgomery::new(n.clone());
+        let a = Ubig::from_hex("abcdef0123456789abcdef").unwrap();
+        let b = Ubig::from_hex("123456789abcdef0fedcba").unwrap();
+        assert_eq!(m.mul(&a, &b), a.mod_mul(&b, &n));
+    }
+
+    #[test]
+    fn zero_exponent() {
+        let m = Montgomery::new(Ubig::from_u64(97));
+        assert!(m.pow(&Ubig::from_u64(5), &Ubig::zero()).is_one());
+    }
+
+    fn naive_modexp(b: u64, e: u64, m: u64) -> u64 {
+        let mut acc: u128 = 1;
+        let bb = b as u128 % m as u128;
+        let mut base = bb;
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base % m as u128;
+            }
+            base = base * base % m as u128;
+            e >>= 1;
+        }
+        acc as u64
+    }
+}

@@ -1,0 +1,178 @@
+//! Probabilistic primality testing and prime generation.
+
+use crate::{Montgomery, Ubig};
+use std::sync::OnceLock;
+
+/// Small primes (below 2000) used for trial division before Miller–Rabin.
+fn small_primes() -> &'static [u64] {
+    static PRIMES: OnceLock<Vec<u64>> = OnceLock::new();
+    PRIMES.get_or_init(|| {
+        let limit = 2000usize;
+        let mut sieve = vec![true; limit];
+        sieve[0] = false;
+        sieve[1] = false;
+        for i in 2..limit {
+            if sieve[i] {
+                for j in (i * i..limit).step_by(i) {
+                    sieve[j] = false;
+                }
+            }
+        }
+        (0..limit).filter(|&i| sieve[i]).map(|i| i as u64).collect()
+    })
+}
+
+/// One Miller–Rabin round for witness `a` against odd `n > 3`.
+///
+/// Returns `true` if `n` passes (is a strong probable prime to base `a`).
+pub fn miller_rabin(n: &Ubig, a: &Ubig) -> bool {
+    let one = Ubig::one();
+    let n_minus_1 = n.sub(&one);
+    // n - 1 = d * 2^r with d odd.
+    let mut r = 0usize;
+    let mut d = n_minus_1.clone();
+    while d.is_even() {
+        d = d.shr(1);
+        r += 1;
+    }
+    let mont = Montgomery::new(n.clone());
+    let mut x = mont.pow(a, &d);
+    if x.is_one() || x == n_minus_1 {
+        return true;
+    }
+    for _ in 0..r - 1 {
+        x = x.mod_mul(&x, n);
+        if x == n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Probable-prime test: trial division then `rounds` Miller–Rabin rounds
+/// with random bases (plus base 2).
+pub fn is_prime<R: rand::RngCore + ?Sized>(n: &Ubig, rng: &mut R, rounds: usize) -> bool {
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return false;
+        }
+        if small_primes().contains(&v) {
+            return true;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in small_primes() {
+        let pb = Ubig::from_u64(p);
+        if &pb >= n {
+            break;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    if !miller_rabin(n, &Ubig::from_u64(2)) {
+        return false;
+    }
+    let two = Ubig::from_u64(2);
+    let bound = n.sub(&Ubig::from_u64(3));
+    for _ in 0..rounds {
+        let a = Ubig::rand_below(rng, &bound).add(&two); // a in [2, n-2].
+        if !miller_rabin(n, &a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: rand::RngCore + ?Sized>(rng: &mut R, bits: usize) -> Ubig {
+    assert!(bits >= 2, "prime needs at least 2 bits");
+    loop {
+        let mut cand = Ubig::rand_bits(rng, bits);
+        if cand.is_even() {
+            cand = cand.add_u64(1);
+            if cand.bits() != bits {
+                continue;
+            }
+        }
+        if is_prime(&cand, rng, 20) {
+            return cand;
+        }
+    }
+}
+
+/// Generates a safe prime `p = 2q + 1` with `q` prime and `p` of `bits` bits.
+///
+/// Only used by tests and the optional classic-group backends; safe primes
+/// are rare, so keep `bits` modest.
+pub fn gen_safe_prime<R: rand::RngCore + ?Sized>(rng: &mut R, bits: usize) -> Ubig {
+    assert!(bits >= 3, "safe prime needs at least 3 bits");
+    loop {
+        let q = gen_prime(rng, bits - 1);
+        let p = q.shl(1).add_u64(1);
+        if p.bits() == bits && is_prime(&p, rng, 20) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for p in [2u64, 3, 5, 7, 2003, 104_729, 2_147_483_647] {
+            assert!(is_prime(&Ubig::from_u64(p), &mut rng, 10), "{p} should be prime");
+        }
+        for c in [0u64, 1, 4, 2001, 104_730, 2_147_483_649] {
+            assert!(!is_prime(&Ubig::from_u64(c), &mut rng, 10), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_rejected() {
+        // 561, 41041 are Carmichael numbers (Fermat pseudoprimes to many bases).
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(!is_prime(&Ubig::from_u64(561), &mut rng, 10));
+        assert!(!is_prime(&Ubig::from_u64(41041), &mut rng, 10));
+    }
+
+    #[test]
+    fn mersenne_prime() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = Ubig::one().shl(127).sub(&Ubig::one()); // 2^127 - 1 is prime.
+        assert!(is_prime(&p, &mut rng, 10));
+        let c = Ubig::one().shl(128).sub(&Ubig::one()); // 2^128 - 1 is composite.
+        assert!(!is_prime(&c, &mut rng, 10));
+    }
+
+    #[test]
+    fn generated_prime_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = gen_prime(&mut rng, 128);
+        assert_eq!(p.bits(), 128);
+        assert!(is_prime(&p, &mut rng, 10));
+    }
+
+    #[test]
+    fn safe_prime_small() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = gen_safe_prime(&mut rng, 32);
+        let q = p.sub(&Ubig::one()).shr(1);
+        assert!(is_prime(&p, &mut rng, 10));
+        assert!(is_prime(&q, &mut rng, 10));
+    }
+}

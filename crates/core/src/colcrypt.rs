@@ -1,0 +1,556 @@
+//! Per-column encryption across all onions (Fig. 2 / Fig. 3).
+//!
+//! Each sensitive column's keys are derived from a *root key* — the master
+//! key in single-principal mode, or a principal's key under `ENC FOR` —
+//! via the paper's Equation (1). A plaintext cell encrypts to up to five
+//! server-side cells: the shared random IV plus one ciphertext per onion.
+
+use crate::error::ProxyError;
+use crate::onion::{EqLevel, OrdLevel};
+use cryptdb_crypto::aes::Aes;
+use cryptdb_crypto::blowfish::Blowfish;
+use cryptdb_crypto::modes::{cbc_decrypt, cbc_encrypt, cmc_decrypt, cmc_encrypt};
+use cryptdb_crypto::prf::{derive_key, Key};
+use cryptdb_ecgroup::{JoinAdj, JoinKey};
+use cryptdb_engine::Value;
+use cryptdb_ope::Ope;
+use cryptdb_paillier::{PaillierPrivate, PaillierPublic};
+use cryptdb_search::{SearchCiphertext, SearchKey, SearchToken};
+use cryptdb_sqlparser::ColumnType;
+use rand::RngCore;
+
+/// JOIN-ADJ tag length inside the Eq onion blob.
+pub const JTAG_LEN: usize = 32;
+/// IV length (AES block).
+pub const IV_LEN: usize = 16;
+
+/// Which onions a column carries (§3.2: "some onions or onion layers may
+/// be omitted, depending on column types or schema annotations").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OnionSet {
+    pub eq: bool,
+    pub ord: bool,
+    pub add: bool,
+    pub search: bool,
+}
+
+impl OnionSet {
+    /// Default onions for a column type: integers get Eq/Ord/Add, text
+    /// gets Eq/Ord/Search (Fig. 2).
+    pub fn for_type(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int => OnionSet {
+                eq: true,
+                ord: true,
+                add: true,
+                search: false,
+            },
+            ColumnType::Text => OnionSet {
+                eq: true,
+                ord: true,
+                add: false,
+                search: true,
+            },
+        }
+    }
+}
+
+/// The derived key material for one column under one root key.
+pub struct ColumnKeys {
+    /// RND layer of the Eq onion.
+    rnd_eq: Aes,
+    /// RND layer of the Ord onion.
+    rnd_ord: Aes,
+    /// DET for 64-bit integers (the paper uses Blowfish's 64-bit block).
+    det_int: Blowfish,
+    /// DET for text (AES-CMC).
+    det_txt: Aes,
+    /// OPE (64-bit domain, 124-bit range).
+    ope: Ope,
+    /// This column's native JOIN-ADJ key.
+    pub join: JoinKey,
+    /// SEARCH key.
+    search: SearchKey,
+    /// Raw layer keys, exposed to ship to the server for onion peeling.
+    pub rnd_eq_key: Key,
+    pub rnd_ord_key: Key,
+}
+
+fn aes128(key: &Key) -> Aes {
+    let mut k = [0u8; 16];
+    k.copy_from_slice(&key[..16]);
+    Aes::new_128(&k)
+}
+
+impl ColumnKeys {
+    /// Derives all layer keys for `(table, column)` from `root` — the
+    /// paper's Eq. (1), with the onion and layer names as path components.
+    pub fn derive(root: &Key, table: &str, column: &str, ope_group: Option<&str>) -> Self {
+        let path = |onion: &str, layer: &str| derive_key(root, &[table, column, onion, layer]);
+        let rnd_eq_key = path("eq", "rnd");
+        let rnd_ord_key = path("ord", "rnd");
+        let det_key = path("eq", "det");
+        let ope_key = match ope_group {
+            // Range-join groups share an OPE key (the paper's OPE-JOIN
+            // layer; see DESIGN.md substitution table).
+            Some(g) => derive_key(root, &["opejoin-group", g]),
+            None => path("ord", "ope"),
+        };
+        let join_key = path("eq", "joinadj");
+        let search_key = path("search", "swp");
+        ColumnKeys {
+            rnd_eq: aes128(&rnd_eq_key),
+            rnd_ord: aes128(&rnd_ord_key),
+            det_int: Blowfish::new(&det_key),
+            det_txt: aes128(&det_key),
+            ope: Ope::new(&ope_key, 64, 124),
+            join: JoinKey::from_bytes(&join_key),
+            search: SearchKey::new(&search_key),
+            rnd_eq_key,
+            rnd_ord_key,
+        }
+    }
+
+    /// The OPE instance (used by the pre-computation cache).
+    pub fn ope(&self) -> &Ope {
+        &self.ope
+    }
+
+    /// Wraps an Ord-onion plaintext (OPE bytes) in the RND layer.
+    pub fn wrap_ord_rnd(&self, iv: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        cbc_encrypt(&self.rnd_ord, iv, plaintext)
+    }
+}
+
+/// One encrypted cell: the server-side values for each onion column.
+#[derive(Clone, Debug, Default)]
+pub struct EncryptedCell {
+    pub iv: Option<Value>,
+    pub eq: Option<Value>,
+    pub ord: Option<Value>,
+    pub add: Option<Value>,
+    pub srch: Option<Value>,
+}
+
+/// Canonical plaintext bytes for DET/JOIN purposes.
+fn canonical_bytes(v: &Value) -> Result<Vec<u8>, ProxyError> {
+    match v {
+        Value::Int(i) => Ok((*i as u64).to_be_bytes().to_vec()),
+        Value::Str(s) => Ok(s.as_bytes().to_vec()),
+        other => Err(ProxyError::Crypto(format!(
+            "cannot encrypt value of this type: {other:?}"
+        ))),
+    }
+}
+
+/// Order-preserving 64-bit encoding: sign-flipped integers, or the
+/// big-endian first eight bytes for text (prefix order; see DESIGN.md).
+fn ord_encode(v: &Value) -> Result<u64, ProxyError> {
+    match v {
+        Value::Int(i) => Ok(Ope::encode_i64(*i)),
+        Value::Str(s) => {
+            let mut b = [0u8; 8];
+            let n = s.len().min(8);
+            b[..n].copy_from_slice(&s.as_bytes()[..n]);
+            Ok(u64::from_be_bytes(b))
+        }
+        other => Err(ProxyError::Crypto(format!("no order encoding: {other:?}"))),
+    }
+}
+
+/// Encrypts one plaintext cell to all configured onions.
+///
+/// `join_key` is the column's *current effective* JOIN-ADJ key (it changes
+/// when the column is re-keyed into another join group); `levels` are the
+/// current onion levels — fresh values are encrypted only up to the layers
+/// that have not been stripped (§3.3, write queries).
+#[allow(clippy::too_many_arguments)]
+pub fn encrypt_cell<R: RngCore + ?Sized>(
+    keys: &ColumnKeys,
+    joinadj: &JoinAdj,
+    join_key: &JoinKey,
+    paillier: &PaillierPrivate,
+    hom_blinding: Option<&cryptdb_bignum::Ubig>,
+    v: &Value,
+    ty: ColumnType,
+    onions: &OnionSet,
+    levels: (EqLevel, OrdLevel),
+    with_jtag: bool,
+    rng: &mut R,
+) -> Result<EncryptedCell, ProxyError> {
+    // NULLs pass through unencrypted (§3.3, "Other DBMS features").
+    if v.is_null() {
+        return Ok(EncryptedCell {
+            iv: Some(Value::Null),
+            eq: onions.eq.then_some(Value::Null),
+            ord: onions.ord.then_some(Value::Null),
+            add: onions.add.then_some(Value::Null),
+            srch: onions.search.then_some(Value::Null),
+        });
+    }
+    let mut iv = [0u8; IV_LEN];
+    rng.fill_bytes(&mut iv);
+    let mut cell = EncryptedCell {
+        iv: Some(Value::Bytes(iv.to_vec())),
+        ..Default::default()
+    };
+
+    if onions.eq {
+        let canon = canonical_bytes(v)?;
+        let det = match ty {
+            ColumnType::Int => {
+                let i = v
+                    .as_int()
+                    .ok_or_else(|| ProxyError::Crypto("int column with non-int value".into()))?;
+                keys.det_int.encrypt_u64(i as u64).to_be_bytes().to_vec()
+            }
+            ColumnType::Text => cmc_encrypt(&keys.det_txt, &canon),
+        };
+        let mut blob = if with_jtag {
+            joinadj.tag(join_key, &canon).to_vec()
+        } else {
+            Vec::new()
+        };
+        blob.extend_from_slice(&det);
+        let eq_value = match levels.0 {
+            EqLevel::Rnd => cbc_encrypt(&keys.rnd_eq, &iv, &blob),
+            EqLevel::Det => blob,
+        };
+        cell.eq = Some(Value::Bytes(eq_value));
+    }
+
+    if onions.ord {
+        let ope_ct = keys
+            .ope
+            .encrypt(ord_encode(v)?)
+            .map_err(|e| ProxyError::Crypto(e.to_string()))?;
+        let bytes = ope_ct.to_be_bytes().to_vec();
+        let ord_value = match levels.1 {
+            OrdLevel::Rnd => cbc_encrypt(&keys.rnd_ord, &iv, &bytes),
+            OrdLevel::Ope => bytes,
+        };
+        cell.ord = Some(Value::Bytes(ord_value));
+    }
+
+    if onions.add {
+        let i = v
+            .as_int()
+            .ok_or_else(|| ProxyError::Crypto("Add onion on non-integer".into()))?;
+        let ct = match hom_blinding {
+            Some(b) => paillier
+                .public()
+                .encrypt_with_blinding(&paillier.public().encode_i64(i), b),
+            None => paillier.encrypt_i64(i, rng),
+        };
+        cell.add = Some(Value::Bytes(paillier.public().ciphertext_to_bytes(&ct)));
+    }
+
+    if onions.search {
+        let s = v
+            .as_str()
+            .ok_or_else(|| ProxyError::Crypto("Search onion on non-text".into()))?;
+        cell.srch = Some(Value::Bytes(keys.search.encrypt_text(s, rng).to_bytes()));
+    }
+
+    Ok(cell)
+}
+
+/// Encrypts a constant for an equality comparison at the Eq onion's
+/// current DET level (the caller has already peeled RND).
+pub fn encrypt_eq_constant(
+    keys: &ColumnKeys,
+    joinadj: &JoinAdj,
+    join_key: &JoinKey,
+    v: &Value,
+    ty: ColumnType,
+    with_jtag: bool,
+) -> Result<Value, ProxyError> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let canon = canonical_bytes(v)?;
+    let det = match ty {
+        ColumnType::Int => {
+            let i = v
+                .as_int()
+                .ok_or_else(|| ProxyError::Crypto("int column with non-int constant".into()))?;
+            keys.det_int.encrypt_u64(i as u64).to_be_bytes().to_vec()
+        }
+        ColumnType::Text => cmc_encrypt(&keys.det_txt, &canon),
+    };
+    let mut blob = if with_jtag {
+        joinadj.tag(join_key, &canon).to_vec()
+    } else {
+        Vec::new()
+    };
+    blob.extend_from_slice(&det);
+    Ok(Value::Bytes(blob))
+}
+
+/// Encrypts a constant for an order comparison (OPE layer).
+pub fn encrypt_ord_constant(keys: &ColumnKeys, v: &Value) -> Result<Value, ProxyError> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let c = keys
+        .ope
+        .encrypt(ord_encode(v)?)
+        .map_err(|e| ProxyError::Crypto(e.to_string()))?;
+    Ok(Value::Bytes(c.to_be_bytes().to_vec()))
+}
+
+/// Encrypts a constant into a HOM ciphertext (for increment updates).
+pub fn encrypt_add_constant<R: RngCore + ?Sized>(
+    paillier: &PaillierPrivate,
+    v: i64,
+    rng: &mut R,
+) -> Value {
+    let ct = paillier.encrypt_i64(v, rng);
+    Value::Bytes(paillier.public().ciphertext_to_bytes(&ct))
+}
+
+/// Builds the serialised search token for a word (48 bytes: X ‖ k_w).
+pub fn search_token_bytes(keys: &ColumnKeys, word: &str) -> Vec<u8> {
+    let SearchToken { x, kw } = keys.search.token(word);
+    let mut out = x.to_vec();
+    out.extend_from_slice(&kw);
+    out
+}
+
+/// Parses a serialised search token.
+pub fn parse_search_token(bytes: &[u8]) -> Option<SearchToken> {
+    if bytes.len() != 48 {
+        return None;
+    }
+    Some(SearchToken {
+        x: bytes[..16].try_into().ok()?,
+        kw: bytes[16..48].try_into().ok()?,
+    })
+}
+
+/// Decrypts a value from the Eq onion.
+///
+/// `iv` is required only when the onion is still at RND.
+pub fn decrypt_eq(
+    keys: &ColumnKeys,
+    level: EqLevel,
+    ty: ColumnType,
+    value: &Value,
+    iv: Option<&Value>,
+    with_jtag: bool,
+) -> Result<Value, ProxyError> {
+    if value.is_null() {
+        return Ok(Value::Null);
+    }
+    let bytes = value
+        .as_bytes()
+        .ok_or_else(|| ProxyError::Crypto("Eq onion cell is not bytes".into()))?;
+    let blob = match level {
+        EqLevel::Rnd => {
+            let iv = iv
+                .and_then(|v| v.as_bytes())
+                .ok_or_else(|| ProxyError::Crypto("missing IV for RND decryption".into()))?;
+            cbc_decrypt(&keys.rnd_eq, iv, bytes)
+                .ok_or_else(|| ProxyError::Crypto("RND layer decryption failed".into()))?
+        }
+        EqLevel::Det => bytes.to_vec(),
+    };
+    let jtag_len = if with_jtag { JTAG_LEN } else { 0 };
+    if blob.len() < jtag_len {
+        return Err(ProxyError::Crypto("Eq blob too short".into()));
+    }
+    let det = &blob[jtag_len..];
+    match ty {
+        ColumnType::Int => {
+            let arr: [u8; 8] = det
+                .try_into()
+                .map_err(|_| ProxyError::Crypto("bad DET int length".into()))?;
+            Ok(Value::Int(
+                keys.det_int.decrypt_u64(u64::from_be_bytes(arr)) as i64
+            ))
+        }
+        ColumnType::Text => {
+            let pt = cmc_decrypt(&keys.det_txt, det)
+                .ok_or_else(|| ProxyError::Crypto("DET text decryption failed".into()))?;
+            String::from_utf8(pt)
+                .map(Value::Str)
+                .map_err(|_| ProxyError::Crypto("DET text is not UTF-8".into()))
+        }
+    }
+}
+
+/// Decrypts a value from the Add onion (integers only).
+pub fn decrypt_add(paillier: &PaillierPrivate, value: &Value) -> Result<Value, ProxyError> {
+    if value.is_null() {
+        return Ok(Value::Null);
+    }
+    let bytes = value
+        .as_bytes()
+        .ok_or_else(|| ProxyError::Crypto("Add onion cell is not bytes".into()))?;
+    let ct = paillier.public().ciphertext_from_bytes(bytes);
+    paillier
+        .decrypt_i64(&ct)
+        .map(Value::Int)
+        .ok_or_else(|| ProxyError::Crypto("HOM plaintext out of i64 range".into()))
+}
+
+/// Decrypts a value from the Ord onion (integers only; text prefix
+/// encodings are not invertible).
+pub fn decrypt_ord(
+    keys: &ColumnKeys,
+    level: OrdLevel,
+    value: &Value,
+    iv: Option<&Value>,
+) -> Result<Value, ProxyError> {
+    if value.is_null() {
+        return Ok(Value::Null);
+    }
+    let bytes = value
+        .as_bytes()
+        .ok_or_else(|| ProxyError::Crypto("Ord onion cell is not bytes".into()))?;
+    let ope_bytes = match level {
+        OrdLevel::Rnd => {
+            let iv = iv
+                .and_then(|v| v.as_bytes())
+                .ok_or_else(|| ProxyError::Crypto("missing IV for RND decryption".into()))?;
+            cbc_decrypt(&keys.rnd_ord, iv, bytes)
+                .ok_or_else(|| ProxyError::Crypto("RND layer decryption failed".into()))?
+        }
+        OrdLevel::Ope => bytes.to_vec(),
+    };
+    let arr: [u8; 16] = ope_bytes[..]
+        .try_into()
+        .map_err(|_| ProxyError::Crypto("bad OPE length".into()))?;
+    let m = keys
+        .ope
+        .decrypt(u128::from_be_bytes(arr))
+        .map_err(|e| ProxyError::Crypto(e.to_string()))?;
+    Ok(Value::Int(Ope::decode_i64(m)))
+}
+
+/// Server-visible types for the auxiliary functions the UDF module needs.
+pub struct ServerCrypto {
+    /// The Paillier public half — the server can multiply ciphertexts but
+    /// never decrypt.
+    pub paillier_public: PaillierPublic,
+}
+
+/// Checks a search token against a serialised word list (the UDF body).
+pub fn search_matches(blob: &[u8], token: &SearchToken) -> bool {
+    SearchCiphertext::from_bytes(blob)
+        .map(|ct| cryptdb_search::matches_any(&ct, token))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptdb_crypto::rng::Drbg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ColumnKeys, JoinAdj, PaillierPrivate, Drbg) {
+        let root = [3u8; 32];
+        let keys = ColumnKeys::derive(&root, "emp", "salary", None);
+        let ja = JoinAdj::new([9u8; 32]);
+        let mut krng = StdRng::seed_from_u64(5);
+        let paillier = PaillierPrivate::keygen(&mut krng, 256);
+        (keys, ja, paillier, Drbg::from_seed(&[7u8; 32]))
+    }
+
+    fn enc(
+        keys: &ColumnKeys,
+        ja: &JoinAdj,
+        p: &PaillierPrivate,
+        rng: &mut Drbg,
+        v: &Value,
+        ty: ColumnType,
+        levels: (EqLevel, OrdLevel),
+    ) -> EncryptedCell {
+        encrypt_cell(
+            keys,
+            ja,
+            &keys.join,
+            p,
+            None,
+            v,
+            ty,
+            &OnionSet::for_type(ty),
+            levels,
+            true,
+            rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn int_roundtrip_all_onions() {
+        let (keys, ja, p, mut rng) = setup();
+        let v = Value::Int(-1234);
+        let cell = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Rnd, OrdLevel::Rnd));
+        assert_eq!(
+            decrypt_eq(&keys, EqLevel::Rnd, ColumnType::Int, cell.eq.as_ref().unwrap(), cell.iv.as_ref(), true).unwrap(),
+            v
+        );
+        assert_eq!(decrypt_add(&p, cell.add.as_ref().unwrap()).unwrap(), v);
+        assert_eq!(
+            decrypt_ord(&keys, OrdLevel::Rnd, cell.ord.as_ref().unwrap(), cell.iv.as_ref()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (keys, ja, p, mut rng) = setup();
+        let v = Value::Str("private message body".into());
+        let cell = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Text, (EqLevel::Det, OrdLevel::Rnd));
+        assert_eq!(
+            decrypt_eq(&keys, EqLevel::Det, ColumnType::Text, cell.eq.as_ref().unwrap(), None, true).unwrap(),
+            v
+        );
+        // The search onion matches its words.
+        let srch = cell.srch.as_ref().unwrap().as_bytes().unwrap().to_vec();
+        let tok = parse_search_token(&search_token_bytes(&keys, "message")).unwrap();
+        assert!(search_matches(&srch, &tok));
+        let tok2 = parse_search_token(&search_token_bytes(&keys, "absent")).unwrap();
+        assert!(!search_matches(&srch, &tok2));
+    }
+
+    #[test]
+    fn rnd_is_probabilistic_det_is_deterministic() {
+        let (keys, ja, p, mut rng) = setup();
+        let v = Value::Int(42);
+        let a = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Rnd, OrdLevel::Rnd));
+        let b = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Rnd, OrdLevel::Rnd));
+        assert_ne!(a.eq, b.eq, "RND must randomise equal plaintexts");
+        let c = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Det, OrdLevel::Ope));
+        let d = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Det, OrdLevel::Ope));
+        assert_eq!(c.eq, d.eq, "DET must repeat for equal plaintexts");
+        assert_eq!(
+            c.eq,
+            Some(encrypt_eq_constant(&keys, &ja, &keys.join, &v, ColumnType::Int, true).unwrap())
+        );
+    }
+
+    #[test]
+    fn ope_layer_preserves_order() {
+        let (keys, ja, p, mut rng) = setup();
+        let mut prev: Option<Vec<u8>> = None;
+        for v in [-100i64, -1, 0, 7, 5000] {
+            let cell = enc(&keys, &ja, &p, &mut rng, &Value::Int(v), ColumnType::Int, (EqLevel::Det, OrdLevel::Ope));
+            let bytes = cell.ord.unwrap().as_bytes().unwrap().to_vec();
+            if let Some(p) = prev {
+                assert!(bytes > p, "OPE bytes must increase with plaintext");
+            }
+            prev = Some(bytes);
+        }
+    }
+
+    #[test]
+    fn null_passthrough() {
+        let (keys, ja, p, mut rng) = setup();
+        let cell = enc(&keys, &ja, &p, &mut rng, &Value::Null, ColumnType::Int, (EqLevel::Rnd, OrdLevel::Rnd));
+        assert_eq!(cell.eq, Some(Value::Null));
+        assert_eq!(decrypt_eq(&keys, EqLevel::Rnd, ColumnType::Int, &Value::Null, None, true).unwrap(), Value::Null);
+    }
+}

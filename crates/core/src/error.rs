@@ -1,0 +1,56 @@
+//! Proxy errors.
+
+use cryptdb_engine::EngineError;
+use cryptdb_sqlparser::ParseError;
+use std::fmt;
+
+/// Errors surfaced by the CryptDB proxy.
+#[derive(Debug)]
+pub enum ProxyError {
+    /// SQL failed to parse.
+    Parse(ParseError),
+    /// The DBMS rejected a (rewritten) statement.
+    Engine(EngineError),
+    /// The query needs a computation CryptDB cannot run over ciphertext
+    /// (§8.2 "needs plaintext"): string/date manipulation, bitwise ops,
+    /// arithmetic-and-compare on one column, LIKE with a column pattern...
+    NeedsPlaintext(String),
+    /// The adjustment would expose a layer below the developer's minimum
+    /// onion layer for the column (§3.5.1).
+    PolicyViolation(String),
+    /// Multi-principal key chain cannot reach the required key (no
+    /// authorised user is logged in).
+    KeyUnavailable(String),
+    /// Ciphertext failed to decrypt or decode.
+    Crypto(String),
+    /// Schema inconsistency (unknown table/column, duplicate, ...).
+    Schema(String),
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::Parse(e) => write!(f, "{e}"),
+            ProxyError::Engine(e) => write!(f, "engine: {e}"),
+            ProxyError::NeedsPlaintext(m) => write!(f, "needs plaintext: {m}"),
+            ProxyError::PolicyViolation(m) => write!(f, "policy violation: {m}"),
+            ProxyError::KeyUnavailable(m) => write!(f, "key unavailable: {m}"),
+            ProxyError::Crypto(m) => write!(f, "crypto: {m}"),
+            ProxyError::Schema(m) => write!(f, "schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl From<ParseError> for ProxyError {
+    fn from(e: ParseError) -> Self {
+        ProxyError::Parse(e)
+    }
+}
+
+impl From<EngineError> for ProxyError {
+    fn from(e: EngineError) -> Self {
+        ProxyError::Engine(e)
+    }
+}

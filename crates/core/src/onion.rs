@@ -1,0 +1,113 @@
+//! The onion model (Fig. 2) and security-level lattice (§8.3).
+
+use std::fmt;
+
+/// Current layer of the Eq onion.
+///
+/// `Rnd` wraps `JOIN(v) = JOIN-ADJ(v) ‖ DET(v)` in probabilistic CBC;
+/// peeling to `Det` exposes the deterministic blob for equality checks,
+/// `GROUP BY`, and (after JOIN-ADJ re-keying) equi-joins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EqLevel {
+    Rnd,
+    Det,
+}
+
+/// Current layer of the Ord onion (`Rnd` over `OPE`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OrdLevel {
+    Rnd,
+    Ope,
+}
+
+/// The flat security lattice used for MinEnc reporting and minimum-layer
+/// policy floors. Strongest first: the paper ranks
+/// RND = HOM > SEARCH > DET = JOIN > OPE (§8.3), with PLAIN below
+/// everything (columns CryptDB cannot encrypt at all).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SecLevel {
+    Rnd,
+    Hom,
+    Search,
+    Det,
+    Join,
+    Ope,
+    Plain,
+}
+
+impl SecLevel {
+    /// Numeric strength: higher is stronger.
+    pub fn strength(self) -> u8 {
+        match self {
+            SecLevel::Rnd | SecLevel::Hom => 4,
+            SecLevel::Search => 3,
+            SecLevel::Det | SecLevel::Join => 2,
+            SecLevel::Ope => 1,
+            SecLevel::Plain => 0,
+        }
+    }
+
+    /// True if this level belongs to the paper's HIGH class (§8.3):
+    /// "RND and HOM ... highly secure encryption schemes leaking virtually
+    /// nothing about the data". (DET with no repeats also qualifies; that
+    /// refinement is applied by the report generator, which can see the
+    /// data distribution.)
+    pub fn is_high(self) -> bool {
+        matches!(self, SecLevel::Rnd | SecLevel::Hom)
+    }
+}
+
+impl fmt::Display for SecLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SecLevel::Rnd => "RND",
+            SecLevel::Hom => "HOM",
+            SecLevel::Search => "SEARCH",
+            SecLevel::Det => "DET",
+            SecLevel::Join => "JOIN",
+            SecLevel::Ope => "OPE",
+            SecLevel::Plain => "PLAIN",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The classes of computation a query can demand from a column (§2.1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Equality selection, `GROUP BY`, `COUNT(DISTINCT)`, `IN`.
+    Eq,
+    /// Equi-join with another column.
+    Join,
+    /// Order comparison, `ORDER BY` with `LIMIT`, `MIN`/`MAX`, ranges.
+    Ord,
+    /// Additive aggregate (`SUM`, `AVG`) or increment update.
+    Add,
+    /// Full-word keyword search (`LIKE '%word%'`).
+    Search,
+    /// Projection / insertion only — nothing revealed beyond size.
+    None,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_ranking_matches_paper() {
+        assert!(SecLevel::Rnd.strength() > SecLevel::Search.strength());
+        assert!(SecLevel::Search.strength() > SecLevel::Det.strength());
+        assert_eq!(SecLevel::Det.strength(), SecLevel::Join.strength());
+        assert!(SecLevel::Det.strength() > SecLevel::Ope.strength());
+        assert!(SecLevel::Ope.strength() > SecLevel::Plain.strength());
+        assert_eq!(SecLevel::Rnd.strength(), SecLevel::Hom.strength());
+    }
+
+    #[test]
+    fn high_class() {
+        assert!(SecLevel::Rnd.is_high());
+        assert!(SecLevel::Hom.is_high());
+        assert!(!SecLevel::Det.is_high());
+        assert!(!SecLevel::Ope.is_high());
+    }
+}

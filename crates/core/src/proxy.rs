@@ -1,0 +1,554 @@
+//! The CryptDB proxy: rewriting, adjustable encryption, result decryption.
+//!
+//! Query processing follows the paper's four steps (§3): (1) intercept and
+//! rewrite — anonymise names, encrypt constants; (2) adjust onion layers
+//! server-side via UDFs when a new computation class appears (§3.2);
+//! (3) execute standard SQL on the DBMS; (4) decrypt results.
+
+use crate::colcrypt::{
+    self, decrypt_add, decrypt_eq, decrypt_ord, encrypt_add_constant, encrypt_eq_constant,
+    encrypt_ord_constant, ColumnKeys, EncryptedCell, OnionSet,
+};
+use crate::error::ProxyError;
+use crate::multiprincipal::{MultiPrincipal, Principal};
+use crate::onion::{EqLevel, OpClass, OrdLevel, SecLevel};
+use crate::schema::{ColumnState, EncSchema, TableState};
+use crate::udfs::register_udfs;
+use cryptdb_bignum::Ubig;
+use cryptdb_crypto::prf::{derive_key, Key};
+use cryptdb_crypto::rng::Drbg;
+use cryptdb_ecgroup::JoinAdj;
+use cryptdb_engine::{Engine, QueryResult, Value};
+use cryptdb_paillier::PaillierPrivate;
+use cryptdb_sqlparser::{
+    parse, BinOp, ColumnDef, ColumnRef, ColumnType, CreateTable, Delete, Expr, Insert,
+    Literal, OrderBy, Select, SelectItem, SpeakerRef, Stmt, TableRef, Update,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Proxy operating mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProxyMode {
+    /// Full CryptDB: encrypt, rewrite, adjust, decrypt.
+    CryptDb,
+    /// Parse-and-forward ("MySQL+proxy" in Fig. 14): measures the proxy
+    /// path without encryption.
+    Passthrough,
+}
+
+/// Which columns get encrypted.
+#[derive(Clone, Debug)]
+pub enum EncryptionPolicy {
+    /// Encrypt every column (single-principal TPC-C, §8).
+    All,
+    /// Encrypt only `ENC FOR`-annotated columns (multi-principal apps).
+    AnnotatedOnly,
+    /// Encrypt annotated columns plus an explicit sensitive set:
+    /// table (lowercase) → column names (lowercase).
+    Explicit(HashMap<String, Vec<String>>),
+}
+
+/// Proxy construction knobs.
+#[derive(Clone, Debug)]
+pub struct ProxyConfig {
+    pub mode: ProxyMode,
+    pub policy: EncryptionPolicy,
+    /// Paillier modulus bits (the paper uses 1024 → 2048-bit ciphertexts).
+    pub paillier_bits: usize,
+    /// §3.5.1 in-proxy processing: sort un-LIMITed ORDER BY at the proxy
+    /// instead of exposing OPE.
+    pub in_proxy_processing: bool,
+    /// §3.5.2 ciphertext pre-computing (HOM) and caching (OPE).
+    pub precompute: bool,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            mode: ProxyMode::CryptDb,
+            policy: EncryptionPolicy::All,
+            paillier_bits: 1024,
+            in_proxy_processing: true,
+            precompute: true,
+        }
+    }
+}
+
+/// The CryptDB database proxy.
+///
+/// # Examples
+///
+/// ```
+/// use cryptdb_core::proxy::{Proxy, ProxyConfig};
+/// use cryptdb_engine::{Engine, Value};
+/// use std::sync::Arc;
+///
+/// let engine = Arc::new(Engine::new());
+/// let mut cfg = ProxyConfig::default();
+/// cfg.paillier_bits = 256; // Small key for a fast doctest.
+/// let proxy = Proxy::new(engine, [7u8; 32], cfg);
+/// proxy.execute("CREATE TABLE emp (id int, name text)").unwrap();
+/// proxy.execute("INSERT INTO emp (id, name) VALUES (1, 'alice')").unwrap();
+/// let r = proxy.execute("SELECT name FROM emp WHERE id = 1").unwrap();
+/// assert_eq!(r.rows()[0][0], Value::Str("alice".into()));
+/// ```
+pub struct Proxy {
+    engine: Arc<Engine>,
+    config: ProxyConfig,
+    mk: Key,
+    schema: RwLock<EncSchema>,
+    paillier: PaillierPrivate,
+    joinadj: JoinAdj,
+    key_cache: RwLock<HashMap<(String, String, Key), Arc<ColumnKeys>>>,
+    hom_pool: Mutex<VecDeque<Ubig>>,
+    ope_memo: Mutex<HashMap<(String, String, u64), u128>>,
+    eq_memo: Mutex<HashMap<EqMemoKey, Value>>,
+    mp: Mutex<MultiPrincipal>,
+}
+
+/// Cache key for equality-constant encryptions: the column plus the
+/// current JOIN-ADJ key owner (re-keying a column naturally invalidates
+/// its cached constants).
+type EqMemoKey = (String, String, String, String, Value);
+
+impl Proxy {
+    /// Creates a proxy in front of `engine` with master key `mk`.
+    pub fn new(engine: Arc<Engine>, mk: Key, config: ProxyConfig) -> Self {
+        // Deterministic Paillier key from the master key: the whole
+        // encrypted database is reconstructible from MK alone.
+        let mut kdf_rng = Drbg::from_seed(&derive_key(&mk, &["paillier", "keygen"]));
+        let paillier = PaillierPrivate::keygen(&mut kdf_rng, config.paillier_bits);
+        register_udfs(&engine, paillier.public().clone());
+        let mp = MultiPrincipal::new(&engine);
+        let joinadj = JoinAdj::new(derive_key(&mk, &["joinadj", "k0"]));
+        Proxy {
+            engine,
+            config,
+            mk,
+            schema: RwLock::new(EncSchema::new()),
+            paillier,
+            joinadj,
+            key_cache: RwLock::new(HashMap::new()),
+            hom_pool: Mutex::new(VecDeque::new()),
+            ope_memo: Mutex::new(HashMap::new()),
+            eq_memo: Mutex::new(HashMap::new()),
+            mp: Mutex::new(mp),
+        }
+    }
+
+    /// The underlying DBMS (what an adversary at the server sees).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The proxy configuration.
+    pub fn config(&self) -> &ProxyConfig {
+        &self.config
+    }
+
+    /// Read access to the proxy's secret schema state (for reports).
+    pub fn with_schema<R>(&self, f: impl FnOnce(&EncSchema) -> R) -> R {
+        f(&self.schema.read())
+    }
+
+    /// Registers a named SQL predicate for `SPEAKS FOR ... IF name(...)`
+    /// annotations (e.g. HotCRP's NoConflict). `$1`, `$2`, ... in the
+    /// template are replaced by the annotation's argument values.
+    pub fn register_predicate(&self, name: &str, sql_template: &str) {
+        self.mp.lock().register_predicate(name, sql_template);
+    }
+
+    /// Sets the §3.5.1 minimum onion layer for a column.
+    pub fn set_min_level(&self, table: &str, column: &str, level: SecLevel) -> Result<(), ProxyError> {
+        let mut schema = self.schema.write();
+        let t = schema.table_mut(table)?;
+        let c = t
+            .column_mut(column)
+            .ok_or_else(|| ProxyError::Schema(format!("unknown column {column}")))?;
+        c.min_level = Some(level);
+        Ok(())
+    }
+
+    /// Declares a range-join group: the named columns share an OPE key so
+    /// order joins between them work (§3.4 OPE-JOIN; see DESIGN.md).
+    /// Must be called before data is inserted into these columns.
+    pub fn declare_range_join_group(
+        &self,
+        group: &str,
+        members: &[(&str, &str)],
+    ) -> Result<(), ProxyError> {
+        let mut schema = self.schema.write();
+        for (t, c) in members {
+            let table = schema.table_mut(t)?;
+            let col = table
+                .column_mut(c)
+                .ok_or_else(|| ProxyError::Schema(format!("unknown column {c}")))?;
+            col.ope_group = Some(group.to_string());
+        }
+        Ok(())
+    }
+
+    /// §3.5.2 "discard onion layers that are not needed": drops the
+    /// adjustable JOIN layer from every *empty* sensitive column whose
+    /// join transitivity group is still a singleton (i.e. the trained
+    /// query set never joins it). Inserts then skip the elliptic-curve
+    /// JOIN-ADJ tag entirely. Returns the number of columns affected.
+    pub fn discard_unused_join_layers(&self) -> usize {
+        let mut schema = self.schema.write();
+        let mut targets = Vec::new();
+        for t in schema.tables() {
+            let empty = self
+                .engine
+                .with_table(&t.anon, |tab| tab.row_count() == 0)
+                .unwrap_or(false);
+            if !empty {
+                continue;
+            }
+            for c in &t.columns {
+                if c.sensitive
+                    && c.has_jtag
+                    && c.onions.eq
+                    && schema.join_group_members(&c.join_owner).len() <= 1
+                {
+                    targets.push((t.name.to_lowercase(), c.name.clone()));
+                }
+            }
+        }
+        let n = targets.len();
+        for (t, c) in targets {
+            if let Ok(table) = schema.table_mut(&t) {
+                if let Some(col) = table.column_mut(&c) {
+                    col.has_jtag = false;
+                }
+            }
+        }
+        n
+    }
+
+    /// Pre-computes `n` Paillier blinding factors (§3.5.2), removing HOM
+    /// encryption from the critical path.
+    pub fn precompute_hom(&self, n: usize) {
+        let mut rng = rand::thread_rng();
+        let mut pool = self.hom_pool.lock();
+        for _ in 0..n {
+            pool.push_back(self.paillier.precompute_blinding(&mut rng));
+        }
+    }
+
+    /// Logs a user in (equivalent to
+    /// `INSERT INTO cryptdb_active (username, password) VALUES (...)`).
+    pub fn login(&self, username: &str, password: &str) -> Result<(), ProxyError> {
+        let mut rng = rand::thread_rng();
+        self.mp.lock().login(&self.engine, username, password, &mut rng)
+    }
+
+    /// Logs a user out (equivalent to `DELETE FROM cryptdb_active ...`).
+    pub fn logout(&self, username: &str) {
+        self.mp.lock().logout(username);
+    }
+
+    /// Parses and executes a string of statements, returning the last
+    /// result.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult, ProxyError> {
+        let stmts = parse(sql)?;
+        let mut last = QueryResult::Ok;
+        for stmt in &stmts {
+            last = self.execute_stmt(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute_stmt(&self, stmt: &Stmt) -> Result<QueryResult, ProxyError> {
+        // cryptdb_active interception happens in every mode (§4.2) — the
+        // password must never reach the DBMS.
+        if let Some(r) = self.try_intercept_active(stmt)? {
+            return Ok(r);
+        }
+        if self.config.mode == ProxyMode::Passthrough {
+            return Ok(self.engine.execute(stmt)?);
+        }
+        match stmt {
+            Stmt::PrincType { names, external } => {
+                self.mp.lock().register_types(names, *external);
+                Ok(QueryResult::Ok)
+            }
+            Stmt::CreateTable(ct) => self.create_table(ct),
+            Stmt::CreateIndex { table, column } => self.create_index(table, column),
+            Stmt::DropTable { name } => {
+                let anon = {
+                    let mut schema = self.schema.write();
+                    let t = schema
+                        .remove(name)
+                        .ok_or_else(|| ProxyError::Schema(format!("unknown table {name}")))?;
+                    t.anon
+                };
+                Ok(self.engine.execute(&Stmt::DropTable { name: anon })?)
+            }
+            Stmt::Insert(ins) => self.insert(ins),
+            Stmt::Select(sel) => self.select(sel),
+            Stmt::Update(upd) => self.update(upd),
+            Stmt::Delete(del) => self.delete(del),
+            Stmt::Begin | Stmt::Commit | Stmt::Rollback => Ok(self.engine.execute(stmt)?),
+        }
+    }
+
+    fn try_intercept_active(&self, stmt: &Stmt) -> Result<Option<QueryResult>, ProxyError> {
+        match stmt {
+            Stmt::Insert(ins) if ins.table.eq_ignore_ascii_case("cryptdb_active") => {
+                for row in &ins.rows {
+                    let mut user = None;
+                    let mut pass = None;
+                    for (c, e) in ins.columns.iter().zip(row) {
+                        let v = const_fold(e)?;
+                        if c.eq_ignore_ascii_case("username") {
+                            user = v.as_str().map(str::to_string);
+                        } else if c.eq_ignore_ascii_case("password") {
+                            pass = v.as_str().map(str::to_string);
+                        }
+                    }
+                    let (Some(u), Some(p)) = (user, pass) else {
+                        return Err(ProxyError::Schema(
+                            "cryptdb_active needs (username, password)".into(),
+                        ));
+                    };
+                    self.login(&u, &p)?;
+                }
+                Ok(Some(QueryResult::Ok))
+            }
+            Stmt::Delete(del) if del.table.eq_ignore_ascii_case("cryptdb_active") => {
+                let Some(sel) = &del.selection else {
+                    return Err(ProxyError::Schema(
+                        "DELETE FROM cryptdb_active needs WHERE username = ...".into(),
+                    ));
+                };
+                let Some(Value::Str(user)) = extract_eq_const(sel, "username") else {
+                    return Err(ProxyError::Schema(
+                        "DELETE FROM cryptdb_active needs WHERE username = ...".into(),
+                    ));
+                };
+                self.logout(&user);
+                Ok(Some(QueryResult::Ok))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // ---- key & crypto helpers ----
+
+    fn col_keys(&self, table: &str, column: &str, root: &Key, ope_group: Option<&str>) -> Arc<ColumnKeys> {
+        let cache_key = (table.to_lowercase(), column.to_lowercase(), *root);
+        if let Some(k) = self.key_cache.read().get(&cache_key) {
+            return k.clone();
+        }
+        let keys = Arc::new(ColumnKeys::derive(
+            root,
+            &cache_key.0,
+            &cache_key.1,
+            ope_group,
+        ));
+        self.key_cache
+            .write()
+            .insert(cache_key, keys.clone());
+        keys
+    }
+
+    fn master_col_keys(&self, col: &ColumnState, table: &str) -> Arc<ColumnKeys> {
+        self.col_keys(table, &col.name, &self.mk, col.ope_group.as_deref())
+    }
+
+    fn take_blinding(&self) -> Option<Ubig> {
+        if !self.config.precompute {
+            return None;
+        }
+        self.hom_pool.lock().pop_front()
+    }
+
+    /// OPE with the §3.5.2 cache.
+    fn ope_encrypt_cached(
+        &self,
+        table: &str,
+        column: &str,
+        keys: &ColumnKeys,
+        v: &Value,
+    ) -> Result<Value, ProxyError> {
+        if !self.config.precompute {
+            return encrypt_ord_constant(keys, v);
+        }
+        let Value::Int(i) = v else {
+            return encrypt_ord_constant(keys, v);
+        };
+        let memo_key = (
+            table.to_lowercase(),
+            column.to_lowercase(),
+            cryptdb_ope::Ope::encode_i64(*i),
+        );
+        if let Some(c) = self.ope_memo.lock().get(&memo_key) {
+            return Ok(Value::Bytes(c.to_be_bytes().to_vec()));
+        }
+        let out = encrypt_ord_constant(keys, v)?;
+        if let Value::Bytes(b) = &out {
+            let arr: [u8; 16] = b[..].try_into().expect("OPE is 16 bytes");
+            self.ope_memo
+                .lock()
+                .insert(memo_key, u128::from_be_bytes(arr));
+        }
+        Ok(out)
+    }
+
+    fn encrypt_cell_for(
+        &self,
+        table: &str,
+        col: &ColumnState,
+        root: &Key,
+        join_owner_keys: &ColumnKeys,
+        v: &Value,
+    ) -> Result<EncryptedCell, ProxyError> {
+        let keys = self.col_keys(table, &col.name, root, col.ope_group.as_deref());
+        let mut rng = rand::thread_rng();
+        let blinding = self.take_blinding();
+        let mut onions = col.onions;
+        let mut cell = colcrypt::encrypt_cell(
+            &keys,
+            &self.joinadj,
+            &join_owner_keys.join,
+            &self.paillier,
+            blinding.as_ref(),
+            v,
+            col.ty,
+            &{
+                // Leave the Ord onion for the cached path below.
+                onions.ord = false;
+                onions
+            },
+            (col.eq_level, col.ord_level),
+            col.has_jtag,
+            &mut rng,
+        )?;
+        if col.onions.ord {
+            let ope = if v.is_null() {
+                Value::Null
+            } else {
+                let ope_plain = self.ope_encrypt_cached(table, &col.name, &keys, v)?;
+                match col.ord_level {
+                    OrdLevel::Ope => ope_plain,
+                    OrdLevel::Rnd => {
+                        let iv = cell
+                            .iv
+                            .as_ref()
+                            .and_then(Value::as_bytes)
+                            .ok_or_else(|| ProxyError::Crypto("missing IV".into()))?;
+                        let Value::Bytes(pt) = ope_plain else {
+                            return Err(ProxyError::Crypto("OPE output must be bytes".into()));
+                        };
+                        Value::Bytes(keys.wrap_ord_rnd(iv, &pt))
+                    }
+                }
+            };
+            cell.ord = Some(ope);
+        }
+        Ok(cell)
+    }
+}
+
+// ---- small expression utilities ----
+
+/// Folds a constant expression to a value (literals, arithmetic, unary
+/// minus). Errors on column references.
+pub(crate) fn const_fold(e: &Expr) -> Result<Value, ProxyError> {
+    match e {
+        Expr::Literal(l) => Ok(match l {
+            Literal::Int(v) => Value::Int(*v),
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Bytes(b) => Value::Bytes(b.clone()),
+            Literal::Null => Value::Null,
+        }),
+        Expr::Neg(inner) => match const_fold(inner)? {
+            Value::Int(v) => Ok(Value::Int(-v)),
+            _ => Err(ProxyError::NeedsPlaintext("negation of non-integer".into())),
+        },
+        Expr::Binary { op, left, right } if op.is_arithmetic() => {
+            let (Value::Int(a), Value::Int(b)) = (const_fold(left)?, const_fold(right)?) else {
+                return Err(ProxyError::NeedsPlaintext(
+                    "constant arithmetic on non-integers".into(),
+                ));
+            };
+            Ok(Value::Int(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(ProxyError::NeedsPlaintext("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err(ProxyError::NeedsPlaintext("mod by zero".into()));
+                    }
+                    a % b
+                }
+                _ => unreachable!("arithmetic checked"),
+            }))
+        }
+        other => Err(ProxyError::NeedsPlaintext(format!(
+            "expected a constant, found {other}"
+        ))),
+    }
+}
+
+fn value_to_literal(v: Value) -> Expr {
+    Expr::Literal(match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(i),
+        Value::Str(s) => Literal::Str(s),
+        Value::Bytes(b) => Literal::Bytes(b),
+    })
+}
+
+/// Finds a `col = const` conjunct for `col` in a predicate.
+pub(crate) fn extract_eq_const(e: &Expr, col: &str) -> Option<Value> {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => extract_eq_const(left, col).or_else(|| extract_eq_const(right, col)),
+        Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } => {
+            let (c, lit) = match (&**left, &**right) {
+                (Expr::Column(c), other) => (c, other),
+                (other, Expr::Column(c)) => (c, other),
+                _ => return None,
+            };
+            if c.column.eq_ignore_ascii_case(col) {
+                const_fold(lit).ok()
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// A LIKE pattern the SEARCH onion can serve: `%word%`, `% word %`, or a
+/// bare word. Returns the word, or `None` when the pattern needs plaintext.
+pub(crate) fn like_pattern_word(pattern: &str) -> Option<String> {
+    let trimmed = pattern.trim_matches('%').trim();
+    if trimmed.is_empty() || trimmed.contains('%') || trimmed.contains('_') {
+        return None;
+    }
+    // Multiple words cannot be matched by single-word SEARCH tokens.
+    if trimmed.split_whitespace().count() != 1 {
+        return None;
+    }
+    Some(trimmed.to_string())
+}
+
+mod rewrite;

@@ -1,0 +1,701 @@
+//! INSERT / UPDATE / DELETE rewriting and SPEAKS-FOR maintenance hooks.
+
+use super::*;
+
+type RowMap = HashMap<String, Value>;
+
+impl Proxy {
+    pub(crate) fn insert(&self, ins: &Insert) -> Result<QueryResult, ProxyError> {
+        // Snapshot the table state and allocate rids.
+        let (tstate, rid_start) = {
+            let mut schema = self.schema.write();
+            let t = schema.table_mut(&ins.table)?;
+            let start = t.next_rid;
+            t.next_rid += ins.rows.len() as i64;
+            (t.clone(), start)
+        };
+        let columns: Vec<String> = if ins.columns.is_empty() {
+            tstate.columns.iter().map(|c| c.name.clone()).collect()
+        } else {
+            ins.columns.clone()
+        };
+        // Anonymised column list (same for every row).
+        let mut anon_cols: Vec<String> = vec!["rid".into()];
+        for cname in &columns {
+            let col = tstate
+                .column(cname)
+                .ok_or_else(|| ProxyError::Schema(format!("unknown column {cname}")))?;
+            if !col.sensitive {
+                anon_cols.push(col.anon.clone());
+                continue;
+            }
+            anon_cols.push(col.anon_iv());
+            if col.onions.eq {
+                anon_cols.push(col.anon_eq());
+            }
+            if col.onions.ord {
+                anon_cols.push(col.anon_ord());
+            }
+            if col.onions.add {
+                anon_cols.push(col.anon_add());
+            }
+            if col.onions.search {
+                anon_cols.push(col.anon_srch());
+            }
+        }
+
+        let mut anon_rows = Vec::with_capacity(ins.rows.len());
+        let mut row_maps: Vec<RowMap> = Vec::with_capacity(ins.rows.len());
+        for row in &ins.rows {
+            if row.len() != columns.len() {
+                return Err(ProxyError::Schema(format!(
+                    "INSERT arity mismatch: {} columns, {} values",
+                    columns.len(),
+                    row.len()
+                )));
+            }
+            let mut map: RowMap = HashMap::new();
+            for (c, e) in columns.iter().zip(row) {
+                map.insert(c.to_lowercase(), const_fold(e)?);
+            }
+            let mut out: Vec<Expr> = vec![Expr::int(rid_start + anon_rows.len() as i64)];
+            for cname in &columns {
+                let col = tstate.column(cname).expect("validated above");
+                let v = map[&cname.to_lowercase()].clone();
+                if !col.sensitive {
+                    out.push(value_to_literal(v));
+                    continue;
+                }
+                let root = self.root_key_for(&tstate, col, &map)?;
+                let owner_keys = self.owner_keys_for(col, &root)?;
+                let cell =
+                    self.encrypt_cell_for(&tstate.name.to_lowercase(), col, &root, &owner_keys, &v)?;
+                out.push(value_to_literal(cell.iv.unwrap_or(Value::Null)));
+                if col.onions.eq {
+                    out.push(value_to_literal(cell.eq.unwrap_or(Value::Null)));
+                }
+                if col.onions.ord {
+                    out.push(value_to_literal(cell.ord.unwrap_or(Value::Null)));
+                }
+                if col.onions.add {
+                    out.push(value_to_literal(cell.add.unwrap_or(Value::Null)));
+                }
+                if col.onions.search {
+                    out.push(value_to_literal(cell.srch.unwrap_or(Value::Null)));
+                }
+            }
+            anon_rows.push(out);
+            row_maps.push(map);
+        }
+
+        let n = anon_rows.len();
+        self.engine.execute(&Stmt::Insert(Insert {
+            table: tstate.anon.clone(),
+            columns: anon_cols,
+            rows: anon_rows,
+        }))?;
+
+        // §4: maintain key chains for SPEAKS-FOR annotations.
+        self.run_insert_hooks(&tstate, &row_maps)?;
+        Ok(QueryResult::Affected(n))
+    }
+
+    /// The root key for a column: the master key, or the `ENC FOR`
+    /// principal's key (creating the principal on first reference).
+    fn root_key_for(
+        &self,
+        tstate: &TableState,
+        col: &ColumnState,
+        row: &RowMap,
+    ) -> Result<Key, ProxyError> {
+        let Some(ef) = &col.enc_for else {
+            return Ok(self.mk);
+        };
+        let id_val = row.get(&ef.key_column.to_lowercase()).ok_or_else(|| {
+            ProxyError::Schema(format!(
+                "INSERT into {} must include ENC FOR key column {}",
+                tstate.name, ef.key_column
+            ))
+        })?;
+        let principal: Principal = (ef.princ_type.to_lowercase(), value_id_string(id_val));
+        let mut mp = self.mp.lock();
+        let mut rng = rand::thread_rng();
+        if !mp.principal_exists(&self.engine, &principal) {
+            return mp.create_principal(&self.engine, &principal, &mut rng);
+        }
+        mp.resolve_key(&self.engine, &principal).ok_or_else(|| {
+            ProxyError::KeyUnavailable(format!(
+                "no logged-in user can reach principal ({}, {})",
+                principal.0, principal.1
+            ))
+        })
+    }
+
+    /// The column keys whose JOIN-ADJ key currently keys this column.
+    /// Takes its own (brief) schema read lock — callers must NOT already
+    /// hold one: parking_lot read locks are not reentrant, and a queued
+    /// writer between the two acquisitions deadlocks.
+    fn owner_keys_for(&self, col: &ColumnState, root: &Key) -> Result<Arc<ColumnKeys>, ProxyError> {
+        let schema = self.schema.read();
+        self.owner_keys_in(&schema, col, root)
+    }
+
+    /// Like [`Self::owner_keys_for`] but uses an already-held schema guard.
+    fn owner_keys_in(
+        &self,
+        schema: &EncSchema,
+        col: &ColumnState,
+        root: &Key,
+    ) -> Result<Arc<ColumnKeys>, ProxyError> {
+        if col.enc_for.is_some() {
+            // Per-principal columns never join; their own keys apply.
+            return Ok(self.col_keys(&col.table, &col.name, root, None));
+        }
+        let owner = &col.join_owner;
+        let owner_col = locked_col(schema, &owner.0, &owner.1)?;
+        Ok(self.col_keys(&owner_col.table, &owner_col.name, &self.mk, None))
+    }
+
+    // ---- SPEAKS-FOR hooks ----
+
+    fn run_insert_hooks(&self, tstate: &TableState, rows: &[RowMap]) -> Result<(), ProxyError> {
+        // Annotations on this table.
+        for ann in tstate.speaks_for.clone() {
+            for row in rows {
+                self.apply_annotation(&tstate.name, &ann, row, true)?;
+            }
+        }
+        // Annotations on other tables whose speaker is `T2.col` with
+        // T2 = this table (e.g. a new PCMember gains access to reviews).
+        let foreign: Vec<(String, cryptdb_sqlparser::SpeaksFor)> = self.with_schema(|s| {
+            s.tables()
+                .flat_map(|t| {
+                    t.speaks_for
+                        .iter()
+                        .filter(|ann| {
+                            matches!(&ann.speaker, SpeakerRef::ForeignColumn { table, .. }
+                                if table.eq_ignore_ascii_case(&tstate.name))
+                        })
+                        .map(|ann| (t.name.clone(), ann.clone()))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        });
+        for (annotated_table, ann) in foreign {
+            let SpeakerRef::ForeignColumn { column: fcol, .. } = &ann.speaker else {
+                continue;
+            };
+            // New speaker instances from the inserted rows.
+            let speaker_ids: Vec<String> = rows
+                .iter()
+                .filter_map(|r| r.get(&fcol.to_lowercase()).map(value_id_string))
+                .collect();
+            if speaker_ids.is_empty() {
+                continue;
+            }
+            // Existing object rows in the annotated table.
+            let obj_rows = self.table_row_maps(&annotated_table, None)?;
+            let mut rng = rand::thread_rng();
+            for obj_row in &obj_rows {
+                let Some(obj_id) = obj_row.get(&ann.object_column.to_lowercase()) else {
+                    continue;
+                };
+                let object: Principal =
+                    (ann.object_type.to_lowercase(), value_id_string(obj_id));
+                for sid in &speaker_ids {
+                    let speaker: Principal = (ann.speaker_type.to_lowercase(), sid.clone());
+                    if !self.eval_ann_condition(
+                        &ann.condition,
+                        obj_row,
+                        &[(fcol.to_lowercase(), Value::Str(sid.clone()))],
+                    )? {
+                        continue;
+                    }
+                    // Best effort: only delegable if we can reach the key.
+                    let object_key = { self.mp.lock().resolve_key(&self.engine, &object) };
+                    if let Some(key) = object_key {
+                        self.mp
+                            .lock()
+                            .add_edge(&self.engine, &speaker, &object, &key, &mut rng)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_annotation(
+        &self,
+        table: &str,
+        ann: &cryptdb_sqlparser::SpeaksFor,
+        row: &RowMap,
+        create_missing_object: bool,
+    ) -> Result<(), ProxyError> {
+        let Some(obj_id) = row.get(&ann.object_column.to_lowercase()) else {
+            return Err(ProxyError::Schema(format!(
+                "INSERT into {table} must include SPEAKS FOR object column {}",
+                ann.object_column
+            )));
+        };
+        let object: Principal = (ann.object_type.to_lowercase(), value_id_string(obj_id));
+        let speakers: Vec<(Principal, Vec<(String, Value)>)> = match &ann.speaker {
+            SpeakerRef::Column(c) => {
+                let Some(v) = row.get(&c.to_lowercase()) else {
+                    return Ok(());
+                };
+                vec![(
+                    (ann.speaker_type.to_lowercase(), value_id_string(v)),
+                    Vec::new(),
+                )]
+            }
+            SpeakerRef::Const(s) => vec![(
+                (ann.speaker_type.to_lowercase(), s.clone()),
+                Vec::new(),
+            )],
+            SpeakerRef::ForeignColumn { table: t2, column: c2 } => {
+                let maps = self.table_row_maps(t2, None)?;
+                maps.iter()
+                    .filter_map(|m| m.get(&c2.to_lowercase()))
+                    .map(|v| {
+                        (
+                            (ann.speaker_type.to_lowercase(), value_id_string(v)),
+                            vec![(c2.to_lowercase(), v.clone())],
+                        )
+                    })
+                    .collect()
+            }
+        };
+        let mut rng = rand::thread_rng();
+        for (speaker, extra) in speakers {
+            if !self.eval_ann_condition(&ann.condition, row, &extra)? {
+                continue;
+            }
+            let object_key = {
+                let mut mp = self.mp.lock();
+                if !mp.principal_exists(&self.engine, &object) {
+                    if !create_missing_object {
+                        continue;
+                    }
+                    Some(mp.create_principal(&self.engine, &object, &mut rng)?)
+                } else {
+                    mp.resolve_key(&self.engine, &object)
+                }
+            };
+            let Some(key) = object_key else {
+                return Err(ProxyError::KeyUnavailable(format!(
+                    "cannot delegate ({}, {}): no authority over its key \
+                     (no authorised user logged in)",
+                    object.0, object.1
+                )));
+            };
+            self.mp
+                .lock()
+                .add_edge(&self.engine, &speaker, &object, &key, &mut rng)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates a SPEAKS-FOR `IF` condition against a row (plus extra
+    /// bindings for foreign speaker columns). Named predicates run their
+    /// registered SQL template through the proxy itself.
+    fn eval_ann_condition(
+        &self,
+        cond: &Option<Expr>,
+        row: &RowMap,
+        extra: &[(String, Value)],
+    ) -> Result<bool, ProxyError> {
+        let Some(cond) = cond else { return Ok(true) };
+        self.eval_cond_expr(cond, row, extra)
+    }
+
+    fn lookup_binding(&self, name: &str, row: &RowMap, extra: &[(String, Value)]) -> Option<Value> {
+        let lower = name.to_lowercase();
+        extra
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.clone())
+            .or_else(|| row.get(&lower).cloned())
+    }
+
+    fn eval_cond_expr(
+        &self,
+        e: &Expr,
+        row: &RowMap,
+        extra: &[(String, Value)],
+    ) -> Result<bool, ProxyError> {
+        match e {
+            Expr::Binary { op: BinOp::And, left, right } => Ok(self
+                .eval_cond_expr(left, row, extra)?
+                && self.eval_cond_expr(right, row, extra)?),
+            Expr::Binary { op: BinOp::Or, left, right } => Ok(self
+                .eval_cond_expr(left, row, extra)?
+                || self.eval_cond_expr(right, row, extra)?),
+            Expr::Not(inner) => Ok(!self.eval_cond_expr(inner, row, extra)?),
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                let val = |side: &Expr| -> Result<Value, ProxyError> {
+                    match side {
+                        Expr::Column(c) => {
+                            self.lookup_binding(&c.column, row, extra).ok_or_else(|| {
+                                ProxyError::Schema(format!(
+                                    "SPEAKS FOR condition references unknown column {c}"
+                                ))
+                            })
+                        }
+                        other => const_fold(other),
+                    }
+                };
+                let l = val(left)?;
+                let r = val(right)?;
+                // Compare ids loosely: ints and their string forms match.
+                let ord = l.sql_cmp(&r).or_else(|| {
+                    value_id_string(&l)
+                        .partial_cmp(&value_id_string(&r))
+                });
+                Ok(match ord {
+                    None => false,
+                    Some(o) => match op {
+                        BinOp::Eq => o.is_eq(),
+                        BinOp::NotEq => !o.is_eq(),
+                        BinOp::Lt => o.is_lt(),
+                        BinOp::LtEq => o.is_le(),
+                        BinOp::Gt => o.is_gt(),
+                        BinOp::GtEq => o.is_ge(),
+                        _ => false,
+                    },
+                })
+            }
+            Expr::Func { name, args, .. } => {
+                let template = {
+                    let mp = self.mp.lock();
+                    mp.predicate(name).cloned()
+                }
+                .ok_or_else(|| {
+                    ProxyError::Schema(format!(
+                        "SPEAKS FOR condition uses unregistered predicate {name} \
+                         (register it with Proxy::register_predicate)"
+                    ))
+                })?;
+                let mut sql = template;
+                for (i, arg) in args.iter().enumerate() {
+                    let v = match arg {
+                        Expr::Column(c) => {
+                            self.lookup_binding(&c.column, row, extra).ok_or_else(|| {
+                                ProxyError::Schema(format!(
+                                    "predicate {name} argument {c} not bound"
+                                ))
+                            })?
+                        }
+                        other => const_fold(other)?,
+                    };
+                    let lit = match v {
+                        Value::Int(x) => x.to_string(),
+                        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+                        Value::Null => "NULL".into(),
+                        Value::Bytes(b) => format!(
+                            "x'{}'",
+                            b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+                        ),
+                    };
+                    sql = sql.replace(&format!("${}", i + 1), &lit);
+                }
+                let r = self.execute(&sql)?;
+                Ok(r.scalar().map(|v| v.is_truthy()).unwrap_or(false))
+            }
+            other => Err(ProxyError::Schema(format!(
+                "unsupported SPEAKS FOR condition: {other}"
+            ))),
+        }
+    }
+
+    /// Reads a whole table (or a filtered subset) through the proxy,
+    /// returning lowercase-named row maps.
+    fn table_row_maps(
+        &self,
+        table: &str,
+        selection: Option<Expr>,
+    ) -> Result<Vec<RowMap>, ProxyError> {
+        let sel = Select {
+            projections: vec![SelectItem::Wildcard],
+            from: vec![TableRef {
+                name: table.to_string(),
+                alias: None,
+            }],
+            selection,
+            ..Default::default()
+        };
+        let r = self.select(&sel)?;
+        let QueryResult::Rows { columns, rows } = r else {
+            return Ok(Vec::new());
+        };
+        Ok(rows
+            .into_iter()
+            .map(|row| {
+                columns
+                    .iter()
+                    .map(|c| c.to_lowercase())
+                    .zip(row)
+                    .collect::<RowMap>()
+            })
+            .collect())
+    }
+
+    // ---- UPDATE ----
+
+    pub(crate) fn update(&self, upd: &Update) -> Result<QueryResult, ProxyError> {
+        // Analyse the WHERE clause plus the set expressions.
+        let reqs = {
+            let schema = self.schema.read();
+            let resolver = Resolver::for_table(&schema, &upd.table)?;
+            let mut reqs = Vec::new();
+            if let Some(w) = &upd.selection {
+                self.analyze_pred(&schema, &resolver, w, &mut reqs)?;
+            }
+            reqs
+        };
+        self.apply_adjustments(&reqs)?;
+
+        let (stmt, stale_cols) = {
+            let schema = self.schema.read();
+            let resolver = Resolver::for_table(&schema, &upd.table)?;
+            let rw = SelectRw {
+                proxy: self,
+                schema: &schema,
+                resolver: &resolver,
+                qualify: false,
+                vis_items: Vec::new(),
+                vis_slots: Vec::new(),
+                vis_cols: Vec::new(),
+                names: Vec::new(),
+                hid_items: Vec::new(),
+                hid_slots: Vec::new(),
+            };
+            let tstate = schema.table(&upd.table)?;
+            let selection = upd.selection.as_ref().map(|w| rw.rw_pred(w)).transpose()?;
+            let mut sets: Vec<(String, Expr)> = Vec::new();
+            let mut stale_cols: Vec<String> = Vec::new();
+            for (cname, expr) in &upd.sets {
+                let col = tstate
+                    .column(cname)
+                    .ok_or_else(|| ProxyError::Schema(format!("unknown column {cname}")))?;
+                if !col.sensitive {
+                    sets.push((col.anon.clone(), rw.map_plain_expr(expr)?));
+                    continue;
+                }
+                if let Some(delta) = increment_of(expr, cname) {
+                    // §3.3: increments run on the Add onion via HOM; the
+                    // other onions become stale.
+                    if !col.onions.add {
+                        return Err(ProxyError::NeedsPlaintext(format!(
+                            "increment of {cname}, which has no Add onion"
+                        )));
+                    }
+                    let enc = self.encrypt_hom_const(delta);
+                    sets.push((
+                        col.anon_add(),
+                        Expr::Func {
+                            name: "HOM_ADD".into(),
+                            args: vec![Expr::col(col.anon_add()), enc],
+                            star: false,
+                            distinct: false,
+                        },
+                    ));
+                    stale_cols.push(col.name.clone());
+                    continue;
+                }
+                // Plain constant assignment: re-encrypt every onion.
+                let v = const_fold(expr)?;
+                let root = match &col.enc_for {
+                    None => self.mk,
+                    Some(ef) => {
+                        let id = upd
+                            .selection
+                            .as_ref()
+                            .and_then(|w| extract_eq_const(w, &ef.key_column))
+                            .ok_or_else(|| {
+                                ProxyError::PolicyViolation(format!(
+                                    "UPDATE of per-principal column {cname} must pin \
+                                     {} = <const> in WHERE",
+                                    ef.key_column
+                                ))
+                            })?;
+                        let principal: Principal =
+                            (ef.princ_type.to_lowercase(), value_id_string(&id));
+                        self.mp
+                            .lock()
+                            .resolve_key(&self.engine, &principal)
+                            .ok_or_else(|| {
+                                ProxyError::KeyUnavailable(format!(
+                                    "no authority over principal ({}, {})",
+                                    principal.0, principal.1
+                                ))
+                            })?
+                    }
+                };
+                let owner_keys = self.owner_keys_in(&schema, col, &root)?;
+                let cell = self.encrypt_cell_for(
+                    &tstate.name.to_lowercase(),
+                    col,
+                    &root,
+                    &owner_keys,
+                    &v,
+                )?;
+                sets.push((col.anon_iv(), value_to_literal(cell.iv.unwrap_or(Value::Null))));
+                if let Some(x) = cell.eq {
+                    sets.push((col.anon_eq(), value_to_literal(x)));
+                }
+                if let Some(x) = cell.ord {
+                    sets.push((col.anon_ord(), value_to_literal(x)));
+                }
+                if let Some(x) = cell.add {
+                    sets.push((col.anon_add(), value_to_literal(x)));
+                }
+                if let Some(x) = cell.srch {
+                    sets.push((col.anon_srch(), value_to_literal(x)));
+                }
+            }
+            (
+                Stmt::Update(Update {
+                    table: tstate.anon.clone(),
+                    sets,
+                    selection,
+                }),
+                stale_cols,
+            )
+        };
+        let result = self.engine.execute(&stmt)?;
+        if !stale_cols.is_empty() {
+            let mut schema = self.schema.write();
+            for c in stale_cols {
+                locked_col_mut(&mut schema, &upd.table.to_lowercase(), &c)?.stale = true;
+            }
+        }
+        Ok(result)
+    }
+
+    fn encrypt_hom_const(&self, v: i64) -> Expr {
+        match self.take_blinding() {
+            Some(b) => {
+                let ct = self
+                    .paillier
+                    .public()
+                    .encrypt_with_blinding(&self.paillier.public().encode_i64(v), &b);
+                Expr::Literal(Literal::Bytes(
+                    self.paillier.public().ciphertext_to_bytes(&ct),
+                ))
+            }
+            None => {
+                let mut rng = rand::thread_rng();
+                match encrypt_add_constant(&self.paillier, v, &mut rng) {
+                    Value::Bytes(b) => Expr::Literal(Literal::Bytes(b)),
+                    _ => unreachable!("HOM constants are bytes"),
+                }
+            }
+        }
+    }
+
+    // ---- DELETE ----
+
+    pub(crate) fn delete(&self, del: &Delete) -> Result<QueryResult, ProxyError> {
+        // §4.2 revocation: removing a SPEAKS-FOR row removes its edges.
+        let anns = self.with_schema(|s| {
+            s.table(&del.table)
+                .map(|t| t.speaks_for.clone())
+                .unwrap_or_default()
+        });
+        if !anns.is_empty() {
+            let rows = self.table_row_maps(&del.table, del.selection.clone())?;
+            for ann in &anns {
+                for row in &rows {
+                    self.revoke_annotation(ann, row)?;
+                }
+            }
+        }
+        let reqs = {
+            let schema = self.schema.read();
+            let resolver = Resolver::for_table(&schema, &del.table)?;
+            let mut reqs = Vec::new();
+            if let Some(w) = &del.selection {
+                self.analyze_pred(&schema, &resolver, w, &mut reqs)?;
+            }
+            reqs
+        };
+        self.apply_adjustments(&reqs)?;
+        let stmt = {
+            let schema = self.schema.read();
+            let resolver = Resolver::for_table(&schema, &del.table)?;
+            let rw = SelectRw {
+                proxy: self,
+                schema: &schema,
+                resolver: &resolver,
+                qualify: false,
+                vis_items: Vec::new(),
+                vis_slots: Vec::new(),
+                vis_cols: Vec::new(),
+                names: Vec::new(),
+                hid_items: Vec::new(),
+                hid_slots: Vec::new(),
+            };
+            let selection = del.selection.as_ref().map(|w| rw.rw_pred(w)).transpose()?;
+            Stmt::Delete(Delete {
+                table: schema.table(&del.table)?.anon.clone(),
+                selection,
+            })
+        };
+        Ok(self.engine.execute(&stmt)?)
+    }
+
+    fn revoke_annotation(
+        &self,
+        ann: &cryptdb_sqlparser::SpeaksFor,
+        row: &RowMap,
+    ) -> Result<(), ProxyError> {
+        let Some(obj_id) = row.get(&ann.object_column.to_lowercase()) else {
+            return Ok(());
+        };
+        let object: Principal = (ann.object_type.to_lowercase(), value_id_string(obj_id));
+        let speakers: Vec<Principal> = match &ann.speaker {
+            SpeakerRef::Column(c) => row
+                .get(&c.to_lowercase())
+                .map(|v| vec![(ann.speaker_type.to_lowercase(), value_id_string(v))])
+                .unwrap_or_default(),
+            SpeakerRef::Const(s) => vec![(ann.speaker_type.to_lowercase(), s.clone())],
+            SpeakerRef::ForeignColumn { table: t2, column: c2 } => self
+                .table_row_maps(t2, None)?
+                .iter()
+                .filter_map(|m| m.get(&c2.to_lowercase()))
+                .map(|v| (ann.speaker_type.to_lowercase(), value_id_string(v)))
+                .collect(),
+        };
+        let mut mp = self.mp.lock();
+        for sp in speakers {
+            mp.remove_edge(&self.engine, &sp, &object)?;
+        }
+        Ok(())
+    }
+}
+
+/// Detects `col = col ± k`, returning the signed delta.
+fn increment_of(expr: &Expr, col: &str) -> Option<i64> {
+    let Expr::Binary { op, left, right } = expr else {
+        return None;
+    };
+    let (sign, colside, constside) = match op {
+        BinOp::Add => match (&**left, &**right) {
+            (Expr::Column(c), k) => (1i64, c, k),
+            (k, Expr::Column(c)) => (1, c, k),
+            _ => return None,
+        },
+        BinOp::Sub => match (&**left, &**right) {
+            (Expr::Column(c), k) => (-1, c, k),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if !colside.column.eq_ignore_ascii_case(col) {
+        return None;
+    }
+    match const_fold(constside) {
+        Ok(Value::Int(k)) => Some(sign * k),
+        _ => None,
+    }
+}

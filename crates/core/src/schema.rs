@@ -1,0 +1,206 @@
+//! The proxy's secret schema state.
+//!
+//! The proxy stores "the database schema, and the current encryption
+//! layers of all columns", while "the DBMS server sees an anonymized
+//! schema (in which table and column names are replaced by opaque
+//! identifiers)" (§3).
+
+use crate::colcrypt::OnionSet;
+use crate::error::ProxyError;
+use crate::onion::{EqLevel, OrdLevel, SecLevel};
+use cryptdb_sqlparser::{ColumnType, EncFor, SpeaksFor};
+use std::collections::HashMap;
+
+/// Proxy-side state of one column.
+#[derive(Clone, Debug)]
+pub struct ColumnState {
+    pub name: String,
+    /// The column's own table (lowercase) — the stable key-derivation
+    /// path component, unaffected by join re-keying.
+    pub table: String,
+    pub ty: ColumnType,
+    /// Anonymised base name (`c3`); onion columns are `c3_eq`, `c3_ord`,
+    /// `c3_add`, `c3_srch`, and the shared IV `c3_iv`.
+    pub anon: String,
+    /// False = stored in plaintext (§3.5.2 developer annotations).
+    pub sensitive: bool,
+    /// Multi-principal annotation, if any (§4.1 step 2).
+    pub enc_for: Option<EncFor>,
+    pub onions: OnionSet,
+    pub eq_level: EqLevel,
+    pub ord_level: OrdLevel,
+    /// `(table, column)` whose JOIN-ADJ key currently keys this column's
+    /// tags — initially itself; changed by join adjustments (§3.4).
+    pub join_owner: (String, String),
+    /// Set when an increment UPDATE made the Eq/Ord/Search onions stale
+    /// (§3.3, write queries); reads are served from Add until refresh.
+    pub stale: bool,
+    /// Developer's minimum onion layer (§3.5.1).
+    pub min_level: Option<SecLevel>,
+    /// Range-join group (shared OPE key), if declared ahead of time (§3.4).
+    pub ope_group: Option<String>,
+    /// False when the adjustable JOIN layer was discarded for this column
+    /// (§3.5.2 "discard onion layers that are not needed"): Eq blobs then
+    /// carry only the DET ciphertext, and joins are refused.
+    pub has_jtag: bool,
+    /// True once a query actually used the Search onion. Unused onions are
+    /// discarded in steady-state accounting (§3.5.2), so SEARCH counts
+    /// toward MinEnc only when exercised.
+    pub search_used: bool,
+}
+
+impl ColumnState {
+    /// Anonymised onion column names.
+    pub fn anon_iv(&self) -> String {
+        format!("{}_iv", self.anon)
+    }
+    pub fn anon_eq(&self) -> String {
+        format!("{}_eq", self.anon)
+    }
+    pub fn anon_ord(&self) -> String {
+        format!("{}_ord", self.anon)
+    }
+    pub fn anon_add(&self) -> String {
+        format!("{}_add", self.anon)
+    }
+    pub fn anon_srch(&self) -> String {
+        format!("{}_srch", self.anon)
+    }
+
+    /// The weakest scheme currently exposed on any onion — the paper's
+    /// MinEnc metric (§8.3).
+    pub fn min_enc(&self) -> SecLevel {
+        if !self.sensitive {
+            return SecLevel::Plain;
+        }
+        if self.onions.ord && self.ord_level == OrdLevel::Ope {
+            return SecLevel::Ope;
+        }
+        if self.onions.eq && self.eq_level == EqLevel::Det {
+            return SecLevel::Det;
+        }
+        if self.onions.search && self.search_used {
+            return SecLevel::Search;
+        }
+        SecLevel::Rnd
+    }
+
+    /// Enforces the §3.5.1 minimum-layer floor for a prospective exposure.
+    pub fn check_floor(&self, target: SecLevel) -> Result<(), ProxyError> {
+        if let Some(floor) = self.min_level {
+            if target.strength() < floor.strength() {
+                return Err(ProxyError::PolicyViolation(format!(
+                    "column {} must stay at {floor} or above; query needs {target}",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Proxy-side state of one table.
+#[derive(Clone, Debug)]
+pub struct TableState {
+    pub name: String,
+    /// Anonymised table name (`table1`).
+    pub anon: String,
+    pub columns: Vec<ColumnState>,
+    /// SPEAKS-FOR annotations attached to this table (§4.1 step 3).
+    pub speaks_for: Vec<SpeaksFor>,
+    /// Monotone row counter backing the hidden `rid` column the proxy
+    /// adds to every encrypted table (used for stale-column refresh).
+    pub next_rid: i64,
+}
+
+impl TableState {
+    /// Case-insensitive column lookup.
+    pub fn column(&self, name: &str) -> Option<&ColumnState> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mutable column lookup.
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut ColumnState> {
+        self.columns
+            .iter_mut()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// The whole proxy schema: plaintext name → table state.
+#[derive(Clone, Debug, Default)]
+pub struct EncSchema {
+    tables: HashMap<String, TableState>,
+    next_table_id: usize,
+}
+
+impl EncSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next anonymised table name.
+    pub fn next_anon_table(&mut self) -> String {
+        self.next_table_id += 1;
+        format!("table{}", self.next_table_id)
+    }
+
+    /// Registers a table.
+    pub fn insert(&mut self, table: TableState) -> Result<(), ProxyError> {
+        let key = table.name.to_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(ProxyError::Schema(format!(
+                "table {} already exists",
+                table.name
+            )));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Removes a table, returning it.
+    pub fn remove(&mut self, name: &str) -> Option<TableState> {
+        self.tables.remove(&name.to_lowercase())
+    }
+
+    /// Case-insensitive table lookup.
+    pub fn table(&self, name: &str) -> Result<&TableState, ProxyError> {
+        self.tables
+            .get(&name.to_lowercase())
+            .ok_or_else(|| ProxyError::Schema(format!("unknown table {name}")))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableState, ProxyError> {
+        self.tables
+            .get_mut(&name.to_lowercase())
+            .ok_or_else(|| ProxyError::Schema(format!("unknown table {name}")))
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> impl Iterator<Item = &TableState> {
+        self.tables.values()
+    }
+
+    /// All tables, mutable.
+    pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut TableState> {
+        self.tables.values_mut()
+    }
+
+    /// Columns currently sharing a JOIN-ADJ key owner — the §3.4
+    /// transitivity group of `(table, col)`.
+    pub fn join_group_members(&self, owner: &(String, String)) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for t in self.tables.values() {
+            for c in &t.columns {
+                if &c.join_owner == owner {
+                    out.push((t.name.clone(), c.name.clone()));
+                }
+            }
+        }
+        out
+    }
+}

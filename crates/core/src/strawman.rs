@@ -1,0 +1,563 @@
+//! The Fig. 11 strawman design.
+//!
+//! "The strawman performs each query over data encrypted with RND by
+//! decrypting the relevant data using a UDF, performing the query over the
+//! plaintext, and re-encrypting the result (if updating rows)." Every
+//! predicate becomes a per-row server-side decryption, so the DBMS's
+//! indexes are useless — which is exactly what the figure demonstrates.
+
+use crate::error::ProxyError;
+use cryptdb_crypto::aes::Aes;
+use cryptdb_crypto::modes::{cbc_decrypt, cbc_encrypt};
+use cryptdb_crypto::prf::{derive_key, Key};
+use cryptdb_engine::{Engine, EngineError, QueryResult, Value};
+use cryptdb_sqlparser::{
+    parse, BinOp, ColumnDef, ColumnRef, ColumnType, CreateTable, Delete, Expr, Insert, Literal,
+    OrderBy, Select, SelectItem, Stmt, TableRef, Update,
+};
+use parking_lot::RwLock;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-table strawman schema state.
+#[derive(Clone)]
+struct StrawTable {
+    anon: String,
+    /// column name (lower) → (anon base, type).
+    cols: Vec<(String, String, ColumnType)>,
+}
+
+impl StrawTable {
+    fn col(&self, name: &str) -> Option<&(String, String, ColumnType)> {
+        let l = name.to_lowercase();
+        self.cols.iter().find(|(n, _, _)| *n == l)
+    }
+}
+
+/// The strawman proxy: RND-only encryption with per-row UDF decryption.
+pub struct Strawman {
+    engine: Arc<Engine>,
+    key: Key,
+    tables: RwLock<HashMap<String, StrawTable>>,
+    next_id: RwLock<usize>,
+}
+
+fn aes_of(key: &Key) -> Aes {
+    let mut k = [0u8; 16];
+    k.copy_from_slice(&key[..16]);
+    Aes::new_128(&k)
+}
+
+impl Strawman {
+    /// Creates a strawman proxy and registers its UDFs.
+    pub fn new(engine: Arc<Engine>, master_key: Key) -> Self {
+        let key = derive_key(&master_key, &["strawman"]);
+        // STRAW_DEC(key, ct, iv) -> Int or Str plaintext.
+        engine.register_scalar_udf("STRAW_DEC_INT", {
+            move |args| straw_dec(args).map(|pt| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&pt[..8.min(pt.len())]);
+                Value::Int(i64::from_be_bytes(b))
+            })
+        });
+        engine.register_scalar_udf("STRAW_DEC_TEXT", move |args| {
+            straw_dec(args).and_then(|pt| {
+                String::from_utf8(pt)
+                    .map(Value::Str)
+                    .map_err(|_| EngineError::Udf("bad utf8".into()))
+            })
+        });
+        Strawman {
+            engine,
+            key,
+            tables: RwLock::new(HashMap::new()),
+            next_id: RwLock::new(0),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    fn encrypt(&self, v: &Value) -> Result<(Value, Value), ProxyError> {
+        if v.is_null() {
+            return Ok((Value::Null, Value::Null));
+        }
+        let aes = aes_of(&self.key);
+        let mut iv = [0u8; 16];
+        rand::thread_rng().fill_bytes(&mut iv);
+        let pt = match v {
+            Value::Int(i) => i.to_be_bytes().to_vec(),
+            Value::Str(s) => s.as_bytes().to_vec(),
+            _ => return Err(ProxyError::Crypto("strawman: unsupported value".into())),
+        };
+        Ok((
+            Value::Bytes(cbc_encrypt(&aes, &iv, &pt)),
+            Value::Bytes(iv.to_vec()),
+        ))
+    }
+
+    fn key_literal(&self) -> Expr {
+        Expr::Literal(Literal::Bytes(self.key.to_vec()))
+    }
+
+    /// Wraps a column reference into its decryption UDF call.
+    fn dec_expr(&self, t: &StrawTable, name: &str) -> Result<Expr, ProxyError> {
+        let (_, anon, ty) = t
+            .col(name)
+            .ok_or_else(|| ProxyError::Schema(format!("unknown column {name}")))?;
+        let udf = match ty {
+            ColumnType::Int => "STRAW_DEC_INT",
+            ColumnType::Text => "STRAW_DEC_TEXT",
+        };
+        Ok(Expr::Func {
+            name: udf.into(),
+            args: vec![
+                self.key_literal(),
+                Expr::col(format!("{anon}_ct")),
+                Expr::col(format!("{anon}_iv")),
+            ],
+            star: false,
+            distinct: false,
+        })
+    }
+
+    fn rw_expr(&self, t: &StrawTable, e: &Expr) -> Result<Expr, ProxyError> {
+        Ok(match e {
+            Expr::Column(c) => self.dec_expr(t, &c.column)?,
+            Expr::Literal(_) => e.clone(),
+            Expr::Binary { op, left, right } => Expr::binary(
+                *op,
+                self.rw_expr(t, left)?,
+                self.rw_expr(t, right)?,
+            ),
+            Expr::Not(x) => Expr::Not(Box::new(self.rw_expr(t, x)?)),
+            Expr::Neg(x) => Expr::Neg(Box::new(self.rw_expr(t, x)?)),
+            Expr::Like { expr, pattern, negated } => Expr::Like {
+                expr: Box::new(self.rw_expr(t, expr)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::InList { expr, list, negated } => Expr::InList {
+                expr: Box::new(self.rw_expr(t, expr)?),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::Between { expr, low, high, negated } => Expr::Between {
+                expr: Box::new(self.rw_expr(t, expr)?),
+                low: low.clone(),
+                high: high.clone(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.rw_expr(t, expr)?),
+                negated: *negated,
+            },
+            Expr::Func { name, args, star, distinct } => Expr::Func {
+                name: name.clone(),
+                args: args
+                    .iter()
+                    .map(|a| self.rw_expr(t, a))
+                    .collect::<Result<_, _>>()?,
+                star: *star,
+                distinct: *distinct,
+            },
+        })
+    }
+
+    /// Executes SQL under the strawman design.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult, ProxyError> {
+        let stmts = parse(sql)?;
+        let mut last = QueryResult::Ok;
+        for stmt in stmts {
+            last = self.execute_stmt(&stmt)?;
+        }
+        Ok(last)
+    }
+
+    fn execute_stmt(&self, stmt: &Stmt) -> Result<QueryResult, ProxyError> {
+        match stmt {
+            Stmt::CreateTable(ct) => self.create_table(ct),
+            Stmt::CreateIndex { table, column } => {
+                // Indexes can be created but are useless over RND — the
+                // strawman's defining weakness (Fig. 11).
+                let tables = self.tables.read();
+                let t = tables
+                    .get(&table.to_lowercase())
+                    .ok_or_else(|| ProxyError::Schema(format!("unknown table {table}")))?;
+                let (_, anon, _) = t
+                    .col(column)
+                    .ok_or_else(|| ProxyError::Schema(format!("unknown column {column}")))?;
+                Ok(self.engine.execute(&Stmt::CreateIndex {
+                    table: t.anon.clone(),
+                    column: format!("{anon}_ct"),
+                })?)
+            }
+            Stmt::Insert(ins) => self.insert(ins),
+            Stmt::Select(sel) => self.select(sel),
+            Stmt::Update(upd) => self.update(upd),
+            Stmt::Delete(del) => self.delete(del),
+            other => Err(ProxyError::NeedsPlaintext(format!(
+                "strawman does not support {other:?}"
+            ))),
+        }
+    }
+
+    fn create_table(&self, ct: &CreateTable) -> Result<QueryResult, ProxyError> {
+        let mut id = self.next_id.write();
+        *id += 1;
+        let anon_id = *id;
+        let anon = format!("straw{anon_id}");
+        drop(id);
+        let cols: Vec<(String, String, ColumnType)> = ct
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.to_lowercase(), format!("s{id}_{i}", id = anon_id), c.ty))
+            .collect();
+        let mut server_cols = Vec::new();
+        for (_, anon_base, _) in &cols {
+            for suffix in ["ct", "iv"] {
+                server_cols.push(ColumnDef {
+                    name: format!("{anon_base}_{suffix}"),
+                    ty: ColumnType::Text,
+                    enc_for: None,
+                });
+            }
+        }
+        self.engine.execute(&Stmt::CreateTable(CreateTable {
+            name: anon.clone(),
+            columns: server_cols,
+            speaks_for: Vec::new(),
+        }))?;
+        self.tables
+            .write()
+            .insert(ct.name.to_lowercase(), StrawTable { anon, cols });
+        Ok(QueryResult::Ok)
+    }
+
+    fn insert(&self, ins: &Insert) -> Result<QueryResult, ProxyError> {
+        let t = self
+            .tables
+            .read()
+            .get(&ins.table.to_lowercase())
+            .cloned()
+            .ok_or_else(|| ProxyError::Schema(format!("unknown table {}", ins.table)))?;
+        let mut anon_cols = Vec::new();
+        for c in &ins.columns {
+            let (_, anon, _) = t
+                .col(c)
+                .ok_or_else(|| ProxyError::Schema(format!("unknown column {c}")))?;
+            anon_cols.push(format!("{anon}_ct"));
+            anon_cols.push(format!("{anon}_iv"));
+        }
+        let mut rows = Vec::new();
+        for row in &ins.rows {
+            let mut out = Vec::new();
+            for e in row {
+                let v = crate::proxy::const_fold(e)?;
+                let (ct, iv) = self.encrypt(&v)?;
+                out.push(lit(ct));
+                out.push(lit(iv));
+            }
+            rows.push(out);
+        }
+        let n = rows.len();
+        self.engine.execute(&Stmt::Insert(Insert {
+            table: t.anon.clone(),
+            columns: anon_cols,
+            rows,
+        }))?;
+        Ok(QueryResult::Affected(n))
+    }
+
+    fn select(&self, sel: &Select) -> Result<QueryResult, ProxyError> {
+        // Merge all referenced tables into one resolution scope (column
+        // names must be unique across them, as in TPC-C). Joins degenerate
+        // to decrypt-everything nested loops — the strawman's point.
+        let tables = self.tables.read();
+        let mut merged_cols = Vec::new();
+        let mut from = Vec::new();
+        let mut extra_tables = Vec::new();
+        for tref in sel.from.iter().chain(sel.joins.iter().map(|j| &j.table)) {
+            let st = tables
+                .get(&tref.name.to_lowercase())
+                .cloned()
+                .ok_or_else(|| ProxyError::Schema(format!("unknown table {}", tref.name)))?;
+            merged_cols.extend(st.cols.iter().cloned());
+            if from.is_empty() {
+                from.push(TableRef {
+                    name: st.anon.clone(),
+                    alias: None,
+                });
+            } else {
+                extra_tables.push(TableRef {
+                    name: st.anon.clone(),
+                    alias: None,
+                });
+            }
+        }
+        drop(tables);
+        let t = StrawTable {
+            anon: match from.first() {
+                Some(f) => f.name.clone(),
+                None => {
+                    return Err(ProxyError::NeedsPlaintext(
+                        "strawman needs a FROM table".into(),
+                    ))
+                }
+            },
+            cols: merged_cols,
+        };
+        // Fold explicit JOIN ... ON into WHERE conjuncts (nested loop).
+        let mut selection_src = sel.selection.clone();
+        for j in &sel.joins {
+            selection_src = Some(match selection_src {
+                None => j.on.clone(),
+                Some(w) => Expr::binary(BinOp::And, w, j.on.clone()),
+            });
+        }
+        from.extend(extra_tables);
+        let mut projections = Vec::new();
+        for p in &sel.projections {
+            match p {
+                SelectItem::Wildcard => {
+                    for (name, _, _) in &t.cols {
+                        projections.push(SelectItem::Expr {
+                            expr: self.dec_expr(&t, name)?,
+                            alias: Some(name.clone()),
+                        });
+                    }
+                }
+                SelectItem::Expr { expr, alias } => projections.push(SelectItem::Expr {
+                    expr: self.rw_expr(&t, expr)?,
+                    alias: alias.clone(),
+                }),
+            }
+        }
+        let selection = selection_src
+            .as_ref()
+            .map(|w| self.rw_expr(&t, w))
+            .transpose()?;
+        let group_by = sel
+            .group_by
+            .iter()
+            .map(|g| self.rw_expr(&t, g))
+            .collect::<Result<_, _>>()?;
+        let having = sel
+            .having
+            .as_ref()
+            .map(|h| self.rw_expr(&t, h))
+            .transpose()?;
+        let order_by = sel
+            .order_by
+            .iter()
+            .map(|ob| {
+                Ok(OrderBy {
+                    expr: self.rw_expr(&t, &ob.expr)?,
+                    asc: ob.asc,
+                })
+            })
+            .collect::<Result<_, ProxyError>>()?;
+        let stmt = Select {
+            distinct: sel.distinct,
+            projections,
+            from,
+            joins: Vec::new(),
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit: sel.limit,
+        };
+        Ok(self.engine.execute(&Stmt::Select(stmt))?)
+    }
+
+    fn update(&self, upd: &Update) -> Result<QueryResult, ProxyError> {
+        let t = self
+            .tables
+            .read()
+            .get(&upd.table.to_lowercase())
+            .cloned()
+            .ok_or_else(|| ProxyError::Schema(format!("unknown table {}", upd.table)))?;
+        // Decrypt-modify-reencrypt per row, in the proxy (the paper's
+        // "re-encrypting the result"): select rowids via a decrypting
+        // scan, then set fresh ciphertexts per row.
+        let selection = upd
+            .selection
+            .as_ref()
+            .map(|w| self.rw_expr(&t, w))
+            .transpose()?;
+        // Read current values of updated columns.
+        let mut read_proj = Vec::new();
+        for (name, _, _) in &t.cols {
+            read_proj.push(SelectItem::Expr {
+                expr: self.dec_expr(&t, name)?,
+                alias: Some(name.clone()),
+            });
+        }
+        let rows = self.engine.execute(&Stmt::Select(Select {
+            projections: read_proj,
+            from: vec![TableRef {
+                name: t.anon.clone(),
+                alias: None,
+            }],
+            selection: selection.clone(),
+            ..Default::default()
+        }))?;
+        let QueryResult::Rows { rows, .. } = rows else {
+            return Ok(QueryResult::Affected(0));
+        };
+        let n = rows.len();
+        // Apply each SET by name, re-encrypting whole-row updates keyed on
+        // the (decrypted) full row equality — sufficient for benchmarks
+        // where updates pin unique keys.
+        let mut sets = Vec::new();
+        for (col, e) in &upd.sets {
+            let (_, anon, _) = t
+                .col(col)
+                .ok_or_else(|| ProxyError::Schema(format!("unknown column {col}")))?;
+            // Evaluate the new value per row below; for constants it is
+            // row-independent.
+            let v = match crate::proxy::const_fold(e) {
+                Ok(v) => v,
+                Err(_) => {
+                    // Column-referencing SET (e.g. increment): rewrite as a
+                    // decrypting expression evaluated by the server, then
+                    // re-encrypted... which RND cannot do server-side; the
+                    // strawman does it per-row in the proxy.
+                    return self.update_per_row(&t, upd, rows);
+                }
+            };
+            let (ct, iv) = self.encrypt(&v)?;
+            sets.push((format!("{anon}_ct"), lit(ct)));
+            sets.push((format!("{anon}_iv"), lit(iv)));
+        }
+        self.engine.execute(&Stmt::Update(Update {
+            table: t.anon.clone(),
+            sets,
+            selection,
+        }))?;
+        Ok(QueryResult::Affected(n))
+    }
+
+    fn update_per_row(
+        &self,
+        t: &StrawTable,
+        upd: &Update,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<QueryResult, ProxyError> {
+        // Recompute each row in the proxy and write it back keyed by the
+        // full old row (adequate for unique-keyed benchmark updates).
+        let names: Vec<String> = t.cols.iter().map(|(n, _, _)| n.clone()).collect();
+        for row in &rows {
+            let map: HashMap<String, Value> = names.iter().cloned().zip(row.clone()).collect();
+            let mut sets = Vec::new();
+            for (col, e) in &upd.sets {
+                let new_v = eval_simple(e, &map)?;
+                let (_, anon, _) = t
+                    .col(col)
+                    .ok_or_else(|| ProxyError::Schema(format!("unknown column {col}")))?;
+                let (ct, iv) = self.encrypt(&new_v)?;
+                sets.push((format!("{anon}_ct"), lit(ct)));
+                sets.push((format!("{anon}_iv"), lit(iv)));
+            }
+            // Re-select the row by all column equality.
+            let mut pred: Option<Expr> = None;
+            for (name, v) in names.iter().zip(row) {
+                let cmp = Expr::binary(
+                    BinOp::Eq,
+                    self.dec_expr(t, name)?,
+                    lit(v.clone()),
+                );
+                pred = Some(match pred {
+                    None => cmp,
+                    Some(p) => Expr::binary(BinOp::And, p, cmp),
+                });
+            }
+            self.engine.execute(&Stmt::Update(Update {
+                table: t.anon.clone(),
+                sets,
+                selection: pred,
+            }))?;
+        }
+        Ok(QueryResult::Affected(rows.len()))
+    }
+
+    fn delete(&self, del: &Delete) -> Result<QueryResult, ProxyError> {
+        let t = self
+            .tables
+            .read()
+            .get(&del.table.to_lowercase())
+            .cloned()
+            .ok_or_else(|| ProxyError::Schema(format!("unknown table {}", del.table)))?;
+        let selection = del
+            .selection
+            .as_ref()
+            .map(|w| self.rw_expr(&t, w))
+            .transpose()?;
+        Ok(self.engine.execute(&Stmt::Delete(Delete {
+            table: t.anon.clone(),
+            selection,
+        }))?)
+    }
+}
+
+fn lit(v: Value) -> Expr {
+    Expr::Literal(match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(i),
+        Value::Str(s) => Literal::Str(s),
+        Value::Bytes(b) => Literal::Bytes(b),
+    })
+}
+
+fn straw_dec(args: &[Value]) -> Result<Vec<u8>, EngineError> {
+    let key = args
+        .first()
+        .and_then(Value::as_bytes)
+        .ok_or_else(|| EngineError::Udf("STRAW_DEC: key".into()))?;
+    let ct = args
+        .get(1)
+        .and_then(Value::as_bytes)
+        .ok_or_else(|| EngineError::Udf("STRAW_DEC: ciphertext".into()))?;
+    let iv = args
+        .get(2)
+        .and_then(Value::as_bytes)
+        .ok_or_else(|| EngineError::Udf("STRAW_DEC: iv".into()))?;
+    let mut k = [0u8; 16];
+    k.copy_from_slice(&key[..16]);
+    cbc_decrypt(&Aes::new_128(&k), iv, ct)
+        .ok_or_else(|| EngineError::Udf("STRAW_DEC: bad ciphertext".into()))
+}
+
+/// Evaluates an expression over a decrypted row map (strawman updates).
+fn eval_simple(e: &Expr, row: &HashMap<String, Value>) -> Result<Value, ProxyError> {
+    match e {
+        Expr::Column(ColumnRef { column, .. }) => row
+            .get(&column.to_lowercase())
+            .cloned()
+            .ok_or_else(|| ProxyError::Schema(format!("unknown column {column}"))),
+        Expr::Literal(_) => crate::proxy::const_fold(e),
+        Expr::Binary { op, left, right } if op.is_arithmetic() => {
+            let (Value::Int(a), Value::Int(b)) =
+                (eval_simple(left, row)?, eval_simple(right, row)?)
+            else {
+                return Err(ProxyError::Crypto("strawman arithmetic on non-int".into()));
+            };
+            Ok(Value::Int(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b.max(1),
+                BinOp::Mod => a % b.max(1),
+                _ => unreachable!(),
+            }))
+        }
+        other => Err(ProxyError::NeedsPlaintext(format!(
+            "strawman SET expression: {other}"
+        ))),
+    }
+}

@@ -1,0 +1,259 @@
+//! Training mode and the Fig. 9 security report (§3.5.1, §8.2–8.3).
+//!
+//! "CryptDB provides a training mode, which allows a developer to provide
+//! a trace of queries and get the resulting onion encryption layers for
+//! each field, along with a warning in case some query is not supported."
+
+use crate::onion::SecLevel;
+use crate::proxy::Proxy;
+use crate::ProxyError;
+use cryptdb_sqlparser::{parse, Stmt};
+use std::collections::BTreeMap;
+
+/// Steady-state security report for one column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnReport {
+    pub table: String,
+    pub column: String,
+    /// False = the developer left the column in plaintext.
+    pub sensitive: bool,
+    /// The weakest exposed scheme after the trace (MinEnc, §8.3).
+    pub min_enc: SecLevel,
+    /// The column needed HOM (SUM/AVG/increment) at some point.
+    pub needs_hom: bool,
+    /// The column needed SEARCH at some point.
+    pub needs_search: bool,
+    /// Queries on this column that CryptDB cannot run over ciphertext.
+    pub needs_plaintext: bool,
+}
+
+/// The training-mode output: per-column steady state plus warnings.
+#[derive(Clone, Debug, Default)]
+pub struct TrainingReport {
+    pub columns: Vec<ColumnReport>,
+    /// Unsupported queries with their reasons ("warnings" in §3.5.1).
+    pub warnings: Vec<String>,
+    /// Total queries processed.
+    pub queries: usize,
+}
+
+impl TrainingReport {
+    /// Number of columns whose MinEnc equals `level`.
+    pub fn count_at(&self, level: SecLevel) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| c.sensitive && c.min_enc == level && !c.needs_plaintext)
+            .count()
+    }
+
+    /// Columns that cannot be processed over ciphertext.
+    pub fn needs_plaintext(&self) -> usize {
+        self.columns.iter().filter(|c| c.needs_plaintext).count()
+    }
+
+    /// Columns requiring HOM / SEARCH (Fig. 9 middle columns).
+    pub fn needs_hom(&self) -> usize {
+        self.columns.iter().filter(|c| c.needs_hom).count()
+    }
+
+    pub fn needs_search(&self) -> usize {
+        self.columns.iter().filter(|c| c.needs_search).count()
+    }
+
+    /// Renders the report as a Fig. 9 style table row set.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("column                              MinEnc   HOM  SEARCH  plaintext?\n");
+        for c in &self.columns {
+            out.push_str(&format!(
+                "{:<35} {:<8} {:<4} {:<7} {}\n",
+                format!("{}.{}", c.table, c.column),
+                if c.sensitive { c.min_enc.to_string() } else { "PLAIN".into() },
+                if c.needs_hom { "yes" } else { "" },
+                if c.needs_search { "yes" } else { "" },
+                if c.needs_plaintext { "YES" } else { "" },
+            ));
+        }
+        out
+    }
+}
+
+impl Proxy {
+    /// Runs a query trace through the live proxy (executing it) and then
+    /// reports the steady-state onion levels. Unsupported statements are
+    /// recorded as warnings rather than failing the run.
+    pub fn train(&self, queries: &[&str]) -> Result<TrainingReport, ProxyError> {
+        let mut warnings = Vec::new();
+        let mut hom: BTreeMap<(String, String), bool> = BTreeMap::new();
+        let mut search: BTreeMap<(String, String), bool> = BTreeMap::new();
+        let mut plainneed: BTreeMap<(String, String), bool> = BTreeMap::new();
+        let mut queries_run = 0usize;
+        for q in queries {
+            let stmts = match parse(q) {
+                Ok(s) => s,
+                Err(e) => {
+                    warnings.push(format!("{q}: {e}"));
+                    continue;
+                }
+            };
+            for stmt in &stmts {
+                queries_run += 1;
+                // Track class usage for the Fig. 9 middle columns.
+                scan_class_usage(stmt, &mut hom, &mut search);
+                match self.execute_stmt(stmt) {
+                    Ok(_) => {}
+                    Err(ProxyError::NeedsPlaintext(msg)) => {
+                        for (t, c) in columns_of_stmt(stmt) {
+                            plainneed.insert((t, c), true);
+                        }
+                        warnings.push(format!("needs plaintext: {msg}"));
+                    }
+                    Err(e) => warnings.push(format!("{q}: {e}")),
+                }
+            }
+        }
+        let mut columns = Vec::new();
+        self.with_schema(|schema| {
+            let mut tables: Vec<_> = schema.tables().collect();
+            tables.sort_by(|a, b| a.name.cmp(&b.name));
+            for t in tables {
+                for col in &t.columns {
+                    let key = (t.name.to_lowercase(), col.name.to_lowercase());
+                    columns.push(ColumnReport {
+                        table: t.name.clone(),
+                        column: col.name.clone(),
+                        sensitive: col.sensitive,
+                        min_enc: col.min_enc(),
+                        needs_hom: hom.get(&key).copied().unwrap_or(false),
+                        needs_search: search.get(&key).copied().unwrap_or(false),
+                        needs_plaintext: plainneed.get(&key).copied().unwrap_or(false),
+                    });
+                }
+            }
+        });
+        Ok(TrainingReport {
+            columns,
+            warnings,
+            queries: queries_run,
+        })
+    }
+}
+
+/// Best-effort extraction of `(table, column)` pairs a statement touches.
+/// Used only to attribute needs-plaintext warnings, so unqualified columns
+/// are attributed to the statement's first table.
+fn columns_of_stmt(stmt: &Stmt) -> Vec<(String, String)> {
+    use cryptdb_sqlparser::Expr;
+    let mut out = Vec::new();
+    let mut tables: Vec<String> = Vec::new();
+    let mut exprs: Vec<&Expr> = Vec::new();
+    match stmt {
+        Stmt::Select(s) => {
+            tables.extend(s.from.iter().map(|t| t.name.to_lowercase()));
+            tables.extend(s.joins.iter().map(|j| j.table.name.to_lowercase()));
+            for p in &s.projections {
+                if let cryptdb_sqlparser::SelectItem::Expr { expr, .. } = p {
+                    exprs.push(expr);
+                }
+            }
+            if let Some(w) = &s.selection {
+                exprs.push(w);
+            }
+            for j in &s.joins {
+                exprs.push(&j.on);
+            }
+            exprs.extend(s.group_by.iter());
+            if let Some(h) = &s.having {
+                exprs.push(h);
+            }
+            for ob in &s.order_by {
+                exprs.push(&ob.expr);
+            }
+        }
+        Stmt::Update(u) => {
+            tables.push(u.table.to_lowercase());
+            for (_, e) in &u.sets {
+                exprs.push(e);
+            }
+            if let Some(w) = &u.selection {
+                exprs.push(w);
+            }
+        }
+        Stmt::Delete(d) => {
+            tables.push(d.table.to_lowercase());
+            if let Some(w) = &d.selection {
+                exprs.push(w);
+            }
+        }
+        _ => {}
+    }
+    let default_table = tables.first().cloned().unwrap_or_default();
+    for e in exprs {
+        e.walk(&mut |n| {
+            if let Expr::Column(c) = n {
+                let t = c
+                    .table
+                    .as_ref()
+                    .map(|t| t.to_lowercase())
+                    .unwrap_or_else(|| default_table.clone());
+                out.push((t, c.column.to_lowercase()));
+            }
+        });
+    }
+    out
+}
+
+fn scan_class_usage(
+    stmt: &Stmt,
+    hom: &mut BTreeMap<(String, String), bool>,
+    search: &mut BTreeMap<(String, String), bool>,
+) {
+    use cryptdb_sqlparser::{Expr, SelectItem};
+    let mark = |map: &mut BTreeMap<(String, String), bool>, t: &str, c: &str| {
+        map.insert((t.to_lowercase(), c.to_lowercase()), true);
+    };
+    match stmt {
+        Stmt::Select(s) => {
+            let t0 = s
+                .from
+                .first()
+                .map(|t| t.name.to_lowercase())
+                .unwrap_or_default();
+            for p in &s.projections {
+                if let SelectItem::Expr {
+                    expr: Expr::Func { name, args, .. },
+                    ..
+                } = p
+                {
+                    if matches!(name.as_str(), "SUM" | "AVG") {
+                        if let Some(Expr::Column(c)) = args.first() {
+                            let t = c.table.as_deref().unwrap_or(&t0);
+                            mark(hom, t, &c.column);
+                        }
+                    }
+                }
+            }
+            if let Some(w) = &s.selection {
+                w.walk(&mut |n| {
+                    if let Expr::Like { expr, .. } = n {
+                        if let Expr::Column(c) = &**expr {
+                            let t = c.table.as_deref().unwrap_or(&t0);
+                            mark(search, t, &c.column);
+                        }
+                    }
+                });
+            }
+        }
+        Stmt::Update(u) => {
+            for (col, e) in &u.sets {
+                if let Expr::Binary { op, .. } = e {
+                    if matches!(op, cryptdb_sqlparser::BinOp::Add | cryptdb_sqlparser::BinOp::Sub)
+                    {
+                        mark(hom, &u.table, col);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}

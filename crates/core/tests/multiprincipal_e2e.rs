@@ -1,0 +1,268 @@
+//! Multi-principal end-to-end tests (§4, §5): key chaining, offline
+//! delivery, conditional delegation, revocation, compromise containment.
+
+use cryptdb_core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
+use cryptdb_core::ProxyError;
+use cryptdb_engine::{Engine, Value};
+use std::sync::Arc;
+
+fn mp_proxy() -> Proxy {
+    let cfg = ProxyConfig {
+        paillier_bits: 256,
+        policy: EncryptionPolicy::AnnotatedOnly,
+        ..Default::default()
+    };
+    Proxy::new(Arc::new(Engine::new()), [9u8; 32], cfg)
+}
+
+/// The paper's Figure 4 schema: private messages in phpBB.
+fn phpbb_schema(p: &Proxy) {
+    p.execute(
+        "PRINCTYPE physical_user EXTERNAL; \
+         PRINCTYPE user, msg; \
+         CREATE TABLE privmsgs ( msgid int, \
+           subject varchar(255) ENC FOR (msgid msg), \
+           msgtext text ENC FOR (msgid msg) ); \
+         CREATE TABLE privmsgs_to ( msgid int, rcpt_id int, sender_id int, \
+           (sender_id user) SPEAKS FOR (msgid msg), \
+           (rcpt_id user) SPEAKS FOR (msgid msg) ); \
+         CREATE TABLE users ( userid int, username varchar(255), \
+           (username physical_user) SPEAKS FOR (userid user) )",
+    )
+    .unwrap();
+}
+
+/// Runs the paper's message flow: Alice (1) and Bob (2) register; Bob
+/// sends message 5 to Alice while she is offline.
+fn send_message_flow(p: &Proxy) {
+    p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('alice', 'alice-pw')")
+        .unwrap();
+    p.execute("INSERT INTO users (userid, username) VALUES (1, 'alice')").unwrap();
+    p.execute("DELETE FROM cryptdb_active WHERE username = 'alice'").unwrap();
+
+    p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('bob', 'bob-pw')")
+        .unwrap();
+    p.execute("INSERT INTO users (userid, username) VALUES (2, 'bob')").unwrap();
+    // Bob sends message 5 to Alice (userid 1) while Alice is offline: her
+    // copy of the msg key is wrapped under her *public* key (§4.2).
+    p.execute(
+        "INSERT INTO privmsgs (msgid, subject, msgtext) \
+         VALUES (5, 'secret subject', 'attack at dawn')",
+    )
+    .unwrap();
+    p.execute(
+        "INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (5, 1, 2)",
+    )
+    .unwrap();
+    p.execute("DELETE FROM cryptdb_active WHERE username = 'bob'").unwrap();
+}
+
+#[test]
+fn recipient_reads_message_after_login() {
+    let p = mp_proxy();
+    phpbb_schema(&p);
+    send_message_flow(&p);
+    // Alice logs in later and follows the chain password → physical_user
+    // → user 1 → msg 5 (the last hop sealed to her public key).
+    p.login("alice", "alice-pw").unwrap();
+    let r = p.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Str("attack at dawn".into())));
+}
+
+#[test]
+fn sender_keeps_access() {
+    let p = mp_proxy();
+    phpbb_schema(&p);
+    send_message_flow(&p);
+    p.login("bob", "bob-pw").unwrap();
+    let r = p.execute("SELECT subject FROM privmsgs WHERE msgid = 5").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Str("secret subject".into())));
+}
+
+#[test]
+fn logged_out_users_data_is_ciphertext() {
+    // Threat 2 (§2.2): with no one logged in, a fully compromised
+    // proxy+DBMS can only produce ciphertext for the message.
+    let p = mp_proxy();
+    phpbb_schema(&p);
+    send_message_flow(&p);
+    let r = p.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    match r.scalar() {
+        Some(Value::Bytes(_)) => {} // Undecryptable ciphertext.
+        other => panic!("expected ciphertext for logged-out users, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_password_rejected() {
+    let p = mp_proxy();
+    phpbb_schema(&p);
+    send_message_flow(&p);
+    let err = p.login("alice", "wrong").unwrap_err();
+    assert!(matches!(err, ProxyError::KeyUnavailable(_)), "{err}");
+}
+
+#[test]
+fn unrelated_user_cannot_read() {
+    let p = mp_proxy();
+    phpbb_schema(&p);
+    send_message_flow(&p);
+    p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('mallory', 'm-pw')")
+        .unwrap();
+    p.execute("INSERT INTO users (userid, username) VALUES (3, 'mallory')").unwrap();
+    let r = p.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    assert!(
+        matches!(r.scalar(), Some(Value::Bytes(_))),
+        "mallory must see ciphertext"
+    );
+}
+
+#[test]
+fn conditional_speaks_for_figure5() {
+    // Figure 5: group permissions gated on optionid = 20.
+    let p = mp_proxy();
+    p.execute(
+        "PRINCTYPE physical_user EXTERNAL; \
+         PRINCTYPE user, group_p, forum_post; \
+         CREATE TABLE users ( userid int, username varchar(255), \
+           (username physical_user) SPEAKS FOR (userid user) ); \
+         CREATE TABLE usergroup ( userid int, groupid int, \
+           (userid user) SPEAKS FOR (groupid group_p) ); \
+         CREATE TABLE aclgroups ( groupid int, forumid int, optionid int, \
+           (groupid group_p) SPEAKS FOR (forumid forum_post) IF optionid = 20 ); \
+         CREATE TABLE posts ( postid int, forumid int, \
+           post text ENC FOR (forumid forum_post) )",
+    )
+    .unwrap();
+    p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('admin', 'a-pw')")
+        .unwrap();
+    p.execute("INSERT INTO users (userid, username) VALUES (10, 'admin')").unwrap();
+    p.execute("INSERT INTO usergroup (userid, groupid) VALUES (10, 100)").unwrap();
+    // Group 100 may read forum 7 (optionid 20) but only sees the name of
+    // forum 8 (optionid 14 — not a forum_post grant).
+    p.execute("INSERT INTO aclgroups (groupid, forumid, optionid) VALUES (100, 7, 20)")
+        .unwrap();
+    p.execute("INSERT INTO aclgroups (groupid, forumid, optionid) VALUES (100, 8, 14)")
+        .unwrap();
+    p.execute("INSERT INTO posts (postid, forumid, post) VALUES (1, 7, 'hello forum 7')")
+        .unwrap();
+    p.execute("INSERT INTO posts (postid, forumid, post) VALUES (2, 8, 'hidden forum 8')")
+        .unwrap();
+    p.logout("admin");
+
+    p.login("admin", "a-pw").unwrap();
+    let r = p.execute("SELECT post FROM posts WHERE postid = 1").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Str("hello forum 7".into())));
+    let r = p.execute("SELECT post FROM posts WHERE postid = 2").unwrap();
+    assert!(
+        matches!(r.scalar(), Some(Value::Bytes(_))),
+        "optionid 14 must not grant forum_post access"
+    );
+}
+
+#[test]
+fn hotcrp_noconflict_predicate_figure6() {
+    // Figure 6: PC members speak for reviews unless conflicted; the PC
+    // chair (conflicted with her own paper) cannot read its review.
+    let p = mp_proxy();
+    p.execute(
+        "PRINCTYPE physical_user EXTERNAL; \
+         PRINCTYPE contact, review; \
+         CREATE TABLE ContactInfo ( contactId int, email varchar(120), \
+           (email physical_user) SPEAKS FOR (contactId contact) ); \
+         CREATE TABLE PCMember ( contactId int ); \
+         CREATE TABLE PaperConflict ( paperId int, contactId int ); \
+         CREATE TABLE PaperReview ( paperId int, \
+           reviewerId int ENC FOR (paperId review), \
+           commentsToPC text ENC FOR (paperId review), \
+           (PCMember.contactId contact) SPEAKS FOR (paperId review) \
+             IF NoConflict(paperId, contactId) )",
+    )
+    .unwrap();
+    // The paper's NoConflict SQL function.
+    p.register_predicate(
+        "NoConflict",
+        "SELECT COUNT(*) = 0 FROM PaperConflict WHERE paperId = $1 AND contactId = $2",
+    );
+    // chair (contact 1) is conflicted with paper 42; reviewer (contact 2)
+    // is not.
+    p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('chair@x', 'c-pw')")
+        .unwrap();
+    p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('rev@x', 'r-pw')")
+        .unwrap();
+    p.execute("INSERT INTO ContactInfo (contactId, email) VALUES (1, 'chair@x')").unwrap();
+    p.execute("INSERT INTO ContactInfo (contactId, email) VALUES (2, 'rev@x')").unwrap();
+    p.execute("INSERT INTO PCMember (contactId) VALUES (1)").unwrap();
+    p.execute("INSERT INTO PCMember (contactId) VALUES (2)").unwrap();
+    p.execute("INSERT INTO PaperConflict (paperId, contactId) VALUES (42, 1)").unwrap();
+    p.execute(
+        "INSERT INTO PaperReview (paperId, reviewerId, commentsToPC) \
+         VALUES (42, 2, 'weak accept; novel onion design')",
+    )
+    .unwrap();
+    p.logout("chair@x");
+    p.logout("rev@x");
+
+    // The reviewer can read the review.
+    p.login("rev@x", "r-pw").unwrap();
+    let r = p
+        .execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 42")
+        .unwrap();
+    assert_eq!(
+        r.scalar(),
+        Some(&Value::Str("weak accept; novel onion design".into()))
+    );
+    p.logout("rev@x");
+
+    // The conflicted chair sees only ciphertext — "even if she breaks
+    // into the application or database" (§5).
+    p.login("chair@x", "c-pw").unwrap();
+    let r = p
+        .execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 42")
+        .unwrap();
+    assert!(
+        matches!(r.scalar(), Some(Value::Bytes(_))),
+        "conflicted chair must not decrypt the review"
+    );
+}
+
+#[test]
+fn revocation_removes_access() {
+    let p = mp_proxy();
+    phpbb_schema(&p);
+    send_message_flow(&p);
+    // Revoke Alice's access by deleting the privmsgs_to row, then log her
+    // in: the chain is broken.
+    p.login("bob", "bob-pw").unwrap();
+    p.execute("DELETE FROM privmsgs_to WHERE msgid = 5 AND rcpt_id = 1").unwrap();
+    p.logout("bob");
+    p.login("alice", "alice-pw").unwrap();
+    let r = p.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    assert!(
+        matches!(r.scalar(), Some(Value::Bytes(_))),
+        "revoked recipient must see ciphertext"
+    );
+}
+
+#[test]
+fn server_state_has_no_plaintext_secrets() {
+    let p = mp_proxy();
+    phpbb_schema(&p);
+    send_message_flow(&p);
+    // Full server dump: no occurrence of the message text or passwords.
+    for t in p.engine().table_names() {
+        p.engine()
+            .with_table(&t, |tab| {
+                for (_, row) in tab.iter() {
+                    for v in row {
+                        if let Value::Str(s) = v {
+                            assert!(!s.contains("attack at dawn"), "plaintext leaked in {t}");
+                            assert!(!s.contains("alice-pw"), "password leaked in {t}");
+                            assert!(!s.contains("bob-pw"), "password leaked in {t}");
+                        }
+                    }
+                }
+            })
+            .unwrap();
+    }
+}

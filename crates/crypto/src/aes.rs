@@ -1,0 +1,301 @@
+//! AES-128 / AES-256 block cipher.
+//!
+//! The S-box is computed from its definition (multiplicative inverse in
+//! GF(2⁸) modulo x⁸+x⁴+x³+x+1, followed by the FIPS-197 affine map) and the
+//! implementation is validated against the FIPS-197 appendix C vectors.
+
+use crate::modes::BlockCipher;
+use std::sync::OnceLock;
+
+/// Multiplication in GF(2⁸) with the AES reduction polynomial 0x11b.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for x in 0..=255u8 {
+            // Multiplicative inverse (0 maps to 0).
+            let inv = if x == 0 {
+                0
+            } else {
+                (1..=255u8)
+                    .map(|c| c)
+                    .find(|&y| gf_mul(x, y) == 1)
+                    .expect("every nonzero element of GF(2^8) has an inverse")
+            };
+            let s = inv
+                ^ inv.rotate_left(1)
+                ^ inv.rotate_left(2)
+                ^ inv.rotate_left(3)
+                ^ inv.rotate_left(4)
+                ^ 0x63;
+            sbox[x as usize] = s;
+            inv_sbox[s as usize] = x;
+        }
+        assert_eq!(sbox[0x00], 0x63, "AES S-box self-check failed");
+        assert_eq!(sbox[0x01], 0x7c, "AES S-box self-check failed");
+        Tables { sbox, inv_sbox }
+    })
+}
+
+/// An AES key schedule supporting 128- and 256-bit keys.
+///
+/// # Examples
+///
+/// ```
+/// use cryptdb_crypto::{Aes, BlockCipher};
+///
+/// let aes = Aes::new_128(&[0u8; 16]);
+/// let mut block = *b"sixteen-byte-msg";
+/// aes.encrypt_block(&mut block);
+/// aes.decrypt_block(&mut block);
+/// assert_eq!(&block, b"sixteen-byte-msg");
+/// ```
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl Aes {
+    /// Expands a 128-bit key (10 rounds).
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Aes {
+            round_keys: expand_key(key, 4, 10),
+        }
+    }
+
+    /// Expands a 256-bit key (14 rounds).
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Aes {
+            round_keys: expand_key(key, 8, 14),
+        }
+    }
+
+    fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+}
+
+fn expand_key(key: &[u8], nk: usize, nr: usize) -> Vec<[u8; 16]> {
+    let t = tables();
+    let total_words = 4 * (nr + 1);
+    let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+    for i in 0..nk {
+        w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    let mut rcon: u8 = 1;
+    for i in nk..total_words {
+        let mut temp = w[i - 1];
+        if i % nk == 0 {
+            temp = [
+                t.sbox[temp[1] as usize] ^ rcon,
+                t.sbox[temp[2] as usize],
+                t.sbox[temp[3] as usize],
+                t.sbox[temp[0] as usize],
+            ];
+            rcon = gf_mul(rcon, 2);
+        } else if nk > 6 && i % nk == 4 {
+            temp = [
+                t.sbox[temp[0] as usize],
+                t.sbox[temp[1] as usize],
+                t.sbox[temp[2] as usize],
+                t.sbox[temp[3] as usize],
+            ];
+        }
+        let prev = w[i - nk];
+        w.push([
+            prev[0] ^ temp[0],
+            prev[1] ^ temp[1],
+            prev[2] ^ temp[2],
+            prev[3] ^ temp[3],
+        ]);
+    }
+    w.chunks_exact(4)
+        .map(|c| {
+            let mut rk = [0u8; 16];
+            for (i, word) in c.iter().enumerate() {
+                rk[4 * i..4 * i + 4].copy_from_slice(word);
+            }
+            rk
+        })
+        .collect()
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    let t = tables();
+    for b in state.iter_mut() {
+        *b = t.sbox[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    let t = tables();
+    for b in state.iter_mut() {
+        *b = t.inv_sbox[*b as usize];
+    }
+}
+
+/// State is column-major: byte (row r, col c) lives at index 4c + r.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 0x0e) ^ gf_mul(col[1], 0x0b) ^ gf_mul(col[2], 0x0d) ^ gf_mul(col[3], 0x09);
+        state[4 * c + 1] =
+            gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0e) ^ gf_mul(col[2], 0x0b) ^ gf_mul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gf_mul(col[0], 0x0d) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0e) ^ gf_mul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gf_mul(col[0], 0x0b) ^ gf_mul(col[1], 0x0d) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0e);
+    }
+}
+
+impl BlockCipher for Aes {
+    const BLOCK_SIZE: usize = 16;
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        let mut state: [u8; 16] = block.try_into().expect("AES block must be 16 bytes");
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..self.rounds() {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[self.rounds()]);
+        block.copy_from_slice(&state);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        let mut state: [u8; 16] = block.try_into().expect("AES block must be 16 bytes");
+        add_round_key(&mut state, &self.round_keys[self.rounds()]);
+        for round in (1..self.rounds()).rev() {
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        add_round_key(&mut state, &self.round_keys[0]);
+        block.copy_from_slice(&state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn fips197_aes128_appendix_c1() {
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new_128(&key);
+        let mut block = hex16("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, hex16("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes256_appendix_c3() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let aes = Aes::new_256(&key);
+        let mut block = hex16("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex16("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, hex16("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn roundtrip_many_keys() {
+        for seed in 0u8..16 {
+            let key = [seed; 16];
+            let aes = Aes::new_128(&key);
+            let mut block = [seed.wrapping_mul(7); 16];
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig, "ciphertext must differ from plaintext");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let t = super::tables();
+        let mut seen = [false; 256];
+        for &s in t.sbox.iter() {
+            assert!(!seen[s as usize]);
+            seen[s as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Authenticated encryption (encrypt-then-MAC) for key wrapping.
+//!
+//! The multi-principal key chains (§4.2) store principal keys encrypted
+//! under other principals' keys in the `access_keys` table. Those wrapped
+//! keys must be non-malleable, so we use AES-128-CTR with a random nonce
+//! followed by HMAC-SHA256 over nonce‖ciphertext, with independent subkeys
+//! derived from the wrapping key.
+
+use crate::aes::Aes;
+use crate::modes::ctr_xor;
+use crate::prf::{derive_key, Key};
+
+const NONCE_LEN: usize = 16;
+const TAG_LEN: usize = 32;
+
+fn subkeys(key: &Key) -> (Aes, Key) {
+    let enc = derive_key(key, &["authenc", "enc"]);
+    let mac = derive_key(key, &["authenc", "mac"]);
+    let mut aes_key = [0u8; 16];
+    aes_key.copy_from_slice(&enc[..16]);
+    (Aes::new_128(&aes_key), mac)
+}
+
+/// Seals `plaintext` under `key`: returns `nonce ‖ ciphertext ‖ tag`.
+pub fn seal<R: rand::RngCore + ?Sized>(key: &Key, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    let (aes, mac_key) = subkeys(key);
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    let mut ct = plaintext.to_vec();
+    ctr_xor(&aes, &nonce, &mut ct);
+    let mut out = nonce.to_vec();
+    out.extend_from_slice(&ct);
+    let tag = crate::sha256::hmac_sha256(&mac_key, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Opens a sealed box; `None` if the tag does not verify or input is short.
+pub fn open(key: &Key, sealed: &[u8]) -> Option<Vec<u8>> {
+    if sealed.len() < NONCE_LEN + TAG_LEN {
+        return None;
+    }
+    let (aes, mac_key) = subkeys(key);
+    let body = &sealed[..sealed.len() - TAG_LEN];
+    let tag = &sealed[sealed.len() - TAG_LEN..];
+    let expect = crate::sha256::hmac_sha256(&mac_key, body);
+    // Constant-time-ish comparison (accumulate the difference).
+    let diff = tag.iter().zip(expect.iter()).fold(0u8, |acc, (a, b)| acc | (a ^ b));
+    if diff != 0 {
+        return None;
+    }
+    let nonce = &body[..NONCE_LEN];
+    let mut pt = body[NONCE_LEN..].to_vec();
+    ctr_xor(&aes, nonce, &mut pt);
+    Some(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = [9u8; 32];
+        for len in [0usize, 1, 31, 32, 33, 100] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = seal(&key, &pt, &mut rng);
+            assert_eq!(open(&key, &sealed).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = [9u8; 32];
+        let sealed = seal(&key, b"principal key bytes", &mut rng);
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 1;
+            assert!(open(&key, &bad).is_none(), "flip at {i} must fail");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sealed = seal(&[1u8; 32], b"secret", &mut rng);
+        assert!(open(&[2u8; 32], &sealed).is_none());
+    }
+
+    #[test]
+    fn nonce_randomizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = [5u8; 32];
+        assert_ne!(seal(&key, b"same", &mut rng), seal(&key, b"same", &mut rng));
+    }
+}

@@ -1,0 +1,38 @@
+//! Symmetric cryptographic primitives for CryptDB, built from first
+//! principles.
+//!
+//! No crypto crates are available offline, so every primitive the paper
+//! relies on is implemented here, with its constant tables *computed from
+//! their mathematical definitions* rather than embedded (and then checked
+//! against published test vectors):
+//!
+//! * [`sha256`] — SHA-256 (round constants from cube/square roots of primes)
+//!   and HMAC-SHA256.
+//! * [`aes`] — AES-128/256 (S-box from GF(2⁸) inversion + affine map).
+//! * [`blowfish`] — Blowfish (P/S boxes from hex digits of π computed with
+//!   Machin's formula on `cryptdb-bignum`). The paper uses Blowfish for
+//!   64-bit integer values because its 64-bit block avoids AES's ciphertext
+//!   expansion (§3.1).
+//! * [`modes`] — CBC (RND), CTR (stream), and the paper's CMC variant
+//!   (zero-IV two-pass CBC) used for DET over multi-block values.
+//! * [`prf`] — PRF/KDF layer implementing the paper's Equation (1) key
+//!   derivation, plus a password KDF for `external_keys`.
+//! * [`authenc`] — encrypt-then-MAC authenticated encryption used to wrap
+//!   principal keys in `access_keys`.
+//! * [`rng`] — a deterministic AES-CTR DRBG implementing `rand::RngCore`
+//!   (OPE's deterministic coins; reproducible experiments).
+
+#![forbid(unsafe_code)]
+
+pub mod aes;
+pub mod authenc;
+pub mod blowfish;
+pub mod modes;
+pub mod prf;
+pub mod rng;
+pub mod sha256;
+
+pub use aes::Aes;
+pub use blowfish::Blowfish;
+pub use modes::BlockCipher;
+pub use rng::Drbg;

@@ -1,0 +1,242 @@
+//! Block cipher modes of operation: CBC, CTR, and the paper's CMC variant.
+//!
+//! §3.1 of the paper assigns modes to encryption types:
+//!
+//! * RND = block cipher in CBC mode with a random IV;
+//! * DET for multi-block values = AES in a CMC-mode variant ("one round of
+//!   CBC, followed by another round of CBC with the blocks in the reverse
+//!   order") with a zero IV, to avoid leaking prefix equality;
+//! * CTR is used internally for streams (SEARCH, key wrapping, the DRBG).
+
+/// A block cipher with a fixed block size, operating on byte slices.
+pub trait BlockCipher {
+    /// Block size in bytes.
+    const BLOCK_SIZE: usize;
+
+    /// Encrypts one block in place. `block.len()` must equal `BLOCK_SIZE`.
+    fn encrypt_block(&self, block: &mut [u8]);
+
+    /// Decrypts one block in place. `block.len()` must equal `BLOCK_SIZE`.
+    fn decrypt_block(&self, block: &mut [u8]);
+}
+
+/// PKCS#7-pads `data` to a multiple of `block` bytes (always adds padding).
+pub fn pkcs7_pad(data: &[u8], block: usize) -> Vec<u8> {
+    let pad = block - data.len() % block;
+    let mut out = data.to_vec();
+    out.extend(std::iter::repeat(pad as u8).take(pad));
+    out
+}
+
+/// Removes PKCS#7 padding; `None` if the padding is malformed.
+pub fn pkcs7_unpad(data: &[u8], block: usize) -> Option<Vec<u8>> {
+    if data.is_empty() || data.len() % block != 0 {
+        return None;
+    }
+    let pad = *data.last().unwrap() as usize;
+    if pad == 0 || pad > block || pad > data.len() {
+        return None;
+    }
+    if data[data.len() - pad..].iter().any(|&b| b != pad as u8) {
+        return None;
+    }
+    Some(data[..data.len() - pad].to_vec())
+}
+
+/// CBC-encrypts `data` (PKCS#7 padded) under `iv`.
+///
+/// # Panics
+///
+/// Panics if `iv.len() != C::BLOCK_SIZE`.
+pub fn cbc_encrypt<C: BlockCipher>(cipher: &C, iv: &[u8], data: &[u8]) -> Vec<u8> {
+    assert_eq!(iv.len(), C::BLOCK_SIZE, "IV must be one block");
+    let mut out = pkcs7_pad(data, C::BLOCK_SIZE);
+    let mut prev = iv.to_vec();
+    for block in out.chunks_exact_mut(C::BLOCK_SIZE) {
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        cipher.encrypt_block(block);
+        prev.copy_from_slice(block);
+    }
+    out
+}
+
+/// CBC-decrypts and unpads; `None` on malformed length or padding.
+pub fn cbc_decrypt<C: BlockCipher>(cipher: &C, iv: &[u8], data: &[u8]) -> Option<Vec<u8>> {
+    assert_eq!(iv.len(), C::BLOCK_SIZE, "IV must be one block");
+    if data.is_empty() || data.len() % C::BLOCK_SIZE != 0 {
+        return None;
+    }
+    let mut out = data.to_vec();
+    let mut prev = iv.to_vec();
+    for block in out.chunks_exact_mut(C::BLOCK_SIZE) {
+        let saved = block.to_vec();
+        cipher.decrypt_block(block);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        prev = saved;
+    }
+    pkcs7_unpad(&out, C::BLOCK_SIZE)
+}
+
+/// Raw CBC pass without padding over whole blocks (helper for CMC).
+fn cbc_pass_raw<C: BlockCipher>(cipher: &C, blocks: &mut [u8]) {
+    let mut prev = vec![0u8; C::BLOCK_SIZE];
+    for block in blocks.chunks_exact_mut(C::BLOCK_SIZE) {
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        cipher.encrypt_block(block);
+        prev.copy_from_slice(block);
+    }
+}
+
+fn cbc_pass_raw_inv<C: BlockCipher>(cipher: &C, blocks: &mut [u8]) {
+    let mut prev = vec![0u8; C::BLOCK_SIZE];
+    for block in blocks.chunks_exact_mut(C::BLOCK_SIZE) {
+        let saved = block.to_vec();
+        cipher.decrypt_block(block);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        prev = saved;
+    }
+}
+
+fn reverse_blocks(data: &mut [u8], block: usize) {
+    let n = data.len() / block;
+    for i in 0..n / 2 {
+        for k in 0..block {
+            data.swap(i * block + k, (n - 1 - i) * block + k);
+        }
+    }
+}
+
+/// Encrypts with the paper's CMC variant: zero-IV CBC, reverse the block
+/// order, zero-IV CBC again. Deterministic; every output block depends on
+/// every input block, so no prefix equality leaks (§3.1, DET).
+pub fn cmc_encrypt<C: BlockCipher>(cipher: &C, data: &[u8]) -> Vec<u8> {
+    let mut out = pkcs7_pad(data, C::BLOCK_SIZE);
+    cbc_pass_raw(cipher, &mut out);
+    reverse_blocks(&mut out, C::BLOCK_SIZE);
+    cbc_pass_raw(cipher, &mut out);
+    out
+}
+
+/// Decrypts [`cmc_encrypt`] output; `None` on malformed input.
+pub fn cmc_decrypt<C: BlockCipher>(cipher: &C, data: &[u8]) -> Option<Vec<u8>> {
+    if data.is_empty() || data.len() % C::BLOCK_SIZE != 0 {
+        return None;
+    }
+    let mut out = data.to_vec();
+    cbc_pass_raw_inv(cipher, &mut out);
+    reverse_blocks(&mut out, C::BLOCK_SIZE);
+    cbc_pass_raw_inv(cipher, &mut out);
+    pkcs7_unpad(&out, C::BLOCK_SIZE)
+}
+
+/// CTR-mode keystream XOR: encrypts or decrypts `data` in place under the
+/// `nonce` (one block, its trailing 4 bytes used as a big-endian counter).
+///
+/// # Panics
+///
+/// Panics if `nonce.len() != C::BLOCK_SIZE`.
+pub fn ctr_xor<C: BlockCipher>(cipher: &C, nonce: &[u8], data: &mut [u8]) {
+    assert_eq!(nonce.len(), C::BLOCK_SIZE, "nonce must be one block");
+    let bs = C::BLOCK_SIZE;
+    let mut counter: u32 = 0;
+    for chunk in data.chunks_mut(bs) {
+        let mut keystream = nonce.to_vec();
+        let clen = keystream.len();
+        let ctr_bytes = counter.to_be_bytes();
+        for k in 0..4 {
+            keystream[clen - 4 + k] ^= ctr_bytes[k];
+        }
+        cipher.encrypt_block(&mut keystream);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes;
+
+    fn aes() -> Aes {
+        Aes::new_128(b"0123456789abcdef")
+    }
+
+    #[test]
+    fn cbc_roundtrip_various_lengths() {
+        let c = aes();
+        let iv = [7u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 100, 256] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = cbc_encrypt(&c, &iv, &data);
+            assert_eq!(cbc_decrypt(&c, &iv, &ct).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn cbc_is_randomized_by_iv() {
+        let c = aes();
+        let ct1 = cbc_encrypt(&c, &[1u8; 16], b"same plaintext!!");
+        let ct2 = cbc_encrypt(&c, &[2u8; 16], b"same plaintext!!");
+        assert_ne!(ct1, ct2);
+    }
+
+    #[test]
+    fn cbc_rejects_bad_padding() {
+        let c = aes();
+        let mut ct = cbc_encrypt(&c, &[0u8; 16], b"hello world");
+        let last = ct.len() - 1;
+        ct[last] ^= 0xff;
+        assert!(cbc_decrypt(&c, &[0u8; 16], &ct).is_none());
+    }
+
+    #[test]
+    fn cmc_roundtrip_and_determinism() {
+        let c = aes();
+        for len in [0usize, 1, 16, 33, 64, 129] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 3) as u8).collect();
+            let ct1 = cmc_encrypt(&c, &data);
+            let ct2 = cmc_encrypt(&c, &data);
+            assert_eq!(ct1, ct2, "DET must be deterministic");
+            assert_eq!(cmc_decrypt(&c, &ct1).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn cmc_hides_shared_prefix() {
+        // Two 3-block plaintexts sharing the first 2 blocks must not share
+        // any ciphertext block (the flaw of plain CBC that CMC fixes).
+        let c = aes();
+        let mut a = vec![0x41u8; 48];
+        let mut b = vec![0x41u8; 48];
+        b[47] = 0x42;
+        let ca = cmc_encrypt(&c, &a);
+        let cb = cmc_encrypt(&c, &b);
+        for (blk_a, blk_b) in ca.chunks(16).zip(cb.chunks(16)) {
+            assert_ne!(blk_a, blk_b, "CMC must diffuse a trailing change everywhere");
+        }
+        a[0] = 0x43;
+        let _ = a;
+    }
+
+    #[test]
+    fn ctr_roundtrip() {
+        let c = aes();
+        let nonce = [9u8; 16];
+        let mut data = b"counter mode works on any length".to_vec();
+        let orig = data.clone();
+        ctr_xor(&c, &nonce, &mut data);
+        assert_ne!(data, orig);
+        ctr_xor(&c, &nonce, &mut data);
+        assert_eq!(data, orig);
+    }
+}

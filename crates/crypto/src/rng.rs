@@ -1,0 +1,119 @@
+//! Deterministic random bit generator (AES-128-CTR).
+//!
+//! OPE (Boldyreva et al.) requires *deterministic* coins derived from the
+//! key and the plaintext's search path so equal plaintexts always encrypt
+//! equally; this DRBG supplies them. It also seeds reproducible experiment
+//! workloads.
+
+use crate::aes::Aes;
+use crate::modes::BlockCipher;
+
+/// An AES-CTR based DRBG implementing [`rand::RngCore`].
+///
+/// # Examples
+///
+/// ```
+/// use cryptdb_crypto::Drbg;
+/// use rand::RngCore;
+///
+/// let mut a = Drbg::from_seed(&[1u8; 32]);
+/// let mut b = Drbg::from_seed(&[1u8; 32]);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+pub struct Drbg {
+    aes: Aes,
+    counter: u128,
+    buf: [u8; 16],
+    buf_pos: usize,
+}
+
+impl Drbg {
+    /// Creates a DRBG from a 32-byte seed (16 bytes key, 16 bytes IV).
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&seed[..16]);
+        let iv = u128::from_be_bytes(seed[16..32].try_into().unwrap());
+        Drbg {
+            aes: Aes::new_128(&key),
+            counter: iv,
+            buf: [0u8; 16],
+            buf_pos: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.buf = self.counter.to_be_bytes();
+        self.aes.encrypt_block(&mut self.buf);
+        self.counter = self.counter.wrapping_add(1);
+        self.buf_pos = 0;
+    }
+}
+
+impl rand::RngCore for Drbg {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut bytes = [0u8; 8];
+        self.fill_bytes(&mut bytes);
+        u64::from_be_bytes(bytes)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.buf_pos == 16 {
+                self.refill();
+            }
+            let take = (dest.len() - filled).min(16 - self.buf_pos);
+            dest[filled..filled + take]
+                .copy_from_slice(&self.buf[self.buf_pos..self.buf_pos + take]);
+            self.buf_pos += take;
+            filled += take;
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn deterministic_across_chunkings() {
+        let mut a = Drbg::from_seed(&[7u8; 32]);
+        let mut b = Drbg::from_seed(&[7u8; 32]);
+        let mut buf_a = [0u8; 100];
+        a.fill_bytes(&mut buf_a);
+        let mut buf_b = [0u8; 100];
+        for chunk in buf_b.chunks_mut(9) {
+            b.fill_bytes(chunk);
+        }
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Drbg::from_seed(&[1u8; 32]);
+        let mut b = Drbg::from_seed(&[2u8; 32]);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        // Cheap sanity check: bit balance within 5% over 64 KiB.
+        let mut rng = Drbg::from_seed(&[3u8; 32]);
+        let mut buf = vec![0u8; 65536];
+        rng.fill_bytes(&mut buf);
+        let ones: u64 = buf.iter().map(|b| b.count_ones() as u64).sum();
+        let total = buf.len() as u64 * 8;
+        let ratio = ones as f64 / total as f64;
+        assert!((0.49..0.51).contains(&ratio), "bit ratio {ratio}");
+    }
+}

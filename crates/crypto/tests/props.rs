@@ -1,0 +1,80 @@
+//! Property tests: cipher round-trips and mode invariants.
+
+use cryptdb_crypto::blowfish::Blowfish;
+use cryptdb_crypto::modes::{
+    cbc_decrypt, cbc_encrypt, cmc_decrypt, cmc_encrypt, ctr_xor, pkcs7_pad, pkcs7_unpad,
+};
+use cryptdb_crypto::prf::derive_key;
+use cryptdb_crypto::{Aes, BlockCipher};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn aes_block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes::new_128(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        prop_assert_ne!(b, block);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn aes256_block_roundtrip(key in any::<[u8; 32]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes::new_256(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn blowfish_roundtrip(key in proptest::collection::vec(any::<u8>(), 1..56), v in any::<u64>()) {
+        let bf = Blowfish::new(&key);
+        prop_assert_eq!(bf.decrypt_u64(bf.encrypt_u64(v)), v);
+    }
+
+    #[test]
+    fn cbc_roundtrip(key in any::<[u8; 16]>(), iv in any::<[u8; 16]>(),
+                     data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let aes = Aes::new_128(&key);
+        let ct = cbc_encrypt(&aes, &iv, &data);
+        prop_assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn cmc_roundtrip_and_deterministic(key in any::<[u8; 16]>(),
+                                       data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let aes = Aes::new_128(&key);
+        let c1 = cmc_encrypt(&aes, &data);
+        let c2 = cmc_encrypt(&aes, &data);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(cmc_decrypt(&aes, &c1).unwrap(), data);
+    }
+
+    #[test]
+    fn ctr_is_an_involution(key in any::<[u8; 16]>(), nonce in any::<[u8; 16]>(),
+                            data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let aes = Aes::new_128(&key);
+        let mut buf = data.clone();
+        ctr_xor(&aes, &nonce, &mut buf);
+        ctr_xor(&aes, &nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn pkcs7_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let padded = pkcs7_pad(&data, 16);
+        prop_assert_eq!(padded.len() % 16, 0);
+        prop_assert!(padded.len() > data.len());
+        prop_assert_eq!(pkcs7_unpad(&padded, 16).unwrap(), data);
+    }
+
+    #[test]
+    fn kdf_injective_on_paths(a in "[a-z]{1,10}", b in "[a-z]{1,10}") {
+        let mk = [9u8; 32];
+        prop_assume!(a != b);
+        prop_assert_ne!(derive_key(&mk, &[&a]), derive_key(&mk, &[&b]));
+        prop_assert_ne!(derive_key(&mk, &[&a, &b]), derive_key(&mk, &[&b, &a]));
+    }
+}

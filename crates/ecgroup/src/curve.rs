@@ -1,0 +1,221 @@
+//! Curve25519 x-only scalar multiplication (Montgomery ladder).
+//!
+//! Curve: y² = x³ + 486662·x² + x over GF(2²⁵⁵−19); base point x = 9
+//! generates the prime-order-ℓ subgroup. Only x-coordinates are ever
+//! needed: JOIN-ADJ tags are x-coordinates and re-keying is a scalar
+//! multiplication of a tag, which the ladder computes from x alone.
+//!
+//! Unlike X25519 key exchange we do **not** clamp scalars — adjustable
+//! joins need exact arithmetic mod ℓ so that `(K′·h)·(K/K′) = K·h`.
+
+use crate::field::Fe;
+use crate::scalar::Scalar;
+
+/// x-coordinate of the base point.
+pub const BASE_X: u64 = 9;
+
+/// Curve coefficient A = 486662; the ladder uses a24 = (A−2)/4 = 121665.
+#[cfg_attr(not(test), expect(dead_code))]
+const A: u64 = 486662;
+const A24: u64 = 121665;
+
+/// Computes the x-coordinate of `[scalar]·P` given only `x(P)`.
+///
+/// Returns `None` when the result is the point at infinity (never happens
+/// for nonzero scalars and base-point multiples of prime order).
+pub fn ladder(scalar: &Scalar, x: &Fe) -> Option<Fe> {
+    let k = scalar.as_ubig();
+    let x1 = x.clone();
+    // (x2, z2) = infinity, (x3, z3) = P.
+    let mut x2 = Fe::one();
+    let mut z2 = Fe::zero();
+    let mut x3 = x1.clone();
+    let mut z3 = Fe::one();
+
+    let bits = 255;
+    let mut swap = false;
+    for i in (0..bits).rev() {
+        let bit = k.bit(i);
+        if swap != bit {
+            std::mem::swap(&mut x2, &mut x3);
+            std::mem::swap(&mut z2, &mut z3);
+        }
+        swap = bit;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&e.mul_u64(A24)));
+    }
+    if swap {
+        std::mem::swap(&mut x2, &mut x3);
+        std::mem::swap(&mut z2, &mut z3);
+    }
+    if z2.is_zero() {
+        return None;
+    }
+    Some(x2.mul(&z2.invert()))
+}
+
+/// Affine point arithmetic used only for cross-validating the ladder.
+#[cfg(test)]
+pub(crate) mod affine {
+    use super::*;
+    use cryptdb_bignum::Ubig;
+
+    /// An affine point or infinity.
+    #[derive(Clone, PartialEq, Debug)]
+    pub enum Point {
+        Infinity,
+        Affine { x: Fe, y: Fe },
+    }
+
+    /// Recovers a y for the given x from the curve equation.
+    pub fn lift_x(x: &Fe) -> Option<Point> {
+        // y² = x³ + A·x² + x.
+        let rhs = x
+            .square()
+            .mul(x)
+            .add(&x.square().mul_u64(A))
+            .add(x);
+        rhs.sqrt().map(|y| Point::Affine { x: x.clone(), y })
+    }
+
+    pub fn add(p: &Point, q: &Point) -> Point {
+        match (p, q) {
+            (Point::Infinity, _) => q.clone(),
+            (_, Point::Infinity) => p.clone(),
+            (Point::Affine { x: x1, y: y1 }, Point::Affine { x: x2, y: y2 }) => {
+                if x1 == x2 {
+                    if y1 == y2 && !y1.is_zero() {
+                        return double(p);
+                    }
+                    return Point::Infinity;
+                }
+                let lambda = y2.sub(y1).mul(&x2.sub(x1).invert());
+                let x3 = lambda
+                    .square()
+                    .sub(&Fe::from_u64(A))
+                    .sub(x1)
+                    .sub(x2);
+                let y3 = lambda.mul(&x1.sub(&x3)).sub(y1);
+                Point::Affine { x: x3, y: y3 }
+            }
+        }
+    }
+
+    pub fn double(p: &Point) -> Point {
+        match p {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => {
+                if y.is_zero() {
+                    return Point::Infinity;
+                }
+                let num = x
+                    .square()
+                    .mul_u64(3)
+                    .add(&x.mul_u64(2 * A))
+                    .add(&Fe::one());
+                let lambda = num.mul(&y.mul_u64(2).invert());
+                let x3 = lambda.square().sub(&Fe::from_u64(A)).sub(x).sub(x);
+                let y3 = lambda.mul(&x.sub(&x3)).sub(y);
+                Point::Affine { x: x3, y: y3 }
+            }
+        }
+    }
+
+    pub fn scalar_mul(k: &Ubig, p: &Point) -> Point {
+        let mut acc = Point::Infinity;
+        let mut base = p.clone();
+        for i in 0..k.bits() {
+            if k.bit(i) {
+                acc = add(&acc, &base);
+            }
+            base = double(&base);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::affine::{lift_x, scalar_mul, Point};
+    use super::*;
+    use crate::scalar::order;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn base() -> Fe {
+        Fe::from_u64(BASE_X)
+    }
+
+    #[test]
+    fn base_point_is_on_curve() {
+        assert!(lift_x(&base()).is_some(), "x=9 must lift to the curve");
+    }
+
+    #[test]
+    fn base_point_has_order_ell() {
+        // [ℓ]B = infinity and [1]B = B.
+        let p = lift_x(&base()).unwrap();
+        assert_eq!(scalar_mul(order(), &p), Point::Infinity);
+        let one = Scalar::from_bytes_mod_order(&{
+            let mut b = [0u8; 32];
+            b[31] = 1;
+            b
+        });
+        assert_eq!(ladder(&one, &base()).unwrap(), base());
+    }
+
+    #[test]
+    fn ladder_matches_affine_reference() {
+        // The ladder and the independent affine double-and-add must agree
+        // on x for random scalars (y differs only in sign, x is unique).
+        let mut rng = StdRng::seed_from_u64(99);
+        let p = lift_x(&base()).unwrap();
+        for _ in 0..8 {
+            let s = Scalar::random(&mut rng);
+            let lx = ladder(&s, &base()).unwrap();
+            match scalar_mul(s.as_ubig(), &p) {
+                Point::Affine { x, .. } => assert_eq!(lx, x),
+                Point::Infinity => panic!("nonzero scalar gave infinity"),
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_composes_multiplicatively() {
+        // x([a]([b]B)) == x([a·b mod ℓ]B).
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..5 {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let xb = ladder(&b, &base()).unwrap();
+            let lhs = ladder(&a, &xb).unwrap();
+            let rhs = ladder(&a.mul(&b), &base()).unwrap();
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn distinct_scalars_distinct_points() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let mut bytes = [0u8; 32];
+            rng.fill_bytes(&mut bytes);
+            let s = Scalar::from_bytes_mod_order(&bytes);
+            let x = ladder(&s, &base()).unwrap().to_bytes();
+            assert!(seen.insert(x), "unexpected x-coordinate collision");
+        }
+    }
+}

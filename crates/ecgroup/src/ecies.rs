@@ -1,0 +1,132 @@
+//! Hashed-ElGamal (ECIES-style) public-key encryption over Curve25519.
+//!
+//! Multi-principal CryptDB (§4.2) must deliver a key to a principal that is
+//! *offline*: "CryptDB looks up the public key of the principal ... and
+//! encrypts message 5's key using user 1's public key." This module is that
+//! public-key path: an x-only Diffie–Hellman to a static public key,
+//! followed by authenticated symmetric encryption of the payload.
+
+use crate::curve::{ladder, BASE_X};
+use crate::field::Fe;
+use crate::scalar::Scalar;
+use cryptdb_crypto::authenc;
+use cryptdb_crypto::sha256::sha256;
+
+/// A public key: x-coordinate of `[d]·B`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EciesPublic(pub [u8; 32]);
+
+/// A keypair (the secret scalar stays wrapped under the principal's
+/// symmetric key inside the `public_keys` table).
+pub struct EciesKeypair {
+    pub public: EciesPublic,
+    pub secret: Scalar,
+}
+
+impl EciesKeypair {
+    /// Generates a fresh keypair.
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        let secret = Scalar::random(rng);
+        let public = ladder(&secret, &Fe::from_u64(BASE_X))
+            .expect("nonzero scalar")
+            .to_bytes();
+        EciesKeypair {
+            public: EciesPublic(public),
+            secret,
+        }
+    }
+
+    /// Reconstructs a keypair from a serialised secret scalar.
+    pub fn from_secret_bytes(bytes: &[u8; 32]) -> Self {
+        let secret = Scalar::from_bytes_mod_order(bytes);
+        let public = ladder(&secret, &Fe::from_u64(BASE_X))
+            .expect("nonzero scalar")
+            .to_bytes();
+        EciesKeypair {
+            public: EciesPublic(public),
+            secret,
+        }
+    }
+
+    /// Decrypts a message sealed to this keypair's public key.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Option<Vec<u8>> {
+        if ciphertext.len() < 32 {
+            return None;
+        }
+        let ephemeral: [u8; 32] = ciphertext[..32].try_into().ok()?;
+        let shared = ladder(&self.secret, &Fe::from_bytes(&ephemeral))?;
+        let sym = sha256(&shared.to_bytes());
+        authenc::open(&sym, &ciphertext[32..])
+    }
+}
+
+impl EciesPublic {
+    /// Encrypts `plaintext` to this public key: `R ‖ seal(H(x([e]Q)), m)`.
+    pub fn encrypt<R: rand::RngCore + ?Sized>(&self, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+        loop {
+            let e = Scalar::random(rng);
+            let ephemeral = ladder(&e, &Fe::from_u64(BASE_X)).expect("nonzero scalar");
+            let Some(shared) = ladder(&e, &Fe::from_bytes(&self.0)) else {
+                continue; // Degenerate public key point; resample.
+            };
+            let sym = sha256(&shared.to_bytes());
+            let mut out = ephemeral.to_bytes().to_vec();
+            out.extend_from_slice(&authenc::seal(&sym, plaintext, rng));
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let kp = EciesKeypair::generate(&mut rng);
+        let ct = kp.public.encrypt(b"the principal key", &mut rng);
+        assert_eq!(kp.decrypt(&ct).unwrap(), b"the principal key");
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let kp1 = EciesKeypair::generate(&mut rng);
+        let kp2 = EciesKeypair::generate(&mut rng);
+        let ct = kp1.public.encrypt(b"secret", &mut rng);
+        assert!(kp2.decrypt(&ct).is_none());
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let kp = EciesKeypair::generate(&mut rng);
+        assert_ne!(
+            kp.public.encrypt(b"same", &mut rng),
+            kp.public.encrypt(b"same", &mut rng)
+        );
+    }
+
+    #[test]
+    fn secret_bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let kp = EciesKeypair::generate(&mut rng);
+        let restored = EciesKeypair::from_secret_bytes(&kp.secret.to_bytes());
+        assert_eq!(restored.public, kp.public);
+        let ct = kp.public.encrypt(b"x", &mut rng);
+        assert_eq!(restored.decrypt(&ct).unwrap(), b"x");
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let kp = EciesKeypair::generate(&mut rng);
+        let mut ct = kp.public.encrypt(b"payload", &mut rng);
+        let n = ct.len();
+        ct[n - 1] ^= 1;
+        assert!(kp.decrypt(&ct).is_none());
+    }
+}

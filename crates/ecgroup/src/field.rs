@@ -1,0 +1,162 @@
+//! Arithmetic in GF(2²⁵⁵ − 19).
+
+use cryptdb_bignum::Ubig;
+use std::sync::OnceLock;
+
+/// The field prime p = 2²⁵⁵ − 19.
+pub fn p() -> &'static Ubig {
+    static P: OnceLock<Ubig> = OnceLock::new();
+    P.get_or_init(|| Ubig::one().shl(255).sub(&Ubig::from_u64(19)))
+}
+
+/// A field element, kept reduced in `[0, p)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fe(pub(crate) Ubig);
+
+impl Fe {
+    pub fn zero() -> Self {
+        Fe(Ubig::zero())
+    }
+
+    pub fn one() -> Self {
+        Fe(Ubig::one())
+    }
+
+    pub fn from_u64(v: u64) -> Self {
+        Fe(Ubig::from_u64(v))
+    }
+
+    /// Parses 32 big-endian bytes, reducing mod p.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        Fe(Ubig::from_bytes_be(bytes).rem(p()))
+    }
+
+    /// Serialises to 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_bytes_be(32).try_into().expect("32 bytes")
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Fast reduction exploiting p = 2²⁵⁵ − 19: fold `hi·2²⁵⁵ → hi·19`.
+    fn reduce(v: Ubig) -> Fe {
+        let mut v = v;
+        while v.bits() > 255 {
+            let hi = v.shr(255);
+            let lo = v.rem(&Ubig::one().shl(255));
+            v = lo.add(&hi.mul_u64(19));
+        }
+        if &v >= p() {
+            v = v.sub(p());
+        }
+        Fe(v)
+    }
+
+    pub fn add(&self, other: &Fe) -> Fe {
+        Fe::reduce(self.0.add(&other.0))
+    }
+
+    pub fn sub(&self, other: &Fe) -> Fe {
+        if self.0 >= other.0 {
+            Fe(self.0.sub(&other.0))
+        } else {
+            Fe(self.0.add(p()).sub(&other.0))
+        }
+    }
+
+    pub fn mul(&self, other: &Fe) -> Fe {
+        Fe::reduce(self.0.mul(&other.0))
+    }
+
+    pub fn mul_u64(&self, k: u64) -> Fe {
+        Fe::reduce(self.0.mul_u64(k))
+    }
+
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiplicative inverse via Fermat: a^(p−2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn invert(&self) -> Fe {
+        assert!(!self.is_zero(), "inverting zero field element");
+        self.pow(&p().sub(&Ubig::from_u64(2)))
+    }
+
+    /// Exponentiation by square-and-multiply.
+    pub fn pow(&self, e: &Ubig) -> Fe {
+        let mut result = Fe::one();
+        let mut base = self.clone();
+        for i in 0..e.bits() {
+            if e.bit(i) {
+                result = result.mul(&base);
+            }
+            base = base.square();
+        }
+        result
+    }
+
+    /// Square root for p ≡ 5 (mod 8) (Atkin): returns `None` if `self` is
+    /// a non-residue.
+    pub fn sqrt(&self) -> Option<Fe> {
+        if self.is_zero() {
+            return Some(Fe::zero());
+        }
+        // candidate = a^((p+3)/8).
+        let e = p().add(&Ubig::from_u64(3)).shr(3);
+        let mut cand = self.pow(&e);
+        if cand.square() != *self {
+            // Multiply by sqrt(-1) = 2^((p-1)/4).
+            let i_exp = p().sub(&Ubig::one()).shr(2);
+            let sqrt_m1 = Fe::from_u64(2).pow(&i_exp);
+            cand = cand.mul(&sqrt_m1);
+        }
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_laws() {
+        let a = Fe::from_u64(123456789);
+        let b = Fe::from_u64(987654321);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.sub(&a), Fe::zero());
+        assert_eq!(a.mul(&a.invert()), Fe::one());
+    }
+
+    #[test]
+    fn reduction_wraps_at_p() {
+        let almost = Fe(p().sub(&Ubig::one()));
+        assert_eq!(almost.add(&Fe::one()), Fe::zero());
+        assert_eq!(almost.add(&Fe::from_u64(20)), Fe::from_u64(19));
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        for v in [4u64, 9, 16, 1234321] {
+            let a = Fe::from_u64(v);
+            let r = a.sqrt().expect("perfect square is a residue");
+            assert_eq!(r.square(), a);
+        }
+    }
+
+    #[test]
+    fn sqrt_of_nonresidue_fails() {
+        // 2 is a non-residue mod 2^255-19 (p ≡ 5 mod 8).
+        assert!(Fe::from_u64(2).sqrt().is_none());
+    }
+}

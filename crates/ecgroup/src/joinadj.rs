@@ -1,0 +1,139 @@
+//! JOIN-ADJ: the paper's adjustable keyed cryptographic hash (§3.4).
+//!
+//! `JOIN-ADJ_K(v) = [K · PRF_K0(v)] · B` — a deterministic, collision
+//! resistant, non-invertible function of `v` whose key can be switched
+//! from `K′` to `K` *by the server* given only `ΔK = K/K′`:
+//!
+//! ```text
+//! [ΔK]·JOIN-ADJ_K′(v) = [(K/K′)·K′·PRF_K0(v)]·B = JOIN-ADJ_K(v)
+//! ```
+//!
+//! The full JOIN encryption is `JOIN(v) = JOIN-ADJ(v) ‖ DET(v)` (built in
+//! `cryptdb-core`); this module provides the adjustable half. Tags are
+//! 32-byte x-coordinates (the paper used 192-bit outputs; same argument —
+//! collisions never happen in practice).
+
+use crate::curve::{ladder, BASE_X};
+use crate::field::Fe;
+use crate::scalar::Scalar;
+use cryptdb_crypto::prf::{prf, Key};
+
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 32;
+
+/// A JOIN-ADJ tag: the x-coordinate of the group element.
+pub type JoinTag = [u8; TAG_LEN];
+
+/// A per-column JOIN-ADJ key (a group scalar).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JoinKey(pub Scalar);
+
+impl JoinKey {
+    /// Derives a column key from 32 key bytes.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        JoinKey(Scalar::from_bytes_mod_order(bytes))
+    }
+}
+
+/// The JOIN-ADJ functionality, parameterised by the global PRF key `K0`
+/// (derived from the master key; shared by all columns, per §3.4).
+pub struct JoinAdj {
+    k0: Key,
+}
+
+impl JoinAdj {
+    /// Creates the primitive with PRF key `k0`.
+    pub fn new(k0: Key) -> Self {
+        JoinAdj { k0 }
+    }
+
+    /// Computes `JOIN-ADJ_K(v)` for plaintext bytes `v`.
+    pub fn tag(&self, key: &JoinKey, v: &[u8]) -> JoinTag {
+        let h = Scalar::from_bytes_mod_order(&prf(&self.k0, v));
+        let exponent = key.0.mul(&h);
+        let x = ladder(&exponent, &Fe::from_u64(BASE_X))
+            .expect("nonzero scalar on prime-order base point");
+        x.to_bytes()
+    }
+
+    /// Computes the re-keying token `ΔK = K_new / K_old` (proxy side).
+    pub fn delta(k_old: &JoinKey, k_new: &JoinKey) -> Scalar {
+        k_new.0.div(&k_old.0)
+    }
+
+    /// Applies `ΔK` to a stored tag (server side — the `JOIN_ADJ` UDF).
+    ///
+    /// Returns `None` only for a malformed tag of the point at infinity.
+    pub fn adjust(tag: &JoinTag, delta: &Scalar) -> Option<JoinTag> {
+        let x = Fe::from_bytes(tag);
+        ladder(delta, &x).map(|r| r.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (JoinAdj, JoinKey, JoinKey) {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let ja = JoinAdj::new([13u8; 32]);
+        let k1 = JoinKey(Scalar::random(&mut rng));
+        let k2 = JoinKey(Scalar::random(&mut rng));
+        (ja, k1, k2)
+    }
+
+    #[test]
+    fn deterministic_within_column() {
+        let (ja, k1, _) = setup();
+        assert_eq!(ja.tag(&k1, b"alice"), ja.tag(&k1, b"alice"));
+        assert_ne!(ja.tag(&k1, b"alice"), ja.tag(&k1, b"bob"));
+    }
+
+    #[test]
+    fn different_columns_do_not_match_before_adjustment() {
+        let (ja, k1, k2) = setup();
+        assert_ne!(ja.tag(&k1, b"alice"), ja.tag(&k2, b"alice"));
+    }
+
+    #[test]
+    fn adjustment_aligns_columns() {
+        // The server re-keys column 2's tags to column 1's key; equal
+        // plaintexts then produce equal tags (the equi-join works), and
+        // different plaintexts still differ.
+        let (ja, k1, k2) = setup();
+        let delta = JoinAdj::delta(&k2, &k1);
+        let adjusted = JoinAdj::adjust(&ja.tag(&k2, b"alice"), &delta).unwrap();
+        assert_eq!(adjusted, ja.tag(&k1, b"alice"));
+        let adjusted_bob = JoinAdj::adjust(&ja.tag(&k2, b"bob"), &delta).unwrap();
+        assert_ne!(adjusted_bob, ja.tag(&k1, b"alice"));
+    }
+
+    #[test]
+    fn adjustment_is_transitive() {
+        // A→B then B→C equals A→C (§3.4's transitivity property).
+        let mut rng = StdRng::seed_from_u64(3);
+        let ja = JoinAdj::new([1u8; 32]);
+        let ka = JoinKey(Scalar::random(&mut rng));
+        let kb = JoinKey(Scalar::random(&mut rng));
+        let kc = JoinKey(Scalar::random(&mut rng));
+        let t = ja.tag(&ka, b"v");
+        let via_b = JoinAdj::adjust(
+            &JoinAdj::adjust(&t, &JoinAdj::delta(&ka, &kb)).unwrap(),
+            &JoinAdj::delta(&kb, &kc),
+        )
+        .unwrap();
+        let direct = JoinAdj::adjust(&t, &JoinAdj::delta(&ka, &kc)).unwrap();
+        assert_eq!(via_b, direct);
+        assert_eq!(via_b, ja.tag(&kc, b"v"));
+    }
+
+    #[test]
+    fn different_prf_keys_are_unrelated() {
+        let ja1 = JoinAdj::new([1u8; 32]);
+        let ja2 = JoinAdj::new([2u8; 32]);
+        let k = JoinKey::from_bytes(&[9u8; 32]);
+        assert_ne!(ja1.tag(&k, b"alice"), ja2.tag(&k, b"alice"));
+    }
+}

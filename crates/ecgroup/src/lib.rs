@@ -1,0 +1,28 @@
+//! Elliptic-curve group, JOIN-ADJ adjustable hash, and ECIES key wrapping.
+//!
+//! The paper's adjustable join (§3.4) computes
+//! `JOIN-ADJ_K(v) = P^{K · PRF_K0(v)}` in an elliptic-curve group and lets
+//! the DBMS server *re-key* a whole column by exponentiating each value
+//! with `ΔK = K / K′`, all without seeing plaintexts. The paper used a
+//! NIST curve via NTL; we substitute **Curve25519** (x-only Montgomery
+//! ladder) because its parameters are verifiable from first principles
+//! offline — see DESIGN.md. The required operations are identical:
+//! scalar multiplication of a deterministic base-point power, plus scalar
+//! inversion modulo the prime group order ℓ.
+//!
+//! The same group provides the hashed-ElGamal (ECIES-style) public-key
+//! encryption that multi-principal CryptDB needs to deliver keys to
+//! principals that are offline at delegation time (§4.2).
+
+#![forbid(unsafe_code)]
+
+mod curve;
+mod ecies;
+mod field;
+mod joinadj;
+mod scalar;
+
+pub use curve::{ladder, BASE_X};
+pub use ecies::{EciesKeypair, EciesPublic};
+pub use joinadj::{JoinAdj, JoinKey, JoinTag, TAG_LEN};
+pub use scalar::Scalar;

@@ -1,0 +1,107 @@
+//! Scalar arithmetic modulo the prime group order ℓ.
+
+use cryptdb_bignum::Ubig;
+use std::sync::OnceLock;
+
+/// The prime order of the Curve25519 base-point subgroup:
+/// ℓ = 2²⁵² + 27742317777372353535851937790883648493.
+pub fn order() -> &'static Ubig {
+    static L: OnceLock<Ubig> = OnceLock::new();
+    L.get_or_init(|| {
+        Ubig::one()
+            .shl(252)
+            .add(&Ubig::from_decimal("27742317777372353535851937790883648493").unwrap())
+    })
+}
+
+/// A scalar in `[1, ℓ)` — group exponents for JOIN-ADJ and ECIES.
+///
+/// Zero is excluded by construction: every constructor maps to the range
+/// `[1, ℓ)`, so scalars are always invertible and never collapse a tag to
+/// the point at infinity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scalar(pub(crate) Ubig);
+
+impl Scalar {
+    /// Derives a scalar from 32 bytes (e.g. PRF output), mapping into `[1, ℓ)`.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Scalar {
+        let v = Ubig::from_bytes_be(bytes).rem(order());
+        if v.is_zero() {
+            Scalar(Ubig::one())
+        } else {
+            Scalar(v)
+        }
+    }
+
+    /// Uniform random scalar in `[1, ℓ)`.
+    pub fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Scalar {
+        loop {
+            let v = Ubig::rand_below(rng, order());
+            if !v.is_zero() {
+                return Scalar(v);
+            }
+        }
+    }
+
+    /// Scalar multiplication mod ℓ.
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        Scalar(self.0.mod_mul(&other.0, order()))
+    }
+
+    /// Multiplicative inverse mod ℓ (ℓ is prime, so this always exists).
+    pub fn invert(&self) -> Scalar {
+        Scalar(self.0.mod_inv(order()).expect("ℓ is prime and self is nonzero"))
+    }
+
+    /// `self / other mod ℓ` — the ΔK the proxy hands the server (§3.4).
+    pub fn div(&self, other: &Scalar) -> Scalar {
+        self.mul(&other.invert())
+    }
+
+    /// Serialises to 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_bytes_be(32).try_into().expect("32 bytes")
+    }
+
+    /// The underlying integer (for the ladder).
+    pub(crate) fn as_ubig(&self) -> &Ubig {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn order_is_prime_sized() {
+        assert_eq!(order().bits(), 253);
+    }
+
+    #[test]
+    fn inverse_law() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let s = Scalar::random(&mut rng);
+            assert_eq!(s.mul(&s.invert()).0, Ubig::one());
+        }
+    }
+
+    #[test]
+    fn delta_composition() {
+        // ΔK = K/K′ satisfies K′ · ΔK = K — the adjustment identity.
+        let mut rng = StdRng::seed_from_u64(6);
+        let k = Scalar::random(&mut rng);
+        let k_prime = Scalar::random(&mut rng);
+        let delta = k.div(&k_prime);
+        assert_eq!(k_prime.mul(&delta), k);
+    }
+
+    #[test]
+    fn zero_bytes_map_to_one() {
+        let s = Scalar::from_bytes_mod_order(&[0u8; 32]);
+        assert_eq!(s.0, Ubig::one());
+    }
+}

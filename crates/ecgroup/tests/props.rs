@@ -1,0 +1,53 @@
+//! Property tests: JOIN-ADJ algebra over random keys and values.
+
+use cryptdb_ecgroup::{JoinAdj, JoinKey, Scalar};
+use proptest::prelude::*;
+
+fn keys(seed: [u8; 32]) -> JoinKey {
+    JoinKey::from_bytes(&seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Equality semantics: tags agree exactly when plaintexts agree
+    /// (collisions are cryptographically negligible).
+    #[test]
+    fn tag_equality_mirrors_plaintext(a in proptest::collection::vec(any::<u8>(), 1..16),
+                                      b in proptest::collection::vec(any::<u8>(), 1..16),
+                                      k in any::<[u8; 32]>()) {
+        let ja = JoinAdj::new([1u8; 32]);
+        let key = keys(k);
+        prop_assert_eq!(ja.tag(&key, &a) == ja.tag(&key, &b), a == b);
+    }
+
+    /// Adjustment correctness for arbitrary key pairs (§3.4).
+    #[test]
+    fn adjust_rekeys_exactly(v in proptest::collection::vec(any::<u8>(), 1..16),
+                             k1 in any::<[u8; 32]>(), k2 in any::<[u8; 32]>()) {
+        let ja = JoinAdj::new([2u8; 32]);
+        let (ka, kb) = (keys(k1), keys(k2));
+        let adjusted = JoinAdj::adjust(&ja.tag(&ka, &v), &JoinAdj::delta(&ka, &kb)).unwrap();
+        prop_assert_eq!(adjusted, ja.tag(&kb, &v));
+    }
+
+    /// Round-trip: adjusting there and back is the identity.
+    #[test]
+    fn adjust_is_invertible(v in proptest::collection::vec(any::<u8>(), 1..16),
+                            k1 in any::<[u8; 32]>(), k2 in any::<[u8; 32]>()) {
+        let ja = JoinAdj::new([3u8; 32]);
+        let (ka, kb) = (keys(k1), keys(k2));
+        let t = ja.tag(&ka, &v);
+        let there = JoinAdj::adjust(&t, &JoinAdj::delta(&ka, &kb)).unwrap();
+        let back = JoinAdj::adjust(&there, &JoinAdj::delta(&kb, &ka)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Scalar field laws used by delta computation.
+    #[test]
+    fn scalar_div_mul_roundtrip(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let sa = Scalar::from_bytes_mod_order(&a);
+        let sb = Scalar::from_bytes_mod_order(&b);
+        prop_assert_eq!(sa.div(&sb).mul(&sb), sa);
+    }
+}

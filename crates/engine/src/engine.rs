@@ -1,0 +1,360 @@
+//! The engine facade: catalog, locking, statement dispatch, transactions.
+
+use crate::error::EngineError;
+use crate::exec::{self, Ctx, RowSchema, Source};
+use crate::table::{ColumnMeta, Table};
+use crate::udf::{AggregateUdf, UdfRegistry};
+use crate::value::Value;
+use cryptdb_sqlparser::{parse, Delete, Insert, Stmt, Update};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A result set with column names.
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// Rows affected by a write.
+    Affected(usize),
+    /// Statement executed with nothing to report (DDL, transactions).
+    Ok,
+}
+
+impl QueryResult {
+    /// The rows, if this is a result set.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        match self {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// First value of the first row (convenient for aggregates).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows().first().and_then(|r| r.first())
+    }
+}
+
+/// The in-memory DBMS server.
+///
+/// Thread-safe: statements on different tables proceed in parallel, reads
+/// on the same table share a lock, writes exclude each other — this is the
+/// concurrency model whose contention shape Fig. 10 measures.
+///
+/// # Examples
+///
+/// ```
+/// use cryptdb_engine::{Engine, Value};
+///
+/// let db = Engine::new();
+/// db.execute_sql("CREATE TABLE t (id int, name text)").unwrap();
+/// db.execute_sql("INSERT INTO t (id, name) VALUES (1, 'alice')").unwrap();
+/// let r = db.execute_sql("SELECT name FROM t WHERE id = 1").unwrap();
+/// assert_eq!(r.rows()[0][0], Value::Str("alice".into()));
+/// ```
+pub struct Engine {
+    catalog: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    udfs: RwLock<UdfRegistry>,
+    snapshot: Mutex<Option<HashMap<String, Table>>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Engine {
+            catalog: RwLock::new(HashMap::new()),
+            udfs: RwLock::new(UdfRegistry::new()),
+            snapshot: Mutex::new(None),
+        }
+    }
+
+    /// Registers a scalar UDF.
+    pub fn register_scalar_udf(
+        &self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value, EngineError> + Send + Sync + 'static,
+    ) {
+        self.udfs.write().register_scalar(name, f);
+    }
+
+    /// Registers an aggregate UDF.
+    pub fn register_aggregate_udf(&self, name: &str, agg: AggregateUdf) {
+        self.udfs.write().register_aggregate(name, agg);
+    }
+
+    /// Parses and executes a string of statements, returning the last result.
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryResult, EngineError> {
+        let stmts = parse(sql).map_err(|e| EngineError::Unsupported(e.to_string()))?;
+        let mut last = QueryResult::Ok;
+        for stmt in &stmts {
+            last = self.execute(stmt)?;
+        }
+        Ok(last)
+    }
+
+    fn table_handle(&self, name: &str) -> Result<Arc<RwLock<Table>>, EngineError> {
+        self.catalog
+            .read()
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| EngineError::TableNotFound(name.to_string()))
+    }
+
+    /// Runs `f` with a read lock on the named table.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R, EngineError> {
+        let handle = self.table_handle(name)?;
+        let guard = handle.read();
+        Ok(f(&guard))
+    }
+
+    /// All table names (lowercase), sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total storage across tables (§8.4.3).
+    pub fn storage_bytes(&self) -> usize {
+        let catalog = self.catalog.read();
+        catalog.values().map(|t| t.read().storage_bytes()).sum()
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute(&self, stmt: &Stmt) -> Result<QueryResult, EngineError> {
+        match stmt {
+            Stmt::CreateTable(ct) => {
+                let key = ct.name.to_lowercase();
+                let mut catalog = self.catalog.write();
+                if catalog.contains_key(&key) {
+                    return Err(EngineError::TableExists(ct.name.clone()));
+                }
+                let columns = ct
+                    .columns
+                    .iter()
+                    .map(|c| ColumnMeta {
+                        name: c.name.clone(),
+                        ty: c.ty,
+                    })
+                    .collect();
+                catalog.insert(key, Arc::new(RwLock::new(Table::new(&ct.name, columns))));
+                Ok(QueryResult::Ok)
+            }
+            Stmt::CreateIndex { table, column } => {
+                let handle = self.table_handle(table)?;
+                handle.write().create_index(column)?;
+                Ok(QueryResult::Ok)
+            }
+            Stmt::DropTable { name } => {
+                let removed = self.catalog.write().remove(&name.to_lowercase());
+                if removed.is_none() {
+                    return Err(EngineError::TableNotFound(name.clone()));
+                }
+                Ok(QueryResult::Ok)
+            }
+            Stmt::Insert(ins) => self.insert(ins),
+            Stmt::Select(sel) => self.select(sel),
+            Stmt::Update(upd) => self.update(upd),
+            Stmt::Delete(del) => self.delete(del),
+            Stmt::Begin => {
+                let catalog = self.catalog.read();
+                let snap = catalog
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.read().clone()))
+                    .collect();
+                *self.snapshot.lock() = Some(snap);
+                Ok(QueryResult::Ok)
+            }
+            Stmt::Commit => {
+                *self.snapshot.lock() = None;
+                Ok(QueryResult::Ok)
+            }
+            Stmt::Rollback => {
+                let Some(snap) = self.snapshot.lock().take() else {
+                    return Err(EngineError::NoActiveTransaction);
+                };
+                let mut catalog = self.catalog.write();
+                catalog.clear();
+                for (k, t) in snap {
+                    catalog.insert(k, Arc::new(RwLock::new(t)));
+                }
+                Ok(QueryResult::Ok)
+            }
+            // Annotation statements are proxy-side; the DBMS accepts and
+            // ignores them (the proxy never forwards them in practice).
+            Stmt::PrincType { .. } => Ok(QueryResult::Ok),
+        }
+    }
+
+    fn insert(&self, ins: &Insert) -> Result<QueryResult, EngineError> {
+        let handle = self.table_handle(&ins.table)?;
+        let udfs = self.udfs.read();
+        let ctx = Ctx { udfs: &udfs };
+        let empty_schema = RowSchema::default();
+        let mut table = handle.write();
+        let width = table.columns().len();
+        let positions: Vec<usize> = if ins.columns.is_empty() {
+            (0..width).collect()
+        } else {
+            ins.columns
+                .iter()
+                .map(|c| {
+                    table
+                        .column_position(c)
+                        .ok_or_else(|| EngineError::ColumnNotFound(c.clone()))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let mut count = 0;
+        for row_exprs in &ins.rows {
+            if row_exprs.len() != positions.len() {
+                return Err(EngineError::ArityMismatch {
+                    expected: positions.len(),
+                    found: row_exprs.len(),
+                });
+            }
+            let mut row = vec![Value::Null; width];
+            for (pos, e) in positions.iter().zip(row_exprs) {
+                row[*pos] = exec::eval(e, &empty_schema, &[], &ctx)?;
+            }
+            table.insert(row);
+            count += 1;
+        }
+        Ok(QueryResult::Affected(count))
+    }
+
+    fn select(&self, sel: &cryptdb_sqlparser::Select) -> Result<QueryResult, EngineError> {
+        // Collect table handles in FROM-then-JOIN order; lock in sorted
+        // order to avoid deadlocks, then execute.
+        let mut refs = sel.from.clone();
+        let mut join_ons = Vec::new();
+        for j in &sel.joins {
+            refs.push(j.table.clone());
+            join_ons.push(j.on.clone());
+        }
+        let mut handles = Vec::with_capacity(refs.len());
+        for r in &refs {
+            handles.push(self.table_handle(&r.name)?);
+        }
+        // Deduplicate by Arc identity for locking (self-joins share one
+        // lock), then lock in address order.
+        let mut unique: Vec<Arc<RwLock<Table>>> = Vec::new();
+        for h in &handles {
+            if !unique.iter().any(|u| Arc::ptr_eq(u, h)) {
+                unique.push(h.clone());
+            }
+        }
+        unique.sort_by_key(|h| Arc::as_ptr(h) as usize);
+        let guards: Vec<_> = unique.iter().map(|h| h.read()).collect();
+        let find_guard = |h: &Arc<RwLock<Table>>| {
+            unique
+                .iter()
+                .position(|u| Arc::ptr_eq(u, h))
+                .expect("handle present")
+        };
+        let sources: Vec<Source<'_>> = refs
+            .iter()
+            .zip(&handles)
+            .map(|(r, h)| Source::new(&guards[find_guard(h)], r))
+            .collect();
+        let udfs = self.udfs.read();
+        let ctx = Ctx { udfs: &udfs };
+        let (columns, rows) = exec::run_select(&sources, &join_ons, sel, &ctx)?;
+        Ok(QueryResult::Rows { columns, rows })
+    }
+
+    fn update(&self, upd: &Update) -> Result<QueryResult, EngineError> {
+        let handle = self.table_handle(&upd.table)?;
+        let udfs = self.udfs.read();
+        let ctx = Ctx { udfs: &udfs };
+        let mut table = handle.write();
+        let schema = RowSchema::for_table(&table, Some(&upd.table));
+        let sets: Vec<(usize, &cryptdb_sqlparser::Expr)> = upd
+            .sets
+            .iter()
+            .map(|(c, e)| {
+                table
+                    .column_position(c)
+                    .map(|p| (p, e))
+                    .ok_or_else(|| EngineError::ColumnNotFound(c.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let rowids = self.matching_rowids(&table, &schema, upd.selection.as_ref(), &ctx)?;
+        let mut count = 0;
+        for rowid in rowids {
+            let row = table.row(rowid).expect("rowid from scan").clone();
+            let mut new_values = Vec::with_capacity(sets.len());
+            for (pos, e) in &sets {
+                new_values.push((*pos, exec::eval(e, &schema, &row, &ctx)?));
+            }
+            for (pos, v) in new_values {
+                table.update_cell(rowid, pos, v);
+            }
+            count += 1;
+        }
+        Ok(QueryResult::Affected(count))
+    }
+
+    fn delete(&self, del: &Delete) -> Result<QueryResult, EngineError> {
+        let handle = self.table_handle(&del.table)?;
+        let udfs = self.udfs.read();
+        let ctx = Ctx { udfs: &udfs };
+        let mut table = handle.write();
+        let schema = RowSchema::for_table(&table, Some(&del.table));
+        let rowids = self.matching_rowids(&table, &schema, del.selection.as_ref(), &ctx)?;
+        let mut count = 0;
+        for rowid in rowids {
+            if table.delete(rowid) {
+                count += 1;
+            }
+        }
+        Ok(QueryResult::Affected(count))
+    }
+
+    /// Rowids matching a predicate (used by UPDATE/DELETE), index-assisted.
+    fn matching_rowids(
+        &self,
+        table: &Table,
+        schema: &RowSchema,
+        selection: Option<&cryptdb_sqlparser::Expr>,
+        ctx: &Ctx<'_>,
+    ) -> Result<Vec<u64>, EngineError> {
+        let mut out = Vec::new();
+        match selection {
+            None => out.extend(table.iter().map(|(id, _)| id)),
+            Some(sel) => {
+                let filters = exec::split_and(sel);
+                let candidates = exec::index_candidates_public(table, schema, &filters);
+                match candidates {
+                    Some(ids) => {
+                        for id in ids {
+                            if let Some(row) = table.row(id) {
+                                if exec::eval(sel, schema, row, ctx)?.is_truthy() {
+                                    out.push(id);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for (id, row) in table.iter() {
+                            if exec::eval(sel, schema, row, ctx)?.is_truthy() {
+                                out.push(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,39 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Errors produced by the SQL engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    TableNotFound(String),
+    TableExists(String),
+    ColumnNotFound(String),
+    AmbiguousColumn(String),
+    ArityMismatch { expected: usize, found: usize },
+    TypeMismatch(String),
+    UnknownFunction(String),
+    Udf(String),
+    Unsupported(String),
+    NoActiveTransaction,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            EngineError::TableExists(t) => write!(f, "table already exists: {t}"),
+            EngineError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            EngineError::ArityMismatch { expected, found } => {
+                write!(f, "expected {expected} values, found {found}")
+            }
+            EngineError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EngineError::UnknownFunction(n) => write!(f, "unknown function: {n}"),
+            EngineError::Udf(m) => write!(f, "UDF error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::NoActiveTransaction => write!(f, "no active transaction"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,39 @@
+//! An in-memory SQL DBMS with user-defined functions.
+//!
+//! This crate is the substitute for the paper's unmodified MySQL/Postgres
+//! server (see DESIGN.md). CryptDB's architecture demands only two things
+//! of the DBMS: standard SQL processing, and the ability to register UDFs
+//! that compute on ciphertexts (`DECRYPT_RND`, `HOM_SUM`, `SEARCH_MATCH`,
+//! `JOIN_ADJ`, ...). The engine is therefore completely CryptDB-agnostic —
+//! it stores opaque values, maintains B-tree indexes over them, and calls
+//! whatever UDFs the proxy registered, exactly like the paper's server-side
+//! deployment.
+//!
+//! Features:
+//!
+//! * tables with `Int`/`Text` columns storing [`Value`]s (`NULL`, integer,
+//!   string, raw bytes — ciphertexts are bytes),
+//! * secondary B-tree indexes used for equality and range predicates
+//!   (indexes over DET/OPE ciphertexts work; over RND they are useless,
+//!   which is what sinks the strawman in Fig. 11),
+//! * a query executor with selection push-down, hash equi-joins, grouping
+//!   and aggregates, `ORDER BY`/`LIMIT`, `DISTINCT`,
+//! * scalar and aggregate UDF registries,
+//! * per-table reader/writer locks so multi-core throughput scales until
+//!   write contention (Fig. 10's shape),
+//! * snapshot transactions (`BEGIN`/`COMMIT`/`ROLLBACK`).
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod error;
+mod exec;
+mod table;
+mod udf;
+mod value;
+
+pub use engine::{Engine, QueryResult};
+pub use error::EngineError;
+pub use table::{ColumnMeta, Table};
+pub use udf::{AggregateUdf, ScalarUdf, UdfRegistry};
+pub use value::Value;

@@ -1,0 +1,257 @@
+//! Table storage with secondary B-tree indexes.
+
+use crate::error::EngineError;
+use crate::value::{OrdValue, Value};
+use cryptdb_sqlparser::ColumnType;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Column metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnMeta {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+/// An in-memory table: schema + rows keyed by rowid + secondary indexes.
+#[derive(Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<ColumnMeta>,
+    col_index: HashMap<String, usize>,
+    rows: BTreeMap<u64, Vec<Value>>,
+    next_rowid: u64,
+    /// column position → (value → rowids).
+    indexes: HashMap<usize, BTreeMap<OrdValue, BTreeSet<u64>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, columns: Vec<ColumnMeta>) -> Self {
+        let col_index = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.to_lowercase(), i))
+            .collect();
+        Table {
+            name: name.to_string(),
+            columns,
+            col_index,
+            rows: BTreeMap::new(),
+            next_rowid: 1,
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column metadata in declaration order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Case-insensitive column lookup.
+    pub fn column_position(&self, name: &str) -> Option<usize> {
+        self.col_index.get(&name.to_lowercase()).copied()
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterates `(rowid, row)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Vec<Value>)> {
+        self.rows.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Fetches one row.
+    pub fn row(&self, rowid: u64) -> Option<&Vec<Value>> {
+        self.rows.get(&rowid)
+    }
+
+    /// Inserts a full-width row, returning its rowid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the schema width (callers
+    /// validate and pad first).
+    pub fn insert(&mut self, row: Vec<Value>) -> u64 {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        let rowid = self.next_rowid;
+        self.next_rowid += 1;
+        for (&col, index) in self.indexes.iter_mut() {
+            index
+                .entry(OrdValue(row[col].clone()))
+                .or_default()
+                .insert(rowid);
+        }
+        self.rows.insert(rowid, row);
+        rowid
+    }
+
+    /// Deletes a row by id; returns whether it existed.
+    pub fn delete(&mut self, rowid: u64) -> bool {
+        let Some(row) = self.rows.remove(&rowid) else {
+            return false;
+        };
+        for (&col, index) in self.indexes.iter_mut() {
+            if let Some(set) = index.get_mut(&OrdValue(row[col].clone())) {
+                set.remove(&rowid);
+                if set.is_empty() {
+                    index.remove(&OrdValue(row[col].clone()));
+                }
+            }
+        }
+        true
+    }
+
+    /// Replaces one cell, maintaining indexes.
+    pub fn update_cell(&mut self, rowid: u64, col: usize, value: Value) {
+        let Some(row) = self.rows.get_mut(&rowid) else {
+            return;
+        };
+        let old = std::mem::replace(&mut row[col], value.clone());
+        if let Some(index) = self.indexes.get_mut(&col) {
+            if let Some(set) = index.get_mut(&OrdValue(old.clone())) {
+                set.remove(&rowid);
+                if set.is_empty() {
+                    index.remove(&OrdValue(old));
+                }
+            }
+            index.entry(OrdValue(value)).or_default().insert(rowid);
+        }
+    }
+
+    /// Builds (or rebuilds) an index on a column.
+    pub fn create_index(&mut self, column: &str) -> Result<(), EngineError> {
+        let col = self
+            .column_position(column)
+            .ok_or_else(|| EngineError::ColumnNotFound(column.to_string()))?;
+        let mut index: BTreeMap<OrdValue, BTreeSet<u64>> = BTreeMap::new();
+        for (&rowid, row) in &self.rows {
+            index
+                .entry(OrdValue(row[col].clone()))
+                .or_default()
+                .insert(rowid);
+        }
+        self.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// True if the column has an index.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Rowids with `row[col] == value`, via the index.
+    pub fn index_lookup(&self, col: usize, value: &Value) -> Option<Vec<u64>> {
+        let index = self.indexes.get(&col)?;
+        Some(
+            index
+                .get(&OrdValue(value.clone()))
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Rowids with `low <= row[col] <= high` (either bound optional).
+    pub fn index_range(
+        &self,
+        col: usize,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Option<Vec<u64>> {
+        use std::ops::Bound;
+        let index = self.indexes.get(&col)?;
+        let lo = low.map_or(Bound::Unbounded, |v| Bound::Included(OrdValue(v.clone())));
+        let hi = high.map_or(Bound::Unbounded, |v| Bound::Included(OrdValue(v.clone())));
+        let mut out = Vec::new();
+        for (_, set) in index.range((lo, hi)) {
+            out.extend(set.iter().copied());
+        }
+        Some(out)
+    }
+
+    /// Total storage footprint of all cells (§8.4.3).
+    pub fn storage_bytes(&self) -> usize {
+        self.rows
+            .values()
+            .map(|r| r.iter().map(Value::storage_bytes).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::new(
+            "t",
+            vec![
+                ColumnMeta { name: "id".into(), ty: ColumnType::Int },
+                ColumnMeta { name: "name".into(), ty: ColumnType::Text },
+            ],
+        );
+        t.create_index("id").unwrap();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::Str(format!("row{i}"))]);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let t = t();
+        assert_eq!(t.row_count(), 10);
+        let ids = t.index_lookup(0, &Value::Int(5)).unwrap();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(t.row(ids[0]).unwrap()[1], Value::Str("row5".into()));
+    }
+
+    #[test]
+    fn range_scan() {
+        let t = t();
+        let ids = t
+            .index_range(0, Some(&Value::Int(3)), Some(&Value::Int(6)))
+            .unwrap();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn delete_maintains_index() {
+        let mut t = t();
+        let ids = t.index_lookup(0, &Value::Int(5)).unwrap();
+        assert!(t.delete(ids[0]));
+        assert!(t.index_lookup(0, &Value::Int(5)).unwrap().is_empty());
+        assert_eq!(t.row_count(), 9);
+    }
+
+    #[test]
+    fn update_maintains_index() {
+        let mut t = t();
+        let ids = t.index_lookup(0, &Value::Int(5)).unwrap();
+        t.update_cell(ids[0], 0, Value::Int(100));
+        assert!(t.index_lookup(0, &Value::Int(5)).unwrap().is_empty());
+        assert_eq!(t.index_lookup(0, &Value::Int(100)).unwrap(), ids);
+    }
+
+    #[test]
+    fn index_built_over_existing_rows() {
+        let mut t = t();
+        t.create_index("name").unwrap();
+        let ids = t.index_lookup(1, &Value::Str("row7".into())).unwrap();
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_columns() {
+        let t = t();
+        assert_eq!(t.column_position("ID"), Some(0));
+        assert_eq!(t.column_position("Name"), Some(1));
+        assert_eq!(t.column_position("missing"), None);
+    }
+}

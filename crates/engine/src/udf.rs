@@ -1,0 +1,99 @@
+//! User-defined function registry.
+//!
+//! The paper: "CryptDB also equips the server with CryptDB-specific
+//! user-defined functions (UDFs) that enable the server to compute on
+//! ciphertexts for certain operations" (§3). The engine knows nothing
+//! about cryptography; the proxy registers closures here at setup time.
+
+use crate::error::EngineError;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scalar UDF: row values in, value out.
+pub type ScalarUdf = Arc<dyn Fn(&[Value]) -> Result<Value, EngineError> + Send + Sync>;
+
+/// An aggregate UDF: fold rows into an accumulator (e.g. `HOM_SUM`
+/// multiplies Paillier ciphertexts).
+#[derive(Clone)]
+pub struct AggregateUdf {
+    /// Initial accumulator value.
+    pub init: Value,
+    /// Folds one row's argument into the accumulator.
+    pub step: Arc<dyn Fn(Value, &Value) -> Result<Value, EngineError> + Send + Sync>,
+}
+
+/// Case-insensitive registry of scalar and aggregate UDFs.
+#[derive(Clone, Default)]
+pub struct UdfRegistry {
+    scalars: HashMap<String, ScalarUdf>,
+    aggregates: HashMap<String, AggregateUdf>,
+}
+
+impl UdfRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a scalar UDF (replacing any previous binding).
+    pub fn register_scalar(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value, EngineError> + Send + Sync + 'static,
+    ) {
+        self.scalars.insert(name.to_uppercase(), Arc::new(f));
+    }
+
+    /// Registers an aggregate UDF.
+    pub fn register_aggregate(&mut self, name: &str, agg: AggregateUdf) {
+        self.aggregates.insert(name.to_uppercase(), agg);
+    }
+
+    /// Looks up a scalar UDF.
+    pub fn scalar(&self, name: &str) -> Option<&ScalarUdf> {
+        self.scalars.get(&name.to_uppercase())
+    }
+
+    /// Looks up an aggregate UDF.
+    pub fn aggregate(&self, name: &str) -> Option<&AggregateUdf> {
+        self.aggregates.get(&name.to_uppercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_registration_and_call() {
+        let mut reg = UdfRegistry::new();
+        reg.register_scalar("double", |args| {
+            let v = args[0].as_int().ok_or(EngineError::Udf("int expected".into()))?;
+            Ok(Value::Int(v * 2))
+        });
+        let f = reg.scalar("DOUBLE").expect("case-insensitive lookup");
+        assert_eq!(f(&[Value::Int(21)]).unwrap(), Value::Int(42));
+        assert!(reg.scalar("nope").is_none());
+    }
+
+    #[test]
+    fn aggregate_fold() {
+        let mut reg = UdfRegistry::new();
+        reg.register_aggregate(
+            "xor_all",
+            AggregateUdf {
+                init: Value::Int(0),
+                step: Arc::new(|acc, v| {
+                    Ok(Value::Int(acc.as_int().unwrap() ^ v.as_int().unwrap_or(0)))
+                }),
+            },
+        );
+        let agg = reg.aggregate("XOR_ALL").unwrap();
+        let mut acc = agg.init.clone();
+        for v in [1i64, 2, 4] {
+            acc = (agg.step)(acc, &Value::Int(v)).unwrap();
+        }
+        assert_eq!(acc, Value::Int(7));
+    }
+}

@@ -1,0 +1,157 @@
+//! Runtime values.
+
+use std::cmp::Ordering;
+
+/// A single cell value.
+///
+/// Ciphertexts are stored as `Bytes`; their big-endian encodings make the
+/// engine's ordinary lexicographic comparisons behave as numeric
+/// comparisons, which is how OPE ciphertexts support range scans without
+/// engine changes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// True if this is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL truthiness: nonzero integer. `NULL` and non-integers are falsy.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Int(v) if *v != 0)
+    }
+
+    /// The integer value, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bytes value, if any.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Storage footprint in bytes (for the §8.4.3 storage experiment).
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+
+    /// Total ordering used by indexes and `ORDER BY`: `NULL` sorts first,
+    /// then by type (Int, Str, Bytes), then by value.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Str(_) => 2,
+                Value::Bytes(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// SQL comparison: `None` when either side is `NULL` (unknown) or the
+    /// types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bytes(a), Value::Bytes(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+/// Wrapper giving [`Value`] the total order, for use as B-tree keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrdValue(pub Value);
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_types() {
+        let mut vals = vec![
+            Value::Bytes(vec![1]),
+            Value::Str("a".into()),
+            Value::Int(3),
+            Value::Null,
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Int(3),
+                Value::Str("a".into()),
+                Value::Bytes(vec![1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn bytes_compare_lexicographically() {
+        // Big-endian encodings order numerically.
+        let a = Value::Bytes(1000u64.to_be_bytes().to_vec());
+        let b = Value::Bytes(2000u64.to_be_bytes().to_vec());
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Str("x".into()).is_truthy());
+    }
+}

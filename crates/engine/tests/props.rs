@@ -1,0 +1,124 @@
+//! Property tests: the SQL executor against a naive in-memory model.
+
+use cryptdb_engine::{Engine, Value};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Row {
+    a: i64,
+    b: i64,
+    s: String,
+}
+
+fn load(rows: &[Row]) -> Engine {
+    let e = Engine::new();
+    e.execute_sql("CREATE TABLE t (a int, b int, s text); CREATE INDEX ON t (a)")
+        .unwrap();
+    for r in rows {
+        e.execute_sql(&format!(
+            "INSERT INTO t (a, b, s) VALUES ({}, {}, '{}')",
+            r.a, r.b, r.s
+        ))
+        .unwrap();
+    }
+    e
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (-20i64..20, -100i64..100, "[a-d]{1,3}").prop_map(|(a, b, s)| Row { a, b, s })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn equality_filter_matches_model(rows in proptest::collection::vec(row_strategy(), 0..40),
+                                     probe in -20i64..20) {
+        let e = load(&rows);
+        let got = e.execute_sql(&format!("SELECT b FROM t WHERE a = {probe}")).unwrap();
+        let mut got: Vec<i64> = got.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        got.sort_unstable();
+        let mut expect: Vec<i64> = rows.iter().filter(|r| r.a == probe).map(|r| r.b).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_filter_matches_model(rows in proptest::collection::vec(row_strategy(), 0..40),
+                                  lo in -20i64..20, width in 0i64..15) {
+        let e = load(&rows);
+        let hi = lo + width;
+        let got = e
+            .execute_sql(&format!("SELECT a FROM t WHERE a BETWEEN {lo} AND {hi}"))
+            .unwrap();
+        let mut got: Vec<i64> = got.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        got.sort_unstable();
+        let mut expect: Vec<i64> =
+            rows.iter().filter(|r| r.a >= lo && r.a <= hi).map(|r| r.a).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn aggregates_match_model(rows in proptest::collection::vec(row_strategy(), 0..40)) {
+        let e = load(&rows);
+        let count = e.execute_sql("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(count.scalar(), Some(&Value::Int(rows.len() as i64)));
+        let sum = e.execute_sql("SELECT SUM(b) FROM t").unwrap();
+        if rows.is_empty() {
+            prop_assert_eq!(sum.scalar(), Some(&Value::Null));
+        } else {
+            let expect: i64 = rows.iter().map(|r| r.b).sum();
+            prop_assert_eq!(sum.scalar(), Some(&Value::Int(expect)));
+            let min = e.execute_sql("SELECT MIN(b) FROM t").unwrap();
+            prop_assert_eq!(min.scalar(),
+                            Some(&Value::Int(rows.iter().map(|r| r.b).min().unwrap())));
+        }
+    }
+
+    #[test]
+    fn group_by_matches_model(rows in proptest::collection::vec(row_strategy(), 0..40)) {
+        let e = load(&rows);
+        let got = e
+            .execute_sql("SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY s")
+            .unwrap();
+        let mut expect: std::collections::BTreeMap<String, i64> = Default::default();
+        for r in &rows {
+            *expect.entry(r.s.clone()).or_default() += 1;
+        }
+        let got: Vec<(String, i64)> = got
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got, expect.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_by_limit_matches_model(rows in proptest::collection::vec(row_strategy(), 0..40),
+                                    limit in 0u64..10) {
+        let e = load(&rows);
+        let got = e
+            .execute_sql(&format!("SELECT b FROM t ORDER BY b LIMIT {limit}"))
+            .unwrap();
+        let got: Vec<i64> = got.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut expect: Vec<i64> = rows.iter().map(|r| r.b).collect();
+        expect.sort_unstable();
+        expect.truncate(limit as usize);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn delete_then_count(rows in proptest::collection::vec(row_strategy(), 0..40),
+                         probe in -20i64..20) {
+        let e = load(&rows);
+        let deleted = e
+            .execute_sql(&format!("DELETE FROM t WHERE a < {probe}"))
+            .unwrap();
+        let expect_deleted = rows.iter().filter(|r| r.a < probe).count();
+        prop_assert_eq!(deleted, cryptdb_engine::QueryResult::Affected(expect_deleted));
+        let count = e.execute_sql("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(count.scalar(),
+                        Some(&Value::Int((rows.len() - expect_deleted) as i64)));
+    }
+}

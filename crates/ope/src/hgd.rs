@@ -1,0 +1,188 @@
+//! Hypergeometric sampling for OPE.
+//!
+//! The Boldyreva scheme needs, at each tree node, a draw from
+//! HGD(population = range size `n`, successes = domain size `m`,
+//! draws = `y`): the number of domain points whose ciphertexts land below
+//! the range midpoint. The paper ported Kachitvichyanukul & Schmeiser's
+//! 1988 Fortran H2PEC sampler; we use the same two-regime approach in
+//! spirit:
+//!
+//! * small populations — **exact** sampling by simulating the draws
+//!   without replacement;
+//! * large populations — a clamped normal approximation (H2PEC itself is a
+//!   floating-point accept/reject method; only distribution *quality*, not
+//!   the order-preservation correctness, depends on the sampler, because
+//!   every sample is clamped to the exact hypergeometric support).
+
+use rand::RngCore;
+
+/// Exact threshold: below this population size we simulate the urn.
+const EXACT_LIMIT: u128 = 1024;
+
+/// Uniform sample in `[0, bound)` by rejection from the top bits.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    assert!(bound > 0, "uniform_below: empty range");
+    let bits = 128 - bound.leading_zeros();
+    loop {
+        let mut v: u128 = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        if bits < 128 {
+            v &= (1u128 << bits) - 1;
+        }
+        if v < bound {
+            return v;
+        }
+    }
+}
+
+/// A uniform f64 in [0, 1).
+fn uniform_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A standard normal deviate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = uniform_f64(rng).max(f64::MIN_POSITIVE);
+    let u2 = uniform_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `X ~ HGD(m successes, n population, y draws)` with the given
+/// deterministic coin source, clamped to the exact support
+/// `[max(0, y+m−n), min(m, y)]`.
+///
+/// # Panics
+///
+/// Panics if `m > n` or `y > n`.
+pub fn hypergeometric_sample<R: RngCore + ?Sized>(m: u128, n: u128, y: u128, rng: &mut R) -> u128 {
+    assert!(m <= n, "successes cannot exceed population");
+    assert!(y <= n, "draws cannot exceed population");
+    let lo = y.saturating_sub(n - m);
+    let hi = m.min(y);
+    if lo == hi {
+        return lo;
+    }
+    if n <= EXACT_LIMIT {
+        // Exact: draw y items from an urn of n with m marked, one at a time.
+        let mut remaining_marked = m;
+        let mut remaining_total = n;
+        let mut hits = 0u128;
+        for _ in 0..y {
+            let pick = uniform_below(rng, remaining_total);
+            if pick < remaining_marked {
+                remaining_marked -= 1;
+                hits += 1;
+            }
+            remaining_total -= 1;
+        }
+        return hits.clamp(lo, hi);
+    }
+    // Normal approximation: mean = y·m/n exactly, variance in floating point.
+    let mean_num = y
+        .checked_mul(m)
+        .map(|p| p / n)
+        .unwrap_or_else(|| big_mean(y, m, n));
+    let mf = m as f64;
+    let nf = n as f64;
+    let yf = y as f64;
+    let p = mf / nf;
+    let var = yf * p * (1.0 - p) * ((nf - yf) / (nf - 1.0));
+    let z = standard_normal(rng);
+    let offset = z * var.sqrt();
+    let sample = if offset >= 0.0 {
+        mean_num.saturating_add(offset as u128)
+    } else {
+        mean_num.saturating_sub((-offset) as u128)
+    };
+    sample.clamp(lo, hi)
+}
+
+/// `y·m/n` when the product overflows u128: compute via 256-bit split.
+fn big_mean(y: u128, m: u128, n: u128) -> u128 {
+    // y·m = (y_hi·2^64 + y_lo)·m; divide the 256-bit product by n using
+    // cryptdb-bignum to stay exact.
+    use cryptdb_bignum::Ubig;
+    let prod = Ubig::from_u128(y).mul(&Ubig::from_u128(m));
+    let q = prod.div_rem(&Ubig::from_u128(n)).0;
+    q.to_u128().expect("quotient of y*m/n fits u128 since y <= n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptdb_crypto::rng::Drbg;
+
+    #[test]
+    fn respects_support_small() {
+        let mut rng = Drbg::from_seed(&[1u8; 32]);
+        for _ in 0..200 {
+            let n = 2 + (rng.next_u64() % 60) as u128;
+            let m = rng.next_u64() as u128 % (n + 1);
+            let y = rng.next_u64() as u128 % (n + 1);
+            let x = hypergeometric_sample(m, n, y, &mut rng);
+            assert!(x >= y.saturating_sub(n - m), "m={m} n={n} y={y} x={x}");
+            assert!(x <= m.min(y), "m={m} n={n} y={y} x={x}");
+        }
+    }
+
+    #[test]
+    fn respects_support_large() {
+        let mut rng = Drbg::from_seed(&[2u8; 32]);
+        let n = 1u128 << 100;
+        let m = 1u128 << 64;
+        for shift in [1u32, 2, 10, 50] {
+            let y = n >> shift;
+            let x = hypergeometric_sample(m, n, y, &mut rng);
+            assert!(x <= m.min(y));
+        }
+    }
+
+    #[test]
+    fn exact_small_mean_is_plausible() {
+        // HGD(m=50, n=100, y=50) has mean 25; the average of many exact
+        // samples should be close.
+        let mut rng = Drbg::from_seed(&[3u8; 32]);
+        let total: u128 = (0..2000)
+            .map(|_| hypergeometric_sample(50, 100, 50, &mut rng))
+            .sum();
+        let avg = total as f64 / 2000.0;
+        assert!((23.0..27.0).contains(&avg), "avg={avg}");
+    }
+
+    #[test]
+    fn large_mean_is_plausible() {
+        let mut rng = Drbg::from_seed(&[4u8; 32]);
+        let n = 1u128 << 64;
+        let m = 1u128 << 32;
+        let y = n / 2;
+        let total: u128 = (0..200)
+            .map(|_| hypergeometric_sample(m, n, y, &mut rng))
+            .sum();
+        let avg = total / 200;
+        let mean = m / 2;
+        assert!(avg > mean / 2 && avg < mean * 3 / 2, "avg={avg} mean={mean}");
+    }
+
+    #[test]
+    fn degenerate_support_forced() {
+        let mut rng = Drbg::from_seed(&[5u8; 32]);
+        // m == n forces x == y.
+        assert_eq!(hypergeometric_sample(64, 64, 17, &mut rng), 17);
+        // y == 0 forces x == 0.
+        assert_eq!(hypergeometric_sample(10, 64, 0, &mut rng), 0);
+    }
+
+    #[test]
+    fn overflow_path_mean() {
+        let mut rng = Drbg::from_seed(&[6u8; 32]);
+        // y·m overflows u128: (2^100)·(2^64) = 2^164.
+        let n = 1u128 << 120;
+        let m = 1u128 << 64;
+        let y = 1u128 << 100;
+        let x = hypergeometric_sample(m, n, y, &mut rng);
+        assert!(x <= m);
+    }
+}

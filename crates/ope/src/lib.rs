@@ -1,0 +1,382 @@
+//! Order-preserving encryption (the paper's OPE scheme, §3.1).
+//!
+//! Implements the Boldyreva–Chenette–Lee–O'Neill construction: an OPE
+//! function sampled lazily by recursive binary range splitting, where the
+//! number of domain points falling below each range midpoint is drawn from
+//! a **hypergeometric distribution** with coins derived deterministically
+//! from the key (the paper ports the 1988 Fortran H2PEC sampler; see
+//! [`hypergeometric_sample`] for our equivalent). If `x < y` then
+//! `OPE_K(x) < OPE_K(y)`, so the DBMS server can run range predicates,
+//! `ORDER BY`, `MIN`, `MAX` on ciphertexts directly.
+//!
+//! The paper's AVL-tree batch-encryption optimisation (25 ms → 7 ms per
+//! encryption) is reproduced by [`OpeCached`], which memoises the sampled
+//! tree nodes so encryptions sharing path prefixes reuse work.
+
+#![forbid(unsafe_code)]
+
+mod hgd;
+
+pub use hgd::hypergeometric_sample;
+
+use cryptdb_crypto::rng::Drbg;
+use cryptdb_crypto::sha256::hmac_sha256;
+use std::collections::{BTreeMap, HashMap};
+
+/// Errors returned by OPE operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpeError {
+    /// The ciphertext does not decode to any plaintext under this key.
+    InvalidCiphertext,
+    /// The plaintext is outside the configured domain.
+    PlaintextOutOfRange,
+}
+
+impl std::fmt::Display for OpeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpeError::InvalidCiphertext => write!(f, "ciphertext is not in the image of OPE"),
+            OpeError::PlaintextOutOfRange => write!(f, "plaintext outside OPE domain"),
+        }
+    }
+}
+
+impl std::error::Error for OpeError {}
+
+/// An OPE key for a fixed domain/range geometry.
+///
+/// The paper's configuration is 32-bit plaintexts to 64-bit ciphertexts;
+/// CryptDB's engine uses 64 → 124 bits for `i64` columns.
+///
+/// # Examples
+///
+/// ```
+/// use cryptdb_ope::Ope;
+///
+/// let ope = Ope::new(&[7u8; 32], 32, 64);
+/// let a = ope.encrypt(100).unwrap();
+/// let b = ope.encrypt(200).unwrap();
+/// assert!(a < b);
+/// assert_eq!(ope.decrypt(a).unwrap(), 100);
+/// ```
+pub struct Ope {
+    key: [u8; 32],
+    d_bits: u32,
+    r_bits: u32,
+}
+
+impl Ope {
+    /// Creates an OPE instance mapping `d_bits`-bit plaintexts into
+    /// `r_bits`-bit ciphertexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < d_bits <= 64`, `r_bits <= 126`, `d_bits < r_bits`.
+    pub fn new(key: &[u8; 32], d_bits: u32, r_bits: u32) -> Self {
+        assert!(d_bits > 0 && d_bits <= 64, "domain bits in (0, 64]");
+        assert!(r_bits <= 126, "range bits at most 126");
+        assert!(d_bits < r_bits, "range must be strictly larger than domain");
+        Ope {
+            key: *key,
+            d_bits,
+            r_bits,
+        }
+    }
+
+    fn domain_size(&self) -> u128 {
+        1u128 << self.d_bits
+    }
+
+    fn range_size(&self) -> u128 {
+        1u128 << self.r_bits
+    }
+
+    /// Deterministic coins for an interior tree node.
+    fn node_rng(&self, dlo: u128, dhi: u128, rlo: u128, rhi: u128) -> Drbg {
+        let mut msg = Vec::with_capacity(65);
+        msg.push(0x01);
+        for v in [dlo, dhi, rlo, rhi] {
+            msg.extend_from_slice(&v.to_be_bytes());
+        }
+        Drbg::from_seed(&hmac_sha256(&self.key, &msg))
+    }
+
+    /// Deterministic coins for a leaf cell (single plaintext).
+    fn leaf_rng(&self, m: u128, rlo: u128, rhi: u128) -> Drbg {
+        let mut msg = Vec::with_capacity(49);
+        msg.push(0x02);
+        for v in [m, rlo, rhi] {
+            msg.extend_from_slice(&v.to_be_bytes());
+        }
+        Drbg::from_seed(&hmac_sha256(&self.key, &msg))
+    }
+
+    fn leaf_sample(&self, m: u128, rlo: u128, rhi: u128) -> u128 {
+        let mut rng = self.leaf_rng(m, rlo, rhi);
+        rlo + hgd::uniform_below(&mut rng, rhi - rlo)
+    }
+
+    /// Samples this node's split: the number of domain points mapped below
+    /// the range midpoint.
+    fn node_split(&self, dlo: u128, dhi: u128, rlo: u128, rhi: u128) -> (u128, u128) {
+        let dsize = dhi - dlo;
+        let rsize = rhi - rlo;
+        let y = rlo + rsize / 2;
+        let mut rng = self.node_rng(dlo, dhi, rlo, rhi);
+        let x = hypergeometric_sample(dsize, rsize, y - rlo, &mut rng);
+        (x, y)
+    }
+
+    /// Encrypts `m`, preserving order.
+    ///
+    /// Returns [`OpeError::PlaintextOutOfRange`] if `m` has more than
+    /// `d_bits` bits.
+    pub fn encrypt(&self, m: u64) -> Result<u128, OpeError> {
+        let m = m as u128;
+        if m >= self.domain_size() {
+            return Err(OpeError::PlaintextOutOfRange);
+        }
+        let mut dlo = 0u128;
+        let mut dhi = self.domain_size();
+        let mut rlo = 0u128;
+        let mut rhi = self.range_size();
+        loop {
+            if dhi - dlo == 1 {
+                return Ok(self.leaf_sample(dlo, rlo, rhi));
+            }
+            let (x, y) = self.node_split(dlo, dhi, rlo, rhi);
+            if m < dlo + x {
+                dhi = dlo + x;
+                rhi = y;
+            } else {
+                dlo += x;
+                rlo = y;
+            }
+            debug_assert!(dhi > dlo, "domain cell must stay non-empty");
+            debug_assert!(rhi - rlo >= dhi - dlo, "range must dominate domain");
+        }
+    }
+
+    /// Decrypts `c` by walking the same sampled tree.
+    pub fn decrypt(&self, c: u128) -> Result<u64, OpeError> {
+        if c >= self.range_size() {
+            return Err(OpeError::InvalidCiphertext);
+        }
+        let mut dlo = 0u128;
+        let mut dhi = self.domain_size();
+        let mut rlo = 0u128;
+        let mut rhi = self.range_size();
+        loop {
+            if dhi - dlo == 1 {
+                if self.leaf_sample(dlo, rlo, rhi) == c {
+                    return Ok(dlo as u64);
+                }
+                return Err(OpeError::InvalidCiphertext);
+            }
+            let (x, y) = self.node_split(dlo, dhi, rlo, rhi);
+            if c < y {
+                dhi = dlo + x;
+                rhi = y;
+            } else {
+                dlo += x;
+                rlo = y;
+            }
+            if dhi == dlo {
+                // The ciphertext fell in a range cell with no domain points.
+                return Err(OpeError::InvalidCiphertext);
+            }
+        }
+    }
+
+    /// Order-preserving encoding of a signed 64-bit integer for use as an
+    /// OPE plaintext (flips the sign bit).
+    pub fn encode_i64(v: i64) -> u64 {
+        (v as u64) ^ (1 << 63)
+    }
+
+    /// Inverse of [`Self::encode_i64`].
+    pub fn decode_i64(v: u64) -> i64 {
+        (v ^ (1 << 63)) as i64
+    }
+}
+
+/// An [`Ope`] wrapped with the paper's batch-encryption cache (§3.1,
+/// §3.5.2 "ciphertext ... caching").
+///
+/// Interior node samples are memoised, so a batch of encryptions walks
+/// shared path prefixes once; full plaintext→ciphertext results are also
+/// cached for the "30,000 most common values" style reuse.
+pub struct OpeCached {
+    ope: Ope,
+    node_cache: HashMap<(u128, u128, u128, u128), (u128, u128)>,
+    result_cache: BTreeMap<u64, u128>,
+}
+
+impl OpeCached {
+    /// Wraps an OPE instance with empty caches.
+    pub fn new(ope: Ope) -> Self {
+        OpeCached {
+            ope,
+            node_cache: HashMap::new(),
+            result_cache: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying (cacheless) instance.
+    pub fn inner(&self) -> &Ope {
+        &self.ope
+    }
+
+    /// Number of cached plaintext→ciphertext results.
+    pub fn cached_results(&self) -> usize {
+        self.result_cache.len()
+    }
+
+    /// Encrypts with node and result memoisation.
+    pub fn encrypt(&mut self, m: u64) -> Result<u128, OpeError> {
+        if let Some(&c) = self.result_cache.get(&m) {
+            return Ok(c);
+        }
+        let m128 = m as u128;
+        if m128 >= self.ope.domain_size() {
+            return Err(OpeError::PlaintextOutOfRange);
+        }
+        let mut dlo = 0u128;
+        let mut dhi = self.ope.domain_size();
+        let mut rlo = 0u128;
+        let mut rhi = self.ope.range_size();
+        loop {
+            if dhi - dlo == 1 {
+                let c = self.ope.leaf_sample(dlo, rlo, rhi);
+                self.result_cache.insert(m, c);
+                return Ok(c);
+            }
+            let nodekey = (dlo, dhi, rlo, rhi);
+            let (x, y) = match self.node_cache.get(&nodekey) {
+                Some(&v) => v,
+                None => {
+                    let v = self.ope.node_split(dlo, dhi, rlo, rhi);
+                    self.node_cache.insert(nodekey, v);
+                    v
+                }
+            };
+            if m128 < dlo + x {
+                dhi = dlo + x;
+                rhi = y;
+            } else {
+                dlo += x;
+                rlo = y;
+            }
+        }
+    }
+
+    /// Decrypts via the underlying instance.
+    pub fn decrypt(&self, c: u128) -> Result<u64, OpeError> {
+        self.ope.decrypt(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ope() -> Ope {
+        Ope::new(&[42u8; 32], 32, 64)
+    }
+
+    #[test]
+    fn deterministic() {
+        let o = ope();
+        assert_eq!(o.encrypt(777).unwrap(), o.encrypt(777).unwrap());
+    }
+
+    #[test]
+    fn strictly_monotonic_on_samples() {
+        let o = ope();
+        let values = [0u64, 1, 2, 5, 100, 1000, 65535, 1 << 20, u32::MAX as u64];
+        let mut prev: Option<u128> = None;
+        for &v in &values {
+            let c = o.encrypt(v).unwrap();
+            if let Some(p) = prev {
+                assert!(c > p, "OPE({v}) must exceed previous");
+            }
+            prev = Some(c);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let o = ope();
+        for v in [0u64, 1, 42, 123_456_789, u32::MAX as u64] {
+            let c = o.encrypt(v).unwrap();
+            assert_eq!(o.decrypt(c).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn invalid_ciphertext_detected() {
+        let o = ope();
+        let c = o.encrypt(1000).unwrap();
+        // Neighbouring ciphertext values are almost surely not valid
+        // encryptions; accept either a decode failure or a different value.
+        match o.decrypt(c + 1) {
+            Ok(v) => assert_ne!(o.encrypt(v).unwrap(), c),
+            Err(e) => assert_eq!(e, OpeError::InvalidCiphertext),
+        }
+    }
+
+    #[test]
+    fn out_of_domain_rejected() {
+        let o = Ope::new(&[1u8; 32], 16, 32);
+        assert_eq!(o.encrypt(70_000), Err(OpeError::PlaintextOutOfRange));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = Ope::new(&[1u8; 32], 32, 64);
+        let b = Ope::new(&[2u8; 32], 32, 64);
+        assert_ne!(a.encrypt(1234).unwrap(), b.encrypt(1234).unwrap());
+    }
+
+    #[test]
+    fn small_domain_exhaustive_monotone() {
+        let o = Ope::new(&[9u8; 32], 8, 16);
+        let mut prev = None;
+        for v in 0u64..256 {
+            let c = o.encrypt(v).unwrap();
+            if let Some(p) = prev {
+                assert!(c > p, "v={v}");
+            }
+            assert_eq!(o.decrypt(c).unwrap(), v);
+            prev = Some(c);
+        }
+    }
+
+    #[test]
+    fn cache_agrees_with_plain() {
+        let mut cached = OpeCached::new(Ope::new(&[42u8; 32], 32, 64));
+        let plain = ope();
+        for v in [3u64, 1000, 3, 999_999, 1000] {
+            assert_eq!(cached.encrypt(v).unwrap(), plain.encrypt(v).unwrap());
+        }
+        assert_eq!(cached.cached_results(), 3);
+    }
+
+    #[test]
+    fn signed_encoding_preserves_order() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 5, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(Ope::encode_i64(w[0]) < Ope::encode_i64(w[1]));
+            assert_eq!(Ope::decode_i64(Ope::encode_i64(w[0])), w[0]);
+        }
+    }
+
+    #[test]
+    fn i64_domain_geometry() {
+        let o = Ope::new(&[5u8; 32], 64, 124);
+        let a = o.encrypt(Ope::encode_i64(-100)).unwrap();
+        let b = o.encrypt(Ope::encode_i64(100)).unwrap();
+        assert!(a < b);
+        assert_eq!(Ope::decode_i64(o.decrypt(a).unwrap()), -100);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests: OPE's defining invariants.
+
+use cryptdb_ope::{Ope, OpeCached};
+use proptest::prelude::*;
+
+fn ope(seed: u8) -> Ope {
+    Ope::new(&[seed; 32], 32, 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The defining property: x < y ⟺ OPE(x) < OPE(y).
+    #[test]
+    fn strictly_order_preserving(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let o = ope(1);
+        let ca = o.encrypt(a).unwrap();
+        let cb = o.encrypt(b).unwrap();
+        prop_assert_eq!(a.cmp(&b), ca.cmp(&cb));
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt(v in 0u64..u32::MAX as u64) {
+        let o = ope(2);
+        prop_assert_eq!(o.decrypt(o.encrypt(v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn deterministic_across_instances(v in 0u64..u32::MAX as u64) {
+        prop_assert_eq!(ope(3).encrypt(v).unwrap(), ope(3).encrypt(v).unwrap());
+    }
+
+    #[test]
+    fn cached_matches_uncached(vs in proptest::collection::vec(0u64..1_000_000, 1..20)) {
+        let plain = ope(4);
+        let mut cached = OpeCached::new(ope(4));
+        for v in vs {
+            prop_assert_eq!(cached.encrypt(v).unwrap(), plain.encrypt(v).unwrap());
+        }
+    }
+
+    #[test]
+    fn signed_encoding_total_order(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(a.cmp(&b), Ope::encode_i64(a).cmp(&Ope::encode_i64(b)));
+        prop_assert_eq!(Ope::decode_i64(Ope::encode_i64(a)), a);
+    }
+
+    /// Ciphertext bytes compare like the numbers (the engine relies on
+    /// big-endian lexicographic order).
+    #[test]
+    fn ciphertext_bytes_order(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let o = ope(5);
+        let ba = o.encrypt(a).unwrap().to_be_bytes();
+        let bb = o.encrypt(b).unwrap().to_be_bytes();
+        prop_assert_eq!(a.cmp(&b), ba.cmp(&bb));
+    }
+}

@@ -1,0 +1,290 @@
+//! Paillier additively homomorphic encryption (the paper's HOM scheme).
+//!
+//! §3.1: "To support summation, we implemented the Paillier cryptosystem.
+//! With Paillier, multiplying the encryptions of two values results in an
+//! encryption of the sum of the values." The DBMS server computes `SUM`
+//! aggregates by multiplying ciphertexts modulo `n²` inside a UDF; the
+//! proxy decrypts the product.
+//!
+//! Implementation notes:
+//!
+//! * `g = n + 1`, so `g^m = 1 + m·n (mod n²)` — encryption costs one
+//!   `r^n mod n²` exponentiation plus a multiplication.
+//! * The paper's §3.5.2 ciphertext pre-computation is supported: the
+//!   expensive `r^n mod n²` factors can be produced ahead of time with
+//!   [`PaillierPrivate::precompute_blinding`] and spent in
+//!   [`PaillierPublic::encrypt_with_blinding`], removing HOM encryption
+//!   from the critical path.
+//! * Signed 64-bit values are encoded as residues: `v < 0` maps to
+//!   `n + v`; decode folds values above `n/2` back to negatives.
+
+#![forbid(unsafe_code)]
+
+use cryptdb_bignum::{gen_prime, Montgomery, Ubig};
+
+/// Public Paillier parameters: the modulus and derived constants.
+///
+/// Cloneable so the DBMS server side (UDFs) can hold the public half —
+/// the server multiplies ciphertexts but can never decrypt them.
+#[derive(Clone)]
+pub struct PaillierPublic {
+    n: Ubig,
+    n_squared: Ubig,
+    half_n: Ubig,
+}
+
+/// Private Paillier key (proxy side only).
+pub struct PaillierPrivate {
+    public: PaillierPublic,
+    /// λ = lcm(p−1, q−1).
+    lambda: Ubig,
+    /// μ = L(g^λ mod n²)⁻¹ mod n.
+    mu: Ubig,
+    mont_n2: Montgomery,
+}
+
+/// A Paillier ciphertext (an element of Z*_{n²}).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext(pub Ubig);
+
+impl PaillierPublic {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// Ciphertext length in bytes (⌈|n²|/8⌉) — the paper notes HOM
+    /// ciphertexts are 2048 bits for a 1024-bit modulus (§3.1).
+    pub fn ciphertext_len(&self) -> usize {
+        self.n_squared.bits().div_ceil(8)
+    }
+
+    /// Encodes a signed 64-bit integer into Z_n.
+    pub fn encode_i64(&self, v: i64) -> Ubig {
+        if v >= 0 {
+            Ubig::from_u64(v as u64)
+        } else {
+            self.n.sub(&Ubig::from_u64(v.unsigned_abs()))
+        }
+    }
+
+    /// Decodes a Z_n residue back to a signed 64-bit integer.
+    ///
+    /// Returns `None` if the magnitude exceeds `i64` range.
+    pub fn decode_i64(&self, m: &Ubig) -> Option<i64> {
+        if m > &self.half_n {
+            let neg = self.n.sub(m);
+            let v = neg.to_u64()?;
+            if v > i64::MAX as u64 + 1 {
+                return None;
+            }
+            Some((v as i128).wrapping_neg() as i64)
+        } else {
+            let v = m.to_u64()?;
+            i64::try_from(v).ok()
+        }
+    }
+
+    /// Encrypts `m ∈ Z_n` with a pre-computed blinding factor `r^n mod n²`.
+    ///
+    /// This is the §3.5.2 fast path: `c = (1 + m·n) · rⁿ mod n²`.
+    pub fn encrypt_with_blinding(&self, m: &Ubig, blinding: &Ubig) -> Ciphertext {
+        let gm = Ubig::one().add(&m.mul(&self.n)).rem(&self.n_squared);
+        Ciphertext(gm.mod_mul(blinding, &self.n_squared))
+    }
+
+    /// Homomorphic addition: multiply ciphertexts mod n².
+    ///
+    /// This is exactly the server-side `HOM_ADD` UDF operation.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext(a.0.mod_mul(&b.0, &self.n_squared))
+    }
+
+    /// The additive identity: an encryption of zero with trivial blinding.
+    ///
+    /// Used as the accumulator seed of the `HOM_SUM` aggregate UDF. It is
+    /// not semantically secure by itself but is immediately multiplied by
+    /// real ciphertexts.
+    pub fn zero(&self) -> Ciphertext {
+        Ciphertext(Ubig::one())
+    }
+
+    /// Homomorphic plaintext multiplication: `c^k mod n²` encrypts `m·k`.
+    pub fn mul_plain(&self, c: &Ciphertext, k: &Ubig) -> Ciphertext {
+        Ciphertext(c.0.mod_exp(k, &self.n_squared))
+    }
+
+    /// Serialises a ciphertext to fixed-width big-endian bytes.
+    pub fn ciphertext_to_bytes(&self, c: &Ciphertext) -> Vec<u8> {
+        c.0.to_bytes_be(self.ciphertext_len())
+    }
+
+    /// Parses a ciphertext from bytes (as produced by
+    /// [`Self::ciphertext_to_bytes`]).
+    pub fn ciphertext_from_bytes(&self, bytes: &[u8]) -> Ciphertext {
+        Ciphertext(Ubig::from_bytes_be(bytes))
+    }
+}
+
+impl PaillierPrivate {
+    /// Generates a key with an `n` of `bits` bits (so ciphertexts have
+    /// `2·bits`). The paper uses 1024-bit `n` / 2048-bit ciphertexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 16`.
+    pub fn keygen<R: rand::RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 16, "modulus too small");
+        let (p, q, n) = loop {
+            let p = gen_prime(rng, bits / 2);
+            let q = gen_prime(rng, bits - bits / 2);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bits() == bits {
+                break (p, q, n);
+            }
+        };
+        let n_squared = n.mul(&n);
+        let one = Ubig::one();
+        let lambda = p.sub(&one).lcm(&q.sub(&one));
+        let mont_n2 = Montgomery::new(n_squared.clone());
+        // μ = L(g^λ mod n²)⁻¹ mod n, with g = n + 1.
+        let g = n.add(&one);
+        let glambda = mont_n2.pow(&g, &lambda);
+        let l = glambda.sub(&one).div_rem(&n).0;
+        let mu = l.mod_inv(&n).expect("λ invertible for valid p, q");
+        let half_n = n.shr(1);
+        PaillierPrivate {
+            public: PaillierPublic {
+                n,
+                n_squared,
+                half_n,
+            },
+            lambda,
+            mu,
+            mont_n2,
+        }
+    }
+
+    /// The public half of the key.
+    pub fn public(&self) -> &PaillierPublic {
+        &self.public
+    }
+
+    /// Pre-computes one blinding factor `rⁿ mod n²` (§3.5.2).
+    pub fn precompute_blinding<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> Ubig {
+        let r = loop {
+            let r = Ubig::rand_below(rng, &self.public.n);
+            if !r.is_zero() && r.gcd(&self.public.n).is_one() {
+                break r;
+            }
+        };
+        self.mont_n2.pow(&r, &self.public.n)
+    }
+
+    /// Encrypts `m ∈ Z_n`, drawing fresh randomness.
+    pub fn encrypt<R: rand::RngCore + ?Sized>(&self, m: &Ubig, rng: &mut R) -> Ciphertext {
+        let blinding = self.precompute_blinding(rng);
+        self.public.encrypt_with_blinding(m, &blinding)
+    }
+
+    /// Encrypts a signed 64-bit integer.
+    pub fn encrypt_i64<R: rand::RngCore + ?Sized>(&self, v: i64, rng: &mut R) -> Ciphertext {
+        self.encrypt(&self.public.encode_i64(v), rng)
+    }
+
+    /// Decrypts to a residue in Z_n: `m = L(c^λ mod n²)·μ mod n`.
+    pub fn decrypt(&self, c: &Ciphertext) -> Ubig {
+        let clambda = self.mont_n2.pow(&c.0, &self.lambda);
+        let l = clambda.sub(&Ubig::one()).div_rem(&self.public.n).0;
+        l.mod_mul(&self.mu, &self.public.n)
+    }
+
+    /// Decrypts to a signed 64-bit integer.
+    ///
+    /// Returns `None` on magnitude overflow (e.g. a sum that left i64).
+    pub fn decrypt_i64(&self, c: &Ciphertext) -> Option<i64> {
+        self.public.decode_i64(&self.decrypt(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> (PaillierPrivate, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        (PaillierPrivate::keygen(&mut rng, 256), rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (sk, mut rng) = key();
+        for v in [0i64, 1, -1, 42, -42, i64::MAX / 2, i64::MIN / 2] {
+            let c = sk.encrypt_i64(v, &mut rng);
+            assert_eq!(sk.decrypt_i64(&c), Some(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (sk, mut rng) = key();
+        let a = sk.encrypt_i64(1234, &mut rng);
+        let b = sk.encrypt_i64(-234, &mut rng);
+        let sum = sk.public().add(&a, &b);
+        assert_eq!(sk.decrypt_i64(&sum), Some(1000));
+    }
+
+    #[test]
+    fn sum_aggregate_like_udf() {
+        let (sk, mut rng) = key();
+        let values = [10i64, 20, 30, -5, 45];
+        let mut acc = sk.public().zero();
+        for &v in &values {
+            let c = sk.encrypt_i64(v, &mut rng);
+            acc = sk.public().add(&acc, &c);
+        }
+        assert_eq!(sk.decrypt_i64(&acc), Some(100));
+    }
+
+    #[test]
+    fn plaintext_multiplication() {
+        let (sk, mut rng) = key();
+        let c = sk.encrypt_i64(7, &mut rng);
+        let c3 = sk.public().mul_plain(&c, &Ubig::from_u64(3));
+        assert_eq!(sk.decrypt_i64(&c3), Some(21));
+    }
+
+    #[test]
+    fn probabilistic_encryption() {
+        let (sk, mut rng) = key();
+        let a = sk.encrypt_i64(5, &mut rng);
+        let b = sk.encrypt_i64(5, &mut rng);
+        assert_ne!(a, b, "HOM must be IND-CPA probabilistic");
+        assert_eq!(sk.decrypt_i64(&a), sk.decrypt_i64(&b));
+    }
+
+    #[test]
+    fn precomputed_blinding_matches_fresh() {
+        let (sk, mut rng) = key();
+        let blinding = sk.precompute_blinding(&mut rng);
+        let c = sk
+            .public()
+            .encrypt_with_blinding(&sk.public().encode_i64(99), &blinding);
+        assert_eq!(sk.decrypt_i64(&c), Some(99));
+    }
+
+    #[test]
+    fn ciphertext_bytes_roundtrip() {
+        let (sk, mut rng) = key();
+        let c = sk.encrypt_i64(31337, &mut rng);
+        let bytes = sk.public().ciphertext_to_bytes(&c);
+        assert_eq!(bytes.len(), sk.public().ciphertext_len());
+        let back = sk.public().ciphertext_from_bytes(&bytes);
+        assert_eq!(sk.decrypt_i64(&back), Some(31337));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: Paillier's homomorphic laws.
+
+use cryptdb_bignum::Ubig;
+use cryptdb_paillier::PaillierPrivate;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One shared key: keygen is the slow part, the laws don't depend on it.
+fn key() -> &'static PaillierPrivate {
+    static KEY: OnceLock<PaillierPrivate> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(99);
+        PaillierPrivate::keygen(&mut rng, 256)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip(v in -1_000_000_000i64..1_000_000_000) {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(v as u64 ^ 7);
+        prop_assert_eq!(sk.decrypt_i64(&sk.encrypt_i64(v, &mut rng)), Some(v));
+    }
+
+    #[test]
+    fn additive_homomorphism(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64((a ^ b) as u64);
+        let ca = sk.encrypt_i64(a, &mut rng);
+        let cb = sk.encrypt_i64(b, &mut rng);
+        let sum = sk.public().add(&ca, &cb);
+        prop_assert_eq!(sk.decrypt_i64(&sum), Some(a + b));
+    }
+
+    #[test]
+    fn plaintext_multiplication(a in -10_000i64..10_000, k in 0u64..1000) {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(a as u64 ^ k);
+        let c = sk.encrypt_i64(a, &mut rng);
+        let ck = sk.public().mul_plain(&c, &Ubig::from_u64(k));
+        prop_assert_eq!(sk.decrypt_i64(&ck), Some(a * k as i64));
+    }
+
+    #[test]
+    fn sum_of_many(vs in proptest::collection::vec(-10_000i64..10_000, 0..20)) {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(vs.len() as u64);
+        let mut acc = sk.public().zero();
+        for &v in &vs {
+            acc = sk.public().add(&acc, &sk.encrypt_i64(v, &mut rng));
+        }
+        prop_assert_eq!(sk.decrypt_i64(&acc), Some(vs.iter().sum::<i64>()));
+    }
+
+    #[test]
+    fn bytes_roundtrip(v in any::<i32>()) {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(v as u64);
+        let c = sk.encrypt_i64(v as i64, &mut rng);
+        let bytes = sk.public().ciphertext_to_bytes(&c);
+        let back = sk.public().ciphertext_from_bytes(&bytes);
+        prop_assert_eq!(sk.decrypt_i64(&back), Some(v as i64));
+    }
+}

@@ -1,0 +1,252 @@
+//! SEARCH: encrypted keyword search (Song–Wagner–Perrig), §3.1.
+//!
+//! CryptDB supports `LIKE "% word %"` by storing, per text value, a list of
+//! per-word SWP ciphertexts. Following the paper's usage of the protocol:
+//!
+//! 1. the text is split into keywords at standard delimiters,
+//! 2. duplicates are removed,
+//! 3. word positions are randomly permuted,
+//! 4. each word is padded to a fixed size (here: mapped through SHA-256 to
+//!    a 16-byte block, which both pads and hides length),
+//! 5. each block is encrypted with the SWP construction.
+//!
+//! To search, the proxy hands the server a *token*; the server's UDF scans
+//! each stored word and learns only whether the token matched — nothing
+//! else, and only for the tokens actually queried.
+
+#![forbid(unsafe_code)]
+
+use cryptdb_crypto::aes::Aes;
+use cryptdb_crypto::modes::BlockCipher;
+use cryptdb_crypto::prf::{derive_key, prf, Key};
+use cryptdb_crypto::sha256::sha256;
+use rand::RngCore;
+
+/// Fixed per-word block size (bytes): 8-byte left part, 8-byte check part.
+pub const WORD_BLOCK: usize = 16;
+const LEFT: usize = 8;
+
+/// A search key for one column.
+pub struct SearchKey {
+    /// Deterministic pre-encryption cipher E_{k''}.
+    pre: Aes,
+    /// Key-derivation key k' for the per-word check keys.
+    kprime: Key,
+}
+
+/// A search token the proxy sends to the server: the pre-encryption of the
+/// queried word plus the word-specific check key. Reveals nothing about
+/// the word itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchToken {
+    /// X = E_{k''}(word block).
+    pub x: [u8; WORD_BLOCK],
+    /// k_w = f_{k'}(L(X)).
+    pub kw: Key,
+}
+
+/// The encrypted word list stored for one text value.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SearchCiphertext(pub Vec<[u8; WORD_BLOCK]>);
+
+impl SearchKey {
+    /// Derives a search key from 32 key bytes.
+    pub fn new(key: &Key) -> Self {
+        let pre_key = derive_key(key, &["search", "pre"]);
+        let mut aes_key = [0u8; 16];
+        aes_key.copy_from_slice(&pre_key[..16]);
+        SearchKey {
+            pre: Aes::new_128(&aes_key),
+            kprime: derive_key(key, &["search", "kprime"]),
+        }
+    }
+
+    /// Canonical fixed-size block for a word: SHA-256 truncated to 16 bytes
+    /// of the lowercased word (pads short words, hides all lengths).
+    fn word_block(word: &str) -> [u8; WORD_BLOCK] {
+        let digest = sha256(word.to_lowercase().as_bytes());
+        digest[..WORD_BLOCK].try_into().expect("16 <= 32")
+    }
+
+    /// Deterministic pre-encryption X = E_{k''}(W).
+    fn pre_encrypt(&self, word: &str) -> [u8; WORD_BLOCK] {
+        let mut x = Self::word_block(word);
+        self.pre.encrypt_block(&mut x);
+        x
+    }
+
+    fn word_key(&self, left: &[u8]) -> Key {
+        prf(&self.kprime, left)
+    }
+
+    /// Encrypts one word: `C = X ⊕ (S ‖ F_{k_w}(S))` with random salt `S`.
+    pub fn encrypt_word<R: RngCore + ?Sized>(&self, word: &str, rng: &mut R) -> [u8; WORD_BLOCK] {
+        let x = self.pre_encrypt(word);
+        let kw = self.word_key(&x[..LEFT]);
+        let mut salt = [0u8; LEFT];
+        rng.fill_bytes(&mut salt);
+        let check = prf(&kw, &salt);
+        let mut c = [0u8; WORD_BLOCK];
+        for i in 0..LEFT {
+            c[i] = x[i] ^ salt[i];
+            c[LEFT + i] = x[LEFT + i] ^ check[i];
+        }
+        c
+    }
+
+    /// Splits text into keywords at standard delimiters (the paper allows a
+    /// schema-specified extractor; this is the default).
+    pub fn tokenize(text: &str) -> Vec<&str> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .collect()
+    }
+
+    /// Encrypts a full text value: tokenize, dedup, permute, encrypt.
+    pub fn encrypt_text<R: RngCore + ?Sized>(&self, text: &str, rng: &mut R) -> SearchCiphertext {
+        let mut words: Vec<String> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for w in Self::tokenize(text) {
+            let lw = w.to_lowercase();
+            if seen.insert(lw.clone()) {
+                words.push(lw);
+            }
+        }
+        // Fisher-Yates permutation of word positions.
+        for i in (1..words.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            words.swap(i, j);
+        }
+        SearchCiphertext(words.iter().map(|w| self.encrypt_word(w, rng)).collect())
+    }
+
+    /// Builds the search token for a word (proxy side).
+    pub fn token(&self, word: &str) -> SearchToken {
+        let x = self.pre_encrypt(word);
+        let kw = self.word_key(&x[..LEFT]);
+        SearchToken { x, kw }
+    }
+}
+
+/// Server-side match of a token against one encrypted word (the UDF body).
+///
+/// Computes `T = C ⊕ X`; a match iff the right half equals `F_{k_w}(left)`.
+pub fn matches_word(cipher_word: &[u8; WORD_BLOCK], token: &SearchToken) -> bool {
+    let mut t = [0u8; WORD_BLOCK];
+    for i in 0..WORD_BLOCK {
+        t[i] = cipher_word[i] ^ token.x[i];
+    }
+    let check = prf(&token.kw, &t[..LEFT]);
+    t[LEFT..] == check[..LEFT]
+}
+
+/// Server-side match against a whole stored word list.
+pub fn matches_any(ct: &SearchCiphertext, token: &SearchToken) -> bool {
+    ct.0.iter().any(|w| matches_word(w, token))
+}
+
+impl SearchCiphertext {
+    /// Serialises to `count ‖ word-blocks` bytes for storage.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = (self.0.len() as u32).to_be_bytes().to_vec();
+        for w in &self.0 {
+            out.extend_from_slice(w);
+        }
+        out
+    }
+
+    /// Parses the serialised form; `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let count = u32::from_be_bytes(bytes[..4].try_into().ok()?) as usize;
+        if bytes.len() != 4 + count * WORD_BLOCK {
+            return None;
+        }
+        let words = bytes[4..]
+            .chunks_exact(WORD_BLOCK)
+            .map(|c| c.try_into().expect("exact chunks"))
+            .collect();
+        Some(SearchCiphertext(words))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SearchKey, StdRng) {
+        (SearchKey::new(&[17u8; 32]), StdRng::seed_from_u64(55))
+    }
+
+    #[test]
+    fn word_present_matches() {
+        let (k, mut rng) = setup();
+        let ct = k.encrypt_text("hello alice, this is a secret message", &mut rng);
+        assert!(matches_any(&ct, &k.token("alice")));
+        assert!(matches_any(&ct, &k.token("secret")));
+        assert!(matches_any(&ct, &k.token("SECRET")), "case-insensitive");
+    }
+
+    #[test]
+    fn word_absent_does_not_match() {
+        let (k, mut rng) = setup();
+        let ct = k.encrypt_text("hello alice", &mut rng);
+        assert!(!matches_any(&ct, &k.token("bob")));
+        assert!(!matches_any(&ct, &k.token("hell")), "full-word only");
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let (k, mut rng) = setup();
+        let ct = k.encrypt_text("spam spam spam eggs", &mut rng);
+        assert_eq!(ct.0.len(), 2, "repeated words stored once");
+    }
+
+    #[test]
+    fn repeated_words_across_rows_unlinkable() {
+        // SWP is salted: the same word encrypts differently in different
+        // rows, so the server cannot see cross-row repetition.
+        let (k, mut rng) = setup();
+        let c1 = k.encrypt_text("alice", &mut rng);
+        let c2 = k.encrypt_text("alice", &mut rng);
+        assert_ne!(c1.0[0], c2.0[0]);
+        let tok = k.token("alice");
+        assert!(matches_any(&c1, &tok) && matches_any(&c2, &tok));
+    }
+
+    #[test]
+    fn different_keys_do_not_cross_match() {
+        let (k1, mut rng) = setup();
+        let k2 = SearchKey::new(&[18u8; 32]);
+        let ct = k1.encrypt_text("alice", &mut rng);
+        assert!(!matches_any(&ct, &k2.token("alice")));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (k, mut rng) = setup();
+        let ct = k.encrypt_text("one two three", &mut rng);
+        let bytes = ct.to_bytes();
+        let back = SearchCiphertext::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ct);
+        assert!(SearchCiphertext::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn empty_text() {
+        let (k, mut rng) = setup();
+        let ct = k.encrypt_text("", &mut rng);
+        assert!(ct.0.is_empty());
+        assert!(!matches_any(&ct, &k.token("anything")));
+    }
+
+    #[test]
+    fn tokenizer_standard_delimiters() {
+        let words = SearchKey::tokenize("a,b;c d-e_f(g)");
+        assert_eq!(words, vec!["a", "b", "c", "d", "e", "f", "g"]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: SWP search completeness and soundness-in-practice.
+
+use cryptdb_search::{matches_any, SearchKey};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Completeness: every word in the text matches its own token.
+    #[test]
+    fn no_false_negatives(words in proptest::collection::vec("[a-z]{1,12}", 1..12)) {
+        let key = SearchKey::new(&[7u8; 32]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = words.join(" ");
+        let ct = key.encrypt_text(&text, &mut rng);
+        for w in &words {
+            prop_assert!(
+                matches_any(&ct, &key.token(w)),
+                "word '{w}' in '{text}' must match"
+            );
+        }
+    }
+
+    /// Soundness in practice: words absent from the text do not match
+    /// (the SWP check has a 2^-64 false-positive rate).
+    #[test]
+    fn absent_words_do_not_match(words in proptest::collection::vec("[a-z]{1,12}", 1..8),
+                                 probe in "[a-z]{1,12}") {
+        prop_assume!(!words.iter().any(|w| w.eq_ignore_ascii_case(&probe)));
+        let key = SearchKey::new(&[8u8; 32]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ct = key.encrypt_text(&words.join(" "), &mut rng);
+        prop_assert!(!matches_any(&ct, &key.token(&probe)));
+    }
+
+    /// The duplicate-removal step (§3.1): ciphertext length counts
+    /// distinct lowercased words only.
+    #[test]
+    fn dedup_counts_distinct(words in proptest::collection::vec("[a-z]{1,6}", 0..16)) {
+        let key = SearchKey::new(&[9u8; 32]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ct = key.encrypt_text(&words.join(" "), &mut rng);
+        let distinct: std::collections::HashSet<String> =
+            words.iter().map(|w| w.to_lowercase()).collect();
+        prop_assert_eq!(ct.0.len(), distinct.len());
+    }
+
+    /// Serialisation round-trips and rejects truncation.
+    #[test]
+    fn serialisation_roundtrip(words in proptest::collection::vec("[a-z]{1,8}", 0..10)) {
+        let key = SearchKey::new(&[10u8; 32]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ct = key.encrypt_text(&words.join(" "), &mut rng);
+        let bytes = ct.to_bytes();
+        prop_assert_eq!(cryptdb_search::SearchCiphertext::from_bytes(&bytes).unwrap(), ct);
+        if !bytes.is_empty() {
+            prop_assert!(
+                cryptdb_search::SearchCiphertext::from_bytes(&bytes[..bytes.len() - 1]).is_none()
+            );
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The SQL abstract syntax tree.
+
+use std::fmt;
+
+/// A SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE name (columns..., annotations...)`.
+    CreateTable(CreateTable),
+    /// `CREATE INDEX ON table (column)`.
+    CreateIndex { table: String, column: String },
+    /// `DROP TABLE name`.
+    DropTable { name: String },
+    /// `INSERT INTO table (cols) VALUES (...), (...)`.
+    Insert(Insert),
+    /// `SELECT ...`.
+    Select(Select),
+    /// `UPDATE table SET col = expr, ... [WHERE ...]`.
+    Update(Update),
+    /// `DELETE FROM table [WHERE ...]`.
+    Delete(Delete),
+    /// `BEGIN`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK` / `ABORT`.
+    Rollback,
+    /// `PRINCTYPE name[, name...] [EXTERNAL]` — CryptDB annotation.
+    PrincType { names: Vec<String>, external: bool },
+}
+
+/// A `CREATE TABLE` statement with CryptDB annotations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    pub speaks_for: Vec<SpeaksFor>,
+}
+
+/// One column definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+    /// `ENC FOR (keycol princtype)`: this column is encrypted for the
+    /// principal named in `keycol` of type `princtype` (§4.1 step 2).
+    pub enc_for: Option<EncFor>,
+}
+
+/// The `ENC FOR` annotation payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncFor {
+    pub key_column: String,
+    pub princ_type: String,
+}
+
+/// Column data types (all SQL integer/temporal types map to `Int`, all
+/// character types to `Text`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    Text,
+}
+
+/// The speaker side of `SPEAKS FOR`: a column in this table, a constant,
+/// or `Table2.col` meaning all principals in another table's column (§4.1
+/// step 3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpeakerRef {
+    Column(String),
+    ForeignColumn { table: String, column: String },
+    Const(String),
+}
+
+/// `(a x) SPEAKS FOR (b y) [IF pred]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeaksFor {
+    pub speaker: SpeakerRef,
+    pub speaker_type: String,
+    pub object_column: String,
+    pub object_type: String,
+    pub condition: Option<Expr>,
+}
+
+/// `INSERT` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// `UPDATE` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub sets: Vec<(String, Expr)>,
+    pub selection: Option<Expr>,
+}
+
+/// `DELETE` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub selection: Option<Expr>,
+}
+
+/// A `SELECT` statement.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Select {
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub joins: Vec<Join>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderBy>,
+    pub limit: Option<u64>,
+}
+
+/// One projected item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// `expr [AS alias]`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table in `FROM`, with optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+/// An explicit `JOIN table ON condition`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+/// One `ORDER BY` key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderBy {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+/// A column reference, optionally qualified.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn new(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Literals.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Str(String),
+    /// Raw bytes (produced only by the rewriter, printed as hex).
+    Bytes(Vec<u8>),
+    Null,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// True for `= <> < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// True for `< <= > >=` (order-revealing comparisons).
+    pub fn is_order(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
+    }
+
+    /// True for arithmetic operators.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Column(ColumnRef),
+    Literal(Literal),
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// Function call: aggregates (`COUNT`, `SUM`, `MIN`, `MAX`, `AVG`) and
+    /// UDFs. `COUNT(*)` is `Func { name: "COUNT", star: true, .. }`.
+    Func {
+        name: String,
+        args: Vec<Expr>,
+        star: bool,
+        distinct: bool,
+    },
+}
+
+impl Expr {
+    /// Column `name`.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef::new(name))
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// String literal.
+    pub fn str(v: impl Into<String>) -> Expr {
+        Expr::Literal(Literal::Str(v.into()))
+    }
+
+    /// `left op right`.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Walks the expression tree, calling `f` on every node.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.walk(f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Column(_) | Expr::Literal(_) => {}
+        }
+    }
+}
+
+fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Column(c) => write!(f, "{c}"),
+        Expr::Literal(Literal::Int(v)) => write!(f, "{v}"),
+        Expr::Literal(Literal::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+        Expr::Literal(Literal::Bytes(b)) => {
+            write!(f, "x'")?;
+            for byte in b {
+                write!(f, "{byte:02x}")?;
+            }
+            write!(f, "'")
+        }
+        Expr::Literal(Literal::Null) => write!(f, "NULL"),
+        Expr::Binary { op, left, right } => {
+            let sym = match op {
+                BinOp::Eq => "=",
+                BinOp::NotEq => "<>",
+                BinOp::Lt => "<",
+                BinOp::LtEq => "<=",
+                BinOp::Gt => ">",
+                BinOp::GtEq => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+            };
+            write!(f, "(")?;
+            fmt_expr(left, f)?;
+            write!(f, " {sym} ")?;
+            fmt_expr(right, f)?;
+            write!(f, ")")
+        }
+        Expr::Not(e) => {
+            write!(f, "NOT (")?;
+            fmt_expr(e, f)?;
+            write!(f, ")")
+        }
+        Expr::Neg(e) => {
+            write!(f, "-(")?;
+            fmt_expr(e, f)?;
+            write!(f, ")")
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            fmt_expr(expr, f)?;
+            write!(f, "{} LIKE ", if *negated { " NOT" } else { "" })?;
+            fmt_expr(pattern, f)
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            fmt_expr(expr, f)?;
+            write!(f, "{} IN (", if *negated { " NOT" } else { "" })?;
+            for (i, e) in list.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(e, f)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            fmt_expr(expr, f)?;
+            write!(f, "{} BETWEEN ", if *negated { " NOT" } else { "" })?;
+            fmt_expr(low, f)?;
+            write!(f, " AND ")?;
+            fmt_expr(high, f)
+        }
+        Expr::IsNull { expr, negated } => {
+            fmt_expr(expr, f)?;
+            write!(f, " IS{} NULL", if *negated { " NOT" } else { "" })
+        }
+        Expr::Func {
+            name,
+            args,
+            star,
+            distinct,
+        } => {
+            write!(f, "{name}(")?;
+            if *distinct {
+                write!(f, "DISTINCT ")?;
+            }
+            if *star {
+                write!(f, "*")?;
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 || *star {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(a, f)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, f)
+    }
+}

@@ -1,0 +1,351 @@
+//! The SQL lexer.
+
+use std::fmt;
+
+/// A lexical token. Keywords are recognised by the parser from `Ident`
+/// (SQL keywords are case-insensitive and non-reserved here).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Hex-bytes literal `x'ab01'` (produced by the rewriter's printer).
+    HexBytes(Vec<u8>),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::HexBytes(_) => write!(f, "x'..'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+        }
+    }
+}
+
+/// A streaming lexer over SQL text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Lexes the whole input. Returns an error message with position on
+    /// malformed input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, String> {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `-- line comment`.
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, String> {
+        self.skip_trivia();
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b';' => {
+                self.pos += 1;
+                Token::Semicolon
+            }
+            b'*' => {
+                self.pos += 1;
+                Token::Star
+            }
+            b'+' => {
+                self.pos += 1;
+                Token::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                Token::Minus
+            }
+            b'/' => {
+                self.pos += 1;
+                Token::Slash
+            }
+            b'%' => {
+                self.pos += 1;
+                Token::Percent
+            }
+            b'=' => {
+                self.pos += 1;
+                Token::Eq
+            }
+            b'!' if self.peek2() == Some(b'=') => {
+                self.pos += 2;
+                Token::NotEq
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Token::LtEq
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Token::NotEq
+                    }
+                    _ => Token::Lt,
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::GtEq
+                } else {
+                    Token::Gt
+                }
+            }
+            b'\'' => self.lex_string()?,
+            b'"' | b'`' => self.lex_quoted_ident(c)?,
+            b'0'..=b'9' => self.lex_number()?,
+            b'x' | b'X' if self.peek2() == Some(b'\'') => self.lex_hex_bytes()?,
+            c if c == b'_' || c.is_ascii_alphabetic() => self.lex_ident(),
+            other => return Err(format!("unexpected character '{}' at {}", other as char, self.pos)),
+        };
+        Ok(Some(tok))
+    }
+
+    fn lex_string(&mut self) -> Result<Token, String> {
+        let quote = self.bump();
+        debug_assert_eq!(quote, Some(b'\''));
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string literal".into()),
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.pos += 1;
+                        s.push('\'');
+                    } else {
+                        return Ok(Token::Str(s));
+                    }
+                }
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, quote: u8) -> Result<Token, String> {
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated quoted identifier".into()),
+                Some(c) if c == quote => return Ok(Token::Ident(s)),
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are utf8");
+        text.parse::<i64>()
+            .map(Token::Int)
+            .map_err(|_| format!("integer literal out of range: {text}"))
+    }
+
+    fn lex_hex_bytes(&mut self) -> Result<Token, String> {
+        self.pos += 2; // consume x'
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+            self.pos += 1;
+        }
+        if self.peek() != Some(b'\'') {
+            return Err("unterminated hex literal".into());
+        }
+        let hex = std::str::from_utf8(&self.src[start..self.pos]).expect("hex is utf8");
+        self.pos += 1;
+        if hex.len() % 2 != 0 {
+            return Err("odd-length hex literal".into());
+        }
+        let bytes = (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("hex digits"))
+            .collect();
+        Ok(Token::HexBytes(bytes))
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ident is utf8");
+        Token::Ident(text.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Lexer::new(s).tokenize().unwrap()
+    }
+
+    #[test]
+    fn basic_select() {
+        let toks = lex("SELECT id FROM t WHERE name = 'Alice'");
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[7], Token::Str("Alice".into()));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("a <= b >= c <> d != e < f > g"),
+            vec![
+                Token::Ident("a".into()),
+                Token::LtEq,
+                Token::Ident("b".into()),
+                Token::GtEq,
+                Token::Ident("c".into()),
+                Token::NotEq,
+                Token::Ident("d".into()),
+                Token::NotEq,
+                Token::Ident("e".into()),
+                Token::Lt,
+                Token::Ident("f".into()),
+                Token::Gt,
+                Token::Ident("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escape() {
+        assert_eq!(lex("'it''s'"), vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn hex_bytes() {
+        assert_eq!(lex("x'0aff'"), vec![Token::HexBytes(vec![0x0a, 0xff])]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT 1 -- the meaning\n, 2");
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(lex("`weird name`"), vec![Token::Ident("weird name".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Lexer::new("'unterminated").tokenize().is_err());
+        assert!(Lexer::new("@").tokenize().is_err());
+        assert!(Lexer::new("x'0a").tokenize().is_err());
+    }
+
+    #[test]
+    fn ident_starting_with_x_not_hex() {
+        assert_eq!(lex("xavier"), vec![Token::Ident("xavier".into())]);
+    }
+}

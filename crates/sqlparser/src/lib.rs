@@ -1,0 +1,25 @@
+//! SQL lexer, AST, and recursive-descent parser for CryptDB.
+//!
+//! The paper's proxy contains "a query parser; a query encryptor/rewriter
+//! ... and a result decryption module" (§7). This crate is the parser: it
+//! covers the SQL subset the paper's applications exercise (TPC-C, phpBB,
+//! HotCRP, grad-apply, OpenEMR, PHP-calendar) plus CryptDB's schema
+//! annotation language:
+//!
+//! * `PRINCTYPE name [, name ...] [EXTERNAL]`
+//! * `col type ENC FOR (keycol princtype)` inside `CREATE TABLE`
+//! * `(speaker stype) SPEAKS FOR (object otype) [IF predicate]` inside
+//!   `CREATE TABLE`
+//!
+//! The produced [`ast`] is shared by the plaintext engine and the proxy's
+//! rewriter, so a query parses once and is rewritten structurally.
+
+#![forbid(unsafe_code)]
+
+pub mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::*;
+pub use lexer::{Lexer, Token};
+pub use parser::{parse, parse_statement, ParseError};

@@ -1,0 +1,974 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token};
+use std::fmt;
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a string of `;`-separated statements.
+///
+/// # Examples
+///
+/// ```
+/// let stmts = cryptdb_sqlparser::parse("SELECT id FROM t; DELETE FROM t").unwrap();
+/// assert_eq!(stmts.len(), 2);
+/// ```
+pub fn parse(sql: &str) -> Result<Vec<Stmt>, ParseError> {
+    let tokens = Lexer::new(sql).tokenize().map_err(ParseError)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semicolon) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+/// Parses exactly one statement.
+pub fn parse_statement(sql: &str) -> Result<Stmt, ParseError> {
+    let stmts = parse(sql)?;
+    match stmts.len() {
+        1 => Ok(stmts.into_iter().next().expect("len checked")),
+        n => Err(ParseError(format!("expected 1 statement, found {n}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(ParseError(format!(
+                "expected '{t}', found {}",
+                self.describe_here()
+            )))
+        }
+    }
+
+    fn describe_here(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("'{t}'"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    /// True if the current token is the (case-insensitive) keyword `kw`.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn at_kw_at(&self, off: usize, kw: &str) -> bool {
+        matches!(self.peek_at(off), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError(format!(
+                "expected keyword '{kw}', found {}",
+                self.describe_here()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError(format!(
+                "expected identifier, found {}",
+                other.map_or("end of input".to_string(), |t| format!("'{t}'"))
+            ))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.at_kw("SELECT") {
+            return Ok(Stmt::Select(self.select()?));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        if self.eat_kw("CREATE") {
+            return self.create();
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            return Ok(Stmt::DropTable { name });
+        }
+        if self.eat_kw("BEGIN") || self.eat_kw("START") {
+            self.eat_kw("TRANSACTION");
+            return Ok(Stmt::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            return Ok(Stmt::Commit);
+        }
+        if self.eat_kw("ROLLBACK") || self.eat_kw("ABORT") {
+            return Ok(Stmt::Rollback);
+        }
+        if self.eat_kw("PRINCTYPE") {
+            let mut names = vec![self.ident()?];
+            while self.eat(&Token::Comma) {
+                names.push(self.ident()?);
+            }
+            let external = self.eat_kw("EXTERNAL");
+            return Ok(Stmt::PrincType { names, external });
+        }
+        Err(ParseError(format!(
+            "unsupported statement starting with {}",
+            self.describe_here()
+        )))
+    }
+
+    // ---- SELECT ----
+
+    fn select(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut projections = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            projections.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        let mut joins = Vec::new();
+        if self.eat_kw("FROM") {
+            from.push(self.table_ref()?);
+            loop {
+                if self.eat(&Token::Comma) {
+                    from.push(self.table_ref()?);
+                } else if self.at_kw("JOIN") || (self.at_kw("INNER") && self.at_kw_at(1, "JOIN")) {
+                    self.eat_kw("INNER");
+                    self.expect_kw("JOIN")?;
+                    let table = self.table_ref()?;
+                    self.expect_kw("ON")?;
+                    let on = self.expr()?;
+                    joins.push(Join { table, on });
+                } else {
+                    break;
+                }
+            }
+        }
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderBy { expr, asc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Some(Token::Int(v)) if v >= 0 => Some(v as u64),
+                other => {
+                    return Err(ParseError(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projections,
+            from,
+            joins,
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let name = self.ident()?;
+        // A bare identifier can follow as an alias (but not a keyword that
+        // continues the query).
+        let bare_alias = matches!(self.peek(), Some(Token::Ident(s))
+            if !is_clause_keyword(s) && !s.eq_ignore_ascii_case("AS"));
+        let alias = if bare_alias || self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // ---- INSERT / UPDATE / DELETE ----
+
+    fn insert(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat(&Token::LParen) {
+            columns.push(self.ident()?);
+            while self.eat(&Token::Comma) {
+                columns.push(self.ident()?);
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            if !self.eat(&Token::RParen) {
+                row.push(self.expr()?);
+                while self.eat(&Token::Comma) {
+                    row.push(self.expr()?);
+                }
+                self.expect(&Token::RParen)?;
+            }
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Insert(Insert {
+            table,
+            columns,
+            rows,
+        }))
+    }
+
+    fn update(&mut self) -> Result<Stmt, ParseError> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let value = self.expr()?;
+            sets.push((col, value));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update(Update {
+            table,
+            sets,
+            selection,
+        }))
+    }
+
+    fn delete(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete(Delete { table, selection }))
+    }
+
+    // ---- CREATE ----
+
+    fn create(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("INDEX") {
+            // CREATE INDEX [name] ON table (col).
+            if !self.at_kw("ON") {
+                self.ident()?; // Optional index name.
+            }
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let column = self.ident()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Stmt::CreateIndex { table, column });
+        }
+        self.expect_kw("TABLE")?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        let mut speaks_for = Vec::new();
+        loop {
+            if self.peek() == Some(&Token::LParen) {
+                speaks_for.push(self.speaks_for()?);
+            } else if self.at_kw("PRIMARY") || self.at_kw("UNIQUE") || self.at_kw("KEY")
+                || self.at_kw("INDEX")
+            {
+                self.skip_table_constraint()?;
+            } else {
+                columns.push(self.column_def()?);
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Stmt::CreateTable(CreateTable {
+            name,
+            columns,
+            speaks_for,
+        }))
+    }
+
+    /// `(speaker stype) SPEAKS FOR (object otype) [IF expr]`.
+    fn speaks_for(&mut self) -> Result<SpeaksFor, ParseError> {
+        self.expect(&Token::LParen)?;
+        let speaker = match self.bump() {
+            Some(Token::Str(s)) => SpeakerRef::Const(s),
+            Some(Token::Ident(first)) => {
+                if self.eat(&Token::Dot) {
+                    let column = self.ident()?;
+                    SpeakerRef::ForeignColumn {
+                        table: first,
+                        column,
+                    }
+                } else {
+                    SpeakerRef::Column(first)
+                }
+            }
+            other => {
+                return Err(ParseError(format!(
+                    "expected speaker principal, found {other:?}"
+                )))
+            }
+        };
+        let speaker_type = self.ident()?;
+        self.expect(&Token::RParen)?;
+        self.expect_kw("SPEAKS")?;
+        self.expect_kw("FOR")?;
+        self.expect(&Token::LParen)?;
+        let object_column = self.ident()?;
+        let object_type = self.ident()?;
+        self.expect(&Token::RParen)?;
+        let condition = if self.eat_kw("IF") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SpeaksFor {
+            speaker,
+            speaker_type,
+            object_column,
+            object_type,
+            condition,
+        })
+    }
+
+    fn skip_table_constraint(&mut self) -> Result<(), ParseError> {
+        // PRIMARY KEY (...), UNIQUE [KEY] name (...), KEY name (...), etc.
+        // Consume tokens up to and including one balanced parenthesis group.
+        while !self.at_end() && self.peek() != Some(&Token::LParen) {
+            if self.peek() == Some(&Token::Comma) || self.peek() == Some(&Token::RParen) {
+                return Ok(()); // Constraint without parens.
+            }
+            self.pos += 1;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.bump() {
+            match t {
+                Token::LParen => depth += 1,
+                Token::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err(ParseError("unterminated table constraint".into()))
+    }
+
+    fn column_def(&mut self) -> Result<ColumnDef, ParseError> {
+        let name = self.ident()?;
+        let ty_name = self.ident()?;
+        let ty = column_type(&ty_name)
+            .ok_or_else(|| ParseError(format!("unknown column type '{ty_name}'")))?;
+        // Optional (n) or (n, m) size suffix.
+        if self.eat(&Token::LParen) {
+            while self.peek() != Some(&Token::RParen) && !self.at_end() {
+                self.pos += 1;
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let mut enc_for = None;
+        // Column options, in any order.
+        loop {
+            if self.eat_kw("ENC") {
+                self.expect_kw("FOR")?;
+                self.expect(&Token::LParen)?;
+                let key_column = self.ident()?;
+                let princ_type = self.ident()?;
+                self.expect(&Token::RParen)?;
+                enc_for = Some(EncFor {
+                    key_column,
+                    princ_type,
+                });
+            } else if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+            } else if self.eat_kw("NULL")
+                || self.eat_kw("UNSIGNED")
+                || self.eat_kw("AUTO_INCREMENT")
+                || self.eat_kw("UNIQUE")
+            {
+            } else if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+            } else if self.eat_kw("DEFAULT") {
+                self.bump(); // Skip the default literal.
+            } else {
+                break;
+            }
+        }
+        Ok(ColumnDef { name, ty, enc_for })
+    }
+
+    // ---- Expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        let negated = self.at_kw("NOT")
+            && (self.at_kw_at(1, "LIKE") || self.at_kw_at(1, "IN") || self.at_kw_at(1, "BETWEEN"));
+        if negated {
+            self.pos += 1;
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            // Fold negative integer literals directly.
+            if let Some(Token::Int(v)) = self.peek() {
+                let v = *v;
+                self.pos += 1;
+                return Ok(Expr::int(-v));
+            }
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::int(v)),
+            Some(Token::Str(s)) => Ok(Expr::str(s)),
+            Some(Token::HexBytes(b)) => Ok(Expr::Literal(Literal::Bytes(b))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(Literal::Null));
+                }
+                if is_reserved(&name) {
+                    return Err(ParseError(format!(
+                        "expected expression, found keyword '{name}'"
+                    )));
+                }
+                if self.peek() == Some(&Token::LParen) {
+                    return self.func_call(name);
+                }
+                if self.eat(&Token::Dot) {
+                    let column = self.ident()?;
+                    return Ok(Expr::Column(ColumnRef {
+                        table: Some(name),
+                        column,
+                    }));
+                }
+                Ok(Expr::Column(ColumnRef {
+                    table: None,
+                    column: name,
+                }))
+            }
+            other => Err(ParseError(format!(
+                "expected expression, found {}",
+                other.map_or("end of input".to_string(), |t| format!("'{t}'"))
+            ))),
+        }
+    }
+
+    fn func_call(&mut self, name: String) -> Result<Expr, ParseError> {
+        self.expect(&Token::LParen)?;
+        let distinct = self.eat_kw("DISTINCT");
+        if self.eat(&Token::Star) {
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Func {
+                name: name.to_uppercase(),
+                args: Vec::new(),
+                star: true,
+                distinct,
+            });
+        }
+        let mut args = Vec::new();
+        if !self.eat(&Token::RParen) {
+            args.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                args.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(Expr::Func {
+            name: name.to_uppercase(),
+            args,
+            star: false,
+            distinct,
+        })
+    }
+}
+
+/// Keywords that may never appear as a bare column reference.
+fn is_reserved(s: &str) -> bool {
+    const KW: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "VALUES", "SET", "JOIN",
+        "INNER", "ON", "AND", "OR", "NOT", "UNION", "AS", "DISTINCT", "INSERT", "UPDATE",
+        "DELETE", "CREATE", "DROP", "TABLE",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Keywords that end a table-reference alias position.
+fn is_clause_keyword(s: &str) -> bool {
+    const KW: &[&str] = &[
+        "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "ON", "SET", "VALUES",
+        "UNION",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Maps a SQL type name to the engine's two storage classes.
+fn column_type(name: &str) -> Option<ColumnType> {
+    let n = name.to_ascii_lowercase();
+    match n.as_str() {
+        "int" | "integer" | "bigint" | "smallint" | "tinyint" | "mediumint" | "datetime"
+        | "timestamp" | "date" | "time" | "year" | "decimal" | "numeric" | "float" | "double"
+        | "bool" | "boolean" => Some(ColumnType::Int),
+        "text" | "varchar" | "char" | "tinytext" | "mediumtext" | "longtext" | "blob"
+        | "varbinary" | "binary" | "enum" => Some(ColumnType::Text),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let s = parse_statement("SELECT ID FROM Employees WHERE Name = 'Alice'").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.projections.len(), 1);
+        assert_eq!(sel.from[0].name, "Employees");
+        assert_eq!(
+            sel.selection,
+            Some(Expr::binary(BinOp::Eq, Expr::col("Name"), Expr::str("Alice")))
+        );
+    }
+
+    #[test]
+    fn select_full_clause_set() {
+        let s = parse_statement(
+            "SELECT DISTINCT a, COUNT(*) AS n FROM t1 JOIN t2 ON t1.id = t2.ref \
+             WHERE x > 5 AND y LIKE '%foo%' GROUP BY a HAVING COUNT(*) > 1 \
+             ORDER BY a DESC, n LIMIT 10",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert!(sel.distinct);
+        assert_eq!(sel.joins.len(), 1);
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(!sel.order_by[0].asc);
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn implicit_join_from_list() {
+        let s = parse_statement("SELECT * FROM a, b WHERE a.x = b.y").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.len(), 2);
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let Stmt::Insert(ins) = s else { panic!() };
+        assert_eq!(ins.columns, vec!["a", "b"]);
+        assert_eq!(ins.rows.len(), 2);
+    }
+
+    #[test]
+    fn update_increment() {
+        let s = parse_statement("UPDATE t SET salary = salary + 1 WHERE id = 3").unwrap();
+        let Stmt::Update(u) = s else { panic!() };
+        assert_eq!(u.sets[0].0, "salary");
+        assert_eq!(
+            u.sets[0].1,
+            Expr::binary(BinOp::Add, Expr::col("salary"), Expr::int(1))
+        );
+    }
+
+    #[test]
+    fn create_table_with_options() {
+        let s = parse_statement(
+            "CREATE TABLE users (userid int NOT NULL PRIMARY KEY AUTO_INCREMENT, \
+             username varchar(255) DEFAULT 'x', PRIMARY KEY (userid))",
+        )
+        .unwrap();
+        let Stmt::CreateTable(ct) = s else { panic!() };
+        assert_eq!(ct.columns.len(), 2);
+        assert_eq!(ct.columns[0].ty, ColumnType::Int);
+        assert_eq!(ct.columns[1].ty, ColumnType::Text);
+    }
+
+    #[test]
+    fn annotations_figure4() {
+        // The paper's Figure 4 schema, verbatim modulo whitespace.
+        let stmts = parse(
+            "PRINCTYPE physical_user EXTERNAL; \
+             PRINCTYPE user, msg; \
+             CREATE TABLE privmsgs ( msgid int, \
+               subject varchar(255) ENC FOR (msgid msg), \
+               msgtext text ENC FOR (msgid msg) ); \
+             CREATE TABLE privmsgs_to ( msgid int, rcpt_id int, sender_id int, \
+               (sender_id user) SPEAKS FOR (msgid msg), \
+               (rcpt_id user) SPEAKS FOR (msgid msg) ); \
+             CREATE TABLE users ( userid int, username varchar(255), \
+               (username physical_user) SPEAKS FOR (userid user) )",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 5);
+        let Stmt::PrincType { names, external } = &stmts[0] else { panic!() };
+        assert_eq!(names, &["physical_user"]);
+        assert!(external);
+        let Stmt::CreateTable(privmsgs) = &stmts[2] else { panic!() };
+        let enc = privmsgs.columns[1].enc_for.as_ref().unwrap();
+        assert_eq!(enc.key_column, "msgid");
+        assert_eq!(enc.princ_type, "msg");
+        let Stmt::CreateTable(pm_to) = &stmts[3] else { panic!() };
+        assert_eq!(pm_to.speaks_for.len(), 2);
+    }
+
+    #[test]
+    fn speaks_for_with_predicate_and_foreign_column() {
+        // The paper's Figure 6 HotCRP annotation.
+        let s = parse_statement(
+            "CREATE TABLE PaperReview ( paperId int, \
+              reviewerId int ENC FOR (paperId review), \
+              commentsToPC text ENC FOR (paperId review), \
+              (PCMember.contactId contact) SPEAKS FOR (paperId review) \
+                IF NoConflict(paperId, contactId) )",
+        )
+        .unwrap();
+        let Stmt::CreateTable(ct) = s else { panic!() };
+        let sf = &ct.speaks_for[0];
+        assert_eq!(
+            sf.speaker,
+            SpeakerRef::ForeignColumn {
+                table: "PCMember".into(),
+                column: "contactId".into()
+            }
+        );
+        let Some(Expr::Func { name, args, .. }) = &sf.condition else { panic!() };
+        assert_eq!(name, "NOCONFLICT");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn speaks_for_conditional_equality() {
+        // The paper's Figure 5 phpBB aclgroups annotation.
+        let s = parse_statement(
+            "CREATE TABLE aclgroups ( groupid int, forumid int, optionid int, \
+              (groupid group_p) SPEAKS FOR (forumid forum_post) IF optionid = 20, \
+              (groupid group_p) SPEAKS FOR (forumid forum_name) IF optionid = 14 )",
+        )
+        .unwrap();
+        let Stmt::CreateTable(ct) = s else { panic!() };
+        assert_eq!(ct.speaks_for.len(), 2);
+        assert!(ct.speaks_for[0].condition.is_some());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        // OR binds loosest: (a=1) OR ((b=2) AND (c=3)).
+        let Some(Expr::Binary { op: BinOp::Or, .. }) = sel.selection else {
+            panic!("OR should be the root");
+        };
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse_statement("SELECT * FROM t WHERE x = 1 + 2 * 3").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let Some(Expr::Binary { right, .. }) = sel.selection else { panic!() };
+        let Expr::Binary { op: BinOp::Add, right: mul, .. } = *right else { panic!() };
+        assert_eq!(
+            *mul,
+            Expr::binary(BinOp::Mul, Expr::int(2), Expr::int(3))
+        );
+    }
+
+    #[test]
+    fn between_and_in_and_null() {
+        parse_statement("SELECT * FROM t WHERE a BETWEEN 1 AND 10").unwrap();
+        parse_statement("SELECT * FROM t WHERE a NOT IN (1, 2, 3)").unwrap();
+        parse_statement("SELECT * FROM t WHERE a IS NOT NULL").unwrap();
+        parse_statement("SELECT * FROM t WHERE a NOT LIKE '%x%'").unwrap();
+    }
+
+    #[test]
+    fn transactions() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Stmt::Begin);
+        assert_eq!(parse_statement("COMMIT").unwrap(), Stmt::Commit);
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Stmt::Rollback);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let s = parse_statement("INSERT INTO t (a) VALUES (-5)").unwrap();
+        let Stmt::Insert(ins) = s else { panic!() };
+        assert_eq!(ins.rows[0][0], Expr::int(-5));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("FLUSH TABLES").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE").is_err());
+        assert!(parse_statement("CREATE TABLE t (a unknown_type)").is_err());
+    }
+
+    #[test]
+    fn expr_display_roundtrips_through_parser() {
+        let sql = "SELECT * FROM t WHERE (a = 1 AND b < 'x') OR c BETWEEN 2 AND 3";
+        let Stmt::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+        let printed = sel.selection.as_ref().unwrap().to_string();
+        let Stmt::Select(sel2) =
+            parse_statement(&format!("SELECT * FROM t WHERE {printed}")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sel.selection, sel2.selection);
+    }
+}

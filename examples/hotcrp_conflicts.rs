@@ -1,0 +1,71 @@
+//! HotCRP's PC-chair conflict policy (Figure 6): the chair cannot read
+//! reviews of her own paper even with full database access.
+//!
+//! ```sh
+//! cargo run --release --example hotcrp_conflicts
+//! ```
+
+use cryptdb::apps::hotcrp;
+use cryptdb::core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
+use cryptdb::engine::{Engine, QueryResult, Value};
+use std::sync::Arc;
+
+fn show(who: &str, r: &QueryResult) {
+    match r.scalar() {
+        Some(Value::Str(s)) => println!("{who}: \"{s}\""),
+        Some(Value::Bytes(_)) => println!("{who}: <ciphertext — access denied by crypto>"),
+        other => println!("{who}: {other:?}"),
+    }
+}
+
+fn main() {
+    let proxy = Proxy::new(
+        Arc::new(Engine::new()),
+        [11u8; 32],
+        ProxyConfig {
+            paillier_bits: 512,
+            policy: EncryptionPolicy::AnnotatedOnly,
+            ..Default::default()
+        },
+    );
+    proxy.execute(&hotcrp::annotated_schema()).unwrap();
+    proxy.register_predicate("NoConflict", hotcrp::NOCONFLICT_SQL);
+
+    // PC chair (contact 1, author of paper 42) and a reviewer (contact 2).
+    proxy
+        .execute("INSERT INTO cryptdb_active (username, password) VALUES ('chair@conf', 'pw-c')")
+        .unwrap();
+    proxy
+        .execute("INSERT INTO cryptdb_active (username, password) VALUES ('rev@conf', 'pw-r')")
+        .unwrap();
+    proxy.execute("INSERT INTO ContactInfo (contactId, email, password) VALUES (1, 'chair@conf', 'h1')").unwrap();
+    proxy.execute("INSERT INTO ContactInfo (contactId, email, password) VALUES (2, 'rev@conf', 'h2')").unwrap();
+    proxy.execute("INSERT INTO PCMember (contactId) VALUES (1)").unwrap();
+    proxy.execute("INSERT INTO PCMember (contactId) VALUES (2)").unwrap();
+    // The chair is in conflict with her own paper 42.
+    proxy.execute("INSERT INTO PaperConflict (paperId, contactId) VALUES (42, 1)").unwrap();
+    proxy
+        .execute(
+            "INSERT INTO PaperReview (paperId, reviewerId, commentsToPC) VALUES \
+             (42, 2, 'accept - but the chair cannot see who said so')",
+        )
+        .unwrap();
+    proxy.logout("chair@conf");
+    proxy.logout("rev@conf");
+
+    println!("review of paper 42 (the chair's own paper):");
+    proxy.login("rev@conf", "pw-r").unwrap();
+    let r = proxy.execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 42").unwrap();
+    show("  reviewer ", &r);
+    proxy.logout("rev@conf");
+
+    proxy.login("chair@conf", "pw-c").unwrap();
+    let r = proxy.execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 42").unwrap();
+    show("  PC chair ", &r);
+    println!();
+    println!(
+        "\"With CryptDB, a PC chair cannot learn who wrote each review for\n\
+         her paper, even if she breaks into the application or database,\n\
+         since she does not have the decryption key.\" (§5)"
+    );
+}

@@ -1,0 +1,59 @@
+//! Training mode (§3.5.1): feed a query trace, get per-column steady-state
+//! onion levels and warnings for unsupported queries — the Fig. 9 workflow
+//! for your own schema.
+//!
+//! ```sh
+//! cargo run --release --example training_mode
+//! ```
+
+use cryptdb::apps::openemr;
+use cryptdb::core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
+use cryptdb::engine::Engine;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() {
+    let mut sensitive: HashMap<String, Vec<String>> = HashMap::new();
+    sensitive.insert(
+        "patient_data".into(),
+        ["fname", "lname", "dob", "ss", "medical_history", "allergies"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    sensitive.insert("forms".into(), vec!["narrative".into()]);
+    sensitive.insert("billing".into(), vec!["fee".into(), "justify".into()]);
+
+    let proxy = Proxy::new(
+        Arc::new(Engine::new()),
+        [21u8; 32],
+        ProxyConfig {
+            paillier_bits: 512,
+            policy: EncryptionPolicy::Explicit(sensitive),
+            ..Default::default()
+        },
+    );
+    for ddl in openemr::schema() {
+        proxy.execute(&ddl).unwrap();
+    }
+
+    let workload = openemr::analysis_workload();
+    let refs: Vec<&str> = workload.iter().map(String::as_str).collect();
+    let report = proxy.train(&refs).unwrap();
+
+    println!("{}", report.render());
+    println!("queries processed : {}", report.queries);
+    println!("needs plaintext   : {} columns", report.needs_plaintext());
+    println!("needs HOM         : {} columns", report.needs_hom());
+    println!();
+    println!("warnings (the §3.5.1 'training mode' output):");
+    for w in &report.warnings {
+        println!("  - {w}");
+    }
+    println!();
+    println!(
+        "A developer reads this, decides the LOWER()/YEAR() queries should\n\
+         be precomputed as standalone columns (§8.2's remedy), and pins any\n\
+         too-revealing column with Proxy::set_min_level."
+    );
+}

@@ -1,0 +1,11 @@
+//! CryptDB facade crate: re-exports the public API of every subsystem.
+pub use cryptdb_apps as apps;
+pub use cryptdb_bignum as bignum;
+pub use cryptdb_core as core;
+pub use cryptdb_crypto as crypto;
+pub use cryptdb_ecgroup as ecgroup;
+pub use cryptdb_engine as engine;
+pub use cryptdb_ope as ope;
+pub use cryptdb_paillier as paillier;
+pub use cryptdb_search as search;
+pub use cryptdb_sqlparser as sqlparser;
