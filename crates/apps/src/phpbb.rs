@@ -217,16 +217,12 @@ pub fn request_statements<R: Rng>(
                     "SELECT post_subject, post_text, poster_id FROM posts WHERE post_id = {pid}"
                 ));
             }
-            stmts.push(format!(
-                "SELECT username FROM users WHERE user_id = {u}"
-            ));
+            stmts.push(format!("SELECT username FROM users WHERE user_id = {u}"));
         }
         Request::WritePost => {
             let id = *next_id;
             *next_id += 1;
-            stmts.push(format!(
-                "SELECT topic_id FROM topics WHERE forum_id = {f}"
-            ));
+            stmts.push(format!("SELECT topic_id FROM topics WHERE forum_id = {f}"));
             stmts.push(format!(
                 "INSERT INTO posts (post_id, topic_id, forum_id, poster_id, post_time, \
                  post_subject, post_text) VALUES ({id}, {f}, {f}, {u}, 20110901, \

@@ -9,8 +9,7 @@ pub fn schema() -> Vec<String> {
         "CREATE TABLE events (eid int, cid int, owner_uid int, subject varchar(100), \
          description text, start_ts int, end_ts int, location varchar(100), category int)"
             .into(),
-        "CREATE TABLE occurrences (oid int, eid int, day int, starttime int, endtime int)"
-            .into(),
+        "CREATE TABLE occurrences (oid int, eid int, day int, starttime int, endtime int)".into(),
         "CREATE TABLE cal_users (uid int, username varchar(50), password varchar(40), \
          email varchar(100), default_cid int, admin int)"
             .into(),

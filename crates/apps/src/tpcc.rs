@@ -90,7 +90,9 @@ pub const COLUMNS: usize = 92;
 /// Generates all data-loading statements for the given scale.
 pub fn load_statements<R: Rng>(rng: &mut R, scale: &TpccScale) -> Vec<String> {
     let mut out = Vec::new();
-    let names = ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+    let names = [
+        "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+    ];
     for w in 1..=scale.warehouses {
         out.push(format!(
             "INSERT INTO warehouse (w_id, w_name, w_street_1, w_street_2, w_city, w_state, \
@@ -231,9 +233,9 @@ pub fn gen_query<R: Rng>(rng: &mut R, kind: QueryKind, scale: &TpccScale) -> Str
             "SELECT SUM(ol_amount) FROM order_line \
              WHERE ol_o_id = {o} AND ol_d_id = {d} AND ol_w_id = {w}"
         ),
-        QueryKind::Delete => format!(
-            "DELETE FROM new_order WHERE no_o_id = {o} AND no_d_id = {d} AND no_w_id = {w}"
-        ),
+        QueryKind::Delete => {
+            format!("DELETE FROM new_order WHERE no_o_id = {o} AND no_d_id = {d} AND no_w_id = {w}")
+        }
         QueryKind::Insert => format!(
             "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, \
              h_amount, h_data) VALUES ({c}, {d}, {w}, {d}, {w}, 20110902, {}, 'payment memo')",
@@ -288,7 +290,11 @@ mod tests {
     fn schema_has_92_columns() {
         let total: usize = schema()
             .iter()
-            .map(|ddl| ddl.matches(" int").count() + ddl.matches(" varchar").count() + ddl.matches(" char").count())
+            .map(|ddl| {
+                ddl.matches(" int").count()
+                    + ddl.matches(" varchar").count()
+                    + ddl.matches(" char").count()
+            })
             .sum();
         assert_eq!(total, COLUMNS);
     }

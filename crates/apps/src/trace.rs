@@ -101,8 +101,7 @@ pub fn generate<R: Rng>(rng: &mut R, target_columns: usize) -> Trace {
             };
             let is_text = matches!(class, ColumnClass::Search | ColumnClass::NeedsPlaintext)
                 || rng.gen_bool(0.4);
-            let needs_hom =
-                !is_text && rng.gen_range(0..fig9::TOTAL) < fig9::NEEDS_HOM * 3;
+            let needs_hom = !is_text && rng.gen_range(0..fig9::TOTAL) < fig9::NEEDS_HOM * 3;
             cols.push(TraceColumn {
                 table: tname.clone(),
                 column: base,
@@ -126,9 +125,7 @@ impl Trace {
             .map(|(tname, cols)| {
                 let coldefs: Vec<String> = cols
                     .iter()
-                    .map(|c| {
-                        format!("{} {}", c.column, if c.is_text { "text" } else { "int" })
-                    })
+                    .map(|c| format!("{} {}", c.column, if c.is_text { "text" } else { "int" }))
                     .collect();
                 format!("CREATE TABLE {tname} ({})", coldefs.join(", "))
             })
@@ -207,10 +204,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let t = generate(&mut rng, 500);
         assert_eq!(t.total_columns, 500);
-        assert_eq!(
-            t.tables.iter().map(|(_, c)| c.len()).sum::<usize>(),
-            500
-        );
+        assert_eq!(t.tables.iter().map(|(_, c)| c.len()).sum::<usize>(), 500);
         assert_eq!(t.schema().len(), t.tables.len());
     }
 
@@ -228,10 +222,16 @@ mod tests {
         let total = t.total_columns as f64;
         let expect_rnd = fig9::AT_RND as f64 / fig9::TOTAL as f64;
         let got_rnd = count(ColumnClass::Rnd) / total;
-        assert!((got_rnd - expect_rnd).abs() < 0.03, "rnd {got_rnd} vs {expect_rnd}");
+        assert!(
+            (got_rnd - expect_rnd).abs() < 0.03,
+            "rnd {got_rnd} vs {expect_rnd}"
+        );
         let expect_det = fig9::AT_DET as f64 / fig9::TOTAL as f64;
         let got_det = count(ColumnClass::Det) / total;
-        assert!((got_det - expect_det).abs() < 0.03, "det {got_det} vs {expect_det}");
+        assert!(
+            (got_det - expect_det).abs() < 0.03,
+            "det {got_det} vs {expect_det}"
+        );
     }
 
     #[test]

@@ -10,13 +10,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("Figure 7", "sql.mit.edu schema statistics (synthetic substitute)");
+    banner(
+        "Figure 7",
+        "sql.mit.edu schema statistics (synthetic substitute)",
+    );
     let scale_cols = scaled(4000);
     let mut rng = StdRng::seed_from_u64(2011);
     let t = trace::generate(&mut rng, scale_cols);
     let tables = t.tables.len();
     let p = TablePrinter::new(vec![26, 14, 14, 18]);
-    p.row(&["".into(), "Databases".into(), "Tables".into(), "Columns".into()]);
+    p.row(&[
+        "".into(),
+        "Databases".into(),
+        "Tables".into(),
+        "Columns".into(),
+    ]);
     p.rule();
     p.row(&[
         "paper: complete schema".into(),

@@ -25,7 +25,11 @@ fn main() {
         "31 (11 unique)".into(),
         format!("{} ({} unique)", php.total, php.unique),
         format!("paper: {}", phpbb::PAPER_LOGIN_LOC),
-        format!("paper: {} / ours: {}", phpbb::PAPER_SENSITIVE_FIELDS, php.enc_for_columns),
+        format!(
+            "paper: {} / ours: {}",
+            phpbb::PAPER_SENSITIVE_FIELDS,
+            php.enc_for_columns
+        ),
     ]);
 
     let hc = annotation_stats(&hotcrp::annotated_schema());
@@ -34,7 +38,11 @@ fn main() {
         "29 (12 unique)".into(),
         format!("{} ({} unique)", hc.total, hc.unique),
         format!("paper: {}", hotcrp::PAPER_LOGIN_LOC),
-        format!("paper: {} / ours: {}", hotcrp::PAPER_SENSITIVE_FIELDS, hc.enc_for_columns),
+        format!(
+            "paper: {} / ours: {}",
+            hotcrp::PAPER_SENSITIVE_FIELDS,
+            hc.enc_for_columns
+        ),
     ]);
 
     let ga = annotation_stats(&gradapply::annotated_schema());
@@ -43,7 +51,11 @@ fn main() {
         "111 (13 unique)".into(),
         format!("{} ({} unique)", ga.total, ga.unique),
         format!("paper: {}", gradapply::PAPER_LOGIN_LOC),
-        format!("paper: {} / ours: {}", gradapply::PAPER_SENSITIVE_FIELDS, ga.enc_for_columns),
+        format!(
+            "paper: {} / ours: {}",
+            gradapply::PAPER_SENSITIVE_FIELDS,
+            ga.enc_for_columns
+        ),
     ]);
 
     p.row(&[

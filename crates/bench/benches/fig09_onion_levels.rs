@@ -31,7 +31,11 @@ fn report(row: AppRow, printer: &TablePrinter) {
     printer.row(&[
         row.name.into(),
         rep.columns.len().to_string(),
-        rep.columns.iter().filter(|c| c.sensitive).count().to_string(),
+        rep.columns
+            .iter()
+            .filter(|c| c.sensitive)
+            .count()
+            .to_string(),
         rep.needs_plaintext().to_string(),
         rep.needs_hom().to_string(),
         rep.needs_search().to_string(),
@@ -82,7 +86,15 @@ fn main() {
             policy: sensitive_policy(&[
                 ("contactinfo", vec!["password"]),
                 ("paper", vec!["title", "abstract", "authorinformation"]),
-                ("paperreview", vec!["reviewerid", "overallmerit", "commentstopc", "commentstoauthor"]),
+                (
+                    "paperreview",
+                    vec![
+                        "reviewerid",
+                        "overallmerit",
+                        "commentstopc",
+                        "commentstoauthor",
+                    ],
+                ),
             ]),
             workload: hotcrp::analysis_workload(),
         },
@@ -94,7 +106,17 @@ fn main() {
             paper: "95/0/6/2 of 103",
             schema: gradapply::schema(),
             policy: sensitive_policy(&[
-                ("candidates", vec!["name", "gre_score", "toefl_score", "gpa", "statement", "area"]),
+                (
+                    "candidates",
+                    vec![
+                        "name",
+                        "gre_score",
+                        "toefl_score",
+                        "gpa",
+                        "statement",
+                        "area",
+                    ],
+                ),
                 ("letters", vec!["letter", "writer_email"]),
                 ("reviews", vec!["score", "comments"]),
             ]),
@@ -110,7 +132,17 @@ fn main() {
             policy: sensitive_policy(&[
                 (
                     "patient_data",
-                    vec!["fname", "lname", "dob", "ss", "street", "phone", "medical_history", "allergies", "current_medications"],
+                    vec![
+                        "fname",
+                        "lname",
+                        "dob",
+                        "ss",
+                        "street",
+                        "phone",
+                        "medical_history",
+                        "allergies",
+                        "current_medications",
+                    ],
                 ),
                 ("forms", vec!["narrative"]),
                 ("billing", vec!["justify", "fee", "bill_date"]),

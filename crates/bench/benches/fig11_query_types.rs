@@ -89,7 +89,11 @@ fn main() {
         let c = measure_qps(&cryptdb, || tpcc::gen_query(&mut rng, kind, &scale), iters);
         let mut rng = StdRng::seed_from_u64(11);
         let s_iters = scaled(30);
-        let s = measure_qps(&strawman, || tpcc::gen_query(&mut rng, kind, &scale), s_iters);
+        let s = measure_qps(
+            &strawman,
+            || tpcc::gen_query(&mut rng, kind, &scale),
+            s_iters,
+        );
         let paper_note = match kind {
             QueryKind::SelectSum => "paper: 2.0x (HOM)",
             QueryKind::UpdateInc => "paper: 1.6x (HOM)",

@@ -99,13 +99,7 @@ fn main() {
             || tpcc::gen_query(&mut rng, kind, &scale),
             iters,
         );
-        p.row(&[
-            kind.label().into(),
-            ms(m),
-            ms(c),
-            ms(cs),
-            paper_row.into(),
-        ]);
+        p.row(&[kind.label().into(), ms(m), ms(c), ms(cs), paper_row.into()]);
     }
     println!();
     println!(

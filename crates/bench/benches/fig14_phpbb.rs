@@ -89,7 +89,12 @@ fn main() {
         "paper".into(),
     ]);
     p.rule();
-    p.row(&["MySQL".into(), format!("{base:.1}"), "--".into(), "--".into()]);
+    p.row(&[
+        "MySQL".into(),
+        format!("{base:.1}"),
+        "--".into(),
+        "--".into(),
+    ]);
     p.row(&[
         "MySQL+proxy".into(),
         format!("{pass_tp:.1}"),

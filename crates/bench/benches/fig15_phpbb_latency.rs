@@ -2,7 +2,9 @@
 //! Paper: CryptDB adds 7–18 ms (6–20%) per request.
 
 use cryptdb_apps::phpbb::{self, PhpbbScale, Request};
-use cryptdb_bench::{banner, cryptdb_stack, mysql_stack, scaled, sensitive_policy, Stack, TablePrinter};
+use cryptdb_bench::{
+    banner, cryptdb_stack, mysql_stack, scaled, sensitive_policy, Stack, TablePrinter,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -30,7 +32,13 @@ fn prepare(stack: &Stack, scale: &PhpbbScale) {
     }
 }
 
-fn request_latency(stack: &Stack, scale: &PhpbbScale, req: Request, iters: usize, id0: i64) -> Duration {
+fn request_latency(
+    stack: &Stack,
+    scale: &PhpbbScale,
+    req: Request,
+    iters: usize,
+    id0: i64,
+) -> Duration {
     let mut rng = StdRng::seed_from_u64(9);
     let mut id = id0;
     let start = Instant::now();
@@ -43,7 +51,10 @@ fn request_latency(stack: &Stack, scale: &PhpbbScale, req: Request, iters: usize
 }
 
 fn main() {
-    banner("Figure 15", "phpBB request latency (read/write posts & messages)");
+    banner(
+        "Figure 15",
+        "phpBB request latency (read/write posts & messages)",
+    );
     let scale = PhpbbScale::default();
     let mysql = mysql_stack();
     prepare(&mysql, &scale);

@@ -31,7 +31,8 @@ impl Stack {
     pub fn run(&self, sql: &str) {
         match self {
             Stack::MySql(e) => {
-                e.execute_sql(sql).unwrap_or_else(|err| panic!("mysql: {err}: {sql}"));
+                e.execute_sql(sql)
+                    .unwrap_or_else(|err| panic!("mysql: {err}: {sql}"));
             }
             Stack::Passthrough(p) | Stack::CryptDb(p) => {
                 p.execute(sql)
@@ -68,7 +69,11 @@ pub fn cryptdb_stack(policy: EncryptionPolicy) -> Stack {
         paillier_bits: bench_paillier_bits(),
         ..Default::default()
     };
-    Stack::CryptDb(Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg)))
+    Stack::CryptDb(Arc::new(Proxy::new(
+        Arc::new(Engine::new()),
+        [7u8; 32],
+        cfg,
+    )))
 }
 
 /// Builds a CryptDB stack with pre-computation disabled (Fig. 12 Proxy⋆).
@@ -79,7 +84,11 @@ pub fn cryptdb_stack_no_precompute(policy: EncryptionPolicy) -> Stack {
         precompute: false,
         ..Default::default()
     };
-    Stack::CryptDb(Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg)))
+    Stack::CryptDb(Arc::new(Proxy::new(
+        Arc::new(Engine::new()),
+        [7u8; 32],
+        cfg,
+    )))
 }
 
 /// Builds a passthrough stack.
@@ -89,7 +98,11 @@ pub fn passthrough_stack() -> Stack {
         paillier_bits: 256,
         ..Default::default()
     };
-    Stack::Passthrough(Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg)))
+    Stack::Passthrough(Arc::new(Proxy::new(
+        Arc::new(Engine::new()),
+        [7u8; 32],
+        cfg,
+    )))
 }
 
 /// Builds a strawman stack.

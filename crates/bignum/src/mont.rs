@@ -1,4 +1,22 @@
 //! Montgomery-form modular arithmetic (CIOS multiplication).
+//!
+//! This is the bignum hot path of the whole system: every Paillier
+//! encryption, decryption, and blinding pre-computation (§3.5.2 of the
+//! paper) bottoms out in the kernels here. The design rules:
+//!
+//! * **No heap allocation per multiply.** [`Montgomery::mont_mul`] and
+//!   [`Montgomery::mont_sqr`] operate on caller-provided limb slices; an
+//!   exponentiation allocates its working buffers once and reuses them
+//!   for every window step.
+//! * **Dedicated squaring.** [`Montgomery::mont_sqr`] computes the
+//!   off-diagonal half-product once and doubles it, roughly 1.5× faster
+//!   than a general multiply — and squarings dominate `pow`.
+//! * **Short-exponent fast path.** [`Montgomery::pow`] skips the 16-entry
+//!   window table (14 multiplies of setup) for small exponents and uses
+//!   plain square-and-multiply.
+//! * **Fixed-base reuse.** [`FixedBase`] precomputes the window table for
+//!   one base so repeated exponentiations of that base skip table setup
+//!   entirely ([`Montgomery::fixed_base`] / [`Montgomery::pow_fixed_base`]).
 
 use crate::Ubig;
 
@@ -6,7 +24,7 @@ use crate::Ubig;
 ///
 /// Precomputes `-n^{-1} mod 2^64` and `R^2 mod n` (with `R = 2^(64·s)` for an
 /// `s`-limb modulus) so repeated multiplications and exponentiations avoid
-/// full-width division. This is the hot path of Paillier encryption.
+/// full-width division.
 ///
 /// # Examples
 ///
@@ -21,7 +39,27 @@ pub struct Montgomery {
     n: Ubig,
     n_limbs: Vec<u64>,
     n0inv: u64,
-    rr: Ubig,
+    /// `R^2 mod n`, padded to `s` limbs.
+    rr: Vec<u64>,
+    /// `R mod n` (the Montgomery form of 1), padded to `s` limbs.
+    one_m: Vec<u64>,
+}
+
+/// Exponent bit-count at or below which `pow` uses plain square-and-
+/// multiply: the 14 table-setup multiplies of the 4-bit window are not
+/// amortised by short exponents.
+const SHORT_EXP_BITS: usize = 32;
+
+/// A precomputed 4-bit window table for one base under one modulus
+/// (see [`Montgomery::fixed_base`]). Reusing it across calls removes the
+/// per-exponentiation table setup (14 Montgomery multiplies).
+pub struct FixedBase {
+    /// 16 rows of `s` limbs: base^0 .. base^15 in Montgomery form.
+    table: Vec<u64>,
+    /// The modulus the table was built under — [`Montgomery::pow_fixed_base`]
+    /// refuses a table from a different context (same-width mismatches
+    /// would otherwise silently compute garbage).
+    modulus: Ubig,
 }
 
 impl Montgomery {
@@ -43,12 +81,16 @@ impl Montgomery {
         }
         debug_assert_eq!(n0.wrapping_mul(inv), 1);
         let n0inv = inv.wrapping_neg();
-        let rr = Ubig::one().shl(128 * s).rem(&n);
+        let mut rr = vec![0u64; s];
+        copy_padded(Ubig::one().shl(128 * s).rem(&n).limbs(), &mut rr);
+        let mut one_m = vec![0u64; s];
+        copy_padded(Ubig::one().shl(64 * s).rem(&n).limbs(), &mut one_m);
         Montgomery {
             n_limbs: n.limbs().to_vec(),
             n,
             n0inv,
             rr,
+            one_m,
         }
     }
 
@@ -57,18 +99,32 @@ impl Montgomery {
         &self.n
     }
 
-    fn limbs_of(&self, v: &Ubig) -> Vec<u64> {
-        let mut l = v.limbs().to_vec();
-        l.resize(self.n_limbs.len(), 0);
-        l
+    /// The modulus width in limbs; every Montgomery-form value is exactly
+    /// this many limbs.
+    pub fn width(&self) -> usize {
+        self.n_limbs.len()
     }
 
-    /// Montgomery product of two values already in Montgomery form.
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    /// Allocates a scratch buffer large enough for any kernel here.
+    pub fn scratch(&self) -> Vec<u64> {
+        vec![0u64; 2 * self.n_limbs.len() + 2]
+    }
+
+    /// Montgomery product `out = a·b·R⁻¹ mod n` of two values in
+    /// Montgomery form (CIOS). All slices are `width()` limbs; `scratch`
+    /// is at least `width() + 2`. No heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on wrong slice lengths.
+    pub fn mont_mul(&self, a: &[u64], b: &[u64], out: &mut [u64], scratch: &mut [u64]) {
         let s = self.n_limbs.len();
-        let n = &self.n_limbs;
-        let mut t = vec![0u64; s + 2];
-        for &bi in b.iter().take(s) {
+        debug_assert!(a.len() == s && b.len() == s && out.len() == s);
+        debug_assert!(scratch.len() >= s + 2);
+        let n = &self.n_limbs[..];
+        let t = &mut scratch[..s + 2];
+        t.fill(0);
+        for &bi in b {
             let bi = bi as u128;
             let mut carry: u128 = 0;
             for j in 0..s {
@@ -93,52 +149,209 @@ impl Montgomery {
             t[s] = t[s + 1].wrapping_add((sum >> 64) as u64);
             t[s + 1] = 0;
         }
-        let mut r = Ubig::from_limbs(t[..=s].to_vec());
-        if r >= self.n {
-            r = r.sub(&self.n);
-        }
-        self.limbs_of(&r)
+        // Result is t[0..=s] < 2n with t[s] ∈ {0, 1}: one conditional
+        // subtraction of n brings it into [0, n).
+        reduce_once(&t[..=s], n, out);
     }
 
-    /// Converts into Montgomery form.
+    /// Montgomery square `out = a²·R⁻¹ mod n`, ~1.5× faster than
+    /// [`Self::mont_mul`]`(a, a, ..)`: the off-diagonal products are
+    /// computed once and doubled. `scratch` is at least `2·width() + 2`.
+    pub fn mont_sqr(&self, a: &[u64], out: &mut [u64], scratch: &mut [u64]) {
+        let s = self.n_limbs.len();
+        debug_assert!(a.len() == s && out.len() == s);
+        debug_assert!(scratch.len() >= 2 * s + 2);
+        let n = &self.n_limbs[..];
+        let t = &mut scratch[..2 * s + 1];
+        t.fill(0);
+        // Off-diagonal half: t += Σ_{i<j} a[i]·a[j]·2^(64(i+j)).
+        for i in 0..s {
+            let ai = a[i] as u128;
+            let mut carry: u128 = 0;
+            for j in i + 1..s {
+                let sum = t[i + j] as u128 + ai * a[j] as u128 + carry;
+                t[i + j] = sum as u64;
+                carry = sum >> 64;
+            }
+            t[i + s] = carry as u64; // i+s ≤ 2s-1, and this slot is untouched.
+        }
+        // Double the off-diagonal half.
+        let mut top = 0u64;
+        for limb in t.iter_mut() {
+            let new_top = *limb >> 63;
+            *limb = (*limb << 1) | top;
+            top = new_top;
+        }
+        // Add the diagonal a[i]².
+        let mut carry: u128 = 0;
+        for i in 0..s {
+            let sq = a[i] as u128 * a[i] as u128;
+            let sum = t[2 * i] as u128 + (sq as u64) as u128 + carry;
+            t[2 * i] = sum as u64;
+            let sum_hi = t[2 * i + 1] as u128 + (sq >> 64) + (sum >> 64);
+            t[2 * i + 1] = sum_hi as u64;
+            carry = sum_hi >> 64;
+        }
+        if carry != 0 {
+            t[2 * s] = t[2 * s].wrapping_add(carry as u64);
+        }
+        // Montgomery reduction (SOS): fold s limbs from the bottom.
+        for i in 0..s {
+            let m = t[i].wrapping_mul(self.n0inv) as u128;
+            let mut carry: u128 = 0;
+            for j in 0..s {
+                let sum = t[i + j] as u128 + m * n[j] as u128 + carry;
+                t[i + j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let mut k = i + s;
+            while carry != 0 {
+                let sum = t[k] as u128 + carry;
+                t[k] = sum as u64;
+                carry = sum >> 64;
+                k += 1;
+            }
+        }
+        reduce_once(&t[s..=2 * s], n, out);
+    }
+
+    /// Converts into Montgomery form (allocates the result buffer; this is
+    /// a conversion boundary, not a hot-loop kernel).
     pub fn to_mont(&self, v: &Ubig) -> Vec<u64> {
-        let reduced = v.rem(&self.n);
-        self.mont_mul(&self.limbs_of(&reduced), &self.limbs_of(&self.rr))
+        let s = self.n_limbs.len();
+        let mut vm = vec![0u64; s];
+        copy_padded(v.rem(&self.n).limbs(), &mut vm);
+        let mut out = vec![0u64; s];
+        let mut scratch = vec![0u64; s + 2];
+        self.mont_mul(&vm, &self.rr, &mut out, &mut scratch);
+        out
     }
 
     /// Converts out of Montgomery form.
     pub fn from_mont(&self, v: &[u64]) -> Ubig {
-        let mut one = vec![0u64; self.n_limbs.len()];
+        let s = self.n_limbs.len();
+        let mut one = vec![0u64; s];
         one[0] = 1;
-        Ubig::from_limbs(self.mont_mul(v, &one))
+        let mut out = vec![0u64; s];
+        let mut scratch = vec![0u64; s + 2];
+        self.mont_mul(v, &one, &mut out, &mut scratch);
+        Ubig::from_limbs(out)
+    }
+
+    /// The Montgomery form of 1 (`R mod n`), `width()` limbs.
+    pub fn one_mont(&self) -> &[u64] {
+        &self.one_m
     }
 
     /// Modular multiplication `a·b mod n` for plain (non-Montgomery) values.
     pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
         let am = self.to_mont(a);
         let bm = self.to_mont(b);
-        self.from_mont(&self.mont_mul(&am, &bm))
+        let mut out = vec![0u64; self.n_limbs.len()];
+        let mut scratch = vec![0u64; self.n_limbs.len() + 2];
+        self.mont_mul(&am, &bm, &mut out, &mut scratch);
+        self.from_mont(&out)
     }
 
-    /// Modular exponentiation `base^exp mod n` with a 4-bit fixed window.
+    /// Modular exponentiation `base^exp mod n`.
+    ///
+    /// Uses a 4-bit fixed window with a dedicated squaring kernel; for
+    /// exponents of at most [`SHORT_EXP_BITS`] bits the window table is
+    /// skipped entirely in favour of square-and-multiply.
     pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        let bits = exp.bits();
+        if bits == 0 {
+            return Ubig::one().rem(&self.n);
+        }
+        let s = self.n_limbs.len();
+        let base_m = self.to_mont(base);
+        let mut scratch = self.scratch();
+        let mut acc = vec![0u64; s];
+        let mut tmp = vec![0u64; s];
+
+        if bits <= SHORT_EXP_BITS {
+            // Square-and-multiply, MSB first; no table setup.
+            acc.copy_from_slice(&base_m);
+            for i in (0..bits - 1).rev() {
+                self.mont_sqr(&acc, &mut tmp, &mut scratch);
+                if exp.bit(i) {
+                    self.mont_mul(&tmp, &base_m, &mut acc, &mut scratch);
+                } else {
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            return self.from_mont(&acc);
+        }
+
+        let table = self.window_table(&base_m, &mut scratch);
+        self.pow_windowed(&table, exp, &mut acc, &mut tmp, &mut scratch);
+        self.from_mont(&acc)
+    }
+
+    /// Precomputes the window table for `base`, for repeated
+    /// exponentiations of the same base via [`Self::pow_fixed_base`].
+    pub fn fixed_base(&self, base: &Ubig) -> FixedBase {
+        let base_m = self.to_mont(base);
+        let mut scratch = self.scratch();
+        FixedBase {
+            table: self.window_table(&base_m, &mut scratch),
+            modulus: self.n.clone(),
+        }
+    }
+
+    /// `base^exp mod n` with the table precomputed by [`Self::fixed_base`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fb` was built under a different modulus.
+    pub fn pow_fixed_base(&self, fb: &FixedBase, exp: &Ubig) -> Ubig {
+        assert_eq!(
+            fb.modulus, self.n,
+            "FixedBase built under a different modulus"
+        );
         if exp.is_zero() {
             return Ubig::one().rem(&self.n);
         }
-        let base_m = self.to_mont(base);
-        // Precompute base^0..base^15 in Montgomery form.
-        let one_m = self.to_mont(&Ubig::one());
-        let mut table = Vec::with_capacity(16);
-        table.push(one_m.clone());
-        table.push(base_m.clone());
+        let s = self.n_limbs.len();
+        let mut scratch = self.scratch();
+        let mut acc = vec![0u64; s];
+        let mut tmp = vec![0u64; s];
+        self.pow_windowed(&fb.table, exp, &mut acc, &mut tmp, &mut scratch);
+        self.from_mont(&acc)
+    }
+
+    /// Builds the flat 16×s window table `base^0 .. base^15` (Montgomery
+    /// form), squaring for the even rows.
+    fn window_table(&self, base_m: &[u64], scratch: &mut [u64]) -> Vec<u64> {
+        let s = self.n_limbs.len();
+        let mut table = vec![0u64; 16 * s];
+        table[..s].copy_from_slice(&self.one_m);
+        table[s..2 * s].copy_from_slice(base_m);
         for i in 2..16 {
-            let prev: &Vec<u64> = &table[i - 1];
-            table.push(self.mont_mul(prev, &base_m));
+            let (lo, hi) = table.split_at_mut(i * s);
+            let row = &mut hi[..s];
+            if i % 2 == 0 {
+                self.mont_sqr(&lo[(i / 2) * s..(i / 2 + 1) * s], row, scratch);
+            } else {
+                self.mont_mul(&lo[(i - 1) * s..i * s], base_m, row, scratch);
+            }
         }
+        table
+    }
+
+    /// Core 4-bit window scan; leaves the result (Montgomery form) in `acc`.
+    fn pow_windowed(
+        &self,
+        table: &[u64],
+        exp: &Ubig,
+        acc: &mut Vec<u64>,
+        tmp: &mut Vec<u64>,
+        scratch: &mut [u64],
+    ) {
+        let s = self.n_limbs.len();
         let bits = exp.bits();
-        let mut acc = one_m;
+        acc.copy_from_slice(&self.one_m);
         let mut started = false;
-        // Consume the exponent in 4-bit windows, most significant first.
         let top_window = bits.div_ceil(4);
         for w in (0..top_window).rev() {
             let mut nibble = 0usize;
@@ -149,21 +362,59 @@ impl Montgomery {
             }
             if started {
                 for _ in 0..4 {
-                    acc = self.mont_mul(&acc, &acc);
+                    self.mont_sqr(acc, tmp, scratch);
+                    std::mem::swap(acc, tmp);
                 }
             }
             if nibble != 0 {
-                acc = self.mont_mul(&acc, &table[nibble]);
+                self.mont_mul(acc, &table[nibble * s..(nibble + 1) * s], tmp, scratch);
+                std::mem::swap(acc, tmp);
                 started = true;
-            } else if !started {
-                continue;
             }
         }
         if !started {
-            return Ubig::one().rem(&self.n);
+            // Zero exponent: the caller filtered this, but stay correct.
+            acc.copy_from_slice(&self.one_m);
         }
-        self.from_mont(&acc)
     }
+}
+
+/// Copies `src` into `dst`, zero-padding the top.
+fn copy_padded(src: &[u64], dst: &mut [u64]) {
+    debug_assert!(src.len() <= dst.len());
+    dst[..src.len()].copy_from_slice(src);
+    dst[src.len()..].fill(0);
+}
+
+/// Reduces `t` (n-width plus one top limb, value < 2n) into `out = t mod n`.
+fn reduce_once(t: &[u64], n: &[u64], out: &mut [u64]) {
+    let s = n.len();
+    debug_assert_eq!(t.len(), s + 1);
+    let ge = t[s] != 0 || cmp_limbs(&t[..s], n) != std::cmp::Ordering::Less;
+    if ge {
+        let mut borrow = 0u64;
+        for i in 0..s {
+            let (d1, b1) = t[i].overflowing_sub(n[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(t[s], borrow, "reduce_once: input was >= 2n");
+    } else {
+        out.copy_from_slice(&t[..s]);
+    }
+}
+
+/// Compares equal-length little-endian limb slices.
+fn cmp_limbs(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
 }
 
 #[cfg(test)]
@@ -204,6 +455,66 @@ mod tests {
     fn zero_exponent() {
         let m = Montgomery::new(Ubig::from_u64(97));
         assert!(m.pow(&Ubig::from_u64(5), &Ubig::zero()).is_one());
+    }
+
+    #[test]
+    fn sqr_matches_mul() {
+        let n = Ubig::from_hex("f123456789abcdef0123456789abcdef0123456789abcdef1").unwrap();
+        let m = Montgomery::new(n.clone());
+        let mut scratch = m.scratch();
+        for seed in 1u64..50 {
+            let a = Ubig::from_u64(seed)
+                .mul(&Ubig::from_hex("deadbeefcafebabe1234567").unwrap())
+                .rem(&n);
+            let am = m.to_mont(&a);
+            let mut sq = vec![0u64; m.width()];
+            let mut mu = vec![0u64; m.width()];
+            m.mont_sqr(&am, &mut sq, &mut scratch);
+            m.mont_mul(&am, &am, &mut mu, &mut scratch);
+            assert_eq!(sq, mu, "seed {seed}");
+            assert_eq!(m.from_mont(&sq), a.mod_mul(&a, &n));
+        }
+    }
+
+    #[test]
+    fn fixed_base_matches_pow() {
+        let n = Ubig::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let m = Montgomery::new(n.clone());
+        let base = Ubig::from_hex("abcdef0123456789abcdef").unwrap();
+        let fb = m.fixed_base(&base);
+        for e in [0u64, 1, 2, 15, 16, 31337, u64::MAX] {
+            let e = Ubig::from_u64(e);
+            assert_eq!(m.pow_fixed_base(&fb, &e), m.pow(&base, &e));
+        }
+        // A multi-limb exponent exercising the window scan deeply.
+        let e = Ubig::from_hex("123456789abcdef0fedcba9876543210f").unwrap();
+        assert_eq!(m.pow_fixed_base(&fb, &e), m.pow(&base, &e));
+    }
+
+    #[test]
+    fn short_and_long_exponent_paths_agree() {
+        let n = Ubig::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let m = Montgomery::new(n.clone());
+        let base = Ubig::from_u64(0x1234_5678_9abc);
+        // Straddle the SHORT_EXP_BITS threshold.
+        for e in [1u64, 3, 15, 255, 1 << 31, (1 << 33) + 12345] {
+            let got = m.pow(&base, &Ubig::from_u64(e));
+            let expect = naive_big_modexp(&base, e, &n);
+            assert_eq!(got, expect, "e={e}");
+        }
+    }
+
+    fn naive_big_modexp(b: &Ubig, mut e: u64, n: &Ubig) -> Ubig {
+        let mut acc = Ubig::one();
+        let mut base = b.rem(n);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mod_mul(&base, n);
+            }
+            base = base.mod_mul(&base, n);
+            e >>= 1;
+        }
+        acc
     }
 
     fn naive_modexp(b: u64, e: u64, m: u64) -> u64 {

@@ -135,10 +135,16 @@ mod tests {
     fn known_primes_and_composites() {
         let mut rng = StdRng::seed_from_u64(7);
         for p in [2u64, 3, 5, 7, 2003, 104_729, 2_147_483_647] {
-            assert!(is_prime(&Ubig::from_u64(p), &mut rng, 10), "{p} should be prime");
+            assert!(
+                is_prime(&Ubig::from_u64(p), &mut rng, 10),
+                "{p} should be prime"
+            );
         }
         for c in [0u64, 1, 4, 2001, 104_730, 2_147_483_649] {
-            assert!(!is_prime(&Ubig::from_u64(c), &mut rng, 10), "{c} should be composite");
+            assert!(
+                !is_prime(&Ubig::from_u64(c), &mut rng, 10),
+                "{c} should be composite"
+            );
         }
     }
 

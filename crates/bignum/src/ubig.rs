@@ -53,7 +53,9 @@ impl Ubig {
         if hi == 0 {
             Ubig::from_u64(lo)
         } else {
-            Ubig { limbs: vec![lo, hi] }
+            Ubig {
+                limbs: vec![lo, hi],
+            }
         }
     }
 
@@ -758,20 +760,35 @@ impl From<Ubig> for Sbig {
 impl Sbig {
     fn sub(&self, other: &Sbig) -> Sbig {
         match (self.neg, other.neg) {
-            (false, true) => Sbig { mag: self.mag.add(&other.mag), neg: false },
-            (true, false) => Sbig { mag: self.mag.add(&other.mag), neg: true },
+            (false, true) => Sbig {
+                mag: self.mag.add(&other.mag),
+                neg: false,
+            },
+            (true, false) => Sbig {
+                mag: self.mag.add(&other.mag),
+                neg: true,
+            },
             (sn, _) => {
                 if self.mag >= other.mag {
-                    Sbig { mag: self.mag.sub(&other.mag), neg: sn }
+                    Sbig {
+                        mag: self.mag.sub(&other.mag),
+                        neg: sn,
+                    }
                 } else {
-                    Sbig { mag: other.mag.sub(&self.mag), neg: !sn }
+                    Sbig {
+                        mag: other.mag.sub(&self.mag),
+                        neg: !sn,
+                    }
                 }
             }
         }
     }
 
     fn mul_ubig(&self, v: &Ubig) -> Sbig {
-        Sbig { mag: self.mag.mul(v), neg: self.neg && !self.mag.is_zero() }
+        Sbig {
+            mag: self.mag.mul(v),
+            neg: self.neg && !self.mag.is_zero(),
+        }
     }
 
     /// Reduces into `[0, m)` respecting the sign.

@@ -119,4 +119,74 @@ proptest! {
         let out = v.to_bytes_be(bytes.len().max(1));
         prop_assert_eq!(Ubig::from_bytes_be(&out), v);
     }
+
+    // ---- Montgomery kernels (the Paillier hot path) ----
+
+    #[test]
+    fn mont_mul_kernel_matches_mod_mul(a_hex in "[0-9a-f]{1,120}",
+                                       b_hex in "[0-9a-f]{1,120}",
+                                       m_hex in "[1-9a-f][0-9a-f]{60,120}") {
+        let m = Ubig::from_hex(&m_hex).unwrap().add(&Ubig::one()); // ensure > 1
+        let m = if m.is_even() { m.add(&Ubig::one()) } else { m }; // odd
+        let mont = Montgomery::new(m.clone());
+        let a = Ubig::from_hex(&a_hex).unwrap().rem(&m);
+        let b = Ubig::from_hex(&b_hex).unwrap().rem(&m);
+        let mut scratch = mont.scratch();
+        let am = mont.to_mont(&a);
+        let bm = mont.to_mont(&b);
+        let mut out = vec![0u64; mont.width()];
+        mont.mont_mul(&am, &bm, &mut out, &mut scratch);
+        prop_assert_eq!(mont.from_mont(&out), a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul(a_hex in "[0-9a-f]{1,160}",
+                                 m_hex in "[1-9a-f][0-9a-f]{80,160}") {
+        let m = Ubig::from_hex(&m_hex).unwrap().add(&Ubig::one());
+        let m = if m.is_even() { m.add(&Ubig::one()) } else { m };
+        let mont = Montgomery::new(m.clone());
+        let a = Ubig::from_hex(&a_hex).unwrap().rem(&m);
+        let am = mont.to_mont(&a);
+        let mut scratch = mont.scratch();
+        let mut sq = vec![0u64; mont.width()];
+        let mut mu = vec![0u64; mont.width()];
+        mont.mont_sqr(&am, &mut sq, &mut scratch);
+        mont.mont_mul(&am, &am, &mut mu, &mut scratch);
+        prop_assert_eq!(&sq, &mu);
+        prop_assert_eq!(mont.from_mont(&sq), a.mod_mul(&a, &m));
+    }
+
+    #[test]
+    fn pow_fixed_base_matches_pow(b_hex in "[0-9a-f]{1,80}",
+                                  e_hex in "[0-9a-f]{1,80}",
+                                  m_hex in "[1-9a-f][0-9a-f]{40,80}") {
+        let m = Ubig::from_hex(&m_hex).unwrap().add(&Ubig::one());
+        let m = if m.is_even() { m.add(&Ubig::one()) } else { m };
+        let mont = Montgomery::new(m.clone());
+        let base = Ubig::from_hex(&b_hex).unwrap();
+        let e = Ubig::from_hex(&e_hex).unwrap();
+        let fb = mont.fixed_base(&base);
+        prop_assert_eq!(mont.pow_fixed_base(&fb, &e), mont.pow(&base, &e));
+    }
+
+    #[test]
+    fn pow_short_exponent_matches_naive(b_hex in "[0-9a-f]{1,80}",
+                                        e in 0u64..100_000,
+                                        m_hex in "[1-9a-f][0-9a-f]{30,60}") {
+        // Exercises the square-and-multiply fast path (exponent ≤ 32 bits)
+        // against the same computation done limb-by-limb with mod_mul.
+        let m = Ubig::from_hex(&m_hex).unwrap().add(&Ubig::one());
+        let m = if m.is_even() { m.add(&Ubig::one()) } else { m };
+        let mont = Montgomery::new(m.clone());
+        let base = Ubig::from_hex(&b_hex).unwrap();
+        let mut expect = Ubig::one().rem(&m);
+        let mut acc = base.rem(&m);
+        let mut ee = e;
+        while ee > 0 {
+            if ee & 1 == 1 { expect = expect.mod_mul(&acc, &m); }
+            acc = acc.mod_mul(&acc, &m);
+            ee >>= 1;
+        }
+        prop_assert_eq!(mont.pow(&base, &Ubig::from_u64(e)), expect);
+    }
 }

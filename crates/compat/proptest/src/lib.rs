@@ -1,0 +1,470 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Provides the surface this repository's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, integer-range and
+//! `any::<T>()` strategies, a regex-subset string strategy (character
+//! classes with `{m,n}` repetition), [`collection::vec`], and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with its inputs; cases are generated from a per-test deterministic
+//! seed, so failures reproduce across runs), and `ProptestConfig` only
+//! carries `cases`.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test RNG (FNV-1a of the test name as the seed).
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; honour PROPTEST_CASES like the
+        // original so CI can dial effort up or down.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---- integer ranges ----
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+// ---- any::<T>() ----
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---- regex-subset string strategy ----
+
+/// String literals are strategies: a subset of regex syntax is supported —
+/// concatenations of character classes `[a-z0-9_]` (with ranges) under an
+/// optional `{n}` / `{m,n}` repetition; a bare class means `{1}`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let bytes = pattern.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (set, next) = match bytes[i] {
+            b'[' => parse_class(pattern, i + 1),
+            // A literal character outside a class.
+            c => (vec![c as char], i + 1),
+        };
+        i = next;
+        let (lo, hi, next) = parse_repetition(pattern, i);
+        i = next;
+        let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        assert!(
+            !set.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        for _ in 0..count {
+            out.push(set[rng.gen_range(0..set.len())]);
+        }
+    }
+    out
+}
+
+/// Parses a character class body starting just after `[`; returns the
+/// expanded set and the index just past the closing `]`.
+fn parse_class(pattern: &str, mut i: usize) -> (Vec<char>, usize) {
+    let bytes = pattern.as_bytes();
+    let mut set = Vec::new();
+    while i < bytes.len() && bytes[i] != b']' {
+        let c = bytes[i] as char;
+        if i + 2 < bytes.len() && bytes[i + 1] == b'-' && bytes[i + 2] != b']' {
+            let end = bytes[i + 2] as char;
+            assert!(c <= end, "bad class range in pattern {pattern:?}");
+            for v in c..=end {
+                set.push(v);
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < bytes.len(), "unterminated class in pattern {pattern:?}");
+    (set, i + 1)
+}
+
+/// Parses an optional `{n}` / `{m,n}` at `i`; returns `(lo, hi, next)`.
+fn parse_repetition(pattern: &str, i: usize) -> (usize, usize, usize) {
+    let bytes = pattern.as_bytes();
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return (1, 1, i);
+    }
+    let close = pattern[i..]
+        .find('}')
+        .map(|o| i + o)
+        .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+    let body = &pattern[i + 1..close];
+    let (lo, hi) = match body.split_once(',') {
+        None => {
+            let n = body.trim().parse().expect("repetition count");
+            (n, n)
+        }
+        Some((a, b)) => (
+            a.trim().parse().expect("repetition lower bound"),
+            b.trim().parse().expect("repetition upper bound"),
+        ),
+    };
+    (lo, hi, close + 1)
+}
+
+// ---- tuples ----
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+// ---- collections ----
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for vectors with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, m..n)`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "vec strategy: empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- macros ----
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    // prop_assume! exits this closure early to skip a case.
+                    let mut __body = move || -> ::std::ops::ControlFlow<()> {
+                        { $body }
+                        ::std::ops::ControlFlow::Continue(())
+                    };
+                    let _ = __body();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Discards the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("proptest::selftest")
+    }
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[0-9a-f]{1,64}", &mut r);
+            assert!((1..=64).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_hexdigit() && !c.is_uppercase()));
+            let t = generate_from_pattern("[1-9a-f][0-9a-f]{0,60}", &mut r);
+            assert!(!t.starts_with('0') && (1..=61).contains(&t.len()));
+        }
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (-20i64..20).generate(&mut r);
+            assert!((-20..20).contains(&v));
+            let w = (1u64..).generate(&mut r);
+            assert!(w >= 1);
+            let x = (1..=u128::MAX).generate(&mut r);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut r = rng();
+        let strat = collection::vec((0u64..10, "[a-b]{2}").prop_map(|(n, s)| (n, s)), 1..5);
+        for _ in 0..50 {
+            let v = strat.generate(&mut r);
+            assert!((1..5).contains(&v.len()));
+            for (n, s) in v {
+                assert!(n < 10 && s.len() == 2);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(a in 0u64..100, b in any::<u8>(), s in "[a-z]{1,4}") {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert_eq!(b as u64 + a, a + b as u64);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}

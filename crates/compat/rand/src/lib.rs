@@ -1,0 +1,502 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate provides exactly the surface the repo uses: [`RngCore`],
+//! [`SeedableRng`], [`Rng`] (`gen`, `gen_range`, `gen_bool`),
+//! [`rngs::StdRng`], and [`thread_rng`].
+//!
+//! Security split, mirroring the real crate:
+//!
+//! * [`thread_rng`] is a **CSPRNG** (ChaCha20 seeded from the OS) — it
+//!   must be, because security-relevant draws go through it: Paillier
+//!   blinding `r`, RND-onion IVs, ECIES ephemeral scalars.
+//! * [`rngs::StdRng`] here is xoshiro256**, *non-cryptographic* and
+//!   seedable, used for deterministic test inputs and workload
+//!   generation only. (The real crate's `StdRng` is also a CSPRNG; no
+//!   call site in this repo relies on that, but treat seeded `StdRng`
+//!   streams as public.)
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::collections::hash_map::RandomState;
+use std::fmt;
+use std::hash::{BuildHasher, Hasher};
+
+/// Error type for fallible RNG operations (never produced by the
+/// generators in this crate; exists so `try_fill_bytes` signatures match
+/// the real `rand` 0.8).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from fixed data.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (the standard
+    /// seeding recipe for the xoshiro family).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sampling a value of `Self` uniformly from an RNG (`rng.gen()`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                let mut bytes = [0u8; std::mem::size_of::<$t>()];
+                rng.fill_bytes(&mut bytes);
+                <$t>::from_le_bytes(bytes)
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A type whose values can be drawn uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd + Standard {
+    /// Uniform value in `[lo, hi]`. `width_wraps` marks the full-domain
+    /// range whose element count overflows `u128`.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let width = (hi as $wide).wrapping_sub(lo as $wide) as u128;
+                let Some(count) = width.checked_add(1) else {
+                    // Full u128 domain: every value is fair.
+                    return Standard::sample(rng);
+                };
+                let off = uniform_u128(rng, count);
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize
+);
+
+/// A range argument accepted by [`Rng::gen_range`]. Generic over the
+/// element type (one impl per range shape) so inference can flow from the
+/// range into `T`, matching the real `rand` API.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // end > start, so end - 1 is representable and >= start; sampling
+        // [start, end) equals [start, end - 1] but avoiding a generic
+        // "minus one" keeps the trait small: resample on the excluded end.
+        loop {
+            let v = T::sample_between(rng, self.start, self.end);
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(rng, lo, hi)
+    }
+}
+
+/// Uniform value in `[0, bound)` by rejection from the top 128-bit block.
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    assert!(bound > 0);
+    if bound.is_power_of_two() {
+        let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        return v & (bound - 1);
+    }
+    // Rejection sampling over the smallest power-of-two cover (the full
+    // domain when the cover would be 2^128).
+    let mask = bound
+        .checked_next_power_of_two()
+        .map_or(u128::MAX, |p| p - 1);
+    loop {
+        let v = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) & mask;
+        if v < bound {
+            return v;
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p outside [0, 1]");
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the standard non-cryptographic workhorse PRNG.
+    #[derive(Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // The all-zero state is a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    /// ChaCha20-based cryptographically strong generator backing
+    /// [`super::thread_rng`] — `thread_rng` must stay a CSPRNG because
+    /// security-relevant draws (Paillier blinding `r`, RND-layer IVs,
+    /// ECIES ephemeral scalars) flow through it, exactly as with the
+    /// real `rand` crate's ChaCha-based `ThreadRng`.
+    pub struct ChaChaRng {
+        key: [u32; 8],
+        counter: u64,
+        nonce: u64,
+        buf: [u8; 64],
+        pos: usize,
+    }
+
+    impl ChaChaRng {
+        pub(crate) fn new(seed: [u8; 32], nonce: u64) -> Self {
+            let mut key = [0u32; 8];
+            for (i, chunk) in seed.chunks(4).enumerate() {
+                key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            ChaChaRng {
+                key,
+                counter: 0,
+                nonce,
+                buf: [0u8; 64],
+                pos: 64,
+            }
+        }
+
+        fn refill(&mut self) {
+            let mut state = [
+                0x6170_7865,
+                0x3320_646e,
+                0x7962_2d32,
+                0x6b20_6574,
+                self.key[0],
+                self.key[1],
+                self.key[2],
+                self.key[3],
+                self.key[4],
+                self.key[5],
+                self.key[6],
+                self.key[7],
+                self.counter as u32,
+                (self.counter >> 32) as u32,
+                self.nonce as u32,
+                (self.nonce >> 32) as u32,
+            ];
+            let initial = state;
+            for _ in 0..10 {
+                // Column rounds.
+                quarter(&mut state, 0, 4, 8, 12);
+                quarter(&mut state, 1, 5, 9, 13);
+                quarter(&mut state, 2, 6, 10, 14);
+                quarter(&mut state, 3, 7, 11, 15);
+                // Diagonal rounds.
+                quarter(&mut state, 0, 5, 10, 15);
+                quarter(&mut state, 1, 6, 11, 12);
+                quarter(&mut state, 2, 7, 8, 13);
+                quarter(&mut state, 3, 4, 9, 14);
+            }
+            for (i, (s, init)) in state.iter().zip(initial.iter()).enumerate() {
+                self.buf[4 * i..4 * i + 4].copy_from_slice(&s.wrapping_add(*init).to_le_bytes());
+            }
+            self.counter = self.counter.wrapping_add(1);
+            self.pos = 0;
+        }
+    }
+
+    fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    impl RngCore for ChaChaRng {
+        fn next_u32(&mut self) -> u32 {
+            let mut b = [0u8; 4];
+            self.fill_bytes(&mut b);
+            u32::from_le_bytes(b)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut b = [0u8; 8];
+            self.fill_bytes(&mut b);
+            u64::from_le_bytes(b)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut filled = 0;
+            while filled < dest.len() {
+                if self.pos == 64 {
+                    self.refill();
+                }
+                let take = (dest.len() - filled).min(64 - self.pos);
+                dest[filled..filled + take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+                self.pos += take;
+                filled += take;
+            }
+        }
+    }
+
+    /// Handle to a per-thread generator (see [`super::thread_rng`]).
+    pub struct ThreadRng(pub(crate) ());
+
+    impl RngCore for ThreadRng {
+        fn next_u32(&mut self) -> u32 {
+            super::with_thread_rng(|r| r.next_u32())
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            super::with_thread_rng(|r| r.next_u64())
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            super::with_thread_rng(|r| r.fill_bytes(dest))
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG: RefCell<rngs::ChaChaRng> = RefCell::new(seed_thread_rng());
+}
+
+/// Seeds the per-thread CSPRNG with 32 bytes from the OS
+/// (`/dev/urandom`), mixed with per-thread ambient entropy as a
+/// defence-in-depth fallback for exotic platforms without it.
+fn seed_thread_rng() -> rngs::ChaChaRng {
+    let mut seed = [0u8; 32];
+    let got_os = std::fs::File::open("/dev/urandom")
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut seed))
+        .is_ok();
+    // RandomState draws its keys from the OS; the hasher mixes in time
+    // and a stack address. XORed on top of (or substituting for) the
+    // urandom bytes.
+    let mut h = RandomState::new().build_hasher();
+    if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        h.write_u128(d.as_nanos());
+    }
+    let marker = 0u8;
+    h.write_usize(std::ptr::addr_of!(marker) as usize);
+    let mix = h.finish();
+    for (i, b) in mix.to_le_bytes().iter().enumerate() {
+        seed[i] ^= b;
+    }
+    if !got_os {
+        let mut h2 = RandomState::new().build_hasher();
+        h2.write_u64(mix);
+        for chunk in seed[8..].chunks_mut(8) {
+            h2.write_u8(1);
+            let v = h2.finish().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+    }
+    rngs::ChaChaRng::new(seed, mix)
+}
+
+fn with_thread_rng<T>(f: impl FnOnce(&mut rngs::ChaChaRng) -> T) -> T {
+    THREAD_RNG.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// A lazily-seeded per-thread **CSPRNG** (ChaCha20, OS-seeded), matching
+/// the real `rand::thread_rng` contract.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i64 = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = r.gen_range(1usize..=3);
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_chunking_consistent() {
+        let mut a = rngs::StdRng::seed_from_u64(3);
+        let mut b = rngs::StdRng::seed_from_u64(3);
+        let mut ba = [0u8; 24];
+        let mut bb = [0u8; 24];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn thread_rng_advances() {
+        let mut t = thread_rng();
+        assert_ne!(t.next_u64(), t.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = rngs::StdRng::seed_from_u64(4);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -13,11 +13,13 @@ use cryptdb_crypto::modes::{cbc_decrypt, cbc_encrypt, cmc_decrypt, cmc_encrypt};
 use cryptdb_crypto::prf::{derive_key, Key};
 use cryptdb_ecgroup::{JoinAdj, JoinKey};
 use cryptdb_engine::Value;
-use cryptdb_ope::Ope;
+use cryptdb_ope::{Ope, OpeCached, OpeError};
 use cryptdb_paillier::{PaillierPrivate, PaillierPublic};
 use cryptdb_search::{SearchCiphertext, SearchKey, SearchToken};
 use cryptdb_sqlparser::ColumnType;
+use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
+use std::collections::HashMap;
 
 /// JOIN-ADJ tag length inside the Eq onion blob.
 pub const JTAG_LEN: usize = 32;
@@ -65,8 +67,21 @@ pub struct ColumnKeys {
     det_int: Blowfish,
     /// DET for text (AES-CMC).
     det_txt: Aes,
-    /// OPE (64-bit domain, 124-bit range).
+    /// OPE (64-bit domain, 124-bit range), the cacheless instance: used
+    /// for decryption (lock-free) and for encryption when §3.5.2
+    /// pre-computation is disabled (the Fig. 12 Proxy⋆ baseline must not
+    /// silently benefit from the cache).
     ope: Ope,
+    /// Finished plaintext→ciphertext OPE results (§3.5.2 "caching ...
+    /// the 30,000 most common values"). A read-write lock so warm hits
+    /// never wait behind an in-progress tree walk.
+    ope_results: RwLock<HashMap<u64, u128>>,
+    /// The same OPE key behind the paper's §3.1 batch-encryption cache:
+    /// interior tree nodes are memoised, so misses walk shared
+    /// range-split prefixes once (the AVL 25 ms → 7 ms optimisation).
+    /// Taken with `try_lock` — a contended walker falls back to the
+    /// cacheless instance rather than queueing.
+    ope_walker: Mutex<OpeCached>,
     /// This column's native JOIN-ADJ key.
     pub join: JoinKey,
     /// SEARCH key.
@@ -104,6 +119,8 @@ impl ColumnKeys {
             det_int: Blowfish::new(&det_key),
             det_txt: aes128(&det_key),
             ope: Ope::new(&ope_key, 64, 124),
+            ope_results: RwLock::new(HashMap::new()),
+            ope_walker: Mutex::new(OpeCached::new(Ope::new(&ope_key, 64, 124))),
             join: JoinKey::from_bytes(&join_key),
             search: SearchKey::new(&search_key),
             rnd_eq_key,
@@ -111,9 +128,37 @@ impl ColumnKeys {
         }
     }
 
-    /// The OPE instance (used by the pre-computation cache).
-    pub fn ope(&self) -> &Ope {
-        &self.ope
+    /// OPE encryption; `use_cache` routes through the shared node/result
+    /// cache (§3.5.2 pre-computation on) or the cacheless instance.
+    ///
+    /// Concurrency shape: warm hits take only a read lock on the result
+    /// map; a miss walks the tree through the node-cache walker when it
+    /// is free, or the cacheless instance when another thread is already
+    /// walking — so neither hits nor misses ever queue behind a
+    /// multi-millisecond walk.
+    pub fn ope_encrypt(&self, m: u64, use_cache: bool) -> Result<u128, OpeError> {
+        if !use_cache {
+            return self.ope.encrypt(m);
+        }
+        if let Some(&c) = self.ope_results.read().get(&m) {
+            return Ok(c);
+        }
+        let c = match self.ope_walker.try_lock() {
+            Some(mut walker) => walker.encrypt(m)?,
+            None => self.ope.encrypt(m)?,
+        };
+        self.ope_results.write().insert(m, c);
+        Ok(c)
+    }
+
+    /// OPE decryption (lock-free: decryption never touches the caches).
+    pub fn ope_decrypt(&self, c: u128) -> Result<u64, OpeError> {
+        self.ope.decrypt(c)
+    }
+
+    /// Number of fully-cached OPE plaintext→ciphertext results.
+    pub fn ope_cached_results(&self) -> usize {
+        self.ope_results.read().len()
     }
 
     /// Wraps an Ord-onion plaintext (OPE bytes) in the RND layer.
@@ -163,7 +208,10 @@ fn ord_encode(v: &Value) -> Result<u64, ProxyError> {
 /// `join_key` is the column's *current effective* JOIN-ADJ key (it changes
 /// when the column is re-keyed into another join group); `levels` are the
 /// current onion levels — fresh values are encrypted only up to the layers
-/// that have not been stripped (§3.3, write queries).
+/// that have not been stripped (§3.3, write queries). The Ord onion goes
+/// through the §3.5.2 batch-encryption cache; the proxy instead drives
+/// OPE itself (via [`encrypt_ord_constant`] with its `precompute` config)
+/// and disables `onions.ord` here.
 #[allow(clippy::too_many_arguments)]
 pub fn encrypt_cell<R: RngCore + ?Sized>(
     keys: &ColumnKeys,
@@ -221,8 +269,7 @@ pub fn encrypt_cell<R: RngCore + ?Sized>(
 
     if onions.ord {
         let ope_ct = keys
-            .ope
-            .encrypt(ord_encode(v)?)
+            .ope_encrypt(ord_encode(v)?, true)
             .map_err(|e| ProxyError::Crypto(e.to_string()))?;
         let bytes = ope_ct.to_be_bytes().to_vec();
         let ord_value = match levels.1 {
@@ -288,13 +335,17 @@ pub fn encrypt_eq_constant(
 }
 
 /// Encrypts a constant for an order comparison (OPE layer).
-pub fn encrypt_ord_constant(keys: &ColumnKeys, v: &Value) -> Result<Value, ProxyError> {
+/// `use_cache` routes through the §3.5.2 batch-encryption cache.
+pub fn encrypt_ord_constant(
+    keys: &ColumnKeys,
+    v: &Value,
+    use_cache: bool,
+) -> Result<Value, ProxyError> {
     if v.is_null() {
         return Ok(Value::Null);
     }
     let c = keys
-        .ope
-        .encrypt(ord_encode(v)?)
+        .ope_encrypt(ord_encode(v)?, use_cache)
         .map_err(|e| ProxyError::Crypto(e.to_string()))?;
     Ok(Value::Bytes(c.to_be_bytes().to_vec()))
 }
@@ -366,7 +417,7 @@ pub fn decrypt_eq(
                 .try_into()
                 .map_err(|_| ProxyError::Crypto("bad DET int length".into()))?;
             Ok(Value::Int(
-                keys.det_int.decrypt_u64(u64::from_be_bytes(arr)) as i64
+                keys.det_int.decrypt_u64(u64::from_be_bytes(arr)) as i64,
             ))
         }
         ColumnType::Text => {
@@ -422,8 +473,7 @@ pub fn decrypt_ord(
         .try_into()
         .map_err(|_| ProxyError::Crypto("bad OPE length".into()))?;
     let m = keys
-        .ope
-        .decrypt(u128::from_be_bytes(arr))
+        .ope_decrypt(u128::from_be_bytes(arr))
         .map_err(|e| ProxyError::Crypto(e.to_string()))?;
     Ok(Value::Int(Ope::decode_i64(m)))
 }
@@ -487,14 +537,36 @@ mod tests {
     fn int_roundtrip_all_onions() {
         let (keys, ja, p, mut rng) = setup();
         let v = Value::Int(-1234);
-        let cell = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Rnd, OrdLevel::Rnd));
+        let cell = enc(
+            &keys,
+            &ja,
+            &p,
+            &mut rng,
+            &v,
+            ColumnType::Int,
+            (EqLevel::Rnd, OrdLevel::Rnd),
+        );
         assert_eq!(
-            decrypt_eq(&keys, EqLevel::Rnd, ColumnType::Int, cell.eq.as_ref().unwrap(), cell.iv.as_ref(), true).unwrap(),
+            decrypt_eq(
+                &keys,
+                EqLevel::Rnd,
+                ColumnType::Int,
+                cell.eq.as_ref().unwrap(),
+                cell.iv.as_ref(),
+                true
+            )
+            .unwrap(),
             v
         );
         assert_eq!(decrypt_add(&p, cell.add.as_ref().unwrap()).unwrap(), v);
         assert_eq!(
-            decrypt_ord(&keys, OrdLevel::Rnd, cell.ord.as_ref().unwrap(), cell.iv.as_ref()).unwrap(),
+            decrypt_ord(
+                &keys,
+                OrdLevel::Rnd,
+                cell.ord.as_ref().unwrap(),
+                cell.iv.as_ref()
+            )
+            .unwrap(),
             v
         );
     }
@@ -503,9 +575,25 @@ mod tests {
     fn text_roundtrip() {
         let (keys, ja, p, mut rng) = setup();
         let v = Value::Str("private message body".into());
-        let cell = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Text, (EqLevel::Det, OrdLevel::Rnd));
+        let cell = enc(
+            &keys,
+            &ja,
+            &p,
+            &mut rng,
+            &v,
+            ColumnType::Text,
+            (EqLevel::Det, OrdLevel::Rnd),
+        );
         assert_eq!(
-            decrypt_eq(&keys, EqLevel::Det, ColumnType::Text, cell.eq.as_ref().unwrap(), None, true).unwrap(),
+            decrypt_eq(
+                &keys,
+                EqLevel::Det,
+                ColumnType::Text,
+                cell.eq.as_ref().unwrap(),
+                None,
+                true
+            )
+            .unwrap(),
             v
         );
         // The search onion matches its words.
@@ -520,11 +608,43 @@ mod tests {
     fn rnd_is_probabilistic_det_is_deterministic() {
         let (keys, ja, p, mut rng) = setup();
         let v = Value::Int(42);
-        let a = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Rnd, OrdLevel::Rnd));
-        let b = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Rnd, OrdLevel::Rnd));
+        let a = enc(
+            &keys,
+            &ja,
+            &p,
+            &mut rng,
+            &v,
+            ColumnType::Int,
+            (EqLevel::Rnd, OrdLevel::Rnd),
+        );
+        let b = enc(
+            &keys,
+            &ja,
+            &p,
+            &mut rng,
+            &v,
+            ColumnType::Int,
+            (EqLevel::Rnd, OrdLevel::Rnd),
+        );
         assert_ne!(a.eq, b.eq, "RND must randomise equal plaintexts");
-        let c = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Det, OrdLevel::Ope));
-        let d = enc(&keys, &ja, &p, &mut rng, &v, ColumnType::Int, (EqLevel::Det, OrdLevel::Ope));
+        let c = enc(
+            &keys,
+            &ja,
+            &p,
+            &mut rng,
+            &v,
+            ColumnType::Int,
+            (EqLevel::Det, OrdLevel::Ope),
+        );
+        let d = enc(
+            &keys,
+            &ja,
+            &p,
+            &mut rng,
+            &v,
+            ColumnType::Int,
+            (EqLevel::Det, OrdLevel::Ope),
+        );
         assert_eq!(c.eq, d.eq, "DET must repeat for equal plaintexts");
         assert_eq!(
             c.eq,
@@ -537,7 +657,15 @@ mod tests {
         let (keys, ja, p, mut rng) = setup();
         let mut prev: Option<Vec<u8>> = None;
         for v in [-100i64, -1, 0, 7, 5000] {
-            let cell = enc(&keys, &ja, &p, &mut rng, &Value::Int(v), ColumnType::Int, (EqLevel::Det, OrdLevel::Ope));
+            let cell = enc(
+                &keys,
+                &ja,
+                &p,
+                &mut rng,
+                &Value::Int(v),
+                ColumnType::Int,
+                (EqLevel::Det, OrdLevel::Ope),
+            );
             let bytes = cell.ord.unwrap().as_bytes().unwrap().to_vec();
             if let Some(p) = prev {
                 assert!(bytes > p, "OPE bytes must increase with plaintext");
@@ -549,8 +677,27 @@ mod tests {
     #[test]
     fn null_passthrough() {
         let (keys, ja, p, mut rng) = setup();
-        let cell = enc(&keys, &ja, &p, &mut rng, &Value::Null, ColumnType::Int, (EqLevel::Rnd, OrdLevel::Rnd));
+        let cell = enc(
+            &keys,
+            &ja,
+            &p,
+            &mut rng,
+            &Value::Null,
+            ColumnType::Int,
+            (EqLevel::Rnd, OrdLevel::Rnd),
+        );
         assert_eq!(cell.eq, Some(Value::Null));
-        assert_eq!(decrypt_eq(&keys, EqLevel::Rnd, ColumnType::Int, &Value::Null, None, true).unwrap(), Value::Null);
+        assert_eq!(
+            decrypt_eq(
+                &keys,
+                EqLevel::Rnd,
+                ColumnType::Int,
+                &Value::Null,
+                None,
+                true
+            )
+            .unwrap(),
+            Value::Null
+        );
     }
 }

@@ -116,10 +116,7 @@ impl MultiPrincipal {
             ))
             .ok()?;
         let row = r.rows().first()?;
-        Some((
-            row[0].as_bytes()?.to_vec(),
-            row[1].as_bytes()?.to_vec(),
-        ))
+        Some((row[0].as_bytes()?.to_vec(), row[1].as_bytes()?.to_vec()))
     }
 
     /// True if the principal already exists (has a public-key row).
@@ -186,10 +183,7 @@ impl MultiPrincipal {
             .rows()
             .to_vec();
         for row in rows {
-            let from: Principal = (
-                row[0].as_str()?.to_string(),
-                row[1].as_str()?.to_string(),
-            );
+            let from: Principal = (row[0].as_str()?.to_string(), row[1].as_str()?.to_string());
             let method = row[2].as_int()?;
             let wrapped = row[3].as_bytes()?.to_vec();
             let Some(from_key) = self.resolve_inner(engine, &from, visiting) else {
@@ -250,9 +244,11 @@ impl MultiPrincipal {
                 let (pubkey, _) = Self::principal_row(engine, speaker).ok_or_else(|| {
                     ProxyError::KeyUnavailable(format!("no public key for {speaker:?}"))
                 })?;
-                let pk = EciesPublic(pubkey.try_into().map_err(|_| {
-                    ProxyError::Crypto("malformed stored public key".into())
-                })?);
+                let pk = EciesPublic(
+                    pubkey
+                        .try_into()
+                        .map_err(|_| ProxyError::Crypto("malformed stored public key".into()))?,
+                );
                 (1i64, pk.encrypt(object_key, rng))
             }
         };

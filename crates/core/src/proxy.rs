@@ -21,8 +21,8 @@ use cryptdb_ecgroup::JoinAdj;
 use cryptdb_engine::{Engine, QueryResult, Value};
 use cryptdb_paillier::PaillierPrivate;
 use cryptdb_sqlparser::{
-    parse, BinOp, ColumnDef, ColumnRef, ColumnType, CreateTable, Delete, Expr, Insert,
-    Literal, OrderBy, Select, SelectItem, SpeakerRef, Stmt, TableRef, Update,
+    parse, BinOp, ColumnDef, ColumnRef, ColumnType, CreateTable, Delete, Expr, Insert, Literal,
+    OrderBy, Select, SelectItem, SpeakerRef, Stmt, TableRef, Update,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
@@ -103,7 +103,6 @@ pub struct Proxy {
     joinadj: JoinAdj,
     key_cache: RwLock<HashMap<(String, String, Key), Arc<ColumnKeys>>>,
     hom_pool: Mutex<VecDeque<Ubig>>,
-    ope_memo: Mutex<HashMap<(String, String, u64), u128>>,
     eq_memo: Mutex<HashMap<EqMemoKey, Value>>,
     mp: Mutex<MultiPrincipal>,
 }
@@ -132,7 +131,6 @@ impl Proxy {
             joinadj,
             key_cache: RwLock::new(HashMap::new()),
             hom_pool: Mutex::new(VecDeque::new()),
-            ope_memo: Mutex::new(HashMap::new()),
             eq_memo: Mutex::new(HashMap::new()),
             mp: Mutex::new(mp),
         }
@@ -161,7 +159,12 @@ impl Proxy {
     }
 
     /// Sets the §3.5.1 minimum onion layer for a column.
-    pub fn set_min_level(&self, table: &str, column: &str, level: SecLevel) -> Result<(), ProxyError> {
+    pub fn set_min_level(
+        &self,
+        table: &str,
+        column: &str,
+        level: SecLevel,
+    ) -> Result<(), ProxyError> {
         let mut schema = self.schema.write();
         let t = schema.table_mut(table)?;
         let c = t
@@ -228,20 +231,27 @@ impl Proxy {
     }
 
     /// Pre-computes `n` Paillier blinding factors (§3.5.2), removing HOM
-    /// encryption from the critical path.
+    /// encryption from the critical path. The batch runs on the CRT fast
+    /// path (the proxy knows p and q), so a refill costs a third of the
+    /// seed's full-width exponentiations.
     pub fn precompute_hom(&self, n: usize) {
         let mut rng = rand::thread_rng();
-        let mut pool = self.hom_pool.lock();
-        for _ in 0..n {
-            pool.push_back(self.paillier.precompute_blinding(&mut rng));
-        }
+        let batch = self.paillier.precompute_blinding_batch(&mut rng, n);
+        self.hom_pool.lock().extend(batch);
+    }
+
+    /// Number of pre-computed blinding factors currently pooled.
+    pub fn hom_pool_len(&self) -> usize {
+        self.hom_pool.lock().len()
     }
 
     /// Logs a user in (equivalent to
     /// `INSERT INTO cryptdb_active (username, password) VALUES (...)`).
     pub fn login(&self, username: &str, password: &str) -> Result<(), ProxyError> {
         let mut rng = rand::thread_rng();
-        self.mp.lock().login(&self.engine, username, password, &mut rng)
+        self.mp
+            .lock()
+            .login(&self.engine, username, password, &mut rng)
     }
 
     /// Logs a user out (equivalent to `DELETE FROM cryptdb_active ...`).
@@ -338,7 +348,13 @@ impl Proxy {
 
     // ---- key & crypto helpers ----
 
-    fn col_keys(&self, table: &str, column: &str, root: &Key, ope_group: Option<&str>) -> Arc<ColumnKeys> {
+    fn col_keys(
+        &self,
+        table: &str,
+        column: &str,
+        root: &Key,
+        ope_group: Option<&str>,
+    ) -> Arc<ColumnKeys> {
         let cache_key = (table.to_lowercase(), column.to_lowercase(), *root);
         if let Some(k) = self.key_cache.read().get(&cache_key) {
             return k.clone();
@@ -349,9 +365,7 @@ impl Proxy {
             &cache_key.1,
             ope_group,
         ));
-        self.key_cache
-            .write()
-            .insert(cache_key, keys.clone());
+        self.key_cache.write().insert(cache_key, keys.clone());
         keys
     }
 
@@ -363,39 +377,30 @@ impl Proxy {
         if !self.config.precompute {
             return None;
         }
-        self.hom_pool.lock().pop_front()
+        if let Some(b) = self.hom_pool.lock().pop_front() {
+            return Some(b);
+        }
+        // Pool ran dry: top it up in a small CRT batch so INSERT bursts
+        // amortise the refill. Generate *outside* the lock — concurrent
+        // encrypts must not stall behind the exponentiations (a racing
+        // double-refill is benign; it just pools extra factors).
+        const REFILL_BATCH: usize = 8;
+        let mut rng = rand::thread_rng();
+        let batch = self
+            .paillier
+            .precompute_blinding_batch(&mut rng, REFILL_BATCH);
+        let mut pool = self.hom_pool.lock();
+        pool.extend(batch);
+        pool.pop_front()
     }
 
-    /// OPE with the §3.5.2 cache.
-    fn ope_encrypt_cached(
-        &self,
-        table: &str,
-        column: &str,
-        keys: &ColumnKeys,
-        v: &Value,
-    ) -> Result<Value, ProxyError> {
-        if !self.config.precompute {
-            return encrypt_ord_constant(keys, v);
-        }
-        let Value::Int(i) = v else {
-            return encrypt_ord_constant(keys, v);
-        };
-        let memo_key = (
-            table.to_lowercase(),
-            column.to_lowercase(),
-            cryptdb_ope::Ope::encode_i64(*i),
-        );
-        if let Some(c) = self.ope_memo.lock().get(&memo_key) {
-            return Ok(Value::Bytes(c.to_be_bytes().to_vec()));
-        }
-        let out = encrypt_ord_constant(keys, v)?;
-        if let Value::Bytes(b) = &out {
-            let arr: [u8; 16] = b[..].try_into().expect("OPE is 16 bytes");
-            self.ope_memo
-                .lock()
-                .insert(memo_key, u128::from_be_bytes(arr));
-        }
-        Ok(out)
+    /// OPE with the §3.5.2 cache: the per-column `OpeCached` inside
+    /// `ColumnKeys` memoises both full results and interior tree nodes,
+    /// so no proxy-level memo is needed on top.
+    fn ope_encrypt_cached(&self, keys: &ColumnKeys, v: &Value) -> Result<Value, ProxyError> {
+        // With §3.5.2 off (the Fig. 12 Proxy⋆ baseline) the OPE tree is
+        // walked fresh every time — no node cache, no result memo.
+        encrypt_ord_constant(keys, v, self.config.precompute)
     }
 
     fn encrypt_cell_for(
@@ -431,7 +436,7 @@ impl Proxy {
             let ope = if v.is_null() {
                 Value::Null
             } else {
-                let ope_plain = self.ope_encrypt_cached(table, &col.name, &keys, v)?;
+                let ope_plain = self.ope_encrypt_cached(&keys, v)?;
                 match col.ord_level {
                     OrdLevel::Ope => ope_plain,
                     OrdLevel::Rnd => {

@@ -198,9 +198,7 @@ impl Proxy {
                                     }
                                     reqs.push(Req::Join(pa, pb));
                                 } else {
-                                    if ca.ope_group.is_none()
-                                        || ca.ope_group != cb.ope_group
-                                    {
+                                    if ca.ope_group.is_none() || ca.ope_group != cb.ope_group {
                                         return Err(ProxyError::NeedsPlaintext(format!(
                                             "range join between {} and {} requires a \
                                              pre-declared OPE-JOIN group (§3.4)",
@@ -222,7 +220,9 @@ impl Proxy {
                         } else {
                             (&**right, &**left)
                         };
-                        let Expr::Column(c) = cref else { unreachable!() };
+                        let Expr::Column(c) = cref else {
+                            unreachable!()
+                        };
                         let (_, t, col) = resolver.resolve(schema, c)?;
                         if expr_has_columns(other) {
                             if self.expr_has_sensitive(schema, resolver, other)? || col.sensitive {
@@ -292,7 +292,9 @@ impl Proxy {
                 };
                 let (_, t, col) = resolver.resolve(schema, c)?;
                 if expr_has_columns(low) || expr_has_columns(high) {
-                    return Err(ProxyError::NeedsPlaintext("BETWEEN with column bounds".into()));
+                    return Err(ProxyError::NeedsPlaintext(
+                        "BETWEEN with column bounds".into(),
+                    ));
                 }
                 self.push_col_req(t, col, OpClass::Ord, reqs)
             }
@@ -522,9 +524,13 @@ impl Proxy {
                     }
                 };
                 if expr_has_columns(other) {
-                    return Err(ProxyError::NeedsPlaintext("HAVING with column bound".into()));
+                    return Err(ProxyError::NeedsPlaintext(
+                        "HAVING with column bound".into(),
+                    ));
                 }
-                let Expr::Func { name, .. } = func else { unreachable!() };
+                let Expr::Func { name, .. } = func else {
+                    unreachable!()
+                };
                 if name != "COUNT" {
                     return Err(ProxyError::NeedsPlaintext(format!(
                         "HAVING over {name}: comparing a HOM ciphertext is impossible; \
@@ -760,14 +766,15 @@ impl Proxy {
         let owner_col = locked_col(schema, &owner.0, &owner.1)?.clone();
         let owner_keys = self.master_col_keys(&owner_col, &owner.0);
         for row in rows {
-            let rid = row[0].as_int().ok_or_else(|| {
-                ProxyError::Crypto("rid missing during stale refresh".into())
-            })?;
+            let rid = row[0]
+                .as_int()
+                .ok_or_else(|| ProxyError::Crypto("rid missing during stale refresh".into()))?;
             let v = decrypt_add(&self.paillier, &row[1])?;
             let cell = self.encrypt_cell_for(t, &col, &self.mk, &owner_keys, &v)?;
-            let mut sets = vec![
-                (col.anon_iv(), value_to_literal(cell.iv.unwrap_or(Value::Null))),
-            ];
+            let mut sets = vec![(
+                col.anon_iv(),
+                value_to_literal(cell.iv.unwrap_or(Value::Null)),
+            )];
             if let Some(eq) = cell.eq {
                 sets.push((col.anon_eq(), value_to_literal(eq)));
             }
@@ -868,11 +875,7 @@ impl Proxy {
     }
 }
 
-fn locked_col<'s>(
-    schema: &'s EncSchema,
-    t: &str,
-    c: &str,
-) -> Result<&'s ColumnState, ProxyError> {
+fn locked_col<'s>(schema: &'s EncSchema, t: &str, c: &str) -> Result<&'s ColumnState, ProxyError> {
     schema
         .table(t)?
         .column(c)
@@ -904,11 +907,9 @@ impl Proxy {
                 EncryptionPolicy::AnnotatedOnly => cd.enc_for.is_some(),
                 EncryptionPolicy::Explicit(map) => {
                     cd.enc_for.is_some()
-                        || map
-                            .get(&tlow)
-                            .is_some_and(|cols| {
-                                cols.iter().any(|c| c.eq_ignore_ascii_case(&cd.name))
-                            })
+                        || map.get(&tlow).is_some_and(|cols| {
+                            cols.iter().any(|c| c.eq_ignore_ascii_case(&cd.name))
+                        })
                 }
             };
             let mut onions = OnionSet::for_type(cd.ty);
@@ -1006,7 +1007,11 @@ impl Proxy {
         Ok(QueryResult::Ok)
     }
 
-    pub(crate) fn create_index(&self, table: &str, column: &str) -> Result<QueryResult, ProxyError> {
+    pub(crate) fn create_index(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Result<QueryResult, ProxyError> {
         let (anon_t, col) = {
             let schema = self.schema.read();
             let t = schema.table(table)?;
@@ -1202,11 +1207,9 @@ impl<'a> SelectRw<'a> {
                 self.qcol(&visible, col.anon.clone())
             }
             Expr::Literal(_) => e.clone(),
-            Expr::Binary { op, left, right } => Expr::binary(
-                *op,
-                self.map_plain_expr(left)?,
-                self.map_plain_expr(right)?,
-            ),
+            Expr::Binary { op, left, right } => {
+                Expr::binary(*op, self.map_plain_expr(left)?, self.map_plain_expr(right)?)
+            }
             Expr::Not(inner) => Expr::Not(Box::new(self.map_plain_expr(inner)?)),
             Expr::Neg(inner) => Expr::Neg(Box::new(self.map_plain_expr(inner)?)),
             Expr::Like {
@@ -1265,9 +1268,9 @@ impl<'a> SelectRw<'a> {
     /// Rewrites a predicate into its encrypted form (§3.3).
     fn rw_pred(&self, e: &Expr) -> Result<Expr, ProxyError> {
         match e {
-            Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => Ok(
-                Expr::binary(*op, self.rw_pred(left)?, self.rw_pred(right)?),
-            ),
+            Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => {
+                Ok(Expr::binary(*op, self.rw_pred(left)?, self.rw_pred(right)?))
+            }
             Expr::Not(inner) => Ok(Expr::Not(Box::new(self.rw_pred(inner)?))),
             Expr::Binary { op, left, right } if op.is_comparison() => {
                 let lcol = matches!(&**left, Expr::Column(_));
@@ -1310,7 +1313,9 @@ impl<'a> SelectRw<'a> {
                         } else {
                             (&**right, &**left, flip_cmp(*op))
                         };
-                        let Expr::Column(c) = cref else { unreachable!() };
+                        let Expr::Column(c) = cref else {
+                            unreachable!()
+                        };
                         let (visible, _t, col) = self.resolver.resolve(self.schema, c)?;
                         if !col.sensitive {
                             return Ok(Expr::binary(
@@ -1322,8 +1327,7 @@ impl<'a> SelectRw<'a> {
                         let v = const_fold(other)?;
                         if op.is_order() {
                             let keys = self.col_keys_of(col);
-                            let enc =
-                                self.proxy.ope_encrypt_cached(&col.table, &col.name, &keys, &v)?;
+                            let enc = self.proxy.ope_encrypt_cached(&keys, &v)?;
                             Ok(Expr::binary(
                                 op,
                                 self.qcol(&visible, col.anon_ord()),
@@ -1354,7 +1358,9 @@ impl<'a> SelectRw<'a> {
                     return self.map_plain_expr(e);
                 }
                 let Expr::Literal(Literal::Str(pat)) = &**pattern else {
-                    return Err(ProxyError::NeedsPlaintext("LIKE with column pattern".into()));
+                    return Err(ProxyError::NeedsPlaintext(
+                        "LIKE with column pattern".into(),
+                    ));
                 };
                 if !pat.contains('%') && !pat.contains('_') {
                     // Exact-match LIKE is an equality check.
@@ -1364,7 +1370,11 @@ impl<'a> SelectRw<'a> {
                         self.qcol(&visible, col.anon_eq()),
                         value_to_literal(enc),
                     );
-                    return Ok(if *negated { Expr::Not(Box::new(cmp)) } else { cmp });
+                    return Ok(if *negated {
+                        Expr::Not(Box::new(cmp))
+                    } else {
+                        cmp
+                    });
                 }
                 let word = like_pattern_word(pat).ok_or_else(|| {
                     ProxyError::NeedsPlaintext(format!("unsupported LIKE pattern '{pat}'"))
@@ -1380,7 +1390,11 @@ impl<'a> SelectRw<'a> {
                     star: false,
                     distinct: false,
                 };
-                Ok(if *negated { Expr::Not(Box::new(call)) } else { call })
+                Ok(if *negated {
+                    Expr::Not(Box::new(call))
+                } else {
+                    call
+                })
             }
             Expr::InList {
                 expr,
@@ -1421,12 +1435,8 @@ impl<'a> SelectRw<'a> {
                     return self.map_plain_expr(e);
                 }
                 let keys = self.col_keys_of(col);
-                let lo =
-                    self.proxy
-                        .ope_encrypt_cached(&col.table, &col.name, &keys, &const_fold(low)?)?;
-                let hi =
-                    self.proxy
-                        .ope_encrypt_cached(&col.table, &col.name, &keys, &const_fold(high)?)?;
+                let lo = self.proxy.ope_encrypt_cached(&keys, &const_fold(low)?)?;
+                let hi = self.proxy.ope_encrypt_cached(&keys, &const_fold(high)?)?;
                 Ok(Expr::Between {
                     expr: Box::new(self.qcol(&visible, col.anon_ord())),
                     low: Box::new(value_to_literal(lo)),
@@ -1486,9 +1496,9 @@ impl<'a> SelectRw<'a> {
             .proxy
             .col_keys(&col.table, &col.name, &self.proxy.mk, None);
         let owner_col = locked_col(self.schema, &col.join_owner.0, &col.join_owner.1)?;
-        let owner_keys = self
-            .proxy
-            .col_keys(&owner_col.table, &owner_col.name, &self.proxy.mk, None);
+        let owner_keys =
+            self.proxy
+                .col_keys(&owner_col.table, &owner_col.name, &self.proxy.mk, None);
         let out = encrypt_eq_constant(
             &own_keys,
             &self.proxy.joinadj,
@@ -1915,9 +1925,13 @@ impl Proxy {
 
     fn rewrite_having(&self, rw: &SelectRw<'_>, e: &Expr) -> Result<Expr, ProxyError> {
         match e {
-            Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => Ok(
-                Expr::binary(*op, self.rewrite_having(rw, left)?, self.rewrite_having(rw, right)?),
-            ),
+            Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => {
+                Ok(Expr::binary(
+                    *op,
+                    self.rewrite_having(rw, left)?,
+                    self.rewrite_having(rw, right)?,
+                ))
+            }
             Expr::Binary { op, left, right } if op.is_comparison() => {
                 let rewrite_side = |side: &Expr| -> Result<Expr, ProxyError> {
                     match side {
@@ -1967,8 +1981,47 @@ impl Proxy {
             return Ok(result);
         };
         let schema = self.schema.read();
+        // Batch pass: gather every Add-onion (HOM) cell of the whole
+        // result set — SUM/AVG aggregates and stale-column projections —
+        // and decrypt them in one CRT batch call instead of per cell.
+        // Plans without aggregate slots (the common case) skip the row
+        // scan entirely.
+        let hom_slots: Vec<usize> = plan
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Add { .. } | Slot::AvgPair { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let mut hom_cells: HashMap<(usize, usize), Option<i64>> = HashMap::new();
+        if !hom_slots.is_empty() {
+            let mut refs = Vec::new();
+            let mut cts = Vec::new();
+            for (ri, row) in rows.iter().enumerate() {
+                for &i in &hom_slots {
+                    if row[i].is_null() {
+                        continue;
+                    }
+                    let bytes = row[i]
+                        .as_bytes()
+                        .ok_or_else(|| ProxyError::Crypto("Add onion cell is not bytes".into()))?;
+                    refs.push((ri, i));
+                    cts.push(self.paillier.public().ciphertext_from_bytes(bytes));
+                }
+            }
+            for (key, v) in refs.into_iter().zip(self.paillier.decrypt_i64_batch(&cts)) {
+                hom_cells.insert(key, v);
+            }
+        }
+        let hom_value = |ri: usize, i: usize| -> Result<Value, ProxyError> {
+            match hom_cells.get(&(ri, i)) {
+                None => Ok(Value::Null),
+                Some(Some(v)) => Ok(Value::Int(*v)),
+                Some(None) => Err(ProxyError::Crypto("HOM plaintext out of i64 range".into())),
+            }
+        };
         let mut out_rows = Vec::with_capacity(rows.len());
-        for row in rows {
+        for (ri, row) in rows.into_iter().enumerate() {
             let mut dec: Vec<Value> = vec![Value::Null; plan.slots.len()];
             // First pass: everything except per-principal columns.
             for (i, slot) in plan.slots.iter().enumerate() {
@@ -1984,12 +2037,18 @@ impl Proxy {
                         let cs = locked_col(&schema, table, col)?;
                         let keys = self.master_col_keys(cs, table);
                         let iv_val = iv.map(|idx| row[idx].clone());
-                        dec[i] =
-                            decrypt_eq(&keys, *level, cs.ty, &row[i], iv_val.as_ref(), cs.has_jtag)?;
+                        dec[i] = decrypt_eq(
+                            &keys,
+                            *level,
+                            cs.ty,
+                            &row[i],
+                            iv_val.as_ref(),
+                            cs.has_jtag,
+                        )?;
                     }
                     Slot::Eq { .. } => {} // Second pass.
                     Slot::Add { .. } => {
-                        dec[i] = decrypt_add(&self.paillier, &row[i])?;
+                        dec[i] = hom_value(ri, i)?;
                     }
                     Slot::Ord { table, col } => {
                         let cs = locked_col(&schema, table, col)?;
@@ -1997,7 +2056,7 @@ impl Proxy {
                         dec[i] = decrypt_ord(&keys, OrdLevel::Ope, &row[i], None)?;
                     }
                     Slot::AvgPair { count, .. } => {
-                        let sum = decrypt_add(&self.paillier, &row[i])?;
+                        let sum = hom_value(ri, i)?;
                         let n = row[*count].as_int().unwrap_or(0);
                         dec[i] = match (sum, n) {
                             (Value::Int(s), n) if n > 0 => Value::Int(s / n),

@@ -68,8 +68,13 @@ impl Proxy {
                 }
                 let root = self.root_key_for(&tstate, col, &map)?;
                 let owner_keys = self.owner_keys_for(col, &root)?;
-                let cell =
-                    self.encrypt_cell_for(&tstate.name.to_lowercase(), col, &root, &owner_keys, &v)?;
+                let cell = self.encrypt_cell_for(
+                    &tstate.name.to_lowercase(),
+                    col,
+                    &root,
+                    &owner_keys,
+                    &v,
+                )?;
                 out.push(value_to_literal(cell.iv.unwrap_or(Value::Null)));
                 if col.onions.eq {
                     out.push(value_to_literal(cell.eq.unwrap_or(Value::Null)));
@@ -200,8 +205,7 @@ impl Proxy {
                 let Some(obj_id) = obj_row.get(&ann.object_column.to_lowercase()) else {
                     continue;
                 };
-                let object: Principal =
-                    (ann.object_type.to_lowercase(), value_id_string(obj_id));
+                let object: Principal = (ann.object_type.to_lowercase(), value_id_string(obj_id));
                 for sid in &speaker_ids {
                     let speaker: Principal = (ann.speaker_type.to_lowercase(), sid.clone());
                     if !self.eval_ann_condition(
@@ -248,11 +252,13 @@ impl Proxy {
                     Vec::new(),
                 )]
             }
-            SpeakerRef::Const(s) => vec![(
-                (ann.speaker_type.to_lowercase(), s.clone()),
-                Vec::new(),
-            )],
-            SpeakerRef::ForeignColumn { table: t2, column: c2 } => {
+            SpeakerRef::Const(s) => {
+                vec![((ann.speaker_type.to_lowercase(), s.clone()), Vec::new())]
+            }
+            SpeakerRef::ForeignColumn {
+                table: t2,
+                column: c2,
+            } => {
                 let maps = self.table_row_maps(t2, None)?;
                 maps.iter()
                     .filter_map(|m| m.get(&c2.to_lowercase()))
@@ -324,12 +330,22 @@ impl Proxy {
         extra: &[(String, Value)],
     ) -> Result<bool, ProxyError> {
         match e {
-            Expr::Binary { op: BinOp::And, left, right } => Ok(self
-                .eval_cond_expr(left, row, extra)?
-                && self.eval_cond_expr(right, row, extra)?),
-            Expr::Binary { op: BinOp::Or, left, right } => Ok(self
-                .eval_cond_expr(left, row, extra)?
-                || self.eval_cond_expr(right, row, extra)?),
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                Ok(self.eval_cond_expr(left, row, extra)?
+                    && self.eval_cond_expr(right, row, extra)?)
+            }
+            Expr::Binary {
+                op: BinOp::Or,
+                left,
+                right,
+            } => {
+                Ok(self.eval_cond_expr(left, row, extra)?
+                    || self.eval_cond_expr(right, row, extra)?)
+            }
             Expr::Not(inner) => Ok(!self.eval_cond_expr(inner, row, extra)?),
             Expr::Binary { op, left, right } if op.is_comparison() => {
                 let val = |side: &Expr| -> Result<Value, ProxyError> {
@@ -347,10 +363,9 @@ impl Proxy {
                 let l = val(left)?;
                 let r = val(right)?;
                 // Compare ids loosely: ints and their string forms match.
-                let ord = l.sql_cmp(&r).or_else(|| {
-                    value_id_string(&l)
-                        .partial_cmp(&value_id_string(&r))
-                });
+                let ord = l
+                    .sql_cmp(&r)
+                    .or_else(|| value_id_string(&l).partial_cmp(&value_id_string(&r)));
                 Ok(match ord {
                     None => false,
                     Some(o) => match op {
@@ -539,7 +554,10 @@ impl Proxy {
                     &owner_keys,
                     &v,
                 )?;
-                sets.push((col.anon_iv(), value_to_literal(cell.iv.unwrap_or(Value::Null))));
+                sets.push((
+                    col.anon_iv(),
+                    value_to_literal(cell.iv.unwrap_or(Value::Null)),
+                ));
                 if let Some(x) = cell.eq {
                     sets.push((col.anon_eq(), value_to_literal(x)));
                 }
@@ -659,7 +677,10 @@ impl Proxy {
                 .map(|v| vec![(ann.speaker_type.to_lowercase(), value_id_string(v))])
                 .unwrap_or_default(),
             SpeakerRef::Const(s) => vec![(ann.speaker_type.to_lowercase(), s.clone())],
-            SpeakerRef::ForeignColumn { table: t2, column: c2 } => self
+            SpeakerRef::ForeignColumn {
+                table: t2,
+                column: c2,
+            } => self
                 .table_row_maps(t2, None)?
                 .iter()
                 .filter_map(|m| m.get(&c2.to_lowercase()))

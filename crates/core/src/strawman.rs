@@ -55,11 +55,13 @@ impl Strawman {
         let key = derive_key(&master_key, &["strawman"]);
         // STRAW_DEC(key, ct, iv) -> Int or Str plaintext.
         engine.register_scalar_udf("STRAW_DEC_INT", {
-            move |args| straw_dec(args).map(|pt| {
-                let mut b = [0u8; 8];
-                b.copy_from_slice(&pt[..8.min(pt.len())]);
-                Value::Int(i64::from_be_bytes(b))
-            })
+            move |args| {
+                straw_dec(args).map(|pt| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&pt[..8.min(pt.len())]);
+                    Value::Int(i64::from_be_bytes(b))
+                })
+            }
         });
         engine.register_scalar_udf("STRAW_DEC_TEXT", move |args| {
             straw_dec(args).and_then(|pt| {
@@ -128,24 +130,35 @@ impl Strawman {
         Ok(match e {
             Expr::Column(c) => self.dec_expr(t, &c.column)?,
             Expr::Literal(_) => e.clone(),
-            Expr::Binary { op, left, right } => Expr::binary(
-                *op,
-                self.rw_expr(t, left)?,
-                self.rw_expr(t, right)?,
-            ),
+            Expr::Binary { op, left, right } => {
+                Expr::binary(*op, self.rw_expr(t, left)?, self.rw_expr(t, right)?)
+            }
             Expr::Not(x) => Expr::Not(Box::new(self.rw_expr(t, x)?)),
             Expr::Neg(x) => Expr::Neg(Box::new(self.rw_expr(t, x)?)),
-            Expr::Like { expr, pattern, negated } => Expr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
                 expr: Box::new(self.rw_expr(t, expr)?),
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(self.rw_expr(t, expr)?),
                 list: list.clone(),
                 negated: *negated,
             },
-            Expr::Between { expr, low, high, negated } => Expr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
                 expr: Box::new(self.rw_expr(t, expr)?),
                 low: low.clone(),
                 high: high.clone(),
@@ -155,7 +168,12 @@ impl Strawman {
                 expr: Box::new(self.rw_expr(t, expr)?),
                 negated: *negated,
             },
-            Expr::Func { name, args, star, distinct } => Expr::Func {
+            Expr::Func {
+                name,
+                args,
+                star,
+                distinct,
+            } => Expr::Func {
                 name: name.clone(),
                 args: args
                     .iter()
@@ -215,7 +233,13 @@ impl Strawman {
             .columns
             .iter()
             .enumerate()
-            .map(|(i, c)| (c.name.to_lowercase(), format!("s{id}_{i}", id = anon_id), c.ty))
+            .map(|(i, c)| {
+                (
+                    c.name.to_lowercase(),
+                    format!("s{id}_{i}", id = anon_id),
+                    c.ty,
+                )
+            })
             .collect();
         let mut server_cols = Vec::new();
         for (_, anon_base, _) in &cols {
@@ -467,11 +491,7 @@ impl Strawman {
             // Re-select the row by all column equality.
             let mut pred: Option<Expr> = None;
             for (name, v) in names.iter().zip(row) {
-                let cmp = Expr::binary(
-                    BinOp::Eq,
-                    self.dec_expr(t, name)?,
-                    lit(v.clone()),
-                );
+                let cmp = Expr::binary(BinOp::Eq, self.dec_expr(t, name)?, lit(v.clone()));
                 pred = Some(match pred {
                     None => cmp,
                     Some(p) => Expr::binary(BinOp::And, p, cmp),

@@ -68,7 +68,11 @@ impl TrainingReport {
             out.push_str(&format!(
                 "{:<35} {:<8} {:<4} {:<7} {}\n",
                 format!("{}.{}", c.table, c.column),
-                if c.sensitive { c.min_enc.to_string() } else { "PLAIN".into() },
+                if c.sensitive {
+                    c.min_enc.to_string()
+                } else {
+                    "PLAIN".into()
+                },
                 if c.needs_hom { "yes" } else { "" },
                 if c.needs_search { "yes" } else { "" },
                 if c.needs_plaintext { "YES" } else { "" },
@@ -247,8 +251,10 @@ fn scan_class_usage(
         Stmt::Update(u) => {
             for (col, e) in &u.sets {
                 if let Expr::Binary { op, .. } = e {
-                    if matches!(op, cryptdb_sqlparser::BinOp::Add | cryptdb_sqlparser::BinOp::Sub)
-                    {
+                    if matches!(
+                        op,
+                        cryptdb_sqlparser::BinOp::Add | cryptdb_sqlparser::BinOp::Sub
+                    ) {
                         mark(hom, &u.table, col);
                     }
                 }

@@ -21,7 +21,9 @@ fn bytes_arg(args: &[Value], i: usize, what: &str) -> Result<Vec<u8>, EngineErro
     match args.get(i) {
         Some(Value::Bytes(b)) => Ok(b.clone()),
         Some(Value::Null) => Err(EngineError::Udf(format!("{what}: NULL"))),
-        other => Err(EngineError::Udf(format!("{what}: expected bytes, got {other:?}"))),
+        other => Err(EngineError::Udf(format!(
+            "{what}: expected bytes, got {other:?}"
+        ))),
     }
 }
 
@@ -175,7 +177,9 @@ mod tests {
                 .unwrap();
         }
         let r = engine.execute_sql("SELECT HOM_SUM(v) FROM t").unwrap();
-        let Some(Value::Bytes(sum_bytes)) = r.scalar().cloned() else { panic!() };
+        let Some(Value::Bytes(sum_bytes)) = r.scalar().cloned() else {
+            panic!()
+        };
         let sum = sk.decrypt_i64(&sk.public().ciphertext_from_bytes(&sum_bytes));
         assert_eq!(sum, Some(42));
     }
@@ -197,7 +201,11 @@ mod tests {
             .execute_sql(&format!("INSERT INTO t (c) VALUES (x'{hex}')"))
             .unwrap();
         let delta = JoinAdj::delta(&k2, &k1);
-        let dhex: String = delta.to_bytes().iter().map(|b| format!("{b:02x}")).collect();
+        let dhex: String = delta
+            .to_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
         engine
             .execute_sql(&format!("UPDATE t SET c = JOIN_ADJ(c, x'{dhex}')"))
             .unwrap();
@@ -208,7 +216,9 @@ mod tests {
         );
         // The DET part is untouched.
         let r = engine.execute_sql("SELECT c FROM t").unwrap();
-        let Some(Value::Bytes(b)) = r.scalar() else { panic!() };
+        let Some(Value::Bytes(b)) = r.scalar() else {
+            panic!()
+        };
         assert_eq!(&b[32..], b"detpart!");
     }
 }

@@ -37,12 +37,15 @@ fn phpbb_schema(p: &Proxy) {
 fn send_message_flow(p: &Proxy) {
     p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('alice', 'alice-pw')")
         .unwrap();
-    p.execute("INSERT INTO users (userid, username) VALUES (1, 'alice')").unwrap();
-    p.execute("DELETE FROM cryptdb_active WHERE username = 'alice'").unwrap();
+    p.execute("INSERT INTO users (userid, username) VALUES (1, 'alice')")
+        .unwrap();
+    p.execute("DELETE FROM cryptdb_active WHERE username = 'alice'")
+        .unwrap();
 
     p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('bob', 'bob-pw')")
         .unwrap();
-    p.execute("INSERT INTO users (userid, username) VALUES (2, 'bob')").unwrap();
+    p.execute("INSERT INTO users (userid, username) VALUES (2, 'bob')")
+        .unwrap();
     // Bob sends message 5 to Alice (userid 1) while Alice is offline: her
     // copy of the msg key is wrapped under her *public* key (§4.2).
     p.execute(
@@ -50,11 +53,10 @@ fn send_message_flow(p: &Proxy) {
          VALUES (5, 'secret subject', 'attack at dawn')",
     )
     .unwrap();
-    p.execute(
-        "INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (5, 1, 2)",
-    )
-    .unwrap();
-    p.execute("DELETE FROM cryptdb_active WHERE username = 'bob'").unwrap();
+    p.execute("INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (5, 1, 2)")
+        .unwrap();
+    p.execute("DELETE FROM cryptdb_active WHERE username = 'bob'")
+        .unwrap();
 }
 
 #[test]
@@ -65,7 +67,9 @@ fn recipient_reads_message_after_login() {
     // Alice logs in later and follows the chain password → physical_user
     // → user 1 → msg 5 (the last hop sealed to her public key).
     p.login("alice", "alice-pw").unwrap();
-    let r = p.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    let r = p
+        .execute("SELECT msgtext FROM privmsgs WHERE msgid = 5")
+        .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Str("attack at dawn".into())));
 }
 
@@ -75,7 +79,9 @@ fn sender_keeps_access() {
     phpbb_schema(&p);
     send_message_flow(&p);
     p.login("bob", "bob-pw").unwrap();
-    let r = p.execute("SELECT subject FROM privmsgs WHERE msgid = 5").unwrap();
+    let r = p
+        .execute("SELECT subject FROM privmsgs WHERE msgid = 5")
+        .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Str("secret subject".into())));
 }
 
@@ -86,7 +92,9 @@ fn logged_out_users_data_is_ciphertext() {
     let p = mp_proxy();
     phpbb_schema(&p);
     send_message_flow(&p);
-    let r = p.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    let r = p
+        .execute("SELECT msgtext FROM privmsgs WHERE msgid = 5")
+        .unwrap();
     match r.scalar() {
         Some(Value::Bytes(_)) => {} // Undecryptable ciphertext.
         other => panic!("expected ciphertext for logged-out users, got {other:?}"),
@@ -109,8 +117,11 @@ fn unrelated_user_cannot_read() {
     send_message_flow(&p);
     p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('mallory', 'm-pw')")
         .unwrap();
-    p.execute("INSERT INTO users (userid, username) VALUES (3, 'mallory')").unwrap();
-    let r = p.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    p.execute("INSERT INTO users (userid, username) VALUES (3, 'mallory')")
+        .unwrap();
+    let r = p
+        .execute("SELECT msgtext FROM privmsgs WHERE msgid = 5")
+        .unwrap();
     assert!(
         matches!(r.scalar(), Some(Value::Bytes(_))),
         "mallory must see ciphertext"
@@ -136,8 +147,10 @@ fn conditional_speaks_for_figure5() {
     .unwrap();
     p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('admin', 'a-pw')")
         .unwrap();
-    p.execute("INSERT INTO users (userid, username) VALUES (10, 'admin')").unwrap();
-    p.execute("INSERT INTO usergroup (userid, groupid) VALUES (10, 100)").unwrap();
+    p.execute("INSERT INTO users (userid, username) VALUES (10, 'admin')")
+        .unwrap();
+    p.execute("INSERT INTO usergroup (userid, groupid) VALUES (10, 100)")
+        .unwrap();
     // Group 100 may read forum 7 (optionid 20) but only sees the name of
     // forum 8 (optionid 14 — not a forum_post grant).
     p.execute("INSERT INTO aclgroups (groupid, forumid, optionid) VALUES (100, 7, 20)")
@@ -151,9 +164,13 @@ fn conditional_speaks_for_figure5() {
     p.logout("admin");
 
     p.login("admin", "a-pw").unwrap();
-    let r = p.execute("SELECT post FROM posts WHERE postid = 1").unwrap();
+    let r = p
+        .execute("SELECT post FROM posts WHERE postid = 1")
+        .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Str("hello forum 7".into())));
-    let r = p.execute("SELECT post FROM posts WHERE postid = 2").unwrap();
+    let r = p
+        .execute("SELECT post FROM posts WHERE postid = 2")
+        .unwrap();
     assert!(
         matches!(r.scalar(), Some(Value::Bytes(_))),
         "optionid 14 must not grant forum_post access"
@@ -190,11 +207,16 @@ fn hotcrp_noconflict_predicate_figure6() {
         .unwrap();
     p.execute("INSERT INTO cryptdb_active (username, password) VALUES ('rev@x', 'r-pw')")
         .unwrap();
-    p.execute("INSERT INTO ContactInfo (contactId, email) VALUES (1, 'chair@x')").unwrap();
-    p.execute("INSERT INTO ContactInfo (contactId, email) VALUES (2, 'rev@x')").unwrap();
-    p.execute("INSERT INTO PCMember (contactId) VALUES (1)").unwrap();
-    p.execute("INSERT INTO PCMember (contactId) VALUES (2)").unwrap();
-    p.execute("INSERT INTO PaperConflict (paperId, contactId) VALUES (42, 1)").unwrap();
+    p.execute("INSERT INTO ContactInfo (contactId, email) VALUES (1, 'chair@x')")
+        .unwrap();
+    p.execute("INSERT INTO ContactInfo (contactId, email) VALUES (2, 'rev@x')")
+        .unwrap();
+    p.execute("INSERT INTO PCMember (contactId) VALUES (1)")
+        .unwrap();
+    p.execute("INSERT INTO PCMember (contactId) VALUES (2)")
+        .unwrap();
+    p.execute("INSERT INTO PaperConflict (paperId, contactId) VALUES (42, 1)")
+        .unwrap();
     p.execute(
         "INSERT INTO PaperReview (paperId, reviewerId, commentsToPC) \
          VALUES (42, 2, 'weak accept; novel onion design')",
@@ -234,10 +256,13 @@ fn revocation_removes_access() {
     // Revoke Alice's access by deleting the privmsgs_to row, then log her
     // in: the chain is broken.
     p.login("bob", "bob-pw").unwrap();
-    p.execute("DELETE FROM privmsgs_to WHERE msgid = 5 AND rcpt_id = 1").unwrap();
+    p.execute("DELETE FROM privmsgs_to WHERE msgid = 5 AND rcpt_id = 1")
+        .unwrap();
     p.logout("bob");
     p.login("alice", "alice-pw").unwrap();
-    let r = p.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    let r = p
+        .execute("SELECT msgtext FROM privmsgs WHERE msgid = 5")
+        .unwrap();
     assert!(
         matches!(r.scalar(), Some(Value::Bytes(_))),
         "revoked recipient must see ciphertext"

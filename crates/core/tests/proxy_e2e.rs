@@ -89,23 +89,18 @@ fn server_never_sees_plaintext() {
 fn onion_levels_adjust_on_demand() {
     let p = proxy();
     seeded(&p);
-    let level = |col: &str| {
-        p.with_schema(|s| {
-            s.table("employees")
-                .unwrap()
-                .column(col)
-                .unwrap()
-                .min_enc()
-        })
-    };
+    let level =
+        |col: &str| p.with_schema(|s| s.table("employees").unwrap().column(col).unwrap().min_enc());
     // Initially everything sits at RND.
     assert_eq!(level("name"), SecLevel::Rnd);
     assert_eq!(level("salary"), SecLevel::Rnd);
     // An equality predicate lowers Eq to DET.
-    p.execute("SELECT id FROM employees WHERE name = 'Alice'").unwrap();
+    p.execute("SELECT id FROM employees WHERE name = 'Alice'")
+        .unwrap();
     assert_eq!(level("name"), SecLevel::Det);
     // A range predicate lowers Ord to OPE.
-    p.execute("SELECT id FROM employees WHERE salary > 60000").unwrap();
+    p.execute("SELECT id FROM employees WHERE salary > 60000")
+        .unwrap();
     assert_eq!(level("salary"), SecLevel::Ope);
     // Projection-only columns stay at RND.
     assert_eq!(level("dept"), SecLevel::Rnd);
@@ -139,10 +134,16 @@ fn in_proxy_sorting_keeps_ope_sealed() {
     seeded(&p);
     // ORDER BY without LIMIT is sorted in the proxy (§3.5.1) — the Ord
     // onion must stay at RND.
-    let r = p.execute("SELECT name FROM employees ORDER BY salary").unwrap();
+    let r = p
+        .execute("SELECT name FROM employees ORDER BY salary")
+        .unwrap();
     assert_eq!(strs(&r), vec!["Bob", "Alice", "Dave", "Carol"]);
     let min_enc = p.with_schema(|s| {
-        s.table("employees").unwrap().column("salary").unwrap().min_enc()
+        s.table("employees")
+            .unwrap()
+            .column("salary")
+            .unwrap()
+            .min_enc()
     });
     assert_eq!(min_enc, SecLevel::Rnd, "proxy sort must not expose OPE");
 }
@@ -187,9 +188,7 @@ fn equi_join_via_join_adj() {
     assert_eq!(r.rows()[0][1], Value::Int(500));
     // Join again — steady state, no re-adjustment needed, same answer.
     let r2 = p
-        .execute(
-            "SELECT COUNT(*) FROM employees JOIN bonuses ON employees.name = bonuses.emp_name",
-        )
+        .execute("SELECT COUNT(*) FROM employees JOIN bonuses ON employees.name = bonuses.emp_name")
         .unwrap();
     assert_eq!(r2.scalar(), Some(&Value::Int(2)));
     // Equality constants still work on the re-keyed column.
@@ -234,7 +233,9 @@ fn update_delete_insert_roundtrip() {
         .execute("SELECT salary FROM employees WHERE name = 'Carol'")
         .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(90_000)));
-    let r = p.execute("DELETE FROM employees WHERE dept = 'sales'").unwrap();
+    let r = p
+        .execute("DELETE FROM employees WHERE dept = 'sales'")
+        .unwrap();
     assert_eq!(r, QueryResult::Affected(2));
     let r = p.execute("SELECT COUNT(*) FROM employees").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(2)));
@@ -245,7 +246,8 @@ fn increment_update_uses_hom_and_staleness() {
     let p = proxy();
     seeded(&p);
     // Increment: server-side HOM multiplication (§3.3).
-    p.execute("UPDATE employees SET salary = salary + 1000").unwrap();
+    p.execute("UPDATE employees SET salary = salary + 1000")
+        .unwrap();
     // Projection is served from the Add onion.
     let r = p
         .execute("SELECT salary FROM employees WHERE name = 'Alice'")
@@ -271,9 +273,7 @@ fn unsupported_computations_are_flagged() {
         .unwrap_err();
     assert!(matches!(err, ProxyError::NeedsPlaintext(_)), "{err}");
     // §8.2: string manipulation over encrypted data.
-    let err = p
-        .execute("SELECT LOWER(name) FROM employees")
-        .unwrap_err();
+    let err = p.execute("SELECT LOWER(name) FROM employees").unwrap_err();
     assert!(matches!(err, ProxyError::NeedsPlaintext(_)), "{err}");
     // LIKE with non-word pattern.
     let err = p
@@ -287,7 +287,8 @@ fn min_level_floor_enforced() {
     let p = proxy();
     seeded(&p);
     // §3.5.1: credit-card style floor — never below DET.
-    p.set_min_level("employees", "salary", SecLevel::Det).unwrap();
+    p.set_min_level("employees", "salary", SecLevel::Det)
+        .unwrap();
     let err = p
         .execute("SELECT id FROM employees WHERE salary > 60000")
         .unwrap_err();
@@ -392,7 +393,9 @@ fn select_star_decrypts_everything() {
     let p = proxy();
     seeded(&p);
     let r = p.execute("SELECT * FROM employees WHERE id = 23").unwrap();
-    let QueryResult::Rows { columns, rows } = r else { panic!() };
+    let QueryResult::Rows { columns, rows } = r else {
+        panic!()
+    };
     assert_eq!(columns, vec!["id", "name", "dept", "salary"]);
     assert_eq!(
         rows[0],
@@ -429,9 +432,7 @@ fn equality_constants_after_join_rekeying() {
     .unwrap();
     // employees < zbonus lexicographically, so zbonus.emp_name is re-keyed.
     let r = p
-        .execute(
-            "SELECT COUNT(*) FROM employees JOIN zbonus ON employees.name = zbonus.emp_name",
-        )
+        .execute("SELECT COUNT(*) FROM employees JOIN zbonus ON employees.name = zbonus.emp_name")
         .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(2)));
     // Equality on the re-keyed column.
@@ -448,9 +449,7 @@ fn equality_constants_after_join_rekeying() {
     p.execute("INSERT INTO zbonus (emp_name, amount) VALUES ('Bob', 900)")
         .unwrap();
     let r = p
-        .execute(
-            "SELECT COUNT(*) FROM employees JOIN zbonus ON employees.name = zbonus.emp_name",
-        )
+        .execute("SELECT COUNT(*) FROM employees JOIN zbonus ON employees.name = zbonus.emp_name")
         .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(3)));
 }
@@ -470,7 +469,8 @@ fn concurrent_mixed_workload_does_not_deadlock() {
             for i in 0..25 {
                 match (t + i) % 3 {
                     0 => {
-                        p.execute("SELECT salary FROM employees WHERE name = 'Alice'").unwrap();
+                        p.execute("SELECT salary FROM employees WHERE name = 'Alice'")
+                            .unwrap();
                     }
                     1 => {
                         p.execute(&format!(
@@ -480,7 +480,8 @@ fn concurrent_mixed_workload_does_not_deadlock() {
                         .unwrap();
                     }
                     _ => {
-                        p.execute("SELECT COUNT(*) FROM employees WHERE salary > 60000").unwrap();
+                        p.execute("SELECT COUNT(*) FROM employees WHERE salary > 60000")
+                            .unwrap();
                     }
                 }
             }
@@ -497,10 +498,10 @@ fn seal_column_restores_rnd() {
     // the proxy can re-seal the column back to RND.
     let p = proxy();
     seeded(&p);
-    p.execute("SELECT id FROM employees WHERE salary > 60000").unwrap();
-    let level = |col: &str| {
-        p.with_schema(|s| s.table("employees").unwrap().column(col).unwrap().min_enc())
-    };
+    p.execute("SELECT id FROM employees WHERE salary > 60000")
+        .unwrap();
+    let level =
+        |col: &str| p.with_schema(|s| s.table("employees").unwrap().column(col).unwrap().min_enc());
     assert_eq!(level("salary"), SecLevel::Ope);
     let sealed = p.seal_column("employees", "salary").unwrap();
     assert_eq!(sealed, 4);
@@ -512,10 +513,13 @@ fn seal_column_restores_rnd() {
     assert_eq!(strs(&r), vec!["Dave", "Carol"]);
     assert_eq!(level("salary"), SecLevel::Ope);
     // Sealing an equality-exposed text column works too.
-    p.execute("SELECT id FROM employees WHERE name = 'Alice'").unwrap();
+    p.execute("SELECT id FROM employees WHERE name = 'Alice'")
+        .unwrap();
     assert_eq!(level("name"), SecLevel::Det);
     p.seal_column("employees", "name").unwrap();
     assert_eq!(level("name"), SecLevel::Rnd);
-    let r = p.execute("SELECT id FROM employees WHERE name = 'Alice'").unwrap();
+    let r = p
+        .execute("SELECT id FROM employees WHERE name = 'Alice'")
+        .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(23)));
 }

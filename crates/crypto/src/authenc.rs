@@ -45,7 +45,10 @@ pub fn open(key: &Key, sealed: &[u8]) -> Option<Vec<u8>> {
     let tag = &sealed[sealed.len() - TAG_LEN..];
     let expect = crate::sha256::hmac_sha256(&mac_key, body);
     // Constant-time-ish comparison (accumulate the difference).
-    let diff = tag.iter().zip(expect.iter()).fold(0u8, |acc, (a, b)| acc | (a ^ b));
+    let diff = tag
+        .iter()
+        .zip(expect.iter())
+        .fold(0u8, |acc, (a, b)| acc | (a ^ b));
     if diff != 0 {
         return None;
     }

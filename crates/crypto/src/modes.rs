@@ -222,7 +222,10 @@ mod tests {
         let ca = cmc_encrypt(&c, &a);
         let cb = cmc_encrypt(&c, &b);
         for (blk_a, blk_b) in ca.chunks(16).zip(cb.chunks(16)) {
-            assert_ne!(blk_a, blk_b, "CMC must diffuse a trailing change everywhere");
+            assert_ne!(
+                blk_a, blk_b,
+                "CMC must diffuse a trailing change everywhere"
+            );
         }
         a[0] = 0x43;
         let _ = a;

@@ -68,13 +68,19 @@ mod tests {
         let mk = [1u8; 32];
         assert_eq!(derive_key(&mk, &["a", "b"]), derive_key(&mk, &["a", "b"]));
         assert_ne!(derive_key(&mk, &["a", "b"]), derive_key(&mk, &["ab"]));
-        assert_ne!(derive_key(&mk, &["a", "b"]), derive_key(&[2u8; 32], &["a", "b"]));
+        assert_ne!(
+            derive_key(&mk, &["a", "b"]),
+            derive_key(&[2u8; 32], &["a", "b"])
+        );
     }
 
     #[test]
     fn path_length_prefix_prevents_collisions() {
         let mk = [3u8; 32];
-        assert_ne!(derive_key(&mk, &["t1", "c2"]), derive_key(&mk, &["t", "1c2"]));
+        assert_ne!(
+            derive_key(&mk, &["t1", "c2"]),
+            derive_key(&mk, &["t", "1c2"])
+        );
         assert_ne!(derive_key(&mk, &["", "x"]), derive_key(&mk, &["x", ""]));
     }
 

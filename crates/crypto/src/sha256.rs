@@ -14,7 +14,11 @@ fn icbrt(n: u128) -> u128 {
     let mut hi: u128 = 1 << 44; // (2^44)^3 = 2^132 > n for our inputs.
     while lo < hi {
         let mid = (lo + hi + 1) / 2;
-        if mid.checked_mul(mid).and_then(|m| m.checked_mul(mid)).map_or(false, |c| c <= n) {
+        if mid
+            .checked_mul(mid)
+            .and_then(|m| m.checked_mul(mid))
+            .map_or(false, |c| c <= n)
+        {
             lo = mid;
         } else {
             hi = mid - 1;
@@ -251,7 +255,9 @@ mod tests {
             "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

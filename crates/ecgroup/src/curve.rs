@@ -82,11 +82,7 @@ pub(crate) mod affine {
     /// Recovers a y for the given x from the curve equation.
     pub fn lift_x(x: &Fe) -> Option<Point> {
         // y² = x³ + A·x² + x.
-        let rhs = x
-            .square()
-            .mul(x)
-            .add(&x.square().mul_u64(A))
-            .add(x);
+        let rhs = x.square().mul(x).add(&x.square().mul_u64(A)).add(x);
         rhs.sqrt().map(|y| Point::Affine { x: x.clone(), y })
     }
 
@@ -102,11 +98,7 @@ pub(crate) mod affine {
                     return Point::Infinity;
                 }
                 let lambda = y2.sub(y1).mul(&x2.sub(x1).invert());
-                let x3 = lambda
-                    .square()
-                    .sub(&Fe::from_u64(A))
-                    .sub(x1)
-                    .sub(x2);
+                let x3 = lambda.square().sub(&Fe::from_u64(A)).sub(x1).sub(x2);
                 let y3 = lambda.mul(&x1.sub(&x3)).sub(y1);
                 Point::Affine { x: x3, y: y3 }
             }
@@ -120,11 +112,7 @@ pub(crate) mod affine {
                 if y.is_zero() {
                     return Point::Infinity;
                 }
-                let num = x
-                    .square()
-                    .mul_u64(3)
-                    .add(&x.mul_u64(2 * A))
-                    .add(&Fe::one());
+                let num = x.square().mul_u64(3).add(&x.mul_u64(2 * A)).add(&Fe::one());
                 let lambda = num.mul(&y.mul_u64(2).invert());
                 let x3 = lambda.square().sub(&Fe::from_u64(A)).sub(x).sub(x);
                 let y3 = lambda.mul(&x.sub(&x3)).sub(y);

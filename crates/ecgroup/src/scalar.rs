@@ -50,7 +50,11 @@ impl Scalar {
 
     /// Multiplicative inverse mod ℓ (ℓ is prime, so this always exists).
     pub fn invert(&self) -> Scalar {
-        Scalar(self.0.mod_inv(order()).expect("ℓ is prime and self is nonzero"))
+        Scalar(
+            self.0
+                .mod_inv(order())
+                .expect("ℓ is prime and self is nonzero"),
+        )
     }
 
     /// `self / other mod ℓ` — the ΔK the proxy hands the server (§3.4).

@@ -131,7 +131,12 @@ fn from_truth(t: Option<bool>) -> Value {
 }
 
 /// Evaluates an expression against one row.
-pub fn eval(e: &Expr, schema: &RowSchema, row: &[Value], ctx: &Ctx<'_>) -> Result<Value, EngineError> {
+pub fn eval(
+    e: &Expr,
+    schema: &RowSchema,
+    row: &[Value],
+    ctx: &Ctx<'_>,
+) -> Result<Value, EngineError> {
     match e {
         Expr::Column(c) => Ok(row[schema.resolve(c)?].clone()),
         Expr::Literal(l) => Ok(literal_value(l)),
@@ -231,9 +236,7 @@ pub fn eval(e: &Expr, schema: &RowSchema, row: &[Value], ctx: &Ctx<'_>) -> Resul
             let p = eval(pattern, schema, row, ctx)?;
             match (v, p) {
                 (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                (Value::Str(s), Value::Str(pat)) => {
-                    Ok(bool_val(like_match(&s, &pat) != *negated))
-                }
+                (Value::Str(s), Value::Str(pat)) => Ok(bool_val(like_match(&s, &pat) != *negated)),
                 _ => Err(EngineError::TypeMismatch("LIKE on non-strings".into())),
             }
         }
@@ -374,7 +377,9 @@ fn date_part(v: &Value, f: impl Fn(i64) -> i64) -> Result<Value, EngineError> {
     match v {
         Value::Int(d) => Ok(Value::Int(f(*d))),
         Value::Null => Ok(Value::Null),
-        _ => Err(EngineError::TypeMismatch("date function on non-integer".into())),
+        _ => Err(EngineError::TypeMismatch(
+            "date function on non-integer".into(),
+        )),
     }
 }
 
@@ -446,11 +451,21 @@ fn eval_grouped(
         }
         Expr::Not(inner) => {
             let v = eval_grouped(inner, schema, rows, null_row, ctx)?;
-            eval(&Expr::Not(Box::new(value_to_literal_expr(v))), schema, first, ctx)
+            eval(
+                &Expr::Not(Box::new(value_to_literal_expr(v))),
+                schema,
+                first,
+                ctx,
+            )
         }
         Expr::Neg(inner) => {
             let v = eval_grouped(inner, schema, rows, null_row, ctx)?;
-            eval(&Expr::Neg(Box::new(value_to_literal_expr(v))), schema, first, ctx)
+            eval(
+                &Expr::Neg(Box::new(value_to_literal_expr(v))),
+                schema,
+                first,
+                ctx,
+            )
         }
         other => eval(other, schema, first, ctx),
     }
@@ -512,9 +527,10 @@ fn eval_aggregate(
             }
             let mut acc: i64 = 0;
             for v in &values {
-                acc = acc.wrapping_add(v.as_int().ok_or_else(|| {
-                    EngineError::TypeMismatch("SUM over non-integers".into())
-                })?);
+                acc = acc
+                    .wrapping_add(v.as_int().ok_or_else(|| {
+                        EngineError::TypeMismatch("SUM over non-integers".into())
+                    })?);
             }
             Ok(Value::Int(acc))
         }
@@ -524,9 +540,10 @@ fn eval_aggregate(
             }
             let mut acc: i64 = 0;
             for v in &values {
-                acc = acc.wrapping_add(v.as_int().ok_or_else(|| {
-                    EngineError::TypeMismatch("AVG over non-integers".into())
-                })?);
+                acc = acc
+                    .wrapping_add(v.as_int().ok_or_else(|| {
+                        EngineError::TypeMismatch("AVG over non-integers".into())
+                    })?);
             }
             Ok(Value::Int(acc / values.len() as i64))
         }
@@ -586,7 +603,9 @@ fn index_candidates(table: &Table, schema: &RowSchema, filters: &[Expr]) -> Opti
                     (Expr::Literal(l), Expr::Column(c)) => (c, l, flip(*op)),
                     _ => continue,
                 };
-                let Ok(pos) = schema.resolve(col) else { continue };
+                let Ok(pos) = schema.resolve(col) else {
+                    continue;
+                };
                 if !table.has_index(pos) {
                     continue;
                 }
@@ -635,7 +654,11 @@ fn index_candidates(table: &Table, schema: &RowSchema, filters: &[Expr]) -> Opti
                 let mut ids = Vec::new();
                 for l in list {
                     if let Expr::Literal(l) = l {
-                        ids.extend(table.index_lookup(pos, &literal_value(l)).unwrap_or_default());
+                        ids.extend(
+                            table
+                                .index_lookup(pos, &literal_value(l))
+                                .unwrap_or_default(),
+                        );
                     }
                 }
                 return Some(ids);
@@ -842,7 +865,10 @@ fn project_and_finish(
             .projections
             .iter()
             .any(|p| matches!(p, SelectItem::Expr { expr, .. } if has_aggregate(expr, ctx)))
-        || select.having.as_ref().is_some_and(|h| has_aggregate(h, ctx));
+        || select
+            .having
+            .as_ref()
+            .is_some_and(|h| has_aggregate(h, ctx));
 
     // Output column names.
     let mut names = Vec::new();
@@ -905,7 +931,15 @@ fn project_and_finish(
             }
             let mut keys = Vec::new();
             for ob in &select.order_by {
-                keys.push(order_key(&ob.expr, schema, Some(&grows), first, &out, &names, ctx)?);
+                keys.push(order_key(
+                    &ob.expr,
+                    schema,
+                    Some(&grows),
+                    first,
+                    &out,
+                    &names,
+                    ctx,
+                )?);
             }
             emit(out, keys);
         }
@@ -964,10 +998,7 @@ fn order_key(
 ) -> Result<Value, EngineError> {
     if let Expr::Column(c) = e {
         if c.table.is_none() {
-            if let Some(pos) = names
-                .iter()
-                .position(|n| n.eq_ignore_ascii_case(&c.column))
-            {
+            if let Some(pos) = names.iter().position(|n| n.eq_ignore_ascii_case(&c.column)) {
                 return Ok(out_row[pos].clone());
             }
         }

@@ -192,8 +192,14 @@ mod tests {
         let mut t = Table::new(
             "t",
             vec![
-                ColumnMeta { name: "id".into(), ty: ColumnType::Int },
-                ColumnMeta { name: "name".into(), ty: ColumnType::Text },
+                ColumnMeta {
+                    name: "id".into(),
+                    ty: ColumnType::Int,
+                },
+                ColumnMeta {
+                    name: "name".into(),
+                    ty: ColumnType::Text,
+                },
             ],
         );
         t.create_index("id").unwrap();

@@ -69,7 +69,9 @@ mod tests {
     fn scalar_registration_and_call() {
         let mut reg = UdfRegistry::new();
         reg.register_scalar("double", |args| {
-            let v = args[0].as_int().ok_or(EngineError::Udf("int expected".into()))?;
+            let v = args[0]
+                .as_int()
+                .ok_or(EngineError::Udf("int expected".into()))?;
             Ok(Value::Int(v * 2))
         });
         let f = reg.scalar("DOUBLE").expect("case-insensitive lookup");

@@ -26,7 +26,10 @@ fn db() -> Engine {
 }
 
 fn ints(r: &QueryResult) -> Vec<i64> {
-    r.rows().iter().map(|row| row[0].as_int().unwrap()).collect()
+    r.rows()
+        .iter()
+        .map(|row| row[0].as_int().unwrap())
+        .collect()
 }
 
 fn strs(r: &QueryResult) -> Vec<String> {
@@ -64,19 +67,27 @@ fn aggregates() {
         Some(&Value::Int(5))
     );
     assert_eq!(
-        e.execute_sql("SELECT SUM(salary) FROM emp").unwrap().scalar(),
+        e.execute_sql("SELECT SUM(salary) FROM emp")
+            .unwrap()
+            .scalar(),
         Some(&Value::Int(320_000))
     );
     assert_eq!(
-        e.execute_sql("SELECT MIN(salary) FROM emp").unwrap().scalar(),
+        e.execute_sql("SELECT MIN(salary) FROM emp")
+            .unwrap()
+            .scalar(),
         Some(&Value::Int(50_000))
     );
     assert_eq!(
-        e.execute_sql("SELECT MAX(salary) FROM emp").unwrap().scalar(),
+        e.execute_sql("SELECT MAX(salary) FROM emp")
+            .unwrap()
+            .scalar(),
         Some(&Value::Int(80_000))
     );
     assert_eq!(
-        e.execute_sql("SELECT AVG(salary) FROM emp").unwrap().scalar(),
+        e.execute_sql("SELECT AVG(salary) FROM emp")
+            .unwrap()
+            .scalar(),
         Some(&Value::Int(64_000))
     );
 }
@@ -149,7 +160,10 @@ fn order_by_desc_and_alias() {
         .execute_sql("SELECT name, salary AS s FROM emp ORDER BY s DESC LIMIT 3")
         .unwrap();
     assert_eq!(
-        r.rows().iter().map(|r| r[1].as_int().unwrap()).collect::<Vec<_>>(),
+        r.rows()
+            .iter()
+            .map(|r| r[1].as_int().unwrap())
+            .collect::<Vec<_>>(),
         vec![80000, 75000, 60000]
     );
 }
@@ -162,10 +176,14 @@ fn update_and_delete() {
         .unwrap();
     assert_eq!(r, QueryResult::Affected(2));
     assert_eq!(
-        e.execute_sql("SELECT salary FROM emp WHERE id = 1").unwrap().scalar(),
+        e.execute_sql("SELECT salary FROM emp WHERE id = 1")
+            .unwrap()
+            .scalar(),
         Some(&Value::Int(61_000))
     );
-    let r = e.execute_sql("DELETE FROM emp WHERE salary < 52000").unwrap();
+    let r = e
+        .execute_sql("DELETE FROM emp WHERE salary < 52000")
+        .unwrap();
     assert_eq!(r, QueryResult::Affected(1));
     assert_eq!(
         e.execute_sql("SELECT COUNT(*) FROM emp").unwrap().scalar(),
@@ -212,7 +230,9 @@ fn null_semantics() {
     assert_eq!(ints(&r), vec![1, 3]);
     let r = e.execute_sql("SELECT a FROM t WHERE b IS NULL").unwrap();
     assert_eq!(ints(&r), vec![2]);
-    let r = e.execute_sql("SELECT a FROM t WHERE b IS NOT NULL ORDER BY a").unwrap();
+    let r = e
+        .execute_sql("SELECT a FROM t WHERE b IS NOT NULL ORDER BY a")
+        .unwrap();
     assert_eq!(ints(&r), vec![1, 3]);
     // Aggregates skip NULLs; COUNT(*) does not.
     assert_eq!(
@@ -265,7 +285,9 @@ fn scalar_udf_in_where_and_set() {
     e.execute_sql("UPDATE emp SET salary = PLUS_ONE(salary) WHERE id = 1")
         .unwrap();
     assert_eq!(
-        e.execute_sql("SELECT salary FROM emp WHERE id = 1").unwrap().scalar(),
+        e.execute_sql("SELECT salary FROM emp WHERE id = 1")
+            .unwrap()
+            .scalar(),
         Some(&Value::Int(60_001))
     );
 }
@@ -278,22 +300,19 @@ fn aggregate_udf() {
         AggregateUdf {
             init: Value::Int(1),
             step: Arc::new(|acc, v| {
-                Ok(Value::Int(
-                    acc.as_int().unwrap() * v.as_int().unwrap_or(1),
-                ))
+                Ok(Value::Int(acc.as_int().unwrap() * v.as_int().unwrap_or(1)))
             }),
         },
     );
-    let r = e
-        .execute_sql("SELECT PRODUCT(budget) FROM dept")
-        .unwrap();
+    let r = e.execute_sql("SELECT PRODUCT(budget) FROM dept").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(100 * 200 * 50)));
 }
 
 #[test]
 fn builtin_string_and_date_functions() {
     let e = Engine::new();
-    e.execute_sql("CREATE TABLE ev (name text, day int)").unwrap();
+    e.execute_sql("CREATE TABLE ev (name text, day int)")
+        .unwrap();
     e.execute_sql("INSERT INTO ev (name, day) VALUES ('Standup', 20260611), ('Review', 20251224)")
         .unwrap();
     let r = e
@@ -314,7 +333,9 @@ fn builtin_string_and_date_functions() {
 fn multi_row_insert_and_wildcard() {
     let e = db();
     let r = e.execute_sql("SELECT * FROM dept ORDER BY budget").unwrap();
-    let QueryResult::Rows { columns, rows } = r else { panic!() };
+    let QueryResult::Rows { columns, rows } = r else {
+        panic!()
+    };
     assert_eq!(columns, vec!["dname", "budget"]);
     assert_eq!(rows.len(), 3);
 }

@@ -107,7 +107,8 @@ fn big_mean(y: u128, m: u128, n: u128) -> u128 {
     use cryptdb_bignum::Ubig;
     let prod = Ubig::from_u128(y).mul(&Ubig::from_u128(m));
     let q = prod.div_rem(&Ubig::from_u128(n)).0;
-    q.to_u128().expect("quotient of y*m/n fits u128 since y <= n")
+    q.to_u128()
+        .expect("quotient of y*m/n fits u128 since y <= n")
 }
 
 #[cfg(test)]
@@ -163,7 +164,10 @@ mod tests {
             .sum();
         let avg = total / 200;
         let mean = m / 2;
-        assert!(avg > mean / 2 && avg < mean * 3 / 2, "avg={avg} mean={mean}");
+        assert!(
+            avg > mean / 2 && avg < mean * 3 / 2,
+            "avg={avg} mean={mean}"
+        );
     }
 
     #[test]

@@ -232,6 +232,12 @@ impl OpeCached {
         self.result_cache.len()
     }
 
+    /// Read-only probe of the result cache (no tree walk, no mutation) —
+    /// lets callers keep their lock hold brief on the hit path.
+    pub fn lookup(&self, m: u64) -> Option<u128> {
+        self.result_cache.get(&m).copied()
+    }
+
     /// Encrypts with node and result memoisation.
     pub fn encrypt(&mut self, m: u64) -> Result<u128, OpeError> {
         if let Some(&c) = self.result_cache.get(&m) {

@@ -65,4 +65,57 @@ proptest! {
         let back = sk.public().ciphertext_from_bytes(&bytes);
         prop_assert_eq!(sk.decrypt_i64(&back), Some(v as i64));
     }
+
+    // ---- CRT fast paths against the full-width reference paths ----
+
+    #[test]
+    fn crt_decrypt_matches_noncrt(v in -1_000_000_000i64..1_000_000_000, seed in any::<u64>()) {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = sk.encrypt_i64(v, &mut rng);
+        prop_assert_eq!(sk.decrypt(&c), sk.decrypt_noncrt(&c));
+    }
+
+    #[test]
+    fn crt_decrypt_matches_noncrt_on_sums(vs in proptest::collection::vec(-10_000i64..10_000, 1..12),
+                                          seed in any::<u64>()) {
+        // Aggregated ciphertexts (the SUM UDF output) decrypt identically
+        // on both paths — this is what the proxy batch-decrypts.
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = sk.public().zero();
+        for &v in &vs {
+            acc = sk.public().add(&acc, &sk.encrypt_i64(v, &mut rng));
+        }
+        prop_assert_eq!(sk.decrypt(&acc), sk.decrypt_noncrt(&acc));
+        prop_assert_eq!(sk.decrypt_i64(&acc), Some(vs.iter().sum::<i64>()));
+    }
+
+    #[test]
+    fn crt_blinding_matches_noncrt(seed in any::<u64>()) {
+        // Identical r must give bit-identical r^n mod n² on both paths.
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = loop {
+            let r = Ubig::rand_below(&mut rng, sk.public().modulus());
+            if !r.is_zero() && r.gcd(sk.public().modulus()).is_one() {
+                break r;
+            }
+        };
+        prop_assert_eq!(sk.blinding_from_r(&r), sk.blinding_from_r_noncrt(&r));
+    }
+
+    #[test]
+    fn batch_decrypt_matches_single(vs in proptest::collection::vec(-1_000_000i64..1_000_000, 0..10),
+                                    seed in any::<u64>()) {
+        let sk = key();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cts: Vec<_> = vs.iter().map(|&v| sk.encrypt_i64(v, &mut rng)).collect();
+        let batch = sk.decrypt_i64_batch(&cts);
+        prop_assert_eq!(batch.len(), cts.len());
+        for (i, c) in cts.iter().enumerate() {
+            prop_assert_eq!(batch[i], sk.decrypt_i64(c));
+            prop_assert_eq!(batch[i], Some(vs[i]));
+        }
+    }
 }

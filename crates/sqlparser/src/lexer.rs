@@ -200,7 +200,12 @@ impl<'a> Lexer<'a> {
             b'0'..=b'9' => self.lex_number()?,
             b'x' | b'X' if self.peek2() == Some(b'\'') => self.lex_hex_bytes()?,
             c if c == b'_' || c.is_ascii_alphabetic() => self.lex_ident(),
-            other => return Err(format!("unexpected character '{}' at {}", other as char, self.pos)),
+            other => {
+                return Err(format!(
+                    "unexpected character '{}' at {}",
+                    other as char, self.pos
+                ))
+            }
         };
         Ok(Some(tok))
     }

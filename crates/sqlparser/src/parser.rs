@@ -250,11 +250,7 @@ impl Parser {
         let limit = if self.eat_kw("LIMIT") {
             match self.bump() {
                 Some(Token::Int(v)) if v >= 0 => Some(v as u64),
-                other => {
-                    return Err(ParseError(format!(
-                        "expected LIMIT count, found {other:?}"
-                    )))
-                }
+                other => return Err(ParseError(format!("expected LIMIT count, found {other:?}"))),
             }
         } else {
             None
@@ -395,7 +391,9 @@ impl Parser {
         loop {
             if self.peek() == Some(&Token::LParen) {
                 speaks_for.push(self.speaks_for()?);
-            } else if self.at_kw("PRIMARY") || self.at_kw("UNIQUE") || self.at_kw("KEY")
+            } else if self.at_kw("PRIMARY")
+                || self.at_kw("UNIQUE")
+                || self.at_kw("KEY")
                 || self.at_kw("INDEX")
             {
                 self.skip_table_constraint()?;
@@ -739,8 +737,8 @@ impl Parser {
 fn is_reserved(s: &str) -> bool {
     const KW: &[&str] = &[
         "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "VALUES", "SET", "JOIN",
-        "INNER", "ON", "AND", "OR", "NOT", "UNION", "AS", "DISTINCT", "INSERT", "UPDATE",
-        "DELETE", "CREATE", "DROP", "TABLE",
+        "INNER", "ON", "AND", "OR", "NOT", "UNION", "AS", "DISTINCT", "INSERT", "UPDATE", "DELETE",
+        "CREATE", "DROP", "TABLE",
     ];
     KW.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -779,7 +777,11 @@ mod tests {
         assert_eq!(sel.from[0].name, "Employees");
         assert_eq!(
             sel.selection,
-            Some(Expr::binary(BinOp::Eq, Expr::col("Name"), Expr::str("Alice")))
+            Some(Expr::binary(
+                BinOp::Eq,
+                Expr::col("Name"),
+                Expr::str("Alice")
+            ))
         );
     }
 
@@ -857,14 +859,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stmts.len(), 5);
-        let Stmt::PrincType { names, external } = &stmts[0] else { panic!() };
+        let Stmt::PrincType { names, external } = &stmts[0] else {
+            panic!()
+        };
         assert_eq!(names, &["physical_user"]);
         assert!(external);
-        let Stmt::CreateTable(privmsgs) = &stmts[2] else { panic!() };
+        let Stmt::CreateTable(privmsgs) = &stmts[2] else {
+            panic!()
+        };
         let enc = privmsgs.columns[1].enc_for.as_ref().unwrap();
         assert_eq!(enc.key_column, "msgid");
         assert_eq!(enc.princ_type, "msg");
-        let Stmt::CreateTable(pm_to) = &stmts[3] else { panic!() };
+        let Stmt::CreateTable(pm_to) = &stmts[3] else {
+            panic!()
+        };
         assert_eq!(pm_to.speaks_for.len(), 2);
     }
 
@@ -888,7 +896,9 @@ mod tests {
                 column: "contactId".into()
             }
         );
-        let Some(Expr::Func { name, args, .. }) = &sf.condition else { panic!() };
+        let Some(Expr::Func { name, args, .. }) = &sf.condition else {
+            panic!()
+        };
         assert_eq!(name, "NOCONFLICT");
         assert_eq!(args.len(), 2);
     }
@@ -921,12 +931,18 @@ mod tests {
     fn arithmetic_precedence() {
         let s = parse_statement("SELECT * FROM t WHERE x = 1 + 2 * 3").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
-        let Some(Expr::Binary { right, .. }) = sel.selection else { panic!() };
-        let Expr::Binary { op: BinOp::Add, right: mul, .. } = *right else { panic!() };
-        assert_eq!(
-            *mul,
-            Expr::binary(BinOp::Mul, Expr::int(2), Expr::int(3))
-        );
+        let Some(Expr::Binary { right, .. }) = sel.selection else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            right: mul,
+            ..
+        } = *right
+        else {
+            panic!()
+        };
+        assert_eq!(*mul, Expr::binary(BinOp::Mul, Expr::int(2), Expr::int(3)));
     }
 
     #[test]
@@ -962,7 +978,9 @@ mod tests {
     #[test]
     fn expr_display_roundtrips_through_parser() {
         let sql = "SELECT * FROM t WHERE (a = 1 AND b < 'x') OR c BETWEEN 2 AND 3";
-        let Stmt::Select(sel) = parse_statement(sql).unwrap() else { panic!() };
+        let Stmt::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         let printed = sel.selection.as_ref().unwrap().to_string();
         let Stmt::Select(sel2) =
             parse_statement(&format!("SELECT * FROM t WHERE {printed}")).unwrap()

@@ -47,15 +47,21 @@ fn main() {
     proxy.execute("SELECT diagnosis FROM patients").unwrap();
     println!("after projection:    {}", levels(&proxy));
 
-    proxy.execute("SELECT id FROM patients WHERE name = 'Ada'").unwrap();
+    proxy
+        .execute("SELECT id FROM patients WHERE name = 'Ada'")
+        .unwrap();
     println!("after equality:      {}", levels(&proxy));
 
-    proxy.execute("SELECT name FROM patients WHERE age > 50 ORDER BY age LIMIT 2").unwrap();
+    proxy
+        .execute("SELECT name FROM patients WHERE age > 50 ORDER BY age LIMIT 2")
+        .unwrap();
     println!("after range+limit:   {}", levels(&proxy));
 
     // In-proxy processing: an un-LIMITed sort is done at the proxy, so
     // `id` never drops to OPE.
-    proxy.execute("SELECT name FROM patients ORDER BY id").unwrap();
+    proxy
+        .execute("SELECT name FROM patients ORDER BY id")
+        .unwrap();
     println!("after proxy sort:    {}", levels(&proxy));
 
     // A floor: diagnoses must never go below DET.

@@ -38,12 +38,26 @@ fn main() {
     proxy
         .execute("INSERT INTO cryptdb_active (username, password) VALUES ('rev@conf', 'pw-r')")
         .unwrap();
-    proxy.execute("INSERT INTO ContactInfo (contactId, email, password) VALUES (1, 'chair@conf', 'h1')").unwrap();
-    proxy.execute("INSERT INTO ContactInfo (contactId, email, password) VALUES (2, 'rev@conf', 'h2')").unwrap();
-    proxy.execute("INSERT INTO PCMember (contactId) VALUES (1)").unwrap();
-    proxy.execute("INSERT INTO PCMember (contactId) VALUES (2)").unwrap();
+    proxy
+        .execute(
+            "INSERT INTO ContactInfo (contactId, email, password) VALUES (1, 'chair@conf', 'h1')",
+        )
+        .unwrap();
+    proxy
+        .execute(
+            "INSERT INTO ContactInfo (contactId, email, password) VALUES (2, 'rev@conf', 'h2')",
+        )
+        .unwrap();
+    proxy
+        .execute("INSERT INTO PCMember (contactId) VALUES (1)")
+        .unwrap();
+    proxy
+        .execute("INSERT INTO PCMember (contactId) VALUES (2)")
+        .unwrap();
     // The chair is in conflict with her own paper 42.
-    proxy.execute("INSERT INTO PaperConflict (paperId, contactId) VALUES (42, 1)").unwrap();
+    proxy
+        .execute("INSERT INTO PaperConflict (paperId, contactId) VALUES (42, 1)")
+        .unwrap();
     proxy
         .execute(
             "INSERT INTO PaperReview (paperId, reviewerId, commentsToPC) VALUES \
@@ -55,12 +69,16 @@ fn main() {
 
     println!("review of paper 42 (the chair's own paper):");
     proxy.login("rev@conf", "pw-r").unwrap();
-    let r = proxy.execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 42").unwrap();
+    let r = proxy
+        .execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 42")
+        .unwrap();
     show("  reviewer ", &r);
     proxy.logout("rev@conf");
 
     proxy.login("chair@conf", "pw-c").unwrap();
-    let r = proxy.execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 42").unwrap();
+    let r = proxy
+        .execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 42")
+        .unwrap();
     show("  PC chair ", &r);
     println!();
     println!(

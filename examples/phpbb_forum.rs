@@ -17,7 +17,10 @@ fn show(label: &str, r: &QueryResult) {
         Some(Value::Str(s)) => println!("{label}: \"{s}\""),
         Some(Value::Bytes(b)) => println!(
             "{label}: CIPHERTEXT x{}… ({} bytes)",
-            b.iter().take(8).map(|x| format!("{x:02x}")).collect::<String>(),
+            b.iter()
+                .take(8)
+                .map(|x| format!("{x:02x}"))
+                .collect::<String>(),
             b.len()
         ),
         other => println!("{label}: {other:?}"),
@@ -53,13 +56,19 @@ fn main() {
     proxy
         .execute("INSERT INTO cryptdb_active (username, password) VALUES ('alice', 'wonderland')")
         .unwrap();
-    proxy.execute("INSERT INTO users (userid, username) VALUES (1, 'alice')").unwrap();
-    proxy.execute("DELETE FROM cryptdb_active WHERE username = 'alice'").unwrap();
+    proxy
+        .execute("INSERT INTO users (userid, username) VALUES (1, 'alice')")
+        .unwrap();
+    proxy
+        .execute("DELETE FROM cryptdb_active WHERE username = 'alice'")
+        .unwrap();
 
     proxy
         .execute("INSERT INTO cryptdb_active (username, password) VALUES ('bob', 'builder')")
         .unwrap();
-    proxy.execute("INSERT INTO users (userid, username) VALUES (2, 'bob')").unwrap();
+    proxy
+        .execute("INSERT INTO users (userid, username) VALUES (2, 'bob')")
+        .unwrap();
 
     // Bob sends message 5 to Alice — who is *offline*, so her copy of the
     // message key is sealed to her public key (§4.2).
@@ -72,16 +81,22 @@ fn main() {
     proxy
         .execute("INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (5, 1, 2)")
         .unwrap();
-    proxy.execute("DELETE FROM cryptdb_active WHERE username = 'bob'").unwrap();
+    proxy
+        .execute("DELETE FROM cryptdb_active WHERE username = 'bob'")
+        .unwrap();
 
     println!("== compromise with everyone logged out (threat 2) ==");
-    let r = proxy.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    let r = proxy
+        .execute("SELECT msgtext FROM privmsgs WHERE msgid = 5")
+        .unwrap();
     show("adversary reads msg 5", &r);
 
     println!();
     println!("== alice logs in ==");
     proxy.login("alice", "wonderland").unwrap();
-    let r = proxy.execute("SELECT msgtext FROM privmsgs WHERE msgid = 5").unwrap();
+    let r = proxy
+        .execute("SELECT msgtext FROM privmsgs WHERE msgid = 5")
+        .unwrap();
     show("alice reads msg 5   ", &r);
     proxy.logout("alice");
 
@@ -95,10 +110,7 @@ fn main() {
     println!();
     println!("== server-side key tables (all wrapped) ==");
     for t in ["cryptdb_access_keys", "cryptdb_external_keys"] {
-        let n = proxy
-            .engine()
-            .with_table(t, |tab| tab.row_count())
-            .unwrap();
+        let n = proxy.engine().with_table(t, |tab| tab.row_count()).unwrap();
         println!("  {t}: {n} wrapped-key rows");
     }
 }

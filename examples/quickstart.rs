@@ -60,7 +60,10 @@ fn main() {
                         let shown = match v {
                             Value::Bytes(b) => format!(
                                 "x{}… ({} bytes)",
-                                b.iter().take(8).map(|x| format!("{x:02x}")).collect::<String>(),
+                                b.iter()
+                                    .take(8)
+                                    .map(|x| format!("{x:02x}"))
+                                    .collect::<String>(),
                                 b.len()
                             ),
                             other => format!("{other:?}"),

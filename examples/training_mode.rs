@@ -16,10 +16,17 @@ fn main() {
     let mut sensitive: HashMap<String, Vec<String>> = HashMap::new();
     sensitive.insert(
         "patient_data".into(),
-        ["fname", "lname", "dob", "ss", "medical_history", "allergies"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "fname",
+            "lname",
+            "dob",
+            "ss",
+            "medical_history",
+            "allergies",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     sensitive.insert("forms".into(), vec!["narrative".into()]);
     sensitive.insert("billing".into(), vec!["fee".into(), "justify".into()]);

@@ -90,7 +90,10 @@ fn point_and_range_queries_agree() {
             false,
         );
         pair.check(
-            &format!("SELECT id FROM inv WHERE price BETWEEN {lo} AND {}", lo + 300),
+            &format!(
+                "SELECT id FROM inv WHERE price BETWEEN {lo} AND {}",
+                lo + 300
+            ),
             false,
         );
     }
@@ -136,7 +139,10 @@ fn search_and_in_agree() {
     pair.check("SELECT id FROM inv WHERE note LIKE '%heavy%'", false);
     pair.check("SELECT id FROM inv WHERE note LIKE '%red%'", false);
     pair.check("SELECT id FROM inv WHERE id IN (1, 5, 9, 13)", false);
-    pair.check("SELECT id FROM inv WHERE name NOT IN ('item1', 'item2')", false);
+    pair.check(
+        "SELECT id FROM inv WHERE name NOT IN ('item1', 'item2')",
+        false,
+    );
 }
 
 #[test]
@@ -146,8 +152,14 @@ fn updates_and_deletes_agree() {
     for _ in 0..12 {
         let id = rng.gen_range(0..50);
         let stmt = match rng.gen_range(0..4) {
-            0 => format!("UPDATE inv SET price = {} WHERE id = {id}", rng.gen_range(1..500)),
-            1 => format!("UPDATE inv SET qty = qty + {} WHERE id = {id}", rng.gen_range(1..5)),
+            0 => format!(
+                "UPDATE inv SET price = {} WHERE id = {id}",
+                rng.gen_range(1..500)
+            ),
+            1 => format!(
+                "UPDATE inv SET qty = qty + {} WHERE id = {id}",
+                rng.gen_range(1..5)
+            ),
             2 => format!("DELETE FROM inv WHERE id = {id}"),
             _ => format!(
                 "INSERT INTO inv (id, name, qty, price, note) VALUES \
@@ -196,9 +208,7 @@ fn null_behaviour_agrees() {
     let ddl = "CREATE TABLE n (a int, b int)";
     pair.plain.execute_sql(ddl).unwrap();
     pair.cryptdb.execute(ddl).unwrap();
-    for stmt in [
-        "INSERT INTO n (a, b) VALUES (1, 10), (2, NULL), (3, 30), (4, NULL)",
-    ] {
+    for stmt in ["INSERT INTO n (a, b) VALUES (1, 10), (2, NULL), (3, 30), (4, NULL)"] {
         pair.plain.execute_sql(stmt).unwrap();
         pair.cryptdb.execute(stmt).unwrap();
     }

@@ -111,10 +111,7 @@ fn full_server_dump_contains_no_secrets() {
             .unwrap();
     }
     for secret in ["merger", "payroll", "alice-pw", "bob-pw"] {
-        assert!(
-            !dumped.contains(secret),
-            "server dump leaked '{secret}'"
-        );
+        assert!(!dumped.contains(secret), "server dump leaked '{secret}'");
     }
 }
 
