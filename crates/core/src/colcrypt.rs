@@ -74,7 +74,12 @@ pub struct ColumnKeys {
     ope: Ope,
     /// Finished plaintext→ciphertext OPE results (§3.5.2 "caching ...
     /// the 30,000 most common values"). A read-write lock so warm hits
-    /// never wait behind an in-progress tree walk.
+    /// never wait behind an in-progress tree walk. Capped at the
+    /// walker's result capacity: the walker's LRU is the bounded source
+    /// of truth; at the cap this read-through map replaces an arbitrary
+    /// entry per insert (random replacement) so a shifted hot set still
+    /// works its way in instead of being locked out by whatever filled
+    /// the map first.
     ope_results: RwLock<HashMap<u64, u128>>,
     /// The same OPE key behind the paper's §3.1 batch-encryption cache:
     /// interior tree nodes are memoised, so misses walk shared
@@ -82,6 +87,9 @@ pub struct ColumnKeys {
     /// Taken with `try_lock` — a contended walker falls back to the
     /// cacheless instance rather than queueing.
     ope_walker: Mutex<OpeCached>,
+    /// The walker's result capacity, mirrored so the read-through map's
+    /// admission bound always matches however the walker was built.
+    ope_result_cap: usize,
     /// This column's native JOIN-ADJ key.
     pub join: JoinKey,
     /// SEARCH key.
@@ -113,6 +121,8 @@ impl ColumnKeys {
         };
         let join_key = path("eq", "joinadj");
         let search_key = path("search", "swp");
+        let ope_walker = OpeCached::new(Ope::new(&ope_key, 64, 124));
+        let ope_result_cap = ope_walker.result_cap();
         ColumnKeys {
             rnd_eq: aes128(&rnd_eq_key),
             rnd_ord: aes128(&rnd_ord_key),
@@ -120,7 +130,8 @@ impl ColumnKeys {
             det_txt: aes128(&det_key),
             ope: Ope::new(&ope_key, 64, 124),
             ope_results: RwLock::new(HashMap::new()),
-            ope_walker: Mutex::new(OpeCached::new(Ope::new(&ope_key, 64, 124))),
+            ope_walker: Mutex::new(ope_walker),
+            ope_result_cap,
             join: JoinKey::from_bytes(&join_key),
             search: SearchKey::new(&search_key),
             rnd_eq_key,
@@ -147,7 +158,18 @@ impl ColumnKeys {
             Some(mut walker) => walker.encrypt(m)?,
             None => self.ope.encrypt(m)?,
         };
-        self.ope_results.write().insert(m, c);
+        let mut results = self.ope_results.write();
+        if results.len() >= self.ope_result_cap && !results.contains_key(&m) {
+            // Random replacement (HashMap iteration order is effectively
+            // arbitrary): O(1), and a value hot enough to keep missing
+            // re-inserts itself faster than it gets displaced.
+            if let Some(victim) = results.keys().next().copied() {
+                results.remove(&victim);
+            }
+        }
+        if results.len() < self.ope_result_cap {
+            results.insert(m, c);
+        }
         Ok(c)
     }
 

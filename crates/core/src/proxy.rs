@@ -19,13 +19,15 @@ use cryptdb_crypto::prf::{derive_key, Key};
 use cryptdb_crypto::rng::Drbg;
 use cryptdb_ecgroup::JoinAdj;
 use cryptdb_engine::{Engine, QueryResult, Value};
+use cryptdb_ope::Ope;
 use cryptdb_paillier::PaillierPrivate;
+use cryptdb_runtime::{BlindingPool, BlindingStats, TaskHandle, WorkerPool};
 use cryptdb_sqlparser::{
     parse, BinOp, ColumnDef, ColumnRef, ColumnType, CreateTable, Delete, Expr, Insert, Literal,
     OrderBy, Select, SelectItem, SpeakerRef, Stmt, TableRef, Update,
 };
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Proxy operating mode.
@@ -62,6 +64,14 @@ pub struct ProxyConfig {
     pub in_proxy_processing: bool,
     /// §3.5.2 ciphertext pre-computing (HOM) and caching (OPE).
     pub precompute: bool,
+    /// Crypto-runtime worker threads (0 = size to the machine, capped).
+    pub runtime_threads: usize,
+    /// Blinding pool low-water mark: a background refill is scheduled as
+    /// soon as the pool drops below this many factors.
+    pub hom_low_water: usize,
+    /// Blinding pool high-water mark: refills top back up to this level
+    /// (raised by [`Proxy::precompute_hom`]).
+    pub hom_high_water: usize,
 }
 
 impl Default for ProxyConfig {
@@ -72,6 +82,9 @@ impl Default for ProxyConfig {
             paillier_bits: 1024,
             in_proxy_processing: true,
             precompute: true,
+            runtime_threads: 0,
+            hom_low_water: 32,
+            hom_high_water: 128,
         }
     }
 }
@@ -99,10 +112,15 @@ pub struct Proxy {
     config: ProxyConfig,
     mk: Key,
     schema: RwLock<EncSchema>,
-    paillier: PaillierPrivate,
+    paillier: Arc<PaillierPrivate>,
     joinadj: JoinAdj,
     key_cache: RwLock<HashMap<(String, String, Key), Arc<ColumnKeys>>>,
-    hom_pool: Mutex<VecDeque<Ubig>>,
+    /// Long-lived crypto worker pool: batch decryption, blinding
+    /// refills, and OPE cache warming all run here instead of spawning
+    /// threads per query. Dropped (and joined) with the proxy.
+    runtime: WorkerPool,
+    /// §3.5.2 blinding-factor pool with background watermark refills.
+    hom_pool: BlindingPool<Ubig>,
     eq_memo: Mutex<HashMap<EqMemoKey, Value>>,
     mp: Mutex<MultiPrincipal>,
 }
@@ -118,10 +136,27 @@ impl Proxy {
         // Deterministic Paillier key from the master key: the whole
         // encrypted database is reconstructible from MK alone.
         let mut kdf_rng = Drbg::from_seed(&derive_key(&mk, &["paillier", "keygen"]));
-        let paillier = PaillierPrivate::keygen(&mut kdf_rng, config.paillier_bits);
+        let paillier = Arc::new(PaillierPrivate::keygen(&mut kdf_rng, config.paillier_bits));
         register_udfs(&engine, paillier.public().clone());
         let mp = MultiPrincipal::new(&engine);
         let joinadj = JoinAdj::new(derive_key(&mk, &["joinadj", "k0"]));
+        let runtime = if config.runtime_threads == 0 {
+            WorkerPool::with_default_size(8)
+        } else {
+            WorkerPool::new(config.runtime_threads)
+        };
+        let hom_pool = {
+            let paillier = paillier.clone();
+            BlindingPool::new(
+                &runtime,
+                config.hom_low_water,
+                config.hom_high_water,
+                move |n| {
+                    let mut rng = rand::thread_rng();
+                    paillier.precompute_blinding_batch(&mut rng, n)
+                },
+            )
+        };
         Proxy {
             engine,
             config,
@@ -130,7 +165,8 @@ impl Proxy {
             paillier,
             joinadj,
             key_cache: RwLock::new(HashMap::new()),
-            hom_pool: Mutex::new(VecDeque::new()),
+            runtime,
+            hom_pool,
             eq_memo: Mutex::new(HashMap::new()),
             mp: Mutex::new(mp),
         }
@@ -230,19 +266,69 @@ impl Proxy {
         n
     }
 
-    /// Pre-computes `n` Paillier blinding factors (§3.5.2), removing HOM
-    /// encryption from the critical path. The batch runs on the CRT fast
-    /// path (the proxy knows p and q), so a refill costs a third of the
-    /// seed's full-width exponentiations.
+    /// Pre-computes Paillier blinding factors (§3.5.2) until at least
+    /// `n` are pooled, and raises the pool's refill target to `n` so
+    /// background refills maintain that level from now on. The batch
+    /// runs on the CRT fast path (the proxy knows p and q), so a refill
+    /// costs a third of the seed's full-width exponentiations.
     pub fn precompute_hom(&self, n: usize) {
-        let mut rng = rand::thread_rng();
-        let batch = self.paillier.precompute_blinding_batch(&mut rng, n);
-        self.hom_pool.lock().extend(batch);
+        self.hom_pool.warm(n);
     }
 
     /// Number of pre-computed blinding factors currently pooled.
     pub fn hom_pool_len(&self) -> usize {
-        self.hom_pool.lock().len()
+        self.hom_pool.len()
+    }
+
+    /// Blinding-pool counters (watermark refills, dry-pool fallbacks).
+    pub fn hom_pool_stats(&self) -> BlindingStats {
+        self.hom_pool.stats()
+    }
+
+    /// Blocks until no background blinding refill is in flight (so
+    /// benches can separate warm-pool latency from refill throughput).
+    pub fn hom_pool_wait_ready(&self) {
+        self.hom_pool.wait_ready()
+    }
+
+    /// The proxy's crypto runtime (persistent worker pool).
+    pub fn runtime(&self) -> &WorkerPool {
+        &self.runtime
+    }
+
+    /// §3.5.2 cache warming: pre-walks the OPE batch-encryption cache
+    /// for a column's expected value set (e.g. the distinct values a
+    /// training trace inserts) on the runtime pool, off the query path.
+    /// Returns a handle resolving to the number of values warmed; drop
+    /// it to warm fully in the background.
+    ///
+    /// With pre-computation disabled (the Fig. 12 Proxy⋆ baseline) the
+    /// query path never reads the caches, so nothing is warmed and the
+    /// handle resolves to zero immediately.
+    pub fn warm_ope(
+        &self,
+        table: &str,
+        column: &str,
+        values: &[i64],
+    ) -> Result<TaskHandle<usize>, ProxyError> {
+        let keys = {
+            let schema = self.schema.read();
+            let t = schema.table(table)?;
+            let c = t
+                .column(column)
+                .ok_or_else(|| ProxyError::Schema(format!("unknown column {column}")))?;
+            self.master_col_keys(c, &table.to_lowercase())
+        };
+        if !self.config.precompute {
+            return Ok(TaskHandle::ready(0));
+        }
+        let encoded: Vec<u64> = values.iter().map(|&v| Ope::encode_i64(v)).collect();
+        Ok(self.runtime.submit(move || {
+            encoded
+                .iter()
+                .filter(|&&m| keys.ope_encrypt(m, true).is_ok())
+                .count()
+        }))
     }
 
     /// Logs a user in (equivalent to
@@ -377,21 +463,13 @@ impl Proxy {
         if !self.config.precompute {
             return None;
         }
-        if let Some(b) = self.hom_pool.lock().pop_front() {
-            return Some(b);
-        }
-        // Pool ran dry: top it up in a small CRT batch so INSERT bursts
-        // amortise the refill. Generate *outside* the lock — concurrent
-        // encrypts must not stall behind the exponentiations (a racing
-        // double-refill is benign; it just pools extra factors).
-        const REFILL_BATCH: usize = 8;
-        let mut rng = rand::thread_rng();
-        let batch = self
-            .paillier
-            .precompute_blinding_batch(&mut rng, REFILL_BATCH);
-        let mut pool = self.hom_pool.lock();
-        pool.extend(batch);
-        pool.pop_front()
+        // The pool refills itself in the background once it drops below
+        // the low-water mark (generated in CRT batches on the runtime,
+        // outside the pool lock), so a steady-state INSERT pops a
+        // pre-computed factor and never exponentiates inline; only a
+        // fully dry pool (cold start, or a burst outrunning the refill)
+        // generates synchronously.
+        Some(self.hom_pool.take())
     }
 
     /// OPE with the §3.5.2 cache: the per-column `OpeCached` inside

@@ -157,7 +157,11 @@ impl Proxy {
         reqs: &mut Vec<Req>,
     ) -> Result<(), ProxyError> {
         match e {
-            Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => {
+            Expr::Binary {
+                op: BinOp::And | BinOp::Or,
+                left,
+                right,
+            } => {
                 self.analyze_pred(schema, resolver, left, reqs)?;
                 self.analyze_pred(schema, resolver, right, reqs)
             }
@@ -509,7 +513,11 @@ impl Proxy {
         reqs: &mut Vec<Req>,
     ) -> Result<(), ProxyError> {
         match e {
-            Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => {
+            Expr::Binary {
+                op: BinOp::And | BinOp::Or,
+                left,
+                right,
+            } => {
                 self.analyze_having(schema, resolver, left, reqs)?;
                 self.analyze_having(schema, resolver, right, reqs)
             }
@@ -823,7 +831,7 @@ impl Proxy {
         let keys = self.master_col_keys(&col, &col.table.clone());
         // The Eq onion is always decryptable (with the row IV when still
         // at RND), so read plaintexts back through it.
-        let projections = vec!["rid".to_string(), col.anon_iv(), col.anon_eq()];
+        let projections = ["rid".to_string(), col.anon_iv(), col.anon_eq()];
         let rows = self
             .engine
             .execute_sql(&format!("SELECT {} FROM {anon_t}", projections.join(", ")))?
@@ -1737,7 +1745,7 @@ impl Proxy {
         let slots: Vec<Slot> = rw
             .vis_slots
             .into_iter()
-            .chain(rw.hid_slots.into_iter())
+            .chain(rw.hid_slots)
             .map(fix)
             .collect();
         let proxy_sort = proxy_sort
@@ -1751,11 +1759,7 @@ impl Proxy {
             })
             .collect();
 
-        let projections: Vec<SelectItem> = rw
-            .vis_items
-            .into_iter()
-            .chain(rw.hid_items.into_iter())
-            .collect();
+        let projections: Vec<SelectItem> = rw.vis_items.into_iter().chain(rw.hid_items).collect();
         let rewritten = Select {
             distinct: sel.distinct,
             projections,
@@ -1778,6 +1782,7 @@ impl Proxy {
 
     /// Rewrites one projected expression; returns the engine item, its
     /// slot, and (for plain column refs) the column identity for reuse.
+    #[allow(clippy::type_complexity)]
     fn rewrite_projection(
         &self,
         rw: &mut SelectRw<'_>,
@@ -1972,6 +1977,13 @@ impl Proxy {
     }
 
     /// Decrypts an engine result per the plan (§3 step 4).
+    ///
+    /// HOM (SUM/AVG) cells are the expensive part — a full-width CRT
+    /// exponentiation each — so they are gathered into one batch and
+    /// *pipelined*: the batch starts on the persistent runtime pool
+    /// immediately, the calling thread decrypts the cheap onions
+    /// (RND/DET/OPE) for every row while the pool works, and the two
+    /// streams join only when the HOM slots are filled in.
     fn decrypt_results(
         &self,
         plan: &SelectPlan,
@@ -1981,11 +1993,10 @@ impl Proxy {
             return Ok(result);
         };
         let schema = self.schema.read();
-        // Batch pass: gather every Add-onion (HOM) cell of the whole
-        // result set — SUM/AVG aggregates and stale-column projections —
-        // and decrypt them in one CRT batch call instead of per cell.
-        // Plans without aggregate slots (the common case) skip the row
-        // scan entirely.
+        // Gather every Add-onion (HOM) cell of the whole result set —
+        // SUM/AVG aggregates and stale-column projections — and kick off
+        // one pooled batch decryption. Plans without aggregate slots
+        // (the common case) skip the row scan entirely.
         let hom_slots: Vec<usize> = plan
             .slots
             .iter()
@@ -1993,9 +2004,9 @@ impl Proxy {
             .filter(|(_, s)| matches!(s, Slot::Add { .. } | Slot::AvgPair { .. }))
             .map(|(i, _)| i)
             .collect();
-        let mut hom_cells: HashMap<(usize, usize), Option<i64>> = HashMap::new();
+        let mut hom_refs = Vec::new();
+        let mut pending_hom = None;
         if !hom_slots.is_empty() {
-            let mut refs = Vec::new();
             let mut cts = Vec::new();
             for (ri, row) in rows.iter().enumerate() {
                 for &i in &hom_slots {
@@ -2005,25 +2016,21 @@ impl Proxy {
                     let bytes = row[i]
                         .as_bytes()
                         .ok_or_else(|| ProxyError::Crypto("Add onion cell is not bytes".into()))?;
-                    refs.push((ri, i));
+                    hom_refs.push((ri, i));
                     cts.push(self.paillier.public().ciphertext_from_bytes(bytes));
                 }
             }
-            for (key, v) in refs.into_iter().zip(self.paillier.decrypt_i64_batch(&cts)) {
-                hom_cells.insert(key, v);
+            if !cts.is_empty() {
+                pending_hom = Some(self.paillier.decrypt_i64_batch_pending(&self.runtime, cts));
             }
         }
-        let hom_value = |ri: usize, i: usize| -> Result<Value, ProxyError> {
-            match hom_cells.get(&(ri, i)) {
-                None => Ok(Value::Null),
-                Some(Some(v)) => Ok(Value::Int(*v)),
-                Some(None) => Err(ProxyError::Crypto("HOM plaintext out of i64 range".into())),
-            }
-        };
+        // Row post-processing overlaps with the HOM batch: first pass
+        // decrypts everything except HOM cells and per-principal
+        // columns, second pass handles per-principal columns (which
+        // need the already-decrypted key column).
         let mut out_rows = Vec::with_capacity(rows.len());
-        for (ri, row) in rows.into_iter().enumerate() {
+        for row in rows.iter() {
             let mut dec: Vec<Value> = vec![Value::Null; plan.slots.len()];
-            // First pass: everything except per-principal columns.
             for (i, slot) in plan.slots.iter().enumerate() {
                 match slot {
                     Slot::Raw => dec[i] = row[i].clone(),
@@ -2046,26 +2053,18 @@ impl Proxy {
                             cs.has_jtag,
                         )?;
                     }
-                    Slot::Eq { .. } => {} // Second pass.
-                    Slot::Add { .. } => {
-                        dec[i] = hom_value(ri, i)?;
-                    }
+                    Slot::Eq { .. } => {} // Per-principal pass below.
+                    // HOM slots are filled after the pipelined batch
+                    // lands.
+                    Slot::Add { .. } | Slot::AvgPair { .. } => {}
                     Slot::Ord { table, col } => {
                         let cs = locked_col(&schema, table, col)?;
                         let keys = self.master_col_keys(cs, table);
                         dec[i] = decrypt_ord(&keys, OrdLevel::Ope, &row[i], None)?;
                     }
-                    Slot::AvgPair { count, .. } => {
-                        let sum = hom_value(ri, i)?;
-                        let n = row[*count].as_int().unwrap_or(0);
-                        dec[i] = match (sum, n) {
-                            (Value::Int(s), n) if n > 0 => Value::Int(s / n),
-                            _ => Value::Null,
-                        };
-                    }
                 }
             }
-            // Second pass: per-principal columns (need the key column).
+            // Per-principal columns (need the key column).
             for (i, slot) in plan.slots.iter().enumerate() {
                 let Slot::Eq {
                     table,
@@ -2101,6 +2100,38 @@ impl Proxy {
                 }
             }
             out_rows.push(dec);
+        }
+        // Join the pipelined HOM batch and fill the aggregate slots.
+        if !hom_slots.is_empty() {
+            let mut hom_cells: HashMap<(usize, usize), Option<i64>> = HashMap::new();
+            if let Some(pending) = pending_hom {
+                for (key, v) in hom_refs.into_iter().zip(pending.wait()) {
+                    hom_cells.insert(key, v);
+                }
+            }
+            let hom_value = |ri: usize, i: usize| -> Result<Value, ProxyError> {
+                match hom_cells.get(&(ri, i)) {
+                    None => Ok(Value::Null),
+                    Some(Some(v)) => Ok(Value::Int(*v)),
+                    Some(None) => Err(ProxyError::Crypto("HOM plaintext out of i64 range".into())),
+                }
+            };
+            for (ri, dec) in out_rows.iter_mut().enumerate() {
+                for (i, slot) in plan.slots.iter().enumerate() {
+                    match slot {
+                        Slot::Add { .. } => dec[i] = hom_value(ri, i)?,
+                        Slot::AvgPair { count, .. } => {
+                            let sum = hom_value(ri, i)?;
+                            let n = rows[ri][*count].as_int().unwrap_or(0);
+                            dec[i] = match (sum, n) {
+                                (Value::Int(s), n) if n > 0 => Value::Int(s / n),
+                                _ => Value::Null,
+                            };
+                        }
+                        _ => {}
+                    }
+                }
+            }
         }
         // In-proxy ORDER BY (§3.5.1).
         if !plan.proxy_sort.is_empty() {

@@ -523,3 +523,69 @@ fn seal_column_restores_rnd() {
         .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(23)));
 }
+
+#[test]
+fn blinding_pool_refills_in_background_and_shuts_down_cleanly() {
+    // §3.5.2 via the crypto runtime: draining the warm pool below its
+    // low-water mark must trigger a *background* refill — no INSERT ever
+    // generates a blinding factor inline — and dropping the proxy must
+    // join the runtime threads without hanging (the test completing is
+    // the shutdown assertion).
+    let cfg = ProxyConfig {
+        paillier_bits: 256,
+        hom_low_water: 4,
+        hom_high_water: 12,
+        runtime_threads: 2,
+        ..Default::default()
+    };
+    let p = Proxy::new(Arc::new(Engine::new()), [42u8; 32], cfg);
+    p.execute("CREATE TABLE t (a int)").unwrap();
+    p.precompute_hom(24);
+    assert_eq!(p.hom_pool_len(), 24);
+    // 22 single-row inserts each take one blinding factor: 24 → 2,
+    // crossing the low-water mark (and bottoming out) on the way.
+    for i in 0..22 {
+        p.execute(&format!("INSERT INTO t (a) VALUES ({i})"))
+            .unwrap();
+    }
+    p.hom_pool_wait_ready();
+    let stats = p.hom_pool_stats();
+    assert!(stats.async_refills >= 1, "watermark refill must have run");
+    assert_eq!(stats.sync_refills, 0, "no INSERT may generate inline");
+    assert!(
+        p.hom_pool_len() >= 4,
+        "refill restored at least the low-water level"
+    );
+    // SUM exercises the pooled batch decryption path end to end.
+    let r = p.execute("SELECT SUM(a) FROM t").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int((0..22).sum())));
+    drop(p);
+}
+
+#[test]
+fn warm_ope_prewalks_the_column_cache() {
+    let p = proxy();
+    p.execute("CREATE TABLE m (v int)").unwrap();
+    let values: Vec<i64> = (0..48).map(|i| i * 37 - 100).collect();
+    // Warm on the runtime pool and wait for the walk to finish.
+    let warmed = p.warm_ope("m", "v", &values).unwrap().join();
+    assert_eq!(warmed, values.len());
+    // The warmed values insert and range-query correctly (hits go
+    // through the same per-column cache the warmer populated).
+    for v in &values[..8] {
+        p.execute(&format!("INSERT INTO m (v) VALUES ({v})"))
+            .unwrap();
+    }
+    let r = p
+        .execute("SELECT v FROM m WHERE v > -100 ORDER BY v LIMIT 3")
+        .unwrap();
+    assert_eq!(
+        r.rows()
+            .iter()
+            .map(|row| row[0].clone())
+            .collect::<Vec<_>>(),
+        vec![Value::Int(-63), Value::Int(-26), Value::Int(11)]
+    );
+    // Unknown columns are reported, not warmed.
+    assert!(p.warm_ope("m", "nope", &values).is_err());
+}

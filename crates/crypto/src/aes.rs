@@ -40,7 +40,6 @@ fn tables() -> &'static Tables {
                 0
             } else {
                 (1..=255u8)
-                    .map(|c| c)
                     .find(|&y| gf_mul(x, y) == 1)
                     .expect("every nonzero element of GF(2^8) has an inverse")
             };

@@ -24,13 +24,13 @@ pub trait BlockCipher {
 pub fn pkcs7_pad(data: &[u8], block: usize) -> Vec<u8> {
     let pad = block - data.len() % block;
     let mut out = data.to_vec();
-    out.extend(std::iter::repeat(pad as u8).take(pad));
+    out.extend(std::iter::repeat_n(pad as u8, pad));
     out
 }
 
 /// Removes PKCS#7 padding; `None` if the padding is malformed.
 pub fn pkcs7_unpad(data: &[u8], block: usize) -> Option<Vec<u8>> {
-    if data.is_empty() || data.len() % block != 0 {
+    if data.is_empty() || !data.len().is_multiple_of(block) {
         return None;
     }
     let pad = *data.last().unwrap() as usize;
@@ -65,7 +65,7 @@ pub fn cbc_encrypt<C: BlockCipher>(cipher: &C, iv: &[u8], data: &[u8]) -> Vec<u8
 /// CBC-decrypts and unpads; `None` on malformed length or padding.
 pub fn cbc_decrypt<C: BlockCipher>(cipher: &C, iv: &[u8], data: &[u8]) -> Option<Vec<u8>> {
     assert_eq!(iv.len(), C::BLOCK_SIZE, "IV must be one block");
-    if data.is_empty() || data.len() % C::BLOCK_SIZE != 0 {
+    if data.is_empty() || !data.len().is_multiple_of(C::BLOCK_SIZE) {
         return None;
     }
     let mut out = data.to_vec();
@@ -127,7 +127,7 @@ pub fn cmc_encrypt<C: BlockCipher>(cipher: &C, data: &[u8]) -> Vec<u8> {
 
 /// Decrypts [`cmc_encrypt`] output; `None` on malformed input.
 pub fn cmc_decrypt<C: BlockCipher>(cipher: &C, data: &[u8]) -> Option<Vec<u8>> {
-    if data.is_empty() || data.len() % C::BLOCK_SIZE != 0 {
+    if data.is_empty() || !data.len().is_multiple_of(C::BLOCK_SIZE) {
         return None;
     }
     let mut out = data.to_vec();

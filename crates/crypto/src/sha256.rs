@@ -13,11 +13,11 @@ fn icbrt(n: u128) -> u128 {
     let mut lo: u128 = 0;
     let mut hi: u128 = 1 << 44; // (2^44)^3 = 2^132 > n for our inputs.
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if mid
             .checked_mul(mid)
             .and_then(|m| m.checked_mul(mid))
-            .map_or(false, |c| c <= n)
+            .is_some_and(|c| c <= n)
         {
             lo = mid;
         } else {
@@ -32,8 +32,8 @@ fn isqrt(n: u128) -> u128 {
     let mut lo: u128 = 0;
     let mut hi: u128 = 1 << 64;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
-        if mid.checked_mul(mid).map_or(false, |s| s <= n) {
+        let mid = (lo + hi).div_ceil(2);
+        if mid.checked_mul(mid).is_some_and(|s| s <= n) {
             lo = mid;
         } else {
             hi = mid - 1;
@@ -46,7 +46,7 @@ fn first_primes(n: usize) -> Vec<u128> {
     let mut primes = Vec::with_capacity(n);
     let mut c: u128 = 2;
     while primes.len() < n {
-        if primes.iter().all(|&p| c % p != 0) {
+        if primes.iter().all(|&p| !c.is_multiple_of(p)) {
             primes.push(c);
         }
         c += 1;

@@ -13,6 +13,9 @@ use std::sync::Arc;
 /// A scalar UDF: row values in, value out.
 pub type ScalarUdf = Arc<dyn Fn(&[Value]) -> Result<Value, EngineError> + Send + Sync>;
 
+/// Folds one row's argument into an aggregate accumulator.
+pub type AggregateStep = Arc<dyn Fn(Value, &Value) -> Result<Value, EngineError> + Send + Sync>;
+
 /// An aggregate UDF: fold rows into an accumulator (e.g. `HOM_SUM`
 /// multiplies Paillier ciphertexts).
 #[derive(Clone)]
@@ -20,7 +23,7 @@ pub struct AggregateUdf {
     /// Initial accumulator value.
     pub init: Value,
     /// Folds one row's argument into the accumulator.
-    pub step: Arc<dyn Fn(Value, &Value) -> Result<Value, EngineError> + Send + Sync>,
+    pub step: AggregateStep,
 }
 
 /// Case-insensitive registry of scalar and aggregate UDFs.

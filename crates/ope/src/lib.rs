@@ -21,7 +21,7 @@ pub use hgd::hypergeometric_sample;
 
 use cryptdb_crypto::rng::Drbg;
 use cryptdb_crypto::sha256::hmac_sha256;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Errors returned by OPE operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -200,25 +200,74 @@ impl Ope {
     }
 }
 
+/// Identity of an interior tree node: its domain and range cell.
+type NodeKey = (u128, u128, u128, u128);
+
+/// Default result-cache capacity: the paper caches "the 30,000 most
+/// common values" per column (§3.5.2).
+pub const DEFAULT_RESULT_CAP: usize = 30_000;
+/// Default node-cache capacity: enough interior samples to keep the
+/// shared upper levels of the range-split tree resident.
+pub const DEFAULT_NODE_CAP: usize = 1 << 16;
+
 /// An [`Ope`] wrapped with the paper's batch-encryption cache (§3.1,
-/// §3.5.2 "ciphertext ... caching").
+/// §3.5.2 "ciphertext ... caching"), bounded for production use.
 ///
 /// Interior node samples are memoised, so a batch of encryptions walks
 /// shared path prefixes once; full plaintext→ciphertext results are also
 /// cached for the "30,000 most common values" style reuse.
+///
+/// Both caches are capped:
+///
+/// * **Results** evict least-recently-used — the classic working-set
+///   policy for the paper's hot-value reuse.
+/// * **Nodes** evict *deepest-first* (smallest domain cell), breaking
+///   ties by recency. Nodes near the root are shared by every walk —
+///   evicting a root-level sample would force the whole hypergeometric
+///   prefix to be redrawn on the next miss, while a leaf-adjacent node
+///   is specific to one value. This is the "shared-prefix-aware" policy:
+///   under memory pressure the cache degrades to exactly the hot
+///   interior samples that amortise across encryptions.
+///
+/// Eviction and memoisation stay consistent because every sample is
+/// drawn deterministically from the key (HMAC-derived coins): a walk
+/// re-populates any evicted node or result on the path with bit-identical
+/// values, so a hit after eviction re-derives the identical ciphertext.
 pub struct OpeCached {
     ope: Ope,
-    node_cache: HashMap<(u128, u128, u128, u128), (u128, u128)>,
-    result_cache: BTreeMap<u64, u128>,
+    result_cap: usize,
+    node_cap: usize,
+    /// Logical clock for recency; bumped on every touch.
+    tick: u64,
+    /// plaintext → (ciphertext, last-use tick).
+    results: HashMap<u64, (u128, u64)>,
+    /// last-use tick → plaintext: LRU order (ticks are unique).
+    result_lru: BTreeMap<u64, u64>,
+    /// node → (split sample, last-use tick).
+    nodes: HashMap<NodeKey, ((u128, u128), u64)>,
+    /// (domain-cell size, last-use tick, node): eviction order — the
+    /// smallest (deepest) cells first, oldest first within a depth.
+    node_evict: BTreeSet<(u128, u64, NodeKey)>,
 }
 
 impl OpeCached {
-    /// Wraps an OPE instance with empty caches.
+    /// Wraps an OPE instance with the paper-sized default caps.
     pub fn new(ope: Ope) -> Self {
+        OpeCached::with_capacity(ope, DEFAULT_RESULT_CAP, DEFAULT_NODE_CAP)
+    }
+
+    /// Wraps an OPE instance with explicit cache caps. A cap of zero
+    /// disables that cache (every walk recomputes).
+    pub fn with_capacity(ope: Ope, result_cap: usize, node_cap: usize) -> Self {
         OpeCached {
             ope,
-            node_cache: HashMap::new(),
-            result_cache: BTreeMap::new(),
+            result_cap,
+            node_cap,
+            tick: 0,
+            results: HashMap::new(),
+            result_lru: BTreeMap::new(),
+            nodes: HashMap::new(),
+            node_evict: BTreeSet::new(),
         }
     }
 
@@ -229,18 +278,103 @@ impl OpeCached {
 
     /// Number of cached plaintext→ciphertext results.
     pub fn cached_results(&self) -> usize {
-        self.result_cache.len()
+        self.results.len()
     }
 
-    /// Read-only probe of the result cache (no tree walk, no mutation) —
-    /// lets callers keep their lock hold brief on the hit path.
+    /// Number of cached interior-node samples.
+    pub fn cached_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Configured result-cache capacity.
+    pub fn result_cap(&self) -> usize {
+        self.result_cap
+    }
+
+    /// Configured node-cache capacity.
+    pub fn node_cap(&self) -> usize {
+        self.node_cap
+    }
+
+    /// Read-only probe of the result cache (no tree walk, no mutation,
+    /// no recency update) — lets callers keep their lock hold brief on
+    /// the hit path.
     pub fn lookup(&self, m: u64) -> Option<u128> {
-        self.result_cache.get(&m).copied()
+        self.results.get(&m).map(|&(c, _)| c)
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Result-cache hit: refresh recency.
+    fn result_touch(&mut self, m: u64) -> Option<u128> {
+        let tick = self.next_tick();
+        let &(c, old) = self.results.get(&m)?;
+        self.result_lru.remove(&old);
+        self.result_lru.insert(tick, m);
+        self.results.insert(m, (c, tick));
+        Some(c)
+    }
+
+    fn result_insert(&mut self, m: u64, c: u128) {
+        if self.result_cap == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        if let Some((_, old)) = self.results.insert(m, (c, tick)) {
+            self.result_lru.remove(&old);
+        }
+        self.result_lru.insert(tick, m);
+        while self.results.len() > self.result_cap {
+            let (&oldest, &victim) = self
+                .result_lru
+                .iter()
+                .next()
+                .expect("LRU tracks every result");
+            self.result_lru.remove(&oldest);
+            self.results.remove(&victim);
+        }
+    }
+
+    /// Node-cache hit: refresh recency (keeps hot interior samples ahead
+    /// of cold ones at the same depth).
+    fn node_touch(&mut self, key: NodeKey) -> Option<(u128, u128)> {
+        let tick = self.next_tick();
+        let &(split, old) = self.nodes.get(&key)?;
+        let size = key.1 - key.0;
+        self.node_evict.remove(&(size, old, key));
+        self.node_evict.insert((size, tick, key));
+        self.nodes.insert(key, (split, tick));
+        Some(split)
+    }
+
+    fn node_insert(&mut self, key: NodeKey, split: (u128, u128)) {
+        if self.node_cap == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        let size = key.1 - key.0;
+        if let Some((_, old)) = self.nodes.insert(key, (split, tick)) {
+            self.node_evict.remove(&(size, old, key));
+        }
+        self.node_evict.insert((size, tick, key));
+        while self.nodes.len() > self.node_cap {
+            let &victim = self.node_evict.iter().next().expect("evict order synced");
+            self.node_evict.remove(&victim);
+            self.nodes.remove(&victim.2);
+        }
     }
 
     /// Encrypts with node and result memoisation.
+    ///
+    /// A result-cache miss walks the tree through the node cache; every
+    /// node on the path is re-populated (and its recency refreshed) even
+    /// if an earlier capacity policy evicted it, so the caches never
+    /// drift from the deterministic tree they memoise.
     pub fn encrypt(&mut self, m: u64) -> Result<u128, OpeError> {
-        if let Some(&c) = self.result_cache.get(&m) {
+        if let Some(c) = self.result_touch(m) {
             return Ok(c);
         }
         let m128 = m as u128;
@@ -254,15 +388,15 @@ impl OpeCached {
         loop {
             if dhi - dlo == 1 {
                 let c = self.ope.leaf_sample(dlo, rlo, rhi);
-                self.result_cache.insert(m, c);
+                self.result_insert(m, c);
                 return Ok(c);
             }
             let nodekey = (dlo, dhi, rlo, rhi);
-            let (x, y) = match self.node_cache.get(&nodekey) {
-                Some(&v) => v,
+            let (x, y) = match self.node_touch(nodekey) {
+                Some(v) => v,
                 None => {
                     let v = self.ope.node_split(dlo, dhi, rlo, rhi);
-                    self.node_cache.insert(nodekey, v);
+                    self.node_insert(nodekey, v);
                     v
                 }
             };
@@ -366,6 +500,58 @@ mod tests {
             assert_eq!(cached.encrypt(v).unwrap(), plain.encrypt(v).unwrap());
         }
         assert_eq!(cached.cached_results(), 3);
+    }
+
+    #[test]
+    fn bounded_caches_never_exceed_caps() {
+        let mut cached = OpeCached::with_capacity(Ope::new(&[3u8; 32], 16, 32), 64, 128);
+        for v in 0..2048u64 {
+            cached.encrypt(v).unwrap();
+            assert!(cached.cached_results() <= cached.result_cap());
+            assert!(cached.cached_nodes() <= cached.node_cap());
+        }
+        assert_eq!(cached.cached_results(), 64);
+        assert_eq!(cached.cached_nodes(), 128);
+    }
+
+    #[test]
+    fn evicted_values_rederive_identical_ciphertexts() {
+        let plain = Ope::new(&[4u8; 32], 16, 32);
+        let mut cached = OpeCached::with_capacity(Ope::new(&[4u8; 32], 16, 32), 4, 16);
+        let first: Vec<u128> = (0..200u64).map(|v| cached.encrypt(v).unwrap()).collect();
+        // Everything before the last 4 values has been evicted; a fresh
+        // walk must re-derive the same deterministic ciphertexts.
+        for (v, &c) in first.iter().enumerate() {
+            assert_eq!(cached.encrypt(v as u64).unwrap(), c, "v={v}");
+            assert_eq!(plain.encrypt(v as u64).unwrap(), c, "v={v}");
+        }
+    }
+
+    #[test]
+    fn eviction_prefers_deep_nodes() {
+        // With a node cap smaller than one root-to-leaf path set, the
+        // *root* split must stay cached (it is the largest cell).
+        let mut cached = OpeCached::with_capacity(Ope::new(&[5u8; 32], 16, 32), 0, 8);
+        for v in [0u64, 9999, 41234, 65535] {
+            cached.encrypt(v).unwrap();
+        }
+        assert!(cached.cached_nodes() <= 8);
+        // A result-cache-disabled hit on a fresh value still terminates
+        // and agrees with the cacheless walk (consistency after heavy
+        // eviction churn).
+        let plain = Ope::new(&[5u8; 32], 16, 32);
+        assert_eq!(cached.encrypt(1234).unwrap(), plain.encrypt(1234).unwrap());
+    }
+
+    #[test]
+    fn zero_caps_disable_caching_but_stay_correct() {
+        let plain = Ope::new(&[6u8; 32], 16, 32);
+        let mut cached = OpeCached::with_capacity(Ope::new(&[6u8; 32], 16, 32), 0, 0);
+        for v in [0u64, 7, 65535] {
+            assert_eq!(cached.encrypt(v).unwrap(), plain.encrypt(v).unwrap());
+        }
+        assert_eq!(cached.cached_results(), 0);
+        assert_eq!(cached.cached_nodes(), 0);
     }
 
     #[test]

@@ -39,6 +39,26 @@ proptest! {
         }
     }
 
+    /// LRU bound: the caches never exceed their caps, and values whose
+    /// entries were evicted re-derive bit-identical ciphertexts on the
+    /// next walk (eviction cannot change the deterministic function).
+    #[test]
+    fn lru_bound_and_post_eviction_consistency(
+        vs in proptest::collection::vec(0u64..60_000, 1..120),
+    ) {
+        let plain = Ope::new(&[9u8; 32], 16, 40);
+        let mut cached = OpeCached::with_capacity(Ope::new(&[9u8; 32], 16, 40), 16, 64);
+        for &v in &vs {
+            prop_assert_eq!(cached.encrypt(v).unwrap(), plain.encrypt(v).unwrap());
+            prop_assert!(cached.cached_results() <= cached.result_cap());
+            prop_assert!(cached.cached_nodes() <= cached.node_cap());
+        }
+        // Second pass: many of these were evicted by later inserts.
+        for &v in &vs {
+            prop_assert_eq!(cached.encrypt(v).unwrap(), plain.encrypt(v).unwrap());
+        }
+    }
+
     #[test]
     fn signed_encoding_total_order(a in any::<i64>(), b in any::<i64>()) {
         prop_assert_eq!(a.cmp(&b), Ope::encode_i64(a).cmp(&Ope::encode_i64(b)));

@@ -30,8 +30,13 @@
 //!     half-width exponentiation by a half-width exponent — ~3× over the
 //!     full-width path, kept as
 //!     [`PaillierPrivate::precompute_blinding_noncrt`].
-//!   Batch SUM decryption ([`PaillierPrivate::decrypt_i64_batch`]) rides
-//!   the same CRT path.
+//!
+//!   Batch SUM decryption rides the same CRT path: on a long-lived
+//!   proxy, [`PaillierPrivate::decrypt_i64_batch_on`] fans the cells out
+//!   over a persistent [`WorkerPool`] (no per-query thread spawns, and
+//!   the pending form lets the caller overlap row post-processing);
+//!   [`PaillierPrivate::decrypt_i64_batch`] keeps the scoped-thread
+//!   fan-out as the no-runtime fallback and benchmark baseline.
 //! * Signed 64-bit values are encoded as residues: `v < 0` maps to
 //!   `n + v`; decode folds values above `n/2` back to negatives.
 //!
@@ -41,16 +46,21 @@
 #![forbid(unsafe_code)]
 
 use cryptdb_bignum::{gen_prime, Montgomery, Ubig};
+use cryptdb_runtime::{PendingMap, WorkerPool};
+use std::sync::Arc;
 
 /// Public Paillier parameters: the modulus and derived constants.
 ///
 /// Cloneable so the DBMS server side (UDFs) can hold the public half —
-/// the server multiplies ciphertexts but can never decrypt them.
+/// the server multiplies ciphertexts but can never decrypt them. The
+/// `mod n²` Montgomery context is shared (`Arc`) across clones, so
+/// [`PaillierPublic::mul_plain`] never rebuilds the full-width tables.
 #[derive(Clone)]
 pub struct PaillierPublic {
     n: Ubig,
     n_squared: Ubig,
     half_n: Ubig,
+    mont_n2: Arc<Montgomery>,
 }
 
 /// Private Paillier key (proxy side only).
@@ -60,7 +70,6 @@ pub struct PaillierPrivate {
     lambda: Ubig,
     /// μ = L(g^λ mod n²)⁻¹ mod n — non-CRT reference path.
     mu: Ubig,
-    mont_n2: Montgomery,
     crt: CrtKey,
 }
 
@@ -158,8 +167,14 @@ impl PaillierPublic {
     }
 
     /// Homomorphic plaintext multiplication: `c^k mod n²` encrypts `m·k`.
+    ///
+    /// Runs on the key's cached `mod n²` Montgomery context — the seed
+    /// rebuilt a full-width context per call via `Ubig::mod_exp`, which
+    /// cost a modular inversion and an R² setup on every server-side
+    /// `HOM_MUL`. The proxy side, which knows the factorisation, should
+    /// prefer [`PaillierPrivate::mul_plain`] (CRT, ~4× again).
     pub fn mul_plain(&self, c: &Ciphertext, k: &Ubig) -> Ciphertext {
-        Ciphertext(c.0.mod_exp(k, &self.n_squared))
+        Ciphertext(self.mont_n2.pow(&c.0, k))
     }
 
     /// Serialises a ciphertext to fixed-width big-endian bytes.
@@ -197,7 +212,7 @@ impl PaillierPrivate {
         let n_squared = n.mul(&n);
         let one = Ubig::one();
         let lambda = p.sub(&one).lcm(&q.sub(&one));
-        let mont_n2 = Montgomery::new(n_squared.clone());
+        let mont_n2 = Arc::new(Montgomery::new(n_squared.clone()));
         // μ = L(g^λ mod n²)⁻¹ mod n, with g = n + 1.
         let g = n.add(&one);
         let glambda = mont_n2.pow(&g, &lambda);
@@ -210,10 +225,10 @@ impl PaillierPrivate {
                 n,
                 n_squared,
                 half_n,
+                mont_n2,
             },
             lambda,
             mu,
-            mont_n2,
             crt,
         }
     }
@@ -266,7 +281,7 @@ impl PaillierPrivate {
     /// `rⁿ mod n²` by the direct full-width exponentiation (the pre-CRT
     /// path, kept as a cross-check and benchmark baseline).
     pub fn blinding_from_r_noncrt(&self, r: &Ubig) -> Ubig {
-        self.mont_n2.pow(r, &self.public.n)
+        self.public.mont_n2.pow(r, &self.public.n)
     }
 
     /// [`Self::precompute_blinding`] without CRT (benchmark baseline).
@@ -306,7 +321,7 @@ impl PaillierPrivate {
     /// Decrypts via the full-width `L(c^λ mod n²)·μ mod n` (the pre-CRT
     /// path, kept as a cross-check and benchmark baseline).
     pub fn decrypt_noncrt(&self, c: &Ciphertext) -> Ubig {
-        let clambda = self.mont_n2.pow(&c.0, &self.lambda);
+        let clambda = self.public.mont_n2.pow(&c.0, &self.lambda);
         let l = clambda.sub(&Ubig::one()).div_rem(&self.public.n).0;
         l.mod_mul(&self.mu, &self.public.n)
     }
@@ -318,9 +333,73 @@ impl PaillierPrivate {
         self.public.decode_i64(&self.decrypt(c))
     }
 
+    /// Homomorphic plaintext multiplication on the CRT fast path:
+    /// `c^k` is computed mod `p²` and `q²` (half-width moduli) and
+    /// recombined — the proxy-side counterpart of
+    /// [`PaillierPublic::mul_plain`], for when the exponentiation runs
+    /// where the factorisation is known (e.g. pre-scaling a constant
+    /// before it is sent to the server).
+    pub fn mul_plain(&self, c: &Ciphertext, k: &Ubig) -> Ciphertext {
+        let t = &self.crt;
+        let a = t.mont_p2.pow(&c.0, k);
+        let b = t.mont_q2.pow(&c.0, k);
+        Ciphertext(t.recombine_mod_n2(&a, &b))
+    }
+
+    /// Decrypts a batch of ciphertexts on a persistent [`WorkerPool`],
+    /// blocking until every result is in. Results keep input order.
+    ///
+    /// Equivalent to the pending form plus an immediate wait (minus the
+    /// dispatch copies when the work runs inline anyway); prefer
+    /// [`Self::decrypt_i64_batch_pending`] when there is independent
+    /// work to overlap with the decryption (the proxy overlaps row
+    /// post-processing).
+    pub fn decrypt_i64_batch_on(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        cts: &[Ciphertext],
+    ) -> Vec<Option<i64>> {
+        if pool.threads() <= 1 || cts.len() < 4 {
+            return cts.iter().map(|c| self.decrypt_i64(c)).collect();
+        }
+        self.decrypt_i64_batch_pending(pool, cts.to_vec()).wait()
+    }
+
+    /// Starts decrypting a batch of ciphertexts on a persistent
+    /// [`WorkerPool`] and returns immediately; join with
+    /// [`PendingMap::wait`]. Unlike [`Self::decrypt_i64_batch`], no
+    /// threads are spawned per call — the chunks are queued to
+    /// already-running workers, and the caller's thread stays free to
+    /// pipeline other work (§3.5.2: crypto off the critical path).
+    ///
+    /// Small batches (under 4 ciphertexts) go to the pool as a single
+    /// chunk: at that size the split overhead exceeds the parallelism.
+    /// On a single-worker pool the batch is decrypted inline and
+    /// returned pre-resolved — one hardware thread cannot overlap the
+    /// decryption with the caller's work anyway, so the channel
+    /// round-trip would be pure overhead.
+    pub fn decrypt_i64_batch_pending(
+        self: &Arc<Self>,
+        pool: &WorkerPool,
+        cts: Vec<Ciphertext>,
+    ) -> PendingMap<Option<i64>> {
+        if pool.threads() <= 1 {
+            return PendingMap::ready(cts.iter().map(|c| self.decrypt_i64(c)).collect());
+        }
+        let chunks = if cts.len() < 4 { 1 } else { pool.threads() };
+        let key = self.clone();
+        pool.map_chunked(cts, chunks, move |part| {
+            part.iter().map(|c| key.decrypt_i64(c)).collect()
+        })
+    }
+
     /// Decrypts a batch of ciphertexts (e.g. every `SUM`/`AVG` cell of a
     /// result set) over the shared CRT tables, fanning the independent
-    /// decryptions out across scoped threads. Results keep input order.
+    /// decryptions out across scoped threads spawned for this call.
+    ///
+    /// This is the no-runtime fallback (and the benchmark baseline the
+    /// pooled path is gated against); a long-lived proxy should hold a
+    /// [`WorkerPool`] and use [`Self::decrypt_i64_batch_on`] instead.
     pub fn decrypt_i64_batch(&self, cts: &[Ciphertext]) -> Vec<Option<i64>> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -442,6 +521,44 @@ mod tests {
         let c = sk.encrypt_i64(7, &mut rng);
         let c3 = sk.public().mul_plain(&c, &Ubig::from_u64(3));
         assert_eq!(sk.decrypt_i64(&c3), Some(21));
+    }
+
+    #[test]
+    fn mul_plain_crt_matches_public() {
+        let (sk, mut rng) = key();
+        let c = sk.encrypt_i64(-11, &mut rng);
+        for k in [0u64, 1, 2, 3, 1000, u32::MAX as u64] {
+            let k = Ubig::from_u64(k);
+            // Identical group elements, not merely equal plaintexts.
+            assert_eq!(sk.mul_plain(&c, &k), sk.public().mul_plain(&c, &k));
+        }
+        assert_eq!(
+            sk.decrypt_i64(&sk.mul_plain(&c, &Ubig::from_u64(5))),
+            Some(-55)
+        );
+    }
+
+    #[test]
+    fn pooled_batch_decrypt_matches_scoped() {
+        let (sk, mut rng) = key();
+        let sk = Arc::new(sk);
+        let values: Vec<i64> = (0..37).map(|i| i * 1_000_003 - 18).collect();
+        let cts: Vec<Ciphertext> = values
+            .iter()
+            .map(|&v| sk.encrypt_i64(v, &mut rng))
+            .collect();
+        let pool = WorkerPool::new(4);
+        let scoped = sk.decrypt_i64_batch(&cts);
+        let pooled = sk.decrypt_i64_batch_on(&pool, &cts);
+        assert_eq!(pooled, scoped);
+        // The pending form overlaps caller-side work with decryption.
+        let pending = sk.decrypt_i64_batch_pending(&pool, cts.clone());
+        let check: Vec<Option<i64>> = values.iter().map(|&v| Some(v)).collect();
+        assert_eq!(pending.wait(), check);
+        // Single-worker pools resolve inline (pre-resolved pending).
+        let single = WorkerPool::new(1);
+        assert_eq!(sk.decrypt_i64_batch_on(&single, &cts), check);
+        assert_eq!(sk.decrypt_i64_batch_pending(&single, cts).wait(), check);
     }
 
     #[test]

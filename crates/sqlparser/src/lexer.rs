@@ -264,7 +264,7 @@ impl<'a> Lexer<'a> {
         }
         let hex = std::str::from_utf8(&self.src[start..self.pos]).expect("hex is utf8");
         self.pos += 1;
-        if hex.len() % 2 != 0 {
+        if !hex.len().is_multiple_of(2) {
             return Err("odd-length hex literal".into());
         }
         let bytes = (0..hex.len())

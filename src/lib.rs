@@ -7,5 +7,6 @@ pub use cryptdb_ecgroup as ecgroup;
 pub use cryptdb_engine as engine;
 pub use cryptdb_ope as ope;
 pub use cryptdb_paillier as paillier;
+pub use cryptdb_runtime as runtime;
 pub use cryptdb_search as search;
 pub use cryptdb_sqlparser as sqlparser;

@@ -208,10 +208,9 @@ fn null_behaviour_agrees() {
     let ddl = "CREATE TABLE n (a int, b int)";
     pair.plain.execute_sql(ddl).unwrap();
     pair.cryptdb.execute(ddl).unwrap();
-    for stmt in ["INSERT INTO n (a, b) VALUES (1, 10), (2, NULL), (3, 30), (4, NULL)"] {
-        pair.plain.execute_sql(stmt).unwrap();
-        pair.cryptdb.execute(stmt).unwrap();
-    }
+    let stmt = "INSERT INTO n (a, b) VALUES (1, 10), (2, NULL), (3, 30), (4, NULL)";
+    pair.plain.execute_sql(stmt).unwrap();
+    pair.cryptdb.execute(stmt).unwrap();
     for q in [
         "SELECT a FROM n WHERE b IS NULL",
         "SELECT a FROM n WHERE b IS NOT NULL",
