@@ -1,0 +1,82 @@
+//! Crossover-tuning probe for the two-phase Montgomery kernel.
+//!
+//! Run with `cargo run --release -p cryptdb-bignum --example kara_tune`.
+//! For each width it measures the tuned kernel (two-phase Karatsuba +
+//! REDC above the default thresholds) against the forced quadratic
+//! CIOS/SOS baseline on identical operands, plus the isolated component
+//! costs (product forms and the standalone REDC). Use the output to
+//! re-pick `DEFAULT_KARA_THRESHOLD` / `DEFAULT_KARA_SQR_THRESHOLD` when
+//! the build host changes; `BENCH_paillier.json` records the currently
+//! tuned values.
+
+use cryptdb_bignum::{probes, Montgomery, Ubig};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn wide(limbs: usize, seed: u64) -> Ubig {
+    let mut v: Vec<u64> = (0..limbs as u64)
+        .map(|i| {
+            0x9e37_79b9_7f4a_7c15u64
+                .wrapping_mul(i + 1 + seed)
+                .wrapping_add(0x1234_5678_9abc_def1 ^ (seed << 7))
+        })
+        .collect();
+    v[0] |= 1;
+    v[limbs - 1] |= 1 << 63;
+    Ubig::from_limbs(v)
+}
+
+fn measure(mut f: impl FnMut()) -> f64 {
+    for _ in 0..100 {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        let e = start.elapsed().as_nanos();
+        if e >= 200_000_000 {
+            return e as f64 / iters as f64;
+        }
+    }
+}
+
+fn main() {
+    println!("width      mul: tuned    cios  ratio |  sqr: tuned     sos  ratio |  prod: base    kara    redc");
+    for limbs in [8usize, 12, 16, 20, 24, 32, 48, 64, 96] {
+        let n = wide(limbs, 0);
+        let tuned = Montgomery::new(n.clone());
+        let forced = Montgomery::with_kara_threshold(n.clone(), usize::MAX);
+        let a = wide(limbs, 3).rem(&n);
+        let b = wide(limbs, 5).rem(&n);
+        let am = tuned.to_mont(&a);
+        let bm = tuned.to_mont(&b);
+        let mut out = vec![0u64; limbs];
+        let mut prod = vec![0u64; 2 * limbs];
+        let mut arena = vec![0u64; probes::kara_scratch(limbs).max(1)];
+        let mut ts = tuned.scratch();
+        let mut fs = forced.scratch();
+        let t_mul = measure(|| tuned.mont_mul(black_box(&am), black_box(&bm), &mut out, &mut ts));
+        let c_mul = measure(|| forced.mont_mul(black_box(&am), black_box(&bm), &mut out, &mut fs));
+        let t_sqr = measure(|| tuned.mont_sqr(black_box(&am), &mut out, &mut ts));
+        let c_sqr = measure(|| forced.mont_sqr(black_box(&am), &mut out, &mut fs));
+        let p_base = measure(|| probes::base_product(black_box(&am), black_box(&bm), &mut prod));
+        let p_kara =
+            measure(|| probes::kara_product(black_box(&am), black_box(&bm), &mut prod, &mut arena));
+        probes::kara_product(&am, &bm, &mut prod, &mut arena);
+        let memcpy = measure(|| {
+            let t2 = prod.clone();
+            black_box(t2);
+        });
+        let redc = measure(|| {
+            let mut t2 = prod.clone();
+            probes::redc(black_box(&tuned), &mut t2, &mut out);
+        }) - memcpy;
+        println!(
+            "{limbs:>5}  {t_mul:>10.1} {c_mul:>7.1} {:>6.3} | {t_sqr:>10.1} {c_sqr:>7.1} {:>6.3} | {p_base:>10.1} {p_kara:>7.1} {redc:>7.1}",
+            c_mul / t_mul,
+            c_sqr / t_sqr
+        );
+    }
+}

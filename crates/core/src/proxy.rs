@@ -67,11 +67,24 @@ pub struct ProxyConfig {
     /// Crypto-runtime worker threads (0 = size to the machine, capped).
     pub runtime_threads: usize,
     /// Blinding pool low-water mark: a background refill is scheduled as
-    /// soon as the pool drops below this many factors.
+    /// soon as the pool drops below this many factors. With
+    /// [`Self::hom_adaptive`] on, this is the *floor* of the adaptive
+    /// trigger level.
     pub hom_low_water: usize,
     /// Blinding pool high-water mark: refills top back up to this level
-    /// (raised by [`Proxy::precompute_hom`]).
+    /// (raised by [`Proxy::precompute_hom`]). With
+    /// [`Self::hom_adaptive`] on, this is the *floor* of the adaptive
+    /// refill target.
     pub hom_high_water: usize,
+    /// Adaptive blinding-pool watermarks: size the trigger/target from
+    /// the observed INSERT take-rate EWMA × refill lead time plus a
+    /// safety margin, between the configured floors and
+    /// [`Self::hom_water_ceiling`] — a demand surge grows the pool
+    /// before it can run dry, without permanently over-provisioning.
+    pub hom_adaptive: bool,
+    /// Upper bound for the adaptive watermarks (ignored when
+    /// [`Self::hom_adaptive`] is off).
+    pub hom_water_ceiling: usize,
 }
 
 impl Default for ProxyConfig {
@@ -85,6 +98,8 @@ impl Default for ProxyConfig {
             runtime_threads: 0,
             hom_low_water: 32,
             hom_high_water: 128,
+            hom_adaptive: true,
+            hom_water_ceiling: 1024,
         }
     }
 }
@@ -147,15 +162,26 @@ impl Proxy {
         };
         let hom_pool = {
             let paillier = paillier.clone();
-            BlindingPool::new(
-                &runtime,
-                config.hom_low_water,
-                config.hom_high_water,
-                move |n| {
-                    let mut rng = rand::thread_rng();
-                    paillier.precompute_blinding_batch(&mut rng, n)
-                },
-            )
+            let generate = move |n| {
+                let mut rng = rand::thread_rng();
+                paillier.precompute_blinding_batch(&mut rng, n)
+            };
+            if config.hom_adaptive {
+                BlindingPool::new_adaptive(
+                    &runtime,
+                    config.hom_low_water,
+                    config.hom_high_water,
+                    config.hom_water_ceiling.max(config.hom_high_water),
+                    generate,
+                )
+            } else {
+                BlindingPool::new(
+                    &runtime,
+                    config.hom_low_water,
+                    config.hom_high_water,
+                    generate,
+                )
+            }
         };
         Proxy {
             engine,
@@ -311,14 +337,7 @@ impl Proxy {
         column: &str,
         values: &[i64],
     ) -> Result<TaskHandle<usize>, ProxyError> {
-        let keys = {
-            let schema = self.schema.read();
-            let t = schema.table(table)?;
-            let c = t
-                .column(column)
-                .ok_or_else(|| ProxyError::Schema(format!("unknown column {column}")))?;
-            self.master_col_keys(c, &table.to_lowercase())
-        };
+        let keys = self.master_col_keys_for(table, column)?;
         if !self.config.precompute {
             return Ok(TaskHandle::ready(0));
         }
@@ -329,6 +348,30 @@ impl Proxy {
                 .filter(|&&m| keys.ope_encrypt(m, true).is_ok())
                 .count()
         }))
+    }
+
+    /// Looks a column up in the encrypted schema and returns its
+    /// master-key `ColumnKeys` (shared by [`Self::warm_ope`] and the
+    /// cache observability hook, so both always address the same keys).
+    fn master_col_keys_for(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Result<Arc<ColumnKeys>, ProxyError> {
+        let schema = self.schema.read();
+        let t = schema.table(table)?;
+        let c = t
+            .column(column)
+            .ok_or_else(|| ProxyError::Schema(format!("unknown column {column}")))?;
+        Ok(self.master_col_keys(c, &table.to_lowercase()))
+    }
+
+    /// Number of fully-memoised OPE results cached for a column (the
+    /// §3.5.2 cache observability hook the warm-from-training e2e rides).
+    pub fn ope_cached_results(&self, table: &str, column: &str) -> Result<usize, ProxyError> {
+        Ok(self
+            .master_col_keys_for(table, column)?
+            .ope_cached_results())
     }
 
     /// Logs a user in (equivalent to

@@ -5,10 +5,16 @@
 //! each field, along with a warning in case some query is not supported."
 
 use crate::onion::SecLevel;
-use crate::proxy::Proxy;
+use crate::proxy::{const_fold, Proxy};
 use crate::ProxyError;
+use cryptdb_engine::Value;
 use cryptdb_sqlparser::{parse, Stmt};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// How many hot values per column a training run reports (the paper's
+/// §3.5.2 cache covers the "most common values"; the trainer surfaces
+/// the head of that distribution for deploy-time warming).
+pub const TRAIN_HOT_K: usize = 64;
 
 /// Steady-state security report for one column.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,6 +41,12 @@ pub struct TrainingReport {
     pub warnings: Vec<String>,
     /// Total queries processed.
     pub queries: usize,
+    /// Per-column hot-value sets: the top-[`TRAIN_HOT_K`] integer INSERT
+    /// literals the trace wrote, keyed by lowercase `(table, column)`
+    /// and ordered most-frequent first. Feed to
+    /// [`Proxy::warm_ope_from_training`] at deploy time to pre-walk the
+    /// OPE cache off the query path.
+    pub hot_values: BTreeMap<(String, String), Vec<i64>>,
 }
 
 impl TrainingReport {
@@ -91,6 +103,7 @@ impl Proxy {
         let mut hom: BTreeMap<(String, String), bool> = BTreeMap::new();
         let mut search: BTreeMap<(String, String), bool> = BTreeMap::new();
         let mut plainneed: BTreeMap<(String, String), bool> = BTreeMap::new();
+        let mut literal_counts: BTreeMap<(String, String), HashMap<i64, u64>> = BTreeMap::new();
         let mut queries_run = 0usize;
         for q in queries {
             let stmts = match parse(q) {
@@ -104,6 +117,7 @@ impl Proxy {
                 queries_run += 1;
                 // Track class usage for the Fig. 9 middle columns.
                 scan_class_usage(stmt, &mut hom, &mut search);
+                scan_insert_literals(stmt, &mut literal_counts);
                 match self.execute_stmt(stmt) {
                     Ok(_) => {}
                     Err(ProxyError::NeedsPlaintext(msg)) => {
@@ -135,11 +149,60 @@ impl Proxy {
                 }
             }
         });
+        let hot_values = literal_counts
+            .into_iter()
+            .map(|(key, counts)| {
+                let mut ranked: Vec<(i64, u64)> = counts.into_iter().collect();
+                // Most frequent first; ties by value for determinism.
+                ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                ranked.truncate(TRAIN_HOT_K);
+                (key, ranked.into_iter().map(|(v, _)| v).collect())
+            })
+            .collect();
         Ok(TrainingReport {
             columns,
             warnings,
             queries: queries_run,
+            hot_values,
         })
+    }
+
+    /// §3.5.2 deploy-time cache warming from a training run: feeds every
+    /// per-column hot-value set in `report` to [`Proxy::warm_ope`] on the
+    /// runtime pool and waits for the walks to finish. Columns the
+    /// current schema does not know (e.g. a report from another
+    /// deployment) are skipped. Returns the total number of values
+    /// warmed into the OPE caches.
+    pub fn warm_ope_from_training(&self, report: &TrainingReport) -> Result<usize, ProxyError> {
+        let mut handles = Vec::new();
+        for ((table, column), values) in &report.hot_values {
+            match self.warm_ope(table, column, values) {
+                Ok(h) => handles.push(h),
+                Err(ProxyError::Schema(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(handles.into_iter().map(|h| h.join()).sum())
+    }
+}
+
+/// Counts integer INSERT literals per (table, column) — the raw input of
+/// the per-column hot-value sets.
+fn scan_insert_literals(stmt: &Stmt, counts: &mut BTreeMap<(String, String), HashMap<i64, u64>>) {
+    let Stmt::Insert(ins) = stmt else {
+        return;
+    };
+    let table = ins.table.to_lowercase();
+    for row in &ins.rows {
+        for (col, expr) in ins.columns.iter().zip(row) {
+            if let Ok(Value::Int(v)) = const_fold(expr) {
+                *counts
+                    .entry((table.clone(), col.to_lowercase()))
+                    .or_default()
+                    .entry(v)
+                    .or_insert(0) += 1;
+            }
+        }
     }
 }
 

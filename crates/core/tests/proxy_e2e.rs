@@ -589,3 +589,67 @@ fn warm_ope_prewalks_the_column_cache() {
     // Unknown columns are reported, not warmed.
     assert!(p.warm_ope("m", "nope", &values).is_err());
 }
+
+#[test]
+fn training_emits_hot_values_and_warms_ope_cache() {
+    // Train on one proxy (dev), warm a second proxy (prod, same master
+    // key) from the report: the trained hot INSERT literals must land in
+    // the production OPE cache *before* any query touches the column,
+    // and inserting a hot value afterwards must be served from cache.
+    let trainer = proxy();
+    let mut trace: Vec<String> =
+        vec!["CREATE TABLE orders (id int, qty int, note text)".to_string()];
+    // Hot values 7 and 42 (many inserts), cold values once each.
+    for i in 0..6 {
+        trace.push(format!(
+            "INSERT INTO orders (id, qty, note) VALUES ({i}, 7, 'x')"
+        ));
+        trace.push(format!(
+            "INSERT INTO orders (id, qty, note) VALUES ({}, 42, 'y')",
+            100 + i
+        ));
+    }
+    trace.push("INSERT INTO orders (id, qty, note) VALUES (900, 1234, 'z')".to_string());
+    let trace_refs: Vec<&str> = trace.iter().map(String::as_str).collect();
+    let report = trainer.train(&trace_refs).unwrap();
+    let qty_hot = report
+        .hot_values
+        .get(&("orders".to_string(), "qty".to_string()))
+        .expect("trainer must emit a hot set for orders.qty");
+    // Most-frequent first: 7 and 42 (6 each, tie broken by value) ahead
+    // of the one-off 1234.
+    assert_eq!(&qty_hot[..2], &[7, 42]);
+    assert!(qty_hot.contains(&1234));
+    assert!(report
+        .hot_values
+        .contains_key(&("orders".to_string(), "id".to_string())));
+
+    // Fresh proxy, same master key: warm from the report.
+    let prod = proxy();
+    prod.execute("CREATE TABLE orders (id int, qty int, note text)")
+        .unwrap();
+    assert_eq!(prod.ope_cached_results("orders", "qty").unwrap(), 0);
+    let warmed = prod.warm_ope_from_training(&report).unwrap();
+    assert!(warmed > 0, "warming must walk at least the qty hot set");
+    let cached_after_warm = prod.ope_cached_results("orders", "qty").unwrap();
+    assert!(
+        cached_after_warm >= qty_hot.len(),
+        "hot set not in cache: {cached_after_warm} < {}",
+        qty_hot.len()
+    );
+
+    // An INSERT of a hot value must *hit* the cache: the memoised result
+    // count stays flat (a miss would add a new entry).
+    prod.execute("INSERT INTO orders (id, qty, note) VALUES (1, 7, 'hot')")
+        .unwrap();
+    assert_eq!(
+        prod.ope_cached_results("orders", "qty").unwrap(),
+        cached_after_warm,
+        "post-training warm must make hot INSERTs cache hits"
+    );
+    // Sanity: the warmed cache produces the same ciphertext ordering.
+    let r = prod
+        .execute("SELECT id FROM orders WHERE qty > 5 ORDER BY qty")
+        .unwrap();
+    assert_eq!(r.rows().len(), 1);
+}

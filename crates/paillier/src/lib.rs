@@ -45,9 +45,26 @@
 
 #![forbid(unsafe_code)]
 
-use cryptdb_bignum::{gen_prime, Montgomery, Ubig};
+use cryptdb_bignum::{gen_prime, MontScratch, Montgomery, Ubig};
 use cryptdb_runtime::{PendingMap, WorkerPool};
 use std::sync::Arc;
+
+/// Reusable working memory for repeated private-key operations: one
+/// [`MontScratch`] serving every CRT context (p, q, p², q²). Batch
+/// consumers — the worker-pool decrypt chunks and the blinding-pool
+/// refill batches — hold one per chunk so the Montgomery kernels
+/// allocate nothing after the first call.
+#[derive(Default)]
+pub struct PaillierScratch {
+    ws: MontScratch,
+}
+
+impl PaillierScratch {
+    /// An empty scratch; buffers are sized lazily by the first use.
+    pub fn new() -> Self {
+        PaillierScratch::default()
+    }
+}
 
 /// Public Paillier parameters: the modulus and derived constants.
 ///
@@ -255,26 +272,40 @@ impl PaillierPrivate {
         self.blinding_from_r(&r)
     }
 
-    /// Pre-computes `count` blinding factors in one call (pool refill).
+    /// Pre-computes `count` blinding factors in one call (pool refill),
+    /// reusing one [`PaillierScratch`] across the whole batch so the
+    /// Montgomery kernels allocate nothing after the first factor.
     pub fn precompute_blinding_batch<R: rand::RngCore + ?Sized>(
         &self,
         rng: &mut R,
         count: usize,
     ) -> Vec<Ubig> {
-        (0..count).map(|_| self.precompute_blinding(rng)).collect()
+        let mut ws = PaillierScratch::new();
+        (0..count)
+            .map(|_| {
+                let r = self.sample_r(rng);
+                self.blinding_from_r_with(&r, &mut ws)
+            })
+            .collect()
     }
 
     /// `rⁿ mod n²` by CRT: per prime, `rⁿ ≡ (r^{q mod (p−1)} mod p)^p
     /// (mod p²)` — the binomial theorem reduces `y^p mod p²` to
     /// `(y mod p)^p mod p²`, and Fermat reduces the inner exponent.
     pub fn blinding_from_r(&self, r: &Ubig) -> Ubig {
+        self.blinding_from_r_with(r, &mut PaillierScratch::new())
+    }
+
+    /// [`Self::blinding_from_r`] with caller-held working memory — the
+    /// blinding-pool refill batches reuse one scratch across a batch.
+    pub fn blinding_from_r_with(&self, r: &Ubig, ws: &mut PaillierScratch) -> Ubig {
         let k = &self.crt;
         // Mod p²: inner quarter-width exponentiation, then ^p.
-        let xp = k.mont_p.pow(r, &k.q_mod_pm1);
-        let a = k.mont_p2.pow(&xp, &k.p);
+        let xp = k.mont_p.pow_with(r, &k.q_mod_pm1, &mut ws.ws);
+        let a = k.mont_p2.pow_with(&xp, &k.p, &mut ws.ws);
         // Mod q².
-        let xq = k.mont_q.pow(r, &k.p_mod_qm1);
-        let b = k.mont_q2.pow(&xq, &k.q);
+        let xq = k.mont_q.pow_with(r, &k.p_mod_qm1, &mut ws.ws);
+        let b = k.mont_q2.pow_with(&xq, &k.q, &mut ws.ws);
         k.recombine_mod_n2(&a, &b)
     }
 
@@ -305,11 +336,17 @@ impl PaillierPrivate {
     /// mod p` (half-width modulus *and* exponent), symmetrically `m_q`,
     /// recombined with Garner's formula.
     pub fn decrypt(&self, c: &Ciphertext) -> Ubig {
+        self.decrypt_with(c, &mut PaillierScratch::new())
+    }
+
+    /// [`Self::decrypt`] with caller-held working memory — the batch
+    /// decrypt paths reuse one scratch across every cell of a chunk.
+    pub fn decrypt_with(&self, c: &Ciphertext, ws: &mut PaillierScratch) -> Ubig {
         let k = &self.crt;
-        let cp = k.mont_p2.pow(&c.0, &k.pm1);
+        let cp = k.mont_p2.pow_with(&c.0, &k.pm1, &mut ws.ws);
         let lp = cp.sub(&Ubig::one()).div_rem(&k.p).0;
         let mp = lp.mod_mul(&k.hp, &k.p);
-        let cq = k.mont_q2.pow(&c.0, &k.qm1);
+        let cq = k.mont_q2.pow_with(&c.0, &k.qm1, &mut ws.ws);
         let lq = cq.sub(&Ubig::one()).div_rem(&k.q).0;
         let mq = lq.mod_mul(&k.hq, &k.q);
         // Garner: m = m_q + q·((m_p − m_q)·q⁻¹ mod p).
@@ -331,6 +368,11 @@ impl PaillierPrivate {
     /// Returns `None` on magnitude overflow (e.g. a sum that left i64).
     pub fn decrypt_i64(&self, c: &Ciphertext) -> Option<i64> {
         self.public.decode_i64(&self.decrypt(c))
+    }
+
+    /// [`Self::decrypt_i64`] with caller-held working memory.
+    pub fn decrypt_i64_with(&self, c: &Ciphertext, ws: &mut PaillierScratch) -> Option<i64> {
+        self.public.decode_i64(&self.decrypt_with(c, ws))
     }
 
     /// Homomorphic plaintext multiplication on the CRT fast path:
@@ -360,7 +402,11 @@ impl PaillierPrivate {
         cts: &[Ciphertext],
     ) -> Vec<Option<i64>> {
         if pool.threads() <= 1 || cts.len() < 4 {
-            return cts.iter().map(|c| self.decrypt_i64(c)).collect();
+            let mut ws = PaillierScratch::new();
+            return cts
+                .iter()
+                .map(|c| self.decrypt_i64_with(c, &mut ws))
+                .collect();
         }
         self.decrypt_i64_batch_pending(pool, cts.to_vec()).wait()
     }
@@ -384,12 +430,20 @@ impl PaillierPrivate {
         cts: Vec<Ciphertext>,
     ) -> PendingMap<Option<i64>> {
         if pool.threads() <= 1 {
-            return PendingMap::ready(cts.iter().map(|c| self.decrypt_i64(c)).collect());
+            let mut ws = PaillierScratch::new();
+            return PendingMap::ready(
+                cts.iter()
+                    .map(|c| self.decrypt_i64_with(c, &mut ws))
+                    .collect(),
+            );
         }
         let chunks = if cts.len() < 4 { 1 } else { pool.threads() };
         let key = self.clone();
         pool.map_chunked(cts, chunks, move |part| {
-            part.iter().map(|c| key.decrypt_i64(c)).collect()
+            let mut ws = PaillierScratch::new();
+            part.iter()
+                .map(|c| key.decrypt_i64_with(c, &mut ws))
+                .collect()
         })
     }
 
@@ -409,14 +463,23 @@ impl PaillierPrivate {
         // at the paper's 1024 bits each decrypt is ~0.6 ms and the
         // fan-out is a clean multi-core speedup.
         if threads <= 1 || cts.len() < 4 {
-            return cts.iter().map(|c| self.decrypt_i64(c)).collect();
+            let mut ws = PaillierScratch::new();
+            return cts
+                .iter()
+                .map(|c| self.decrypt_i64_with(c, &mut ws))
+                .collect();
         }
         let chunk = cts.len().div_ceil(threads);
         std::thread::scope(|s| {
             let handles: Vec<_> = cts
                 .chunks(chunk)
                 .map(|part| {
-                    s.spawn(move || part.iter().map(|c| self.decrypt_i64(c)).collect::<Vec<_>>())
+                    s.spawn(move || {
+                        let mut ws = PaillierScratch::new();
+                        part.iter()
+                            .map(|c| self.decrypt_i64_with(c, &mut ws))
+                            .collect::<Vec<_>>()
+                    })
                 })
                 .collect();
             handles
@@ -427,8 +490,40 @@ impl PaillierPrivate {
     }
 }
 
+impl PaillierPrivate {
+    /// A functional clone of this key whose Montgomery contexts force the
+    /// quadratic CIOS/SOS kernels (the PR 2 kernel) — the benchmark
+    /// baseline the two-phase Karatsuba + REDC kernel is compared
+    /// against in the same run. Not for production use.
+    pub fn with_cios_kernels(&self) -> PaillierPrivate {
+        let public = &self.public;
+        let crt = &self.crt;
+        PaillierPrivate {
+            public: PaillierPublic {
+                n: public.n.clone(),
+                n_squared: public.n_squared.clone(),
+                half_n: public.half_n.clone(),
+                mont_n2: Arc::new(Montgomery::with_kara_threshold(
+                    public.n_squared.clone(),
+                    usize::MAX,
+                )),
+            },
+            lambda: self.lambda.clone(),
+            mu: self.mu.clone(),
+            crt: CrtKey::with_kara_threshold(crt.p.clone(), crt.q.clone(), usize::MAX),
+        }
+    }
+}
+
 impl CrtKey {
     fn new(p: Ubig, q: Ubig) -> Self {
+        Self::with_kara_threshold(p, q, 0)
+    }
+
+    /// Builds the CRT tables; `threshold == 0` uses the tuned kernel
+    /// defaults, anything else forces that Karatsuba crossover on every
+    /// context (`usize::MAX` = pure CIOS/SOS, for benchmarking).
+    fn with_kara_threshold(p: Ubig, q: Ubig, threshold: usize) -> Self {
         let one = Ubig::one();
         let p_squared = p.mul(&p);
         let q_squared = q.mul(&q);
@@ -446,11 +541,18 @@ impl CrtKey {
             .expect("p invertible mod q for distinct primes");
         let q_inv_p = q.mod_inv(&p).expect("distinct primes");
         let p2_inv_q2 = p_squared.mod_inv(&q_squared).expect("distinct primes");
+        let ctx = |m: Ubig| {
+            if threshold == 0 {
+                Montgomery::new(m)
+            } else {
+                Montgomery::with_kara_threshold(m, threshold)
+            }
+        };
         CrtKey {
-            mont_p: Montgomery::new(p.clone()),
-            mont_q: Montgomery::new(q.clone()),
-            mont_p2: Montgomery::new(p_squared.clone()),
-            mont_q2: Montgomery::new(q_squared.clone()),
+            mont_p: ctx(p.clone()),
+            mont_q: ctx(q.clone()),
+            mont_p2: ctx(p_squared.clone()),
+            mont_q2: ctx(q_squared.clone()),
             q_mod_pm1: q.rem(&pm1),
             p_mod_qm1: p.rem(&qm1),
             p,
@@ -578,6 +680,36 @@ mod tests {
             .public()
             .encrypt_with_blinding(&sk.public().encode_i64(99), &blinding);
         assert_eq!(sk.decrypt_i64(&c), Some(99));
+    }
+
+    #[test]
+    fn cios_kernel_clone_agrees() {
+        // The benchmark baseline (forced quadratic kernels) must be a
+        // perfect functional clone of the tuned key.
+        let (sk, mut rng) = key();
+        let cios = sk.with_cios_kernels();
+        for v in [0i64, 31337, -123_456_789] {
+            let c = sk.encrypt_i64(v, &mut rng);
+            assert_eq!(cios.decrypt(&c), sk.decrypt(&c), "v={v}");
+            assert_eq!(cios.decrypt_i64(&c), Some(v));
+        }
+        let r = sk.sample_r(&mut rng);
+        assert_eq!(cios.blinding_from_r(&r), sk.blinding_from_r(&r));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        let (sk, mut rng) = key();
+        let mut ws = PaillierScratch::new();
+        for v in [5i64, -5, i64::MAX / 3] {
+            let c = sk.encrypt_i64(v, &mut rng);
+            assert_eq!(sk.decrypt_i64_with(&c, &mut ws), Some(v));
+            assert_eq!(sk.decrypt_with(&c, &mut ws), sk.decrypt(&c));
+        }
+        for _ in 0..3 {
+            let r = sk.sample_r(&mut rng);
+            assert_eq!(sk.blinding_from_r_with(&r, &mut ws), sk.blinding_from_r(&r));
+        }
     }
 
     #[test]

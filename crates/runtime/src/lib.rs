@@ -7,10 +7,14 @@
 //! machinery that keeps them off the hot path *permanently*:
 //!
 //! * [`WorkerPool`] — a long-lived, fixed-size worker pool fed by a
-//!   channel. It replaces the per-call `std::thread::scope` fan-out that
+//!   **two-lane job queue**: a priority lane ([`WorkerPool::execute_high`],
+//!   used by blinding refills) served ahead of the bulk lane
+//!   ([`WorkerPool::execute`], used by batch decrypt chunks and cache
+//!   warming), with an anti-starvation cap so neither lane can stall the
+//!   other. It replaces the per-call `std::thread::scope` fan-out that
 //!   batch SUM/AVG decryption used to pay on every result set: threads
 //!   are spawned once at proxy construction and jobs are dispatched with
-//!   one channel send. [`WorkerPool::map_chunked`] returns a
+//!   one queue push. [`WorkerPool::map_chunked`] returns a
 //!   [`PendingMap`] immediately, so the proxy can *pipeline* ciphertext
 //!   decryption with row post-processing (decrypt the HOM cells on the
 //!   pool while the calling thread peels RND/DET/OPE onions) and only
@@ -21,13 +25,18 @@
 //!   one multiplication instead of an exponentiation; the seed refilled
 //!   synchronously when the pool ran dry, which put the exponentiation
 //!   burst right back on the INSERT that drew the last factor. Here a
-//!   refill job is scheduled on the [`WorkerPool`] as soon as the pool
-//!   drops below its low-water mark, generating in small batches
-//!   *outside* the pool lock, so a steady-state INSERT never generates a
-//!   blinding factor inline (p99 ≈ p50; see `BENCH_runtime.json`).
-//!   An empty pool falls back to synchronous generation — counted in
-//!   [`BlindingStats::sync_refills`] so benches can assert the fallback
-//!   never fires after warmup.
+//!   refill job is scheduled on the [`WorkerPool`]'s priority lane as
+//!   soon as the pool drops below its low-water mark, generating in
+//!   small batches *outside* the pool lock, so a steady-state INSERT
+//!   never generates a blinding factor inline (p99 ≈ p50; see
+//!   `BENCH_runtime.json`). An empty pool falls back to synchronous
+//!   generation — counted in [`BlindingStats::sync_refills`] so benches
+//!   can assert the fallback never fires after warmup.
+//!   [`BlindingPool::new_adaptive`] additionally *sizes* the watermarks
+//!   from observed demand — take-rate EWMA × refill lead time plus a
+//!   safety margin, clamped between the configured floors and a ceiling
+//!   — so a demand surge (e.g. a 10× INSERT step) grows the pool before
+//!   it can run dry while calm periods settle back to the floors.
 //!
 //! The pool item type is generic (`BlindingPool<T>`): production wires
 //! it to `Ubig` blinding factors via a generator closure that owns an
@@ -57,6 +66,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -70,25 +80,80 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 // Worker pool
 // ---------------------------------------------------------------------
 
+/// Consecutive priority-lane pops a worker will serve while bulk work is
+/// waiting before it takes one bulk job — the priority lane cannot
+/// starve the bulk lane.
+const HIGH_STREAK_MAX: usize = 8;
+
+/// The two job lanes plus shutdown state, under one mutex.
+struct JobQueues {
+    /// Priority lane: blinding-pool refills and other latency-critical
+    /// maintenance. Popped ahead of `bulk`.
+    high: VecDeque<Job>,
+    /// Bulk lane: batch decrypt chunks, cache warming — throughput work.
+    bulk: VecDeque<Job>,
+    /// Consecutive high-lane pops while bulk was non-empty.
+    high_streak: usize,
+    closed: bool,
+}
+
+impl JobQueues {
+    /// Two-queue pop policy: priority first, but after
+    /// [`HIGH_STREAK_MAX`] consecutive priority jobs with bulk work
+    /// waiting, one bulk job is served (no starvation either way).
+    fn pop(&mut self) -> Option<Job> {
+        let serve_bulk =
+            self.high.is_empty() || (!self.bulk.is_empty() && self.high_streak >= HIGH_STREAK_MAX);
+        if serve_bulk {
+            if let Some(job) = self.bulk.pop_front() {
+                self.high_streak = 0;
+                return Some(job);
+            }
+        }
+        let job = self.high.pop_front();
+        if job.is_some() {
+            self.high_streak = if self.bulk.is_empty() {
+                0
+            } else {
+                self.high_streak + 1
+            };
+        }
+        job
+    }
+}
+
+/// Queue state shared with the workers — kept separate from
+/// [`PoolInner`] so worker threads do not keep the pool alive (its
+/// `Drop` is what closes the queues and joins them).
+struct PoolShared {
+    queues: Mutex<JobQueues>,
+    cond: Condvar,
+}
+
 struct PoolInner {
-    /// `Some` while the pool is alive; taken (closing the channel) on drop.
-    tx: Mutex<Option<Sender<Job>>>,
+    shared: Arc<PoolShared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     threads: usize,
 }
 
 impl Drop for PoolInner {
     fn drop(&mut self) {
-        // Closing the sender makes every worker's `recv` fail once the
-        // queue drains; then join them all.
-        lock(&self.tx).take();
+        // Mark closed and wake every worker; each drains what is already
+        // queued, then exits, and we join them all.
+        lock(&self.shared.queues).closed = true;
+        self.shared.cond.notify_all();
         for h in lock(&self.workers).drain(..) {
             let _ = h.join();
         }
     }
 }
 
-/// A long-lived, fixed-size worker pool fed by a channel.
+/// A long-lived, fixed-size worker pool fed by a two-lane job queue: a
+/// priority lane for latency-critical maintenance (blinding refills —
+/// [`WorkerPool::execute_high`]) that is served ahead of the bulk lane
+/// (batch decrypt chunks — [`WorkerPool::execute`]), with an
+/// anti-starvation cap so heavy refill traffic cannot stall bulk work
+/// indefinitely.
 ///
 /// Cloning is cheap (an `Arc` bump); the threads are joined when the
 /// last clone is dropped. Jobs that panic are contained per-job — the
@@ -102,23 +167,40 @@ impl WorkerPool {
     /// Spawns a pool with `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(PoolShared {
+            queues: Mutex::new(JobQueues {
+                high: VecDeque::new(),
+                bulk: VecDeque::new(),
+                high_streak: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        });
         let workers = (0..threads)
             .map(|i| {
-                let rx = rx.clone();
+                let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("cryptdb-runtime-{i}"))
                     .spawn(move || loop {
-                        // Hold the receiver lock only for the dequeue.
-                        let job = { lock(&rx).recv() };
+                        let job = {
+                            let mut q = lock(&shared.queues);
+                            loop {
+                                if let Some(job) = q.pop() {
+                                    break Some(job);
+                                }
+                                if q.closed {
+                                    break None;
+                                }
+                                q = shared.cond.wait(q).unwrap_or_else(|e| e.into_inner());
+                            }
+                        };
                         match job {
-                            Ok(job) => {
+                            Some(job) => {
                                 // A panicking job must not shrink the pool;
                                 // waiters observe it as a dropped channel.
                                 let _ = catch_unwind(AssertUnwindSafe(job));
                             }
-                            Err(_) => break, // Pool dropped: shut down.
+                            None => break, // Pool dropped and queues drained.
                         }
                     })
                     .expect("spawn runtime worker")
@@ -126,7 +208,7 @@ impl WorkerPool {
             .collect();
         WorkerPool {
             inner: Arc::new(PoolInner {
-                tx: Mutex::new(Some(tx)),
+                shared,
                 workers: Mutex::new(workers),
                 threads,
             }),
@@ -147,13 +229,27 @@ impl WorkerPool {
         self.inner.threads
     }
 
-    /// Enqueues a fire-and-forget job.
+    /// Enqueues a fire-and-forget job on the bulk lane.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        let tx = lock(&self.inner.tx);
-        if let Some(tx) = tx.as_ref() {
-            // Send only fails if every worker exited, which cannot happen
-            // while the sender is alive.
-            let _ = tx.send(Box::new(job));
+        let mut q = lock(&self.inner.shared.queues);
+        if !q.closed {
+            q.bulk.push_back(Box::new(job));
+            drop(q);
+            self.inner.shared.cond.notify_one();
+        }
+    }
+
+    /// Enqueues a fire-and-forget job on the priority lane: it is popped
+    /// ahead of any queued bulk work (subject to the anti-starvation
+    /// cap). Blinding-pool refills use this so a queued 64-cell batch
+    /// decryption cannot delay the refill that keeps INSERTs off the
+    /// synchronous fallback.
+    pub fn execute_high(&self, job: impl FnOnce() + Send + 'static) {
+        let mut q = lock(&self.inner.shared.queues);
+        if !q.closed {
+            q.high.push_back(Box::new(job));
+            drop(q);
+            self.inner.shared.cond.notify_one();
         }
     }
 
@@ -312,13 +408,74 @@ const REFILL_CHUNK: usize = 16;
 /// seed's dry-pool refill batch).
 const SYNC_BATCH: usize = 8;
 
+/// Extra pooled items the adaptive sizing keeps beyond the projected
+/// drain (absorbs scheduling jitter and the first-chunk generation
+/// latency of a refill).
+const ADAPTIVE_HEADROOM: usize = 8;
+
+/// Floor/ceiling clamps for adaptive watermark sizing
+/// ([`BlindingPool::new_adaptive`]). The configured static watermarks
+/// become the floors; `ceiling` bounds how far demand can grow them.
+struct AdaptiveCfg {
+    floor_low: usize,
+    floor_high: usize,
+    ceiling: usize,
+}
+
 struct BlindState<T> {
     items: VecDeque<T>,
-    /// Refill-to level; raised by [`BlindingPool::warm`].
+    /// Refill-to level; raised by [`BlindingPool::warm`] and, in
+    /// adaptive mode, resized from the demand estimate.
     target: usize,
+    /// Refill trigger level (dynamic in adaptive mode).
+    low_water: usize,
+    /// `warm()`-requested level: adaptive sizing never drops `target`
+    /// below this.
+    warm_floor: usize,
     refilling: bool,
     sync_refills: u64,
     async_refills: u64,
+    // Demand telemetry (adaptive mode only).
+    last_take: Option<Instant>,
+    /// EWMA of take inter-arrival time.
+    interarrival_ns: Option<f64>,
+    /// When the in-flight refill was scheduled.
+    refill_started: Option<Instant>,
+    /// EWMA of refill lead time (schedule → pool back at target).
+    lead_ns: Option<f64>,
+}
+
+impl<T> BlindState<T> {
+    /// Adaptive watermark sizing: the pool must carry enough items to
+    /// absorb the takes that arrive while a refill is in flight —
+    /// take-rate EWMA × refill lead time, doubled for safety, plus fixed
+    /// headroom — clamped to the configured floor/ceiling.
+    fn resize_watermarks(&mut self, cfg: &AdaptiveCfg) {
+        let (Some(ia), Some(lead)) = (self.interarrival_ns, self.lead_ns) else {
+            return;
+        };
+        let expected = (lead / ia.max(1.0)).ceil() as usize;
+        let low = (2 * expected + ADAPTIVE_HEADROOM).clamp(cfg.floor_low, cfg.ceiling);
+        let target = (2 * low)
+            .max(cfg.floor_high)
+            .min(cfg.ceiling)
+            .max(self.warm_floor);
+        self.low_water = low.min(target);
+        self.target = target;
+    }
+
+    /// Records a take arrival for the demand EWMA.
+    fn note_take(&mut self) {
+        let now = Instant::now();
+        if let Some(prev) = self.last_take {
+            let dt = now.duration_since(prev).as_nanos() as f64;
+            self.interarrival_ns = Some(match self.interarrival_ns {
+                Some(e) => 0.75 * e + 0.25 * dt,
+                None => dt,
+            });
+        }
+        self.last_take = Some(now);
+    }
 }
 
 struct BlindShared<T> {
@@ -328,7 +485,8 @@ struct BlindShared<T> {
     /// Generates `n` fresh items. Runs outside the state lock, possibly
     /// concurrently from several threads.
     generate: Box<dyn Fn(usize) -> Vec<T> + Send + Sync>,
-    low_water: usize,
+    /// `Some` = adaptive watermark mode.
+    adaptive: Option<AdaptiveCfg>,
 }
 
 /// Watermark-managed pre-compute pool (§3.5.2 ciphertext pre-computing).
@@ -350,6 +508,8 @@ pub struct BlindingStats {
     pub len: usize,
     /// Current refill-to level.
     pub target: usize,
+    /// Current refill trigger level (dynamic in adaptive mode).
+    pub low_water: usize,
     /// Times a taker found the pool dry and generated inline.
     pub sync_refills: u64,
     /// Background refill jobs scheduled.
@@ -357,7 +517,7 @@ pub struct BlindingStats {
 }
 
 impl<T: Send + 'static> BlindingPool<T> {
-    /// Creates a pool over `worker_pool` with the given watermarks.
+    /// Creates a pool over `worker_pool` with static watermarks.
     ///
     /// `generate(n)` must return `n` fresh items; it is called outside
     /// every lock and must be safe to run concurrently.
@@ -372,18 +532,69 @@ impl<T: Send + 'static> BlindingPool<T> {
         generate: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
     ) -> Self {
         assert!(low_water <= high_water, "low water above high water");
+        Self::build(worker_pool, low_water, high_water, None, generate)
+    }
+
+    /// Creates a pool with *adaptive* watermarks: the refill trigger and
+    /// target are sized from the observed take-rate EWMA × refill lead
+    /// time plus a safety margin, clamped between the configured floors
+    /// (`floor_low` / `floor_high` — the static values a non-adaptive
+    /// pool would use) and `ceiling`. A demand surge grows the pool
+    /// toward the ceiling before it can run dry; when demand subsides
+    /// the watermarks settle back to the floors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `floor_low ≤ floor_high ≤ ceiling`.
+    pub fn new_adaptive(
+        worker_pool: &WorkerPool,
+        floor_low: usize,
+        floor_high: usize,
+        ceiling: usize,
+        generate: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(
+            floor_low <= floor_high && floor_high <= ceiling,
+            "adaptive watermarks need floor_low <= floor_high <= ceiling"
+        );
+        Self::build(
+            worker_pool,
+            floor_low,
+            floor_high,
+            Some(AdaptiveCfg {
+                floor_low,
+                floor_high,
+                ceiling,
+            }),
+            generate,
+        )
+    }
+
+    fn build(
+        worker_pool: &WorkerPool,
+        low_water: usize,
+        high_water: usize,
+        adaptive: Option<AdaptiveCfg>,
+        generate: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    ) -> Self {
         BlindingPool {
             shared: Arc::new(BlindShared {
                 state: Mutex::new(BlindState {
                     items: VecDeque::new(),
                     target: high_water,
+                    low_water,
+                    warm_floor: 0,
                     refilling: false,
                     sync_refills: 0,
                     async_refills: 0,
+                    last_take: None,
+                    interarrival_ns: None,
+                    refill_started: None,
+                    lead_ns: None,
                 }),
                 cond: Condvar::new(),
                 generate: Box::new(generate),
-                low_water,
+                adaptive,
             }),
             pool: worker_pool.clone(),
         }
@@ -395,13 +606,17 @@ impl<T: Send + 'static> BlindingPool<T> {
     pub fn take(&self) -> T {
         let (item, schedule) = {
             let mut st = lock(&self.shared.state);
+            if let Some(cfg) = &self.shared.adaptive {
+                st.note_take();
+                st.resize_watermarks(cfg);
+            }
             let item = st.items.pop_front();
-            let schedule = !st.refilling
-                && st.target > 0
-                && (st.items.len() < self.shared.low_water || item.is_none());
+            let schedule =
+                !st.refilling && st.target > 0 && (st.items.len() < st.low_water || item.is_none());
             if schedule {
                 st.refilling = true;
                 st.async_refills += 1;
+                st.refill_started = Some(Instant::now());
             }
             (item, schedule)
         };
@@ -425,7 +640,10 @@ impl<T: Send + 'static> BlindingPool<T> {
 
     fn schedule_refill(&self) {
         let shared = self.shared.clone();
-        self.pool.execute(move || loop {
+        // Priority lane: a queued bulk batch (e.g. a 64-cell SUM
+        // decryption) must not delay the refill that keeps INSERT-side
+        // takers off the synchronous fallback.
+        self.pool.execute_high(move || loop {
             // The deficit check and the `refilling` hand-off must share
             // one lock hold: takers that drain the pool between a
             // deficit-is-zero read and a separate flag-clearing section
@@ -433,11 +651,28 @@ impl<T: Send + 'static> BlindingPool<T> {
             // a below-low-water pool with no refill in flight.
             let deficit = {
                 let mut st = lock(&shared.state);
-                let d = st.target.saturating_sub(st.items.len());
+                let mut d = st.target.saturating_sub(st.items.len());
                 if d == 0 {
-                    st.refilling = false;
-                    shared.cond.notify_all();
-                    return;
+                    // Refill complete: fold the observed lead time into
+                    // the EWMA and re-derive the watermarks — if demand
+                    // grew mid-refill, the resize can raise the target,
+                    // in which case this same job keeps generating.
+                    if let Some(start) = st.refill_started.take() {
+                        let lead = start.elapsed().as_nanos() as f64;
+                        st.lead_ns = Some(match st.lead_ns {
+                            Some(e) => 0.7 * e + 0.3 * lead,
+                            None => lead,
+                        });
+                        if let Some(cfg) = &shared.adaptive {
+                            st.resize_watermarks(cfg);
+                        }
+                    }
+                    d = st.target.saturating_sub(st.items.len());
+                    if d == 0 {
+                        st.refilling = false;
+                        shared.cond.notify_all();
+                        return;
+                    }
                 }
                 d
             };
@@ -452,10 +687,13 @@ impl<T: Send + 'static> BlindingPool<T> {
 
     /// Synchronously fills the pool to at least `n` items and raises the
     /// refill target to `max(target, n)` (the proxy's `precompute_hom`).
+    /// In adaptive mode the demand-derived target never drops below `n`
+    /// afterwards.
     pub fn warm(&self, n: usize) {
         let deficit = {
             let mut st = lock(&self.shared.state);
             st.target = st.target.max(n);
+            st.warm_floor = st.warm_floor.max(n);
             n.saturating_sub(st.items.len())
         };
         if deficit > 0 {
@@ -482,6 +720,7 @@ impl<T: Send + 'static> BlindingPool<T> {
         BlindingStats {
             len: st.items.len(),
             target: st.target,
+            low_water: st.low_water,
             sync_refills: st.sync_refills,
             async_refills: st.async_refills,
         }
@@ -685,6 +924,124 @@ mod tests {
         }
         bp.wait_ready();
         assert!(bp.len() <= bp.stats().target);
+    }
+
+    #[test]
+    fn priority_refill_overtakes_bulk_batch() {
+        // A refill enqueued *behind* a 64-cell bulk batch must complete
+        // first: with the single worker blocked on a gate job, queue 64
+        // bulk chunks, then one priority job, then open the gate.
+        let pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        pool.execute(move || {
+            let _ = gate_rx.recv();
+        });
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        for _ in 0..64 {
+            let order = order.clone();
+            pool.execute(move || lock(&order).push("bulk"));
+        }
+        {
+            let order = order.clone();
+            pool.execute_high(move || lock(&order).push("refill"));
+        }
+        gate_tx.send(()).unwrap();
+        // Joining a sentinel submitted *after* everything guarantees the
+        // queues drained (the sentinel is bulk, so it runs last).
+        pool.submit(|| ()).join();
+        let order = lock(&order);
+        assert_eq!(order.len(), 65);
+        assert_eq!(order[0], "refill", "priority job must run first");
+    }
+
+    #[test]
+    fn bulk_lane_is_not_starved_by_priority_traffic() {
+        let pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        pool.execute(move || {
+            let _ = gate_rx.recv();
+        });
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        // 5 bulk jobs queued first, then 40 priority jobs: the pop
+        // policy must interleave bulk despite the priority backlog.
+        for _ in 0..5 {
+            let order = order.clone();
+            pool.execute(move || lock(&order).push("bulk"));
+        }
+        for _ in 0..40 {
+            let order = order.clone();
+            pool.execute_high(move || lock(&order).push("high"));
+        }
+        gate_tx.send(()).unwrap();
+        pool.submit(|| ()).join();
+        let order = lock(&order);
+        let first_bulk = order.iter().position(|s| *s == "bulk").unwrap();
+        assert!(
+            first_bulk <= HIGH_STREAK_MAX,
+            "first bulk job ran at position {first_bulk}, starved past the streak cap"
+        );
+        assert_eq!(order.iter().filter(|s| **s == "bulk").count(), 5);
+    }
+
+    #[test]
+    fn adaptive_pool_absorbs_demand_step_without_going_dry() {
+        // Watermarks sized from take-rate EWMA × refill lead time: a 10×
+        // demand step must never hit the dry-pool synchronous fallback,
+        // and the target must grow from its floor to absorb the new rate.
+        let workers = WorkerPool::new(2);
+        let bp = BlindingPool::new_adaptive(&workers, 4, 32, 1024, move |n| {
+            // ~20 µs per item, far faster than either take rate below.
+            std::thread::sleep(Duration::from_micros(20 * n as u64));
+            (0..n as u64).collect::<Vec<u64>>()
+        });
+        // Warm well past the step's danger window: at the fast rate below
+        // the warmed pool alone holds ~16 ms of demand, so a multi-ms CI
+        // scheduler stall cannot drain it before the refill lands.
+        bp.warm(32);
+        // Phase A: slow demand (~5 ms between takes).
+        for _ in 0..30 {
+            bp.take();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let calm = bp.stats();
+        assert_eq!(calm.sync_refills, 0, "slow phase must never run dry");
+        // Phase B: 10× step (~500 µs between takes).
+        for _ in 0..300 {
+            bp.take();
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let surged = bp.stats();
+        assert_eq!(
+            surged.sync_refills, 0,
+            "10× demand step hit the dry-pool fallback (target {}, low {})",
+            surged.target, surged.low_water
+        );
+        assert!(
+            surged.target >= calm.target,
+            "target must not shrink under a demand surge ({} -> {})",
+            calm.target,
+            surged.target
+        );
+        assert!(surged.target <= 1024, "ceiling must bound the target");
+        assert!(surged.low_water >= 4, "floor must bound the trigger");
+        bp.wait_ready();
+    }
+
+    #[test]
+    fn adaptive_watermarks_respect_warm_floor() {
+        let workers = WorkerPool::new(1);
+        let bp = BlindingPool::new_adaptive(&workers, 2, 8, 256, |n| (0..n as u64).collect());
+        bp.warm(64);
+        // Take a few (fast arrivals) so the resize logic runs.
+        for _ in 0..16 {
+            bp.take();
+        }
+        bp.wait_ready();
+        assert!(
+            bp.stats().target >= 64,
+            "warm(64) floor violated: target {}",
+            bp.stats().target
+        );
     }
 
     #[test]
