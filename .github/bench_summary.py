@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Render BENCH_*.json gate status + e2e throughput as a GitHub step
+summary (markdown). Usage: bench_summary.py FILE [FILE ...]; missing
+files are skipped so a failed bench still summarises the others."""
+import json
+import sys
+
+# Gate display policy for files with a "gates" section: name ->
+# (kind, threshold). "min" gates pass at or above the threshold, "flag"
+# gates pass when == expected, anything unlisted is informational.
+# Thresholds mirror each bench's own enforcement (see the bench source
+# and BENCHMARKS.md).
+GATE_POLICY = {
+    # BENCH_runtime.json
+    "batch_pool_vs_scoped": ("min", 0.97),
+    "blinding_spike_free": ("flag", 1.0),
+    "background_refill_clean": ("flag", 1.0),
+    "ope_bounded": ("flag", 1.0),
+    # BENCH_e2e.json
+    "scaling_4_vs_1": ("min", 2.0),
+    "concurrent_matches_serial": ("flag", 1.0),
+    "serving_errors": ("flag", 0.0),
+}
+
+
+def verdict(name, value):
+    kind, threshold = GATE_POLICY.get(name, ("info", None))
+    if kind == "min":
+        return ("✅" if value >= threshold else "❌"), f">= {threshold}"
+    if kind == "flag":
+        return ("✅" if value == threshold else "❌"), f"== {threshold:g}"
+    return "·", ""
+
+
+def gate_rows(path, data):
+    # BENCH_paillier.json style: thresholds live in "enforced_gates" and
+    # measured values in "speedups".
+    if "enforced_gates" in data:
+        speedups = data.get("speedups", {})
+        for name, threshold in data["enforced_gates"].items():
+            value = speedups.get(name)
+            if value is None:
+                continue
+            status = "✅" if value >= threshold else "❌"
+            yield path, name, value, f">= {threshold}", status
+    for name, value in data.get("gates", {}).items():
+        status, bar = verdict(name, value)
+        yield path, name, value, bar, status
+
+
+def main(paths):
+    print("## Bench gates\n")
+    print("| file | gate | value | bar | status |")
+    print("|---|---|---:|---|---|")
+    loaded = {}
+    for path in paths:
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except OSError:
+            print(f"| {path} | _missing_ | | | ⚠️ |")
+            continue
+        loaded[path] = data
+        for file, name, value, bar, status in gate_rows(path, data):
+            print(f"| {file} | {name} | {value:g} | {bar} | {status} |")
+    e2e = loaded.get("BENCH_e2e.json")
+    if e2e:
+        print("\n## Serving throughput (reduced size)\n")
+        print(
+            f"{e2e.get('modulus_bits', '?')}-bit keys, "
+            f"{e2e.get('steps_per_session', '?')} steps/session, "
+            f"{e2e.get('host_parallelism', '?')} host threads, "
+            f"{e2e.get('worker_threads', '?')} pool workers\n"
+        )
+        print("| sessions | queries/sec | p50 | p99 |")
+        print("|---:|---:|---:|---:|")
+        for key, row in sorted(
+            e2e.get("results", {}).items(),
+            key=lambda kv: int(kv[0].rsplit("_", 1)[-1]),
+        ):
+            n = key.rsplit("_", 1)[-1]
+            print(
+                f"| {n} | {row['qps']:.1f} | "
+                f"{row['p50_ns'] / 1e6:.3f} ms | {row['p99_ns'] / 1e6:.3f} ms |"
+            )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or ["BENCH_paillier.json", "BENCH_runtime.json", "BENCH_e2e.json"])

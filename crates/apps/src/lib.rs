@@ -16,12 +16,16 @@
 //! * [`trace`] — a seeded synthetic stand-in for the sql.mit.edu trace
 //!   (126 M queries / 128,840 columns), calibrated to the published
 //!   per-class marginals (see DESIGN.md substitution table).
+//! * [`mixed`] — tpcc + phpbb + hotcrp interleaved into deterministic,
+//!   order-commutative per-session traces for the concurrent serving
+//!   harness (`crates/server`, `e2e_throughput`).
 
 #![forbid(unsafe_code)]
 
 pub mod gradapply;
 pub mod hotcrp;
 pub mod mit602;
+pub mod mixed;
 pub mod openemr;
 pub mod phpbb;
 pub mod phpcalendar;

@@ -156,7 +156,18 @@ impl ColumnKeys {
         }
         let c = match self.ope_walker.try_lock() {
             Some(mut walker) => walker.encrypt(m)?,
-            None => self.ope.encrypt(m)?,
+            None => {
+                // Contended walker. Before paying a full cacheless tree
+                // walk, re-check the result map: under a thundering herd
+                // on the same hot value (concurrent sessions inserting
+                // the same constant) the thread holding the walker is
+                // usually computing exactly this plaintext and has just
+                // published it.
+                if let Some(&c) = self.ope_results.read().get(&m) {
+                    return Ok(c);
+                }
+                self.ope.encrypt(m)?
+            }
         };
         let mut results = self.ope_results.write();
         if results.len() >= self.ope_result_cap && !results.contains_key(&m) {

@@ -26,6 +26,7 @@
 
 pub mod colcrypt;
 pub mod error;
+pub mod memo;
 pub mod multiprincipal;
 pub mod onion;
 pub mod proxy;

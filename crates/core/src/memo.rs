@@ -1,0 +1,146 @@
+//! Sharded, bounded read-through memo for encrypted-constant caching.
+//!
+//! The §3.5.2 "caching … encryptions of frequently used constants" memo
+//! used to be one `Mutex<HashMap>`: every session's every memoised
+//! equality constant — hit or miss — serialised on a single proxy-global
+//! lock, and the map grew without bound under a long-running workload.
+//! [`ShardedMemo`] fixes both: keys hash to one of a fixed set of
+//! shards, each behind its own `RwLock`, so read-mostly sessions take a
+//! shard-local *read* lock and proceed in parallel; and each shard is
+//! capacity-bounded with the same random-replacement admission policy as
+//! `ColumnKeys`' OPE result map (O(1), and a hot value that keeps
+//! missing re-inserts itself faster than it gets displaced).
+
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Number of independent lock shards. A small power of two: enough that
+/// 8+ concurrent sessions rarely collide on one lock, small enough that
+/// the per-shard maps stay cache-friendly.
+const SHARDS: usize = 16;
+
+/// A sharded, capacity-bounded memo map.
+///
+/// `get` takes a shard-local read lock; `insert` a shard-local write
+/// lock. At the per-shard capacity, inserts of new keys evict an
+/// arbitrary resident entry (random replacement) so a shifted hot set
+/// still works its way in instead of being locked out by whatever
+/// filled the memo first.
+pub struct ShardedMemo<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    /// Per-shard entry bound (total bound = `SHARDS * shard_cap`).
+    shard_cap: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedMemo<K, V> {
+    /// A memo bounded at (roughly) `capacity` total entries.
+    pub fn new(capacity: usize) -> Self {
+        ShardedMemo {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_cap: capacity.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks `key` up under the shard's read lock.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Inserts under the shard's write lock, evicting an arbitrary
+    /// entry first when the shard is at capacity and `key` is new.
+    pub fn insert(&self, key: K, value: V) {
+        let mut shard = self.shard(&key).write();
+        if shard.len() >= self.shard_cap && !shard.contains_key(&key) {
+            if let Some(victim) = shard.keys().next().cloned() {
+                shard.remove(&victim);
+            }
+        }
+        if shard.len() < self.shard_cap || shard.contains_key(&key) {
+            shard.insert(key, value);
+        }
+    }
+
+    /// Total entries across all shards (O(shards)).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no entries are memoised.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The total capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * SHARDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_roundtrip() {
+        let memo: ShardedMemo<u64, String> = ShardedMemo::new(1000);
+        assert!(memo.get(&7).is_none());
+        memo.insert(7, "seven".into());
+        assert_eq!(memo.get(&7).as_deref(), Some("seven"));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn stays_bounded_under_distinct_key_flood() {
+        let memo: ShardedMemo<u64, u64> = ShardedMemo::new(256);
+        for k in 0..100_000u64 {
+            memo.insert(k, k * 2);
+        }
+        assert!(
+            memo.len() <= memo.capacity(),
+            "memo grew to {} past its {} bound",
+            memo.len(),
+            memo.capacity()
+        );
+    }
+
+    #[test]
+    fn new_keys_admitted_at_capacity() {
+        let memo: ShardedMemo<u64, u64> = ShardedMemo::new(64);
+        for k in 0..10_000u64 {
+            memo.insert(k, k);
+        }
+        // A fresh key must still get in (random replacement, not
+        // first-in-wins lockout).
+        memo.insert(999_999, 1);
+        assert_eq!(memo.get(&999_999), Some(1));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let memo = std::sync::Arc::new(ShardedMemo::<u64, u64>::new(1024));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let memo = memo.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = (t * 1_000 + i) % 1_500;
+                        memo.insert(k, k);
+                        assert!(memo.get(&k).is_none() || memo.get(&k) == Some(k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(memo.len() <= memo.capacity());
+    }
+}

@@ -18,6 +18,7 @@ use cryptdb_crypto::authenc;
 use cryptdb_crypto::prf::{password_kdf, Key};
 use cryptdb_ecgroup::{EciesKeypair, EciesPublic};
 use cryptdb_engine::{Engine, Value};
+use parking_lot::RwLock;
 use rand::RngCore;
 use std::collections::{HashMap, HashSet};
 
@@ -37,11 +38,20 @@ fn sql_str(s: &str) -> String {
 }
 
 /// Multi-principal state held by the proxy.
+///
+/// Concurrency shape: the proxy keeps this behind an outer `RwLock`.
+/// Everything that *mutates* durable state (type registration, login,
+/// logout, edge creation) takes `&mut self` and therefore the outer
+/// write lock; key *resolution* — the per-query hot path when
+/// decrypting `ENC FOR` columns — takes only `&self`, so concurrent
+/// read-mostly sessions resolve keys in parallel. The derived-key cache
+/// it fills is interior (`RwLock`-wrapped) for exactly that reason.
 pub struct MultiPrincipal {
     /// Registered principal types: name → is-external.
     princ_types: HashMap<String, bool>,
     /// Keys currently reachable (the proxy's "active keys" in Fig. 1).
-    active: HashMap<Principal, Key>,
+    /// Interior lock so chain resolution can cache under `&self`.
+    active: RwLock<HashMap<Principal, Key>>,
     /// Logged-in external users: username → their principal key.
     logged_in: HashMap<String, Key>,
     /// Named SQL predicate templates for `IF pred(...)` annotations
@@ -65,7 +75,7 @@ impl MultiPrincipal {
         }
         MultiPrincipal {
             princ_types: HashMap::new(),
-            active: HashMap::new(),
+            active: RwLock::new(HashMap::new()),
             logged_in: HashMap::new(),
             predicates: HashMap::new(),
         }
@@ -98,7 +108,7 @@ impl MultiPrincipal {
 
     /// Number of currently active (reachable) principal keys.
     pub fn active_count(&self) -> usize {
-        self.active.len()
+        self.active.read().len()
     }
 
     /// True if any user is logged in.
@@ -148,25 +158,29 @@ impl MultiPrincipal {
                 hex(&wrapped_secret)
             ))
             .map_err(ProxyError::Engine)?;
-        self.active.insert(p.clone(), sym);
+        self.active.write().insert(p.clone(), sym);
         Ok(sym)
     }
 
     /// Resolves a principal's key by following the access-key chain from
     /// the currently active keys (§4.2). Returns `None` when no chain
     /// from a logged-in user reaches it.
-    pub fn resolve_key(&mut self, engine: &Engine, p: &Principal) -> Option<Key> {
+    ///
+    /// `&self`: resolution only *caches* (into the interior `active`
+    /// map), so concurrent sessions decrypting `ENC FOR` columns run it
+    /// under the proxy's read lock without serialising each other.
+    pub fn resolve_key(&self, engine: &Engine, p: &Principal) -> Option<Key> {
         let mut visiting = HashSet::new();
         self.resolve_inner(engine, p, &mut visiting)
     }
 
     fn resolve_inner(
-        &mut self,
+        &self,
         engine: &Engine,
         p: &Principal,
         visiting: &mut HashSet<Principal>,
     ) -> Option<Key> {
-        if let Some(k) = self.active.get(p) {
+        if let Some(k) = self.active.read().get(p) {
             return Some(*k);
         }
         if !visiting.insert(p.clone()) {
@@ -202,7 +216,7 @@ impl MultiPrincipal {
             };
             if let Some(bytes) = unwrapped {
                 let key: Key = bytes.try_into().ok()?;
-                self.active.insert(p.clone(), key);
+                self.active.write().insert(p.clone(), key);
                 return Some(key);
             }
         }
@@ -335,7 +349,7 @@ impl MultiPrincipal {
         for (ptype, external) in self.princ_types.clone() {
             if external {
                 let p = (ptype.clone(), username.to_string());
-                self.active.insert(p.clone(), key);
+                self.active.write().insert(p.clone(), key);
                 // Make sure the external principal can also receive
                 // public-key wrapped material while offline.
                 if !self.principal_exists(engine, &p) {
@@ -367,12 +381,12 @@ impl MultiPrincipal {
         self.logged_in.remove(username);
         // Drop the whole derived-key cache and re-seed from the users who
         // remain logged in; chains re-resolve on demand.
-        self.active.clear();
-        let logged_in = self.logged_in.clone();
-        for (ptype, external) in self.princ_types.clone() {
-            if external {
-                for (user, key) in &logged_in {
-                    self.active.insert((ptype.clone(), user.clone()), *key);
+        let active = self.active.get_mut();
+        active.clear();
+        for (ptype, external) in &self.princ_types {
+            if *external {
+                for (user, key) in &self.logged_in {
+                    active.insert((ptype.clone(), user.clone()), *key);
                 }
             }
         }

@@ -10,6 +10,7 @@ use crate::colcrypt::{
     encrypt_ord_constant, ColumnKeys, EncryptedCell, OnionSet,
 };
 use crate::error::ProxyError;
+use crate::memo::ShardedMemo;
 use crate::multiprincipal::{MultiPrincipal, Principal};
 use crate::onion::{EqLevel, OpClass, OrdLevel, SecLevel};
 use crate::schema::{ColumnState, EncSchema, TableState};
@@ -26,7 +27,7 @@ use cryptdb_sqlparser::{
     parse, BinOp, ColumnDef, ColumnRef, ColumnType, CreateTable, Delete, Expr, Insert, Literal,
     OrderBy, Select, SelectItem, SpeakerRef, Stmt, TableRef, Update,
 };
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -136,14 +137,26 @@ pub struct Proxy {
     runtime: WorkerPool,
     /// §3.5.2 blinding-factor pool with background watermark refills.
     hom_pool: BlindingPool<Ubig>,
-    eq_memo: Mutex<HashMap<EqMemoKey, Value>>,
-    mp: Mutex<MultiPrincipal>,
+    /// Equality-constant memo (§3.5.2 "caching … encryptions of
+    /// frequently used constants"): sharded so concurrent sessions'
+    /// lookups don't serialise on one proxy-global lock, and bounded
+    /// (like the OPE result cache) so a long-running workload with
+    /// many distinct constants cannot grow it without limit.
+    eq_memo: ShardedMemo<EqMemoKey, Value>,
+    /// Multi-principal state: read lock for key resolution (the
+    /// per-query path), write lock for login/logout/delegation.
+    mp: RwLock<MultiPrincipal>,
 }
 
 /// Cache key for equality-constant encryptions: the column plus the
 /// current JOIN-ADJ key owner (re-keying a column naturally invalidates
 /// its cached constants).
 type EqMemoKey = (String, String, String, String, Value);
+
+/// Bound on memoised equality-constant encryptions — the paper's
+/// §3.5.2 "most common values" working set, matching `OpeCached`'s
+/// default result cap.
+const EQ_MEMO_CAP: usize = 30_000;
 
 impl Proxy {
     /// Creates a proxy in front of `engine` with master key `mk`.
@@ -193,8 +206,8 @@ impl Proxy {
             key_cache: RwLock::new(HashMap::new()),
             runtime,
             hom_pool,
-            eq_memo: Mutex::new(HashMap::new()),
-            mp: Mutex::new(mp),
+            eq_memo: ShardedMemo::new(EQ_MEMO_CAP),
+            mp: RwLock::new(mp),
         }
     }
 
@@ -217,7 +230,7 @@ impl Proxy {
     /// annotations (e.g. HotCRP's NoConflict). `$1`, `$2`, ... in the
     /// template are replaced by the annotation's argument values.
     pub fn register_predicate(&self, name: &str, sql_template: &str) {
-        self.mp.lock().register_predicate(name, sql_template);
+        self.mp.write().register_predicate(name, sql_template);
     }
 
     /// Sets the §3.5.1 minimum onion layer for a column.
@@ -379,13 +392,13 @@ impl Proxy {
     pub fn login(&self, username: &str, password: &str) -> Result<(), ProxyError> {
         let mut rng = rand::thread_rng();
         self.mp
-            .lock()
+            .write()
             .login(&self.engine, username, password, &mut rng)
     }
 
     /// Logs a user out (equivalent to `DELETE FROM cryptdb_active ...`).
     pub fn logout(&self, username: &str) {
-        self.mp.lock().logout(username);
+        self.mp.write().logout(username);
     }
 
     /// Parses and executes a string of statements, returning the last
@@ -411,7 +424,7 @@ impl Proxy {
         }
         match stmt {
             Stmt::PrincType { names, external } => {
-                self.mp.lock().register_types(names, *external);
+                self.mp.write().register_types(names, *external);
                 Ok(QueryResult::Ok)
             }
             Stmt::CreateTable(ct) => self.create_table(ct),
@@ -488,14 +501,25 @@ impl Proxy {
         if let Some(k) = self.key_cache.read().get(&cache_key) {
             return k.clone();
         }
+        // Derive outside the write lock (it builds OPE instances), then
+        // re-check: concurrent sessions racing on a cold column must
+        // converge on ONE `ColumnKeys` — its interior OPE caches are
+        // per-instance, so a per-session duplicate would silently lose
+        // the shared-cache hit rate (and the derivation work).
         let keys = Arc::new(ColumnKeys::derive(
             root,
             &cache_key.0,
             &cache_key.1,
             ope_group,
         ));
-        self.key_cache.write().insert(cache_key, keys.clone());
-        keys
+        let mut cache = self.key_cache.write();
+        cache.entry(cache_key).or_insert(keys).clone()
+    }
+
+    /// Number of memoised equality-constant encryptions (observability
+    /// for the §3.5.2 memo bound).
+    pub fn eq_memo_len(&self) -> usize {
+        self.eq_memo.len()
     }
 
     fn master_col_keys(&self, col: &ColumnState, table: &str) -> Arc<ColumnKeys> {

@@ -993,7 +993,7 @@ impl Proxy {
         })?;
         // Validate principal types referenced by annotations.
         {
-            let mp = self.mp.lock();
+            let mp = self.mp.read();
             for cd in &ct.columns {
                 if let Some(ef) = &cd.enc_for {
                     if !mp.has_type(&ef.princ_type) {
@@ -1496,8 +1496,8 @@ impl<'a> SelectRw<'a> {
             v.clone(),
         );
         if self.proxy.config.precompute {
-            if let Some(hit) = self.proxy.eq_memo.lock().get(&memo_key) {
-                return Ok(hit.clone());
+            if let Some(hit) = self.proxy.eq_memo.get(&memo_key) {
+                return Ok(hit);
             }
         }
         let own_keys = self
@@ -1516,7 +1516,7 @@ impl<'a> SelectRw<'a> {
             col.has_jtag,
         )?;
         if self.proxy.config.precompute {
-            self.proxy.eq_memo.lock().insert(memo_key, out.clone());
+            self.proxy.eq_memo.insert(memo_key, out.clone());
         }
         Ok(out)
     }
@@ -2079,7 +2079,7 @@ impl Proxy {
                 let cs = locked_col(&schema, table, col)?;
                 let id = value_id_string(&dec[*key_idx]);
                 let principal: Principal = (ptype.clone(), id);
-                let root = self.mp.lock().resolve_key(&self.engine, &principal);
+                let root = self.mp.read().resolve_key(&self.engine, &principal);
                 match root {
                     None => dec[i] = row[i].clone(), // Undecryptable: ciphertext.
                     Some(root) => {
@@ -2101,11 +2101,24 @@ impl Proxy {
             }
             out_rows.push(dec);
         }
+        // The onion passes above are done with the schema; release the
+        // read guard BEFORE joining the HOM batch. wait_help below may
+        // inline-run another session's queued statement on this thread,
+        // and an INSERT takes `schema.write()` — with the guard still
+        // held that same-thread read→write upgrade would deadlock (the
+        // locks are non-reentrant). Masked on a single-worker pool,
+        // where the pending batch is pre-resolved; live on multicore.
+        drop(schema);
         // Join the pipelined HOM batch and fill the aggregate slots.
         if !hom_slots.is_empty() {
             let mut hom_cells: HashMap<(usize, usize), Option<i64>> = HashMap::new();
             if let Some(pending) = pending_hom {
-                for (key, v) in hom_refs.into_iter().zip(pending.wait()) {
+                // Help-while-waiting: this thread may itself BE a pool
+                // worker (the serving layer dispatches client sessions
+                // as pool jobs), in which case a plain wait could leave
+                // every worker blocked on chunks queued behind other
+                // sessions — help_one keeps the queue draining.
+                for (key, v) in hom_refs.into_iter().zip(pending.wait_help(&self.runtime)) {
                     hom_cells.insert(key, v);
                 }
             }

@@ -123,12 +123,28 @@ impl Proxy {
             ))
         })?;
         let principal: Principal = (ef.princ_type.to_lowercase(), value_id_string(id_val));
-        let mut mp = self.mp.lock();
-        let mut rng = rand::thread_rng();
-        if !mp.principal_exists(&self.engine, &principal) {
-            return mp.create_principal(&self.engine, &principal, &mut rng);
+        // Fast path under the read lock: the principal exists and its
+        // key is reachable (every INSERT after the first for a given
+        // principal). Only principal *creation* needs the write lock.
+        {
+            let mp = self.mp.read();
+            if mp.principal_exists(&self.engine, &principal) {
+                return self.reachable_key(&mp, &principal);
+            }
         }
-        mp.resolve_key(&self.engine, &principal).ok_or_else(|| {
+        let mut mp = self.mp.write();
+        let mut rng = rand::thread_rng();
+        // Re-check: another session may have created it between locks.
+        if mp.principal_exists(&self.engine, &principal) {
+            return self.reachable_key(&mp, &principal);
+        }
+        mp.create_principal(&self.engine, &principal, &mut rng)
+    }
+
+    /// Resolves a principal's key, mapping an unreachable chain to
+    /// [`ProxyError::KeyUnavailable`].
+    fn reachable_key(&self, mp: &MultiPrincipal, principal: &Principal) -> Result<Key, ProxyError> {
+        mp.resolve_key(&self.engine, principal).ok_or_else(|| {
             ProxyError::KeyUnavailable(format!(
                 "no logged-in user can reach principal ({}, {})",
                 principal.0, principal.1
@@ -216,11 +232,15 @@ impl Proxy {
                         continue;
                     }
                     // Best effort: only delegable if we can reach the key.
-                    let object_key = { self.mp.lock().resolve_key(&self.engine, &object) };
+                    let object_key = { self.mp.read().resolve_key(&self.engine, &object) };
                     if let Some(key) = object_key {
-                        self.mp
-                            .lock()
-                            .add_edge(&self.engine, &speaker, &object, &key, &mut rng)?;
+                        self.mp.write().add_edge(
+                            &self.engine,
+                            &speaker,
+                            &object,
+                            &key,
+                            &mut rng,
+                        )?;
                     }
                 }
             }
@@ -277,14 +297,26 @@ impl Proxy {
                 continue;
             }
             let object_key = {
-                let mut mp = self.mp.lock();
-                if !mp.principal_exists(&self.engine, &object) {
-                    if !create_missing_object {
-                        continue;
+                let existing = {
+                    let mp = self.mp.read();
+                    if mp.principal_exists(&self.engine, &object) {
+                        Some(mp.resolve_key(&self.engine, &object))
+                    } else {
+                        None
                     }
-                    Some(mp.create_principal(&self.engine, &object, &mut rng)?)
-                } else {
-                    mp.resolve_key(&self.engine, &object)
+                };
+                match existing {
+                    Some(key) => key,
+                    None if !create_missing_object => continue,
+                    None => {
+                        let mut mp = self.mp.write();
+                        // Re-check under the write lock (racing sessions).
+                        if mp.principal_exists(&self.engine, &object) {
+                            mp.resolve_key(&self.engine, &object)
+                        } else {
+                            Some(mp.create_principal(&self.engine, &object, &mut rng)?)
+                        }
+                    }
                 }
             };
             let Some(key) = object_key else {
@@ -295,7 +327,7 @@ impl Proxy {
                 )));
             };
             self.mp
-                .lock()
+                .write()
                 .add_edge(&self.engine, &speaker, &object, &key, &mut rng)?;
         }
         Ok(())
@@ -381,7 +413,7 @@ impl Proxy {
             }
             Expr::Func { name, args, .. } => {
                 let template = {
-                    let mp = self.mp.lock();
+                    let mp = self.mp.read();
                     mp.predicate(name).cloned()
                 }
                 .ok_or_else(|| {
@@ -536,7 +568,7 @@ impl Proxy {
                         let principal: Principal =
                             (ef.princ_type.to_lowercase(), value_id_string(&id));
                         self.mp
-                            .lock()
+                            .read()
                             .resolve_key(&self.engine, &principal)
                             .ok_or_else(|| {
                                 ProxyError::KeyUnavailable(format!(
@@ -687,7 +719,7 @@ impl Proxy {
                 .map(|v| (ann.speaker_type.to_lowercase(), value_id_string(v)))
                 .collect(),
         };
-        let mut mp = self.mp.lock();
+        let mut mp = self.mp.write();
         for sp in speakers {
             mp.remove_edge(&self.engine, &sp, &object)?;
         }

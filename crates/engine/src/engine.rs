@@ -37,6 +37,38 @@ impl QueryResult {
     pub fn scalar(&self) -> Option<&Value> {
         self.rows().first().and_then(|r| r.first())
     }
+
+    /// Canonical text form of a result set: one `|`-joined line per row,
+    /// lines sorted, so two result sets compare equal iff they hold the
+    /// same *multiset* of rows. Row order out of a concurrent run is
+    /// schedule-dependent (insertion order differs run to run), so the
+    /// end-to-end correctness harnesses compare canonical dumps of the
+    /// concurrent run against a serial oracle replay.
+    pub fn canonical_text(&self) -> String {
+        let fmt_cell = |v: &Value| -> String {
+            match v {
+                Value::Null => "NULL".into(),
+                Value::Int(i) => i.to_string(),
+                // Escape the separator/line characters so the multiset
+                // property survives strings containing '|' or newlines
+                // (otherwise cell and row boundaries become ambiguous).
+                Value::Str(s) => format!(
+                    "'{}'",
+                    s.replace('\\', "\\\\")
+                        .replace('\n', "\\n")
+                        .replace('|', "\\|")
+                ),
+                Value::Bytes(b) => b.iter().map(|x| format!("{x:02x}")).collect(),
+            }
+        };
+        let mut lines: Vec<String> = self
+            .rows()
+            .iter()
+            .map(|row| row.iter().map(fmt_cell).collect::<Vec<_>>().join("|"))
+            .collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    }
 }
 
 /// The in-memory DBMS server.

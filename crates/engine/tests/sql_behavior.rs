@@ -386,3 +386,25 @@ fn concurrent_reads_and_writes() {
     let r = e.execute_sql("SELECT COUNT(*) FROM dept").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(3 + 100)));
 }
+
+#[test]
+fn canonical_text_is_order_insensitive() {
+    let e = db();
+    // Same rows inserted in different orders must dump identically;
+    // different content must not.
+    let a = e
+        .execute_sql("SELECT name, salary FROM emp ORDER BY salary")
+        .unwrap();
+    let b = e
+        .execute_sql("SELECT name, salary FROM emp ORDER BY name")
+        .unwrap();
+    assert_eq!(a.canonical_text(), b.canonical_text());
+    let c = e.execute_sql("SELECT name FROM emp").unwrap();
+    assert_ne!(a.canonical_text(), c.canonical_text());
+    // NULL, int, str and bytes all have distinct stable renderings.
+    e.execute_sql("CREATE TABLE m (v int)").unwrap();
+    e.execute_sql("INSERT INTO m (v) VALUES (NULL); INSERT INTO m (v) VALUES (7)")
+        .unwrap();
+    let d = e.execute_sql("SELECT v FROM m").unwrap();
+    assert_eq!(d.canonical_text(), "7\nNULL");
+}

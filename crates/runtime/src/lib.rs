@@ -142,8 +142,19 @@ impl Drop for PoolInner {
         // queued, then exits, and we join them all.
         lock(&self.shared.queues).closed = true;
         self.shared.cond.notify_all();
+        let me = std::thread::current().id();
         for h in lock(&self.workers).drain(..) {
-            let _ = h.join();
+            if h.thread().id() == me {
+                // The last pool reference was dropped from *inside* a
+                // pool job (e.g. a serving-layer session chain whose
+                // final job outlived the caller's handle). A thread
+                // cannot join itself — detach this worker's handle; the
+                // worker exits on its own as soon as it observes the
+                // closed queue.
+                drop(h);
+            } else {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -263,6 +274,28 @@ impl WorkerPool {
             let _ = tx.send(f());
         });
         TaskHandle { rx, _tx: None }
+    }
+
+    /// Pops one queued job (same two-lane policy as the workers) and
+    /// runs it on the calling thread; `false` when nothing is queued.
+    ///
+    /// This is the cooperative-scheduling primitive behind
+    /// [`PendingMap::wait_help`]: a thread that must block on pool
+    /// results — possibly a pool worker itself, when session jobs run
+    /// *on* the pool — keeps the queues draining instead of idling.
+    /// Without it, a serving layer that fans client sessions out over
+    /// the pool deadlocks as soon as every worker blocks waiting on
+    /// decrypt chunks queued behind other session jobs.
+    pub fn help_one(&self) -> bool {
+        let job = lock(&self.inner.shared.queues).pop();
+        match job {
+            Some(job) => {
+                // Same per-job panic containment as the workers.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Splits `items` into at most `max_chunks` contiguous chunks, maps
@@ -389,6 +422,64 @@ impl<U> PendingMap<U> {
             let (idx, part) = self.rx.recv().expect("runtime worker panicked");
             parts[idx] = Some(part);
         }
+        self.assemble(parts)
+    }
+
+    /// Like [`Self::wait`], but the waiting thread *helps the pool*
+    /// while its chunks are outstanding: it pops and runs queued jobs
+    /// (via [`WorkerPool::help_one`]) instead of parking.
+    ///
+    /// Callers that may themselves be pool workers — e.g. a proxy whose
+    /// client sessions are dispatched as pool jobs and whose result
+    /// decryption fans chunks out to the *same* pool — MUST use this
+    /// form: with plain `wait`, all workers can end up blocked on
+    /// chunks that are queued behind the very session jobs occupying
+    /// them, and no thread remains to run anything. Helping makes that
+    /// configuration deadlock-free (every blocked wait either receives
+    /// a result or makes global progress by running a queued job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chunk's job panicked.
+    pub fn wait_help(self, pool: &WorkerPool) -> Vec<U> {
+        if let Some(ready) = self.ready {
+            return ready;
+        }
+        let mut parts: Vec<Option<Vec<U>>> = (0..self.chunks).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < self.chunks {
+            match self.rx.try_recv() {
+                Ok((idx, part)) => {
+                    parts[idx] = Some(part);
+                    received += 1;
+                    continue;
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {}
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    panic!("runtime worker panicked")
+                }
+            }
+            if !pool.help_one() {
+                // Nothing to help with: our chunks are in flight on the
+                // workers. Park briefly on the channel — the timeout
+                // re-checks the queue so a job enqueued meanwhile (by a
+                // chunk of ours that fans out further) still gets help.
+                match self.rx.recv_timeout(std::time::Duration::from_micros(100)) {
+                    Ok((idx, part)) => {
+                        parts[idx] = Some(part);
+                        received += 1;
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                        panic!("runtime worker panicked")
+                    }
+                }
+            }
+        }
+        self.assemble(parts)
+    }
+
+    fn assemble(self, parts: Vec<Option<Vec<U>>>) -> Vec<U> {
         let mut out = Vec::with_capacity(self.total);
         for part in parts {
             out.extend(part.expect("every chunk reports exactly once"));
@@ -926,16 +1017,31 @@ mod tests {
         assert!(bp.len() <= bp.stats().target);
     }
 
+    /// Occupies `pool`'s (single) worker with a job that blocks until
+    /// the returned sender fires, and — crucially — does not return
+    /// until the worker has actually *started* the job: on a single
+    /// hardware thread the worker may otherwise not be scheduled until
+    /// after the test has queued everything, leaving the gate job in
+    /// the bulk queue where it skews pop-order assertions (or gets
+    /// help-run by the asserting thread itself).
+    fn gate_worker(pool: &WorkerPool) -> std::sync::mpsc::Sender<()> {
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        pool.execute(move || {
+            started_tx.send(()).expect("test alive");
+            let _ = gate_rx.recv();
+        });
+        started_rx.recv().expect("worker picked up the gate job");
+        gate_tx
+    }
+
     #[test]
     fn priority_refill_overtakes_bulk_batch() {
         // A refill enqueued *behind* a 64-cell bulk batch must complete
         // first: with the single worker blocked on a gate job, queue 64
         // bulk chunks, then one priority job, then open the gate.
         let pool = WorkerPool::new(1);
-        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
-        pool.execute(move || {
-            let _ = gate_rx.recv();
-        });
+        let gate_tx = gate_worker(&pool);
         let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
         for _ in 0..64 {
             let order = order.clone();
@@ -957,10 +1063,7 @@ mod tests {
     #[test]
     fn bulk_lane_is_not_starved_by_priority_traffic() {
         let pool = WorkerPool::new(1);
-        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
-        pool.execute(move || {
-            let _ = gate_rx.recv();
-        });
+        let gate_tx = gate_worker(&pool);
         let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
         // 5 bulk jobs queued first, then 40 priority jobs: the pop
         // policy must interleave bulk despite the priority backlog.
@@ -981,6 +1084,82 @@ mod tests {
             "first bulk job ran at position {first_bulk}, starved past the streak cap"
         );
         assert_eq!(order.iter().filter(|s| **s == "bulk").count(), 5);
+    }
+
+    #[test]
+    fn mixed_load_priority_wins_without_starving_sessions() {
+        // The serving-layer job mix on one queue: session jobs (bulk),
+        // a 64-cell batch decrypt (bulk chunks), and a blinding refill
+        // burst (priority). The refill must still be served first, and
+        // no session/decrypt job may starve past the anti-starvation
+        // cap despite the priority backlog.
+        let pool = WorkerPool::new(1);
+        let gate_tx = gate_worker(&pool);
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        for _ in 0..4 {
+            let order = order.clone();
+            pool.execute(move || lock(&order).push("session"));
+        }
+        let items: Vec<u64> = (0..64).collect();
+        let pending = {
+            let order = order.clone();
+            pool.map_chunked(items, 8, move |chunk| {
+                lock(&order).push("chunk");
+                chunk.into_iter().map(|v| v + 1).collect::<Vec<_>>()
+            })
+        };
+        for _ in 0..40 {
+            let order = order.clone();
+            pool.execute_high(move || lock(&order).push("refill"));
+        }
+        gate_tx.send(()).unwrap();
+        let decrypted = pending.wait();
+        assert_eq!(decrypted, (1..=64).collect::<Vec<_>>());
+        pool.submit(|| ()).join(); // Bulk sentinel: queues fully drained.
+        let order = lock(&order);
+        assert_eq!(order.len(), 4 + 8 + 40);
+        assert_eq!(
+            order[0], "refill",
+            "priority refill must be served ahead of queued session/decrypt work"
+        );
+        let first_bulk = order.iter().position(|s| *s != "refill").unwrap();
+        assert!(
+            first_bulk <= HIGH_STREAK_MAX,
+            "bulk work starved to position {first_bulk} behind the refill burst"
+        );
+    }
+
+    #[test]
+    fn wait_help_inside_a_worker_does_not_deadlock() {
+        // A session job running *on* the pool fans a batch out to the
+        // same pool and waits. With a single worker (this thread!) the
+        // chunks can never be served by anyone else — wait_help must
+        // run them inline. Plain wait() would deadlock here.
+        let pool = WorkerPool::new(1);
+        let inner_pool = pool.clone();
+        let h = pool.submit(move || {
+            let items: Vec<u64> = (0..64).collect();
+            let pending = inner_pool.map_chunked(items, 8, |chunk| {
+                chunk.into_iter().map(|v| v * 3).collect::<Vec<_>>()
+            });
+            pending.wait_help(&inner_pool)
+        });
+        assert_eq!(h.join(), (0..64).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_help_from_outside_serves_chunks_while_workers_are_busy() {
+        // The lone worker is wedged on a gate; the waiting caller must
+        // make progress by running its own chunks.
+        let pool = WorkerPool::new(1);
+        let gate_tx = gate_worker(&pool);
+        let items: Vec<u64> = (0..32).collect();
+        let pending = pool.map_chunked(items, 4, |chunk| {
+            chunk.into_iter().map(|v| v + 10).collect::<Vec<_>>()
+        });
+        let out = pending.wait_help(&pool);
+        assert_eq!(out, (10..42).collect::<Vec<_>>());
+        gate_tx.send(()).unwrap();
     }
 
     #[test]

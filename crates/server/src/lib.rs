@@ -1,0 +1,279 @@
+//! Concurrent multi-session serving layer over the CryptDB proxy.
+//!
+//! The paper's headline claim is modest overhead for a proxy serving a
+//! *live* multi-user workload (≤30% on TPC-C with many client
+//! connections, §8.4.1); `Proxy::execute` is `&self` over sharded
+//! read-write state precisely so sessions can proceed in parallel. This
+//! crate supplies the missing serving layer:
+//!
+//! * [`Server`] owns an `Arc<Proxy>` and fans N client sessions out
+//!   over the proxy's existing crypto [`WorkerPool`] — on the **normal
+//!   (bulk) lane**, so blinding-pool refills keep their priority-lane
+//!   advantage even under full session load.
+//! * Each session is a *chain of per-statement jobs*: a job executes
+//!   one statement, records its service latency, and re-enqueues the
+//!   session's next statement. Per-session order is preserved (the next
+//!   statement is only enqueued after the current one finishes) while
+//!   sessions interleave at statement granularity — no session can
+//!   monopolise a worker, and a waiting decrypt can help-run other
+//!   sessions' statements ([`PendingMap::wait_help`]) without ever
+//!   inlining an entire foreign session.
+//! * [`ServingReport`] captures per-session latency percentiles
+//!   (p50/p99) and aggregate throughput, the quantities the
+//!   `e2e_throughput` bench gates.
+//!
+//! Correctness under concurrency is checked against a **serial
+//! oracle**: [`replay_serial`] runs the same per-session traces
+//! sequentially on a fresh proxy, and [`canonical_dump`] produces an
+//! order-insensitive decrypted dump of every proxy-managed table —
+//! byte-identical dumps mean the interleaved execution preserved the
+//! semantics of the serial one (the traces in `cryptdb_apps::mixed` are
+//! commutative across sessions by construction, so any divergence is a
+//! real isolation bug, not schedule noise).
+//!
+//! [`PendingMap::wait_help`]: cryptdb_runtime::PendingMap::wait_help
+//! [`WorkerPool`]: cryptdb_runtime::WorkerPool
+
+#![forbid(unsafe_code)]
+
+use cryptdb_core::proxy::Proxy;
+use cryptdb_core::ProxyError;
+use cryptdb_runtime::WorkerPool;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One client session: a named, ordered statement trace.
+#[derive(Clone, Debug)]
+pub struct SessionTrace {
+    pub name: String,
+    pub statements: Vec<String>,
+}
+
+impl SessionTrace {
+    pub fn new(name: impl Into<String>, statements: Vec<String>) -> Self {
+        SessionTrace {
+            name: name.into(),
+            statements,
+        }
+    }
+}
+
+/// Latency/throughput summary for one served session.
+#[derive(Clone, Debug)]
+pub struct SessionStats {
+    pub name: String,
+    /// Statements executed.
+    pub queries: usize,
+    /// Statements that returned an error (the session keeps going; the
+    /// harness traces are expected to be error-free and assert on this).
+    pub errors: usize,
+    /// Per-statement service-time percentiles (queue wait excluded).
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+    /// Sum of service times.
+    pub busy_ns: u64,
+}
+
+/// Aggregate result of one [`Server::serve`] run.
+#[derive(Clone, Debug)]
+pub struct ServingReport {
+    pub sessions: Vec<SessionStats>,
+    /// Wall-clock for the whole fan-out (enqueue → last session done).
+    pub elapsed_ns: u64,
+    /// Total statements across sessions.
+    pub queries: usize,
+    pub errors: usize,
+    /// Aggregate per-statement percentiles over every session's samples.
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+}
+
+impl ServingReport {
+    /// End-to-end throughput in statements per second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// The running state of one chained session; each `advance` executes
+/// one statement, then re-enqueues itself on the pool's bulk lane.
+struct SessionRun {
+    proxy: Arc<Proxy>,
+    pool: WorkerPool,
+    name: String,
+    statements: Vec<String>,
+    next: usize,
+    lat_ns: Vec<u64>,
+    errors: usize,
+    done: Sender<(SessionStats, Vec<u64>)>,
+}
+
+impl SessionRun {
+    fn advance(mut self) {
+        if self.next >= self.statements.len() {
+            let SessionRun {
+                proxy,
+                pool,
+                name,
+                lat_ns,
+                errors,
+                done,
+                ..
+            } = self;
+            // Release the proxy/pool handles BEFORE reporting: the
+            // caller treats the report as "session fully torn down" and
+            // may drop its own proxy handle immediately — if this job's
+            // clones were still alive, the *worker thread* could become
+            // the last owner and have to tear the pool down from inside
+            // itself.
+            drop(proxy);
+            drop(pool);
+            let mut sorted = lat_ns.clone();
+            sorted.sort_unstable();
+            let stats = SessionStats {
+                name,
+                queries: lat_ns.len(),
+                errors,
+                p50_ns: percentile(&sorted, 0.50),
+                p99_ns: percentile(&sorted, 0.99),
+                max_ns: sorted.last().copied().unwrap_or(0),
+                busy_ns: sorted.iter().sum(),
+            };
+            let _ = done.send((stats, lat_ns));
+            return;
+        }
+        let t0 = Instant::now();
+        if self.proxy.execute(&self.statements[self.next]).is_err() {
+            self.errors += 1;
+        }
+        self.lat_ns.push(t0.elapsed().as_nanos() as u64);
+        self.next += 1;
+        let pool = self.pool.clone();
+        pool.execute(move || self.advance());
+    }
+}
+
+/// A multi-session server over one shared [`Proxy`].
+pub struct Server {
+    proxy: Arc<Proxy>,
+}
+
+impl Server {
+    pub fn new(proxy: Arc<Proxy>) -> Self {
+        Server { proxy }
+    }
+
+    /// The shared proxy.
+    pub fn proxy(&self) -> &Arc<Proxy> {
+        &self.proxy
+    }
+
+    /// Serves every trace concurrently (statement-granular interleaving
+    /// on the proxy's worker pool, normal lane) and blocks until all
+    /// sessions complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session's job chain dies without reporting (a worker
+    /// panic inside `Proxy::execute` — contained per-job by the pool,
+    /// but fatal to that session's chain).
+    pub fn serve(&self, traces: Vec<SessionTrace>) -> ServingReport {
+        let n = traces.len();
+        let (tx, rx) = channel();
+        let t0 = Instant::now();
+        let pool = self.proxy.runtime().clone();
+        for trace in traces {
+            let run = SessionRun {
+                proxy: self.proxy.clone(),
+                pool: pool.clone(),
+                name: trace.name,
+                statements: trace.statements,
+                next: 0,
+                lat_ns: Vec::new(),
+                errors: 0,
+                done: tx.clone(),
+            };
+            let pool = pool.clone();
+            pool.execute(move || run.advance());
+        }
+        drop(tx); // A disconnected channel now means a lost session.
+        let mut sessions = Vec::with_capacity(n);
+        let mut all_lat: Vec<u64> = Vec::new();
+        for _ in 0..n {
+            let (stats, lat) = rx
+                .recv()
+                .expect("session chain died (worker panicked mid-statement)");
+            all_lat.extend(lat);
+            sessions.push(stats);
+        }
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        sessions.sort_by(|a, b| a.name.cmp(&b.name));
+        all_lat.sort_unstable();
+        ServingReport {
+            queries: sessions.iter().map(|s| s.queries).sum(),
+            errors: sessions.iter().map(|s| s.errors).sum(),
+            p50_ns: percentile(&all_lat, 0.50),
+            p99_ns: percentile(&all_lat, 0.99),
+            sessions,
+            elapsed_ns,
+        }
+    }
+}
+
+/// Replays the traces *serially* (session 0's statements in order, then
+/// session 1's, …) on `proxy` — the correctness oracle a concurrent run
+/// is compared against. Returns (statements, errors).
+pub fn replay_serial(proxy: &Proxy, traces: &[SessionTrace]) -> (usize, usize) {
+    let mut queries = 0;
+    let mut errors = 0;
+    for trace in traces {
+        for stmt in &trace.statements {
+            queries += 1;
+            if proxy.execute(stmt).is_err() {
+                errors += 1;
+            }
+        }
+    }
+    (queries, errors)
+}
+
+/// Decrypted, order-insensitive dump of every proxy-managed table:
+/// tables sorted by name, each `SELECT <all columns>` result rendered
+/// with [`canonical_text`] (sorted rows). Two runs that left the
+/// database in the same logical state — regardless of row order or
+/// ciphertext randomness — produce byte-identical dumps.
+///
+/// [`canonical_text`]: cryptdb_engine::QueryResult::canonical_text
+pub fn canonical_dump(proxy: &Proxy) -> Result<String, ProxyError> {
+    let mut tables: Vec<(String, Vec<String>)> = proxy.with_schema(|schema| {
+        schema
+            .tables()
+            .map(|t| {
+                (
+                    t.name.to_lowercase(),
+                    t.columns.iter().map(|c| c.name.clone()).collect(),
+                )
+            })
+            .collect()
+    });
+    tables.sort();
+    let mut out = String::new();
+    for (table, columns) in tables {
+        let sql = format!("SELECT {} FROM {table}", columns.join(", "));
+        let result = proxy.execute(&sql)?;
+        out.push_str(&format!("== {table} ==\n"));
+        out.push_str(&result.canonical_text());
+        out.push('\n');
+    }
+    Ok(out)
+}

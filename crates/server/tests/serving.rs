@@ -1,0 +1,168 @@
+//! End-to-end serving-layer tests: stats plumbing, fan-out liveness on
+//! the shared worker pool, and concurrent-vs-serial-oracle consistency
+//! on the mixed multi-app trace.
+
+use cryptdb_apps::mixed::{self, MixedScale};
+use cryptdb_apps::phpbb;
+use cryptdb_core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
+use cryptdb_engine::Engine;
+use cryptdb_server::{canonical_dump, replay_serial, Server, SessionTrace};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Policy covering all four onion classes across the three apps without
+/// encrypting every TPC-C column (test-speed tradeoff; the bench scales
+/// this up).
+fn mixed_policy() -> EncryptionPolicy {
+    let mut map: HashMap<String, Vec<String>> = phpbb::sensitive_fields()
+        .into_iter()
+        .map(|(t, cols)| {
+            (
+                t.to_string(),
+                cols.into_iter().map(str::to_string).collect(),
+            )
+        })
+        .collect();
+    map.insert(
+        "order_line".into(),
+        vec!["ol_amount".into()], // HOM SUM target.
+    );
+    map.insert(
+        "stock".into(),
+        vec!["s_ytd".into(), "s_quantity".into()], // HOM increment + OPE range.
+    );
+    map.insert("customer".into(), vec!["c_balance".into(), "c_last".into()]);
+    map.insert("history".into(), vec!["h_amount".into()]); // HOM on the INSERT path.
+    map.insert("paperreview".into(), vec!["overallmerit".into()]);
+    EncryptionPolicy::Explicit(map)
+}
+
+fn mixed_proxy() -> Arc<Proxy> {
+    let cfg = ProxyConfig {
+        policy: mixed_policy(),
+        paillier_bits: 256,
+        ..Default::default()
+    };
+    Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg))
+}
+
+fn prepare(proxy: &Proxy, scale: &MixedScale) {
+    for stmt in mixed::setup_statements(11, scale) {
+        proxy
+            .execute(&stmt)
+            .unwrap_or_else(|e| panic!("{e}: {stmt}"));
+    }
+    for stmt in mixed::training_statements(scale) {
+        proxy
+            .execute(&stmt)
+            .unwrap_or_else(|e| panic!("{e}: {stmt}"));
+    }
+}
+
+fn mixed_traces(scale: &MixedScale, sessions: usize, steps: usize) -> Vec<SessionTrace> {
+    (0..sessions)
+        .map(|i| SessionTrace::new(format!("s{i}"), mixed::session_trace(5, i, steps, scale)))
+        .collect()
+}
+
+#[test]
+fn serve_reports_per_session_stats() {
+    let proxy = mixed_proxy();
+    proxy
+        .execute("CREATE TABLE kv (id int, note text)")
+        .unwrap();
+    let traces: Vec<SessionTrace> = (0..3)
+        .map(|s| {
+            let mut stmts = Vec::new();
+            for i in 0..8 {
+                let id = s * 100 + i;
+                stmts.push(format!(
+                    "INSERT INTO kv (id, note) VALUES ({id}, 'note {id}')"
+                ));
+                stmts.push(format!("SELECT note FROM kv WHERE id = {id}"));
+            }
+            SessionTrace::new(format!("session-{s}"), stmts)
+        })
+        .collect();
+    let server = Server::new(proxy);
+    let report = server.serve(traces);
+    assert_eq!(report.sessions.len(), 3);
+    assert_eq!(report.queries, 3 * 16);
+    assert_eq!(report.errors, 0);
+    assert!(report.qps() > 0.0);
+    assert!(report.p50_ns <= report.p99_ns);
+    for s in &report.sessions {
+        assert_eq!(s.queries, 16, "{}: wrong count", s.name);
+        assert_eq!(s.errors, 0);
+        assert!(s.p50_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
+        assert!(s.busy_ns > 0);
+    }
+    // Every row must have landed exactly once.
+    let r = server.proxy().execute("SELECT COUNT(*) FROM kv").unwrap();
+    assert_eq!(r.scalar().and_then(cryptdb_engine::Value::as_int), Some(24));
+}
+
+#[test]
+fn concurrent_serving_matches_serial_oracle() {
+    let scale = MixedScale::default();
+
+    // Concurrent run: 4 sessions interleaving on the shared proxy.
+    let concurrent = mixed_proxy();
+    prepare(&concurrent, &scale);
+    let report = Server::new(concurrent.clone()).serve(mixed_traces(&scale, 4, 8));
+    assert_eq!(report.errors, 0, "concurrent run must be error-free");
+
+    // Serial oracle: identical traces, replayed one session at a time
+    // on a fresh proxy.
+    let oracle = mixed_proxy();
+    prepare(&oracle, &scale);
+    let traces = mixed_traces(&scale, 4, 8);
+    let (queries, errors) = replay_serial(&oracle, &traces);
+    assert_eq!(queries, report.queries, "trace sets must be identical");
+    assert_eq!(errors, 0);
+
+    let concurrent_dump = canonical_dump(&concurrent).unwrap();
+    let oracle_dump = canonical_dump(&oracle).unwrap();
+    assert!(
+        !concurrent_dump.is_empty() && concurrent_dump.contains("== warehouse =="),
+        "dump must cover the mixed schema"
+    );
+    assert_eq!(
+        concurrent_dump, oracle_dump,
+        "interleaved execution diverged from the serial oracle"
+    );
+}
+
+#[test]
+fn sessions_outnumbering_workers_complete() {
+    // More sessions than pool threads: chains must interleave on the
+    // queue without wedging (runtime_threads = 1 forces the worst case,
+    // and SUM queries exercise decrypt on the same pool).
+    let cfg = ProxyConfig {
+        policy: mixed_policy(),
+        paillier_bits: 256,
+        runtime_threads: 1,
+        ..Default::default()
+    };
+    let proxy = Arc::new(Proxy::new(Arc::new(Engine::new()), [9u8; 32], cfg));
+    proxy
+        .execute("CREATE TABLE acct (id int, bal int)")
+        .unwrap();
+    let traces: Vec<SessionTrace> = (0..6)
+        .map(|s| {
+            let mut stmts = Vec::new();
+            for i in 0..4 {
+                stmts.push(format!(
+                    "INSERT INTO acct (id, bal) VALUES ({}, {})",
+                    s * 10 + i,
+                    100 * s
+                ));
+                stmts.push("SELECT SUM(bal) FROM acct".to_string());
+            }
+            SessionTrace::new(format!("s{s}"), stmts)
+        })
+        .collect();
+    let report = Server::new(proxy).serve(traces);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.queries, 6 * 8);
+}

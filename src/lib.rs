@@ -9,4 +9,5 @@ pub use cryptdb_ope as ope;
 pub use cryptdb_paillier as paillier;
 pub use cryptdb_runtime as runtime;
 pub use cryptdb_search as search;
+pub use cryptdb_server as server;
 pub use cryptdb_sqlparser as sqlparser;
