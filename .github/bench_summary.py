@@ -20,6 +20,8 @@ GATE_POLICY = {
     "scaling_4_vs_1": ("min", 2.0),
     "concurrent_matches_serial": ("flag", 1.0),
     "serving_errors": ("flag", 0.0),
+    "wire_matches_serial": ("flag", 1.0),
+    "wire_errors": ("flag", 0.0),
 }
 
 
@@ -43,7 +45,14 @@ def gate_rows(path, data):
                 continue
             status = "✅" if value >= threshold else "❌"
             yield path, name, value, f">= {threshold}", status
-    for name, value in data.get("gates", {}).items():
+    gates = data.get("gates", {})
+    for name, value in gates.items():
+        # The e2e bench arms the 2x scaling bar only on >= 4-thread
+        # hosts (scaling_enforced flag); on a 1-thread build host the
+        # ratio is informational, not a failure.
+        if name == "scaling_4_vs_1" and gates.get("scaling_enforced") == 0:
+            yield path, name, value, ">= 2.0 (not armed: <4 threads)", "·"
+            continue
         status, bar = verdict(name, value)
         yield path, name, value, bar, status
 
@@ -72,17 +81,33 @@ def main(paths):
             f"{e2e.get('host_parallelism', '?')} host threads, "
             f"{e2e.get('worker_threads', '?')} pool workers\n"
         )
-        print("| sessions | queries/sec | p50 | p99 |")
-        print("|---:|---:|---:|---:|")
-        for key, row in sorted(
-            e2e.get("results", {}).items(),
-            key=lambda kv: int(kv[0].rsplit("_", 1)[-1]),
-        ):
-            n = key.rsplit("_", 1)[-1]
-            print(
-                f"| {n} | {row['qps']:.1f} | "
-                f"{row['p50_ns'] / 1e6:.3f} ms | {row['p99_ns'] / 1e6:.3f} ms |"
-            )
+        throughput_table("in-process sessions", e2e.get("results", {}))
+        # Older artifacts predate the pgwire front-end and have no
+        # wire_results key; skip the section rather than KeyError.
+        wire = e2e.get("wire_results")
+        if wire:
+            print()
+            throughput_table("wire connections (e2e_wire)", wire)
+            overhead = e2e.get("wire_overhead_4_vs_inproc")
+            if overhead is not None:
+                print(
+                    f"\nwire overhead at 4 sessions: {overhead:g}× "
+                    "(in-process qps / socket-path qps)"
+                )
+
+
+def throughput_table(label, results):
+    print(f"| {label} | queries/sec | p50 | p99 |")
+    print("|---:|---:|---:|---:|")
+    for key, row in sorted(
+        results.items(),
+        key=lambda kv: int(kv[0].rsplit("_", 1)[-1]),
+    ):
+        n = key.rsplit("_", 1)[-1]
+        qps = row.get("qps", 0.0)
+        p50 = row.get("p50_ns", 0)
+        p99 = row.get("p99_ns", 0)
+        print(f"| {n} | {qps:.1f} | {p50 / 1e6:.3f} ms | {p99 / 1e6:.3f} ms |")
 
 
 if __name__ == "__main__":

@@ -5,7 +5,14 @@
 //! once and split round-robin over however many sessions a level runs),
 //! so the ladder compares identical work under different concurrency.
 //!
-//! Emits `BENCH_e2e.json` at the repo root with two enforced gates:
+//! A second, `e2e_wire` ladder replays the same fixed statement set
+//! through the `cryptdb-net` pgwire front-end over real TCP sockets (1
+//! and 4 concurrent connections), so the wire path's overhead against
+//! the in-process numbers is visible in the same JSON — wire latency is
+//! client-observed round-trip (queueing + socket included), in-process
+//! latency is service time only.
+//!
+//! Emits `BENCH_e2e.json` at the repo root with enforced gates:
 //!
 //! * `concurrent_matches_serial` — the decrypted full-database state
 //!   after the 4-session concurrent run must be **byte-identical** to a
@@ -20,6 +27,10 @@
 //!   and the ratio is structurally ~1× — the same conditional-gate
 //!   policy the timing gates of `BENCH_runtime.json` use for toy key
 //!   sizes. CI runners have ≥ 4 vCPUs, so the gate arms on every PR.
+//! * `wire_matches_serial` / `wire_errors` — the 4-connection wire run
+//!   must finish error-free and leave a database state byte-identical
+//!   to the serial oracle, with **both** dumps read back through the
+//!   socket path. Enforced at every size and host.
 //!
 //! Reduced-size knobs for CI: `CRYPTDB_BENCH_PAILLIER_BITS` (key size)
 //! and `CRYPTDB_E2E_STEPS` (driver steps per session; each step is one
@@ -30,11 +41,16 @@ use cryptdb_apps::phpbb;
 use cryptdb_bench::bench_paillier_bits;
 use cryptdb_core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
 use cryptdb_engine::Engine;
-use cryptdb_server::{canonical_dump, replay_serial, Server, SessionTrace};
+use cryptdb_net::{wire_canonical_dump, NetClient, NetServer, WireError};
+use cryptdb_server::{
+    canonical_dump, percentile, replay_serial, schema_tables, Server, SessionTrace,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 const SESSION_LEVELS: [usize; 4] = [1, 2, 4, 8];
+const WIRE_LEVELS: [usize; 2] = [1, 4];
 const TRACE_SEED: u64 = 2026;
 
 /// Encryption policy for the mixed workload: every phpBB sensitive
@@ -109,6 +125,59 @@ fn partition(base: &[Vec<String>], sessions: usize) -> Vec<SessionTrace> {
         .collect()
 }
 
+struct WireLevel {
+    qps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    errors: usize,
+}
+
+/// Replays the traces over real sockets, one `NetClient` connection per
+/// trace, timing each statement's client-observed round-trip. Returns
+/// the spawned server (still holding the proxy) for post-run dumps.
+fn wire_run(proxy: Arc<Proxy>, traces: Vec<SessionTrace>) -> (NetServer, WireLevel) {
+    let server = NetServer::spawn(proxy, "127.0.0.1:0").expect("bind wire front-end");
+    let addr = server.local_addr();
+    let t0 = Instant::now();
+    let workers: Vec<_> = traces
+        .into_iter()
+        .map(|trace| {
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr, &trace.name, "").expect("wire handshake");
+                let mut lat = Vec::with_capacity(trace.statements.len());
+                let mut errors = 0usize;
+                for stmt in &trace.statements {
+                    let s0 = Instant::now();
+                    match client.simple_query(stmt) {
+                        Ok(_) => {}
+                        Err(WireError::Server { .. }) => errors += 1,
+                        Err(e) => panic!("wire transport failure: {e}"),
+                    }
+                    lat.push(s0.elapsed().as_nanos() as u64);
+                }
+                client.terminate().expect("terminate");
+                (lat, errors)
+            })
+        })
+        .collect();
+    let mut all_lat = Vec::new();
+    let mut errors = 0;
+    for w in workers {
+        let (lat, e) = w.join().expect("wire session thread");
+        all_lat.extend(lat);
+        errors += e;
+    }
+    let elapsed_ns = t0.elapsed().as_nanos().max(1) as u64;
+    all_lat.sort_unstable();
+    let level = WireLevel {
+        qps: all_lat.len() as f64 / (elapsed_ns as f64 / 1e9),
+        p50_ns: percentile(&all_lat, 0.50),
+        p99_ns: percentile(&all_lat, 0.99),
+        errors,
+    };
+    (server, level)
+}
+
 fn main() {
     let bits = bench_paillier_bits();
     let steps: usize = std::env::var("CRYPTDB_E2E_STEPS")
@@ -174,6 +243,60 @@ fn main() {
         concurrent_dump.len()
     );
 
+    // ---- Wire ladder: the same fixed statement set through the
+    // pgwire front-end over real TCP sockets, 1 and 4 connections.
+    let wire_queries: usize = base.iter().map(Vec::len).sum();
+    let mut wire_levels = Vec::new();
+    let mut wire_dump_server = None;
+    for &n in &WIRE_LEVELS {
+        let proxy = fresh_proxy(bits);
+        prepare(&proxy, &scale);
+        let (server, level) = wire_run(proxy, partition(&base, n));
+        println!(
+            "wire n={n:<2}   queries={:<5} qps={:<10.1} p50={:.3} ms p99={:.3} ms errors={}",
+            wire_queries,
+            level.qps,
+            level.p50_ns as f64 / 1e6,
+            level.p99_ns as f64 / 1e6,
+            level.errors
+        );
+        if n == WIRE_LEVELS[WIRE_LEVELS.len() - 1] {
+            wire_dump_server = Some(server); // Keep for the oracle dump.
+        }
+        wire_levels.push((n, level));
+    }
+    let wire_errors: usize = wire_levels.iter().map(|(_, l)| l.errors).sum();
+    // Socket-path overhead at 4 sessions: in-process qps / wire qps
+    // (>1 means the wire costs throughput; recorded, not gated).
+    let wire_overhead_4 = qps[2] / wire_levels.last().map(|(_, l)| l.qps).unwrap_or(1.0);
+    println!("wire overhead 4-session (inproc/wire qps) {wire_overhead_4:.2}x");
+
+    // ---- Wire correctness: dump BOTH the 4-connection wire run and
+    // the serial oracle through the socket path and compare bytes.
+    let wire_server = wire_dump_server.expect("wire ladder ran");
+    let oracle_server = NetServer::spawn(oracle.clone(), "127.0.0.1:0").expect("bind oracle");
+    let wire_matches = {
+        let mut wc = NetClient::connect(wire_server.local_addr(), "dump", "").expect("dump conn");
+        let wire_dump =
+            wire_canonical_dump(&mut wc, &schema_tables(wire_server.proxy())).expect("wire dump");
+        let mut oc =
+            NetClient::connect(oracle_server.local_addr(), "dump", "").expect("oracle conn");
+        let oracle_dump =
+            wire_canonical_dump(&mut oc, &schema_tables(&oracle)).expect("oracle dump");
+        println!(
+            "wire vs serial oracle:       {} ({} bytes dumped)",
+            if wire_dump == oracle_dump {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            },
+            wire_dump.len()
+        );
+        wire_dump == oracle_dump
+    };
+    drop(oracle_server);
+    drop(wire_server);
+
     // The 2× bar needs real hardware parallelism; below 4 threads the
     // ratio is reported but not enforced (see module docs).
     let scaling_enforced = host_parallelism >= 4 && worker_threads >= 4;
@@ -184,6 +307,8 @@ fn main() {
         ("scaling_enforced", if scaling_enforced { 1.0 } else { 0.0 }),
         ("concurrent_matches_serial", if matches { 1.0 } else { 0.0 }),
         ("serving_errors", total_errors as f64),
+        ("wire_matches_serial", if wire_matches { 1.0 } else { 0.0 }),
+        ("wire_errors", wire_errors as f64),
     ];
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"modulus_bits\": {bits},\n"));
@@ -202,7 +327,19 @@ fn main() {
             qps[i], p50s[i], p99s[i]
         ));
     }
-    json.push_str("  },\n  \"gates\": {\n");
+    json.push_str("  },\n  \"wire_results\": {\n");
+    for (i, (n, level)) in wire_levels.iter().enumerate() {
+        let comma = if i + 1 < wire_levels.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"sessions_{n}\": {{ \"qps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {} }}{comma}\n",
+            level.qps, level.p50_ns, level.p99_ns
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"wire_overhead_4_vs_inproc\": {wire_overhead_4:.2},\n"
+    ));
+    json.push_str("  \"gates\": {\n");
     for (i, (name, x)) in gates.iter().enumerate() {
         let comma = if i + 1 < gates.len() { "," } else { "" };
         json.push_str(&format!("    \"{name}\": {x:.2}{comma}\n"));
@@ -221,6 +358,14 @@ fn main() {
     }
     if total_errors > 0 {
         eprintln!("FAIL: {total_errors} statements errored while serving");
+        std::process::exit(1);
+    }
+    if !wire_matches {
+        eprintln!("FAIL: wire serving diverged from the serial oracle");
+        std::process::exit(1);
+    }
+    if wire_errors > 0 {
+        eprintln!("FAIL: {wire_errors} statements errored over the wire");
         std::process::exit(1);
     }
     if scaling_enforced && scaling_4_vs_1 < 2.0 {

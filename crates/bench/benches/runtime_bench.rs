@@ -28,6 +28,7 @@ use cryptdb_bench::bench_paillier_bits;
 use cryptdb_ope::{Ope, OpeCached};
 use cryptdb_paillier::{Ciphertext, PaillierPrivate};
 use cryptdb_runtime::{BlindingPool, WorkerPool};
+use cryptdb_server::percentile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -55,11 +56,6 @@ fn measure<R>(min_iters: u64, mut f: impl FnMut() -> R) -> f64 {
             return elapsed as f64 / iters as f64;
         }
     }
-}
-
-fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
-    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ns[idx]
 }
 
 fn main() {

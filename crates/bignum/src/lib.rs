@@ -18,7 +18,7 @@
 //!   exponentiations, and [`FixedBase`] holds a per-bit comb that removes
 //!   all squarings from fixed-base exponentiation. See the `mont` module
 //!   docs for the crossover-tuning procedure.
-//! * [`prime`] — Miller–Rabin probable-prime testing and random prime
+//! * `prime` (internal) — Miller–Rabin probable-prime testing and random prime
 //!   generation (Paillier key generation).
 //!
 //! The crate is `#![forbid(unsafe_code)]`: all invariants (limb

@@ -667,7 +667,7 @@ impl Montgomery {
     /// Modular exponentiation `base^exp mod n`.
     ///
     /// Uses a 4-bit fixed window with a dedicated squaring kernel; for
-    /// exponents of at most [`SHORT_EXP_BITS`] bits the window table is
+    /// exponents of at most `SHORT_EXP_BITS` (32) bits the window table is
     /// skipped entirely in favour of square-and-multiply. Allocates one
     /// [`MontScratch`] — batch callers should hold their own and use
     /// [`Self::pow_with`].

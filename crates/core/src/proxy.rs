@@ -56,7 +56,9 @@ pub enum EncryptionPolicy {
 /// Proxy construction knobs.
 #[derive(Clone, Debug)]
 pub struct ProxyConfig {
+    /// Full CryptDB processing or parse-and-forward passthrough.
     pub mode: ProxyMode,
+    /// Which columns get encrypted.
     pub policy: EncryptionPolicy,
     /// Paillier modulus bits (the paper uses 1024 → 2048-bit ciphertexts).
     pub paillier_bits: usize,

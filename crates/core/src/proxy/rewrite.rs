@@ -1010,7 +1010,7 @@ impl Proxy {
             anon,
             columns,
             speaks_for: ct.speaks_for.clone(),
-            next_rid: 1,
+            next_rid: std::sync::Arc::new(std::sync::atomic::AtomicI64::new(1)),
         })?;
         Ok(QueryResult::Ok)
     }
@@ -2104,10 +2104,12 @@ impl Proxy {
         // The onion passes above are done with the schema; release the
         // read guard BEFORE joining the HOM batch. wait_help below may
         // inline-run another session's queued statement on this thread,
-        // and an INSERT takes `schema.write()` — with the guard still
-        // held that same-thread read→write upgrade would deadlock (the
-        // locks are non-reentrant). Masked on a single-worker pool,
-        // where the pending batch is pre-resolved; live on multicore.
+        // and a statement may take `schema.write()` (DDL, onion
+        // adjustment; INSERT itself is read-only here since rid
+        // allocation went atomic) — with the guard still held that
+        // same-thread read→write upgrade would deadlock (the locks are
+        // non-reentrant). Masked on a single-worker pool, where the
+        // pending batch is pre-resolved; live on multicore.
         drop(schema);
         // Join the pipelined HOM batch and fill the aggregate slots.
         if !hom_slots.is_empty() {

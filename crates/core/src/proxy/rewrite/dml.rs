@@ -6,14 +6,15 @@ type RowMap = HashMap<String, Value>;
 
 impl Proxy {
     pub(crate) fn insert(&self, ins: &Insert) -> Result<QueryResult, ProxyError> {
-        // Snapshot the table state and allocate rids.
-        let (tstate, rid_start) = {
-            let mut schema = self.schema.write();
-            let t = schema.table_mut(&ins.table)?;
-            let start = t.next_rid;
-            t.next_rid += ins.rows.len() as i64;
-            (t.clone(), start)
+        // Snapshot the table state under the READ lock; rid allocation
+        // is a shared atomic counter (`TableState::alloc_rids`), so the
+        // write-mostly INSERT path no longer serialises against
+        // concurrent SELECTs' read locks just to advance a counter.
+        let tstate = {
+            let schema = self.schema.read();
+            schema.table(&ins.table)?.clone()
         };
+        let rid_start = tstate.alloc_rids(ins.rows.len() as i64);
         let columns: Vec<String> = if ins.columns.is_empty() {
             tstate.columns.iter().map(|c| c.name.clone()).collect()
         } else {

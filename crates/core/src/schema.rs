@@ -10,6 +10,8 @@ use crate::error::ProxyError;
 use crate::onion::{EqLevel, OrdLevel, SecLevel};
 use cryptdb_sqlparser::{ColumnType, EncFor, SpeaksFor};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 /// Proxy-side state of one column.
 #[derive(Clone, Debug)]
@@ -110,10 +112,23 @@ pub struct TableState {
     pub speaks_for: Vec<SpeaksFor>,
     /// Monotone row counter backing the hidden `rid` column the proxy
     /// adds to every encrypted table (used for stale-column refresh).
-    pub next_rid: i64,
+    ///
+    /// Shared (`Arc`) and atomic so rid allocation needs only the schema
+    /// *read* lock: an INSERT clones the `TableState` snapshot under
+    /// `read()` and [`Self::alloc_rids`] bumps the same counter the
+    /// schema's own copy sees. Before this split every INSERT took the
+    /// schema `RwLock` in write mode just to advance this counter,
+    /// briefly serialising against every concurrent SELECT's read lock.
+    pub next_rid: Arc<AtomicI64>,
 }
 
 impl TableState {
+    /// Atomically allocates `n` consecutive rids, returning the first.
+    /// Callable on any clone of the table state — the counter is shared.
+    pub fn alloc_rids(&self, n: i64) -> i64 {
+        self.next_rid.fetch_add(n, Ordering::Relaxed)
+    }
+
     /// Case-insensitive column lookup.
     pub fn column(&self, name: &str) -> Option<&ColumnState> {
         self.columns

@@ -1,0 +1,318 @@
+//! [`NetClient`]: a real-socket pgwire-subset client.
+//!
+//! This is the test/bench counterpart of [`NetServer`](crate::NetServer):
+//! it performs the startup + cleartext-auth handshake and the simple-
+//! query cycle over an actual `TcpStream`, so the end-to-end harness
+//! (and its serial-oracle comparison) exercises the full wire path —
+//! frame encoding, the per-connection reader, pool-chained execution,
+//! and response framing — not an in-process shortcut.
+
+use crate::protocol;
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a wire client can observe.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport failure (connect, read, write, unexpected EOF).
+    Io(io::Error),
+    /// The server sent an `ErrorResponse`.
+    Server {
+        /// Severity field (`ERROR`, `FATAL`).
+        severity: String,
+        /// SQLSTATE code field.
+        code: String,
+        /// Human-readable message field.
+        message: String,
+    },
+    /// The server sent a frame the subset client cannot interpret.
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Server {
+                severity,
+                code,
+                message,
+            } => write!(f, "{severity} {code}: {message}"),
+            WireError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One simple-query result decoded from the wire.
+#[derive(Debug, Clone)]
+pub struct WireQueryResult {
+    /// `(name, type_oid)` per column from `RowDescription` (empty for
+    /// writes/DDL, which send only `CommandComplete`).
+    pub columns: Vec<(String, i32)>,
+    /// Text-format cells; `None` is SQL NULL.
+    pub rows: Vec<Vec<Option<String>>>,
+    /// The `CommandComplete` tag (`SELECT 3`, `INSERT 0 1`, ...).
+    pub command_tag: String,
+}
+
+impl WireQueryResult {
+    /// Canonical text form mirroring
+    /// `cryptdb_engine::QueryResult::canonical_text` byte-for-byte:
+    /// `|`-joined cells, rows sorted, ints bare, strings quoted with
+    /// `\\`/`\n`/`|` escaped, bytes as bare hex, NULL as `NULL`. Two
+    /// logical states compare equal through the wire iff they compare
+    /// equal in-process — the property the wire oracle gate rides.
+    pub fn canonical_text(&self) -> String {
+        let fmt_cell = |(cell, &(_, oid)): (&Option<String>, &(String, i32))| -> String {
+            let Some(text) = cell else {
+                return "NULL".into();
+            };
+            match oid {
+                protocol::OID_INT8 => text.clone(),
+                protocol::OID_BYTEA => text.strip_prefix("\\x").unwrap_or(text).to_string(),
+                _ => format!(
+                    "'{}'",
+                    text.replace('\\', "\\\\")
+                        .replace('\n', "\\n")
+                        .replace('|', "\\|")
+                ),
+            }
+        };
+        let mut lines: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&self.columns)
+                    .map(fmt_cell)
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    }
+}
+
+/// A synchronous pgwire-subset client over one TCP connection.
+pub struct NetClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl NetClient {
+    /// Connects and completes the startup + cleartext-password
+    /// handshake. `user` names the principal; a non-empty `password`
+    /// logs it in server-side (§4.2), an empty one requests a
+    /// master-key session.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        user: &str,
+        password: &str,
+    ) -> Result<NetClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = NetClient {
+            writer: stream,
+            reader,
+        };
+        protocol::write_startup(
+            &mut client.writer,
+            &[("user", user), ("database", "cryptdb")],
+        )?;
+        client.writer.flush()?;
+        loop {
+            let (tag, body) = protocol::read_frame(&mut client.reader)?;
+            match tag {
+                b'R' if body.len() >= 4 => {
+                    let code = i32::from_be_bytes(body[0..4].try_into().unwrap());
+                    match code {
+                        3 => {
+                            let mut pw = password.as_bytes().to_vec();
+                            pw.push(0);
+                            protocol::write_frame(&mut client.writer, b'p', &pw)?;
+                            client.writer.flush()?;
+                        }
+                        0 => {}
+                        other => {
+                            return Err(WireError::Protocol(format!(
+                                "unsupported auth request {other}"
+                            )))
+                        }
+                    }
+                }
+                b'S' | b'K' | b'N' => {}
+                b'Z' => return Ok(client),
+                b'E' => {
+                    let (severity, code, message) = protocol::parse_error_body(&body);
+                    return Err(WireError::Server {
+                        severity,
+                        code,
+                        message,
+                    });
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected handshake frame {:?}",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Runs one simple query (`Q`) and decodes the response cycle
+    /// through `ReadyForQuery`. A server `ErrorResponse` becomes
+    /// [`WireError::Server`] (the connection stays usable, as in
+    /// PostgreSQL).
+    pub fn simple_query(&mut self, sql: &str) -> Result<WireQueryResult, WireError> {
+        let mut body = sql.as_bytes().to_vec();
+        body.push(0);
+        protocol::write_frame(&mut self.writer, b'Q', &body)?;
+        self.writer.flush()?;
+        let mut result = WireQueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            command_tag: String::new(),
+        };
+        let mut error: Option<WireError> = None;
+        loop {
+            let (tag, body) = protocol::read_frame(&mut self.reader)?;
+            match tag {
+                b'T' => result.columns = parse_row_description(&body)?,
+                b'D' => result.rows.push(parse_data_row(&body)?),
+                b'C' => result.command_tag = protocol::parse_cstr_body(&body)?,
+                b'E' => {
+                    let (severity, code, message) = protocol::parse_error_body(&body);
+                    let fatal = severity == "FATAL";
+                    error = Some(WireError::Server {
+                        severity,
+                        code,
+                        message,
+                    });
+                    if fatal {
+                        // No ReadyForQuery follows a FATAL; the server
+                        // is closing this connection.
+                        return Err(error.unwrap());
+                    }
+                }
+                b'N' | b'S' => {}
+                b'Z' => {
+                    return match error {
+                        Some(e) => Err(e),
+                        None => Ok(result),
+                    }
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected frame {:?}",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Sends raw bytes down the socket (fault injection for the
+    /// malformed-frame and abrupt-disconnect tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one raw frame (test hook for asserting on server behaviour
+    /// outside the simple-query cycle).
+    pub fn read_raw_frame(&mut self) -> io::Result<(u8, Vec<u8>)> {
+        protocol::read_frame(&mut self.reader)
+    }
+
+    /// Sends `Terminate` and closes the connection.
+    pub fn terminate(mut self) -> io::Result<()> {
+        protocol::write_frame(&mut self.writer, b'X', &[])?;
+        self.writer.flush()?;
+        self.writer.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+/// Decrypted, order-insensitive dump of the given tables *through the
+/// socket*: the wire twin of `cryptdb_server::canonical_dump`, built
+/// from [`WireQueryResult::canonical_text`]. Both sides of the wire
+/// oracle comparison use this, so byte-equality compares logical
+/// database state end-to-end through the front-end.
+pub fn wire_canonical_dump(
+    client: &mut NetClient,
+    tables: &[(String, Vec<String>)],
+) -> Result<String, WireError> {
+    let mut tables: Vec<_> = tables.to_vec();
+    tables.sort();
+    let mut out = String::new();
+    for (table, columns) in &tables {
+        let sql = format!("SELECT {} FROM {table}", columns.join(", "));
+        let result = client.simple_query(&sql)?;
+        out.push_str(&format!("== {table} ==\n"));
+        out.push_str(&result.canonical_text());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn parse_row_description(body: &[u8]) -> Result<Vec<(String, i32)>, WireError> {
+    let malformed = || WireError::Protocol("malformed RowDescription".into());
+    if body.len() < 2 {
+        return Err(malformed());
+    }
+    let n = i16::from_be_bytes(body[0..2].try_into().unwrap());
+    let mut columns = Vec::with_capacity(n.max(0) as usize);
+    let mut rest = &body[2..];
+    for _ in 0..n {
+        let nul = rest.iter().position(|&b| b == 0).ok_or_else(malformed)?;
+        let name = String::from_utf8(rest[..nul].to_vec()).map_err(|_| malformed())?;
+        rest = &rest[nul + 1..];
+        if rest.len() < 18 {
+            return Err(malformed());
+        }
+        let oid = i32::from_be_bytes(rest[6..10].try_into().unwrap());
+        columns.push((name, oid));
+        rest = &rest[18..];
+    }
+    Ok(columns)
+}
+
+fn parse_data_row(body: &[u8]) -> Result<Vec<Option<String>>, WireError> {
+    let malformed = || WireError::Protocol("malformed DataRow".into());
+    if body.len() < 2 {
+        return Err(malformed());
+    }
+    let n = i16::from_be_bytes(body[0..2].try_into().unwrap());
+    let mut cells = Vec::with_capacity(n.max(0) as usize);
+    let mut rest = &body[2..];
+    for _ in 0..n {
+        if rest.len() < 4 {
+            return Err(malformed());
+        }
+        let len = i32::from_be_bytes(rest[0..4].try_into().unwrap());
+        rest = &rest[4..];
+        if len < 0 {
+            cells.push(None);
+            continue;
+        }
+        let len = len as usize;
+        if rest.len() < len {
+            return Err(malformed());
+        }
+        let text = String::from_utf8(rest[..len].to_vec()).map_err(|_| malformed())?;
+        cells.push(Some(text));
+        rest = &rest[len..];
+    }
+    Ok(cells)
+}

@@ -1,0 +1,512 @@
+//! TCP wire front-end for the CryptDB proxy: a minimal PostgreSQL-wire
+//! (protocol 3.0) subset over the `cryptdb-server` serving layer.
+//!
+//! The paper's deployment story (§2) is a *drop-in proxy between
+//! unmodified clients and the DBMS*: applications keep speaking their
+//! database's ordinary wire protocol and the trust boundary sits at a
+//! network edge the client can see. [`NetServer`] supplies that edge:
+//!
+//! * **One acceptor thread** owns the listening socket; each accepted
+//!   connection gets a dedicated *reader* thread that parses frames and
+//!   feeds statement-granular jobs into a [`StatementSession`] — the same
+//!   chained-job machinery the in-process serving layer uses, on the
+//!   proxy's shared crypto `WorkerPool`. Statement execution therefore
+//!   interleaves across connections at statement granularity; the
+//!   reader thread itself never executes SQL.
+//! * **Responses are written in per-session order**: responders run in
+//!   chain order, each batching its whole response
+//!   (`RowDescription`/`DataRow…`/`CommandComplete`/`ReadyForQuery` or
+//!   `ErrorResponse`) into one buffered write, so pipelined clients see
+//!   answers in submission order.
+//! * **The startup handshake names the principal** (§4.2): the `user`
+//!   startup parameter plus a cleartext `PasswordMessage` map onto
+//!   `Proxy::login` — exactly the `cryptdb_active` login the paper's
+//!   proxy intercepts, moved to the connection edge. An empty password
+//!   skips multi-principal login and runs the session against the
+//!   master-key context (single-principal mode). A logged-in principal
+//!   is logged out when its connection ends (the wire analogue of the
+//!   `DELETE FROM cryptdb_active` interception); one connection per
+//!   principal is assumed.
+//!
+//! Failure containment: a malformed or truncated frame draws a `FATAL`
+//! `ErrorResponse` and closes *that* connection only; an abrupt client
+//! disconnect closes the session's chain (queued statements are
+//! dropped, the in-flight one completes before any logout) without
+//! wedging the shared pool; a graceful `Terminate` instead *drains*
+//! statements pipelined ahead of it first, matching PostgreSQL's
+//! in-order message processing; and a client that stops reading its
+//! socket hits the per-socket write timeout and is dropped rather than
+//! blocking a pool worker indefinitely. Statement errors
+//! (`ErrorResponse` severity `ERROR`) keep the connection alive, as in
+//! PostgreSQL.
+//!
+//! The protocol subset: startup (+`SSLRequest` refused with `N`),
+//! `AuthenticationCleartextPassword`/`AuthenticationOk`, simple query
+//! `Q`, `RowDescription`/`DataRow`/`CommandComplete`, `ErrorResponse`,
+//! `ReadyForQuery`, `Terminate`. Extended-protocol (parse/bind),
+//! COPY, and cancellation are out of scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+
+mod client;
+pub use client::{wire_canonical_dump, NetClient, WireError, WireQueryResult};
+
+use cryptdb_core::proxy::Proxy;
+use cryptdb_core::ProxyError;
+use cryptdb_engine::{QueryResult, Value};
+use cryptdb_server::StatementSession;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tracks live connections so [`NetServer`] shutdown can unblock and
+/// join every reader thread. Finished connections park their id in
+/// `done` and are reaped by the acceptor on the next accept, so a
+/// long-lived server's bookkeeping is bounded by *live* connections,
+/// not by every connection ever accepted.
+#[derive(Default)]
+struct Registry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    handles: Mutex<HashMap<u64, JoinHandle<()>>>,
+    done: Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    /// Joins (instantly) every connection thread that has announced
+    /// completion. Ids whose handle hasn't been registered yet (the
+    /// thread finished before the acceptor stored it) are kept for the
+    /// next sweep.
+    fn reap_finished(&self) {
+        let mut done = self.done.lock();
+        if done.is_empty() {
+            return;
+        }
+        let mut handles = self.handles.lock();
+        done.retain(|id| match handles.remove(id) {
+            Some(h) => {
+                let _ = h.join();
+                false
+            }
+            None => true,
+        });
+    }
+}
+
+/// Per-socket write timeout: a client that stops reading its socket
+/// (while the server's send buffer is full) fails the responder's
+/// write within this bound and the connection is dropped, instead of
+/// wedging a shared pool worker indefinitely.
+const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// The shared, ordered write half of one connection. Responders batch a
+/// whole response into one `send`, so frames from one statement are
+/// never interleaved with another's.
+struct WireWriter {
+    stream: Mutex<BufWriter<TcpStream>>,
+    dead: AtomicBool,
+}
+
+impl WireWriter {
+    fn new(stream: TcpStream) -> Self {
+        WireWriter {
+            stream: Mutex::new(BufWriter::new(stream)),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Writes and flushes pre-framed bytes; marks the connection dead on
+    /// failure (a disconnected client) so later responders skip writing.
+    fn send(&self, frames: &[u8]) -> bool {
+        if self.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut w = self.stream.lock();
+        let ok = w.write_all(frames).and_then(|_| w.flush()).is_ok();
+        if !ok {
+            self.dead.store(true, Ordering::Release);
+        }
+        ok
+    }
+}
+
+/// A TCP front-end serving the pgwire subset over one shared [`Proxy`].
+///
+/// Bind with [`NetServer::spawn`]; the server accepts connections until
+/// dropped. Dropping shuts the listener and every live connection down
+/// and joins all threads.
+pub struct NetServer {
+    proxy: Arc<Proxy>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Registry>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor thread serving connections against `proxy`.
+    pub fn spawn(proxy: Arc<Proxy>, addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Registry::default());
+        let acceptor = {
+            let proxy = proxy.clone();
+            let shutdown = shutdown.clone();
+            let registry = registry.clone();
+            let conn_ids = AtomicU64::new(0);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    registry.reap_finished();
+                    let Ok(stream) = stream else { continue };
+                    let id = conn_ids.fetch_add(1, Ordering::Relaxed);
+                    // Without a registered clone, shutdown could not
+                    // unblock this connection's reader and drop would
+                    // join it forever — refuse the connection instead
+                    // (fd exhaustion is the realistic cause).
+                    let Ok(clone) = stream.try_clone() else {
+                        continue;
+                    };
+                    registry.streams.lock().insert(id, clone);
+                    let proxy = proxy.clone();
+                    let registry2 = registry.clone();
+                    let handle = std::thread::spawn(move || {
+                        handle_connection(proxy, stream, id);
+                        registry2.streams.lock().remove(&id);
+                        registry2.done.lock().push(id);
+                    });
+                    registry.handles.lock().insert(id, handle);
+                }
+            })
+        };
+        Ok(NetServer {
+            proxy,
+            addr,
+            shutdown,
+            registry,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The proxy this front-end serves.
+    pub fn proxy(&self) -> &Arc<Proxy> {
+        &self.proxy
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Poke the blocking accept() so the acceptor observes shutdown.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for (_, s) in self.registry.streams.lock().drain() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.registry.handles.lock().drain().collect();
+        for (_, h) in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Outcome of the startup handshake.
+enum Handshake {
+    /// Serve the query loop; `principal` is the `user` startup
+    /// parameter, `logged_in` whether `Proxy::login` ran for it.
+    Proceed { principal: String, logged_in: bool },
+    /// Connection is done (cancel request, protocol error, auth failure
+    /// — any required `ErrorResponse` has already been sent).
+    Close,
+}
+
+fn fatal(writer: &WireWriter, code: &str, message: &str) {
+    let mut out = Vec::new();
+    protocol::push_frame(
+        &mut out,
+        b'E',
+        &protocol::error_body("FATAL", code, message),
+    );
+    writer.send(&out);
+}
+
+fn handshake(
+    reader: &mut impl Read,
+    writer: &WireWriter,
+    proxy: &Proxy,
+    conn_id: u64,
+) -> Handshake {
+    // SSLRequest may precede the real startup packet; refuse ('N') and
+    // let the client retry in the clear.
+    let startup = loop {
+        let Ok(s) = protocol::read_startup(reader) else {
+            fatal(writer, "08P01", "malformed startup packet");
+            return Handshake::Close;
+        };
+        match s.protocol {
+            protocol::SSL_REQUEST => {
+                if !writer.send(b"N") {
+                    return Handshake::Close;
+                }
+            }
+            protocol::CANCEL_REQUEST => return Handshake::Close,
+            protocol::PROTOCOL_V3 => break s,
+            other => {
+                fatal(writer, "08P01", &format!("unsupported protocol {other}"));
+                return Handshake::Close;
+            }
+        }
+    };
+    let Some(user) = startup.get("user").map(str::to_string) else {
+        fatal(writer, "28000", "startup packet names no user");
+        return Handshake::Close;
+    };
+    let mut out = Vec::new();
+    protocol::push_frame(&mut out, b'R', &protocol::auth_cleartext_body());
+    if !writer.send(&out) {
+        return Handshake::Close;
+    }
+    let password = match protocol::read_frame(reader) {
+        Ok((b'p', body)) => match protocol::parse_cstr_body(&body) {
+            Ok(p) => p,
+            Err(_) => {
+                fatal(writer, "08P01", "malformed password message");
+                return Handshake::Close;
+            }
+        },
+        _ => {
+            fatal(writer, "08P01", "expected cleartext PasswordMessage");
+            return Handshake::Close;
+        }
+    };
+    // A non-empty password names an external principal (§4.2): log it
+    // in exactly as the cryptdb_active INSERT interception would. An
+    // empty password runs the session in the master-key context.
+    let logged_in = if password.is_empty() {
+        false
+    } else if let Err(e) = proxy.login(&user, &password) {
+        fatal(writer, "28P01", &format!("login failed for {user}: {e}"));
+        return Handshake::Close;
+    } else {
+        true
+    };
+    let mut out = Vec::new();
+    protocol::push_frame(&mut out, b'R', &protocol::auth_ok_body());
+    let mut param = b"server_version\0".to_vec();
+    param.extend_from_slice(b"cryptdb 0.1\0");
+    protocol::push_frame(&mut out, b'S', &param);
+    let mut keydata = Vec::new();
+    keydata.extend_from_slice(&(conn_id as i32).to_be_bytes());
+    keydata.extend_from_slice(&0i32.to_be_bytes());
+    protocol::push_frame(&mut out, b'K', &keydata);
+    protocol::push_frame(&mut out, b'Z', &protocol::ready_body());
+    if !writer.send(&out) {
+        // The client vanished between login and AuthenticationOk: undo
+        // the login here, because Close paths never reach the query
+        // loop's logout and the principal's keys must not stay resident.
+        if logged_in {
+            proxy.logout(&user);
+        }
+        return Handshake::Close;
+    }
+    Handshake::Proceed {
+        principal: user,
+        logged_in,
+    }
+}
+
+fn handle_connection(proxy: Arc<Proxy>, stream: TcpStream, conn_id: u64) {
+    // Bound responder writes (see WRITE_TIMEOUT): timeouts are per
+    // socket, so setting them here covers the writer clone too. Reads
+    // are bounded only DURING the handshake — a connection that never
+    // completes startup/auth must not pin a reader thread and fd
+    // forever — and unbounded afterwards (an idle authenticated client
+    // is legitimate).
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let writer = Arc::new(WireWriter::new(stream));
+    let Handshake::Proceed {
+        principal,
+        logged_in,
+    } = handshake(&mut reader, &writer, &proxy, conn_id)
+    else {
+        return;
+    };
+    let _ = reader.get_ref().set_read_timeout(None);
+    let session = StatementSession::new(proxy.clone());
+    loop {
+        match protocol::read_frame(&mut reader) {
+            Ok((b'Q', body)) => {
+                let Ok(sql) = protocol::parse_cstr_body(&body) else {
+                    fatal(&writer, "08P01", "malformed query message");
+                    break;
+                };
+                let verb = command_verb(&sql);
+                let writer = writer.clone();
+                session.submit(sql, move |result, _service_ns| {
+                    let mut out = Vec::new();
+                    match result {
+                        Ok(r) => push_query_result(&mut out, &verb, &r),
+                        Err(e) => protocol::push_frame(
+                            &mut out,
+                            b'E',
+                            &protocol::error_body("ERROR", sqlstate(&e), &e.to_string()),
+                        ),
+                    }
+                    protocol::push_frame(&mut out, b'Z', &protocol::ready_body());
+                    writer.send(&out);
+                });
+            }
+            Ok((b'X', _)) => {
+                // Graceful terminate. PostgreSQL processes messages in
+                // order, so statements pipelined BEFORE the Terminate
+                // must still execute — drain the chain, then close.
+                session.wait_idle();
+                break;
+            }
+            Ok((tag, _)) => {
+                fatal(
+                    &writer,
+                    "08P01",
+                    &format!("unexpected message type {:?}", tag as char),
+                );
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed frame: report and close THIS connection;
+                // every other connection keeps being served.
+                fatal(&writer, "08P01", &format!("malformed frame: {e}"));
+                break;
+            }
+            // EOF / reset: abrupt disconnect. Fall through to release
+            // the session below — queued statements are dropped, the
+            // in-flight one completes, the pool stays healthy.
+            Err(_) => break,
+        }
+    }
+    session.close();
+    // Wait for the in-flight statement (close() only drops the queued
+    // tail): the logout below removes the principal's keys, and it must
+    // be sequenced strictly after the last statement that could resolve
+    // through them.
+    session.wait_idle();
+    if logged_in {
+        proxy.logout(&principal);
+    }
+}
+
+/// The command-tag verb for a statement: the leading keyword, plus the
+/// object kind for CREATE/DROP (PostgreSQL tags are `CREATE TABLE`,
+/// `INSERT 0 n`, `SELECT n`, ...).
+fn command_verb(sql: &str) -> String {
+    let mut words = sql.split_whitespace();
+    let first = words.next().unwrap_or("OK").to_uppercase();
+    if first == "CREATE" || first == "DROP" {
+        if let Some(second) = words.next() {
+            return format!("{first} {}", second.to_uppercase());
+        }
+    }
+    first
+}
+
+/// SQLSTATE for a proxy error (the `C` field of `ErrorResponse`).
+fn sqlstate(e: &ProxyError) -> &'static str {
+    match e {
+        ProxyError::Parse(_) => "42601",           // syntax_error
+        ProxyError::Schema(_) => "42000",          // syntax_error_or_access_rule_violation
+        ProxyError::NeedsPlaintext(_) => "0A000",  // feature_not_supported
+        ProxyError::PolicyViolation(_) => "42501", // insufficient_privilege
+        ProxyError::KeyUnavailable(_) => "28000",  // invalid_authorization_specification
+        ProxyError::Crypto(_) | ProxyError::Engine(_) => "XX000", // internal_error
+    }
+}
+
+/// Renders one decrypted cell in PostgreSQL text format.
+fn render_cell(v: &Value) -> Option<Vec<u8>> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(i.to_string().into_bytes()),
+        Value::Str(s) => Some(s.clone().into_bytes()),
+        Value::Bytes(b) => {
+            let mut out = b"\\x".to_vec();
+            for byte in b {
+                out.extend_from_slice(format!("{byte:02x}").as_bytes());
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Per-column type OID: inferred from the first non-NULL cell (the
+/// engine's columns are homogeneously typed once decrypted).
+fn infer_oids(columns: &[String], rows: &[Vec<Value>]) -> Vec<(String, i32)> {
+    columns
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let oid = rows
+                .iter()
+                .find_map(|row| match row.get(i) {
+                    Some(Value::Int(_)) => Some(protocol::OID_INT8),
+                    Some(Value::Str(_)) => Some(protocol::OID_TEXT),
+                    Some(Value::Bytes(_)) => Some(protocol::OID_BYTEA),
+                    _ => None,
+                })
+                .unwrap_or(protocol::OID_TEXT);
+            (name.clone(), oid)
+        })
+        .collect()
+}
+
+/// Frames one statement's result: `RowDescription` + `DataRow`s +
+/// `CommandComplete`, or just the completion tag for writes/DDL.
+fn push_query_result(out: &mut Vec<u8>, verb: &str, result: &QueryResult) {
+    match result {
+        QueryResult::Rows { columns, rows } => {
+            let described = infer_oids(columns, rows);
+            protocol::push_frame(out, b'T', &protocol::row_description_body(&described));
+            for row in rows {
+                let cells: Vec<Option<Vec<u8>>> = row.iter().map(render_cell).collect();
+                protocol::push_frame(out, b'D', &protocol::data_row_body(&cells));
+            }
+            protocol::push_frame(
+                out,
+                b'C',
+                &protocol::command_complete_body(&format!("SELECT {}", rows.len())),
+            );
+        }
+        QueryResult::Affected(n) => {
+            let tag = if verb == "INSERT" {
+                format!("INSERT 0 {n}")
+            } else {
+                format!("{verb} {n}")
+            };
+            protocol::push_frame(out, b'C', &protocol::command_complete_body(&tag));
+        }
+        QueryResult::Ok => {
+            protocol::push_frame(out, b'C', &protocol::command_complete_body(verb));
+        }
+    }
+}

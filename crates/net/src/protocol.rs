@@ -1,0 +1,245 @@
+//! Minimal PostgreSQL wire-format (protocol 3.0) codec, shared by the
+//! server and the [`NetClient`](crate::NetClient) test helper.
+//!
+//! Only the subset the front-end speaks is implemented: the startup
+//! handshake (plus `SSLRequest` refusal), cleartext-password
+//! authentication, the simple-query cycle (`Q` →
+//! `RowDescription`/`DataRow`/`CommandComplete`/`ErrorResponse` →
+//! `ReadyForQuery`) and `Terminate`. All integers are big-endian; all
+//! strings are NUL-terminated, per the PostgreSQL frontend/backend
+//! protocol documentation.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version 3.0 (`3 << 16`).
+pub const PROTOCOL_V3: i32 = 196_608;
+/// Magic "protocol version" of an `SSLRequest` startup packet.
+pub const SSL_REQUEST: i32 = 80_877_103;
+/// Magic "protocol version" of a `CancelRequest` startup packet.
+pub const CANCEL_REQUEST: i32 = 80_877_102;
+
+/// Hard cap on a frame body (bytes). A declared length beyond this is
+/// treated as a malformed frame, not an allocation request — one broken
+/// or adversarial client must not make the server balloon memory.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// `RowDescription` type OID for 64-bit integers (`int8`).
+pub const OID_INT8: i32 = 20;
+/// `RowDescription` type OID for `bytea`.
+pub const OID_BYTEA: i32 = 17;
+/// `RowDescription` type OID for `text`.
+pub const OID_TEXT: i32 = 25;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_exact_buf(r: &mut impl Read, n: usize) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_i32(r: &mut impl Read) -> io::Result<i32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(i32::from_be_bytes(b))
+}
+
+/// A parsed startup packet: protocol version + parameter pairs.
+#[derive(Debug)]
+pub struct Startup {
+    /// Protocol version or request magic ([`PROTOCOL_V3`],
+    /// [`SSL_REQUEST`], [`CANCEL_REQUEST`]).
+    pub protocol: i32,
+    /// `key → value` startup parameters (`user`, `database`, ...).
+    pub params: Vec<(String, String)>,
+}
+
+impl Startup {
+    /// The named startup parameter, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads a startup packet (no leading type byte, unlike every later
+/// frame). `SSLRequest`/`CancelRequest` packets carry no parameters.
+pub fn read_startup(r: &mut impl Read) -> io::Result<Startup> {
+    let len = read_i32(r)?;
+    if !(8..=MAX_FRAME as i32 + 4).contains(&len) {
+        return Err(bad(format!("startup length {len} out of range")));
+    }
+    let body = read_exact_buf(r, len as usize - 4)?;
+    let protocol = i32::from_be_bytes(body[0..4].try_into().unwrap());
+    let mut params = Vec::new();
+    if protocol == PROTOCOL_V3 {
+        let mut rest = &body[4..];
+        loop {
+            let (s, tail) = take_cstr(rest)?;
+            if s.is_empty() {
+                break;
+            }
+            let (v, tail) = take_cstr(tail)?;
+            params.push((s, v));
+            rest = tail;
+        }
+    }
+    Ok(Startup { protocol, params })
+}
+
+/// Writes a protocol-3.0 startup packet with the given parameters.
+pub fn write_startup(w: &mut impl Write, params: &[(&str, &str)]) -> io::Result<()> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&PROTOCOL_V3.to_be_bytes());
+    for (k, v) in params {
+        body.extend_from_slice(k.as_bytes());
+        body.push(0);
+        body.extend_from_slice(v.as_bytes());
+        body.push(0);
+    }
+    body.push(0);
+    w.write_all(&(body.len() as i32 + 4).to_be_bytes())?;
+    w.write_all(&body)
+}
+
+fn take_cstr(buf: &[u8]) -> io::Result<(String, &[u8])> {
+    let nul = buf
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or_else(|| bad("unterminated string"))?;
+    let s = String::from_utf8(buf[..nul].to_vec()).map_err(|_| bad("non-UTF-8 string"))?;
+    Ok((s, &buf[nul + 1..]))
+}
+
+/// Reads one typed frame: `(tag, body)`. Returns
+/// [`io::ErrorKind::InvalidData`] for out-of-range lengths (malformed
+/// frame) and ordinary I/O errors for truncation/disconnect.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let len = read_i32(r)?;
+    if !(4..=MAX_FRAME as i32 + 4).contains(&len) {
+        return Err(bad(format!("frame length {len} out of range")));
+    }
+    let body = read_exact_buf(r, len as usize - 4)?;
+    Ok((tag[0], body))
+}
+
+/// Writes one typed frame.
+pub fn write_frame(w: &mut impl Write, tag: u8, body: &[u8]) -> io::Result<()> {
+    w.write_all(&[tag])?;
+    w.write_all(&(body.len() as i32 + 4).to_be_bytes())?;
+    w.write_all(body)
+}
+
+/// Appends one typed frame to an output buffer (for batching a whole
+/// response before taking the connection's write lock).
+pub fn push_frame(out: &mut Vec<u8>, tag: u8, body: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(body.len() as i32 + 4).to_be_bytes());
+    out.extend_from_slice(body);
+}
+
+/// `AuthenticationCleartextPassword` body.
+pub fn auth_cleartext_body() -> Vec<u8> {
+    3i32.to_be_bytes().to_vec()
+}
+
+/// `AuthenticationOk` body.
+pub fn auth_ok_body() -> Vec<u8> {
+    0i32.to_be_bytes().to_vec()
+}
+
+/// `ReadyForQuery` body (always idle: the front-end does not expose
+/// multi-statement transactions' state).
+pub fn ready_body() -> Vec<u8> {
+    vec![b'I']
+}
+
+/// Builds a `RowDescription` body from `(name, type_oid)` columns.
+/// Text format (format code 0) for every field.
+pub fn row_description_body(columns: &[(String, i32)]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(columns.len() as i16).to_be_bytes());
+    for (name, oid) in columns {
+        body.extend_from_slice(name.as_bytes());
+        body.push(0);
+        body.extend_from_slice(&0i32.to_be_bytes()); // table OID
+        body.extend_from_slice(&0i16.to_be_bytes()); // attribute number
+        body.extend_from_slice(&oid.to_be_bytes());
+        body.extend_from_slice(&(-1i16).to_be_bytes()); // type size
+        body.extend_from_slice(&(-1i32).to_be_bytes()); // type modifier
+        body.extend_from_slice(&0i16.to_be_bytes()); // format: text
+    }
+    body
+}
+
+/// Builds a `DataRow` body; `None` cells are SQL NULL.
+pub fn data_row_body(cells: &[Option<Vec<u8>>]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(cells.len() as i16).to_be_bytes());
+    for cell in cells {
+        match cell {
+            None => body.extend_from_slice(&(-1i32).to_be_bytes()),
+            Some(bytes) => {
+                body.extend_from_slice(&(bytes.len() as i32).to_be_bytes());
+                body.extend_from_slice(bytes);
+            }
+        }
+    }
+    body
+}
+
+/// Builds a `CommandComplete` body from a tag like `SELECT 3`.
+pub fn command_complete_body(tag: &str) -> Vec<u8> {
+    let mut body = tag.as_bytes().to_vec();
+    body.push(0);
+    body
+}
+
+/// Builds an `ErrorResponse` body (severity, SQLSTATE code, message).
+pub fn error_body(severity: &str, code: &str, message: &str) -> Vec<u8> {
+    let mut body = Vec::new();
+    for (field, value) in [(b'S', severity), (b'C', code), (b'M', message)] {
+        body.push(field);
+        body.extend_from_slice(value.as_bytes());
+        body.push(0);
+    }
+    body.push(0);
+    body
+}
+
+/// Parses an `ErrorResponse` body into (severity, code, message).
+pub fn parse_error_body(body: &[u8]) -> (String, String, String) {
+    let mut severity = String::new();
+    let mut code = String::new();
+    let mut message = String::new();
+    let mut rest = body;
+    while let Some((&field, tail)) = rest.split_first() {
+        if field == 0 {
+            break;
+        }
+        let Ok((value, tail)) = take_cstr(tail) else {
+            break;
+        };
+        match field {
+            b'S' => severity = value,
+            b'C' => code = value,
+            b'M' => message = value,
+            _ => {}
+        }
+        rest = tail;
+    }
+    (severity, code, message)
+}
+
+/// Reads the single NUL-terminated string of a `PasswordMessage` or
+/// `Query` body.
+pub fn parse_cstr_body(body: &[u8]) -> io::Result<String> {
+    let (s, _) = take_cstr(body)?;
+    Ok(s)
+}

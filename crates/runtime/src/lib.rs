@@ -60,6 +60,7 @@
 //! never called from pool workers.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -6,21 +6,24 @@
 //! read-write state precisely so sessions can proceed in parallel. This
 //! crate supplies the missing serving layer:
 //!
-//! * [`Server`] owns an `Arc<Proxy>` and fans N client sessions out
-//!   over the proxy's existing crypto [`WorkerPool`] — on the **normal
-//!   (bulk) lane**, so blinding-pool refills keep their priority-lane
-//!   advantage even under full session load.
-//! * Each session is a *chain of per-statement jobs*: a job executes
-//!   one statement, records its service latency, and re-enqueues the
-//!   session's next statement. Per-session order is preserved (the next
-//!   statement is only enqueued after the current one finishes) while
-//!   sessions interleave at statement granularity — no session can
-//!   monopolise a worker, and a waiting decrypt can help-run other
-//!   sessions' statements ([`PendingMap::wait_help`]) without ever
-//!   inlining an entire foreign session.
-//! * [`ServingReport`] captures per-session latency percentiles
-//!   (p50/p99) and aggregate throughput, the quantities the
-//!   `e2e_throughput` bench gates.
+//! * [`StatementSession`] is the core primitive: a *chain of
+//!   per-statement jobs* on the proxy's crypto [`WorkerPool`] (normal
+//!   lane — blinding-pool refills keep their priority-lane advantage
+//!   even under full session load). Statements are pushed one at a time
+//!   (a batch upfront or streamed from a socket); each job executes one
+//!   statement, invokes its responder, and re-enqueues the session's
+//!   next statement. Per-session order is preserved (the next statement
+//!   only runs after the current one's responder returns) while sessions
+//!   interleave at statement granularity — no session can monopolise a
+//!   worker, and a waiting decrypt can help-run other sessions'
+//!   statements ([`PendingMap::wait_help`]) without ever inlining an
+//!   entire foreign session.
+//! * [`Server`] fans N pre-recorded session traces out over shared
+//!   [`StatementSession`] chains and aggregates a [`ServingReport`] of
+//!   per-session latency percentiles (p50/p99) and throughput — the
+//!   quantities the `e2e_throughput` bench gates. The `cryptdb-net`
+//!   wire front-end drives the same [`StatementSession`] machinery from
+//!   live TCP connections instead of pre-recorded traces.
 //!
 //! Correctness under concurrency is checked against a **serial
 //! oracle**: [`replay_serial`] runs the same per-session traces
@@ -35,22 +38,29 @@
 //! [`WorkerPool`]: cryptdb_runtime::WorkerPool
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use cryptdb_core::proxy::Proxy;
 use cryptdb_core::ProxyError;
+use cryptdb_engine::QueryResult;
 use cryptdb_runtime::WorkerPool;
-use std::sync::mpsc::{channel, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One client session: a named, ordered statement trace.
 #[derive(Clone, Debug)]
 pub struct SessionTrace {
+    /// Session name (stable sort key in reports).
     pub name: String,
+    /// The session's statements, in execution order.
     pub statements: Vec<String>,
 }
 
 impl SessionTrace {
+    /// Creates a named trace from a statement list.
     pub fn new(name: impl Into<String>, statements: Vec<String>) -> Self {
         SessionTrace {
             name: name.into(),
@@ -62,15 +72,18 @@ impl SessionTrace {
 /// Latency/throughput summary for one served session.
 #[derive(Clone, Debug)]
 pub struct SessionStats {
+    /// The session's name (from its [`SessionTrace`]).
     pub name: String,
     /// Statements executed.
     pub queries: usize,
     /// Statements that returned an error (the session keeps going; the
     /// harness traces are expected to be error-free and assert on this).
     pub errors: usize,
-    /// Per-statement service-time percentiles (queue wait excluded).
+    /// Per-statement median service time (queue wait excluded).
     pub p50_ns: u64,
+    /// Per-statement 99th-percentile service time.
     pub p99_ns: u64,
+    /// Worst single-statement service time.
     pub max_ns: u64,
     /// Sum of service times.
     pub busy_ns: u64,
@@ -79,14 +92,17 @@ pub struct SessionStats {
 /// Aggregate result of one [`Server::serve`] run.
 #[derive(Clone, Debug)]
 pub struct ServingReport {
+    /// Per-session summaries, sorted by session name.
     pub sessions: Vec<SessionStats>,
     /// Wall-clock for the whole fan-out (enqueue → last session done).
     pub elapsed_ns: u64,
     /// Total statements across sessions.
     pub queries: usize,
+    /// Total errored statements across sessions.
     pub errors: usize,
-    /// Aggregate per-statement percentiles over every session's samples.
+    /// Aggregate per-statement median over every session's samples.
     pub p50_ns: u64,
+    /// Aggregate per-statement 99th percentile over every session.
     pub p99_ns: u64,
 }
 
@@ -97,7 +113,14 @@ impl ServingReport {
     }
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
+/// Percentile over an ascending-sorted sample by rounded linear index
+/// (`sorted[round(p · (N−1))]`; 0 when empty). Note this is *not* the
+/// textbook nearest-rank estimator (`sorted[ceil(p · N) − 1]`) — e.g.
+/// p50 of `[1, 2, 3, 4]` is 3 here, 2 by nearest rank. It is the one
+/// estimator every latency figure in the repo uses ([`SessionStats`],
+/// [`ServingReport`], the gated benches), exported so they cannot
+/// drift apart.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
@@ -105,61 +128,200 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
-/// The running state of one chained session; each `advance` executes
-/// one statement, then re-enqueues itself on the pool's bulk lane.
-struct SessionRun {
-    proxy: Arc<Proxy>,
-    pool: WorkerPool,
-    name: String,
-    statements: Vec<String>,
-    next: usize,
-    lat_ns: Vec<u64>,
-    errors: usize,
-    done: Sender<(SessionStats, Vec<u64>)>,
+/// Callback invoked with a statement's result and its service time
+/// (execution only, queue wait excluded), in submission order.
+pub type Responder = Box<dyn FnOnce(Result<QueryResult, ProxyError>, u64) + Send>;
+
+struct SessionQueue {
+    pending: VecDeque<(String, Responder)>,
+    /// True while an `advance` job for this session is queued or running.
+    running: bool,
+    closed: bool,
 }
 
-impl SessionRun {
-    fn advance(mut self) {
-        if self.next >= self.statements.len() {
-            let SessionRun {
+struct SessionInner {
+    proxy: Arc<Proxy>,
+    pool: WorkerPool,
+    /// `std` mutex (not `parking_lot`) so it can pair with [`Self::idle`]
+    /// for [`StatementSession::wait_idle`].
+    queue: std::sync::Mutex<SessionQueue>,
+    /// Notified whenever the chain goes idle (`running` flips false).
+    idle: std::sync::Condvar,
+}
+
+/// Unwind guard for [`SessionInner::advance`]: if a responder panics
+/// (the pool contains the panic per job, so nothing would ever reset
+/// the chain), poison the session — drop the queued tail, mark it
+/// closed, flip `running` off and wake [`StatementSession::wait_idle`]
+/// waiters — instead of leaving them blocked forever.
+struct ChainPoison<'a> {
+    inner: &'a SessionInner,
+}
+
+impl Drop for ChainPoison<'_> {
+    fn drop(&mut self) {
+        let mut q = self
+            .inner
+            .queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        q.closed = true;
+        q.pending.clear();
+        q.running = false;
+        self.inner.idle.notify_all();
+    }
+}
+
+impl SessionInner {
+    /// One chained job: execute exactly one statement, respond, then
+    /// re-enqueue the chain if more statements are pending. Running a
+    /// single statement per pool job is what lets sessions interleave at
+    /// statement granularity instead of monopolising a worker.
+    fn advance(self: Arc<Self>) {
+        let (sql, respond) = {
+            let mut q = self.queue.lock().unwrap();
+            match q.pending.pop_front() {
+                Some(job) => job,
+                None => {
+                    q.running = false;
+                    self.idle.notify_all();
+                    return;
+                }
+            }
+        };
+        // From here to the defuse below, an unwind must not leave
+        // `running` stuck true (wait_idle would block forever — and the
+        // wire front-end joins its reader threads through it).
+        let poison = ChainPoison { inner: &self };
+        let t0 = Instant::now();
+        // A panic inside statement execution becomes an ordinary error
+        // result: the responder still runs (a wire client gets an
+        // ErrorResponse instead of silence) and the chain survives.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.proxy.execute(&sql)))
+                .unwrap_or_else(|_| Err(ProxyError::Crypto("statement execution panicked".into())));
+        let service_ns = t0.elapsed().as_nanos() as u64;
+        respond(result, service_ns);
+        std::mem::forget(poison);
+        let again = {
+            let mut q = self.queue.lock().unwrap();
+            if q.pending.is_empty() {
+                q.running = false;
+                self.idle.notify_all();
+                false
+            } else {
+                true
+            }
+        };
+        if again {
+            let pool = self.pool.clone();
+            let inner = self.clone();
+            pool.execute(move || inner.advance());
+        }
+    }
+}
+
+/// A streaming client session: statements pushed via [`submit`] execute
+/// as chained single-statement jobs on the proxy's worker pool, with
+/// responders invoked in submission order.
+///
+/// This is the serving layer's core machinery: [`Server::serve`] drives
+/// it from pre-recorded traces, and the `cryptdb-net` wire front-end
+/// drives it from live socket reads. The chain owns `Arc` clones of the
+/// proxy and pool, so dropping the `StatementSession` handle does *not*
+/// cancel in-flight statements — use [`close`] for that.
+///
+/// [`submit`]: StatementSession::submit
+/// [`close`]: StatementSession::close
+pub struct StatementSession {
+    inner: Arc<SessionInner>,
+}
+
+impl StatementSession {
+    /// Opens a session executing on `proxy`'s own runtime pool.
+    pub fn new(proxy: Arc<Proxy>) -> Self {
+        let pool = proxy.runtime().clone();
+        StatementSession {
+            inner: Arc::new(SessionInner {
                 proxy,
                 pool,
-                name,
-                lat_ns,
-                errors,
-                done,
-                ..
-            } = self;
-            // Release the proxy/pool handles BEFORE reporting: the
-            // caller treats the report as "session fully torn down" and
-            // may drop its own proxy handle immediately — if this job's
-            // clones were still alive, the *worker thread* could become
-            // the last owner and have to tear the pool down from inside
-            // itself.
-            drop(proxy);
-            drop(pool);
-            let mut sorted = lat_ns.clone();
-            sorted.sort_unstable();
-            let stats = SessionStats {
-                name,
-                queries: lat_ns.len(),
-                errors,
-                p50_ns: percentile(&sorted, 0.50),
-                p99_ns: percentile(&sorted, 0.99),
-                max_ns: sorted.last().copied().unwrap_or(0),
-                busy_ns: sorted.iter().sum(),
-            };
-            let _ = done.send((stats, lat_ns));
-            return;
+                queue: std::sync::Mutex::new(SessionQueue {
+                    pending: VecDeque::new(),
+                    running: false,
+                    closed: false,
+                }),
+                idle: std::sync::Condvar::new(),
+            }),
         }
-        let t0 = Instant::now();
-        if self.proxy.execute(&self.statements[self.next]).is_err() {
-            self.errors += 1;
+    }
+
+    /// The proxy this session executes against.
+    pub fn proxy(&self) -> &Arc<Proxy> {
+        &self.inner.proxy
+    }
+
+    /// Enqueues one statement. `respond` runs on a pool worker with the
+    /// statement's result and service time, strictly after every
+    /// earlier statement's responder and strictly before every later
+    /// one's. After [`close`], submissions are silently dropped.
+    ///
+    /// [`close`]: StatementSession::close
+    pub fn submit(
+        &self,
+        sql: String,
+        respond: impl FnOnce(Result<QueryResult, ProxyError>, u64) + Send + 'static,
+    ) {
+        let start = {
+            let mut q = self.inner.queue.lock().unwrap();
+            if q.closed {
+                return;
+            }
+            q.pending.push_back((sql, Box::new(respond)));
+            if q.running {
+                false
+            } else {
+                q.running = true;
+                true
+            }
+        };
+        if start {
+            let inner = self.inner.clone();
+            self.inner.pool.execute(move || inner.advance());
         }
-        self.lat_ns.push(t0.elapsed().as_nanos() as u64);
-        self.next += 1;
-        let pool = self.pool.clone();
-        pool.execute(move || self.advance());
+    }
+
+    /// Closes the session: queued-but-unstarted statements (and their
+    /// responders) are dropped and later submissions are ignored. The
+    /// statement currently executing, if any, still completes and
+    /// responds — a disconnecting client releases the session without
+    /// wedging the pool or abandoning a half-applied statement. Returns
+    /// immediately; pair with [`wait_idle`] to block until the in-flight
+    /// statement has actually finished.
+    ///
+    /// [`wait_idle`]: StatementSession::wait_idle
+    pub fn close(&self) {
+        let mut q = self.inner.queue.lock().unwrap();
+        q.closed = true;
+        q.pending.clear();
+    }
+
+    /// Blocks until the session's chain is idle: every submitted
+    /// statement has executed and its responder returned (or, after
+    /// [`close`], until the in-flight statement finished). Use it to
+    /// drain a pipelined session before a graceful shutdown, or to
+    /// sequence teardown (e.g. a principal logout) strictly after the
+    /// last statement that might use the session's keys.
+    ///
+    /// Must not be called from a pool worker (a worker waiting on work
+    /// only the pool can run is a deadlock with `runtime_threads = 1`);
+    /// callers are connection/reader threads or test mains.
+    ///
+    /// [`close`]: StatementSession::close
+    pub fn wait_idle(&self) {
+        let mut q = self.inner.queue.lock().unwrap();
+        while q.running || !q.pending.is_empty() {
+            q = self.inner.idle.wait(q).unwrap();
+        }
     }
 }
 
@@ -169,6 +331,7 @@ pub struct Server {
 }
 
 impl Server {
+    /// Creates a server sharing `proxy` across all sessions it serves.
     pub fn new(proxy: Arc<Proxy>) -> Self {
         Server { proxy }
     }
@@ -179,8 +342,8 @@ impl Server {
     }
 
     /// Serves every trace concurrently (statement-granular interleaving
-    /// on the proxy's worker pool, normal lane) and blocks until all
-    /// sessions complete.
+    /// on the proxy's worker pool via one [`StatementSession`] per
+    /// trace, normal lane) and blocks until all sessions complete.
     ///
     /// # Panics
     ///
@@ -191,20 +354,59 @@ impl Server {
         let n = traces.len();
         let (tx, rx) = channel();
         let t0 = Instant::now();
-        let pool = self.proxy.runtime().clone();
         for trace in traces {
-            let run = SessionRun {
-                proxy: self.proxy.clone(),
-                pool: pool.clone(),
-                name: trace.name,
-                statements: trace.statements,
-                next: 0,
-                lat_ns: Vec::new(),
-                errors: 0,
-                done: tx.clone(),
-            };
-            let pool = pool.clone();
-            pool.execute(move || run.advance());
+            let total = trace.statements.len();
+            if total == 0 {
+                let _ = tx.send((
+                    SessionStats {
+                        name: trace.name,
+                        queries: 0,
+                        errors: 0,
+                        p50_ns: 0,
+                        p99_ns: 0,
+                        max_ns: 0,
+                        busy_ns: 0,
+                    },
+                    Vec::new(),
+                ));
+                continue;
+            }
+            let session = StatementSession::new(self.proxy.clone());
+            // (latencies so far, errors so far) — responders run in
+            // order on pool workers; the last one reports the session.
+            let acc = Arc::new(Mutex::new((Vec::with_capacity(total), 0usize)));
+            for sql in trace.statements {
+                let acc = acc.clone();
+                let tx = tx.clone();
+                let name = trace.name.clone();
+                session.submit(sql, move |result, service_ns| {
+                    let mut g = acc.lock();
+                    if result.is_err() {
+                        g.1 += 1;
+                    }
+                    g.0.push(service_ns);
+                    if g.0.len() < total {
+                        return;
+                    }
+                    let lat_ns = std::mem::take(&mut g.0);
+                    let errors = g.1;
+                    drop(g);
+                    let mut sorted = lat_ns.clone();
+                    sorted.sort_unstable();
+                    let stats = SessionStats {
+                        name,
+                        queries: lat_ns.len(),
+                        errors,
+                        p50_ns: percentile(&sorted, 0.50),
+                        p99_ns: percentile(&sorted, 0.99),
+                        max_ns: sorted.last().copied().unwrap_or(0),
+                        busy_ns: sorted.iter().sum(),
+                    };
+                    let _ = tx.send((stats, lat_ns));
+                });
+            }
+            // The session handle drops here; the chain keeps running on
+            // its own Arc clones until the final responder reports.
         }
         drop(tx); // A disconnected channel now means a lost session.
         let mut sessions = Vec::with_capacity(n);
@@ -247,14 +449,12 @@ pub fn replay_serial(proxy: &Proxy, traces: &[SessionTrace]) -> (usize, usize) {
     (queries, errors)
 }
 
-/// Decrypted, order-insensitive dump of every proxy-managed table:
-/// tables sorted by name, each `SELECT <all columns>` result rendered
-/// with [`canonical_text`] (sorted rows). Two runs that left the
-/// database in the same logical state — regardless of row order or
-/// ciphertext randomness — produce byte-identical dumps.
-///
-/// [`canonical_text`]: cryptdb_engine::QueryResult::canonical_text
-pub fn canonical_dump(proxy: &Proxy) -> Result<String, ProxyError> {
+/// The canonical `(table, columns)` listing of every proxy-managed
+/// table (lowercased names, schema column order), sorted by table.
+/// This is the single source of the table list that [`canonical_dump`]
+/// and its wire twin (`cryptdb_net::wire_canonical_dump` callers) both
+/// iterate, so the two dump paths can never drift apart.
+pub fn schema_tables(proxy: &Proxy) -> Vec<(String, Vec<String>)> {
     let mut tables: Vec<(String, Vec<String>)> = proxy.with_schema(|schema| {
         schema
             .tables()
@@ -267,6 +467,18 @@ pub fn canonical_dump(proxy: &Proxy) -> Result<String, ProxyError> {
             .collect()
     });
     tables.sort();
+    tables
+}
+
+/// Decrypted, order-insensitive dump of every proxy-managed table:
+/// tables sorted by name, each `SELECT <all columns>` result rendered
+/// with [`canonical_text`] (sorted rows). Two runs that left the
+/// database in the same logical state — regardless of row order or
+/// ciphertext randomness — produce byte-identical dumps.
+///
+/// [`canonical_text`]: cryptdb_engine::QueryResult::canonical_text
+pub fn canonical_dump(proxy: &Proxy) -> Result<String, ProxyError> {
+    let tables = schema_tables(proxy);
     let mut out = String::new();
     for (table, columns) in tables {
         let sql = format!("SELECT {} FROM {table}", columns.join(", "));

@@ -134,6 +134,24 @@ fn concurrent_serving_matches_serial_oracle() {
 }
 
 #[test]
+fn panicking_responder_does_not_wedge_wait_idle() {
+    use cryptdb_server::StatementSession;
+    let proxy = mixed_proxy();
+    proxy.execute("CREATE TABLE t (a int)").unwrap();
+    let session = StatementSession::new(proxy);
+    session.submit("INSERT INTO t (a) VALUES (1)".into(), |_res, _ns| {
+        panic!("responder blew up");
+    });
+    // The pool contains the panic per job; the poison guard must still
+    // release the chain, or this call blocks forever.
+    session.wait_idle();
+    // The session is closed by the poison guard: later submissions are
+    // dropped rather than executed against a half-torn-down chain.
+    session.submit("INSERT INTO t (a) VALUES (2)".into(), |_res, _ns| {});
+    session.wait_idle();
+}
+
+#[test]
 fn sessions_outnumbering_workers_complete() {
     // More sessions than pool threads: chains must interleave on the
     // queue without wedging (runtime_threads = 1 forces the worst case,
