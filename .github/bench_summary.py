@@ -22,6 +22,8 @@ GATE_POLICY = {
     "serving_errors": ("flag", 0.0),
     "wire_matches_serial": ("flag", 1.0),
     "wire_errors": ("flag", 0.0),
+    "recovery_matches_pre_crash": ("flag", 1.0),
+    "recovery_errors": ("flag", 0.0),
 }
 
 
@@ -94,6 +96,27 @@ def main(paths):
                     f"\nwire overhead at 4 sessions: {overhead:g}× "
                     "(in-process qps / socket-path qps)"
                 )
+        # Older artifacts predate the WAL; every key is optional here.
+        wal = e2e.get("wal_results")
+        if wal:
+            print("\n## Durability (WAL fsync policy ladder, serial)\n")
+            print("| policy | queries/sec |")
+            print("|---:|---:|")
+            for name, row in wal.items():
+                print(f"| {name} | {row.get('qps', 0.0):.1f} |")
+            overhead = e2e.get("wal_overhead_everyN_vs_off")
+            if overhead is not None:
+                print(
+                    f"\nWAL overhead, EveryN(64) group commit vs no WAL: "
+                    f"{overhead:g}× (informational)"
+                )
+        recovery = e2e.get("recovery")
+        if recovery:
+            print(
+                f"\nrecovery: {recovery.get('ms', 0):g} ms to replay "
+                f"{recovery.get('records', 0)} records "
+                f"({recovery.get('log_bytes', 0)} log bytes)"
+            )
 
 
 def throughput_table(label, results):

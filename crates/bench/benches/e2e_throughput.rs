@@ -31,6 +31,13 @@
 //!   must finish error-free and leave a database state byte-identical
 //!   to the serial oracle, with **both** dumps read back through the
 //!   socket path. Enforced at every size and host.
+//! * `recovery_matches_pre_crash` / `recovery_errors` — after the
+//!   fsync=Always durability row, the proxy is dropped and reopened
+//!   from its WAL directory; the recovered decrypted dump must be
+//!   byte-identical to the pre-crash dump. Enforced at every size and
+//!   host. The `wal_results` ladder (no WAL / Never / EveryN(64) /
+//!   Always) and `wal_overhead_everyN_vs_off` are informational —
+//!   absolute fsync cost is host-dependent.
 //!
 //! Reduced-size knobs for CI: `CRYPTDB_BENCH_PAILLIER_BITS` (key size)
 //! and `CRYPTDB_E2E_STEPS` (driver steps per session; each step is one
@@ -40,7 +47,7 @@ use cryptdb_apps::mixed::{self, MixedScale};
 use cryptdb_apps::phpbb;
 use cryptdb_bench::bench_paillier_bits;
 use cryptdb_core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
-use cryptdb_engine::Engine;
+use cryptdb_engine::{Engine, FsyncPolicy, WalConfig};
 use cryptdb_net::{wire_canonical_dump, NetClient, NetServer, WireError};
 use cryptdb_server::{
     canonical_dump, percentile, replay_serial, schema_tables, Server, SessionTrace,
@@ -297,6 +304,101 @@ fn main() {
     drop(oracle_server);
     drop(wire_server);
 
+    // ---- Durability ladder: the same serial statement set with the
+    // WAL attached under each fsync policy, against the no-WAL
+    // baseline. One session (serial) so the rows isolate log overhead
+    // from scheduling noise.
+    let wal_work: Vec<String> = base.iter().flatten().cloned().collect();
+    let wal_dir_base =
+        std::env::temp_dir().join(format!("cryptdb-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir_base);
+    let mut wal_rows: Vec<(&str, f64)> = Vec::new();
+    let mut recovery = None;
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("off", None),
+        ("fsync_never", Some(FsyncPolicy::Never)),
+        ("fsync_every_64", Some(FsyncPolicy::EveryN(64))),
+        ("fsync_always", Some(FsyncPolicy::Always)),
+    ];
+    for (name, policy) in policies {
+        let cfg = ProxyConfig {
+            policy: mixed_policy(),
+            paillier_bits: bits,
+            ..Default::default()
+        };
+        let dir = wal_dir_base.join(name);
+        let proxy = match policy {
+            None => Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg)),
+            Some(fsync) => {
+                let wal_cfg = WalConfig {
+                    fsync,
+                    snapshot_every: None,
+                    fault: None,
+                };
+                let (p, _) =
+                    Proxy::open_persistent(&dir, [7u8; 32], cfg, wal_cfg).expect("attach wal");
+                Arc::new(p)
+            }
+        };
+        prepare(&proxy, &scale);
+        let t0 = Instant::now();
+        let mut errors = 0usize;
+        for stmt in &wal_work {
+            errors += usize::from(proxy.execute(stmt).is_err());
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        total_errors += errors;
+        let row_qps = wal_work.len() as f64 / secs;
+        println!("wal {name:<15} qps={row_qps:<10.1} errors={errors}");
+        wal_rows.push((name, row_qps));
+
+        // The strongest policy also feeds the recovery row: dump the
+        // pre-crash state, drop the proxy (abrupt stop — no clean
+        // handover exists), reopen from the directory, and compare.
+        if name == "fsync_always" {
+            let pre_dump = canonical_dump(&proxy).expect("pre-crash dump");
+            let log_bytes = proxy.engine().wal_len();
+            drop(proxy);
+            let r0 = Instant::now();
+            let (recovered, rec) = Proxy::open_persistent(
+                &dir,
+                [7u8; 32],
+                ProxyConfig {
+                    policy: mixed_policy(),
+                    paillier_bits: bits,
+                    ..Default::default()
+                },
+                WalConfig::default(),
+            )
+            .expect("recover");
+            let recovery_ms = r0.elapsed().as_secs_f64() * 1e3;
+            let post_dump = canonical_dump(&recovered).expect("post-recovery dump");
+            let ok = post_dump == pre_dump && !rec.report.corruption_detected;
+            println!(
+                "recovery: {:.1} ms, {} records, {} log bytes — {}",
+                recovery_ms,
+                rec.report.records_applied,
+                log_bytes,
+                if ok { "byte-identical" } else { "DIVERGED" }
+            );
+            recovery = Some((recovery_ms, rec.report.records_applied, log_bytes, ok));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir_base);
+    let wal_qps = |name: &str| {
+        wal_rows
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, q)| *q)
+            .unwrap_or(1.0)
+    };
+    // Group commit vs no WAL at all (>1 means the log costs throughput;
+    // recorded, not gated — absolute cost is host-dependent).
+    let wal_overhead = wal_qps("off") / wal_qps("fsync_every_64");
+    println!("wal overhead EveryN(64) vs off          {wal_overhead:.2}x");
+    let (recovery_ms, recovery_records, recovery_log_bytes, recovery_ok) =
+        recovery.expect("fsync_always row ran");
+
     // The 2× bar needs real hardware parallelism; below 4 threads the
     // ratio is reported but not enforced (see module docs).
     let scaling_enforced = host_parallelism >= 4 && worker_threads >= 4;
@@ -309,6 +411,11 @@ fn main() {
         ("serving_errors", total_errors as f64),
         ("wire_matches_serial", if wire_matches { 1.0 } else { 0.0 }),
         ("wire_errors", wire_errors as f64),
+        (
+            "recovery_matches_pre_crash",
+            if recovery_ok { 1.0 } else { 0.0 },
+        ),
+        ("recovery_errors", if recovery_ok { 0.0 } else { 1.0 }),
     ];
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"modulus_bits\": {bits},\n"));
@@ -335,7 +442,21 @@ fn main() {
             level.qps, level.p50_ns, level.p99_ns
         ));
     }
+    json.push_str("  },\n  \"wal_results\": {\n");
+    for (i, (name, row_qps)) in wal_rows.iter().enumerate() {
+        let comma = if i + 1 < wal_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"qps\": {row_qps:.1} }}{comma}\n"
+        ));
+    }
     json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"wal_overhead_everyN_vs_off\": {wal_overhead:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"recovery\": {{ \"ms\": {recovery_ms:.1}, \"records\": {recovery_records}, \
+         \"log_bytes\": {recovery_log_bytes} }},\n"
+    ));
     json.push_str(&format!(
         "  \"wire_overhead_4_vs_inproc\": {wire_overhead_4:.2},\n"
     ));
@@ -366,6 +487,10 @@ fn main() {
     }
     if wire_errors > 0 {
         eprintln!("FAIL: {wire_errors} statements errored over the wire");
+        std::process::exit(1);
+    }
+    if !recovery_ok {
+        eprintln!("FAIL: WAL recovery did not reproduce the pre-crash state");
         std::process::exit(1);
     }
     if scaling_enforced && scaling_4_vs_1 < 2.0 {

@@ -21,6 +21,12 @@ use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
 use std::collections::HashMap;
 
+/// Number of stripe locks sharding a column's OPE walker cache: enough
+/// that concurrent sessions missing on different plaintexts rarely
+/// collide on a stripe, small enough that the per-stripe result/node
+/// budgets (total ÷ stripes) stay useful.
+const OPE_WALKER_STRIPES: usize = 8;
+
 /// JOIN-ADJ tag length inside the Eq onion blob.
 pub const JTAG_LEN: usize = 32;
 /// IV length (AES block).
@@ -84,9 +90,12 @@ pub struct ColumnKeys {
     /// The same OPE key behind the paper's §3.1 batch-encryption cache:
     /// interior tree nodes are memoised, so misses walk shared
     /// range-split prefixes once (the AVL 25 ms → 7 ms optimisation).
-    /// Taken with `try_lock` — a contended walker falls back to the
-    /// cacheless instance rather than queueing.
-    ope_walker: Mutex<OpeCached>,
+    /// Sharded into [`OPE_WALKER_STRIPES`] stripe locks keyed by
+    /// plaintext hash, so concurrent misses on *different* values walk
+    /// in parallel instead of all but one falling back to the cacheless
+    /// instance. Each stripe is still taken with `try_lock` — a
+    /// contended stripe falls back rather than queueing.
+    ope_walkers: Vec<Mutex<OpeCached>>,
     /// The walker's result capacity, mirrored so the read-through map's
     /// admission bound always matches however the walker was built.
     ope_result_cap: usize,
@@ -121,8 +130,22 @@ impl ColumnKeys {
         };
         let join_key = path("eq", "joinadj");
         let search_key = path("search", "swp");
-        let ope_walker = OpeCached::new(Ope::new(&ope_key, 64, 124));
-        let ope_result_cap = ope_walker.result_cap();
+        // Stripe the walker: each stripe owns 1/Nth of the result and
+        // node budgets so total cache memory matches the unsharded
+        // design, and the read-through map's admission bound below is
+        // the SUM of the stripe caps (accounting stays exact).
+        let per_stripe_results = cryptdb_ope::DEFAULT_RESULT_CAP / OPE_WALKER_STRIPES;
+        let per_stripe_nodes = cryptdb_ope::DEFAULT_NODE_CAP / OPE_WALKER_STRIPES;
+        let ope_walkers: Vec<Mutex<OpeCached>> = (0..OPE_WALKER_STRIPES)
+            .map(|_| {
+                Mutex::new(OpeCached::with_capacity(
+                    Ope::new(&ope_key, 64, 124),
+                    per_stripe_results,
+                    per_stripe_nodes,
+                ))
+            })
+            .collect();
+        let ope_result_cap = per_stripe_results * OPE_WALKER_STRIPES;
         ColumnKeys {
             rnd_eq: aes128(&rnd_eq_key),
             rnd_ord: aes128(&rnd_ord_key),
@@ -130,7 +153,7 @@ impl ColumnKeys {
             det_txt: aes128(&det_key),
             ope: Ope::new(&ope_key, 64, 124),
             ope_results: RwLock::new(HashMap::new()),
-            ope_walker: Mutex::new(ope_walker),
+            ope_walkers,
             ope_result_cap,
             join: JoinKey::from_bytes(&join_key),
             search: SearchKey::new(&search_key),
@@ -154,7 +177,12 @@ impl ColumnKeys {
         if let Some(&c) = self.ope_results.read().get(&m) {
             return Ok(c);
         }
-        let c = match self.ope_walker.try_lock() {
+        // Stripe selection by plaintext hash (Fibonacci multiplicative):
+        // the same value always lands on the same stripe, so its interior
+        // tree nodes are memoised exactly once across the stripes.
+        let stripe =
+            (m.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.ope_walkers.len();
+        let c = match self.ope_walkers[stripe].try_lock() {
             Some(mut walker) => walker.encrypt(m)?,
             None => {
                 // Contended walker. Before paying a full cacheless tree

@@ -27,6 +27,7 @@
 pub mod colcrypt;
 pub mod error;
 pub mod memo;
+pub mod meta;
 pub mod multiprincipal;
 pub mod onion;
 // The rustdoc CI gate (`RUSTDOCFLAGS="-D warnings" cargo doc`) keeps the

@@ -1,0 +1,716 @@
+//! Proxy metadata codec for durability.
+//!
+//! The engine WAL persists only ciphertext; the proxy's secret schema
+//! state ([`EncSchema`]) — onion levels, join-key owners, staleness
+//! flags, principal-type registry — is serialized with this codec and
+//! attached to WAL records as the opaque `meta` blob. Recovery decodes
+//! the *last* meta blob in the log (last-writer-wins), which by
+//! construction reflects the schema after the final acknowledged
+//! schema-changing statement.
+//!
+//! The format is a hand-rolled length-prefixed byte encoding (the repo
+//! carries no serde). All integers are little-endian. Strings are
+//! `u32 len + UTF-8 bytes`. `next_rid` counters are deliberately NOT
+//! serialized: they are rebuilt on recovery from the engine's rid
+//! column (max + 1), which is authoritative.
+
+use crate::colcrypt::OnionSet;
+use crate::error::ProxyError;
+use crate::onion::{EqLevel, OrdLevel, SecLevel};
+use crate::schema::{ColumnState, EncSchema, TableState};
+use cryptdb_sqlparser::{
+    BinOp, ColumnRef, ColumnType, EncFor, Expr, Literal, SpeakerRef, SpeaksFor,
+};
+use std::sync::atomic::AtomicI64;
+use std::sync::Arc;
+
+/// Format version byte; bump on any wire change.
+const META_VERSION: u8 = 1;
+
+fn err(msg: impl Into<String>) -> ProxyError {
+    ProxyError::Schema(format!("meta decode: {}", msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_opt<T>(out: &mut Vec<u8>, v: &Option<T>, f: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            f(out, x);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive reader
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProxyError> {
+        if self.buf.len() - self.pos < n {
+            return Err(err("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProxyError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProxyError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProxyError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProxyError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn boolean(&mut self) -> Result<bool, ProxyError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(err(format!("bad bool {b}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProxyError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| err("bad utf-8"))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProxyError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn opt<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ProxyError>,
+    ) -> Result<Option<T>, ProxyError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            b => Err(err(format!("bad option tag {b}"))),
+        }
+    }
+
+    fn done(&self) -> Result<(), ProxyError> {
+        if self.pos != self.buf.len() {
+            return Err(err("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum codecs
+// ---------------------------------------------------------------------------
+
+fn put_column_type(out: &mut Vec<u8>, ty: ColumnType) {
+    out.push(match ty {
+        ColumnType::Int => 0,
+        ColumnType::Text => 1,
+    });
+}
+
+fn read_column_type(r: &mut Reader) -> Result<ColumnType, ProxyError> {
+    match r.u8()? {
+        0 => Ok(ColumnType::Int),
+        1 => Ok(ColumnType::Text),
+        b => Err(err(format!("bad column type {b}"))),
+    }
+}
+
+fn put_sec_level(out: &mut Vec<u8>, l: SecLevel) {
+    out.push(match l {
+        SecLevel::Rnd => 0,
+        SecLevel::Hom => 1,
+        SecLevel::Search => 2,
+        SecLevel::Det => 3,
+        SecLevel::Join => 4,
+        SecLevel::Ope => 5,
+        SecLevel::Plain => 6,
+    });
+}
+
+fn read_sec_level(r: &mut Reader) -> Result<SecLevel, ProxyError> {
+    Ok(match r.u8()? {
+        0 => SecLevel::Rnd,
+        1 => SecLevel::Hom,
+        2 => SecLevel::Search,
+        3 => SecLevel::Det,
+        4 => SecLevel::Join,
+        5 => SecLevel::Ope,
+        6 => SecLevel::Plain,
+        b => return Err(err(format!("bad sec level {b}"))),
+    })
+}
+
+fn put_bin_op(out: &mut Vec<u8>, op: BinOp) {
+    out.push(match op {
+        BinOp::Eq => 0,
+        BinOp::NotEq => 1,
+        BinOp::Lt => 2,
+        BinOp::LtEq => 3,
+        BinOp::Gt => 4,
+        BinOp::GtEq => 5,
+        BinOp::And => 6,
+        BinOp::Or => 7,
+        BinOp::Add => 8,
+        BinOp::Sub => 9,
+        BinOp::Mul => 10,
+        BinOp::Div => 11,
+        BinOp::Mod => 12,
+    });
+}
+
+fn read_bin_op(r: &mut Reader) -> Result<BinOp, ProxyError> {
+    Ok(match r.u8()? {
+        0 => BinOp::Eq,
+        1 => BinOp::NotEq,
+        2 => BinOp::Lt,
+        3 => BinOp::LtEq,
+        4 => BinOp::Gt,
+        5 => BinOp::GtEq,
+        6 => BinOp::And,
+        7 => BinOp::Or,
+        8 => BinOp::Add,
+        9 => BinOp::Sub,
+        10 => BinOp::Mul,
+        11 => BinOp::Div,
+        12 => BinOp::Mod,
+        b => return Err(err(format!("bad binop {b}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Expr codec (recursive — needed for SpeaksFor conditions)
+// ---------------------------------------------------------------------------
+
+fn put_expr(out: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Column(c) => {
+            out.push(0);
+            put_opt(out, &c.table, |o, t| put_str(o, t));
+            put_str(out, &c.column);
+        }
+        Expr::Literal(l) => {
+            out.push(1);
+            match l {
+                Literal::Int(v) => {
+                    out.push(0);
+                    put_i64(out, *v);
+                }
+                Literal::Str(s) => {
+                    out.push(1);
+                    put_str(out, s);
+                }
+                Literal::Bytes(b) => {
+                    out.push(2);
+                    put_bytes(out, b);
+                }
+                Literal::Null => out.push(3),
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            out.push(2);
+            put_bin_op(out, *op);
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        Expr::Not(inner) => {
+            out.push(3);
+            put_expr(out, inner);
+        }
+        Expr::Neg(inner) => {
+            out.push(4);
+            put_expr(out, inner);
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            out.push(5);
+            put_expr(out, expr);
+            put_expr(out, pattern);
+            put_bool(out, *negated);
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            out.push(6);
+            put_expr(out, expr);
+            put_u32(out, list.len() as u32);
+            for item in list {
+                put_expr(out, item);
+            }
+            put_bool(out, *negated);
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            out.push(7);
+            put_expr(out, expr);
+            put_expr(out, low);
+            put_expr(out, high);
+            put_bool(out, *negated);
+        }
+        Expr::IsNull { expr, negated } => {
+            out.push(8);
+            put_expr(out, expr);
+            put_bool(out, *negated);
+        }
+        Expr::Func {
+            name,
+            args,
+            star,
+            distinct,
+        } => {
+            out.push(9);
+            put_str(out, name);
+            put_u32(out, args.len() as u32);
+            for a in args {
+                put_expr(out, a);
+            }
+            put_bool(out, *star);
+            put_bool(out, *distinct);
+        }
+    }
+}
+
+fn read_expr(r: &mut Reader) -> Result<Expr, ProxyError> {
+    Ok(match r.u8()? {
+        0 => {
+            let table = r.opt(|r| r.string())?;
+            let column = r.string()?;
+            Expr::Column(ColumnRef { table, column })
+        }
+        1 => Expr::Literal(match r.u8()? {
+            0 => Literal::Int(r.i64()?),
+            1 => Literal::Str(r.string()?),
+            2 => Literal::Bytes(r.bytes()?),
+            3 => Literal::Null,
+            b => return Err(err(format!("bad literal tag {b}"))),
+        }),
+        2 => {
+            let op = read_bin_op(r)?;
+            let left = Box::new(read_expr(r)?);
+            let right = Box::new(read_expr(r)?);
+            Expr::Binary { op, left, right }
+        }
+        3 => Expr::Not(Box::new(read_expr(r)?)),
+        4 => Expr::Neg(Box::new(read_expr(r)?)),
+        5 => {
+            let expr = Box::new(read_expr(r)?);
+            let pattern = Box::new(read_expr(r)?);
+            let negated = r.boolean()?;
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            }
+        }
+        6 => {
+            let expr = Box::new(read_expr(r)?);
+            let n = r.u32()? as usize;
+            let mut list = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                list.push(read_expr(r)?);
+            }
+            let negated = r.boolean()?;
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            }
+        }
+        7 => {
+            let expr = Box::new(read_expr(r)?);
+            let low = Box::new(read_expr(r)?);
+            let high = Box::new(read_expr(r)?);
+            let negated = r.boolean()?;
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            }
+        }
+        8 => {
+            let expr = Box::new(read_expr(r)?);
+            let negated = r.boolean()?;
+            Expr::IsNull { expr, negated }
+        }
+        9 => {
+            let name = r.string()?;
+            let n = r.u32()? as usize;
+            let mut args = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                args.push(read_expr(r)?);
+            }
+            let star = r.boolean()?;
+            let distinct = r.boolean()?;
+            Expr::Func {
+                name,
+                args,
+                star,
+                distinct,
+            }
+        }
+        b => return Err(err(format!("bad expr tag {b}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Schema codecs
+// ---------------------------------------------------------------------------
+
+fn put_speaks_for(out: &mut Vec<u8>, s: &SpeaksFor) {
+    match &s.speaker {
+        SpeakerRef::Column(c) => {
+            out.push(0);
+            put_str(out, c);
+        }
+        SpeakerRef::ForeignColumn { table, column } => {
+            out.push(1);
+            put_str(out, table);
+            put_str(out, column);
+        }
+        SpeakerRef::Const(c) => {
+            out.push(2);
+            put_str(out, c);
+        }
+    }
+    put_str(out, &s.speaker_type);
+    put_str(out, &s.object_column);
+    put_str(out, &s.object_type);
+    put_opt(out, &s.condition, put_expr);
+}
+
+fn read_speaks_for(r: &mut Reader) -> Result<SpeaksFor, ProxyError> {
+    let speaker = match r.u8()? {
+        0 => SpeakerRef::Column(r.string()?),
+        1 => SpeakerRef::ForeignColumn {
+            table: r.string()?,
+            column: r.string()?,
+        },
+        2 => SpeakerRef::Const(r.string()?),
+        b => return Err(err(format!("bad speaker tag {b}"))),
+    };
+    Ok(SpeaksFor {
+        speaker,
+        speaker_type: r.string()?,
+        object_column: r.string()?,
+        object_type: r.string()?,
+        condition: r.opt(read_expr)?,
+    })
+}
+
+fn put_column(out: &mut Vec<u8>, c: &ColumnState) {
+    put_str(out, &c.name);
+    put_str(out, &c.table);
+    put_column_type(out, c.ty);
+    put_str(out, &c.anon);
+    put_bool(out, c.sensitive);
+    put_opt(out, &c.enc_for, |o, e| {
+        put_str(o, &e.key_column);
+        put_str(o, &e.princ_type);
+    });
+    put_bool(out, c.onions.eq);
+    put_bool(out, c.onions.ord);
+    put_bool(out, c.onions.add);
+    put_bool(out, c.onions.search);
+    out.push(match c.eq_level {
+        EqLevel::Rnd => 0,
+        EqLevel::Det => 1,
+    });
+    out.push(match c.ord_level {
+        OrdLevel::Rnd => 0,
+        OrdLevel::Ope => 1,
+    });
+    put_str(out, &c.join_owner.0);
+    put_str(out, &c.join_owner.1);
+    put_bool(out, c.stale);
+    put_opt(out, &c.min_level, |o, l| put_sec_level(o, *l));
+    put_opt(out, &c.ope_group, |o, g| put_str(o, g));
+    put_bool(out, c.has_jtag);
+    put_bool(out, c.search_used);
+}
+
+fn read_column(r: &mut Reader) -> Result<ColumnState, ProxyError> {
+    Ok(ColumnState {
+        name: r.string()?,
+        table: r.string()?,
+        ty: read_column_type(r)?,
+        anon: r.string()?,
+        sensitive: r.boolean()?,
+        enc_for: r.opt(|r| {
+            Ok(EncFor {
+                key_column: r.string()?,
+                princ_type: r.string()?,
+            })
+        })?,
+        onions: OnionSet {
+            eq: r.boolean()?,
+            ord: r.boolean()?,
+            add: r.boolean()?,
+            search: r.boolean()?,
+        },
+        eq_level: match r.u8()? {
+            0 => EqLevel::Rnd,
+            1 => EqLevel::Det,
+            b => return Err(err(format!("bad eq level {b}"))),
+        },
+        ord_level: match r.u8()? {
+            0 => OrdLevel::Rnd,
+            1 => OrdLevel::Ope,
+            b => return Err(err(format!("bad ord level {b}"))),
+        },
+        join_owner: (r.string()?, r.string()?),
+        stale: r.boolean()?,
+        min_level: r.opt(read_sec_level)?,
+        ope_group: r.opt(|r| r.string())?,
+        has_jtag: r.boolean()?,
+        search_used: r.boolean()?,
+    })
+}
+
+fn put_table(out: &mut Vec<u8>, t: &TableState) {
+    put_str(out, &t.name);
+    put_str(out, &t.anon);
+    put_u32(out, t.columns.len() as u32);
+    for c in &t.columns {
+        put_column(out, c);
+    }
+    put_u32(out, t.speaks_for.len() as u32);
+    for s in &t.speaks_for {
+        put_speaks_for(out, s);
+    }
+}
+
+fn read_table(r: &mut Reader) -> Result<TableState, ProxyError> {
+    let name = r.string()?;
+    let anon = r.string()?;
+    let ncols = r.u32()? as usize;
+    let mut columns = Vec::with_capacity(ncols.min(4096));
+    for _ in 0..ncols {
+        columns.push(read_column(r)?);
+    }
+    let nsf = r.u32()? as usize;
+    let mut speaks_for = Vec::with_capacity(nsf.min(4096));
+    for _ in 0..nsf {
+        speaks_for.push(read_speaks_for(r)?);
+    }
+    Ok(TableState {
+        name,
+        anon,
+        columns,
+        speaks_for,
+        // Rebuilt by the recovery path from the engine's rid column.
+        next_rid: Arc::new(AtomicI64::new(1)),
+    })
+}
+
+/// Serializes the full proxy schema state (minus `next_rid` counters).
+pub fn encode(schema: &EncSchema) -> Vec<u8> {
+    let mut out = vec![META_VERSION];
+    put_u64(&mut out, schema.next_table_id() as u64);
+    let mut tables: Vec<&TableState> = schema.tables().collect();
+    tables.sort_by(|a, b| a.name.cmp(&b.name));
+    put_u32(&mut out, tables.len() as u32);
+    for t in tables {
+        put_table(&mut out, t);
+    }
+    let princ = schema.princ_types();
+    put_u32(&mut out, princ.len() as u32);
+    for (name, external) in princ {
+        put_str(&mut out, name);
+        put_bool(&mut out, *external);
+    }
+    out
+}
+
+/// Decodes a schema previously produced by [`encode`]. `next_rid`
+/// counters come back as 1; the caller rebuilds them from the engine.
+pub fn decode(buf: &[u8]) -> Result<EncSchema, ProxyError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != META_VERSION {
+        return Err(err(format!("unsupported meta version {version}")));
+    }
+    let next_table_id = r.u64()? as usize;
+    let mut schema = EncSchema::new();
+    schema.set_next_table_id(next_table_id);
+    let ntables = r.u32()? as usize;
+    for _ in 0..ntables {
+        schema.insert(read_table(&mut r)?)?;
+    }
+    let nprinc = r.u32()? as usize;
+    for _ in 0..nprinc {
+        let name = r.string()?;
+        let external = r.boolean()?;
+        schema.register_princ_type(&name, external);
+    }
+    r.done()?;
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryptdb_sqlparser::BinOp;
+
+    fn sample_schema() -> EncSchema {
+        let mut schema = EncSchema::new();
+        schema.set_next_table_id(3);
+        schema.register_princ_type("physical_user", true);
+        schema.register_princ_type("msg", false);
+        let col = |name: &str, ty, anon: &str| ColumnState {
+            name: name.to_string(),
+            table: "emails".to_string(),
+            ty,
+            anon: anon.to_string(),
+            sensitive: true,
+            enc_for: None,
+            onions: OnionSet::for_type(ty),
+            eq_level: EqLevel::Det,
+            ord_level: OrdLevel::Rnd,
+            join_owner: ("emails".to_string(), name.to_string()),
+            stale: false,
+            min_level: None,
+            ope_group: None,
+            has_jtag: true,
+            search_used: false,
+        };
+        let mut body = col("body", ColumnType::Text, "c2");
+        body.enc_for = Some(EncFor {
+            key_column: "msgid".to_string(),
+            princ_type: "msg".to_string(),
+        });
+        body.stale = true;
+        body.min_level = Some(SecLevel::Search);
+        body.ope_group = Some("g1".to_string());
+        body.has_jtag = false;
+        body.search_used = true;
+        schema
+            .insert(TableState {
+                name: "emails".to_string(),
+                anon: "table2".to_string(),
+                columns: vec![col("msgid", ColumnType::Int, "c1"), body],
+                speaks_for: vec![SpeaksFor {
+                    speaker: SpeakerRef::ForeignColumn {
+                        table: "users".to_string(),
+                        column: "uid".to_string(),
+                    },
+                    speaker_type: "user".to_string(),
+                    object_column: "msgid".to_string(),
+                    object_type: "msg".to_string(),
+                    condition: Some(Expr::binary(BinOp::Eq, Expr::col("sender"), Expr::int(1))),
+                }],
+                next_rid: Arc::new(AtomicI64::new(42)),
+            })
+            .unwrap();
+        schema
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_but_rid() {
+        let schema = sample_schema();
+        let buf = encode(&schema);
+        let back = decode(&buf).unwrap();
+        assert_eq!(back.next_table_id(), 3);
+        assert_eq!(
+            back.princ_types(),
+            &[
+                ("physical_user".to_string(), true),
+                ("msg".to_string(), false)
+            ]
+        );
+        let t = back.table("emails").unwrap();
+        let orig = schema.table("emails").unwrap();
+        assert_eq!(t.anon, orig.anon);
+        assert_eq!(t.columns.len(), 2);
+        for (a, b) in t.columns.iter().zip(&orig.columns) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.anon, b.anon);
+            assert_eq!(a.ty, b.ty);
+            assert_eq!(a.enc_for, b.enc_for);
+            assert_eq!(a.onions, b.onions);
+            assert_eq!(a.eq_level, b.eq_level);
+            assert_eq!(a.ord_level, b.ord_level);
+            assert_eq!(a.join_owner, b.join_owner);
+            assert_eq!(a.stale, b.stale);
+            assert_eq!(a.min_level, b.min_level);
+            assert_eq!(a.ope_group, b.ope_group);
+            assert_eq!(a.has_jtag, b.has_jtag);
+            assert_eq!(a.search_used, b.search_used);
+        }
+        assert_eq!(t.speaks_for, orig.speaks_for);
+        // next_rid is rebuilt by recovery, not carried by the codec.
+        assert_eq!(t.next_rid.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[9, 0, 0]).is_err());
+        let mut buf = encode(&sample_schema());
+        buf.push(0); // trailing byte
+        assert!(decode(&buf).is_err());
+        buf.pop();
+        buf.truncate(buf.len() - 3);
+        assert!(decode(&buf).is_err());
+    }
+}

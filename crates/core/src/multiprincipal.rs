@@ -64,14 +64,28 @@ impl MultiPrincipal {
     pub fn new(engine: &Engine) -> Self {
         // The key tables hold only wrapped (encrypted) key material, so
         // they are stored as ordinary server tables, as in the paper.
-        for ddl in [
-            "CREATE TABLE cryptdb_access_keys (to_type text, to_id text, \
-             from_type text, from_id text, method int, wrapped text)",
-            "CREATE TABLE cryptdb_public_keys (ptype text, id text, \
-             pubkey text, wrapped_secret text)",
-            "CREATE TABLE cryptdb_external_keys (username text, salt text, wrapped text)",
+        // A recovered engine already holds them (they replay from the
+        // WAL like any other table), so creation is skip-if-exists.
+        let existing = engine.table_names();
+        for (name, ddl) in [
+            (
+                "cryptdb_access_keys",
+                "CREATE TABLE cryptdb_access_keys (to_type text, to_id text, \
+                 from_type text, from_id text, method int, wrapped text)",
+            ),
+            (
+                "cryptdb_public_keys",
+                "CREATE TABLE cryptdb_public_keys (ptype text, id text, \
+                 pubkey text, wrapped_secret text)",
+            ),
+            (
+                "cryptdb_external_keys",
+                "CREATE TABLE cryptdb_external_keys (username text, salt text, wrapped text)",
+            ),
         ] {
-            engine.execute_sql(ddl).expect("key tables");
+            if !existing.iter().any(|t| t == name) {
+                engine.execute_sql(ddl).expect("key tables");
+            }
         }
         MultiPrincipal {
             princ_types: HashMap::new(),

@@ -248,6 +248,7 @@ impl Proxy {
             .column_mut(column)
             .ok_or_else(|| ProxyError::Schema(format!("unknown column {column}")))?;
         c.min_level = Some(level);
+        self.log_schema(&schema)?;
         Ok(())
     }
 
@@ -267,6 +268,7 @@ impl Proxy {
                 .ok_or_else(|| ProxyError::Schema(format!("unknown column {c}")))?;
             col.ope_group = Some(group.to_string());
         }
+        self.log_schema(&schema)?;
         Ok(())
     }
 
@@ -297,12 +299,26 @@ impl Proxy {
             }
         }
         let n = targets.len();
-        for (t, c) in targets {
-            if let Ok(table) = schema.table_mut(&t) {
-                if let Some(col) = table.column_mut(&c) {
+        for (t, c) in &targets {
+            if let Ok(table) = schema.table_mut(t) {
+                if let Some(col) = table.column_mut(c) {
                     col.has_jtag = false;
                 }
             }
+        }
+        // Rows inserted after the discard carry no JOIN-ADJ tag, so the
+        // flag flip must be durable before any such insert: if the WAL
+        // rejects the meta record, revert in memory rather than let the
+        // recovered schema disagree with the ciphertext layout.
+        if self.log_schema(&schema).is_err() {
+            for (t, c) in &targets {
+                if let Ok(table) = schema.table_mut(t) {
+                    if let Some(col) = table.column_mut(c) {
+                        col.has_jtag = true;
+                    }
+                }
+            }
+            return 0;
         }
         n
     }
@@ -427,19 +443,37 @@ impl Proxy {
         match stmt {
             Stmt::PrincType { names, external } => {
                 self.mp.write().register_types(names, *external);
+                // Mirror the registration into the durable schema meta so
+                // recovery can rebuild the key manager's type registry.
+                let mut schema = self.schema.write();
+                for n in names {
+                    schema.register_princ_type(&n.to_lowercase(), *external);
+                }
+                self.log_schema(&schema)?;
                 Ok(QueryResult::Ok)
             }
             Stmt::CreateTable(ct) => self.create_table(ct),
             Stmt::CreateIndex { table, column } => self.create_index(table, column),
             Stmt::DropTable { name } => {
-                let anon = {
-                    let mut schema = self.schema.write();
-                    let t = schema
-                        .remove(name)
-                        .ok_or_else(|| ProxyError::Schema(format!("unknown table {name}")))?;
-                    t.anon
-                };
-                Ok(self.engine.execute(&Stmt::DropTable { name: anon })?)
+                // Composite record: remove from the secret schema first,
+                // attach the updated meta to the engine DROP's WAL record,
+                // and re-insert on engine failure so the two stay in sync.
+                let mut schema = self.schema.write();
+                let t = schema
+                    .remove(name)
+                    .ok_or_else(|| ProxyError::Schema(format!("unknown table {name}")))?;
+                let anon = t.anon.clone();
+                let meta = self.meta_blob(&schema);
+                match self
+                    .engine
+                    .execute_with_meta(&Stmt::DropTable { name: anon }, meta.as_deref())
+                {
+                    Ok(r) => Ok(r),
+                    Err(e) => {
+                        schema.insert(t)?;
+                        Err(e.into())
+                    }
+                }
             }
             Stmt::Insert(ins) => self.insert(ins),
             Stmt::Select(sel) => self.select(sel),
@@ -602,6 +636,85 @@ impl Proxy {
             cell.ord = Some(ope);
         }
         Ok(cell)
+    }
+
+    // ---- durability (ciphertext WAL + schema meta) ----
+
+    /// Serializes the secret schema for attachment to an engine WAL
+    /// record. `None` when the engine has no WAL attached, so the
+    /// in-memory-only configuration pays no encoding cost.
+    pub(crate) fn meta_blob(&self, schema: &EncSchema) -> Option<Vec<u8>> {
+        self.engine.has_wal().then(|| crate::meta::encode(schema))
+    }
+
+    /// Appends a meta-only WAL record capturing the current schema
+    /// (schema changes that touch no engine state). No-op without a WAL.
+    pub(crate) fn log_schema(&self, schema: &EncSchema) -> Result<(), ProxyError> {
+        if let Some(m) = self.meta_blob(schema) {
+            self.engine.log_meta(&m)?;
+        }
+        Ok(())
+    }
+
+    /// Opens a durable proxy over `dir`: recovers the engine's ciphertext
+    /// state from the snapshot + WAL (an empty directory starts fresh),
+    /// then restores the proxy's secret schema from the last meta blob in
+    /// the log. Rowid/rid counters are rebuilt from the recovered tables;
+    /// login sessions do NOT survive a restart (active keys live only in
+    /// proxy memory, §2.2).
+    pub fn open_persistent(
+        dir: &std::path::Path,
+        mk: Key,
+        config: ProxyConfig,
+        wal_cfg: cryptdb_engine::WalConfig,
+    ) -> Result<(Proxy, cryptdb_engine::EngineRecovery), ProxyError> {
+        let (engine, recovery) = cryptdb_engine::Engine::recover(dir, wal_cfg)?;
+        let proxy = Proxy::new(Arc::new(engine), mk, config);
+        if let Some(meta) = &recovery.meta {
+            proxy.restore_meta(meta)?;
+        }
+        Ok((proxy, recovery))
+    }
+
+    /// Installs a recovered schema meta blob: decode, re-register
+    /// principal types with the key manager, rebuild per-table rid
+    /// counters from the engine's hidden `rid` column, and drop any
+    /// orphan anonymized engine tables a partial DDL batch left behind.
+    fn restore_meta(&self, meta: &[u8]) -> Result<(), ProxyError> {
+        let restored = crate::meta::decode(meta)?;
+        {
+            let mut mp = self.mp.write();
+            for (name, external) in restored.princ_types() {
+                mp.register_types(std::slice::from_ref(name), *external);
+            }
+        }
+        let mut anon_known = std::collections::HashSet::new();
+        for t in restored.tables() {
+            anon_known.insert(t.anon.to_lowercase());
+            // The rid counter is authoritative in the engine: column 0 of
+            // every anonymized table is the plaintext rid.
+            let max_rid = self
+                .engine
+                .execute_sql(&format!("SELECT MAX(rid) FROM {}", t.anon))?
+                .scalar()
+                .and_then(Value::as_int)
+                .unwrap_or(0);
+            t.next_rid
+                .store(max_rid + 1, std::sync::atomic::Ordering::Relaxed);
+        }
+        // A crash between a partial DDL batch and its meta can leave an
+        // anonymized engine table with no schema entry. Drop it (logged)
+        // so the namespaces stay aligned.
+        for name in self.engine.table_names() {
+            let orphan = name
+                .strip_prefix("table")
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()));
+            if orphan && !anon_known.contains(&name) {
+                self.engine.execute(&Stmt::DropTable { name })?;
+            }
+        }
+        *self.schema.write() = restored;
+        Ok(())
     }
 }
 

@@ -572,6 +572,7 @@ impl Proxy {
             return Ok(());
         }
         let mut schema = self.schema.write();
+        let mut search_flipped = false;
         for req in reqs {
             match req {
                 Req::RefreshStale(t, c) => self.refresh_stale_locked(&mut schema, t, c)?,
@@ -579,7 +580,9 @@ impl Proxy {
                 Req::Ord(t, c) => self.expose_ope_locked(&mut schema, t, c)?,
                 Req::Search(t, c) => {
                     locked_col(&schema, t, c)?.check_floor(SecLevel::Search)?;
-                    locked_col_mut(&mut schema, t, c)?.search_used = true;
+                    let col = locked_col_mut(&mut schema, t, c)?;
+                    search_flipped |= !col.search_used;
+                    col.search_used = true;
                 }
                 Req::OrdJoin(a, b) => {
                     self.expose_ope_locked(&mut schema, &a.0, &a.1)?;
@@ -591,6 +594,11 @@ impl Proxy {
                     self.merge_join_groups_locked(&mut schema, a, b)?;
                 }
             }
+        }
+        if search_flipped {
+            // `search_used` affects only MinEnc accounting, but it must
+            // survive a restart like every other schema bit.
+            self.log_schema(&schema)?;
         }
         Ok(())
     }
@@ -631,12 +639,24 @@ impl Proxy {
             )],
             selection: None,
         });
-        self.engine.execute(&sql_stmt)?;
+        // Composite record: flip the level in the secret schema first so
+        // the serialized meta rides the same WAL record as the ciphertext
+        // UPDATE (the exposure and the schema bit land atomically), and
+        // revert if the engine rejects it.
         schema
             .table_mut(t)?
             .column_mut(c)
             .expect("column exists")
             .eq_level = EqLevel::Det;
+        let meta = self.meta_blob(schema);
+        if let Err(e) = self.engine.execute_with_meta(&sql_stmt, meta.as_deref()) {
+            schema
+                .table_mut(t)?
+                .column_mut(c)
+                .expect("column exists")
+                .eq_level = EqLevel::Rnd;
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -675,12 +695,20 @@ impl Proxy {
             )],
             selection: None,
         });
-        self.engine.execute(&sql_stmt)?;
         schema
             .table_mut(t)?
             .column_mut(c)
             .expect("column exists")
             .ord_level = OrdLevel::Ope;
+        let meta = self.meta_blob(schema);
+        if let Err(e) = self.engine.execute_with_meta(&sql_stmt, meta.as_deref()) {
+            schema
+                .table_mut(t)?
+                .column_mut(c)
+                .expect("column exists")
+                .ord_level = OrdLevel::Rnd;
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -740,8 +768,17 @@ impl Proxy {
                 )],
                 selection: None,
             });
-            self.engine.execute(&stmt)?;
+            // Per-member composite record: re-own in the schema, attach
+            // the meta to the JOIN_ADJ UPDATE, revert on failure. A crash
+            // mid-merge leaves the already-re-keyed members durable with
+            // the matching owner bits.
+            let prev_owner = locked_col_mut(schema, &t, &c)?.join_owner.clone();
             locked_col_mut(schema, &t, &c)?.join_owner = base_member.clone();
+            let meta = self.meta_blob(schema);
+            if let Err(e) = self.engine.execute_with_meta(&stmt, meta.as_deref()) {
+                locked_col_mut(schema, &t, &c)?.join_owner = prev_owner;
+                return Err(e.into());
+            }
         }
         Ok(())
     }
@@ -796,7 +833,13 @@ impl Proxy {
             });
             self.engine.execute(&stmt)?;
         }
+        // The per-row re-encryptions above log meta-less records; the
+        // stale bit clears only once all rows are rewritten. A crash
+        // mid-refresh therefore recovers with `stale` still set and the
+        // refresh simply re-runs (it is idempotent — the Add onion stays
+        // authoritative throughout).
         locked_col_mut(schema, t, c)?.stale = false;
+        self.log_schema(schema)?;
         Ok(())
     }
 }
@@ -879,6 +922,13 @@ impl Proxy {
             c.eq_level = EqLevel::Rnd;
             c.ord_level = OrdLevel::Rnd;
         }
+        // Durability caveat: sealing is NOT crash-atomic. The per-row
+        // rewrites log meta-less records and the level flip lands only
+        // here, so a crash mid-seal recovers with the schema still at the
+        // exposed level while some rows already carry an RND wrap — rerun
+        // the seal (or restore from snapshot) after such a crash. See
+        // ARCHITECTURE.md "Durability & recovery".
+        self.log_schema(&schema)?;
         Ok(n)
     }
 }
@@ -906,6 +956,21 @@ fn locked_col_mut<'s>(
 impl Proxy {
     pub(crate) fn create_table(&self, ct: &CreateTable) -> Result<QueryResult, ProxyError> {
         let mut schema = self.schema.write();
+        // Validate principal types referenced by annotations before any
+        // state (schema or engine) changes.
+        {
+            let mp = self.mp.read();
+            for cd in &ct.columns {
+                if let Some(ef) = &cd.enc_for {
+                    if !mp.has_type(&ef.princ_type) {
+                        return Err(ProxyError::Schema(format!(
+                            "ENC FOR references unknown PRINCTYPE {}",
+                            ef.princ_type
+                        )));
+                    }
+                }
+            }
+        }
         let anon = schema.next_anon_table();
         let mut columns = Vec::with_capacity(ct.columns.len());
         let tlow = ct.name.to_lowercase();
@@ -982,36 +1047,33 @@ impl Proxy {
                 push(col.anon_srch());
             }
         }
-        self.engine.execute(&Stmt::CreateTable(CreateTable {
-            name: anon.clone(),
-            columns: server_cols,
-            speaks_for: Vec::new(),
-        }))?;
-        self.engine.execute(&Stmt::CreateIndex {
-            table: anon.clone(),
-            column: "rid".into(),
-        })?;
-        // Validate principal types referenced by annotations.
-        {
-            let mp = self.mp.read();
-            for cd in &ct.columns {
-                if let Some(ef) = &cd.enc_for {
-                    if !mp.has_type(&ef.princ_type) {
-                        return Err(ProxyError::Schema(format!(
-                            "ENC FOR references unknown PRINCTYPE {}",
-                            ef.princ_type
-                        )));
-                    }
-                }
-            }
-        }
+        // Composite record: register the secret schema entry first, then
+        // run the anonymized CREATE TABLE + rid-index as ONE batched WAL
+        // record carrying the updated meta — the encrypted schema entry,
+        // the server table, and its rid index stand or fall together.
         schema.insert(TableState {
             name: ct.name.clone(),
-            anon,
+            anon: anon.clone(),
             columns,
             speaks_for: ct.speaks_for.clone(),
             next_rid: std::sync::Arc::new(std::sync::atomic::AtomicI64::new(1)),
         })?;
+        let meta = self.meta_blob(&schema);
+        let batch = [
+            Stmt::CreateTable(CreateTable {
+                name: anon.clone(),
+                columns: server_cols,
+                speaks_for: Vec::new(),
+            }),
+            Stmt::CreateIndex {
+                table: anon,
+                column: "rid".into(),
+            },
+        ];
+        if let Err(e) = self.engine.execute_batch_with_meta(&batch, meta.as_deref()) {
+            schema.remove(&ct.name);
+            return Err(e.into());
+        }
         Ok(QueryResult::Ok)
     }
 

@@ -613,14 +613,34 @@ impl Proxy {
                 stale_cols,
             )
         };
-        let result = self.engine.execute(&stmt)?;
-        if !stale_cols.is_empty() {
-            let mut schema = self.schema.write();
-            for c in stale_cols {
-                locked_col_mut(&mut schema, &upd.table.to_lowercase(), &c)?.stale = true;
+        if stale_cols.is_empty() {
+            return Ok(self.engine.execute(&stmt)?);
+        }
+        // Increment UPDATEs make the Eq/Ord/Search onions stale (§3.3);
+        // the staleness bits must land on the same WAL record as the
+        // HOM_ADD, or a crash in between would recover a schema that
+        // serves comparisons from stale onions. Flip first under the
+        // write lock, attach the meta, revert on engine failure.
+        let tlow = upd.table.to_lowercase();
+        let mut schema = self.schema.write();
+        let mut flipped = Vec::new();
+        for c in &stale_cols {
+            let col = locked_col_mut(&mut schema, &tlow, c)?;
+            if !col.stale {
+                col.stale = true;
+                flipped.push(c.clone());
             }
         }
-        Ok(result)
+        let meta = self.meta_blob(&schema);
+        match self.engine.execute_with_meta(&stmt, meta.as_deref()) {
+            Ok(result) => Ok(result),
+            Err(e) => {
+                for c in &flipped {
+                    locked_col_mut(&mut schema, &tlow, c)?.stale = false;
+                }
+                Err(e.into())
+            }
+        }
     }
 
     fn encrypt_hom_const(&self, v: i64) -> Expr {

@@ -149,6 +149,11 @@ impl TableState {
 pub struct EncSchema {
     tables: HashMap<String, TableState>,
     next_table_id: usize,
+    /// Mirror of the principal types registered with the key manager
+    /// (`PRINCTYPE` statements), `(name, external)`. Kept here so schema
+    /// metadata serialized to the WAL is sufficient to rebuild the access
+    /// graph's type registry on recovery.
+    princ_types: Vec<(String, bool)>,
 }
 
 impl EncSchema {
@@ -203,6 +208,28 @@ impl EncSchema {
     /// All tables, mutable.
     pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut TableState> {
         self.tables.values_mut()
+    }
+
+    /// Records a registered principal type (idempotent).
+    pub fn register_princ_type(&mut self, name: &str, external: bool) {
+        if !self.princ_types.iter().any(|(n, _)| n == name) {
+            self.princ_types.push((name.to_string(), external));
+        }
+    }
+
+    /// Principal types registered so far, `(name, external)`.
+    pub fn princ_types(&self) -> &[(String, bool)] {
+        &self.princ_types
+    }
+
+    /// Anonymised-table-name counter, for metadata serialization.
+    pub fn next_table_id(&self) -> usize {
+        self.next_table_id
+    }
+
+    /// Restores the anonymised-table-name counter (recovery only).
+    pub fn set_next_table_id(&mut self, id: usize) {
+        self.next_table_id = self.next_table_id.max(id);
     }
 
     /// Columns currently sharing a JOIN-ADJ key owner — the §3.4

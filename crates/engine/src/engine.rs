@@ -5,9 +5,12 @@ use crate::exec::{self, Ctx, RowSchema, Source};
 use crate::table::{ColumnMeta, Table};
 use crate::udf::{AggregateUdf, UdfRegistry};
 use crate::value::Value;
+use crate::wal_store::{self, WalOp};
 use cryptdb_sqlparser::{parse, Delete, Insert, Stmt, Update};
+use cryptdb_wal::{RecoveryReport, Wal, WalConfig};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Result of executing one statement.
@@ -92,6 +95,29 @@ pub struct Engine {
     catalog: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
     udfs: RwLock<UdfRegistry>,
     snapshot: Mutex<Option<HashMap<String, Table>>>,
+    /// Durability state, when a WAL is attached. Lock order everywhere:
+    /// catalog / table lock first, then `wal` — mutating statements
+    /// append their record while still holding the locks that
+    /// serialized them, so WAL order equals apply order.
+    wal: Mutex<Option<WalState>>,
+}
+
+struct WalState {
+    wal: Wal,
+    snapshot_every: Option<u64>,
+    /// Most recent proxy meta blob seen in any record, cached so
+    /// snapshots embed it (last-meta-wins at replay).
+    last_meta: Option<Vec<u8>>,
+}
+
+/// What [`Engine::recover`] reconstructed.
+#[derive(Debug)]
+pub struct EngineRecovery {
+    /// Log-scan outcome (with `records_applied` adjusted to the count
+    /// actually replayed after snapshot filtering).
+    pub report: RecoveryReport,
+    /// The latest proxy meta blob from the snapshot or log, if any.
+    pub meta: Option<Vec<u8>>,
 }
 
 impl Default for Engine {
@@ -107,6 +133,7 @@ impl Engine {
             catalog: RwLock::new(HashMap::new()),
             udfs: RwLock::new(UdfRegistry::new()),
             snapshot: Mutex::new(None),
+            wal: Mutex::new(None),
         }
     }
 
@@ -164,6 +191,45 @@ impl Engine {
 
     /// Executes one parsed statement.
     pub fn execute(&self, stmt: &Stmt) -> Result<QueryResult, EngineError> {
+        self.execute_with_meta(stmt, None)
+    }
+
+    /// Executes one statement; if it mutates state, its WAL record also
+    /// carries `meta` (an opaque proxy blob) so the two land atomically.
+    pub fn execute_with_meta(
+        &self,
+        stmt: &Stmt,
+        meta: Option<&[u8]>,
+    ) -> Result<QueryResult, EngineError> {
+        let result = self.exec_stmt(stmt, meta);
+        self.maybe_autosnapshot();
+        result
+    }
+
+    /// Executes a sequence of DDL statements (`CREATE TABLE`,
+    /// `CREATE INDEX`, `DROP TABLE`) under one catalog lock and logs
+    /// them as a *single* WAL record together with `meta` — the
+    /// crash-atomic unit the proxy needs for table creation (encrypted
+    /// schema entry + anonymized table + rid index stand or fall
+    /// together).
+    pub fn execute_batch_with_meta(
+        &self,
+        stmts: &[Stmt],
+        meta: Option<&[u8]>,
+    ) -> Result<QueryResult, EngineError> {
+        let result = self.exec_ddl_batch(stmts, meta);
+        self.maybe_autosnapshot();
+        result
+    }
+
+    /// Appends a meta-only WAL record (proxy schema changes that touch
+    /// no engine state, e.g. level-floor or principal-type updates).
+    /// A no-op without an attached WAL.
+    pub fn log_meta(&self, meta: &[u8]) -> Result<(), EngineError> {
+        self.log_record(&[], Some(meta))
+    }
+
+    fn exec_stmt(&self, stmt: &Stmt, meta: Option<&[u8]>) -> Result<QueryResult, EngineError> {
         match stmt {
             Stmt::CreateTable(ct) => {
                 let key = ct.name.to_lowercase();
@@ -171,7 +237,7 @@ impl Engine {
                 if catalog.contains_key(&key) {
                     return Err(EngineError::TableExists(ct.name.clone()));
                 }
-                let columns = ct
+                let columns: Vec<ColumnMeta> = ct
                     .columns
                     .iter()
                     .map(|c| ColumnMeta {
@@ -179,25 +245,44 @@ impl Engine {
                         ty: c.ty,
                     })
                     .collect();
-                catalog.insert(key, Arc::new(RwLock::new(Table::new(&ct.name, columns))));
+                catalog.insert(
+                    key,
+                    Arc::new(RwLock::new(Table::new(&ct.name, columns.clone()))),
+                );
+                self.log_record(
+                    &[WalOp::CreateTable {
+                        name: ct.name.clone(),
+                        columns,
+                    }],
+                    meta,
+                )?;
                 Ok(QueryResult::Ok)
             }
             Stmt::CreateIndex { table, column } => {
                 let handle = self.table_handle(table)?;
-                handle.write().create_index(column)?;
+                let mut guard = handle.write();
+                guard.create_index(column)?;
+                self.log_record(
+                    &[WalOp::CreateIndex {
+                        table: table.clone(),
+                        column: column.clone(),
+                    }],
+                    meta,
+                )?;
                 Ok(QueryResult::Ok)
             }
             Stmt::DropTable { name } => {
-                let removed = self.catalog.write().remove(&name.to_lowercase());
-                if removed.is_none() {
+                let mut catalog = self.catalog.write();
+                if catalog.remove(&name.to_lowercase()).is_none() {
                     return Err(EngineError::TableNotFound(name.clone()));
                 }
+                self.log_record(&[WalOp::DropTable { name: name.clone() }], meta)?;
                 Ok(QueryResult::Ok)
             }
-            Stmt::Insert(ins) => self.insert(ins),
+            Stmt::Insert(ins) => self.insert(ins, meta),
             Stmt::Select(sel) => self.select(sel),
-            Stmt::Update(upd) => self.update(upd),
-            Stmt::Delete(del) => self.delete(del),
+            Stmt::Update(upd) => self.update(upd, meta),
+            Stmt::Delete(del) => self.delete(del, meta),
             Stmt::Begin => {
                 let catalog = self.catalog.read();
                 let snap = catalog
@@ -205,10 +290,15 @@ impl Engine {
                     .map(|(k, v)| (k.clone(), v.read().clone()))
                     .collect();
                 *self.snapshot.lock() = Some(snap);
+                self.log_record(&[WalOp::Begin], meta)?;
                 Ok(QueryResult::Ok)
             }
             Stmt::Commit => {
+                // The catalog read serializes the marker against
+                // snapshot_now (which holds the catalog write lock).
+                let _catalog = self.catalog.read();
                 *self.snapshot.lock() = None;
+                self.log_record(&[WalOp::Commit], meta)?;
                 Ok(QueryResult::Ok)
             }
             Stmt::Rollback => {
@@ -220,15 +310,98 @@ impl Engine {
                 for (k, t) in snap {
                     catalog.insert(k, Arc::new(RwLock::new(t)));
                 }
+                self.log_record(&[WalOp::Rollback], meta)?;
                 Ok(QueryResult::Ok)
             }
             // Annotation statements are proxy-side; the DBMS accepts and
             // ignores them (the proxy never forwards them in practice).
-            Stmt::PrincType { .. } => Ok(QueryResult::Ok),
+            Stmt::PrincType { .. } => {
+                if let Some(m) = meta {
+                    self.log_record(&[], Some(m))?;
+                }
+                Ok(QueryResult::Ok)
+            }
         }
     }
 
-    fn insert(&self, ins: &Insert) -> Result<QueryResult, EngineError> {
+    fn exec_ddl_batch(
+        &self,
+        stmts: &[Stmt],
+        meta: Option<&[u8]>,
+    ) -> Result<QueryResult, EngineError> {
+        let mut catalog = self.catalog.write();
+        let mut ops: Vec<WalOp> = Vec::with_capacity(stmts.len());
+        let mut failure: Option<EngineError> = None;
+        for stmt in stmts {
+            match stmt {
+                Stmt::CreateTable(ct) => {
+                    let key = ct.name.to_lowercase();
+                    if catalog.contains_key(&key) {
+                        failure = Some(EngineError::TableExists(ct.name.clone()));
+                        break;
+                    }
+                    let columns: Vec<ColumnMeta> = ct
+                        .columns
+                        .iter()
+                        .map(|c| ColumnMeta {
+                            name: c.name.clone(),
+                            ty: c.ty,
+                        })
+                        .collect();
+                    catalog.insert(
+                        key,
+                        Arc::new(RwLock::new(Table::new(&ct.name, columns.clone()))),
+                    );
+                    ops.push(WalOp::CreateTable {
+                        name: ct.name.clone(),
+                        columns,
+                    });
+                }
+                Stmt::CreateIndex { table, column } => {
+                    let Some(handle) = catalog.get(&table.to_lowercase()) else {
+                        failure = Some(EngineError::TableNotFound(table.clone()));
+                        break;
+                    };
+                    if let Err(e) = handle.write().create_index(column) {
+                        failure = Some(e);
+                        break;
+                    }
+                    ops.push(WalOp::CreateIndex {
+                        table: table.clone(),
+                        column: column.clone(),
+                    });
+                }
+                Stmt::DropTable { name } => {
+                    if catalog.remove(&name.to_lowercase()).is_none() {
+                        failure = Some(EngineError::TableNotFound(name.clone()));
+                        break;
+                    }
+                    ops.push(WalOp::DropTable { name: name.clone() });
+                }
+                _ => {
+                    failure = Some(EngineError::Unsupported(
+                        "execute_batch_with_meta supports DDL statements only".into(),
+                    ));
+                    break;
+                }
+            }
+        }
+        // Log exactly the ops applied. On failure the batch's meta is
+        // not valid (the caller reverts its schema change), so the
+        // partial ops go out bare.
+        let logged = if failure.is_none() {
+            self.log_record(&ops, meta)
+        } else {
+            self.log_record(&ops, None)
+        };
+        logged?;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(QueryResult::Ok)
+    }
+
+    fn insert(&self, ins: &Insert, meta: Option<&[u8]>) -> Result<QueryResult, EngineError> {
         let handle = self.table_handle(&ins.table)?;
         let udfs = self.udfs.read();
         let ctx = Ctx { udfs: &udfs };
@@ -248,19 +421,40 @@ impl Engine {
                 .collect::<Result<_, _>>()?
         };
         let mut count = 0;
-        for row_exprs in &ins.rows {
+        let mut ops: Vec<WalOp> = Vec::with_capacity(ins.rows.len());
+        let mut failure: Option<EngineError> = None;
+        'rows: for row_exprs in &ins.rows {
             if row_exprs.len() != positions.len() {
-                return Err(EngineError::ArityMismatch {
+                failure = Some(EngineError::ArityMismatch {
                     expected: positions.len(),
                     found: row_exprs.len(),
                 });
+                break;
             }
             let mut row = vec![Value::Null; width];
             for (pos, e) in positions.iter().zip(row_exprs) {
-                row[*pos] = exec::eval(e, &empty_schema, &[], &ctx)?;
+                match exec::eval(e, &empty_schema, &[], &ctx) {
+                    Ok(v) => row[*pos] = v,
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'rows;
+                    }
+                }
             }
-            table.insert(row);
+            let rowid = table.insert(row.clone());
+            ops.push(WalOp::InsertRow {
+                table: ins.table.clone(),
+                rowid,
+                row,
+            });
             count += 1;
+        }
+        // Log exactly the rows applied — even when a later row errored —
+        // so the log stays equal to memory; logged while the table write
+        // lock is held so WAL order matches apply order.
+        self.log_record(&ops, meta)?;
+        if let Some(e) = failure {
+            return Err(e);
         }
         Ok(QueryResult::Affected(count))
     }
@@ -305,7 +499,7 @@ impl Engine {
         Ok(QueryResult::Rows { columns, rows })
     }
 
-    fn update(&self, upd: &Update) -> Result<QueryResult, EngineError> {
+    fn update(&self, upd: &Update, meta: Option<&[u8]>) -> Result<QueryResult, EngineError> {
         let handle = self.table_handle(&upd.table)?;
         let udfs = self.udfs.read();
         let ctx = Ctx { udfs: &udfs };
@@ -323,21 +517,39 @@ impl Engine {
             .collect::<Result<_, _>>()?;
         let rowids = self.matching_rowids(&table, &schema, upd.selection.as_ref(), &ctx)?;
         let mut count = 0;
-        for rowid in rowids {
+        let mut ops: Vec<WalOp> = Vec::new();
+        let mut failure: Option<EngineError> = None;
+        'rows: for rowid in rowids {
             let row = table.row(rowid).expect("rowid from scan").clone();
             let mut new_values = Vec::with_capacity(sets.len());
             for (pos, e) in &sets {
-                new_values.push((*pos, exec::eval(e, &schema, &row, &ctx)?));
+                match exec::eval(e, &schema, &row, &ctx) {
+                    Ok(v) => new_values.push((*pos, v)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'rows;
+                    }
+                }
             }
             for (pos, v) in new_values {
+                ops.push(WalOp::UpdateCell {
+                    table: upd.table.clone(),
+                    rowid,
+                    col: pos as u32,
+                    value: v.clone(),
+                });
                 table.update_cell(rowid, pos, v);
             }
             count += 1;
         }
+        self.log_record(&ops, meta)?;
+        if let Some(e) = failure {
+            return Err(e);
+        }
         Ok(QueryResult::Affected(count))
     }
 
-    fn delete(&self, del: &Delete) -> Result<QueryResult, EngineError> {
+    fn delete(&self, del: &Delete, meta: Option<&[u8]>) -> Result<QueryResult, EngineError> {
         let handle = self.table_handle(&del.table)?;
         let udfs = self.udfs.read();
         let ctx = Ctx { udfs: &udfs };
@@ -345,12 +557,271 @@ impl Engine {
         let schema = RowSchema::for_table(&table, Some(&del.table));
         let rowids = self.matching_rowids(&table, &schema, del.selection.as_ref(), &ctx)?;
         let mut count = 0;
+        let mut ops: Vec<WalOp> = Vec::new();
         for rowid in rowids {
             if table.delete(rowid) {
+                ops.push(WalOp::DeleteRow {
+                    table: del.table.clone(),
+                    rowid,
+                });
                 count += 1;
             }
         }
+        self.log_record(&ops, meta)?;
         Ok(QueryResult::Affected(count))
+    }
+
+    // ---- durability ----
+
+    /// Appends one record (ops + optional meta) to the attached WAL.
+    /// No-op without a WAL; must be called while still holding the lock
+    /// that serialized the ops.
+    fn log_record(&self, ops: &[WalOp], meta: Option<&[u8]>) -> Result<(), EngineError> {
+        if ops.is_empty() && meta.is_none() {
+            return Ok(());
+        }
+        let mut guard = self.wal.lock();
+        let Some(state) = guard.as_mut() else {
+            return Ok(());
+        };
+        let payload = wal_store::encode_record(ops, meta);
+        state.wal.append(&payload)?;
+        if let Some(m) = meta {
+            state.last_meta = Some(m.to_vec());
+        }
+        Ok(())
+    }
+
+    /// Attaches a WAL to a fresh engine. The directory must not hold an
+    /// existing log or snapshot (use [`Engine::recover`] for those);
+    /// everything executed from here on is logged.
+    pub fn attach_wal(&self, dir: &Path, cfg: WalConfig) -> Result<(), EngineError> {
+        let snapshot_every = cfg.snapshot_every;
+        let (wal, recovered) = Wal::open(dir, &cfg)?;
+        if !recovered.records.is_empty() || recovered.snapshot.is_some() {
+            return Err(EngineError::Wal(
+                "directory holds an existing log; use Engine::recover".into(),
+            ));
+        }
+        let mut guard = self.wal.lock();
+        if guard.is_some() {
+            return Err(EngineError::Wal("a WAL is already attached".into()));
+        }
+        *guard = Some(WalState {
+            wal,
+            snapshot_every,
+            last_meta: None,
+        });
+        Ok(())
+    }
+
+    /// Rebuilds an engine from `dir`: restores the last complete
+    /// snapshot (if valid), replays the log suffix past its epoch, and
+    /// leaves the WAL attached so the engine resumes appending. Works on
+    /// a fresh directory too (empty recovery). A transaction left open
+    /// at the crash point is discarded — no session survives a restart
+    /// to finish it.
+    pub fn recover(dir: &Path, cfg: WalConfig) -> Result<(Engine, EngineRecovery), EngineError> {
+        let snapshot_every = cfg.snapshot_every;
+        let (wal, recovered) = Wal::open(dir, &cfg)?;
+        let engine = Engine::new();
+        let mut report = recovered.report;
+        let mut last_meta: Option<Vec<u8>> = None;
+        let mut epoch = 0u64;
+        if let Some(snap) = &recovered.snapshot {
+            let (tables, meta) = wal_store::decode_snapshot(&snap.payload)?;
+            let mut catalog = engine.catalog.write();
+            for t in tables {
+                catalog.insert(t.name().to_lowercase(), Arc::new(RwLock::new(t)));
+            }
+            last_meta = meta;
+            epoch = snap.epoch;
+        }
+        let mut applied = 0u64;
+        for (seq, payload) in &recovered.records {
+            if *seq <= epoch {
+                continue;
+            }
+            let (ops, meta) = wal_store::decode_record(payload)?;
+            for op in &ops {
+                engine.apply_op(op)?;
+            }
+            if let Some(m) = meta {
+                last_meta = Some(m);
+            }
+            applied += 1;
+        }
+        *engine.snapshot.lock() = None;
+        report.records_applied = applied;
+        *engine.wal.lock() = Some(WalState {
+            wal,
+            snapshot_every,
+            last_meta: last_meta.clone(),
+        });
+        Ok((
+            engine,
+            EngineRecovery {
+                report,
+                meta: last_meta,
+            },
+        ))
+    }
+
+    /// Sequence number of the last record appended to the WAL (0 with no
+    /// WAL attached or nothing logged yet). The kill-and-recover harness
+    /// samples this after each acknowledged statement to compute the
+    /// oracle prefix.
+    pub fn wal_seq(&self) -> u64 {
+        self.wal.lock().as_ref().map(|s| s.wal.seq()).unwrap_or(0)
+    }
+
+    /// Current WAL file length in bytes (kill-point selection).
+    pub fn wal_len(&self) -> u64 {
+        self.wal
+            .lock()
+            .as_ref()
+            .map(|s| s.wal.log_len())
+            .unwrap_or(0)
+    }
+
+    /// True if a WAL is attached.
+    pub fn has_wal(&self) -> bool {
+        self.wal.lock().is_some()
+    }
+
+    /// Forces an fsync of the WAL (group-commit barrier for the
+    /// `EveryN`/`Never` policies).
+    pub fn wal_sync(&self) -> Result<(), EngineError> {
+        if let Some(state) = self.wal.lock().as_ref() {
+            state.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a snapshot of the full engine state (ciphertext only) at
+    /// the current WAL watermark. Returns the epoch, or `None` when no
+    /// WAL is attached or a transaction is open (a mid-transaction
+    /// snapshot could strand a later `ROLLBACK` at replay; the next
+    /// attempt after `COMMIT`/`ROLLBACK` succeeds). The log is never
+    /// truncated — the snapshot is purely a replay accelerator.
+    pub fn snapshot_now(&self) -> Result<Option<u64>, EngineError> {
+        // The catalog write lock stops new statements from acquiring
+        // table handles; taking every table's write lock then waits out
+        // statements already past the catalog (a writer holds only its
+        // table lock while mutating + logging).
+        let catalog = self.catalog.write();
+        if self.snapshot.lock().is_some() {
+            return Ok(None);
+        }
+        let mut handles: Vec<Arc<RwLock<Table>>> = catalog.values().cloned().collect();
+        handles.sort_by_key(|h| Arc::as_ptr(h) as usize);
+        let guards: Vec<_> = handles.iter().map(|h| h.write()).collect();
+        let find = |h: &Arc<RwLock<Table>>| {
+            handles
+                .iter()
+                .position(|u| Arc::ptr_eq(u, h))
+                .expect("handle present")
+        };
+        let mut wal_guard = self.wal.lock();
+        let Some(state) = wal_guard.as_mut() else {
+            return Ok(None);
+        };
+        let named: Vec<(&str, &Table)> = catalog
+            .iter()
+            .map(|(k, h)| (k.as_str(), &*guards[find(h)]))
+            .collect();
+        let payload = wal_store::encode_snapshot(&named, state.last_meta.as_deref());
+        let epoch = state.wal.write_snapshot(&payload)?;
+        Ok(Some(epoch))
+    }
+
+    /// Runs a snapshot when the configured `snapshot_every` interval has
+    /// elapsed. Called after every statement, outside its locks; errors
+    /// are swallowed (a failed snapshot costs replay time, not
+    /// correctness — the log is intact).
+    fn maybe_autosnapshot(&self) {
+        let due = {
+            let guard = self.wal.lock();
+            match guard.as_ref() {
+                Some(s) => match s.snapshot_every {
+                    Some(n) if n > 0 => s.wal.records_since_snapshot() >= n,
+                    _ => false,
+                },
+                None => false,
+            }
+        };
+        if due {
+            let _ = self.snapshot_now();
+        }
+    }
+
+    /// Applies one replayed op. Physical and rowid-keyed, so replay
+    /// reproduces the original run exactly; updates/deletes on missing
+    /// rowids are no-ops (mirroring the live mutation paths).
+    fn apply_op(&self, op: &WalOp) -> Result<(), EngineError> {
+        match op {
+            WalOp::CreateTable { name, columns } => {
+                let key = name.to_lowercase();
+                let mut catalog = self.catalog.write();
+                if catalog.contains_key(&key) {
+                    return Err(EngineError::Wal(format!(
+                        "replay: table {name} already exists"
+                    )));
+                }
+                catalog.insert(
+                    key,
+                    Arc::new(RwLock::new(Table::new(name, columns.clone()))),
+                );
+            }
+            WalOp::CreateIndex { table, column } => {
+                self.table_handle(table)?.write().create_index(column)?;
+            }
+            WalOp::DropTable { name } => {
+                if self.catalog.write().remove(&name.to_lowercase()).is_none() {
+                    return Err(EngineError::Wal(format!("replay: no table {name} to drop")));
+                }
+            }
+            WalOp::InsertRow { table, rowid, row } => {
+                self.table_handle(table)?
+                    .write()
+                    .insert_with_rowid(*rowid, row.clone());
+            }
+            WalOp::UpdateCell {
+                table,
+                rowid,
+                col,
+                value,
+            } => {
+                self.table_handle(table)?
+                    .write()
+                    .update_cell(*rowid, *col as usize, value.clone());
+            }
+            WalOp::DeleteRow { table, rowid } => {
+                self.table_handle(table)?.write().delete(*rowid);
+            }
+            WalOp::Begin => {
+                let catalog = self.catalog.read();
+                let snap = catalog
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.read().clone()))
+                    .collect();
+                *self.snapshot.lock() = Some(snap);
+            }
+            WalOp::Commit => {
+                *self.snapshot.lock() = None;
+            }
+            WalOp::Rollback => {
+                let Some(snap) = self.snapshot.lock().take() else {
+                    return Err(EngineError::Wal("replay: rollback without begin".into()));
+                };
+                let mut catalog = self.catalog.write();
+                catalog.clear();
+                for (k, t) in snap {
+                    catalog.insert(k, Arc::new(RwLock::new(t)));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Rowids matching a predicate (used by UPDATE/DELETE), index-assisted.

@@ -9,12 +9,18 @@ pub enum EngineError {
     TableExists(String),
     ColumnNotFound(String),
     AmbiguousColumn(String),
-    ArityMismatch { expected: usize, found: usize },
+    ArityMismatch {
+        expected: usize,
+        found: usize,
+    },
     TypeMismatch(String),
     UnknownFunction(String),
     Udf(String),
     Unsupported(String),
     NoActiveTransaction,
+    /// Write-ahead-log failure (I/O, injected fault, or a record the
+    /// replay codec cannot decode).
+    Wal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -32,8 +38,15 @@ impl fmt::Display for EngineError {
             EngineError::Udf(m) => write!(f, "UDF error: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::NoActiveTransaction => write!(f, "no active transaction"),
+            EngineError::Wal(m) => write!(f, "wal: {m}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<cryptdb_wal::WalError> for EngineError {
+    fn from(e: cryptdb_wal::WalError) -> Self {
+        EngineError::Wal(e.to_string())
+    }
+}

@@ -92,6 +92,42 @@ impl Table {
         rowid
     }
 
+    /// Inserts a full-width row under an explicit rowid (WAL replay and
+    /// snapshot restore, where rowids must match the logged run exactly).
+    /// Advances the rowid allocator past `rowid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the schema width.
+    pub fn insert_with_rowid(&mut self, rowid: u64, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        for (&col, index) in self.indexes.iter_mut() {
+            index
+                .entry(OrdValue(row[col].clone()))
+                .or_default()
+                .insert(rowid);
+        }
+        self.rows.insert(rowid, row);
+        self.next_rowid = self.next_rowid.max(rowid + 1);
+    }
+
+    /// The rowid the next insert will receive.
+    pub fn next_rowid(&self) -> u64 {
+        self.next_rowid
+    }
+
+    /// Forces the rowid allocator (snapshot restore).
+    pub fn set_next_rowid(&mut self, next: u64) {
+        self.next_rowid = self.next_rowid.max(next);
+    }
+
+    /// Column positions that carry a secondary index, sorted.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.indexes.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
     /// Deletes a row by id; returns whether it existed.
     pub fn delete(&mut self, rowid: u64) -> bool {
         let Some(row) = self.rows.remove(&rowid) else {

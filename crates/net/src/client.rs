@@ -103,23 +103,90 @@ impl WireQueryResult {
     }
 }
 
+/// Connection-establishment knobs: attempts, timeout, backoff.
+///
+/// The defaults (3 attempts, 1 s connect timeout, ~100 ms jittered
+/// exponential backoff) ride out the window where a crashed server is
+/// being restarted and recovering its WAL — exactly when clients
+/// reconnect in a thundering herd, hence the jitter.
+#[derive(Clone, Debug)]
+pub struct ConnectConfig {
+    /// Total connection attempts before giving up (min 1).
+    pub attempts: u32,
+    /// Per-attempt connect timeout.
+    pub timeout: std::time::Duration,
+    /// Base backoff between attempts; attempt `k` sleeps
+    /// `base × 2^k` plus up to 50% random jitter.
+    pub backoff: std::time::Duration,
+}
+
+impl Default for ConnectConfig {
+    fn default() -> Self {
+        ConnectConfig {
+            attempts: 3,
+            timeout: std::time::Duration::from_secs(1),
+            backoff: std::time::Duration::from_millis(100),
+        }
+    }
+}
+
 /// A synchronous pgwire-subset client over one TCP connection.
 pub struct NetClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
+/// Resolves and connects with a per-attempt timeout, retrying with
+/// jittered exponential backoff.
+fn connect_retry(addr: impl ToSocketAddrs, cfg: &ConnectConfig) -> io::Result<TcpStream> {
+    use rand::Rng;
+    let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+    if addrs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        ));
+    }
+    let attempts = cfg.attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, cfg.timeout) {
+                Ok(s) => return Ok(s),
+                Err(e) => last = Some(e),
+            }
+        }
+        if attempt + 1 < attempts {
+            let base = cfg.backoff.saturating_mul(1u32 << attempt.min(16));
+            let jitter = 1.0 + rand::thread_rng().gen::<f64>() * 0.5;
+            std::thread::sleep(base.mul_f64(jitter));
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("connect failed")))
+}
+
 impl NetClient {
     /// Connects and completes the startup + cleartext-password
     /// handshake. `user` names the principal; a non-empty `password`
     /// logs it in server-side (§4.2), an empty one requests a
-    /// master-key session.
+    /// master-key session. Uses the default [`ConnectConfig`] (3
+    /// attempts, jittered exponential backoff, 1 s connect timeout).
     pub fn connect(
         addr: impl ToSocketAddrs,
         user: &str,
         password: &str,
     ) -> Result<NetClient, WireError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, user, password, &ConnectConfig::default())
+    }
+
+    /// [`Self::connect`] with explicit retry/timeout/backoff knobs.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        user: &str,
+        password: &str,
+        cfg: &ConnectConfig,
+    ) -> Result<NetClient, WireError> {
+        let stream = connect_retry(addr, cfg)?;
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         let mut client = NetClient {

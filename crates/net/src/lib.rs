@@ -52,7 +52,7 @@
 pub mod protocol;
 
 mod client;
-pub use client::{wire_canonical_dump, NetClient, WireError, WireQueryResult};
+pub use client::{wire_canonical_dump, ConnectConfig, NetClient, WireError, WireQueryResult};
 
 use cryptdb_core::proxy::Proxy;
 use cryptdb_core::ProxyError;
@@ -196,6 +196,22 @@ impl NetServer {
             registry,
             acceptor: Some(acceptor),
         })
+    }
+
+    /// Binds `addr` over a *durable* proxy rooted at `persist.dir`: an
+    /// empty directory starts fresh, a directory holding a previous
+    /// run's WAL/snapshot is recovered first, so a restarted server
+    /// resumes serving exactly the acknowledged state of the previous
+    /// run. Returns the server plus the recovery report.
+    pub fn spawn_persistent(
+        persist: &cryptdb_server::PersistConfig,
+        mk: [u8; 32],
+        config: cryptdb_core::proxy::ProxyConfig,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<(NetServer, cryptdb_engine::EngineRecovery)> {
+        let (proxy, recovery) = cryptdb_server::open_persistent(persist, mk, config)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        Ok((NetServer::spawn(proxy, addr)?, recovery))
     }
 
     /// The bound address (with the resolved port).

@@ -40,15 +40,52 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cryptdb_core::proxy::Proxy;
+use cryptdb_core::proxy::{Proxy, ProxyConfig};
 use cryptdb_core::ProxyError;
-use cryptdb_engine::QueryResult;
+use cryptdb_engine::{EngineRecovery, QueryResult, WalConfig};
 use cryptdb_runtime::WorkerPool;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Durable-serving configuration: the directory holding the ciphertext
+/// WAL (`wal.log`) and snapshots (`snapshot.bin`), plus the WAL knobs
+/// (fsync policy, auto-snapshot interval, fault injection for tests).
+#[derive(Clone, Debug)]
+pub struct PersistConfig {
+    /// Directory for the log and snapshot files (created if missing).
+    pub dir: PathBuf,
+    /// Fsync/snapshot/fault-injection knobs.
+    pub wal: WalConfig,
+}
+
+impl PersistConfig {
+    /// Default WAL knobs (fsync every record) over `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            wal: WalConfig::default(),
+        }
+    }
+}
+
+/// Opens (or recovers) a durable proxy over `persist.dir`: an empty
+/// directory starts fresh with a WAL attached; a directory holding a
+/// previous run's log/snapshot replays it first. The returned
+/// [`EngineRecovery`] reports what replay found (torn tail, corruption,
+/// snapshot epoch); serving resumes from exactly the acknowledged
+/// prefix of the previous run.
+pub fn open_persistent(
+    persist: &PersistConfig,
+    mk: [u8; 32],
+    config: ProxyConfig,
+) -> Result<(Arc<Proxy>, EngineRecovery), ProxyError> {
+    let (proxy, recovery) = Proxy::open_persistent(&persist.dir, mk, config, persist.wal.clone())?;
+    Ok((Arc::new(proxy), recovery))
+}
 
 /// One client session: a named, ordered statement trace.
 #[derive(Clone, Debug)]

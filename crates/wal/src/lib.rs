@@ -1,0 +1,852 @@
+//! Append-only write-ahead log for ciphertext mutations, with snapshots
+//! and deterministic fault injection.
+//!
+//! CryptDB's threat model (§2.1) assumes the DBMS server — disk included
+//! — sees only ciphertext, so durability is security-free: a log of
+//! encrypted mutations leaks nothing beyond the live store. This crate
+//! is the byte-level half of that subsystem; `cryptdb-engine` layers the
+//! semantic record encoding (create/insert/update/delete/onion-adjust
+//! ops) on top.
+//!
+//! # Record framing
+//!
+//! Each record is `[len: u32 LE][crc: u32 LE][body]` where the body is
+//! `[seq: u64 LE][payload]`, `len = body.len()`, and `crc` is CRC-32
+//! (IEEE) over the body. Sequence numbers are assigned by the log,
+//! strictly increasing, and never reused — a failed append does not
+//! consume its sequence number.
+//!
+//! # Recovery
+//!
+//! [`Wal::open`] scans the existing log and always lands on the longest
+//! valid record prefix: a torn tail (partial final record), a truncation
+//! at an arbitrary byte offset, or a CRC-corrupt record all terminate
+//! the scan at the last intact record. The file is then truncated to
+//! that prefix so subsequent appends extend a valid log, and a
+//! [`RecoveryReport`] describes what was found. Snapshots
+//! ([`Wal::write_snapshot`]) are written to a temp file, fsynced and
+//! atomically renamed; a corrupt or torn snapshot is simply ignored
+//! (the log is never truncated by a snapshot, so full-log replay always
+//! remains possible).
+//!
+//! # Fault injection
+//!
+//! A [`FaultPlan`] installs a failpoint writer between the log and the
+//! file: it can kill the process's write stream at an absolute byte
+//! offset (persisting only the prefix — a torn write), fail the fsync
+//! after the n-th append (record durable but unacknowledged), or flip a
+//! single bit as it is written (silent media corruption, which recovery
+//! must catch via CRC). All faults are plan-driven and deterministic, so
+//! failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame header size: `len: u32` + `crc: u32`.
+const HEADER_LEN: usize = 8;
+/// Body prefix: the record sequence number.
+const SEQ_LEN: usize = 8;
+/// Sanity bound on a single record body; anything larger is treated as
+/// corruption of the length field.
+const MAX_BODY_LEN: u32 = 1 << 30;
+/// Snapshot file magic + version.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"CDBSNAP1";
+
+/// Errors produced by the log.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying filesystem operation failed (including injected
+    /// faults, which surface as I/O errors).
+    Io(io::Error),
+    /// On-disk state that should be impossible if the caller respected
+    /// the crate's invariants (e.g. appending to a log opened by a
+    /// different path).
+    Corrupt(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::Corrupt(m) => write!(f, "wal corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// When appended records are flushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every record, before the append returns. A statement
+    /// acknowledged under `Always` is durable.
+    Always,
+    /// Group commit: fsync once every `n` records. A crash can lose up
+    /// to `n - 1` acknowledged records (but recovery still lands on a
+    /// valid prefix of them).
+    EveryN(u32),
+    /// Never fsync explicitly (bench baseline; durability is whatever
+    /// the OS page cache provides).
+    Never,
+}
+
+/// How a deterministic failpoint interferes with the log file.
+///
+/// All offsets are absolute byte offsets into `wal.log`; append counts
+/// are 1-based and count appends in the current process only.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Kill the write stream at this byte offset: the write that crosses
+    /// it persists only the prefix up to the offset (a torn write), then
+    /// every later write and sync fails.
+    pub kill_at_byte: Option<u64>,
+    /// Fail (and kill) the fsync that follows the n-th successful
+    /// append: the record is fully written but never acknowledged.
+    pub kill_sync_at_append: Option<u64>,
+    /// Flip bit `1 << (b % 8)` of the byte at this offset as it is
+    /// written — silent corruption that only CRC validation can catch.
+    /// The stream stays alive.
+    pub flip_bit_at: Option<(u64, u8)>,
+}
+
+impl FaultPlan {
+    /// Plan that tears the log at byte offset `k`.
+    pub fn kill_at(k: u64) -> FaultPlan {
+        FaultPlan {
+            kill_at_byte: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Plan that fails the fsync after the `n`-th append.
+    pub fn kill_sync_after(n: u64) -> FaultPlan {
+        FaultPlan {
+            kill_sync_at_append: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Plan that flips one bit at byte offset `offset`.
+    pub fn flip_bit(offset: u64, bit: u8) -> FaultPlan {
+        FaultPlan {
+            flip_bit_at: Some((offset, bit)),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Log configuration.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Flush policy for appends.
+    pub fsync: FsyncPolicy,
+    /// Write a snapshot automatically every `n` records (enforced by the
+    /// engine layer, which owns the state being snapshotted; the log
+    /// only stores the value).
+    pub snapshot_every: Option<u64>,
+    /// Deterministic fault injection for the log file (tests only).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            fsync: FsyncPolicy::Always,
+            snapshot_every: None,
+            fault: None,
+        }
+    }
+}
+
+/// How the scan of the existing log ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailState {
+    /// The log ended exactly on a record boundary.
+    Clean,
+    /// The final record was incomplete (torn write / truncation).
+    Torn,
+    /// A record failed CRC validation (or carried an insane length).
+    Corrupt,
+}
+
+/// What recovery found, and what it did about it.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Valid records handed to the caller for replay. The engine layer
+    /// overwrites this with the count actually applied after snapshot
+    /// filtering.
+    pub records_applied: u64,
+    /// Bytes past the longest valid prefix, discarded by truncation.
+    pub bytes_discarded: u64,
+    /// True iff the scan ended on a CRC failure (as opposed to a clean
+    /// end or a torn tail). A detected corruption is never replayed.
+    pub corruption_detected: bool,
+    /// How the tail of the log was classified.
+    pub tail: TailState,
+    /// Epoch (sequence watermark) of the snapshot used, if a valid one
+    /// was found.
+    pub snapshot_epoch: Option<u64>,
+    /// Sequence number of the last valid record (0 when the log held no
+    /// valid records and there was no snapshot).
+    pub last_seq: u64,
+}
+
+/// A decoded, CRC-validated snapshot.
+#[derive(Clone, Debug)]
+pub struct SnapshotData {
+    /// Sequence watermark: records with `seq <= epoch` are already
+    /// reflected in the payload.
+    pub epoch: u64,
+    /// Opaque engine-encoded state.
+    pub payload: Vec<u8>,
+}
+
+/// Everything [`Wal::open`] recovered from disk.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// The last complete, valid snapshot, if any.
+    pub snapshot: Option<SnapshotData>,
+    /// All valid `(seq, payload)` records in log order (including those
+    /// at or below the snapshot epoch — the caller filters).
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Scan outcome.
+    pub report: RecoveryReport,
+}
+
+// ---- storage layer ----
+
+/// The byte sink the log writes through; the failpoint writer and the
+/// plain file both implement it.
+trait LogFile: Send {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+struct PlainFile {
+    file: File,
+}
+
+impl LogFile for PlainFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Wraps the log file and injects the faults described by a
+/// [`FaultPlan`]. Once a kill fires, every subsequent write and sync
+/// fails — the process's view of the file is frozen, as after a crash.
+struct FailpointWriter {
+    inner: PlainFile,
+    plan: FaultPlan,
+    /// Absolute byte offset of the next write (starts at the recovered
+    /// log length).
+    written: u64,
+    /// Successful appends in this process.
+    appends: u64,
+    dead: bool,
+}
+
+impl FailpointWriter {
+    fn killed() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "failpoint: killed")
+    }
+}
+
+impl LogFile for FailpointWriter {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::killed());
+        }
+        let mut data = buf.to_vec();
+        if let Some((off, bit)) = self.plan.flip_bit_at {
+            if off >= self.written && off < self.written + data.len() as u64 {
+                data[(off - self.written) as usize] ^= 1 << (bit % 8);
+            }
+        }
+        if let Some(k) = self.plan.kill_at_byte {
+            if self.written + data.len() as u64 > k {
+                let keep = k.saturating_sub(self.written) as usize;
+                // Persist the torn prefix, then die.
+                self.inner.append(&data[..keep])?;
+                self.inner.sync().ok();
+                self.dead = true;
+                return Err(Self::killed());
+            }
+        }
+        self.inner.append(&data)?;
+        self.written += data.len() as u64;
+        self.appends += 1;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(Self::killed());
+        }
+        if let Some(n) = self.plan.kill_sync_at_append {
+            if self.appends >= n {
+                // The data of append #n is already in the file (and we
+                // flush it to be faithful to "crash after write, before
+                // ack"), but the caller never sees a success.
+                self.inner.sync().ok();
+                self.dead = true;
+                return Err(Self::killed());
+            }
+        }
+        self.inner.sync()
+    }
+}
+
+// ---- the log ----
+
+struct Inner {
+    dir: PathBuf,
+    log: Box<dyn LogFile>,
+    /// Last assigned sequence number.
+    seq: u64,
+    policy: FsyncPolicy,
+    /// Records appended since the last fsync (for `EveryN`).
+    unsynced: u32,
+    /// Epoch of the most recent snapshot (0 = none).
+    snapshot_epoch: u64,
+    /// Current log file length in bytes (tracked, not re-stat'd).
+    log_len: u64,
+}
+
+/// The append-only record log. Thread-safe; appends are serialized by an
+/// internal lock, so callers holding their own state locks across
+/// [`Wal::append`] get WAL order == apply order.
+pub struct Wal {
+    inner: Mutex<Inner>,
+}
+
+/// Path of the record log inside `dir`.
+pub fn log_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+/// Path of the snapshot inside `dir`.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.bin")
+}
+
+impl Wal {
+    /// Opens (creating if necessary) the log in `dir`, scans it, and
+    /// truncates the file to the longest valid record prefix. Returns
+    /// the log positioned for appending plus everything recovered.
+    pub fn open(dir: &Path, cfg: &WalConfig) -> Result<(Wal, RecoveredLog), WalError> {
+        fs::create_dir_all(dir)?;
+        let snapshot = read_snapshot(&snapshot_path(dir));
+        let path = log_path(dir);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let scan = scan_log(&bytes);
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        file.set_len(scan.valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(scan.valid_len))?;
+        let plain = PlainFile { file };
+        let log: Box<dyn LogFile> = match &cfg.fault {
+            None => Box::new(plain),
+            Some(plan) => Box::new(FailpointWriter {
+                inner: plain,
+                plan: plan.clone(),
+                written: scan.valid_len,
+                appends: 0,
+                dead: false,
+            }),
+        };
+        let last_seq = scan
+            .records
+            .last()
+            .map(|(s, _)| *s)
+            .or(snapshot.as_ref().map(|s| s.epoch))
+            .unwrap_or(0);
+        let snapshot_epoch = snapshot.as_ref().map(|s| s.epoch).unwrap_or(0);
+        let report = RecoveryReport {
+            records_applied: scan.records.len() as u64,
+            bytes_discarded: bytes.len() as u64 - scan.valid_len,
+            corruption_detected: scan.tail == TailState::Corrupt,
+            tail: scan.tail,
+            snapshot_epoch: snapshot.as_ref().map(|s| s.epoch),
+            last_seq,
+        };
+        let wal = Wal {
+            inner: Mutex::new(Inner {
+                dir: dir.to_path_buf(),
+                log,
+                seq: last_seq.max(snapshot_epoch),
+                policy: cfg.fsync,
+                unsynced: 0,
+                snapshot_epoch,
+                log_len: scan.valid_len,
+            }),
+        };
+        Ok((
+            wal,
+            RecoveredLog {
+                snapshot,
+                records: scan.records,
+                report,
+            },
+        ))
+    }
+
+    /// Appends one record and returns its sequence number. The record is
+    /// flushed according to the fsync policy; a failed append does not
+    /// consume a sequence number.
+    pub fn append(&self, payload: &[u8]) -> Result<u64, WalError> {
+        let mut inner = self.inner.lock();
+        let seq = inner.seq + 1;
+        let frame = encode_frame(seq, payload);
+        inner.log.append(&frame)?;
+        inner.seq = seq;
+        inner.log_len += frame.len() as u64;
+        match inner.policy {
+            FsyncPolicy::Always => inner.log.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                inner.unsynced += 1;
+                if inner.unsynced >= n.max(1) {
+                    inner.log.sync()?;
+                    inner.unsynced = 0;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Forces an fsync regardless of policy (group-commit barrier).
+    pub fn sync(&self) -> Result<(), WalError> {
+        let mut inner = self.inner.lock();
+        inner.log.sync()?;
+        inner.unsynced = 0;
+        Ok(())
+    }
+
+    /// Last assigned sequence number.
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// Current byte length of the log file.
+    pub fn log_len(&self) -> u64 {
+        self.inner.lock().log_len
+    }
+
+    /// Epoch of the most recent snapshot written or recovered (0 if
+    /// none).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.inner.lock().snapshot_epoch
+    }
+
+    /// Records appended past the last snapshot epoch — the engine's
+    /// trigger input for `snapshot_every`.
+    pub fn records_since_snapshot(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.seq.saturating_sub(inner.snapshot_epoch)
+    }
+
+    /// Writes a snapshot whose payload reflects exactly the state after
+    /// the last appended record. The caller must exclude concurrent
+    /// appends for that to hold (the engine holds its catalog write
+    /// lock). Temp-file + fsync + atomic rename: a crash mid-snapshot
+    /// leaves the previous snapshot (or none) intact, and the log is
+    /// never truncated, so replay always remains possible.
+    pub fn write_snapshot(&self, payload: &[u8]) -> Result<u64, WalError> {
+        let mut inner = self.inner.lock();
+        let epoch = inner.seq;
+        let final_path = snapshot_path(&inner.dir);
+        let tmp_path = inner.dir.join("snapshot.tmp");
+        let mut body = Vec::with_capacity(16 + payload.len());
+        body.extend_from_slice(&epoch.to_le_bytes());
+        body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        body.extend_from_slice(payload);
+        let crc = crc32(&body);
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(SNAPSHOT_MAGIC)?;
+            f.write_all(&crc.to_le_bytes())?;
+            f.write_all(&body)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        if let Ok(d) = File::open(&inner.dir) {
+            d.sync_all().ok();
+        }
+        inner.snapshot_epoch = epoch;
+        Ok(epoch)
+    }
+}
+
+// ---- framing / scanning ----
+
+fn encode_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let body_len = SEQ_LEN + payload.len();
+    let mut frame = Vec::with_capacity(HEADER_LEN + body_len);
+    frame.extend_from_slice(&(body_len as u32).to_le_bytes());
+    frame.extend_from_slice(&[0; 4]); // crc placeholder
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(payload);
+    let crc = crc32(&frame[HEADER_LEN..]);
+    frame[4..8].copy_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+struct Scan {
+    records: Vec<(u64, Vec<u8>)>,
+    valid_len: u64,
+    tail: TailState,
+}
+
+/// Walks the raw log bytes and returns the longest valid record prefix.
+fn scan_log(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut tail = TailState::Clean;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < HEADER_LEN {
+            tail = TailState::Torn;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+        if len < SEQ_LEN as u32 || len > MAX_BODY_LEN {
+            // A length that no writer could have produced: the header
+            // itself is corrupt.
+            tail = TailState::Corrupt;
+            break;
+        }
+        let body_len = len as usize;
+        if remaining - HEADER_LEN < body_len {
+            tail = TailState::Torn;
+            break;
+        }
+        let body = &bytes[offset + HEADER_LEN..offset + HEADER_LEN + body_len];
+        if crc32(body) != crc {
+            tail = TailState::Corrupt;
+            break;
+        }
+        let seq = u64::from_le_bytes(body[..SEQ_LEN].try_into().unwrap());
+        records.push((seq, body[SEQ_LEN..].to_vec()));
+        offset += HEADER_LEN + body_len;
+    }
+    Scan {
+        records,
+        valid_len: offset as u64,
+        tail,
+    }
+}
+
+/// Reads and validates a snapshot file; any defect (missing, torn,
+/// corrupt) yields `None` — the caller falls back to full-log replay.
+fn read_snapshot(path: &Path) -> Option<SnapshotData> {
+    let mut f = File::open(path).ok()?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes).ok()?;
+    if bytes.len() < 8 + 4 + 16 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let body = &bytes[12..];
+    if crc32(body) != crc {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+    if body.len() - 16 != payload_len {
+        return None;
+    }
+    Some(SnapshotData {
+        epoch,
+        payload: body[16..].to_vec(),
+    })
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/final `0xFFFF_FFFF`) — the same
+/// polynomial as zlib. Table-driven, built at first use.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cryptdb-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_default(dir: &Path) -> (Wal, RecoveredLog) {
+        Wal::open(dir, &WalConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // zlib's canonical check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        {
+            let (wal, rec) = open_default(&dir);
+            assert_eq!(rec.records.len(), 0);
+            assert_eq!(wal.append(b"alpha").unwrap(), 1);
+            assert_eq!(wal.append(b"beta").unwrap(), 2);
+            assert_eq!(wal.append(b"").unwrap(), 3);
+        }
+        let (wal, rec) = open_default(&dir);
+        assert_eq!(
+            rec.records,
+            vec![
+                (1, b"alpha".to_vec()),
+                (2, b"beta".to_vec()),
+                (3, Vec::new())
+            ]
+        );
+        assert_eq!(rec.report.tail, TailState::Clean);
+        assert_eq!(rec.report.bytes_discarded, 0);
+        assert_eq!(rec.report.last_seq, 3);
+        // Appends continue the sequence.
+        assert_eq!(wal.append(b"gamma").unwrap(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_reusable() {
+        let dir = tmpdir("torn");
+        {
+            let (wal, _) = open_default(&dir);
+            wal.append(b"keep-me").unwrap();
+            wal.append(b"torn-record").unwrap();
+        }
+        let path = log_path(&dir);
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        let (wal, rec) = open_default(&dir);
+        assert_eq!(rec.records, vec![(1, b"keep-me".to_vec())]);
+        assert_eq!(rec.report.tail, TailState::Torn);
+        assert!(rec.report.bytes_discarded > 0);
+        assert!(!rec.report.corruption_detected);
+        // The file was truncated to the valid prefix and keeps working.
+        assert_eq!(wal.append(b"after-recovery").unwrap(), 2);
+        drop(wal);
+        let (_, rec) = open_default(&dir);
+        assert_eq!(
+            rec.records,
+            vec![(1, b"keep-me".to_vec()), (2, b"after-recovery".to_vec())]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_detected_not_replayed() {
+        let dir = tmpdir("flip");
+        {
+            let (wal, _) = open_default(&dir);
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+        }
+        let path = log_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload bit inside the second record.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let (_, rec) = open_default(&dir);
+        assert_eq!(rec.records, vec![(1, b"first".to_vec())]);
+        assert!(rec.report.corruption_detected);
+        assert_eq!(rec.report.tail, TailState::Corrupt);
+        assert!(rec.report.bytes_discarded > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_epoch_filtering_inputs() {
+        let dir = tmpdir("snap");
+        {
+            let (wal, _) = open_default(&dir);
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            assert_eq!(wal.write_snapshot(b"STATE@2").unwrap(), 2);
+            assert_eq!(wal.snapshot_epoch(), 2);
+            wal.append(b"three").unwrap();
+            assert_eq!(wal.records_since_snapshot(), 1);
+        }
+        let (_, rec) = open_default(&dir);
+        let snap = rec.snapshot.expect("snapshot present");
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(snap.payload, b"STATE@2");
+        assert_eq!(rec.report.snapshot_epoch, Some(2));
+        // All records are still handed back; the engine filters by epoch.
+        assert_eq!(rec.records.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_ignored_full_log_replay_possible() {
+        let dir = tmpdir("snapbad");
+        {
+            let (wal, _) = open_default(&dir);
+            wal.append(b"one").unwrap();
+            wal.write_snapshot(b"STATE").unwrap();
+            wal.append(b"two").unwrap();
+        }
+        let path = snapshot_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        let (_, rec) = open_default(&dir);
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.report.snapshot_epoch, None);
+        assert_eq!(rec.records.len(), 2, "log replay covers everything");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failpoint_kill_at_byte_tears_the_log() {
+        let dir = tmpdir("killbyte");
+        // First, learn the clean length of two records.
+        {
+            let (wal, _) = open_default(&dir);
+            wal.append(b"record-one").unwrap();
+            wal.append(b"record-two").unwrap();
+        }
+        let clean_len = fs::metadata(log_path(&dir)).unwrap().len();
+        let _ = fs::remove_dir_all(&dir);
+        // Now kill mid-second-record.
+        let cfg = WalConfig {
+            fault: Some(FaultPlan::kill_at(clean_len - 3)),
+            ..WalConfig::default()
+        };
+        let (wal, _) = Wal::open(&dir, &cfg).unwrap();
+        wal.append(b"record-one").unwrap();
+        assert!(wal.append(b"record-two").is_err(), "append crossing kill");
+        assert!(wal.append(b"record-three").is_err(), "stream is dead");
+        assert!(wal.sync().is_err(), "sync is dead too");
+        drop(wal);
+        let (_, rec) = open_default(&dir);
+        assert_eq!(rec.records, vec![(1, b"record-one".to_vec())]);
+        assert_eq!(rec.report.tail, TailState::Torn);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failpoint_sync_kill_leaves_record_durable_but_unacked() {
+        let dir = tmpdir("killsync");
+        let cfg = WalConfig {
+            fault: Some(FaultPlan::kill_sync_after(2)),
+            ..WalConfig::default()
+        };
+        let (wal, _) = Wal::open(&dir, &cfg).unwrap();
+        wal.append(b"acked").unwrap();
+        // Fully written, but the fsync (and thus the ack) fails.
+        assert!(wal.append(b"durable-unacked").is_err());
+        drop(wal);
+        let (_, rec) = open_default(&dir);
+        assert_eq!(
+            rec.records,
+            vec![(1, b"acked".to_vec()), (2, b"durable-unacked".to_vec())]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failpoint_flip_bit_produces_detectable_corruption() {
+        let dir = tmpdir("flipwrite");
+        {
+            let (wal, _) = open_default(&dir);
+            wal.append(b"aaaa").unwrap();
+        }
+        let first_len = fs::metadata(log_path(&dir)).unwrap().len();
+        let _ = fs::remove_dir_all(&dir);
+        let cfg = WalConfig {
+            // Flip a bit inside the second record's payload.
+            fault: Some(FaultPlan::flip_bit(first_len + HEADER_LEN as u64 + 9, 3)),
+            ..WalConfig::default()
+        };
+        let (wal, _) = Wal::open(&dir, &cfg).unwrap();
+        wal.append(b"aaaa").unwrap();
+        // The flip is silent: the append "succeeds".
+        wal.append(b"bbbb").unwrap();
+        wal.append(b"cccc").unwrap();
+        drop(wal);
+        let (_, rec) = open_default(&dir);
+        assert_eq!(rec.records, vec![(1, b"aaaa".to_vec())]);
+        assert!(rec.report.corruption_detected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_n_groups_commits() {
+        let dir = tmpdir("everyn");
+        let cfg = WalConfig {
+            fsync: FsyncPolicy::EveryN(3),
+            ..WalConfig::default()
+        };
+        let (wal, _) = Wal::open(&dir, &cfg).unwrap();
+        for i in 0..7u8 {
+            wal.append(&[i]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, rec) = open_default(&dir);
+        assert_eq!(rec.records.len(), 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
