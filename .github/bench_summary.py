@@ -6,10 +6,10 @@ import json
 import sys
 
 # Gate display policy for files with a "gates" section: name ->
-# (kind, threshold). "min" gates pass at or above the threshold, "flag"
-# gates pass when == expected, anything unlisted is informational.
-# Thresholds mirror each bench's own enforcement (see the bench source
-# and BENCHMARKS.md).
+# (kind, threshold). "min" gates pass at or above the threshold, "max"
+# gates pass at or below it, "flag" gates pass when == expected,
+# anything unlisted is informational. Thresholds mirror each bench's
+# own enforcement (see the bench source and BENCHMARKS.md).
 GATE_POLICY = {
     # BENCH_runtime.json
     "batch_pool_vs_scoped": ("min", 0.97),
@@ -24,6 +24,12 @@ GATE_POLICY = {
     "wire_errors": ("flag", 0.0),
     "recovery_matches_pre_crash": ("flag", 1.0),
     "recovery_errors": ("flag", 0.0),
+    "wire64_matches_serial": ("flag", 1.0),
+    "wire64_errors": ("flag", 0.0),
+    "overload_p99_ratio": ("max", 5.0),
+    "overload_dirty_sheds": ("flag", 0.0),
+    "overload_admitted_errors": ("flag", 0.0),
+    "drain_lost_acks": ("flag", 0.0),
 }
 
 
@@ -31,6 +37,8 @@ def verdict(name, value):
     kind, threshold = GATE_POLICY.get(name, ("info", None))
     if kind == "min":
         return ("✅" if value >= threshold else "❌"), f">= {threshold}"
+    if kind == "max":
+        return ("✅" if value <= threshold else "❌"), f"<= {threshold}"
     if kind == "flag":
         return ("✅" if value == threshold else "❌"), f"== {threshold:g}"
     return "·", ""
@@ -96,6 +104,35 @@ def main(paths):
                     f"\nwire overhead at 4 sessions: {overhead:g}× "
                     "(in-process qps / socket-path qps)"
                 )
+        # Overload rows postdate the multiplexed edge; every key is
+        # optional so older artifacts still render.
+        fan = e2e.get("wire64")
+        if fan:
+            print(
+                f"\nwide fan-out: {fan.get('connections', '?')} connections on "
+                f"{fan.get('reader_threads', '?')} reader threads — "
+                f"{fan.get('qps', 0.0):.1f} qps, "
+                f"p50 {fan.get('p50_ns', 0) / 1e6:.3f} ms, "
+                f"p99 {fan.get('p99_ns', 0) / 1e6:.3f} ms"
+            )
+        overload = e2e.get("overload")
+        if overload:
+            print(
+                f"\noverload ({overload.get('flooders', '?')} flooders vs cap "
+                f"{overload.get('cap', '?')}): admitted p99 "
+                f"{overload.get('p99_unloaded_ns', 0) / 1e6:.3f} ms unloaded → "
+                f"{overload.get('p99_flood_ns', 0) / 1e6:.3f} ms under flood "
+                f"({overload.get('p99_ratio', 0):g}×), "
+                f"{overload.get('clean_sheds', 0)} clean sheds, "
+                f"{overload.get('dirty_sheds', 0)} dirty"
+            )
+        drain = e2e.get("drain")
+        if drain:
+            print(
+                f"\ndrain under flood: {drain.get('acked', 0)} acked inserts, "
+                f"{drain.get('lost', 0)} lost after recovery, drain took "
+                f"{drain.get('drain_ms', 0):g} ms"
+            )
         # Older artifacts predate the WAL; every key is optional here.
         wal = e2e.get("wal_results")
         if wal:

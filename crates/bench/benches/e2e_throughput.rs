@@ -38,6 +38,25 @@
 //!   host. The `wal_results` ladder (no WAL / Never / EveryN(64) /
 //!   Always) and `wal_overhead_everyN_vs_off` are informational —
 //!   absolute fsync cost is host-dependent.
+//! * `wire64_matches_serial` / `wire64_errors` — a wide fan-out row: 64
+//!   concurrent connections (64 fresh short sessions, disjoint id
+//!   ranges) multiplexed on **2 reader threads**, byte-identical to its
+//!   own serial oracle with both dumps read through the socket path.
+//!   Enforced at every size and host.
+//! * `overload_p99_ratio ≤ 5.0` / `overload_dirty_sheds` /
+//!   `overload_admitted_errors` — with the connection cap filled by
+//!   admitted clients, a 2×-cap reconnect flood runs against the edge;
+//!   every over-cap attempt must shed as a clean in-protocol FATAL
+//!   53300 (no resets, no hangs, no accidental admissions), admitted
+//!   statements must stay error-free, and admitted p99 latency under
+//!   flood must stay within 5× of the unloaded p99 on the same
+//!   connections. Enforced at every size and host: the flood is
+//!   shed at the accept edge, so the bar holds even on one core.
+//! * `drain_lost_acks` — writers flood acknowledged INSERTs through a
+//!   WAL-backed server, `drain()` fires mid-flood, and the directory is
+//!   reopened: every acknowledged statement must survive recovery and
+//!   the drain must end with a successful fsync. Enforced at every
+//!   size and host.
 //!
 //! Reduced-size knobs for CI: `CRYPTDB_BENCH_PAILLIER_BITS` (key size)
 //! and `CRYPTDB_E2E_STEPS` (driver steps per session; each step is one
@@ -48,17 +67,28 @@ use cryptdb_apps::phpbb;
 use cryptdb_bench::bench_paillier_bits;
 use cryptdb_core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
 use cryptdb_engine::{Engine, FsyncPolicy, WalConfig};
-use cryptdb_net::{wire_canonical_dump, NetClient, NetServer, WireError};
+use cryptdb_net::{wire_canonical_dump, NetClient, NetLimits, NetServer, WireError};
 use cryptdb_server::{
-    canonical_dump, percentile, replay_serial, schema_tables, Server, SessionTrace,
+    canonical_dump, open_persistent, percentile, replay_serial, schema_tables, PersistConfig,
+    Server, SessionTrace,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const SESSION_LEVELS: [usize; 4] = [1, 2, 4, 8];
 const WIRE_LEVELS: [usize; 2] = [1, 4];
 const TRACE_SEED: u64 = 2026;
+/// Wide fan-out row: connections and the reader-thread bound they
+/// multiplex on (the acceptance bar is 64+ connections on <= 4).
+const FAN_CONNS: usize = 64;
+const FAN_READERS: usize = 2;
+/// Overload row: admitted connections fill the cap exactly; the flood
+/// runs 2x the cap in concurrent reconnect loops.
+const OVERLOAD_CAP: usize = 4;
+const OVERLOAD_FLOODERS: usize = 8;
+const OVERLOAD_REPS: usize = 50;
 
 /// Encryption policy for the mixed workload: every phpBB sensitive
 /// field (the paper's Fig. 14 set) plus the TPC-C/HotCRP columns that
@@ -142,8 +172,12 @@ struct WireLevel {
 /// Replays the traces over real sockets, one `NetClient` connection per
 /// trace, timing each statement's client-observed round-trip. Returns
 /// the spawned server (still holding the proxy) for post-run dumps.
-fn wire_run(proxy: Arc<Proxy>, traces: Vec<SessionTrace>) -> (NetServer, WireLevel) {
-    let server = NetServer::spawn(proxy, "127.0.0.1:0").expect("bind wire front-end");
+fn wire_run(
+    proxy: Arc<Proxy>,
+    traces: Vec<SessionTrace>,
+    limits: NetLimits,
+) -> (NetServer, WireLevel) {
+    let server = NetServer::spawn_with(proxy, "127.0.0.1:0", limits).expect("bind wire front-end");
     let addr = server.local_addr();
     let t0 = Instant::now();
     let workers: Vec<_> = traces
@@ -258,7 +292,7 @@ fn main() {
     for &n in &WIRE_LEVELS {
         let proxy = fresh_proxy(bits);
         prepare(&proxy, &scale);
-        let (server, level) = wire_run(proxy, partition(&base, n));
+        let (server, level) = wire_run(proxy, partition(&base, n), NetLimits::default());
         println!(
             "wire n={n:<2}   queries={:<5} qps={:<10.1} p50={:.3} ms p99={:.3} ms errors={}",
             wire_queries,
@@ -303,6 +337,278 @@ fn main() {
     };
     drop(oracle_server);
     drop(wire_server);
+
+    // ---- Wide fan-out: FAN_CONNS connections multiplexed on
+    // FAN_READERS reader threads. A fresh trace set (64 short sessions
+    // with disjoint id ranges — the same commuting construction as the
+    // base traces) rather than a re-split of the 8 base traces, so
+    // every connection carries a real session. Correctness is checked
+    // against this row's own serial oracle, both dumps read back
+    // through the socket path.
+    let fan_steps = (steps / 8).max(1);
+    let fan_traces: Vec<SessionTrace> = (0..FAN_CONNS)
+        .map(|i| {
+            SessionTrace::new(
+                format!("fan{i}"),
+                mixed::session_trace(TRACE_SEED + 1, i, fan_steps, &scale),
+            )
+        })
+        .collect();
+    let fan_queries: usize = fan_traces.iter().map(|t| t.statements.len()).sum();
+    let fan_limits = NetLimits {
+        reader_threads: FAN_READERS,
+        max_connections: FAN_CONNS * 2,
+        ..NetLimits::default()
+    };
+    let fan_proxy = fresh_proxy(bits);
+    prepare(&fan_proxy, &scale);
+    let (fan_server, fan_level) = wire_run(fan_proxy, fan_traces.clone(), fan_limits);
+    println!(
+        "wire n={FAN_CONNS:<2}   queries={fan_queries:<5} qps={:<10.1} p50={:.3} ms p99={:.3} ms \
+         errors={} ({FAN_READERS} reader threads)",
+        fan_level.qps,
+        fan_level.p50_ns as f64 / 1e6,
+        fan_level.p99_ns as f64 / 1e6,
+        fan_level.errors
+    );
+    let fan_oracle = fresh_proxy(bits);
+    prepare(&fan_oracle, &scale);
+    let (fan_oracle_queries, fan_oracle_errors) = replay_serial(&fan_oracle, &fan_traces);
+    assert_eq!(fan_oracle_queries, fan_queries, "fan trace sets must match");
+    let fan_oracle_server =
+        NetServer::spawn(fan_oracle.clone(), "127.0.0.1:0").expect("bind fan oracle");
+    let fan_matches = {
+        let mut wc = NetClient::connect(fan_server.local_addr(), "dump", "").expect("fan dump");
+        let fan_dump =
+            wire_canonical_dump(&mut wc, &schema_tables(fan_server.proxy())).expect("fan dump");
+        let mut oc = NetClient::connect(fan_oracle_server.local_addr(), "dump", "")
+            .expect("fan oracle dump");
+        let oracle_dump =
+            wire_canonical_dump(&mut oc, &schema_tables(&fan_oracle)).expect("fan oracle dump");
+        println!(
+            "wire64 vs serial oracle:     {} ({} bytes dumped)",
+            if fan_dump == oracle_dump {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            },
+            fan_dump.len()
+        );
+        fan_dump == oracle_dump
+    };
+    let wire64_errors = fan_level.errors + fan_oracle_errors;
+    drop(fan_oracle_server);
+    drop(fan_server);
+
+    // ---- Overload: admitted-work latency under a 2x-over-cap flood.
+    // OVERLOAD_CAP admitted connections fill the cap and time a fixed
+    // HOM-sum query, first unloaded, then while OVERLOAD_FLOODERS
+    // reconnect loops hammer the accept edge. Every over-cap attempt
+    // must shed as a clean FATAL 53300; admitted p99 must stay within
+    // 5x of unloaded p99.
+    let overload_proxy = {
+        let mut map: HashMap<String, Vec<String>> = HashMap::new();
+        map.insert("ov".into(), vec!["val".into()]);
+        let cfg = ProxyConfig {
+            policy: EncryptionPolicy::Explicit(map),
+            paillier_bits: bits,
+            ..Default::default()
+        };
+        Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg))
+    };
+    overload_proxy
+        .execute("CREATE TABLE ov (id int, val int)")
+        .expect("overload schema");
+    for chunk in 0..4 {
+        let values: Vec<String> = (0..32)
+            .map(|i| format!("({}, {})", chunk * 32 + i, chunk * 32 + i))
+            .collect();
+        overload_proxy
+            .execute(&format!(
+                "INSERT INTO ov (id, val) VALUES {}",
+                values.join(", ")
+            ))
+            .expect("overload seed");
+    }
+    overload_proxy.hom_pool_wait_ready();
+    let overload_limits = NetLimits {
+        max_connections: OVERLOAD_CAP,
+        reader_threads: 2,
+        ..NetLimits::default()
+    };
+    let overload_server = NetServer::spawn_with(overload_proxy, "127.0.0.1:0", overload_limits)
+        .expect("bind overload server");
+    let overload_addr = overload_server.local_addr();
+    let mut admitted: Vec<NetClient> = (0..OVERLOAD_CAP)
+        .map(|i| NetClient::connect(overload_addr, &format!("adm{i}"), "").expect("admit"))
+        .collect();
+    let overload_query = "SELECT SUM(val) FROM ov WHERE id < 64";
+    let run_admitted = |conns: &mut Vec<NetClient>| -> (Vec<u64>, usize) {
+        let mut lats = Vec::new();
+        let mut errors = 0usize;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = conns
+                .iter_mut()
+                .map(|c| {
+                    s.spawn(move || {
+                        let mut lat = Vec::with_capacity(OVERLOAD_REPS);
+                        let mut errs = 0usize;
+                        for _ in 0..OVERLOAD_REPS {
+                            let t = Instant::now();
+                            errs += usize::from(c.simple_query(overload_query).is_err());
+                            lat.push(t.elapsed().as_nanos() as u64);
+                        }
+                        (lat, errs)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (lat, e) = h.join().expect("admitted thread");
+                lats.extend(lat);
+                errors += e;
+            }
+        });
+        lats.sort_unstable();
+        (lats, errors)
+    };
+    let (lat_unloaded, unloaded_errors) = run_admitted(&mut admitted);
+    let p99_unloaded = percentile(&lat_unloaded, 0.99);
+    let stop = AtomicBool::new(false);
+    let mut clean_sheds = 0usize;
+    let mut dirty_sheds = 0usize;
+    let (lat_flood, flood_errors) = std::thread::scope(|s| {
+        let flooders: Vec<_> = (0..OVERLOAD_FLOODERS)
+            .map(|i| {
+                let stop = &stop;
+                s.spawn(move || {
+                    let (mut clean, mut dirty) = (0usize, 0usize);
+                    while !stop.load(Ordering::Relaxed) {
+                        match NetClient::connect(overload_addr, &format!("fl{i}"), "") {
+                            Err(WireError::Server { code, .. }) if code == "53300" => clean += 1,
+                            Ok(c) => {
+                                dirty += 1; // Admitted past a full cap: a bug.
+                                let _ = c.terminate();
+                            }
+                            Err(_) => dirty += 1, // Reset/hang instead of FATAL 53300.
+                        }
+                        // Reconnect pacing: the flood stays 2x the cap in
+                        // concurrent attempts, but on a 1-core host an
+                        // unpaced connect loop measures CPU theft by the
+                        // flooder *processes*, not the edge's shedding.
+                        std::thread::sleep(Duration::from_millis(3));
+                    }
+                    (clean, dirty)
+                })
+            })
+            .collect();
+        // Let the flood establish before timing admitted work.
+        std::thread::sleep(Duration::from_millis(100));
+        let r = run_admitted(&mut admitted);
+        stop.store(true, Ordering::Relaxed);
+        for f in flooders {
+            let (c, d) = f.join().expect("flooder thread");
+            clean_sheds += c;
+            dirty_sheds += d;
+        }
+        r
+    });
+    let p99_flood = percentile(&lat_flood, 0.99);
+    let overload_ratio = p99_flood as f64 / p99_unloaded.max(1) as f64;
+    let overload_errors = unloaded_errors + flood_errors;
+    println!(
+        "overload: p99 unloaded={:.3} ms, under 2x-cap flood={:.3} ms (ratio {:.2}x), \
+         {clean_sheds} clean sheds, {dirty_sheds} dirty, {overload_errors} admitted errors",
+        p99_unloaded as f64 / 1e6,
+        p99_flood as f64 / 1e6,
+        overload_ratio
+    );
+    for c in admitted {
+        c.terminate().expect("terminate admitted");
+    }
+    drop(overload_server);
+
+    // ---- Drain-during-flood: writers flood acknowledged INSERTs into
+    // a WAL-backed server, drain() fires mid-flood, and the directory
+    // is reopened. Every acknowledged insert must survive recovery.
+    let drain_dir =
+        std::env::temp_dir().join(format!("cryptdb-bench-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&drain_dir);
+    let persist = PersistConfig::new(&drain_dir);
+    let drain_cfg = ProxyConfig {
+        paillier_bits: bits,
+        ..Default::default()
+    };
+    let (drain_acked, drain_report, drain_ms) = {
+        let (server, _) = NetServer::spawn_persistent_with(
+            &persist,
+            [7u8; 32],
+            drain_cfg.clone(),
+            "127.0.0.1:0",
+            NetLimits::default(),
+        )
+        .expect("bind persistent server");
+        let addr = server.local_addr();
+        let mut setup = NetClient::connect(addr, "setup", "").expect("drain setup");
+        setup
+            .simple_query("CREATE TABLE acked (id int)")
+            .expect("drain schema");
+        setup.terminate().expect("terminate setup");
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    let mut acked = Vec::new();
+                    let Ok(mut c) = NetClient::connect(addr, &format!("w{w}"), "") else {
+                        return acked;
+                    };
+                    for k in 0..100_000i64 {
+                        let id = w as i64 * 1_000_000 + k;
+                        match c.simple_query(&format!("INSERT INTO acked (id) VALUES ({id})")) {
+                            Ok(_) => acked.push(id),
+                            Err(_) => break,
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(500));
+        let d0 = Instant::now();
+        let report = server.drain(Duration::from_secs(10));
+        let drain_ms = d0.elapsed().as_secs_f64() * 1e3;
+        let acked: Vec<i64> = writers
+            .into_iter()
+            .flat_map(|w| w.join().expect("writer thread"))
+            .collect();
+        (acked, report, drain_ms)
+    };
+    let (drained_proxy, drain_recovery) =
+        open_persistent(&persist, [7u8; 32], drain_cfg).expect("reopen after drain");
+    let recovered: std::collections::HashSet<i64> = drained_proxy
+        .execute("SELECT id FROM acked")
+        .expect("recovered select")
+        .rows()
+        .iter()
+        .map(|row| row[0].as_int().expect("int id"))
+        .collect();
+    let drain_lost = drain_acked
+        .iter()
+        .filter(|id| !recovered.contains(id))
+        .count();
+    let drain_ok = drain_report.wal_synced
+        && !drain_recovery.report.corruption_detected
+        && drain_lost == 0
+        && !drain_acked.is_empty();
+    println!(
+        "drain: {} acked inserts, {} recovered, {drain_lost} lost, drain took {drain_ms:.1} ms \
+         (wal_synced={}, {} drained + {} aborted conns)",
+        drain_acked.len(),
+        recovered.len(),
+        drain_report.wal_synced,
+        drain_report.drained_connections,
+        drain_report.aborted_connections
+    );
+    drop(drained_proxy);
+    let _ = std::fs::remove_dir_all(&drain_dir);
 
     // ---- Durability ladder: the same serial statement set with the
     // WAL attached under each fsync policy, against the no-WAL
@@ -416,6 +722,19 @@ fn main() {
             if recovery_ok { 1.0 } else { 0.0 },
         ),
         ("recovery_errors", if recovery_ok { 0.0 } else { 1.0 }),
+        ("wire64_matches_serial", if fan_matches { 1.0 } else { 0.0 }),
+        ("wire64_errors", wire64_errors as f64),
+        ("overload_p99_ratio", overload_ratio),
+        ("overload_dirty_sheds", dirty_sheds as f64),
+        ("overload_admitted_errors", overload_errors as f64),
+        (
+            "drain_lost_acks",
+            if drain_ok {
+                0.0
+            } else {
+                1.0f64.max(drain_lost as f64)
+            },
+        ),
     ];
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"modulus_bits\": {bits},\n"));
@@ -460,6 +779,25 @@ fn main() {
     json.push_str(&format!(
         "  \"wire_overhead_4_vs_inproc\": {wire_overhead_4:.2},\n"
     ));
+    json.push_str(&format!(
+        "  \"wire64\": {{ \"connections\": {FAN_CONNS}, \"reader_threads\": {FAN_READERS}, \
+         \"queries\": {fan_queries}, \"qps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+         \"errors\": {} }},\n",
+        fan_level.qps, fan_level.p50_ns, fan_level.p99_ns, fan_level.errors
+    ));
+    json.push_str(&format!(
+        "  \"overload\": {{ \"cap\": {OVERLOAD_CAP}, \"flooders\": {OVERLOAD_FLOODERS}, \
+         \"p99_unloaded_ns\": {p99_unloaded}, \"p99_flood_ns\": {p99_flood}, \
+         \"p99_ratio\": {overload_ratio:.2}, \"clean_sheds\": {clean_sheds}, \
+         \"dirty_sheds\": {dirty_sheds} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"drain\": {{ \"acked\": {}, \"recovered\": {}, \"lost\": {drain_lost}, \
+         \"drain_ms\": {drain_ms:.1}, \"wal_synced\": {} }},\n",
+        drain_acked.len(),
+        recovered.len(),
+        if drain_report.wal_synced { 1 } else { 0 }
+    ));
     json.push_str("  \"gates\": {\n");
     for (i, (name, x)) in gates.iter().enumerate() {
         let comma = if i + 1 < gates.len() { "," } else { "" };
@@ -491,6 +829,39 @@ fn main() {
     }
     if !recovery_ok {
         eprintln!("FAIL: WAL recovery did not reproduce the pre-crash state");
+        std::process::exit(1);
+    }
+    if !fan_matches {
+        eprintln!("FAIL: {FAN_CONNS}-connection wire run diverged from its serial oracle");
+        std::process::exit(1);
+    }
+    if wire64_errors > 0 {
+        eprintln!("FAIL: {wire64_errors} statements errored in the {FAN_CONNS}-connection run");
+        std::process::exit(1);
+    }
+    if dirty_sheds > 0 {
+        eprintln!("FAIL: {dirty_sheds} over-cap connections were not shed as clean FATAL 53300");
+        std::process::exit(1);
+    }
+    if overload_errors > 0 {
+        eprintln!("FAIL: {overload_errors} admitted statements errored during the flood");
+        std::process::exit(1);
+    }
+    if overload_ratio > 5.0 {
+        eprintln!(
+            "FAIL: admitted p99 degraded {overload_ratio:.2}x under the 2x-cap flood \
+             (gate: <= 5.0x)"
+        );
+        std::process::exit(1);
+    }
+    if !drain_ok {
+        eprintln!(
+            "FAIL: drain-during-flood lost {drain_lost} of {} acknowledged inserts \
+             (wal_synced={}, corruption={})",
+            drain_acked.len(),
+            drain_report.wal_synced,
+            drain_recovery.report.corruption_detected
+        );
         std::process::exit(1);
     }
     if scaling_enforced && scaling_4_vs_1 < 2.0 {

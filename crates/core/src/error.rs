@@ -25,6 +25,13 @@ pub enum ProxyError {
     Crypto(String),
     /// Schema inconsistency (unknown table/column, duplicate, ...).
     Schema(String),
+    /// The statement was cancelled before execution (deadline expired or
+    /// the session was torn down while it was still queued).
+    Canceled(String),
+    /// The serving edge refused the statement up front because an
+    /// admission budget (in-flight statement cap, queue bound) was
+    /// exhausted; the client may retry once load drops.
+    Overloaded(String),
 }
 
 impl fmt::Display for ProxyError {
@@ -37,6 +44,8 @@ impl fmt::Display for ProxyError {
             ProxyError::KeyUnavailable(m) => write!(f, "key unavailable: {m}"),
             ProxyError::Crypto(m) => write!(f, "crypto: {m}"),
             ProxyError::Schema(m) => write!(f, "schema: {m}"),
+            ProxyError::Canceled(m) => write!(f, "canceled: {m}"),
+            ProxyError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }

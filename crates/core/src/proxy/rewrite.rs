@@ -888,6 +888,9 @@ impl Proxy {
         sealed_col.eq_level = EqLevel::Rnd;
         sealed_col.ord_level = OrdLevel::Rnd;
         let n = rows.len();
+        // Precompute every row's fresh RND cell first — no engine write
+        // happens until the whole batch is ready.
+        let mut updates = Vec::with_capacity(n);
         for row in rows {
             let rid = row[0]
                 .as_int()
@@ -911,24 +914,32 @@ impl Proxy {
             if let Some(x) = cell.ord {
                 sets.push((col.anon_ord(), value_to_literal(x)));
             }
-            self.engine.execute(&Stmt::Update(Update {
+            updates.push(Update {
                 table: anon_t.clone(),
                 sets,
                 selection: Some(Expr::binary(BinOp::Eq, Expr::col("rid"), Expr::int(rid))),
-            }))?;
+            });
         }
         {
             let c = locked_col_mut(&mut schema, &table.to_lowercase(), column)?;
             c.eq_level = EqLevel::Rnd;
             c.ord_level = OrdLevel::Rnd;
         }
-        // Durability caveat: sealing is NOT crash-atomic. The per-row
-        // rewrites log meta-less records and the level flip lands only
-        // here, so a crash mid-seal recovers with the schema still at the
-        // exposed level while some rows already carry an RND wrap — rerun
-        // the seal (or restore from snapshot) after such a crash. See
-        // ARCHITECTURE.md "Durability & recovery".
-        self.log_schema(&schema)?;
+        // Crash atomicity: every re-encrypted cell AND the schema's
+        // level flip travel in ONE composite WAL record, so recovery
+        // lands either fully pre-seal (levels still exposed, old
+        // ciphertexts) or fully sealed — never a torn mix of RND cells
+        // under an exposed-level schema.
+        let meta = self.meta_blob(&schema);
+        if let Err(e) = self
+            .engine
+            .execute_dml_batch_with_meta(&updates, meta.as_deref())
+        {
+            let c = locked_col_mut(&mut schema, &table.to_lowercase(), column)?;
+            c.eq_level = col.eq_level;
+            c.ord_level = col.ord_level;
+            return Err(e.into());
+        }
         Ok(n)
     }
 }

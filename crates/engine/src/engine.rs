@@ -222,6 +222,27 @@ impl Engine {
         result
     }
 
+    /// Executes a sequence of `UPDATE` statements against one table
+    /// under a single table write lock and logs every cell rewrite plus
+    /// `meta` as a *single* WAL record — the crash-atomic unit
+    /// `seal_column` needs (each row's re-encrypted onion cells and the
+    /// schema's level flip stand or fall together at recovery). An
+    /// empty batch logs a meta-only record, so a zero-row seal still
+    /// lands its schema flip.
+    ///
+    /// On a mid-batch evaluation failure the cell rewrites already
+    /// applied are logged *without* `meta` (the caller reverts its
+    /// schema change, so recovery must not see the flip either).
+    pub fn execute_dml_batch_with_meta(
+        &self,
+        stmts: &[Update],
+        meta: Option<&[u8]>,
+    ) -> Result<QueryResult, EngineError> {
+        let result = self.exec_update_batch(stmts, meta);
+        self.maybe_autosnapshot();
+        result
+    }
+
     /// Appends a meta-only WAL record (proxy schema changes that touch
     /// no engine state, e.g. level-floor or principal-type updates).
     /// A no-op without an attached WAL.
@@ -543,6 +564,94 @@ impl Engine {
             count += 1;
         }
         self.log_record(&ops, meta)?;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(QueryResult::Affected(count))
+    }
+
+    fn exec_update_batch(
+        &self,
+        stmts: &[Update],
+        meta: Option<&[u8]>,
+    ) -> Result<QueryResult, EngineError> {
+        let Some(first) = stmts.first() else {
+            self.log_record(&[], meta)?;
+            return Ok(QueryResult::Affected(0));
+        };
+        if stmts
+            .iter()
+            .any(|u| !u.table.eq_ignore_ascii_case(&first.table))
+        {
+            return Err(EngineError::Unsupported(
+                "execute_dml_batch_with_meta requires a single target table".into(),
+            ));
+        }
+        let handle = self.table_handle(&first.table)?;
+        let udfs = self.udfs.read();
+        let ctx = Ctx { udfs: &udfs };
+        let mut table = handle.write();
+        let schema = RowSchema::for_table(&table, Some(&first.table));
+        let mut count = 0;
+        let mut ops: Vec<WalOp> = Vec::new();
+        let mut failure: Option<EngineError> = None;
+        'stmts: for upd in stmts {
+            let sets: Vec<(usize, &cryptdb_sqlparser::Expr)> = match upd
+                .sets
+                .iter()
+                .map(|(c, e)| {
+                    table
+                        .column_position(c)
+                        .map(|p| (p, e))
+                        .ok_or_else(|| EngineError::ColumnNotFound(c.clone()))
+                })
+                .collect::<Result<_, _>>()
+            {
+                Ok(s) => s,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            let rowids = match self.matching_rowids(&table, &schema, upd.selection.as_ref(), &ctx) {
+                Ok(r) => r,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            for rowid in rowids {
+                let row = table.row(rowid).expect("rowid from scan").clone();
+                let mut new_values = Vec::with_capacity(sets.len());
+                for (pos, e) in &sets {
+                    match exec::eval(e, &schema, &row, &ctx) {
+                        Ok(v) => new_values.push((*pos, v)),
+                        Err(e) => {
+                            failure = Some(e);
+                            break 'stmts;
+                        }
+                    }
+                }
+                for (pos, v) in new_values {
+                    ops.push(WalOp::UpdateCell {
+                        table: upd.table.clone(),
+                        rowid,
+                        col: pos as u32,
+                        value: v.clone(),
+                    });
+                    table.update_cell(rowid, pos, v);
+                }
+                count += 1;
+            }
+        }
+        // One record for the whole batch; on failure the meta is
+        // withheld so recovery cannot observe the caller's schema flip.
+        let logged = if failure.is_none() {
+            self.log_record(&ops, meta)
+        } else {
+            self.log_record(&ops, None)
+        };
+        logged?;
         if let Some(e) = failure {
             return Err(e);
         }

@@ -6,17 +6,31 @@
 //! database's ordinary wire protocol and the trust boundary sits at a
 //! network edge the client can see. [`NetServer`] supplies that edge:
 //!
-//! * **One acceptor thread** owns the listening socket; each accepted
-//!   connection gets a dedicated *reader* thread that parses frames and
-//!   feeds statement-granular jobs into a [`StatementSession`] — the same
+//! * **A small multiplexing core** (the private `mux` module): one
+//!   acceptor thread owns
+//!   the listening socket; a fixed pool of [`NetLimits::reader_threads`]
+//!   multiplexer threads services *all* connections over non-blocking
+//!   sockets and a readiness loop. Parsed statements become
+//!   statement-granular jobs on a
+//!   [`StatementSession`](cryptdb_server::StatementSession) — the same
 //!   chained-job machinery the in-process serving layer uses, on the
-//!   proxy's shared crypto `WorkerPool`. Statement execution therefore
-//!   interleaves across connections at statement granularity; the
-//!   reader thread itself never executes SQL.
+//!   proxy's shared crypto `WorkerPool`. Mux threads never execute SQL
+//!   and never block on a socket, so one stalled or hostile client
+//!   cannot pin a thread the way a thread-per-connection design lets it.
+//! * **Bounded queues and explicit shed points** ([`NetLimits`]):
+//!   connections over the cap are refused with `FATAL` SQLSTATE `53300`;
+//!   statements over the global in-flight budget draw `ERROR` `53400`
+//!   in pipeline order; statements whose queue-wait deadline expires
+//!   draw `ERROR` `57014`; handshakes and (optionally) idle sessions
+//!   time out under the readiness loop; slow consumers — clients not
+//!   draining their socket while responses pile up — are evicted after
+//!   a grace period. Everything else is backpressure: a connection at
+//!   its ingress or egress bound simply stops being read until it
+//!   drains.
 //! * **Responses are written in per-session order**: responders run in
 //!   chain order, each batching its whole response
 //!   (`RowDescription`/`DataRow…`/`CommandComplete`/`ReadyForQuery` or
-//!   `ErrorResponse`) into one buffered write, so pipelined clients see
+//!   `ErrorResponse`) into one egress push, so pipelined clients see
 //!   answers in submission order.
 //! * **The startup handshake names the principal** (§4.2): the `user`
 //!   startup parameter plus a cleartext `PasswordMessage` map onto
@@ -24,9 +38,8 @@
 //!   proxy intercepts, moved to the connection edge. An empty password
 //!   skips multi-principal login and runs the session against the
 //!   master-key context (single-principal mode). A logged-in principal
-//!   is logged out when its connection ends (the wire analogue of the
-//!   `DELETE FROM cryptdb_active` interception); one connection per
-//!   principal is assumed.
+//!   is logged out when its connection ends, sequenced strictly after
+//!   its last in-flight statement.
 //!
 //! Failure containment: a malformed or truncated frame draws a `FATAL`
 //! `ErrorResponse` and closes *that* connection only; an abrupt client
@@ -34,11 +47,15 @@
 //! dropped, the in-flight one completes before any logout) without
 //! wedging the shared pool; a graceful `Terminate` instead *drains*
 //! statements pipelined ahead of it first, matching PostgreSQL's
-//! in-order message processing; and a client that stops reading its
-//! socket hits the per-socket write timeout and is dropped rather than
-//! blocking a pool worker indefinitely. Statement errors
-//! (`ErrorResponse` severity `ERROR`) keep the connection alive, as in
-//! PostgreSQL.
+//! in-order message processing. Statement errors (`ErrorResponse`
+//! severity `ERROR`) keep the connection alive, as in PostgreSQL.
+//!
+//! Shutdown comes in two shapes: dropping the server tears everything
+//! down abruptly (in-flight statements still complete), while
+//! [`NetServer::drain`] performs the graceful sequence — stop
+//! accepting, stop reading, let queued statements finish and responses
+//! flush, force-close stragglers at the deadline, fsync the WAL, then
+//! join every thread.
 //!
 //! The protocol subset: startup (+`SSLRequest` refused with `N`),
 //! `AuthenticationCleartextPassword`/`AuthenticationOk`, simple query
@@ -52,149 +69,129 @@
 pub mod protocol;
 
 mod client;
+mod limits;
+mod mux;
+
 pub use client::{wire_canonical_dump, ConnectConfig, NetClient, WireError, WireQueryResult};
+pub use limits::NetLimits;
 
 use cryptdb_core::proxy::Proxy;
 use cryptdb_core::ProxyError;
 use cryptdb_engine::{QueryResult, Value};
-use cryptdb_server::StatementSession;
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// Tracks live connections so [`NetServer`] shutdown can unblock and
-/// join every reader thread. Finished connections park their id in
-/// `done` and are reaped by the acceptor on the next accept, so a
-/// long-lived server's bookkeeping is bounded by *live* connections,
-/// not by every connection ever accepted.
-#[derive(Default)]
-struct Registry {
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    handles: Mutex<HashMap<u64, JoinHandle<()>>>,
-    done: Mutex<Vec<u64>>,
+/// Point-in-time serving-edge statistics ([`NetServer::stats`]).
+/// Counters are monotonic over the server's lifetime; `live_connections`
+/// and `inflight_statements` are instantaneous.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Connections currently open (including handshakes in progress).
+    pub live_connections: usize,
+    /// Statements currently queued or executing across all connections.
+    pub inflight_statements: usize,
+    /// Connections refused over the cap (SQLSTATE 53300).
+    pub shed_connections: usize,
+    /// Statements rejected over the in-flight budget (SQLSTATE 53400).
+    pub rejected_statements: usize,
+    /// Connections evicted for not draining their responses.
+    pub evicted_slow_consumers: usize,
+    /// Connections closed for stalling the startup handshake.
+    pub handshake_timeouts: usize,
+    /// Connections closed by the idle deadline (SQLSTATE 57P05).
+    pub idle_timeouts: usize,
 }
 
-impl Registry {
-    /// Joins (instantly) every connection thread that has announced
-    /// completion. Ids whose handle hasn't been registered yet (the
-    /// thread finished before the acceptor stored it) are kept for the
-    /// next sweep.
-    fn reap_finished(&self) {
-        let mut done = self.done.lock();
-        if done.is_empty() {
-            return;
-        }
-        let mut handles = self.handles.lock();
-        done.retain(|id| match handles.remove(id) {
-            Some(h) => {
-                let _ = h.join();
-                false
-            }
-            None => true,
-        });
-    }
-}
-
-/// Per-socket write timeout: a client that stops reading its socket
-/// (while the server's send buffer is full) fails the responder's
-/// write within this bound and the connection is dropped, instead of
-/// wedging a shared pool worker indefinitely.
-const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
-
-/// The shared, ordered write half of one connection. Responders batch a
-/// whole response into one `send`, so frames from one statement are
-/// never interleaved with another's.
-struct WireWriter {
-    stream: Mutex<BufWriter<TcpStream>>,
-    dead: AtomicBool,
-}
-
-impl WireWriter {
-    fn new(stream: TcpStream) -> Self {
-        WireWriter {
-            stream: Mutex::new(BufWriter::new(stream)),
-            dead: AtomicBool::new(false),
-        }
-    }
-
-    /// Writes and flushes pre-framed bytes; marks the connection dead on
-    /// failure (a disconnected client) so later responders skip writing.
-    fn send(&self, frames: &[u8]) -> bool {
-        if self.dead.load(Ordering::Acquire) {
-            return false;
-        }
-        let mut w = self.stream.lock();
-        let ok = w.write_all(frames).and_then(|_| w.flush()).is_ok();
-        if !ok {
-            self.dead.store(true, Ordering::Release);
-        }
-        ok
-    }
+/// Outcome of a graceful [`NetServer::drain`].
+#[derive(Clone, Debug)]
+pub struct DrainReport {
+    /// Connections that finished their in-flight statements and flushed
+    /// cleanly within the deadline.
+    pub drained_connections: usize,
+    /// Connections force-closed at the deadline (their queued-but-
+    /// unstarted statements were dropped unacknowledged; statements
+    /// already executing still completed).
+    pub aborted_connections: usize,
+    /// Whether the final WAL fsync succeeded (vacuously true without an
+    /// attached WAL).
+    pub wal_synced: bool,
+    /// Wall-clock the drain took.
+    pub elapsed: Duration,
 }
 
 /// A TCP front-end serving the pgwire subset over one shared [`Proxy`].
 ///
-/// Bind with [`NetServer::spawn`]; the server accepts connections until
-/// dropped. Dropping shuts the listener and every live connection down
-/// and joins all threads.
+/// Bind with [`NetServer::spawn`] (default [`NetLimits`]) or
+/// [`NetServer::spawn_with`]; the server accepts connections until
+/// dropped or drained. Dropping shuts the listener and every live
+/// connection down abruptly and joins all threads;
+/// [`NetServer::drain`] is the graceful alternative.
 pub struct NetServer {
     proxy: Arc<Proxy>,
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    registry: Arc<Registry>,
+    shared: Arc<mux::Shared>,
+    accept_closed: Arc<AtomicBool>,
+    inboxes: Vec<Arc<mux::Inbox>>,
     acceptor: Option<JoinHandle<()>>,
+    mux_threads: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor thread serving connections against `proxy`.
+    /// serving threads with default [`NetLimits`].
     pub fn spawn(proxy: Arc<Proxy>, addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        NetServer::spawn_with(proxy, addr, NetLimits::default())
+    }
+
+    /// Binds `addr` with explicit limits (see [`NetLimits`] for every
+    /// knob and its shed behaviour).
+    pub fn spawn_with(
+        proxy: Arc<Proxy>,
+        addr: impl ToSocketAddrs,
+        limits: NetLimits,
+    ) -> io::Result<NetServer> {
+        let limits = limits.validated();
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let registry = Arc::new(Registry::default());
-        let acceptor = {
-            let proxy = proxy.clone();
-            let shutdown = shutdown.clone();
-            let registry = registry.clone();
-            let conn_ids = AtomicU64::new(0);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    registry.reap_finished();
-                    let Ok(stream) = stream else { continue };
-                    let id = conn_ids.fetch_add(1, Ordering::Relaxed);
-                    // Without a registered clone, shutdown could not
-                    // unblock this connection's reader and drop would
-                    // join it forever — refuse the connection instead
-                    // (fd exhaustion is the realistic cause).
-                    let Ok(clone) = stream.try_clone() else {
-                        continue;
-                    };
-                    registry.streams.lock().insert(id, clone);
-                    let proxy = proxy.clone();
-                    let registry2 = registry.clone();
-                    let handle = std::thread::spawn(move || {
-                        handle_connection(proxy, stream, id);
-                        registry2.streams.lock().remove(&id);
-                        registry2.done.lock().push(id);
-                    });
-                    registry.handles.lock().insert(id, handle);
-                }
+        let shared = Arc::new(mux::Shared {
+            proxy: proxy.clone(),
+            limits,
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            drain_abort: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            counters: mux::Counters::default(),
+        });
+        let accept_closed = Arc::new(AtomicBool::new(false));
+        let inboxes: Vec<Arc<mux::Inbox>> = (0..shared.limits.reader_threads)
+            .map(|_| Arc::new(mux::Inbox::new()))
+            .collect();
+        let mux_threads = inboxes
+            .iter()
+            .map(|inbox| {
+                let shared = shared.clone();
+                let inbox = inbox.clone();
+                std::thread::spawn(move || mux::run_mux(shared, inbox))
             })
+            .collect();
+        let acceptor = {
+            let shared = shared.clone();
+            let inboxes = inboxes.clone();
+            let accept_closed = accept_closed.clone();
+            std::thread::spawn(move || accept_loop(listener, shared, inboxes, accept_closed))
         };
         Ok(NetServer {
             proxy,
             addr,
-            shutdown,
-            registry,
+            shared,
+            accept_closed,
+            inboxes,
             acceptor: Some(acceptor),
+            mux_threads,
         })
     }
 
@@ -209,9 +206,20 @@ impl NetServer {
         config: cryptdb_core::proxy::ProxyConfig,
         addr: impl ToSocketAddrs,
     ) -> io::Result<(NetServer, cryptdb_engine::EngineRecovery)> {
+        NetServer::spawn_persistent_with(persist, mk, config, addr, NetLimits::default())
+    }
+
+    /// [`NetServer::spawn_persistent`] with explicit limits.
+    pub fn spawn_persistent_with(
+        persist: &cryptdb_server::PersistConfig,
+        mk: [u8; 32],
+        config: cryptdb_core::proxy::ProxyConfig,
+        addr: impl ToSocketAddrs,
+        limits: NetLimits,
+    ) -> io::Result<(NetServer, cryptdb_engine::EngineRecovery)> {
         let (proxy, recovery) = cryptdb_server::open_persistent(persist, mk, config)
             .map_err(|e| io::Error::other(e.to_string()))?;
-        Ok((NetServer::spawn(proxy, addr)?, recovery))
+        Ok((NetServer::spawn_with(proxy, addr, limits)?, recovery))
     }
 
     /// The bound address (with the resolved port).
@@ -223,214 +231,163 @@ impl NetServer {
     pub fn proxy(&self) -> &Arc<Proxy> {
         &self.proxy
     }
-}
 
-impl Drop for NetServer {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        // Poke the blocking accept() so the acceptor observes shutdown.
+    /// Current serving-edge statistics.
+    pub fn stats(&self) -> NetStats {
+        let c = &self.shared.counters;
+        NetStats {
+            live_connections: c.live.load(Ordering::Acquire),
+            inflight_statements: self.shared.inflight.load(Ordering::Acquire),
+            shed_connections: c.shed_connections.load(Ordering::Relaxed),
+            rejected_statements: c.rejected_statements.load(Ordering::Relaxed),
+            evicted_slow_consumers: c.evicted_slow_consumers.load(Ordering::Relaxed),
+            handshake_timeouts: c.handshake_timeouts.load(Ordering::Relaxed),
+            idle_timeouts: c.idle_timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn wake_all(&self) {
+        for inbox in &self.inboxes {
+            inbox.waker.wake();
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        self.accept_closed.store(true, Ordering::Release);
+        // Poke the blocking accept() so the acceptor observes the flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        for (_, s) in self.registry.streams.lock().drain() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Graceful drain shutdown: stop accepting, stop reading, let every
+    /// queued statement finish and its response flush, then close. At
+    /// `timeout`, stragglers are force-closed — their queued-but-
+    /// unstarted statements are dropped *unacknowledged* (consistent
+    /// with the WAL recovery oracle, which only promises acknowledged
+    /// statements), while statements already executing run to
+    /// completion. Finishes with a WAL fsync so every acknowledged
+    /// statement is durable, then joins all serving threads.
+    pub fn drain(mut self, timeout: Duration) -> DrainReport {
+        let t0 = Instant::now();
+        self.stop_accepting();
+        self.shared.draining.store(true, Ordering::Release);
+        self.wake_all();
+        let deadline = t0 + timeout;
+        while self.shared.counters.live.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
         }
-        let handles: Vec<_> = self.registry.handles.lock().drain().collect();
-        for (_, h) in handles {
+        if self.shared.counters.live.load(Ordering::Acquire) > 0 {
+            self.shared.drain_abort.store(true, Ordering::Release);
+            self.wake_all();
+            // Bounded by the longest single executing statement: the
+            // abort dropped everything still queued.
+            while self.shared.counters.live.load(Ordering::Acquire) > 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.wake_all();
+        for h in self.mux_threads.drain(..) {
             let _ = h.join();
+        }
+        let wal_synced = self.proxy.engine().wal_sync().is_ok();
+        DrainReport {
+            drained_connections: self.shared.counters.drained.load(Ordering::Relaxed),
+            aborted_connections: self.shared.counters.aborted.load(Ordering::Relaxed),
+            wal_synced,
+            elapsed: t0.elapsed(),
         }
     }
 }
 
-/// Outcome of the startup handshake.
-enum Handshake {
-    /// Serve the query loop; `principal` is the `user` startup
-    /// parameter, `logged_in` whether `Proxy::login` ran for it.
-    Proceed { principal: String, logged_in: bool },
-    /// Connection is done (cancel request, protocol error, auth failure
-    /// — any required `ErrorResponse` has already been sent).
-    Close,
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.wake_all();
+        for h in self.mux_threads.drain(..) {
+            let _ = h.join();
+        }
+        // Connections handed off after their mux thread exited (the
+        // acceptor raced shutdown): pre-handshake, no session, no
+        // principal — dropping the stream is the whole teardown.
+        for inbox in &self.inboxes {
+            for conn in inbox.queue.lock().unwrap().drain(..) {
+                mux::release_counts(&self.shared, &conn);
+            }
+        }
+    }
 }
 
-fn fatal(writer: &WireWriter, code: &str, message: &str) {
+/// The acceptor thread: admission control happens here. Under the cap a
+/// connection is handed to `inboxes[id % N]`; over the cap it is still
+/// adopted but *doomed* — the mux reads its startup packet and answers
+/// `FATAL` SQLSTATE `53300` in-protocol. Only when doomed connections
+/// themselves pile past the cap (a genuine accept flood) does the
+/// acceptor fall back to writing the refusal straight into the socket.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<mux::Shared>,
+    inboxes: Vec<Arc<mux::Inbox>>,
+    accept_closed: Arc<AtomicBool>,
+) {
+    let mut next_id: u64 = 0;
+    for stream in listener.incoming() {
+        if accept_closed.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let live = shared.counters.live.load(Ordering::Acquire);
+        let admitted = shared.counters.admitted.load(Ordering::Acquire);
+        let doomed = admitted >= shared.limits.max_connections;
+        if doomed {
+            shared
+                .counters
+                .shed_connections
+                .fetch_add(1, Ordering::Relaxed);
+            if live >= shared.limits.max_connections * 2 {
+                // Hard backstop: refuse without entering the mux.
+                shed_raw(&shared, stream);
+                continue;
+            }
+        }
+        let id = next_id;
+        next_id += 1;
+        let inbox = &inboxes[(id as usize) % inboxes.len()];
+        let Ok(conn) = mux::Conn::new(id, stream, inbox.waker.clone(), doomed) else {
+            continue;
+        };
+        shared.counters.live.fetch_add(1, Ordering::AcqRel);
+        if !doomed {
+            shared.counters.admitted.fetch_add(1, Ordering::AcqRel);
+        }
+        inbox.queue.lock().unwrap().push(conn);
+        inbox.waker.wake();
+    }
+}
+
+/// Last-resort shed without parsing the startup packet: drain whatever
+/// the client has already sent, write the refusal, and half-close.
+/// Closing with unread bytes queued would turn the close into a TCP
+/// reset racing the refusal, so the drain is what makes the shed
+/// observable as a clean FATAL. The read is bounded by a short timeout
+/// so a silent socket cannot pin the acceptor; the common shed path
+/// still goes through a doomed mux connection.
+fn shed_raw(shared: &mux::Shared, stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(shared.limits.write_timeout));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 1024];
+    let _ = (&stream).read(&mut scratch);
     let mut out = Vec::new();
     protocol::push_frame(
         &mut out,
         b'E',
-        &protocol::error_body("FATAL", code, message),
+        &protocol::error_body("FATAL", "53300", "sorry, too many clients already"),
     );
-    writer.send(&out);
-}
-
-fn handshake(
-    reader: &mut impl Read,
-    writer: &WireWriter,
-    proxy: &Proxy,
-    conn_id: u64,
-) -> Handshake {
-    // SSLRequest may precede the real startup packet; refuse ('N') and
-    // let the client retry in the clear.
-    let startup = loop {
-        let Ok(s) = protocol::read_startup(reader) else {
-            fatal(writer, "08P01", "malformed startup packet");
-            return Handshake::Close;
-        };
-        match s.protocol {
-            protocol::SSL_REQUEST => {
-                if !writer.send(b"N") {
-                    return Handshake::Close;
-                }
-            }
-            protocol::CANCEL_REQUEST => return Handshake::Close,
-            protocol::PROTOCOL_V3 => break s,
-            other => {
-                fatal(writer, "08P01", &format!("unsupported protocol {other}"));
-                return Handshake::Close;
-            }
-        }
-    };
-    let Some(user) = startup.get("user").map(str::to_string) else {
-        fatal(writer, "28000", "startup packet names no user");
-        return Handshake::Close;
-    };
-    let mut out = Vec::new();
-    protocol::push_frame(&mut out, b'R', &protocol::auth_cleartext_body());
-    if !writer.send(&out) {
-        return Handshake::Close;
-    }
-    let password = match protocol::read_frame(reader) {
-        Ok((b'p', body)) => match protocol::parse_cstr_body(&body) {
-            Ok(p) => p,
-            Err(_) => {
-                fatal(writer, "08P01", "malformed password message");
-                return Handshake::Close;
-            }
-        },
-        _ => {
-            fatal(writer, "08P01", "expected cleartext PasswordMessage");
-            return Handshake::Close;
-        }
-    };
-    // A non-empty password names an external principal (§4.2): log it
-    // in exactly as the cryptdb_active INSERT interception would. An
-    // empty password runs the session in the master-key context.
-    let logged_in = if password.is_empty() {
-        false
-    } else if let Err(e) = proxy.login(&user, &password) {
-        fatal(writer, "28P01", &format!("login failed for {user}: {e}"));
-        return Handshake::Close;
-    } else {
-        true
-    };
-    let mut out = Vec::new();
-    protocol::push_frame(&mut out, b'R', &protocol::auth_ok_body());
-    let mut param = b"server_version\0".to_vec();
-    param.extend_from_slice(b"cryptdb 0.1\0");
-    protocol::push_frame(&mut out, b'S', &param);
-    let mut keydata = Vec::new();
-    keydata.extend_from_slice(&(conn_id as i32).to_be_bytes());
-    keydata.extend_from_slice(&0i32.to_be_bytes());
-    protocol::push_frame(&mut out, b'K', &keydata);
-    protocol::push_frame(&mut out, b'Z', &protocol::ready_body());
-    if !writer.send(&out) {
-        // The client vanished between login and AuthenticationOk: undo
-        // the login here, because Close paths never reach the query
-        // loop's logout and the principal's keys must not stay resident.
-        if logged_in {
-            proxy.logout(&user);
-        }
-        return Handshake::Close;
-    }
-    Handshake::Proceed {
-        principal: user,
-        logged_in,
-    }
-}
-
-fn handle_connection(proxy: Arc<Proxy>, stream: TcpStream, conn_id: u64) {
-    // Bound responder writes (see WRITE_TIMEOUT): timeouts are per
-    // socket, so setting them here covers the writer clone too. Reads
-    // are bounded only DURING the handshake — a connection that never
-    // completes startup/auth must not pin a reader thread and fd
-    // forever — and unbounded afterwards (an idle authenticated client
-    // is legitimate).
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let _ = stream.set_read_timeout(Some(WRITE_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let writer = Arc::new(WireWriter::new(stream));
-    let Handshake::Proceed {
-        principal,
-        logged_in,
-    } = handshake(&mut reader, &writer, &proxy, conn_id)
-    else {
-        return;
-    };
-    let _ = reader.get_ref().set_read_timeout(None);
-    let session = StatementSession::new(proxy.clone());
-    loop {
-        match protocol::read_frame(&mut reader) {
-            Ok((b'Q', body)) => {
-                let Ok(sql) = protocol::parse_cstr_body(&body) else {
-                    fatal(&writer, "08P01", "malformed query message");
-                    break;
-                };
-                let verb = command_verb(&sql);
-                let writer = writer.clone();
-                session.submit(sql, move |result, _service_ns| {
-                    let mut out = Vec::new();
-                    match result {
-                        Ok(r) => push_query_result(&mut out, &verb, &r),
-                        Err(e) => protocol::push_frame(
-                            &mut out,
-                            b'E',
-                            &protocol::error_body("ERROR", sqlstate(&e), &e.to_string()),
-                        ),
-                    }
-                    protocol::push_frame(&mut out, b'Z', &protocol::ready_body());
-                    writer.send(&out);
-                });
-            }
-            Ok((b'X', _)) => {
-                // Graceful terminate. PostgreSQL processes messages in
-                // order, so statements pipelined BEFORE the Terminate
-                // must still execute — drain the chain, then close.
-                session.wait_idle();
-                break;
-            }
-            Ok((tag, _)) => {
-                fatal(
-                    &writer,
-                    "08P01",
-                    &format!("unexpected message type {:?}", tag as char),
-                );
-                break;
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Malformed frame: report and close THIS connection;
-                // every other connection keeps being served.
-                fatal(&writer, "08P01", &format!("malformed frame: {e}"));
-                break;
-            }
-            // EOF / reset: abrupt disconnect. Fall through to release
-            // the session below — queued statements are dropped, the
-            // in-flight one completes, the pool stays healthy.
-            Err(_) => break,
-        }
-    }
-    session.close();
-    // Wait for the in-flight statement (close() only drops the queued
-    // tail): the logout below removes the principal's keys, and it must
-    // be sequenced strictly after the last statement that could resolve
-    // through them.
-    session.wait_idle();
-    if logged_in {
-        proxy.logout(&principal);
-    }
+    let _ = (&stream).write_all(&out);
+    let _ = stream.shutdown(Shutdown::Write);
 }
 
 /// The command-tag verb for a statement: the leading keyword, plus the
@@ -455,6 +412,8 @@ fn sqlstate(e: &ProxyError) -> &'static str {
         ProxyError::NeedsPlaintext(_) => "0A000",  // feature_not_supported
         ProxyError::PolicyViolation(_) => "42501", // insufficient_privilege
         ProxyError::KeyUnavailable(_) => "28000",  // invalid_authorization_specification
+        ProxyError::Canceled(_) => "57014",        // query_canceled (statement timeout)
+        ProxyError::Overloaded(_) => "53400",      // configuration_limit_exceeded
         ProxyError::Crypto(_) | ProxyError::Engine(_) => "XX000", // internal_error
     }
 }

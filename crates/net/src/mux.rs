@@ -1,0 +1,802 @@
+//! Non-blocking connection multiplexing core.
+//!
+//! A small, fixed pool of multiplexer threads services every accepted
+//! socket: each connection is pinned to one thread, sockets are
+//! non-blocking (`TcpStream::set_nonblocking`), and the thread runs a
+//! readiness loop — flush pending egress, read what the socket has,
+//! parse complete frames, enforce deadlines — parking on a condvar with
+//! exponential backoff when every socket is quiet. Statement responders
+//! (pool workers) never touch sockets; they append framed bytes to the
+//! connection's bounded egress queue and wake the owning thread, so a
+//! stalled client can never block a crypto worker.
+//!
+//! There is no `epoll` here by design: the repo's no-external-deps rule
+//! leaves `std`, and `std` exposes no readiness API. The loop instead
+//! issues one non-blocking `read` per pollable connection per
+//! iteration and backs its park interval off to
+//! [`NetLimits::poll_interval`] when nothing is happening; egress
+//! completions wake it early. The cost is bounded syscall churn when
+//! idle, which the 512-connection soak test pins down.
+//!
+//! See [`NetLimits`] for every bound the loop enforces and the shed
+//! behaviour at each.
+
+use crate::limits::NetLimits;
+use crate::protocol;
+use crate::{command_verb, push_query_result, sqlstate};
+use cryptdb_core::proxy::Proxy;
+use cryptdb_core::ProxyError;
+use cryptdb_engine::QueryResult;
+use cryptdb_server::StatementSession;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Wakeable park spot for one multiplexer thread. `wake` is called by
+/// responders finishing statements (egress now has bytes) and by the
+/// acceptor handing over a new connection; a wake that races a park
+/// is latched by the flag, never lost.
+pub(crate) struct Waker {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    fn new() -> Self {
+        Waker {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wake(&self) {
+        let mut pending = self.flag.lock().unwrap();
+        *pending = true;
+        self.cv.notify_one();
+    }
+
+    /// Parks for at most `d`, returning early if woken.
+    fn park(&self, d: Duration) {
+        let mut pending = self.flag.lock().unwrap();
+        if !*pending {
+            let (guard, _) = self.cv.wait_timeout(pending, d).unwrap();
+            pending = guard;
+        }
+        *pending = false;
+    }
+}
+
+struct EgressState {
+    bufs: VecDeque<Vec<u8>>,
+    bytes: usize,
+    /// No further pushes accepted (teardown begun). Queued buffers may
+    /// still flush (`seal`) or have been dropped (`discard`).
+    closed: bool,
+}
+
+/// One connection's bounded response queue: the only channel between
+/// pool-worker responders and the socket. Pushes never block — the
+/// bound is enforced by the mux loop, which stops *reading* an
+/// over-bound connection and eventually evicts it (see
+/// [`NetLimits::slow_consumer_grace`]).
+pub(crate) struct Egress {
+    state: Mutex<EgressState>,
+    waker: Arc<Waker>,
+}
+
+impl Egress {
+    fn new(waker: Arc<Waker>) -> Self {
+        Egress {
+            state: Mutex::new(EgressState {
+                bufs: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+            }),
+            waker,
+        }
+    }
+
+    fn push(&self, frames: Vec<u8>) {
+        if frames.is_empty() {
+            return;
+        }
+        {
+            let mut s = self.state.lock().unwrap();
+            if s.closed {
+                return;
+            }
+            s.bytes += frames.len();
+            s.bufs.push_back(frames);
+        }
+        self.waker.wake();
+    }
+
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut s = self.state.lock().unwrap();
+        let buf = s.bufs.pop_front()?;
+        s.bytes -= buf.len();
+        Some(buf)
+    }
+
+    fn pending_bytes(&self) -> usize {
+        self.state.lock().unwrap().bytes
+    }
+
+    fn is_empty(&self) -> bool {
+        self.state.lock().unwrap().bufs.is_empty()
+    }
+
+    /// Refuses new pushes; queued buffers still flush (fatal-then-close
+    /// teardown: the FATAL frame must reach the client, responder
+    /// output racing the teardown must not trail it).
+    fn seal(&self) {
+        self.state.lock().unwrap().closed = true;
+    }
+
+    /// Refuses new pushes and drops everything queued (eviction or
+    /// forced close: the socket is gone, flushing is pointless).
+    fn discard(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.closed = true;
+        s.bufs.clear();
+        s.bytes = 0;
+    }
+}
+
+/// Monotonic serving-edge counters (see [`crate::NetStats`]).
+#[derive(Default)]
+pub(crate) struct Counters {
+    /// All connections currently inside the mux (admitted + doomed).
+    pub(crate) live: AtomicUsize,
+    /// Connections admitted under the cap (doomed ones excluded).
+    pub(crate) admitted: AtomicUsize,
+    pub(crate) shed_connections: AtomicUsize,
+    pub(crate) evicted_slow_consumers: AtomicUsize,
+    pub(crate) handshake_timeouts: AtomicUsize,
+    pub(crate) idle_timeouts: AtomicUsize,
+    pub(crate) rejected_statements: AtomicUsize,
+    pub(crate) drained: AtomicUsize,
+    pub(crate) aborted: AtomicUsize,
+}
+
+/// State shared by the acceptor, every mux thread, and responders.
+pub(crate) struct Shared {
+    pub(crate) proxy: Arc<Proxy>,
+    pub(crate) limits: NetLimits,
+    /// Abrupt teardown (server drop): mux threads close everything and
+    /// exit.
+    pub(crate) shutdown: AtomicBool,
+    /// Graceful drain begun: stop reading, let in-flight statements
+    /// finish and responses flush, then close.
+    pub(crate) draining: AtomicBool,
+    /// Drain deadline passed: force-close whatever is still open.
+    pub(crate) drain_abort: AtomicBool,
+    /// Statements currently queued or executing across all connections
+    /// (the [`NetLimits::max_inflight_statements`] budget).
+    pub(crate) inflight: AtomicUsize,
+    pub(crate) counters: Counters,
+}
+
+/// RAII share of the global in-flight statement budget: acquired at
+/// admission, moved into the statement's responder, released when the
+/// responder runs — or when it is dropped unrun (session closed first),
+/// so every admission path releases exactly once.
+struct InflightGuard {
+    shared: Arc<Shared>,
+}
+
+impl InflightGuard {
+    fn try_acquire(shared: &Arc<Shared>) -> Option<InflightGuard> {
+        let cap = shared.limits.max_inflight_statements;
+        shared
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| InflightGuard {
+                shared: shared.clone(),
+            })
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Frames one statement outcome: result frames (or `ErrorResponse`) +
+/// `ReadyForQuery`.
+fn respond_frames(verb: &str, result: Result<QueryResult, ProxyError>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match result {
+        Ok(r) => push_query_result(&mut out, verb, &r),
+        Err(e) => protocol::push_frame(
+            &mut out,
+            b'E',
+            &protocol::error_body("ERROR", sqlstate(&e), &e.to_string()),
+        ),
+    }
+    protocol::push_frame(&mut out, b'Z', &protocol::ready_body());
+    out
+}
+
+/// Connection protocol phase (pre-session states are the handshake).
+enum Phase {
+    /// Waiting for a startup packet (possibly after an `SSLRequest`
+    /// refusal — the client retries in the clear on the same socket).
+    Startup,
+    /// Startup accepted; waiting for the cleartext `PasswordMessage`.
+    Password {
+        /// The `user` startup parameter (the principal to log in).
+        user: String,
+    },
+    /// Authenticated: the simple-query loop.
+    Ready,
+}
+
+/// One multiplexed connection: socket, parse buffer, egress queue, and
+/// the state machine the mux loop advances. Owned by exactly one mux
+/// thread; only the egress queue is shared (with responders).
+pub(crate) struct Conn {
+    id: u64,
+    stream: TcpStream,
+    /// Accumulated unparsed input (at most one maximal frame plus one
+    /// read chunk, since parsing is greedy and reads pause under
+    /// backpressure).
+    rbuf: Vec<u8>,
+    /// In-progress write: front egress buffer being pushed through the
+    /// non-blocking socket.
+    wbuf: Vec<u8>,
+    woff: usize,
+    egress: Arc<Egress>,
+    phase: Phase,
+    session: Option<StatementSession>,
+    principal: Option<String>,
+    logged_in: bool,
+    opened: Instant,
+    last_activity: Instant,
+    /// When the connection first went over its egress bound (slow
+    /// consumer clock; cleared when it drains back under).
+    egress_full_since: Option<Instant>,
+    read_closed: bool,
+    write_dead: bool,
+    /// Tear down once the session is idle and egress has flushed.
+    dying: bool,
+    /// Torn down by force (eviction/abort): counted as aborted, not
+    /// drained, and the socket is already shut.
+    forced: bool,
+    /// Accepted over the connection cap: the startup packet is read
+    /// (so the refusal is delivered in-protocol, not lost to a TCP
+    /// reset racing unread input) and answered with `FATAL` `53300`.
+    pub(crate) doomed: bool,
+    drain_marked: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(
+        id: u64,
+        stream: TcpStream,
+        waker: Arc<Waker>,
+        doomed: bool,
+    ) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let now = Instant::now();
+        Ok(Conn {
+            id,
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            woff: 0,
+            egress: Arc::new(Egress::new(waker)),
+            phase: Phase::Startup,
+            session: None,
+            principal: None,
+            logged_in: false,
+            opened: now,
+            last_activity: now,
+            egress_full_since: None,
+            read_closed: false,
+            write_dead: false,
+            dying: false,
+            forced: false,
+            doomed,
+            drain_marked: false,
+        })
+    }
+
+    /// One readiness-loop iteration for this connection. Returns true
+    /// if any byte moved or frame parsed (progress resets the owning
+    /// thread's park backoff).
+    fn pump(&mut self, shared: &Arc<Shared>, scratch: &mut [u8]) -> bool {
+        if shared.draining.load(Ordering::Acquire) && !self.drain_marked {
+            self.drain_marked = true;
+            // Graceful drain: stop reading; statements already queued
+            // finish and their responses flush, like a client-sent
+            // Terminate.
+            self.read_closed = true;
+            self.dying = true;
+        }
+        let mut progress = self.flush();
+        progress |= self.fill(shared, scratch);
+        progress |= self.parse(shared);
+        self.check_deadlines(shared);
+        if shared.drain_abort.load(Ordering::Acquire) && !self.finished() && !self.forced {
+            shared.counters.aborted.fetch_add(1, Ordering::Relaxed);
+            self.force_close();
+        }
+        progress
+    }
+
+    /// Pushes queued egress through the non-blocking socket.
+    fn flush(&mut self) -> bool {
+        if self.write_dead {
+            return false;
+        }
+        let mut progress = false;
+        loop {
+            if self.woff == self.wbuf.len() {
+                match self.egress.pop() {
+                    Some(buf) => {
+                        self.wbuf = buf;
+                        self.woff = 0;
+                    }
+                    None => break,
+                }
+            }
+            match self.stream.write(&self.wbuf[self.woff..]) {
+                Ok(0) => {
+                    self.write_dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.woff += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.write_dead = true;
+                    break;
+                }
+            }
+        }
+        if self.write_dead {
+            self.egress.discard();
+            self.wbuf.clear();
+            self.woff = 0;
+        }
+        progress
+    }
+
+    /// True when reading must pause: the connection is at its ingress
+    /// statement bound or its egress byte bound. Backpressure, not
+    /// shedding — the bytes wait in the socket buffer and TCP flow
+    /// control stalls the sender.
+    fn backpressured(&self, shared: &Arc<Shared>) -> bool {
+        let egress_pending = self.egress.pending_bytes() + (self.wbuf.len() - self.woff);
+        if egress_pending >= shared.limits.egress_bytes {
+            return true;
+        }
+        if let Some(session) = &self.session {
+            if session.queued_len() >= shared.limits.ingress_statements {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reads available bytes into `rbuf` (bounded per iteration so one
+    /// firehose socket cannot starve its thread's other connections).
+    fn fill(&mut self, shared: &Arc<Shared>, scratch: &mut [u8]) -> bool {
+        if self.read_closed || self.dying || self.backpressured(shared) {
+            return false;
+        }
+        let mut progress = false;
+        let mut budget = 4usize;
+        while budget > 0 {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.on_disconnect();
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&scratch[..n]);
+                    self.last_activity = Instant::now();
+                    progress = true;
+                    budget -= 1;
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.on_disconnect();
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Abrupt disconnect (EOF/reset): queued statements are dropped,
+    /// the in-flight one completes before the principal logs out.
+    fn on_disconnect(&mut self) {
+        self.read_closed = true;
+        self.dying = true;
+        if let Some(s) = &self.session {
+            s.close();
+        }
+    }
+
+    /// Parses and dispatches complete frames from `rbuf`, stopping at
+    /// an incomplete frame or a backpressure bound.
+    fn parse(&mut self, shared: &Arc<Shared>) -> bool {
+        let mut progress = false;
+        while !self.dying {
+            let consumed = match &self.phase {
+                Phase::Startup => {
+                    match protocol::try_parse_startup(&self.rbuf, shared.limits.max_frame) {
+                        Ok(None) => break,
+                        Err(e) => {
+                            self.fatal_close("08P01", &format!("malformed startup packet: {e}"));
+                            break;
+                        }
+                        Ok(Some((startup, used))) => {
+                            self.on_startup(startup);
+                            used
+                        }
+                    }
+                }
+                Phase::Password { .. } | Phase::Ready => {
+                    match protocol::try_parse_frame(&self.rbuf, shared.limits.max_frame) {
+                        Ok(None) => break,
+                        Err(e) => {
+                            self.fatal_close("08P01", &format!("malformed frame: {e}"));
+                            break;
+                        }
+                        Ok(Some((tag, body, used))) => {
+                            self.on_frame(shared, tag, &body);
+                            used
+                        }
+                    }
+                }
+            };
+            // A dispatch that fatal_closed already cleared rbuf; cap
+            // the drain so it cannot overrun the emptied buffer.
+            self.rbuf.drain(..consumed.min(self.rbuf.len()));
+            progress = true;
+            if self.backpressured(shared) {
+                break;
+            }
+        }
+        progress
+    }
+
+    fn on_startup(&mut self, startup: protocol::Startup) {
+        match startup.protocol {
+            protocol::SSL_REQUEST => self.egress.push(b"N".to_vec()),
+            protocol::CANCEL_REQUEST => {
+                self.read_closed = true;
+                self.dying = true;
+            }
+            protocol::PROTOCOL_V3 if self.doomed => {
+                // Admission shed, delivered only now that the startup
+                // packet has been consumed: PostgreSQL's own refusal,
+                // SQLSTATE 53300.
+                self.fatal_close("53300", "sorry, too many clients already");
+            }
+            protocol::PROTOCOL_V3 => {
+                let Some(user) = startup.get("user").map(str::to_string) else {
+                    self.fatal_close("28000", "startup packet names no user");
+                    return;
+                };
+                let mut out = Vec::new();
+                protocol::push_frame(&mut out, b'R', &protocol::auth_cleartext_body());
+                self.egress.push(out);
+                self.phase = Phase::Password { user };
+            }
+            other => self.fatal_close("08P01", &format!("unsupported protocol {other}")),
+        }
+    }
+
+    fn on_frame(&mut self, shared: &Arc<Shared>, tag: u8, body: &[u8]) {
+        match (&self.phase, tag) {
+            (Phase::Password { .. }, b'p') => self.on_password(shared, body),
+            (Phase::Password { .. }, _) => {
+                self.fatal_close("08P01", "expected cleartext PasswordMessage");
+            }
+            (Phase::Ready, b'Q') => self.on_query(shared, body),
+            (Phase::Ready, b'X') => {
+                // Graceful terminate. PostgreSQL processes messages in
+                // order, so statements pipelined BEFORE the Terminate
+                // still execute; the connection closes once they have
+                // responded and the responses flushed.
+                self.read_closed = true;
+                self.dying = true;
+            }
+            (Phase::Ready, t) => {
+                self.fatal_close("08P01", &format!("unexpected message type {:?}", t as char));
+            }
+            // Unreachable: Startup parses via try_parse_startup.
+            (Phase::Startup, _) => {}
+        }
+    }
+
+    fn on_password(&mut self, shared: &Arc<Shared>, body: &[u8]) {
+        let Phase::Password { user } = std::mem::replace(&mut self.phase, Phase::Startup) else {
+            return;
+        };
+        let Ok(password) = protocol::parse_cstr_body(body) else {
+            self.fatal_close("08P01", "malformed password message");
+            return;
+        };
+        // A non-empty password names an external principal (§4.2): log
+        // it in exactly as the cryptdb_active INSERT interception
+        // would. An empty password runs the session in the master-key
+        // context. Login runs on the mux thread — key derivation is
+        // short and the connection cap bounds concurrent handshakes.
+        if password.is_empty() {
+            self.logged_in = false;
+        } else if let Err(e) = shared.proxy.login(&user, &password) {
+            self.fatal_close("28P01", &format!("login failed for {user}: {e}"));
+            return;
+        } else {
+            self.logged_in = true;
+        }
+        self.principal = Some(user);
+        let mut out = Vec::new();
+        protocol::push_frame(&mut out, b'R', &protocol::auth_ok_body());
+        let mut param = b"server_version\0".to_vec();
+        param.extend_from_slice(b"cryptdb 0.1\0");
+        protocol::push_frame(&mut out, b'S', &param);
+        let mut keydata = Vec::new();
+        keydata.extend_from_slice(&(self.id as i32).to_be_bytes());
+        keydata.extend_from_slice(&0i32.to_be_bytes());
+        protocol::push_frame(&mut out, b'K', &keydata);
+        protocol::push_frame(&mut out, b'Z', &protocol::ready_body());
+        self.egress.push(out);
+        self.session = Some(StatementSession::new(shared.proxy.clone()));
+        self.phase = Phase::Ready;
+    }
+
+    fn on_query(&mut self, shared: &Arc<Shared>, body: &[u8]) {
+        let Ok(sql) = protocol::parse_cstr_body(body) else {
+            self.fatal_close("08P01", "malformed query message");
+            return;
+        };
+        let Some(session) = &self.session else { return };
+        let verb = command_verb(&sql);
+        let egress = self.egress.clone();
+        match InflightGuard::try_acquire(shared) {
+            Some(guard) => {
+                let deadline = shared.limits.statement_deadline.map(|d| Instant::now() + d);
+                session.submit_with_deadline(sql, deadline, move |result, _service_ns| {
+                    egress.push(respond_frames(&verb, result));
+                    drop(guard);
+                });
+            }
+            None => {
+                // Over the global budget: shed THIS statement with a
+                // clean in-order error; the connection stays usable.
+                shared
+                    .counters
+                    .rejected_statements
+                    .fetch_add(1, Ordering::Relaxed);
+                session.submit_reject(
+                    ProxyError::Overloaded(
+                        "in-flight statement budget exhausted; retry later".into(),
+                    ),
+                    move |result, _service_ns| {
+                        egress.push(respond_frames(&verb, result));
+                    },
+                );
+            }
+        }
+    }
+
+    /// FATAL error + orderly close: the error frame flushes, nothing
+    /// else does; queued statements are dropped, the in-flight one
+    /// completes (its response is discarded by the sealed egress).
+    fn fatal_close(&mut self, code: &str, message: &str) {
+        let mut out = Vec::new();
+        protocol::push_frame(
+            &mut out,
+            b'E',
+            &protocol::error_body("FATAL", code, message),
+        );
+        self.egress.push(out);
+        self.egress.seal();
+        self.read_closed = true;
+        self.dying = true;
+        if let Some(s) = &self.session {
+            s.close();
+        }
+        self.rbuf.clear();
+    }
+
+    /// Immediate teardown (slow-consumer eviction, drain abort): the
+    /// socket shuts now, queued egress is dropped.
+    fn force_close(&mut self) {
+        self.forced = true;
+        self.egress.discard();
+        self.write_dead = true;
+        self.read_closed = true;
+        self.dying = true;
+        if let Some(s) = &self.session {
+            s.close();
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.rbuf.clear();
+    }
+
+    fn check_deadlines(&mut self, shared: &Arc<Shared>) {
+        let now = Instant::now();
+        let limits = &shared.limits;
+        // Slow consumer: at/over the egress bound past the grace
+        // period. Checked even while dying — a terminated connection
+        // flushing to a stalled client must not hold its fd forever.
+        let egress_pending = self.egress.pending_bytes() + (self.wbuf.len() - self.woff);
+        if egress_pending >= limits.egress_bytes {
+            let since = *self.egress_full_since.get_or_insert(now);
+            if now.duration_since(since) >= limits.slow_consumer_grace {
+                shared
+                    .counters
+                    .evicted_slow_consumers
+                    .fetch_add(1, Ordering::Relaxed);
+                self.force_close();
+                return;
+            }
+        } else {
+            self.egress_full_since = None;
+        }
+        if self.dying {
+            return;
+        }
+        match self.phase {
+            Phase::Ready => {
+                if let Some(idle) = limits.idle_deadline {
+                    let session_idle = self.session.as_ref().is_none_or(|s| s.is_idle());
+                    if session_idle
+                        && self.egress.is_empty()
+                        && now.duration_since(self.last_activity) >= idle
+                    {
+                        shared
+                            .counters
+                            .idle_timeouts
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.fatal_close(
+                            "57P05",
+                            "terminating connection due to idle-session timeout",
+                        );
+                    }
+                }
+            }
+            // Slowloris defense: the handshake (startup + auth) must
+            // complete within its deadline. Enforced here by the
+            // readiness loop — a stalled handshake pins one fd and a
+            // buffer, never a thread.
+            Phase::Startup | Phase::Password { .. } => {
+                if now.duration_since(self.opened) >= limits.handshake_deadline {
+                    shared
+                        .counters
+                        .handshake_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.fatal_close("08P01", "handshake deadline exceeded");
+                }
+            }
+        }
+    }
+
+    /// True once teardown can complete: marked dying, the session's
+    /// statements have all responded, and the responses reached the
+    /// socket (or the socket is already dead).
+    fn finished(&self) -> bool {
+        self.dying
+            && self.session.as_ref().is_none_or(|s| s.is_idle())
+            && (self.write_dead || (self.egress.is_empty() && self.woff == self.wbuf.len()))
+    }
+
+    /// Final non-blocking teardown: the logout (removing the
+    /// principal's keys) is sequenced strictly after the last statement
+    /// that could resolve through them, because `finished` required the
+    /// session idle first.
+    fn finish(&mut self, shared: &Arc<Shared>) {
+        self.egress.discard();
+        if self.logged_in {
+            if let Some(p) = &self.principal {
+                shared.proxy.logout(p);
+            }
+            self.logged_in = false;
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Blocking teardown for abrupt server shutdown: close the session,
+    /// wait out the in-flight statement, log out. Only called from a
+    /// mux thread that is exiting (never from the readiness loop).
+    fn teardown_blocking(&mut self, shared: &Arc<Shared>) {
+        if let Some(s) = &self.session {
+            s.close();
+            s.wait_idle();
+        }
+        self.finish(shared);
+    }
+}
+
+/// Hand-off queue from the acceptor to one mux thread.
+pub(crate) struct Inbox {
+    pub(crate) queue: Mutex<Vec<Conn>>,
+    pub(crate) waker: Arc<Waker>,
+}
+
+impl Inbox {
+    pub(crate) fn new() -> Inbox {
+        Inbox {
+            queue: Mutex::new(Vec::new()),
+            waker: Arc::new(Waker::new()),
+        }
+    }
+}
+
+/// Releases a reaped connection's admission counts (shared with the
+/// server-drop path, which reaps not-yet-adopted inbox connections).
+pub(crate) fn release_counts(shared: &Shared, conn: &Conn) {
+    if !conn.doomed {
+        shared.counters.admitted.fetch_sub(1, Ordering::AcqRel);
+    }
+    shared.counters.live.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// The mux thread body: adopt handed-off connections, pump each one,
+/// reap finished ones, park with backoff when idle.
+pub(crate) fn run_mux(shared: Arc<Shared>, inbox: Arc<Inbox>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    let max_park = shared.limits.poll_interval.max(Duration::from_micros(100));
+    let min_park = (max_park / 10).max(Duration::from_micros(50));
+    let mut park = min_park;
+    loop {
+        {
+            let mut q = inbox.queue.lock().unwrap();
+            conns.append(&mut q);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            for mut conn in conns.drain(..) {
+                conn.teardown_blocking(&shared);
+                release_counts(&shared, &conn);
+            }
+            return;
+        }
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            progress |= conns[i].pump(&shared, &mut scratch);
+            if conns[i].finished() {
+                let mut conn = conns.swap_remove(i);
+                conn.finish(&shared);
+                // Forced closes were counted as `aborted` when the
+                // force happened; only clean drains are counted here.
+                if shared.draining.load(Ordering::Acquire) && !conn.forced {
+                    shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                }
+                release_counts(&shared, &conn);
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        if progress {
+            park = min_park;
+        } else {
+            inbox.waker.park(park);
+            park = (park * 2).min(max_park);
+        }
+    }
+}

@@ -74,6 +74,14 @@ pub fn read_startup(r: &mut impl Read) -> io::Result<Startup> {
         return Err(bad(format!("startup length {len} out of range")));
     }
     let body = read_exact_buf(r, len as usize - 4)?;
+    parse_startup_body(&body)
+}
+
+/// Decodes a startup packet body (everything after the length word).
+fn parse_startup_body(body: &[u8]) -> io::Result<Startup> {
+    if body.len() < 4 {
+        return Err(bad("startup body too short"));
+    }
     let protocol = i32::from_be_bytes(body[0..4].try_into().unwrap());
     let mut params = Vec::new();
     if protocol == PROTOCOL_V3 {
@@ -89,6 +97,29 @@ pub fn read_startup(r: &mut impl Read) -> io::Result<Startup> {
         }
     }
     Ok(Startup { protocol, params })
+}
+
+/// Incremental twin of [`read_startup`] for the non-blocking mux loop:
+/// attempts to decode one startup packet from the front of `buf`.
+/// Returns `Ok(None)` when more bytes are needed, `Ok(Some((startup,
+/// consumed)))` on success (the caller drains `consumed` bytes), and
+/// `Err` for malformed input (out-of-range length, bad strings).
+/// `max_frame` bounds the declared packet length so an adversarial
+/// 4-byte prefix cannot reserve gigabytes (`max_frame` must fit in
+/// `i32`, which [`crate::NetLimits`] guarantees).
+pub fn try_parse_startup(buf: &[u8], max_frame: usize) -> io::Result<Option<(Startup, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = i32::from_be_bytes(buf[0..4].try_into().unwrap());
+    if !(8..=max_frame as i32 + 4).contains(&len) {
+        return Err(bad(format!("startup length {len} out of range")));
+    }
+    let total = len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((parse_startup_body(&buf[4..total])?, total)))
 }
 
 /// Writes a protocol-3.0 startup packet with the given parameters.
@@ -127,6 +158,28 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
     }
     let body = read_exact_buf(r, len as usize - 4)?;
     Ok((tag[0], body))
+}
+
+/// Incremental twin of [`read_frame`] for the non-blocking mux loop:
+/// attempts to decode one typed frame from the front of `buf`. Returns
+/// `Ok(None)` when more bytes are needed, `Ok(Some((tag, body,
+/// consumed)))` on success, and `Err` for a malformed length — the
+/// declared length is validated against `max_frame` *before* the body
+/// arrives, so a hostile 5-byte prefix is rejected without buffering.
+pub fn try_parse_frame(buf: &[u8], max_frame: usize) -> io::Result<Option<(u8, Vec<u8>, usize)>> {
+    if buf.len() < 5 {
+        return Ok(None);
+    }
+    let tag = buf[0];
+    let len = i32::from_be_bytes(buf[1..5].try_into().unwrap());
+    if !(4..=max_frame as i32 + 4).contains(&len) {
+        return Err(bad(format!("frame length {len} out of range")));
+    }
+    let total = 1 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((tag, buf[5..total].to_vec(), total)))
 }
 
 /// Writes one typed frame.

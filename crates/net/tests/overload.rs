@@ -1,0 +1,492 @@
+//! Overload and hostile-client harness for the multiplexed serving
+//! edge: slowloris handshakes, byte-at-a-time frames, slow-consumer
+//! eviction, connection-cap floods, statement deadlines, the in-flight
+//! budget, an idle-connection soak, and drain-during-flood with a WAL
+//! recovery oracle. Every test drives real sockets against a real
+//! server; none may panic a server thread.
+
+use cryptdb_core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
+use cryptdb_engine::Engine;
+use cryptdb_net::{protocol, NetClient, NetLimits, NetServer, WireError};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn small_proxy() -> Arc<Proxy> {
+    let cfg = ProxyConfig {
+        paillier_bits: 256,
+        ..Default::default()
+    };
+    Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg))
+}
+
+/// A proxy that encrypts nothing: for tests exercising pure transport
+/// mechanics (egress bounds, eviction), where crypto latency would only
+/// slow the flood down.
+fn plaintext_proxy() -> Arc<Proxy> {
+    let cfg = ProxyConfig {
+        policy: EncryptionPolicy::Explicit(Default::default()),
+        paillier_bits: 256,
+        ..Default::default()
+    };
+    Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg))
+}
+
+/// Polls `cond` until it returns true or `timeout` elapses.
+fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+#[test]
+fn stalled_handshake_times_out_without_pinning_a_thread() {
+    let limits = NetLimits {
+        handshake_deadline: Duration::from_millis(300),
+        ..NetLimits::default()
+    };
+    let server = NetServer::spawn_with(small_proxy(), "127.0.0.1:0", limits).unwrap();
+
+    // Three slowloris sockets that never send a byte...
+    let stalled: Vec<TcpStream> = (0..3)
+        .map(|_| TcpStream::connect(server.local_addr()).unwrap())
+        .collect();
+    // ...while a well-behaved client is served concurrently.
+    let mut good = NetClient::connect(server.local_addr(), "good", "").unwrap();
+    good.simple_query("CREATE TABLE t (a int)").unwrap();
+
+    // Each stalled socket gets the FATAL refusal and a close, within
+    // the deadline plus scheduling slack.
+    for mut s in stalled {
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let (tag, body) = protocol::read_frame(&mut s).unwrap();
+        assert_eq!(tag, b'E');
+        let (severity, code, _) = protocol::parse_error_body(&body);
+        assert_eq!((severity.as_str(), code.as_str()), ("FATAL", "08P01"));
+        assert!(
+            protocol::read_frame(&mut s).is_err(),
+            "socket must be closed after the handshake timeout"
+        );
+    }
+    assert!(wait_for(Duration::from_secs(5), || {
+        server.stats().handshake_timeouts == 3
+    }));
+    // The healthy connection never noticed.
+    good.simple_query("INSERT INTO t (a) VALUES (1)").unwrap();
+    good.terminate().unwrap();
+}
+
+#[test]
+fn byte_at_a_time_client_is_served_within_its_deadline() {
+    // A client dribbling one byte at a time is indistinguishable from a
+    // slow link; as long as it beats the handshake deadline it must be
+    // served — and it must never block other clients (the mux owns the
+    // socket, no thread waits on it).
+    let limits = NetLimits {
+        handshake_deadline: Duration::from_secs(10),
+        ..NetLimits::default()
+    };
+    let server = NetServer::spawn_with(small_proxy(), "127.0.0.1:0", limits).unwrap();
+    let addr = server.local_addr();
+
+    let dribbler = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut startup = Vec::new();
+        protocol::write_startup(&mut startup, &[("user", "drip")]).unwrap();
+        for b in startup {
+            s.write_all(&[b]).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (tag, body) = protocol::read_frame(&mut s).unwrap();
+        assert_eq!(tag, b'R');
+        assert_eq!(i32::from_be_bytes(body[0..4].try_into().unwrap()), 3);
+        // Password frame, also byte by byte.
+        let mut pw = Vec::new();
+        protocol::push_frame(&mut pw, b'p', &[0]);
+        for b in pw {
+            s.write_all(&[b]).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        loop {
+            let (tag, _) = protocol::read_frame(&mut s).unwrap();
+            if tag == b'Z' {
+                break;
+            }
+        }
+        // One query, one byte at a time.
+        let mut q = Vec::new();
+        protocol::push_frame(&mut q, b'Q', b"SELECT 2 + 3\0");
+        for b in q {
+            s.write_all(&[b]).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut saw_row = false;
+        loop {
+            let (tag, body) = protocol::read_frame(&mut s).unwrap();
+            match tag {
+                b'D' => {
+                    saw_row = true;
+                    assert!(body.ends_with(b"5"), "expected SELECT 2+3 to answer 5");
+                }
+                b'Z' => break,
+                _ => {}
+            }
+        }
+        assert!(saw_row);
+    });
+
+    // Meanwhile ordinary clients run at full speed.
+    let mut fast = NetClient::connect(addr, "fast", "").unwrap();
+    fast.simple_query("CREATE TABLE speed (a int)").unwrap();
+    let t0 = Instant::now();
+    for i in 0..10 {
+        fast.simple_query(&format!("INSERT INTO speed (a) VALUES ({i})"))
+            .unwrap();
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "fast client was starved by the dribbler"
+    );
+    fast.terminate().unwrap();
+    dribbler.join().unwrap();
+}
+
+#[test]
+fn slow_consumer_is_evicted_after_grace() {
+    let limits = NetLimits {
+        egress_bytes: 32 * 1024,
+        slow_consumer_grace: Duration::from_millis(300),
+        ..NetLimits::default()
+    };
+    let server = NetServer::spawn_with(plaintext_proxy(), "127.0.0.1:0", limits).unwrap();
+
+    // Seed a table whose full scan dwarfs egress_bytes AND the kernel's
+    // socket buffers, so an unread response keeps egress pinned over
+    // the bound.
+    let mut seed = NetClient::connect(server.local_addr(), "seed", "").unwrap();
+    seed.simple_query("CREATE TABLE blob (id int, body text)")
+        .unwrap();
+    let chunk = "x".repeat(16_000);
+    for i in 0..20 {
+        let values: Vec<String> = (0..10)
+            .map(|j| format!("({}, '{chunk}')", i * 10 + j))
+            .collect();
+        seed.simple_query(&format!(
+            "INSERT INTO blob (id, body) VALUES {}",
+            values.join(", ")
+        ))
+        .unwrap();
+    }
+
+    // The slow consumer pipelines full scans (~3.2 MB each) and never
+    // reads a byte back.
+    let mut slow = NetClient::connect(server.local_addr(), "slow", "").unwrap();
+    let mut burst = Vec::new();
+    for _ in 0..4 {
+        protocol::push_frame(&mut burst, b'Q', b"SELECT id, body FROM blob\0");
+    }
+    slow.send_raw(&burst).unwrap();
+
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            server.stats().evicted_slow_consumers >= 1
+        }),
+        "slow consumer was never evicted (stats: {:?})",
+        server.stats()
+    );
+    // The rest of the edge is unaffected.
+    let r = seed.simple_query("SELECT COUNT(*) FROM blob").unwrap();
+    assert_eq!(r.rows, vec![vec![Some("200".into())]]);
+    seed.terminate().unwrap();
+}
+
+#[test]
+fn flood_past_cap_sheds_53300_and_recovers() {
+    let limits = NetLimits {
+        max_connections: 8,
+        reader_threads: 2,
+        ..NetLimits::default()
+    };
+    let server = NetServer::spawn_with(small_proxy(), "127.0.0.1:0", limits).unwrap();
+    let addr = server.local_addr();
+
+    // Fill the cap with held, authenticated connections.
+    let held: Vec<NetClient> = (0..8)
+        .map(|i| NetClient::connect(addr, &format!("h{i}"), "").unwrap())
+        .collect();
+    assert!(wait_for(Duration::from_secs(5), || {
+        server.stats().live_connections >= 8
+    }));
+
+    // A 2x-cap flood: every connection over the cap must be refused
+    // with a clean, in-protocol FATAL 53300 — not a reset, not a hang.
+    for i in 0..16 {
+        match NetClient::connect(addr, &format!("f{i}"), "") {
+            Err(WireError::Server {
+                severity,
+                code,
+                message,
+            }) => {
+                assert_eq!(severity, "FATAL");
+                assert_eq!(code, "53300", "flood conn {i}: wrong SQLSTATE");
+                assert!(message.contains("too many clients"));
+            }
+            Err(other) => panic!("flood conn {i}: expected FATAL 53300, got {other}"),
+            Ok(_) => panic!("flood conn {i}: admitted past the cap"),
+        }
+    }
+    assert!(server.stats().shed_connections >= 16);
+
+    // Held connections were untouched by the flood.
+    for (i, mut c) in held.into_iter().enumerate() {
+        c.simple_query("SELECT 1 + 1")
+            .unwrap_or_else(|e| panic!("held conn {i} broken after flood: {e}"));
+        c.terminate().unwrap();
+    }
+    // Once the cap frees up, new connections are admitted again.
+    let recovered = wait_for(Duration::from_secs(5), || {
+        NetClient::connect(addr, "post-flood", "").is_ok()
+    });
+    assert!(recovered, "edge did not recover after the flood ended");
+}
+
+#[test]
+fn statement_deadline_cancels_queued_statements_with_57014() {
+    // A zero deadline expires every statement while it is still queued:
+    // each draws ERROR 57014 without executing, and the connection
+    // stays usable — the shed is per-statement, not per-connection.
+    let limits = NetLimits {
+        statement_deadline: Some(Duration::ZERO),
+        ..NetLimits::default()
+    };
+    let server = NetServer::spawn_with(small_proxy(), "127.0.0.1:0", limits).unwrap();
+    let mut c = NetClient::connect(server.local_addr(), "late", "").unwrap();
+    for _ in 0..3 {
+        match c.simple_query("CREATE TABLE never (a int)") {
+            Err(WireError::Server { severity, code, .. }) => {
+                assert_eq!(severity, "ERROR");
+                assert_eq!(code, "57014");
+            }
+            other => panic!("expected ERROR 57014, got {other:?}"),
+        }
+    }
+    c.terminate().unwrap();
+
+    // A generous deadline never fires for a healthy workload.
+    let limits = NetLimits {
+        statement_deadline: Some(Duration::from_secs(30)),
+        ..NetLimits::default()
+    };
+    let server = NetServer::spawn_with(small_proxy(), "127.0.0.1:0", limits).unwrap();
+    let mut c = NetClient::connect(server.local_addr(), "ontime", "").unwrap();
+    c.simple_query("CREATE TABLE fine (a int)").unwrap();
+    c.simple_query("INSERT INTO fine (a) VALUES (1)").unwrap();
+    c.terminate().unwrap();
+}
+
+#[test]
+fn inflight_budget_sheds_excess_statements_with_53400() {
+    let limits = NetLimits {
+        max_inflight_statements: 1,
+        ..NetLimits::default()
+    };
+    let cfg = ProxyConfig {
+        paillier_bits: 256,
+        runtime_threads: 1,
+        ..Default::default()
+    };
+    let proxy = Arc::new(Proxy::new(Arc::new(Engine::new()), [3u8; 32], cfg));
+    let server = NetServer::spawn_with(proxy, "127.0.0.1:0", limits).unwrap();
+    let mut c = NetClient::connect(server.local_addr(), "burst", "").unwrap();
+    c.simple_query("CREATE TABLE q (a int)").unwrap();
+
+    // Pipeline one slow statement and five fast ones in a single write.
+    // While the bulky INSERT holds the only budget slot, the trailing
+    // statements are rejected in pipeline order with ERROR 53400.
+    let values: Vec<String> = (0..800).map(|i| format!("({i})")).collect();
+    let big = format!("INSERT INTO q (a) VALUES {}\0", values.join(", "));
+    let mut burst = Vec::new();
+    protocol::push_frame(&mut burst, b'Q', big.as_bytes());
+    for _ in 0..5 {
+        protocol::push_frame(&mut burst, b'Q', b"SELECT COUNT(*) FROM q\0");
+    }
+    c.send_raw(&burst).unwrap();
+
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for _ in 0..6 {
+        let mut code = None;
+        loop {
+            let (tag, body) = c.read_raw_frame().unwrap();
+            match tag {
+                b'E' => code = Some(protocol::parse_error_body(&body).1),
+                b'Z' => break,
+                _ => {}
+            }
+        }
+        match code {
+            None => ok += 1,
+            Some(c) => {
+                assert_eq!(c, "53400", "rejections must carry SQLSTATE 53400");
+                rejected += 1;
+            }
+        }
+    }
+    assert_eq!(ok + rejected, 6);
+    assert!(ok >= 1, "the first statement held the slot and must run");
+    assert!(
+        rejected >= 3,
+        "pipelined statements behind a full budget must shed (got {rejected})"
+    );
+    assert!(server.stats().rejected_statements >= rejected);
+
+    // The connection survived the shedding and the budget recovered.
+    let r = c.simple_query("SELECT COUNT(*) FROM q").unwrap();
+    assert_eq!(r.rows, vec![vec![Some("800".into())]]);
+    c.terminate().unwrap();
+}
+
+#[test]
+fn soak_512_idle_connections_on_two_reader_threads() {
+    let limits = NetLimits {
+        max_connections: 600,
+        reader_threads: 2,
+        handshake_deadline: Duration::from_secs(30),
+        ..NetLimits::default()
+    };
+    let server = NetServer::spawn_with(small_proxy(), "127.0.0.1:0", limits).unwrap();
+    let addr = server.local_addr();
+
+    let mut conns: Vec<NetClient> = Vec::with_capacity(512);
+    for i in 0..512 {
+        conns.push(
+            NetClient::connect(addr, &format!("idle{i}"), "")
+                .unwrap_or_else(|e| panic!("connection {i} failed during soak ramp: {e}")),
+        );
+    }
+    assert!(server.stats().live_connections >= 512);
+
+    // With 512 idle sockets multiplexed on two threads, active clients
+    // must still be served promptly.
+    let first = conns.first_mut().unwrap();
+    first.simple_query("CREATE TABLE soak (a int)").unwrap();
+    let t0 = Instant::now();
+    for i in 0..20 {
+        first
+            .simple_query(&format!("INSERT INTO soak (a) VALUES ({i})"))
+            .unwrap();
+    }
+    let active_elapsed = t0.elapsed();
+    assert!(
+        active_elapsed < Duration::from_secs(10),
+        "active client starved under idle soak: 20 statements took {active_elapsed:?}"
+    );
+    // Spot-check connections across the whole range (both mux threads).
+    for i in [1usize, 100, 255, 256, 400, 511] {
+        let r = conns[i].simple_query("SELECT COUNT(*) FROM soak").unwrap();
+        assert_eq!(r.rows, vec![vec![Some("20".into())]], "conn {i}");
+    }
+    for c in conns {
+        c.terminate().unwrap();
+    }
+    assert!(wait_for(Duration::from_secs(10), || {
+        server.stats().live_connections == 0
+    }));
+}
+
+#[test]
+fn drain_during_flood_loses_no_acknowledged_statement() {
+    let dir = std::env::temp_dir().join(format!("cryptdb-net-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let persist = cryptdb_server::PersistConfig::new(&dir);
+    let cfg = ProxyConfig {
+        paillier_bits: 256,
+        ..Default::default()
+    };
+    let limits = NetLimits {
+        reader_threads: 2,
+        ..NetLimits::default()
+    };
+    let acked: Vec<i64>;
+    let report;
+    {
+        let (server, recovery) = NetServer::spawn_persistent_with(
+            &persist,
+            [7u8; 32],
+            cfg.clone(),
+            "127.0.0.1:0",
+            limits,
+        )
+        .unwrap();
+        assert_eq!(recovery.report.records_applied, 0);
+        let addr = server.local_addr();
+        let mut setup = NetClient::connect(addr, "setup", "").unwrap();
+        setup.simple_query("CREATE TABLE acked (id int)").unwrap();
+        setup.terminate().unwrap();
+
+        // Four writers flood inserts with disjoint id ranges, recording
+        // every id whose response arrived (the acknowledgement).
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    let mut acked = Vec::new();
+                    let Ok(mut c) = NetClient::connect(addr, &format!("w{w}"), "") else {
+                        return acked;
+                    };
+                    for k in 0..10_000i64 {
+                        let id = (w as i64) * 1_000_000 + k;
+                        match c.simple_query(&format!("INSERT INTO acked (id) VALUES ({id})")) {
+                            Ok(_) => acked.push(id),
+                            Err(_) => break,
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+
+        // Let the flood build, then drain mid-flight.
+        std::thread::sleep(Duration::from_millis(400));
+        report = server.drain(Duration::from_secs(10));
+        acked = writers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+    }
+    assert!(report.wal_synced, "drain must end with a successful fsync");
+    assert!(
+        !acked.is_empty(),
+        "the flood must acknowledge some inserts before the drain"
+    );
+    assert!(report.drained_connections + report.aborted_connections >= 1);
+
+    // WAL recovery oracle: every acknowledged insert survives.
+    let (proxy, recovery) = cryptdb_server::open_persistent(&persist, [7u8; 32], cfg).unwrap();
+    assert!(!recovery.report.corruption_detected);
+    let r = proxy.execute("SELECT id FROM acked").unwrap();
+    let recovered: std::collections::HashSet<i64> = r
+        .rows()
+        .iter()
+        .map(|row| row[0].as_int().unwrap())
+        .collect();
+    for id in &acked {
+        assert!(
+            recovered.contains(id),
+            "acknowledged insert {id} was lost across drain + recovery \
+             ({} acked, {} recovered)",
+            acked.len(),
+            recovered.len()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -64,6 +64,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -265,6 +266,31 @@ impl WorkerPool {
         }
     }
 
+    /// Enqueues a bulk-lane job that may be abandoned before it starts.
+    ///
+    /// When the job is popped, the token is checked once: if it was
+    /// cancelled in the meantime the job closure is dropped unrun and
+    /// `on_abandon` runs instead (on the worker thread). `on_abandon`
+    /// must be cheap and must restore whatever invariant the job was
+    /// going to maintain (e.g. "this session's chain job is in flight").
+    /// Jobs that have already started are never interrupted — this is
+    /// queue-time cancellation only.
+    pub fn execute_cancellable(
+        &self,
+        token: &CancelToken,
+        job: impl FnOnce() + Send + 'static,
+        on_abandon: impl FnOnce() + Send + 'static,
+    ) {
+        let token = token.clone();
+        self.execute(move || {
+            if token.is_cancelled() {
+                on_abandon();
+            } else {
+                job();
+            }
+        });
+    }
+
     /// Enqueues a job and returns a handle to its result.
     pub fn submit<T: Send + 'static>(
         &self,
@@ -339,6 +365,34 @@ impl WorkerPool {
             total,
             ready: None,
         }
+    }
+}
+
+/// Cooperative cancellation flag for [`WorkerPool::execute_cancellable`].
+///
+/// Cloning shares the flag; once cancelled it stays cancelled. The
+/// serving layer hands one token per session to the pool so that a
+/// closed session's still-queued chain jobs are abandoned at pop time
+/// instead of burning a worker slot locking a dead queue.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Marks the token cancelled (idempotent, lock-free).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 }
 
@@ -888,6 +942,69 @@ mod tests {
         // The single worker must survive to run this:
         let h = pool.submit(|| 7);
         assert_eq!(h.join(), 7);
+    }
+
+    #[test]
+    fn cancellable_job_runs_when_token_is_live() {
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let abandoned = Arc::new(AtomicUsize::new(0));
+        let (r, a) = (ran.clone(), abandoned.clone());
+        pool.execute_cancellable(
+            &token,
+            move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            },
+            move || {
+                a.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(abandoned.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cancelled_jobs_are_abandoned_at_pop_time() {
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Park the single worker so the cancellable jobs stay queued.
+        {
+            let g = gate.clone();
+            pool.execute(move || {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let abandoned = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let (r, a) = (ran.clone(), abandoned.clone());
+            pool.execute_cancellable(
+                &token,
+                move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                },
+                move || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        }
+        token.cancel();
+        assert!(token.is_cancelled());
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "cancelled jobs must not run");
+        assert_eq!(abandoned.load(Ordering::SeqCst), 8);
     }
 
     #[test]

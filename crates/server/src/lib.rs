@@ -43,7 +43,7 @@
 use cryptdb_core::proxy::{Proxy, ProxyConfig};
 use cryptdb_core::ProxyError;
 use cryptdb_engine::{EngineRecovery, QueryResult, WalConfig};
-use cryptdb_runtime::WorkerPool;
+use cryptdb_runtime::{CancelToken, WorkerPool};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -169,8 +169,30 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// (execution only, queue wait excluded), in submission order.
 pub type Responder = Box<dyn FnOnce(Result<QueryResult, ProxyError>, u64) + Send>;
 
+/// One queued unit of per-session work, executed in submission order.
+enum Entry {
+    /// An ordinary statement, optionally with an execution deadline: if
+    /// the deadline has passed when the chain pops the entry, the
+    /// statement is *not* executed and its responder gets
+    /// [`ProxyError::Canceled`] instead (statements already executing
+    /// are never interrupted — cancellation is queue-time only).
+    Stmt {
+        sql: String,
+        deadline: Option<Instant>,
+        respond: Responder,
+    },
+    /// A pre-decided error (admission shed): the responder receives it
+    /// in order, after every earlier statement's responder — so an
+    /// overloaded pipelined client sees the rejection exactly where the
+    /// statement would have answered.
+    Reject {
+        error: ProxyError,
+        respond: Responder,
+    },
+}
+
 struct SessionQueue {
-    pending: VecDeque<(String, Responder)>,
+    pending: VecDeque<Entry>,
     /// True while an `advance` job for this session is queued or running.
     running: bool,
     closed: bool,
@@ -184,6 +206,32 @@ struct SessionInner {
     queue: std::sync::Mutex<SessionQueue>,
     /// Notified whenever the chain goes idle (`running` flips false).
     idle: std::sync::Condvar,
+    /// Cancelled on [`StatementSession::close`]: a chain job still queued
+    /// on the pool is then abandoned at pop time instead of locking a
+    /// dead queue — under a connection-flood teardown this keeps dead
+    /// sessions from burning worker slots.
+    cancel: CancelToken,
+}
+
+impl SessionInner {
+    /// Schedules one chain job, abandonable if the session closes while
+    /// it is still queued. The abandon path must restore the idle
+    /// invariant (`running` false + waiters notified) because the job it
+    /// replaces would have.
+    fn schedule(self: &Arc<Self>) {
+        let inner = self.clone();
+        let abandoned = self.clone();
+        self.pool.execute_cancellable(
+            &self.cancel,
+            move || inner.advance(),
+            move || {
+                let mut q = abandoned.queue.lock().unwrap();
+                q.pending.clear();
+                q.running = false;
+                abandoned.idle.notify_all();
+            },
+        );
+    }
 }
 
 /// Unwind guard for [`SessionInner::advance`]: if a responder panics
@@ -215,7 +263,7 @@ impl SessionInner {
     /// single statement per pool job is what lets sessions interleave at
     /// statement granularity instead of monopolising a worker.
     fn advance(self: Arc<Self>) {
-        let (sql, respond) = {
+        let entry = {
             let mut q = self.queue.lock().unwrap();
             match q.pending.pop_front() {
                 Some(job) => job,
@@ -230,15 +278,31 @@ impl SessionInner {
         // `running` stuck true (wait_idle would block forever — and the
         // wire front-end joins its reader threads through it).
         let poison = ChainPoison { inner: &self };
-        let t0 = Instant::now();
-        // A panic inside statement execution becomes an ordinary error
-        // result: the responder still runs (a wire client gets an
-        // ErrorResponse instead of silence) and the chain survives.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.proxy.execute(&sql)))
+        match entry {
+            Entry::Reject { error, respond } => respond(Err(error), 0),
+            Entry::Stmt {
+                deadline: Some(d),
+                respond,
+                ..
+            } if Instant::now() >= d => respond(
+                Err(ProxyError::Canceled(
+                    "statement deadline expired before execution".into(),
+                )),
+                0,
+            ),
+            Entry::Stmt { sql, respond, .. } => {
+                let t0 = Instant::now();
+                // A panic inside statement execution becomes an ordinary
+                // error result: the responder still runs (a wire client
+                // gets an ErrorResponse instead of silence) and the
+                // chain survives.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.proxy.execute(&sql)
+                }))
                 .unwrap_or_else(|_| Err(ProxyError::Crypto("statement execution panicked".into())));
-        let service_ns = t0.elapsed().as_nanos() as u64;
-        respond(result, service_ns);
+                respond(result, t0.elapsed().as_nanos() as u64);
+            }
+        }
         std::mem::forget(poison);
         let again = {
             let mut q = self.queue.lock().unwrap();
@@ -251,9 +315,7 @@ impl SessionInner {
             }
         };
         if again {
-            let pool = self.pool.clone();
-            let inner = self.clone();
-            pool.execute(move || inner.advance());
+            self.schedule();
         }
     }
 }
@@ -288,6 +350,7 @@ impl StatementSession {
                     closed: false,
                 }),
                 idle: std::sync::Condvar::new(),
+                cancel: CancelToken::new(),
             }),
         }
     }
@@ -308,12 +371,53 @@ impl StatementSession {
         sql: String,
         respond: impl FnOnce(Result<QueryResult, ProxyError>, u64) + Send + 'static,
     ) {
+        self.submit_with_deadline(sql, None, respond);
+    }
+
+    /// Like [`submit`], but the statement is abandoned (responder gets
+    /// [`ProxyError::Canceled`]) if `deadline` passes while it is still
+    /// waiting in the session queue. A statement that begins executing
+    /// before the deadline always runs to completion — the deadline
+    /// bounds *queue wait*, which is the quantity that grows without
+    /// bound under overload, not execution.
+    ///
+    /// [`submit`]: StatementSession::submit
+    pub fn submit_with_deadline(
+        &self,
+        sql: String,
+        deadline: Option<Instant>,
+        respond: impl FnOnce(Result<QueryResult, ProxyError>, u64) + Send + 'static,
+    ) {
+        self.push(Entry::Stmt {
+            sql,
+            deadline,
+            respond: Box::new(respond),
+        });
+    }
+
+    /// Enqueues a pre-decided error in statement order: the responder
+    /// receives `error` strictly after every earlier statement's
+    /// responder. The serving edge uses this to shed a statement at
+    /// admission time (in-flight budget exhausted) while keeping the
+    /// pipelined response stream in order.
+    pub fn submit_reject(
+        &self,
+        error: ProxyError,
+        respond: impl FnOnce(Result<QueryResult, ProxyError>, u64) + Send + 'static,
+    ) {
+        self.push(Entry::Reject {
+            error,
+            respond: Box::new(respond),
+        });
+    }
+
+    fn push(&self, entry: Entry) {
         let start = {
             let mut q = self.inner.queue.lock().unwrap();
             if q.closed {
                 return;
             }
-            q.pending.push_back((sql, Box::new(respond)));
+            q.pending.push_back(entry);
             if q.running {
                 false
             } else {
@@ -322,9 +426,28 @@ impl StatementSession {
             }
         };
         if start {
-            let inner = self.inner.clone();
-            self.inner.pool.execute(move || inner.advance());
+            self.inner.schedule();
         }
+    }
+
+    /// Non-blocking idle check: `true` when every submitted statement
+    /// has executed and responded (the chain has no queued or running
+    /// job). The multiplexed wire edge polls this from its readiness
+    /// loop — which must never block — to sequence connection teardown
+    /// and graceful drain.
+    pub fn is_idle(&self) -> bool {
+        let q = self.inner.queue.lock().unwrap();
+        !q.running && q.pending.is_empty()
+    }
+
+    /// Number of statements queued or executing (the session's in-flight
+    /// depth; may briefly overcount by one while a chain job is queued
+    /// but has not yet popped its entry). The wire edge compares this
+    /// against its ingress bound to decide when to stop reading a
+    /// connection's socket.
+    pub fn queued_len(&self) -> usize {
+        let q = self.inner.queue.lock().unwrap();
+        q.pending.len() + usize::from(q.running)
     }
 
     /// Closes the session: queued-but-unstarted statements (and their
@@ -337,9 +460,15 @@ impl StatementSession {
     ///
     /// [`wait_idle`]: StatementSession::wait_idle
     pub fn close(&self) {
-        let mut q = self.inner.queue.lock().unwrap();
-        q.closed = true;
-        q.pending.clear();
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.closed = true;
+            q.pending.clear();
+        }
+        // With the tail dropped, a chain job still queued on the pool
+        // has nothing left to do — abandon it at pop time rather than
+        // letting it lock the dead queue from a worker slot.
+        self.inner.cancel.cancel();
     }
 
     /// Blocks until the session's chain is idle: every submitted
