@@ -30,6 +30,12 @@ GATE_POLICY = {
     "overload_dirty_sheds": ("flag", 0.0),
     "overload_admitted_errors": ("flag", 0.0),
     "drain_lost_acks": ("flag", 0.0),
+    "retention_disk_bounded": ("flag", 1.0),
+    "recovery_suffix_bounded": ("flag", 1.0),
+    "diskfull_lost_acks": ("flag", 0.0),
+    "diskfull_reads_served": ("flag", 1.0),
+    "diskfull_clean_sheds": ("flag", 1.0),
+    "diskfull_self_restored": ("flag", 1.0),
 }
 
 
@@ -153,6 +159,28 @@ def main(paths):
                 f"\nrecovery: {recovery.get('ms', 0):g} ms to replay "
                 f"{recovery.get('records', 0)} records "
                 f"({recovery.get('log_bytes', 0)} log bytes)"
+            )
+        # Segmented-WAL rows postdate snapshot-anchored retention; both
+        # keys are optional so older artifacts still render.
+        bounded = e2e.get("bounded_recovery")
+        if bounded:
+            print(
+                f"\nbounded recovery: {bounded.get('inserts', 0)} inserts left "
+                f"{bounded.get('disk_bytes', 0)} bytes in "
+                f"{bounded.get('segments', 0)} segments "
+                f"({bounded.get('rotations', 0)} rotations, "
+                f"{bounded.get('segments_deleted', 0)} deleted by retention); "
+                f"reopen replayed {bounded.get('replayed_records', 0)} records "
+                f"in {bounded.get('recovery_ms', 0):g} ms"
+            )
+        diskfull = e2e.get("disk_full")
+        if diskfull:
+            print(
+                f"\ndisk-full chaos: {diskfull.get('acked', 0)} acked inserts, "
+                f"{diskfull.get('sheds_53100', 0)} clean 53100 sheds "
+                f"({diskfull.get('edge_sheds', 0)} at the serving edge), "
+                f"{diskfull.get('other_errors', 0)} other errors, "
+                f"{diskfull.get('lost', 0)} lost after recovery"
             )
 
 

@@ -57,6 +57,19 @@
 //!   reopened: every acknowledged statement must survive recovery and
 //!   the drain must end with a successful fsync. Enforced at every
 //!   size and host.
+//! * `retention_disk_bounded` / `recovery_suffix_bounded` — a long
+//!   write trace through a segmented WAL with snapshot-anchored
+//!   retention: live disk usage must stay within a snapshot cadence's
+//!   worth of segments (while rotation/deletion counters witness many
+//!   times that history), and reopening must replay only the
+//!   post-snapshot suffix — recovery cost tracks the snapshot cadence,
+//!   never the total statement count. Enforced at every size and host.
+//! * `diskfull_*` — ENOSPC injected mid-trace under the wire
+//!   front-end: zero acknowledged statements lost, reads keep
+//!   answering while degraded, every refused write is a clean in-order
+//!   ERROR 53100 (no dirty disconnects), and service self-restores once
+//!   space clears — same process, zero restarts. Enforced at every
+//!   size and host.
 //!
 //! Reduced-size knobs for CI: `CRYPTDB_BENCH_PAILLIER_BITS` (key size)
 //! and `CRYPTDB_E2E_STEPS` (driver steps per session; each step is one
@@ -66,7 +79,7 @@ use cryptdb_apps::mixed::{self, MixedScale};
 use cryptdb_apps::phpbb;
 use cryptdb_bench::bench_paillier_bits;
 use cryptdb_core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
-use cryptdb_engine::{Engine, FsyncPolicy, WalConfig};
+use cryptdb_engine::{Engine, FaultPlan, FsyncPolicy, WalConfig};
 use cryptdb_net::{wire_canonical_dump, NetClient, NetLimits, NetServer, WireError};
 use cryptdb_server::{
     canonical_dump, open_persistent, percentile, replay_serial, schema_tables, PersistConfig,
@@ -610,6 +623,206 @@ fn main() {
     drop(drained_proxy);
     let _ = std::fs::remove_dir_all(&drain_dir);
 
+    // ---- Bounded recovery: a long write trace through a segmented,
+    // snapshot-anchored WAL. Retention must keep disk bounded (live
+    // segments stay near the snapshot horizon no matter how many bytes
+    // were ever logged) and recovery must replay only the post-snapshot
+    // suffix (bounded by the snapshot cadence, NOT by the total
+    // statement count).
+    const BR_INSERTS: u64 = 2_500;
+    const BR_SEGMENT_BYTES: u64 = 16 * 1024;
+    const BR_SNAPSHOT_EVERY: u64 = 200;
+    let br_dir = std::env::temp_dir().join(format!("cryptdb-bench-bounded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&br_dir);
+    let br_wal = WalConfig {
+        fsync: FsyncPolicy::EveryN(32),
+        snapshot_every: Some(BR_SNAPSHOT_EVERY),
+        segment_bytes: BR_SEGMENT_BYTES,
+        ..WalConfig::default()
+    };
+    let (br_disk_bytes, br_segments, br_rotations, br_deleted, br_last_seq) = {
+        let (proxy, _) = Proxy::open_persistent(&br_dir, [7u8; 32], ProxyConfig::default(), br_wal)
+            .expect("open bounded-recovery proxy");
+        proxy
+            .execute("CREATE TABLE long_trace (id int, v int)")
+            .expect("bounded schema");
+        for i in 0..BR_INSERTS {
+            proxy
+                .execute(&format!(
+                    "INSERT INTO long_trace (id, v) VALUES ({i}, {})",
+                    i * 3
+                ))
+                .expect("bounded insert");
+        }
+        let stats = proxy.engine().durability_stats();
+        (
+            stats.wal_disk_bytes,
+            stats.wal_segments,
+            // rotations/deletions are process-lifetime counters on the
+            // live log: together they witness how much was ever logged.
+            proxy.engine().wal_stats().rotations,
+            proxy.engine().wal_stats().segments_deleted,
+            stats.last_seq,
+        )
+    };
+    let br0 = Instant::now();
+    let (br_proxy, br_rec) = Proxy::open_persistent(
+        &br_dir,
+        [7u8; 32],
+        ProxyConfig::default(),
+        WalConfig::default(),
+    )
+    .expect("bounded recovery reopen");
+    let br_recovery_ms = br0.elapsed().as_secs_f64() * 1e3;
+    let br_rows = br_proxy
+        .execute("SELECT COUNT(id) FROM long_trace")
+        .expect("bounded count")
+        .rows()[0][0]
+        .as_int()
+        .expect("count");
+    // Disk bounded: the live chain stays within a snapshot cadence's
+    // worth of segments even though the trace logged many segments'
+    // worth of records. Ciphertext records run ~800 bytes, so the
+    // 200-record cadence spans ~10 of these 16 KiB segments between
+    // snapshots; 16 segments gives slack for the keep_segments margin
+    // and the active segment while staying a constant — retention must
+    // also have deleted most of what rotation ever created, which is
+    // the part that scales with BR_INSERTS.
+    let retention_disk_bounded = br_disk_bytes <= 16 * BR_SEGMENT_BYTES
+        && br_segments * 4 <= br_rotations
+        && br_rotations >= 6
+        && br_deleted >= 4
+        && br_rows as u64 == BR_INSERTS;
+    // Recovery bounded: replay touches only the post-snapshot suffix —
+    // a function of the snapshot cadence, not of BR_INSERTS.
+    let recovery_suffix_bounded =
+        br_rec.report.records_applied <= 2 * BR_SNAPSHOT_EVERY && br_last_seq > BR_INSERTS;
+    println!(
+        "bounded recovery: {BR_INSERTS} inserts -> {br_disk_bytes} bytes on disk in \
+         {br_segments} segments ({br_rotations} rotations, {br_deleted} deleted), \
+         reopen replayed {} records in {br_recovery_ms:.1} ms — disk {} / replay {}",
+        br_rec.report.records_applied,
+        if retention_disk_bounded {
+            "bounded"
+        } else {
+            "UNBOUNDED"
+        },
+        if recovery_suffix_bounded {
+            "bounded"
+        } else {
+            "UNBOUNDED"
+        }
+    );
+    drop(br_proxy);
+    let _ = std::fs::remove_dir_all(&br_dir);
+
+    // ---- Disk-full chaos: ENOSPC fires mid-trace under the wire
+    // front-end. The engine must degrade to read-only (writes shed as
+    // clean ERROR 53100, reads keep answering, the connection stays up),
+    // self-restore once space clears (probe writes), and lose zero
+    // acknowledged statements — all with zero restarts.
+    let df_dir =
+        std::env::temp_dir().join(format!("cryptdb-bench-diskfull-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&df_dir);
+    let df_persist = PersistConfig {
+        dir: df_dir.clone(),
+        wal: WalConfig {
+            fsync: FsyncPolicy::Always,
+            snapshot_every: None,
+            // The disk "fills" ~4 KiB in and frees after three rejected
+            // appends (with probe-every-4 shedding, clearing takes a
+            // dozen-odd client writes).
+            fault: Some(FaultPlan::enospc_clearing(4096, 3)),
+            ..WalConfig::default()
+        },
+    };
+    let (df_acked, df_sheds, df_other_errors, df_reads_served, df_self_restored, df_stats) = {
+        let (server, _) = NetServer::spawn_persistent_with(
+            &df_persist,
+            [7u8; 32],
+            ProxyConfig::default(),
+            "127.0.0.1:0",
+            NetLimits::default(),
+        )
+        .expect("bind disk-full server");
+        let addr = server.local_addr();
+        let mut c = NetClient::connect(addr, "df", "").expect("disk-full conn");
+        c.simple_query("CREATE TABLE acked (id int)")
+            .expect("disk-full schema");
+        let mut acked: Vec<i64> = Vec::new();
+        let mut sheds = 0usize;
+        let mut other_errors = 0usize;
+        let mut reads_served = true;
+        let mut last_write_ok = false;
+        for id in 0..400i64 {
+            match c.simple_query(&format!("INSERT INTO acked (id) VALUES ({id})")) {
+                Ok(_) => {
+                    acked.push(id);
+                    last_write_ok = true;
+                }
+                Err(WireError::Server { code, .. }) if code == "53100" => {
+                    sheds += 1;
+                    last_write_ok = false;
+                    // Degraded means READ-ONLY, not down: a read on the
+                    // same connection must still answer.
+                    if c.simple_query("SELECT COUNT(id) FROM acked").is_err() {
+                        reads_served = false;
+                    }
+                }
+                Err(WireError::Server { .. }) => {
+                    other_errors += 1;
+                    last_write_ok = false;
+                }
+                Err(e) => panic!("disk-full run lost its connection (dirty shed): {e}"),
+            }
+        }
+        let stats = server.stats();
+        // Self-restored: writes succeed again at the end of the trace
+        // and the engine reports healthy — same process, no restart.
+        let self_restored = last_write_ok && !stats.degraded;
+        c.terminate().expect("terminate disk-full conn");
+        let report = server.drain(Duration::from_secs(10));
+        assert!(report.wal_synced, "disk-full drain must end synced");
+        (
+            acked,
+            sheds,
+            other_errors,
+            reads_served,
+            self_restored,
+            stats,
+        )
+    };
+    let (df_proxy, df_recovery) = open_persistent(
+        &PersistConfig::new(&df_dir),
+        [7u8; 32],
+        ProxyConfig::default(),
+    )
+    .expect("reopen after disk-full run");
+    let df_recovered: std::collections::HashSet<i64> = df_proxy
+        .execute("SELECT id FROM acked")
+        .expect("disk-full recovered select")
+        .rows()
+        .iter()
+        .map(|row| row[0].as_int().expect("int id"))
+        .collect();
+    let df_lost = df_acked
+        .iter()
+        .filter(|id| !df_recovered.contains(id))
+        .count();
+    let df_clean = df_sheds > 0 && df_other_errors == 0 && !df_recovery.report.corruption_detected;
+    println!(
+        "disk-full: {} acked, {df_sheds} clean 53100 sheds ({} shed at the edge), \
+         {df_other_errors} other errors, {df_lost} lost after recovery, reads_served={}, \
+         self_restored={} ({} wal append failures)",
+        df_acked.len(),
+        df_stats.shed_writes,
+        df_reads_served,
+        df_self_restored,
+        df_stats.wal_append_failures
+    );
+    drop(df_proxy);
+    let _ = std::fs::remove_dir_all(&df_dir);
+
     // ---- Durability ladder: the same serial statement set with the
     // WAL attached under each fsync policy, against the no-WAL
     // baseline. One session (serial) so the rows isolate log overhead
@@ -640,6 +853,7 @@ fn main() {
                     fsync,
                     snapshot_every: None,
                     fault: None,
+                    ..WalConfig::default()
                 };
                 let (p, _) =
                     Proxy::open_persistent(&dir, [7u8; 32], cfg, wal_cfg).expect("attach wal");
@@ -735,6 +949,24 @@ fn main() {
                 1.0f64.max(drain_lost as f64)
             },
         ),
+        (
+            "retention_disk_bounded",
+            if retention_disk_bounded { 1.0 } else { 0.0 },
+        ),
+        (
+            "recovery_suffix_bounded",
+            if recovery_suffix_bounded { 1.0 } else { 0.0 },
+        ),
+        ("diskfull_lost_acks", df_lost as f64),
+        (
+            "diskfull_reads_served",
+            if df_reads_served { 1.0 } else { 0.0 },
+        ),
+        ("diskfull_clean_sheds", if df_clean { 1.0 } else { 0.0 }),
+        (
+            "diskfull_self_restored",
+            if df_self_restored { 1.0 } else { 0.0 },
+        ),
     ];
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"modulus_bits\": {bits},\n"));
@@ -797,6 +1029,22 @@ fn main() {
         drain_acked.len(),
         recovered.len(),
         if drain_report.wal_synced { 1 } else { 0 }
+    ));
+    json.push_str(&format!(
+        "  \"bounded_recovery\": {{ \"inserts\": {BR_INSERTS}, \"segment_bytes\": \
+         {BR_SEGMENT_BYTES}, \"snapshot_every\": {BR_SNAPSHOT_EVERY}, \"disk_bytes\": \
+         {br_disk_bytes}, \"segments\": {br_segments}, \"rotations\": {br_rotations}, \
+         \"segments_deleted\": {br_deleted}, \"replayed_records\": {}, \"recovery_ms\": \
+         {br_recovery_ms:.1} }},\n",
+        br_rec.report.records_applied
+    ));
+    json.push_str(&format!(
+        "  \"disk_full\": {{ \"acked\": {}, \"sheds_53100\": {df_sheds}, \"edge_sheds\": {}, \
+         \"other_errors\": {df_other_errors}, \"lost\": {df_lost}, \"wal_append_failures\": {} \
+         }},\n",
+        df_acked.len(),
+        df_stats.shed_writes,
+        df_stats.wal_append_failures
     ));
     json.push_str("  \"gates\": {\n");
     for (i, (name, x)) in gates.iter().enumerate() {
@@ -862,6 +1110,40 @@ fn main() {
             drain_report.wal_synced,
             drain_recovery.report.corruption_detected
         );
+        std::process::exit(1);
+    }
+    if !retention_disk_bounded {
+        eprintln!(
+            "FAIL: retention left {br_disk_bytes} bytes / {br_segments} segments on disk \
+             after {BR_INSERTS} inserts ({br_rotations} rotations, {br_deleted} deleted)"
+        );
+        std::process::exit(1);
+    }
+    if !recovery_suffix_bounded {
+        eprintln!(
+            "FAIL: recovery replayed {} records — it must be bounded by the snapshot \
+             cadence ({BR_SNAPSHOT_EVERY}), not the trace length ({BR_INSERTS})",
+            br_rec.report.records_applied
+        );
+        std::process::exit(1);
+    }
+    if df_lost > 0 {
+        eprintln!("FAIL: disk-full run lost {df_lost} acknowledged inserts");
+        std::process::exit(1);
+    }
+    if !df_reads_served {
+        eprintln!("FAIL: reads stopped answering while the engine was degraded");
+        std::process::exit(1);
+    }
+    if !df_clean {
+        eprintln!(
+            "FAIL: disk-full shedding was not clean ({df_sheds} 53100 sheds, \
+             {df_other_errors} other errors)"
+        );
+        std::process::exit(1);
+    }
+    if !df_self_restored {
+        eprintln!("FAIL: the engine did not leave degraded mode after ENOSPC cleared");
         std::process::exit(1);
     }
     if scaling_enforced && scaling_4_vs_1 < 2.0 {

@@ -32,6 +32,11 @@ pub enum ProxyError {
     /// admission budget (in-flight statement cap, queue bound) was
     /// exhausted; the client may retry once load drops.
     Overloaded(String),
+    /// The durability layer cannot log writes (disk full or I/O error):
+    /// the engine is in degraded read-only mode. Reads keep serving;
+    /// writes are shed and resume automatically once log appends
+    /// succeed — no restart required.
+    Degraded(String),
 }
 
 impl fmt::Display for ProxyError {
@@ -46,6 +51,7 @@ impl fmt::Display for ProxyError {
             ProxyError::Schema(m) => write!(f, "schema: {m}"),
             ProxyError::Canceled(m) => write!(f, "canceled: {m}"),
             ProxyError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            ProxyError::Degraded(m) => write!(f, "degraded: {m}"),
         }
     }
 }
@@ -60,6 +66,12 @@ impl From<ParseError> for ProxyError {
 
 impl From<EngineError> for ProxyError {
     fn from(e: EngineError) -> Self {
-        ProxyError::Engine(e)
+        match e {
+            // Keep the degraded class visible across the layer boundary
+            // so the serving edge maps it to SQLSTATE 53100 and the shed
+            // machinery can tell it from an engine-side statement error.
+            EngineError::Degraded(m) => ProxyError::Degraded(m),
+            other => ProxyError::Engine(other),
+        }
     }
 }

@@ -7,11 +7,16 @@ use crate::udf::{AggregateUdf, UdfRegistry};
 use crate::value::Value;
 use crate::wal_store::{self, WalOp};
 use cryptdb_sqlparser::{parse, Delete, Insert, Stmt, Update};
-use cryptdb_wal::{RecoveryReport, Wal, WalConfig};
+use cryptdb_wal::{RecoveryReport, Wal, WalConfig, WalError, WalStats};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// How many records the statement-path auto-snapshot waits after a
+/// failure before retrying (the background janitor retries regardless).
+const SNAPSHOT_RETRY_BACKOFF: u64 = 8;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +105,66 @@ pub struct Engine {
     /// append their record while still holding the locks that
     /// serialized them, so WAL order equals apply order.
     wal: Mutex<Option<WalState>>,
+    /// True while log appends are failing: the engine is read-only and
+    /// the serving layer sheds writes. Cleared by the next append that
+    /// succeeds — recovery is automatic, no restart required.
+    degraded: AtomicBool,
+    /// WAL append failures (clean and unsynced) since startup.
+    wal_append_failures: AtomicU64,
+    /// Times the engine *entered* degraded mode.
+    degraded_entries: AtomicU64,
+    /// Auto-snapshot attempts that failed (surfaced, never swallowed).
+    snapshot_failures: AtomicU64,
+    /// Snapshots successfully written (auto or background cadence).
+    snapshots_taken: AtomicU64,
+    /// Statement-path auto-snapshot backoff: skip until the WAL
+    /// sequence passes this watermark.
+    snapshot_retry_floor: AtomicU64,
+}
+
+/// Point-in-time durability counters, for server stats and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// The engine is currently shedding writes because log appends
+    /// fail.
+    pub degraded: bool,
+    /// WAL append failures since startup.
+    pub wal_append_failures: u64,
+    /// Times the engine entered degraded mode.
+    pub degraded_entries: u64,
+    /// Failed snapshot attempts.
+    pub snapshot_failures: u64,
+    /// Snapshots successfully written.
+    pub snapshots_taken: u64,
+    /// Segment files in the live WAL chain.
+    pub wal_segments: u64,
+    /// Total on-disk bytes of the WAL chain.
+    pub wal_disk_bytes: u64,
+    /// Epoch of the most recent snapshot (0 = none).
+    pub snapshot_epoch: u64,
+    /// Last assigned WAL sequence number.
+    pub last_seq: u64,
+}
+
+/// How a [`Engine::log_record`] failure relates to the on-disk log —
+/// the caller's contract is "memory equals log", so the two classes
+/// demand opposite reactions.
+enum LogError {
+    /// The record never reached the log and no sequence number was
+    /// consumed: the caller must undo the in-memory effects.
+    Clean(EngineError),
+    /// The record is fully written (durable-maybe: the fsync failed):
+    /// the caller must keep the in-memory effects and withhold the
+    /// acknowledgement.
+    Durable(EngineError),
+}
+
+impl LogError {
+    fn into_err(self) -> EngineError {
+        match self {
+            LogError::Clean(e) | LogError::Durable(e) => e,
+        }
+    }
 }
 
 struct WalState {
@@ -134,6 +199,12 @@ impl Engine {
             udfs: RwLock::new(UdfRegistry::new()),
             snapshot: Mutex::new(None),
             wal: Mutex::new(None),
+            degraded: AtomicBool::new(false),
+            wal_append_failures: AtomicU64::new(0),
+            degraded_entries: AtomicU64::new(0),
+            snapshot_failures: AtomicU64::new(0),
+            snapshots_taken: AtomicU64::new(0),
+            snapshot_retry_floor: AtomicU64::new(0),
         }
     }
 
@@ -247,7 +318,7 @@ impl Engine {
     /// no engine state, e.g. level-floor or principal-type updates).
     /// A no-op without an attached WAL.
     pub fn log_meta(&self, meta: &[u8]) -> Result<(), EngineError> {
-        self.log_record(&[], Some(meta))
+        self.log_record(&[], Some(meta)).map_err(LogError::into_err)
     }
 
     fn exec_stmt(&self, stmt: &Stmt, meta: Option<&[u8]>) -> Result<QueryResult, EngineError> {
@@ -267,37 +338,59 @@ impl Engine {
                     })
                     .collect();
                 catalog.insert(
-                    key,
+                    key.clone(),
                     Arc::new(RwLock::new(Table::new(&ct.name, columns.clone()))),
                 );
-                self.log_record(
+                if let Err(fail) = self.log_record(
                     &[WalOp::CreateTable {
                         name: ct.name.clone(),
                         columns,
                     }],
                     meta,
-                )?;
+                ) {
+                    return Err(self.fail_logged(fail, || {
+                        catalog.remove(&key);
+                    }));
+                }
                 Ok(QueryResult::Ok)
             }
             Stmt::CreateIndex { table, column } => {
                 let handle = self.table_handle(table)?;
                 let mut guard = handle.write();
+                // create_index rebuilds an existing index in place, so
+                // the undo must not drop an index that predates the
+                // statement.
+                let existed = guard
+                    .column_position(column)
+                    .is_some_and(|c| guard.has_index(c));
                 guard.create_index(column)?;
-                self.log_record(
+                if let Err(fail) = self.log_record(
                     &[WalOp::CreateIndex {
                         table: table.clone(),
                         column: column.clone(),
                     }],
                     meta,
-                )?;
+                ) {
+                    return Err(self.fail_logged(fail, || {
+                        if !existed {
+                            guard.drop_index(column);
+                        }
+                    }));
+                }
                 Ok(QueryResult::Ok)
             }
             Stmt::DropTable { name } => {
+                let key = name.to_lowercase();
                 let mut catalog = self.catalog.write();
-                if catalog.remove(&name.to_lowercase()).is_none() {
+                let Some(dropped) = catalog.remove(&key) else {
                     return Err(EngineError::TableNotFound(name.clone()));
+                };
+                if let Err(fail) = self.log_record(&[WalOp::DropTable { name: name.clone() }], meta)
+                {
+                    return Err(self.fail_logged(fail, || {
+                        catalog.insert(key, dropped);
+                    }));
                 }
-                self.log_record(&[WalOp::DropTable { name: name.clone() }], meta)?;
                 Ok(QueryResult::Ok)
             }
             Stmt::Insert(ins) => self.insert(ins, meta),
@@ -311,15 +404,23 @@ impl Engine {
                     .map(|(k, v)| (k.clone(), v.read().clone()))
                     .collect();
                 *self.snapshot.lock() = Some(snap);
-                self.log_record(&[WalOp::Begin], meta)?;
+                if let Err(fail) = self.log_record(&[WalOp::Begin], meta) {
+                    return Err(self.fail_logged(fail, || {
+                        *self.snapshot.lock() = None;
+                    }));
+                }
                 Ok(QueryResult::Ok)
             }
             Stmt::Commit => {
                 // The catalog read serializes the marker against
                 // snapshot_now (which holds the catalog write lock).
                 let _catalog = self.catalog.read();
-                *self.snapshot.lock() = None;
-                self.log_record(&[WalOp::Commit], meta)?;
+                let prev = self.snapshot.lock().take();
+                if let Err(fail) = self.log_record(&[WalOp::Commit], meta) {
+                    return Err(self.fail_logged(fail, || {
+                        *self.snapshot.lock() = prev;
+                    }));
+                }
                 Ok(QueryResult::Ok)
             }
             Stmt::Rollback => {
@@ -327,18 +428,23 @@ impl Engine {
                     return Err(EngineError::NoActiveTransaction);
                 };
                 let mut catalog = self.catalog.write();
-                catalog.clear();
-                for (k, t) in snap {
-                    catalog.insert(k, Arc::new(RwLock::new(t)));
+                let prev = std::mem::take(&mut *catalog);
+                for (k, t) in &snap {
+                    catalog.insert(k.clone(), Arc::new(RwLock::new(t.clone())));
                 }
-                self.log_record(&[WalOp::Rollback], meta)?;
+                if let Err(fail) = self.log_record(&[WalOp::Rollback], meta) {
+                    return Err(self.fail_logged(fail, || {
+                        *catalog = prev;
+                        *self.snapshot.lock() = Some(snap);
+                    }));
+                }
                 Ok(QueryResult::Ok)
             }
             // Annotation statements are proxy-side; the DBMS accepts and
             // ignores them (the proxy never forwards them in practice).
             Stmt::PrincType { .. } => {
                 if let Some(m) = meta {
-                    self.log_record(&[], Some(m))?;
+                    self.log_record(&[], Some(m)).map_err(LogError::into_err)?;
                 }
                 Ok(QueryResult::Ok)
             }
@@ -350,8 +456,16 @@ impl Engine {
         stmts: &[Stmt],
         meta: Option<&[u8]>,
     ) -> Result<QueryResult, EngineError> {
+        /// Inverse of one applied DDL op, replayed in reverse when the
+        /// batch's WAL record never reaches the log.
+        enum DdlUndo {
+            Created(String),
+            Dropped(String, Arc<RwLock<Table>>),
+            Indexed(String, String),
+        }
         let mut catalog = self.catalog.write();
         let mut ops: Vec<WalOp> = Vec::with_capacity(stmts.len());
+        let mut undos: Vec<DdlUndo> = Vec::with_capacity(stmts.len());
         let mut failure: Option<EngineError> = None;
         for stmt in stmts {
             match stmt {
@@ -370,22 +484,32 @@ impl Engine {
                         })
                         .collect();
                     catalog.insert(
-                        key,
+                        key.clone(),
                         Arc::new(RwLock::new(Table::new(&ct.name, columns.clone()))),
                     );
+                    undos.push(DdlUndo::Created(key));
                     ops.push(WalOp::CreateTable {
                         name: ct.name.clone(),
                         columns,
                     });
                 }
                 Stmt::CreateIndex { table, column } => {
-                    let Some(handle) = catalog.get(&table.to_lowercase()) else {
+                    let key = table.to_lowercase();
+                    let Some(handle) = catalog.get(&key) else {
                         failure = Some(EngineError::TableNotFound(table.clone()));
                         break;
                     };
-                    if let Err(e) = handle.write().create_index(column) {
+                    let mut guard = handle.write();
+                    let existed = guard
+                        .column_position(column)
+                        .is_some_and(|c| guard.has_index(c));
+                    if let Err(e) = guard.create_index(column) {
                         failure = Some(e);
                         break;
+                    }
+                    drop(guard);
+                    if !existed {
+                        undos.push(DdlUndo::Indexed(key, column.clone()));
                     }
                     ops.push(WalOp::CreateIndex {
                         table: table.clone(),
@@ -393,10 +517,12 @@ impl Engine {
                     });
                 }
                 Stmt::DropTable { name } => {
-                    if catalog.remove(&name.to_lowercase()).is_none() {
+                    let key = name.to_lowercase();
+                    let Some(dropped) = catalog.remove(&key) else {
                         failure = Some(EngineError::TableNotFound(name.clone()));
                         break;
-                    }
+                    };
+                    undos.push(DdlUndo::Dropped(key, dropped));
                     ops.push(WalOp::DropTable { name: name.clone() });
                 }
                 _ => {
@@ -415,7 +541,25 @@ impl Engine {
         } else {
             self.log_record(&ops, None)
         };
-        logged?;
+        if let Err(fail) = logged {
+            return Err(self.fail_logged(fail, || {
+                for undo in undos.into_iter().rev() {
+                    match undo {
+                        DdlUndo::Created(key) => {
+                            catalog.remove(&key);
+                        }
+                        DdlUndo::Dropped(key, table) => {
+                            catalog.insert(key, table);
+                        }
+                        DdlUndo::Indexed(key, column) => {
+                            if let Some(h) = catalog.get(&key) {
+                                h.write().drop_index(&column);
+                            }
+                        }
+                    }
+                }
+            }));
+        }
         if let Some(e) = failure {
             return Err(e);
         }
@@ -473,7 +617,19 @@ impl Engine {
         // Log exactly the rows applied — even when a later row errored —
         // so the log stays equal to memory; logged while the table write
         // lock is held so WAL order matches apply order.
-        self.log_record(&ops, meta)?;
+        if let Err(fail) = self.log_record(&ops, meta) {
+            return Err(self.fail_logged(fail, || {
+                // The applied rows come back out. The rowid allocator is
+                // not rewound: the log carries explicit rowids, so a gap
+                // is harmless, and rewinding could collide with rowids a
+                // later statement hands out.
+                for op in ops.iter().rev() {
+                    if let WalOp::InsertRow { rowid, .. } = op {
+                        table.delete(*rowid);
+                    }
+                }
+            }));
+        }
         if let Some(e) = failure {
             return Err(e);
         }
@@ -539,6 +695,7 @@ impl Engine {
         let rowids = self.matching_rowids(&table, &schema, upd.selection.as_ref(), &ctx)?;
         let mut count = 0;
         let mut ops: Vec<WalOp> = Vec::new();
+        let mut undo_cells: Vec<(u64, usize, Value)> = Vec::new();
         let mut failure: Option<EngineError> = None;
         'rows: for rowid in rowids {
             let row = table.row(rowid).expect("rowid from scan").clone();
@@ -553,6 +710,7 @@ impl Engine {
                 }
             }
             for (pos, v) in new_values {
+                undo_cells.push((rowid, pos, row[pos].clone()));
                 ops.push(WalOp::UpdateCell {
                     table: upd.table.clone(),
                     rowid,
@@ -563,7 +721,13 @@ impl Engine {
             }
             count += 1;
         }
-        self.log_record(&ops, meta)?;
+        if let Err(fail) = self.log_record(&ops, meta) {
+            return Err(self.fail_logged(fail, || {
+                for (rowid, pos, old) in undo_cells.into_iter().rev() {
+                    table.update_cell(rowid, pos, old);
+                }
+            }));
+        }
         if let Some(e) = failure {
             return Err(e);
         }
@@ -576,7 +740,7 @@ impl Engine {
         meta: Option<&[u8]>,
     ) -> Result<QueryResult, EngineError> {
         let Some(first) = stmts.first() else {
-            self.log_record(&[], meta)?;
+            self.log_record(&[], meta).map_err(LogError::into_err)?;
             return Ok(QueryResult::Affected(0));
         };
         if stmts
@@ -594,6 +758,7 @@ impl Engine {
         let schema = RowSchema::for_table(&table, Some(&first.table));
         let mut count = 0;
         let mut ops: Vec<WalOp> = Vec::new();
+        let mut undo_cells: Vec<(u64, usize, Value)> = Vec::new();
         let mut failure: Option<EngineError> = None;
         'stmts: for upd in stmts {
             let sets: Vec<(usize, &cryptdb_sqlparser::Expr)> = match upd
@@ -633,6 +798,7 @@ impl Engine {
                     }
                 }
                 for (pos, v) in new_values {
+                    undo_cells.push((rowid, pos, row[pos].clone()));
                     ops.push(WalOp::UpdateCell {
                         table: upd.table.clone(),
                         rowid,
@@ -651,7 +817,13 @@ impl Engine {
         } else {
             self.log_record(&ops, None)
         };
-        logged?;
+        if let Err(fail) = logged {
+            return Err(self.fail_logged(fail, || {
+                for (rowid, pos, old) in undo_cells.into_iter().rev() {
+                    table.update_cell(rowid, pos, old);
+                }
+            }));
+        }
         if let Some(e) = failure {
             return Err(e);
         }
@@ -667,16 +839,26 @@ impl Engine {
         let rowids = self.matching_rowids(&table, &schema, del.selection.as_ref(), &ctx)?;
         let mut count = 0;
         let mut ops: Vec<WalOp> = Vec::new();
+        let mut deleted: Vec<(u64, Vec<Value>)> = Vec::new();
         for rowid in rowids {
-            if table.delete(rowid) {
-                ops.push(WalOp::DeleteRow {
-                    table: del.table.clone(),
-                    rowid,
-                });
-                count += 1;
-            }
+            let Some(row) = table.row(rowid).cloned() else {
+                continue;
+            };
+            table.delete(rowid);
+            deleted.push((rowid, row));
+            ops.push(WalOp::DeleteRow {
+                table: del.table.clone(),
+                rowid,
+            });
+            count += 1;
         }
-        self.log_record(&ops, meta)?;
+        if let Err(fail) = self.log_record(&ops, meta) {
+            return Err(self.fail_logged(fail, || {
+                for (rowid, row) in deleted.into_iter().rev() {
+                    table.insert_with_rowid(rowid, row);
+                }
+            }));
+        }
         Ok(QueryResult::Affected(count))
     }
 
@@ -684,8 +866,9 @@ impl Engine {
 
     /// Appends one record (ops + optional meta) to the attached WAL.
     /// No-op without a WAL; must be called while still holding the lock
-    /// that serialized the ops.
-    fn log_record(&self, ops: &[WalOp], meta: Option<&[u8]>) -> Result<(), EngineError> {
+    /// that serialized the ops. A failure flips the engine into
+    /// degraded read-only mode; the next success flips it back.
+    fn log_record(&self, ops: &[WalOp], meta: Option<&[u8]>) -> Result<(), LogError> {
         if ops.is_empty() && meta.is_none() {
             return Ok(());
         }
@@ -694,11 +877,89 @@ impl Engine {
             return Ok(());
         };
         let payload = wal_store::encode_record(ops, meta);
-        state.wal.append(&payload)?;
-        if let Some(m) = meta {
-            state.last_meta = Some(m.to_vec());
+        match state.wal.append(&payload) {
+            Ok(_) => {
+                if let Some(m) = meta {
+                    state.last_meta = Some(m.to_vec());
+                }
+                // An append going through means the disk works again;
+                // leave degraded mode without any operator action.
+                self.degraded.store(false, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e @ WalError::Unsynced { .. }) => {
+                // The record is on disk (maybe durable): keep memory ==
+                // log and withhold only the acknowledgement, exactly as
+                // the single-file WAL's sync-kill path always behaved.
+                self.note_append_failure();
+                if let Some(m) = meta {
+                    state.last_meta = Some(m.to_vec());
+                }
+                Err(LogError::Durable(EngineError::Degraded(e.to_string())))
+            }
+            Err(e) => {
+                // Nothing reached the log: the caller undoes the
+                // in-memory effects so the statement had no effect at
+                // all.
+                self.note_append_failure();
+                Err(LogError::Clean(EngineError::Degraded(e.to_string())))
+            }
         }
-        Ok(())
+    }
+
+    fn note_append_failure(&self) {
+        self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Converts a failed [`Engine::log_record`] into the error to
+    /// surface, running `undo` only when the record never reached the
+    /// log — so memory equals log on both failure classes.
+    fn fail_logged(&self, fail: LogError, undo: impl FnOnce()) -> EngineError {
+        if matches!(fail, LogError::Clean(_)) {
+            undo();
+        }
+        fail.into_err()
+    }
+
+    /// True while the engine is shedding writes because WAL appends
+    /// fail. Reads are unaffected.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Durability counters plus the attached WAL's segment stats (all
+    /// zero without a WAL).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        let wal_stats = self
+            .wal
+            .lock()
+            .as_ref()
+            .map(|s| s.wal.stats())
+            .unwrap_or_default();
+        DurabilityStats {
+            degraded: self.degraded.load(Ordering::Relaxed),
+            wal_append_failures: self.wal_append_failures.load(Ordering::Relaxed),
+            degraded_entries: self.degraded_entries.load(Ordering::Relaxed),
+            snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
+            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
+            wal_segments: wal_stats.segments,
+            wal_disk_bytes: wal_stats.disk_bytes,
+            snapshot_epoch: wal_stats.snapshot_epoch,
+            last_seq: wal_stats.last_seq,
+        }
+    }
+
+    /// Raw counters of the attached WAL (all zero without one): segment
+    /// chain size, rotation and retention-deletion totals.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal
+            .lock()
+            .as_ref()
+            .map(|s| s.wal.stats())
+            .unwrap_or_default()
     }
 
     /// Attaches a WAL to a fresh engine. The directory must not hold an
@@ -811,8 +1072,10 @@ impl Engine {
     /// the current WAL watermark. Returns the epoch, or `None` when no
     /// WAL is attached or a transaction is open (a mid-transaction
     /// snapshot could strand a later `ROLLBACK` at replay; the next
-    /// attempt after `COMMIT`/`ROLLBACK` succeeds). The log is never
-    /// truncated — the snapshot is purely a replay accelerator.
+    /// attempt after `COMMIT`/`ROLLBACK` succeeds). Once the snapshot
+    /// is durable, WAL segments wholly below its epoch are deleted per
+    /// the configured retention, bounding the on-disk log and the
+    /// recovery replay.
     pub fn snapshot_now(&self) -> Result<Option<u64>, EngineError> {
         // The catalog write lock stops new statements from acquiring
         // table handles; taking every table's write lock then waits out
@@ -844,23 +1107,62 @@ impl Engine {
         Ok(Some(epoch))
     }
 
+    /// True when the configured `snapshot_every` interval has elapsed.
+    fn snapshot_due(&self) -> bool {
+        let guard = self.wal.lock();
+        match guard.as_ref() {
+            Some(s) => match s.snapshot_every {
+                Some(n) if n > 0 => s.wal.records_since_snapshot() >= n,
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
     /// Runs a snapshot when the configured `snapshot_every` interval has
-    /// elapsed. Called after every statement, outside its locks; errors
-    /// are swallowed (a failed snapshot costs replay time, not
-    /// correctness — the log is intact).
+    /// elapsed. Called after every statement, outside its locks. A
+    /// failure is counted, logged and backed off (retrying on every
+    /// following statement would hammer a sick disk); the background
+    /// cadence ([`Engine::autosnapshot_tick`]) retries regardless, so a
+    /// transient failure never silently stops snapshotting.
     fn maybe_autosnapshot(&self) {
-        let due = {
-            let guard = self.wal.lock();
-            match guard.as_ref() {
-                Some(s) => match s.snapshot_every {
-                    Some(n) if n > 0 => s.wal.records_since_snapshot() >= n,
-                    _ => false,
-                },
-                None => false,
+        if !self.snapshot_due() {
+            return;
+        }
+        let seq = self.wal_seq();
+        if seq < self.snapshot_retry_floor.load(Ordering::Relaxed) {
+            return;
+        }
+        self.run_due_snapshot(seq);
+    }
+
+    /// One tick of the background snapshot cadence: runs a snapshot if
+    /// the configured interval is due, ignoring the statement-path
+    /// retry backoff (this *is* the retry path). Returns whether a
+    /// snapshot was attempted. Failures are counted in
+    /// [`DurabilityStats::snapshot_failures`], never swallowed.
+    pub fn autosnapshot_tick(&self) -> bool {
+        if !self.snapshot_due() {
+            return false;
+        }
+        self.run_due_snapshot(self.wal_seq());
+        true
+    }
+
+    fn run_due_snapshot(&self, seq: u64) {
+        match self.snapshot_now() {
+            Ok(Some(_)) => {
+                self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
             }
-        };
-        if due {
-            let _ = self.snapshot_now();
+            // A transaction is open: not a failure, the next attempt
+            // after COMMIT/ROLLBACK takes it.
+            Ok(None) => {}
+            Err(e) => {
+                let n = self.snapshot_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                self.snapshot_retry_floor
+                    .store(seq + SNAPSHOT_RETRY_BACKOFF, Ordering::Relaxed);
+                eprintln!("cryptdb-engine: auto-snapshot failed ({n} failures total): {e}");
+            }
         }
     }
 

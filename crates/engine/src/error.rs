@@ -21,6 +21,11 @@ pub enum EngineError {
     /// Write-ahead-log failure (I/O, injected fault, or a record the
     /// replay codec cannot decode).
     Wal(String),
+    /// The engine could not log this write (disk full or I/O error) and
+    /// is in degraded read-only mode: the statement had no effect, reads
+    /// keep serving, and writes are accepted again automatically once
+    /// log appends succeed.
+    Degraded(String),
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +44,7 @@ impl fmt::Display for EngineError {
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::NoActiveTransaction => write!(f, "no active transaction"),
             EngineError::Wal(m) => write!(f, "wal: {m}"),
+            EngineError::Degraded(m) => write!(f, "degraded: {m}"),
         }
     }
 }

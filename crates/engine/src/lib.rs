@@ -33,7 +33,7 @@ mod udf;
 mod value;
 mod wal_store;
 
-pub use engine::{Engine, EngineRecovery, QueryResult};
+pub use engine::{DurabilityStats, Engine, EngineRecovery, QueryResult};
 pub use error::EngineError;
 pub use table::{ColumnMeta, Table};
 pub use udf::{AggregateUdf, ScalarUdf, UdfRegistry};
@@ -41,4 +41,4 @@ pub use value::Value;
 pub use wal_store::WalOp;
 // Durability configuration types, re-exported so callers configure
 // persistence without depending on cryptdb-wal directly.
-pub use cryptdb_wal::{FaultPlan, FsyncPolicy, RecoveryReport, TailState, WalConfig};
+pub use cryptdb_wal::{FaultPlan, FsyncPolicy, RecoveryReport, TailState, WalConfig, WalStats};

@@ -182,6 +182,14 @@ impl Table {
         self.indexes.contains_key(&col)
     }
 
+    /// Removes the index on a column, if any (the undo path for a
+    /// `CREATE INDEX` whose WAL record never reached the log).
+    pub fn drop_index(&mut self, column: &str) {
+        if let Some(col) = self.column_position(column) {
+            self.indexes.remove(&col);
+        }
+    }
+
     /// Rowids with `row[col] == value`, via the index.
     pub fn index_lookup(&self, col: usize, value: &Value) -> Option<Vec<u64>> {
         let index = self.indexes.get(&col)?;

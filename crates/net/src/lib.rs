@@ -21,7 +21,11 @@
 //!   connections over the cap are refused with `FATAL` SQLSTATE `53300`;
 //!   statements over the global in-flight budget draw `ERROR` `53400`
 //!   in pipeline order; statements whose queue-wait deadline expires
-//!   draw `ERROR` `57014`; handshakes and (optionally) idle sessions
+//!   draw `ERROR` `57014`; write statements arriving while the engine
+//!   is in degraded read-only mode (the WAL cannot accept appends — disk
+//!   full or I/O error) draw `ERROR` `53100` without consuming in-flight
+//!   budget, while reads keep serving and periodic probe writes detect
+//!   recovery; handshakes and (optionally) idle sessions
 //!   time out under the readiness loop; slow consumers — clients not
 //!   draining their socket while responses pile up — are evicted after
 //!   a grace period. Everything else is backpressure: a connection at
@@ -104,6 +108,18 @@ pub struct NetStats {
     pub handshake_timeouts: usize,
     /// Connections closed by the idle deadline (SQLSTATE 57P05).
     pub idle_timeouts: usize,
+    /// Whether the engine is currently in degraded read-only mode (the
+    /// WAL cannot accept appends; writes are shed with SQLSTATE 53100).
+    pub degraded: bool,
+    /// Write statements shed while degraded (SQLSTATE 53100). Probe
+    /// writes let through to test recovery are not counted here.
+    pub shed_writes: usize,
+    /// WAL append attempts that failed (each one flips or keeps the
+    /// engine in degraded mode until an append succeeds).
+    pub wal_append_failures: u64,
+    /// Automatic snapshot attempts that failed (retried on a backoff;
+    /// durability of acknowledged statements is unaffected).
+    pub snapshot_failures: u64,
 }
 
 /// Outcome of a graceful [`NetServer::drain`].
@@ -138,6 +154,10 @@ pub struct NetServer {
     inboxes: Vec<Arc<mux::Inbox>>,
     acceptor: Option<JoinHandle<()>>,
     mux_threads: Vec<JoinHandle<()>>,
+    /// Background housekeeping thread: drives snapshot retries while the
+    /// statement path is quiet (a degraded engine that stopped seeing
+    /// writes would otherwise never retry its overdue snapshot).
+    janitor: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
@@ -184,6 +204,19 @@ impl NetServer {
             let accept_closed = accept_closed.clone();
             std::thread::spawn(move || accept_loop(listener, shared, inboxes, accept_closed))
         };
+        let janitor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                let mut ticks: u64 = 0;
+                while !shared.shutdown.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(25));
+                    ticks += 1;
+                    if ticks.is_multiple_of(10) {
+                        let _ = shared.proxy.engine().autosnapshot_tick();
+                    }
+                }
+            })
+        };
         Ok(NetServer {
             proxy,
             addr,
@@ -192,6 +225,7 @@ impl NetServer {
             inboxes,
             acceptor: Some(acceptor),
             mux_threads,
+            janitor: Some(janitor),
         })
     }
 
@@ -235,6 +269,7 @@ impl NetServer {
     /// Current serving-edge statistics.
     pub fn stats(&self) -> NetStats {
         let c = &self.shared.counters;
+        let durability = self.proxy.engine().durability_stats();
         NetStats {
             live_connections: c.live.load(Ordering::Acquire),
             inflight_statements: self.shared.inflight.load(Ordering::Acquire),
@@ -243,6 +278,10 @@ impl NetServer {
             evicted_slow_consumers: c.evicted_slow_consumers.load(Ordering::Relaxed),
             handshake_timeouts: c.handshake_timeouts.load(Ordering::Relaxed),
             idle_timeouts: c.idle_timeouts.load(Ordering::Relaxed),
+            degraded: durability.degraded,
+            shed_writes: c.shed_writes.load(Ordering::Relaxed),
+            wal_append_failures: durability.wal_append_failures,
+            snapshot_failures: durability.snapshot_failures,
         }
     }
 
@@ -292,6 +331,9 @@ impl NetServer {
         for h in self.mux_threads.drain(..) {
             let _ = h.join();
         }
+        if let Some(h) = self.janitor.take() {
+            let _ = h.join();
+        }
         let wal_synced = self.proxy.engine().wal_sync().is_ok();
         DrainReport {
             drained_connections: self.shared.counters.drained.load(Ordering::Relaxed),
@@ -308,6 +350,9 @@ impl Drop for NetServer {
         self.shared.shutdown.store(true, Ordering::Release);
         self.wake_all();
         for h in self.mux_threads.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.janitor.take() {
             let _ = h.join();
         }
         // Connections handed off after their mux thread exited (the
@@ -414,6 +459,7 @@ fn sqlstate(e: &ProxyError) -> &'static str {
         ProxyError::KeyUnavailable(_) => "28000",  // invalid_authorization_specification
         ProxyError::Canceled(_) => "57014",        // query_canceled (statement timeout)
         ProxyError::Overloaded(_) => "53400",      // configuration_limit_exceeded
+        ProxyError::Degraded(_) => "53100",        // disk_full (degraded read-only mode)
         ProxyError::Crypto(_) | ProxyError::Engine(_) => "XX000", // internal_error
     }
 }

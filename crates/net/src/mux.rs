@@ -35,6 +35,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// While the engine is degraded, one write in every
+/// `DEGRADED_PROBE_EVERY` is let through as a recovery probe instead of
+/// being shed; the rest draw SQLSTATE `53100` without touching the
+/// in-flight budget. A successful probe clears the degraded flag and
+/// normal service resumes — no restart, no operator action.
+const DEGRADED_PROBE_EVERY: usize = 4;
+
 /// Wakeable park spot for one multiplexer thread. `wake` is called by
 /// responders finishing statements (egress now has bytes) and by the
 /// acceptor handing over a new connection; a wake that races a park
@@ -158,6 +165,11 @@ pub(crate) struct Counters {
     pub(crate) handshake_timeouts: AtomicUsize,
     pub(crate) idle_timeouts: AtomicUsize,
     pub(crate) rejected_statements: AtomicUsize,
+    /// Write statements seen while the engine was degraded (shed + the
+    /// probes let through); drives the probe cadence.
+    pub(crate) degraded_writes: AtomicUsize,
+    /// Write statements actually shed with SQLSTATE 53100.
+    pub(crate) shed_writes: AtomicUsize,
     pub(crate) drained: AtomicUsize,
     pub(crate) aborted: AtomicUsize,
 }
@@ -574,6 +586,34 @@ impl Conn {
         let Some(session) = &self.session else { return };
         let verb = command_verb(&sql);
         let egress = self.egress.clone();
+        // Degraded read-only mode: the WAL cannot accept appends, so
+        // every write is doomed to fail inside the engine anyway. Shed
+        // them here — before they consume in-flight budget or a crypto
+        // worker — with SQLSTATE 53100, but let every
+        // `DEGRADED_PROBE_EVERY`-th one through as a probe: a probe that
+        // reaches a recovered disk succeeds, the engine clears its
+        // degraded flag, and shedding stops without any restart. Reads
+        // (SELECT) always pass.
+        let is_write = !verb.eq_ignore_ascii_case("SELECT");
+        if is_write && shared.proxy.engine().is_degraded() {
+            let n = shared
+                .counters
+                .degraded_writes
+                .fetch_add(1, Ordering::Relaxed);
+            if !n.is_multiple_of(DEGRADED_PROBE_EVERY) {
+                shared.counters.shed_writes.fetch_add(1, Ordering::Relaxed);
+                session.submit_reject(
+                    ProxyError::Degraded(
+                        "wal unavailable (disk full or I/O error); writes are shed, reads still serve"
+                            .into(),
+                    ),
+                    move |result, _service_ns| {
+                        egress.push(respond_frames(&verb, result));
+                    },
+                );
+                return;
+            }
+        }
         match InflightGuard::try_acquire(shared) {
             Some(guard) => {
                 let deadline = shared.limits.statement_deadline.map(|d| Instant::now() + d);

@@ -52,8 +52,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Durable-serving configuration: the directory holding the ciphertext
-/// WAL (`wal.log`) and snapshots (`snapshot.bin`), plus the WAL knobs
-/// (fsync policy, auto-snapshot interval, fault injection for tests).
+/// WAL segments (`wal-<first_seq>.log`) and snapshots (`snapshot.bin`),
+/// plus the WAL knobs (fsync policy, segment/rotation bounds,
+/// snapshot-anchored retention, auto-snapshot interval, fault injection
+/// for tests).
 #[derive(Clone, Debug)]
 pub struct PersistConfig {
     /// Directory for the log and snapshot files (created if missing).

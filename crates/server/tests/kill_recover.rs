@@ -238,6 +238,7 @@ fn randomized_kill_points_recover_to_acked_prefix() {
             // Every other point also exercises snapshot + suffix replay.
             snapshot_every: if point % 2 == 1 { Some(32) } else { None },
             fault: Some(FaultPlan::kill_at(offset)),
+            ..WalConfig::default()
         };
         let out = drive(&dir, wal, &stmts);
         fired += usize::from(out.killed_at.is_some());
@@ -292,6 +293,7 @@ fn sync_kill_leaves_consistent_durable_but_unacked_state() {
             fsync: FsyncPolicy::Always,
             snapshot_every: None,
             fault: Some(FaultPlan::kill_sync_after(n)),
+            ..WalConfig::default()
         };
         let out = drive(&dir, wal, &stmts);
         let killed = out
@@ -341,6 +343,7 @@ fn silent_bit_flips_are_detected_and_recovery_lands_on_valid_prefix() {
             fsync: FsyncPolicy::Always,
             snapshot_every: if point % 2 == 1 { Some(48) } else { None },
             fault: Some(FaultPlan::flip_bit(offset, bit)),
+            ..WalConfig::default()
         };
         let out = drive(&dir, wal, &stmts);
         assert!(
@@ -459,6 +462,7 @@ fn seal_column_is_crash_atomic_across_kill_points() {
             fsync: FsyncPolicy::Always,
             snapshot_every: None,
             fault: Some(FaultPlan::kill_at(offset)),
+            ..WalConfig::default()
         };
         {
             let (proxy, _) = Proxy::open_persistent(&dir, MK, seal_cfg(), wal).unwrap();
@@ -509,6 +513,256 @@ fn seal_column_is_crash_atomic_across_kill_points() {
         fired_in_seal >= 4,
         "only {fired_in_seal}/8 kills fired inside the seal; offsets are mis-sized"
     );
+}
+
+/// A deterministic single-table write trace for the disk-fault tests:
+/// one CREATE plus `n` plaintext inserts (every record still flows
+/// through the ciphertext WAL; plaintext just keeps sizes stable).
+fn disk_trace(n: usize) -> Vec<String> {
+    let mut out = vec!["CREATE TABLE kv (id int, v int)".to_string()];
+    for i in 0..n {
+        out.push(format!("INSERT INTO kv (id, v) VALUES ({i}, {})", i * 7));
+    }
+    out
+}
+
+/// Outcome of driving a trace *through* transient disk faults: unlike
+/// [`drive`], injected failures do not stop the run — the trace keeps
+/// going so the test can observe degradation and self-restoration.
+struct ThroughOutcome {
+    /// Statements acknowledged (Ok) in order.
+    acked: usize,
+    /// Statements refused with an injected-fault ("failpoint") error.
+    failed: usize,
+    /// Canonical dump of the *live* proxy after the whole trace.
+    live_dump: String,
+    /// Engine degraded-mode entries observed over the run.
+    degraded_entries: u64,
+    /// Whether the engine was still degraded when the run ended.
+    end_degraded: bool,
+}
+
+fn drive_through(dir: &Path, wal: WalConfig, stmts: &[String]) -> ThroughOutcome {
+    let (proxy, _) = Proxy::open_persistent(dir, MK, cfg(), wal).unwrap();
+    let mut acked = 0usize;
+    let mut failed = 0usize;
+    for (i, stmt) in stmts.iter().enumerate() {
+        match proxy.execute(stmt) {
+            Ok(_) => acked += 1,
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("failpoint"),
+                    "statement {i} failed for a non-injected reason: {msg}\n  {stmt}"
+                );
+                failed += 1;
+            }
+        }
+    }
+    let stats = proxy.engine().durability_stats();
+    ThroughOutcome {
+        acked,
+        failed,
+        live_dump: canonical_dump(&proxy).unwrap(),
+        degraded_entries: stats.degraded_entries,
+        end_degraded: stats.degraded,
+    }
+}
+
+#[test]
+fn enospc_mid_trace_degrades_then_self_restores_losing_nothing() {
+    let stmts = disk_trace(120);
+    let dir = tmpdir("enospc");
+    let wal = WalConfig {
+        fsync: FsyncPolicy::Always,
+        snapshot_every: None,
+        // The disk "fills" a third of the way in and frees up after
+        // three rejected appends (a log rotation or operator cleanup).
+        fault: Some(FaultPlan::enospc_clearing(2048, 3)),
+        ..WalConfig::default()
+    };
+    let out = drive_through(&dir, wal, &stmts);
+    assert!(out.failed >= 1, "the ENOSPC window never fired");
+    assert!(
+        out.acked >= stmts.len() - out.failed,
+        "statements outside the ENOSPC window must succeed"
+    );
+    assert!(
+        out.degraded_entries >= 1,
+        "the engine never entered degraded mode"
+    );
+    assert!(
+        !out.end_degraded,
+        "the engine must leave degraded mode once appends succeed again"
+    );
+    // Zero acknowledged statements lost, zero refused statements
+    // half-applied: the recovered state is exactly the live state.
+    let (dump, report) = recover_dump(&dir);
+    assert!(!report.corruption_detected);
+    assert_eq!(report.tail, TailState::Clean);
+    assert_eq!(
+        dump, out.live_dump,
+        "recovery diverged from the live state across an ENOSPC window"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_append_eio_refuses_cleanly_and_recovers() {
+    let stmts = disk_trace(80);
+    let dir = tmpdir("eio-append");
+    let wal = WalConfig {
+        fsync: FsyncPolicy::Always,
+        snapshot_every: None,
+        // Appends 20..23 fail with a transient I/O error.
+        fault: Some(FaultPlan::eio_on_appends(20, 3)),
+        ..WalConfig::default()
+    };
+    let out = drive_through(&dir, wal, &stmts);
+    assert_eq!(out.failed, 3, "exactly the EIO window must fail");
+    assert_eq!(out.acked, stmts.len() - 3);
+    assert!(!out.end_degraded);
+    let (dump, report) = recover_dump(&dir);
+    assert!(!report.corruption_detected);
+    // A clean append failure consumes no sequence number, so the
+    // surviving log replays gaplessly to the live state.
+    assert_eq!(dump, out.live_dump);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_fsync_eio_withholds_acks_but_stays_consistent() {
+    let stmts = disk_trace(80);
+    let dir = tmpdir("eio-sync");
+    let wal = WalConfig {
+        fsync: FsyncPolicy::Always,
+        snapshot_every: None,
+        fault: Some(FaultPlan::eio_on_syncs(30, 2)),
+        ..WalConfig::default()
+    };
+    let out = drive_through(&dir, wal, &stmts);
+    assert_eq!(out.failed, 2, "exactly the fsync-EIO window must fail");
+    // Written-but-unsynced records keep their effect in memory (the log
+    // and memory agree; only durability was in doubt), so with no crash
+    // the recovered state still equals the live state.
+    let (dump, report) = recover_dump(&dir);
+    assert!(!report.corruption_detected);
+    assert_eq!(dump, out.live_dump);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_rotation_recovers_the_acked_prefix() {
+    let stmts = trace();
+    let dir = tmpdir("rotate-crash");
+    let wal = WalConfig {
+        fsync: FsyncPolicy::Always,
+        snapshot_every: None,
+        segment_bytes: 8 * 1024,
+        // Die during the third segment rotation, after the old segment
+        // is sealed but before any record lands in the new one.
+        fault: Some(FaultPlan::kill_at_rotation(3)),
+        ..WalConfig::default()
+    };
+    let out = drive(&dir, wal, &stmts);
+    assert!(out.killed_at.is_some(), "the rotation kill never fired");
+    let (dump, report) = recover_dump(&dir);
+    assert!(!report.corruption_detected);
+    assert!(
+        report.segments >= 3,
+        "the sealed chain must survive the crash"
+    );
+    let prefix = covered_prefix(&out.seqs, &report);
+    assert_eq!(
+        prefix,
+        out.seqs.len(),
+        "an acknowledged statement was lost across the rotation crash"
+    );
+    let mut oracle = Oracle::new(&stmts);
+    assert_eq!(dump, oracle.dump_at(prefix));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_retention_delete_recovers_the_acked_prefix() {
+    let stmts = trace();
+    let dir = tmpdir("retention-crash");
+    let wal = WalConfig {
+        fsync: FsyncPolicy::Always,
+        snapshot_every: Some(16),
+        segment_bytes: 8 * 1024,
+        keep_segments: Some(0),
+        // Die on the first retention delete, right after a snapshot
+        // committed: the chain is mid-prune, possibly with a gap ahead
+        // of the epoch.
+        fault: Some(FaultPlan::kill_at_retention(1)),
+        ..WalConfig::default()
+    };
+    let out = drive(&dir, wal, &stmts);
+    assert!(out.killed_at.is_some(), "the retention kill never fired");
+    let (dump, report) = recover_dump(&dir);
+    assert!(!report.corruption_detected);
+    assert!(
+        report.snapshot_epoch.is_some(),
+        "retention only runs after a committed snapshot"
+    );
+    let prefix = covered_prefix(&out.seqs, &report);
+    assert_eq!(
+        prefix,
+        out.seqs.len(),
+        "an acknowledged statement was lost across the retention crash"
+    );
+    let mut oracle = Oracle::new(&stmts);
+    assert_eq!(dump, oracle.dump_at(prefix));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_suffix_recovery_equals_full_chain_replay() {
+    let stmts = trace();
+    let dir = tmpdir("equiv");
+    let wal = WalConfig {
+        fsync: FsyncPolicy::Always,
+        snapshot_every: Some(24),
+        segment_bytes: 16 * 1024,
+        // Retain the whole chain so the full-replay control run below
+        // has every segment back to seq 1.
+        keep_segments: None,
+        ..WalConfig::default()
+    };
+    let out = drive(&dir, wal, &stmts);
+    assert!(out.killed_at.is_none());
+
+    // Normal recovery: snapshot + the post-epoch segment suffix.
+    let (dump_suffix, report) = recover_dump(&dir);
+    assert!(!report.corruption_detected);
+    assert!(
+        report.snapshot_epoch.is_some(),
+        "the trace must have snapshotted"
+    );
+    assert!(report.segments > 1, "the trace must have rotated");
+
+    // Control: the same directory minus the snapshot forces a full
+    // replay of every segment from seq 1. Both recoveries must land on
+    // byte-identical canonical state.
+    let full_dir = tmpdir("equiv-full");
+    fs::create_dir_all(&full_dir).unwrap();
+    for entry in fs::read_dir(&dir).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_name().to_string_lossy() == "snapshot.bin" {
+            continue;
+        }
+        fs::copy(entry.path(), full_dir.join(entry.file_name())).unwrap();
+    }
+    let (dump_full, report_full) = recover_dump(&full_dir);
+    assert!(!report_full.corruption_detected);
+    assert!(report_full.snapshot_epoch.is_none());
+    assert_eq!(
+        dump_suffix, dump_full,
+        "snapshot + suffix recovery diverged from full-chain replay"
+    );
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&full_dir);
 }
 
 #[test]

@@ -109,6 +109,86 @@ proptest! {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// The segmented-log equivalence invariant: for ANY record stream,
+    /// rotation bound, and snapshot position — including snapshots that
+    /// land exactly on a rotation boundary — recovering from
+    /// (snapshot + post-epoch suffix) reconstructs exactly the same
+    /// record sequence as a full-chain replay of the same directory
+    /// with the snapshot deleted.
+    #[test]
+    fn snapshot_suffix_equals_full_chain_replay_across_rotations(
+        payloads in vec(vec(any::<u8>(), 0..40), 4..24),
+        seg_records in 1u64..5,
+        snap_frac in 0u64..=1000,
+        case in any::<u64>(),
+    ) {
+        let dir = tmpdir("seg", case);
+        let cfg = WalConfig {
+            segment_records: seg_records,
+            // Retain the full chain so the control replay below has
+            // every segment back to seq 1.
+            keep_segments: None,
+            ..WalConfig::default()
+        };
+        let snap_at = payloads.len() as u64 * snap_frac / 1000;
+        {
+            let (wal, _) = Wal::open(&dir, &cfg).unwrap();
+            for (i, p) in payloads.iter().enumerate() {
+                wal.append(p).unwrap();
+                if i as u64 + 1 == snap_at {
+                    wal.write_snapshot(b"engine-state-at-epoch").unwrap();
+                }
+            }
+        }
+
+        let rec = recover(&dir);
+        prop_assert_eq!(rec.report.tail, TailState::Clean);
+        prop_assert!(!rec.report.corruption_detected);
+        if payloads.len() as u64 > seg_records {
+            prop_assert!(rec.report.segments > 1, "the record bound must rotate");
+        }
+        let epoch = rec.snapshot.as_ref().map_or(0, |s| s.epoch);
+        prop_assert_eq!(epoch, snap_at);
+        // The caller-visible suffix: records past the snapshot epoch.
+        let suffix: Vec<(u64, Vec<u8>)> = rec
+            .records
+            .iter()
+            .filter(|(s, _)| *s > epoch)
+            .cloned()
+            .collect();
+
+        // Control: the same chain with the snapshot deleted replays in
+        // full from seq 1.
+        let full_dir = tmpdir("seg-full", case);
+        fs::create_dir_all(&full_dir).unwrap();
+        for entry in fs::read_dir(&dir).unwrap() {
+            let entry = entry.unwrap();
+            if entry.file_name().to_string_lossy() == "snapshot.bin" {
+                continue;
+            }
+            fs::copy(entry.path(), full_dir.join(entry.file_name())).unwrap();
+        }
+        let full = recover(&full_dir);
+        prop_assert!(full.snapshot.is_none());
+        prop_assert_eq!(full.records.len(), payloads.len());
+        for (i, (seq, payload)) in full.records.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u64 + 1);
+            prop_assert_eq!(payload, &payloads[i]);
+        }
+        // Full-chain prefix up to the epoch + the snapshot run's suffix
+        // must reassemble the full record sequence byte-for-byte.
+        let reconstructed: Vec<(u64, Vec<u8>)> = full
+            .records
+            .iter()
+            .filter(|(s, _)| *s <= epoch)
+            .cloned()
+            .chain(suffix)
+            .collect();
+        prop_assert_eq!(reconstructed, full.records);
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&full_dir);
+    }
+
     #[test]
     fn recovered_log_keeps_accepting_appends(
         payloads in vec(vec(any::<u8>(), 0..24), 1..8),
