@@ -428,6 +428,16 @@ impl Engine {
                     return Err(EngineError::NoActiveTransaction);
                 };
                 let mut catalog = self.catalog.write();
+                if !self.has_wal() {
+                    // `log_record` cannot fail without a WAL, so no undo
+                    // copy is needed: move the snapshot tables into the
+                    // catalog instead of deep-cloning every one.
+                    *catalog = snap
+                        .into_iter()
+                        .map(|(k, t)| (k, Arc::new(RwLock::new(t))))
+                        .collect();
+                    return Ok(QueryResult::Ok);
+                }
                 let prev = std::mem::take(&mut *catalog);
                 for (k, t) in &snap {
                     catalog.insert(k.clone(), Arc::new(RwLock::new(t.clone())));

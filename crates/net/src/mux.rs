@@ -593,8 +593,17 @@ impl Conn {
         // `DEGRADED_PROBE_EVERY`-th one through as a probe: a probe that
         // reaches a recovered disk succeeds, the engine clears its
         // degraded flag, and shedding stops without any restart. Reads
-        // (SELECT) always pass.
-        let is_write = !verb.eq_ignore_ascii_case("SELECT");
+        // (SELECT) always pass, and so do transaction-control verbs:
+        // a session with an open transaction must be able to ROLLBACK
+        // while degraded, and shedding COMMIT before the engine sees it
+        // would leave the transaction's state ambiguous to the client —
+        // they go through unconditionally (acting as extra probes) and
+        // the engine answers deterministically, 53100 with the
+        // transaction intact if the disk is still down.
+        let is_write = !(verb.eq_ignore_ascii_case("SELECT")
+            || verb.eq_ignore_ascii_case("BEGIN")
+            || verb.eq_ignore_ascii_case("COMMIT")
+            || verb.eq_ignore_ascii_case("ROLLBACK"));
         if is_write && shared.proxy.engine().is_degraded() {
             let n = shared
                 .counters

@@ -490,3 +490,107 @@ fn drain_during_flood_loses_no_acknowledged_statement() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn rollback_is_never_shed_while_degraded() {
+    // A session holding an open transaction when the disk fails must be
+    // able to ROLLBACK while the engine is degraded: transaction-control
+    // verbs bypass the probe-every-4 shedding and always reach the
+    // engine, which answers deterministically (53100 with the
+    // transaction intact while appends still fail, ROLLBACK once they
+    // succeed). A transient-EIO window is used rather than ENOSPC
+    // because it fails appends regardless of record size (a tiny
+    // ROLLBACK record could squeeze into an almost-full disk).
+    let dir = std::env::temp_dir().join(format!("cryptdb-net-txshed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let proxy_cfg = ProxyConfig {
+        paillier_bits: 256,
+        ..Default::default()
+    };
+    // Proxy startup appends internal records (key tables etc.), so the
+    // attempt number of the first in-transaction INSERT is measured on
+    // a fault-free twin run rather than hardcoded.
+    let setup_appends = {
+        let probe_dir = dir.join("probe");
+        let (proxy, _) = cryptdb_server::open_persistent(
+            &cryptdb_server::PersistConfig::new(&probe_dir),
+            [7u8; 32],
+            proxy_cfg.clone(),
+        )
+        .unwrap();
+        proxy.execute("CREATE TABLE txq (id int)").unwrap();
+        proxy.execute("BEGIN").unwrap();
+        let n = proxy.engine().wal_seq();
+        drop(proxy);
+        let _ = std::fs::remove_dir_all(&probe_dir);
+        n
+    };
+    let persist = cryptdb_server::PersistConfig {
+        dir: dir.clone(),
+        wal: cryptdb_engine::WalConfig {
+            snapshot_every: None,
+            // The window fails the in-transaction INSERT, the probe
+            // INSERT and the first ROLLBACK; the append after it (the
+            // second ROLLBACK) succeeds.
+            fault: Some(cryptdb_engine::FaultPlan::eio_on_appends(
+                setup_appends + 1,
+                3,
+            )),
+            ..cryptdb_engine::WalConfig::default()
+        },
+    };
+    let (server, _) = NetServer::spawn_persistent_with(
+        &persist,
+        [7u8; 32],
+        proxy_cfg,
+        "127.0.0.1:0",
+        NetLimits::default(),
+    )
+    .unwrap();
+    let mut c = NetClient::connect(server.local_addr(), "tx", "").unwrap();
+    c.simple_query("CREATE TABLE txq (id int)").unwrap();
+    c.simple_query("BEGIN").unwrap();
+    // The disk starts failing inside the transaction: append failure #1
+    // flips the engine into degraded read-only mode.
+    match c.simple_query("INSERT INTO txq (id) VALUES (1)") {
+        Err(WireError::Server { code, .. }) if code == "53100" => {}
+        other => panic!("expected 53100 from the injected EIO, got {other:?}"),
+    }
+    // Degraded write #1 is the probe (append failure #2), #2 is shed at
+    // the edge without reaching the WAL.
+    for _ in 0..2 {
+        match c.simple_query("INSERT INTO txq (id) VALUES (2)") {
+            Err(WireError::Server { code, .. }) if code == "53100" => {}
+            other => panic!("expected 53100 while degraded, got {other:?}"),
+        }
+    }
+    // ROLLBACK passes through unconditionally. The first one draws the
+    // window's last EIO and leaves the transaction intact; the second
+    // appends successfully, closes the transaction and ends degraded
+    // mode — were it shed like a plain write, it could not have reached
+    // the engine here.
+    match c.simple_query("ROLLBACK") {
+        Err(WireError::Server { code, .. }) if code == "53100" => {}
+        other => panic!("expected deterministic 53100 from the engine, got {other:?}"),
+    }
+    c.simple_query("ROLLBACK")
+        .expect("ROLLBACK must reach the engine and succeed once appends do");
+    let stats = server.stats();
+    assert!(
+        !stats.degraded,
+        "the successful ROLLBACK append restores service"
+    );
+    assert_eq!(
+        stats.shed_writes, 1,
+        "only the one plain INSERT may be shed at the edge"
+    );
+    // The transaction really rolled back, and writes work again.
+    let r = c.simple_query("SELECT COUNT(id) FROM txq").unwrap();
+    assert_eq!(r.rows, vec![vec![Some("0".into())]]);
+    c.simple_query("INSERT INTO txq (id) VALUES (1)").unwrap();
+    let r = c.simple_query("SELECT COUNT(id) FROM txq").unwrap();
+    assert_eq!(r.rows, vec![vec![Some("1".into())]]);
+    c.terminate().unwrap();
+    assert!(server.drain(Duration::from_secs(10)).wal_synced);
+    let _ = std::fs::remove_dir_all(&dir);
+}

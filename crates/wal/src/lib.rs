@@ -581,6 +581,11 @@ struct Inner {
     faults: Option<Faults>,
     rotations: u64,
     segments_deleted: u64,
+    /// Set when a failed append left bytes on disk past `active_len`
+    /// and the repair (truncate back to `active_len`) itself failed:
+    /// further appends would land after garbage, so they are refused
+    /// until the process restarts and recovery truncates the tail.
+    poisoned: bool,
 }
 
 /// The append-only record log. Thread-safe; appends are serialized by an
@@ -662,7 +667,8 @@ impl Wal {
         let mut bytes_discarded = 0u64;
         let mut tail = TailState::Clean;
         let mut sealed: Vec<SealedSeg> = Vec::new();
-        let (active_first, active_path, active_valid_len, active_records, segments);
+        let (mut active_first, mut active_path, mut active_valid_len, mut active_records);
+        let mut segments;
 
         if segs.is_empty() {
             // Fresh log: the next record is snapshot_epoch + 1, so the
@@ -741,6 +747,38 @@ impl Wal {
             segments = (chain_end + 1) as u64;
         }
 
+        // A durable snapshot can cover sequences the chain no longer
+        // physically holds: a crash may lose an unsynced tail
+        // (`EveryN`/`Never` fsync policy, a torn write, a CRC-cut
+        // record) that the snapshot had already captured. Appending
+        // into the surviving segment would place seq `epoch + 1` at a
+        // position where the name-based contiguity invariant (record
+        // `i` of segment `f` carries seq `f + i`) cannot hold, so the
+        // NEXT recovery would classify the chain as corrupt there and
+        // discard acknowledged records. Every surviving record is
+        // `<= epoch` and therefore redundant with the snapshot: drop
+        // the chain and re-anchor a fresh active segment at
+        // `epoch + 1`. (A crash mid-deletion leaves either a shorter
+        // chain — re-anchored again next open — or no segments, which
+        // takes the fresh-log path above.)
+        let physical_last = records
+            .last()
+            .map(|(s, _)| *s)
+            .unwrap_or(active_first.saturating_sub(1));
+        let reanchored = snapshot_epoch > physical_last;
+        if reanchored {
+            for seg in sealed.drain(..) {
+                fs::remove_file(segment_path(dir, seg.first_seq))?;
+            }
+            fs::remove_file(&active_path)?;
+            sync_dir(dir);
+            active_first = snapshot_epoch + 1;
+            active_path = segment_path(dir, active_first);
+            active_valid_len = 0;
+            active_records = 0;
+            segments = 1;
+        }
+
         let file = OpenOptions::new()
             .create(true)
             .read(true)
@@ -750,6 +788,9 @@ impl Wal {
         file.set_len(active_valid_len)?;
         let mut file = file;
         file.seek(SeekFrom::Start(active_valid_len))?;
+        if reanchored {
+            sync_dir(dir);
+        }
 
         let last_seq = records
             .last()
@@ -785,6 +826,7 @@ impl Wal {
                 faults,
                 rotations: 0,
                 segments_deleted: 0,
+                poisoned: false,
             }),
         };
         Ok((
@@ -805,6 +847,11 @@ impl Wal {
     pub fn append(&self, payload: &[u8]) -> Result<u64, WalError> {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
+        if inner.poisoned {
+            return Err(WalError::Io(io::Error::other(
+                "wal poisoned: could not restore the active segment after a partial append",
+            )));
+        }
         let seq = inner.seq + 1;
         let frame = encode_frame(seq, payload);
         if inner.active_records > 0
@@ -813,7 +860,31 @@ impl Wal {
         {
             rotate(inner)?;
         }
-        write_frame(&mut inner.file, inner.faults.as_mut(), &frame)?;
+        if let Err(e) = write_frame(&mut inner.file, inner.faults.as_mut(), &frame) {
+            // A real `write_all` failure can leave a partial frame on
+            // disk with the cursor advanced past it; a later successful
+            // append would then land after garbage and recovery would
+            // truncate at the garbage, losing that later record.
+            // Restore the segment to its pre-append state so the
+            // failure really is clean. A simulated crash (dead
+            // failpoint) skips the repair — the "process" is gone and
+            // the torn bytes ARE the crash signature. If the repair
+            // itself fails the log is poisoned: every later append is
+            // refused rather than written after garbage.
+            let simulated_crash = inner.faults.as_ref().is_some_and(|f| f.dead);
+            if !simulated_crash {
+                let repaired = inner.file.set_len(inner.active_len).and_then(|()| {
+                    inner
+                        .file
+                        .seek(SeekFrom::Start(inner.active_len))
+                        .map(|_| ())
+                });
+                if repaired.is_err() {
+                    inner.poisoned = true;
+                }
+            }
+            return Err(e.into());
+        }
         inner.seq = seq;
         inner.active_len += frame.len() as u64;
         inner.active_records += 1;
@@ -1274,6 +1345,58 @@ mod tests {
         // Everything stayed in one segment, so all records are still
         // handed back; the engine filters by epoch.
         assert_eq!(rec.records.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lost_unsynced_tail_below_snapshot_epoch_reanchors_the_chain() {
+        // Under `EveryN`/`Never` a crash can lose an unsynced record
+        // tail that a durable snapshot already covers (the kill-style
+        // failpoints cannot drop page-cache bytes, so the loss is
+        // simulated by truncating the segment between opens). Recovery
+        // must then re-anchor a fresh segment at epoch + 1: appending
+        // into the surviving segment would break the name-based
+        // contiguity invariant and the NEXT recovery would discard the
+        // acknowledged post-crash records as corrupt.
+        let dir = tmpdir("losttail");
+        let cfg = WalConfig {
+            fsync: FsyncPolicy::EveryN(100),
+            ..WalConfig::default()
+        };
+        let synced_len;
+        {
+            let (wal, _) = Wal::open(&dir, &cfg).unwrap();
+            for i in 0..6u32 {
+                wal.append(format!("pre-{i}").as_bytes()).unwrap();
+            }
+            synced_len = wal.log_len();
+            for i in 6..10u32 {
+                wal.append(format!("tail-{i}").as_bytes()).unwrap();
+            }
+            assert_eq!(wal.write_snapshot(b"STATE@10").unwrap(), 10);
+        }
+        // The crash: records 7..=10 never hit the platter.
+        let seg = OpenOptions::new().write(true).open(log_path(&dir)).unwrap();
+        seg.set_len(synced_len).unwrap();
+        drop(seg);
+
+        let (wal, rec) = Wal::open(&dir, &cfg).unwrap();
+        assert_eq!(rec.report.last_seq, 10, "epoch holds the watermark");
+        assert_eq!(rec.report.snapshot_epoch, Some(10));
+        assert!(!rec.report.corruption_detected);
+        assert_eq!(segment_files(&dir), vec![11], "re-anchored at epoch + 1");
+        assert_eq!(wal.append(b"after-crash").unwrap(), 11);
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (_, rec) = Wal::open(&dir, &cfg).unwrap();
+        assert_eq!(rec.report.tail, TailState::Clean);
+        assert!(!rec.report.corruption_detected);
+        assert_eq!(rec.report.last_seq, 11);
+        assert!(
+            rec.records.contains(&(11, b"after-crash".to_vec())),
+            "the acknowledged post-crash record survives its own reopen"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
