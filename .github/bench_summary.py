@@ -36,6 +36,8 @@ GATE_POLICY = {
     "diskfull_reads_served": ("flag", 1.0),
     "diskfull_clean_sheds": ("flag", 1.0),
     "diskfull_self_restored": ("flag", 1.0),
+    "prepared_matches_simple": ("flag", 1.0),
+    "prepared_vs_simple": ("min", 1.3),
 }
 
 
@@ -172,6 +174,21 @@ def main(paths):
                 f"{bounded.get('segments_deleted', 0)} deleted by retention); "
                 f"reopen replayed {bounded.get('replayed_records', 0)} records "
                 f"in {bounded.get('recovery_ms', 0):g} ms"
+            )
+        # Prepared-statement rows postdate the extended-protocol PR;
+        # every key is optional so older artifacts still render.
+        prepared = e2e.get("prepared")
+        if prepared:
+            print(
+                f"\nprepared vs simple (in-process, "
+                f"{prepared.get('iters', 0)} iters/side): "
+                f"{prepared.get('simple_qps', 0.0):.1f} qps re-parsed → "
+                f"{prepared.get('prepared_qps', 0.0):.1f} qps prepared "
+                f"({prepared.get('ratio', 0):g}×); plan cache: "
+                f"{prepared.get('plans_cached', 0)} cached, "
+                f"{prepared.get('plan_hits', 0)} hits, "
+                f"{prepared.get('plan_misses', 0)} misses, "
+                f"{prepared.get('plans_invalidated', 0)} invalidated"
             )
         diskfull = e2e.get("disk_full")
         if diskfull:

@@ -70,6 +70,15 @@
 //!   ERROR 53100 (no dirty disconnects), and service self-restores once
 //!   space clears — same process, zero restarts. Enforced at every
 //!   size and host.
+//! * `prepared_matches_simple` / `prepared_vs_simple ≥ 1.3` — the same
+//!   hot point-lookup shapes run through `Proxy::prepare` +
+//!   `execute_prepared` (parse-once rewrite-plan cache, only the bound
+//!   literals encrypted per call) and through per-statement
+//!   `Proxy::execute`. Every binding must return byte-identical
+//!   results, and the prepared path must clear 1.3× the simple path's
+//!   throughput. Measured in-process — wire round-trips would swamp
+//!   the per-statement planning cost this gate isolates. Enforced at
+//!   every size and host.
 //!
 //! Reduced-size knobs for CI: `CRYPTDB_BENCH_PAILLIER_BITS` (key size)
 //! and `CRYPTDB_E2E_STEPS` (driver steps per session; each step is one
@@ -78,7 +87,7 @@
 use cryptdb_apps::mixed::{self, MixedScale};
 use cryptdb_apps::phpbb;
 use cryptdb_bench::bench_paillier_bits;
-use cryptdb_core::proxy::{EncryptionPolicy, Proxy, ProxyConfig};
+use cryptdb_core::proxy::{EncryptionPolicy, Param, Proxy, ProxyConfig};
 use cryptdb_engine::{Engine, FaultPlan, FsyncPolicy, WalConfig};
 use cryptdb_net::{wire_canonical_dump, NetClient, NetLimits, NetServer, WireError};
 use cryptdb_server::{
@@ -919,6 +928,139 @@ fn main() {
     let (recovery_ms, recovery_records, recovery_log_bytes, recovery_ok) =
         recovery.expect("fsync_always row ran");
 
+    // ---- Prepared-statement ladder: hot point-lookup shapes through
+    // the parse-once prepared path vs. full per-statement rewrites,
+    // in-process. The parity sweep first proves both paths return
+    // byte-identical results for every binding (it doubles as warmup
+    // for the shared DET/OPE encryption memos, so the timed loops
+    // compare planning cost, not first-touch cache fills).
+    let prep_proxy = {
+        let cfg = ProxyConfig {
+            paillier_bits: bits,
+            ..Default::default()
+        };
+        Arc::new(Proxy::new(Arc::new(Engine::new()), [7u8; 32], cfg))
+    };
+    prep_proxy
+        .execute("CREATE TABLE kv (k int, v text, grp text)")
+        .unwrap();
+    const PREP_ROWS: i64 = 32;
+    for i in 0..PREP_ROWS {
+        prep_proxy
+            .execute(&format!(
+                "INSERT INTO kv (k, v, grp) VALUES ({i}, 'value-{i}', 'g{}')",
+                i % 8
+            ))
+            .unwrap();
+    }
+    // The hot shapes carry the constant guard predicates an ORM layer
+    // stamps on every query (bounds check, tombstone filters). On the
+    // simple path each one is re-parsed, re-rewritten, and re-looked-up
+    // per statement; the prepared plan baked their ciphertexts in once.
+    let sql_point = "SELECT v, grp FROM kv WHERE k = $1 AND k >= 0 AND k <= 9999 \
+                     AND k <> 99999 AND grp <> 'g-retired'";
+    let sql_text = "SELECT k FROM kv WHERE v = $1 AND grp = $2 AND k >= 0 \
+                    AND k <= 9999 AND k <> 99999 AND v <> 'value-retired'";
+    let sql_range = "SELECT v FROM kv WHERE k > $1 AND k >= 0 AND k <= 9999 \
+                     AND grp <> 'g-retired' ORDER BY k LIMIT 2";
+    let ps_point = prep_proxy.prepare(sql_point).unwrap();
+    let ps_text = prep_proxy.prepare(sql_text).unwrap();
+    let ps_range = prep_proxy.prepare(sql_range).unwrap();
+    let simple_point = |k: i64| sql_point.replacen("$1", &k.to_string(), 1);
+    let simple_text = |k: i64| {
+        sql_text
+            .replacen("$1", &format!("'value-{k}'"), 1)
+            .replacen("$2", &format!("'g{}'", k % 8), 1)
+    };
+    let simple_range = |k: i64| sql_range.replacen("$1", &k.to_string(), 1);
+    // A real client has the binding values in hand; build them outside
+    // the timed loop.
+    let point_binds: Vec<[Param; 1]> = (0..PREP_ROWS).map(|k| [Param::Int(k)]).collect();
+    let text_binds: Vec<[Param; 2]> = (0..PREP_ROWS)
+        .map(|k| {
+            [
+                Param::Str(format!("value-{k}")),
+                Param::Str(format!("g{}", k % 8)),
+            ]
+        })
+        .collect();
+    let mut prep_matches = true;
+    for k in 0..PREP_ROWS {
+        let ku = k as usize;
+        let pairs = [
+            (
+                prep_proxy
+                    .execute_prepared(&ps_point, &point_binds[ku])
+                    .unwrap(),
+                prep_proxy.execute(&simple_point(k)).unwrap(),
+            ),
+            (
+                prep_proxy
+                    .execute_prepared(&ps_text, &text_binds[ku])
+                    .unwrap(),
+                prep_proxy.execute(&simple_text(k)).unwrap(),
+            ),
+            (
+                prep_proxy
+                    .execute_prepared(&ps_range, &point_binds[ku])
+                    .unwrap(),
+                prep_proxy.execute(&simple_range(k)).unwrap(),
+            ),
+        ];
+        for (via_prepared, via_simple) in &pairs {
+            prep_matches &= via_prepared.canonical_text() == via_simple.canonical_text();
+        }
+    }
+    let prep_iters = (steps * 30).max(300);
+    let t0 = Instant::now();
+    for i in 0..prep_iters {
+        let k = (i as i64) % PREP_ROWS;
+        match i % 3 {
+            0 => drop(prep_proxy.execute(&simple_point(k)).unwrap()),
+            1 => drop(prep_proxy.execute(&simple_text(k)).unwrap()),
+            _ => drop(prep_proxy.execute(&simple_range(k)).unwrap()),
+        }
+    }
+    let simple_qps = prep_iters as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    let t0 = Instant::now();
+    for i in 0..prep_iters {
+        let ku = i % PREP_ROWS as usize;
+        match i % 3 {
+            0 => drop(
+                prep_proxy
+                    .execute_prepared(&ps_point, &point_binds[ku])
+                    .unwrap(),
+            ),
+            1 => drop(
+                prep_proxy
+                    .execute_prepared(&ps_text, &text_binds[ku])
+                    .unwrap(),
+            ),
+            _ => drop(
+                prep_proxy
+                    .execute_prepared(&ps_range, &point_binds[ku])
+                    .unwrap(),
+            ),
+        }
+    }
+    let prepared_qps = prep_iters as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    let prepared_vs_simple = prepared_qps / simple_qps;
+    let plan_stats = prep_proxy.plan_cache_stats();
+    println!(
+        "prepared ladder: simple={simple_qps:.1} qps, prepared={prepared_qps:.1} qps \
+         ({prepared_vs_simple:.2}x), parity={}, plans cached={} hits={} misses={} \
+         invalidated={}",
+        if prep_matches {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+        plan_stats.cached,
+        plan_stats.hits,
+        plan_stats.misses,
+        plan_stats.invalidated
+    );
+
     // The 2× bar needs real hardware parallelism; below 4 threads the
     // ratio is reported but not enforced (see module docs).
     let scaling_enforced = host_parallelism >= 4 && worker_threads >= 4;
@@ -967,6 +1109,11 @@ fn main() {
             "diskfull_self_restored",
             if df_self_restored { 1.0 } else { 0.0 },
         ),
+        (
+            "prepared_matches_simple",
+            if prep_matches { 1.0 } else { 0.0 },
+        ),
+        ("prepared_vs_simple", prepared_vs_simple),
     ];
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"modulus_bits\": {bits},\n"));
@@ -1045,6 +1192,13 @@ fn main() {
         df_acked.len(),
         df_stats.shed_writes,
         df_stats.wal_append_failures
+    ));
+    json.push_str(&format!(
+        "  \"prepared\": {{ \"iters\": {prep_iters}, \"simple_qps\": {simple_qps:.1}, \
+         \"prepared_qps\": {prepared_qps:.1}, \"ratio\": {prepared_vs_simple:.2}, \
+         \"plans_cached\": {}, \"plan_hits\": {}, \"plan_misses\": {}, \
+         \"plans_invalidated\": {} }},\n",
+        plan_stats.cached, plan_stats.hits, plan_stats.misses, plan_stats.invalidated
     ));
     json.push_str("  \"gates\": {\n");
     for (i, (name, x)) in gates.iter().enumerate() {
@@ -1144,6 +1298,17 @@ fn main() {
     }
     if !df_self_restored {
         eprintln!("FAIL: the engine did not leave degraded mode after ENOSPC cleared");
+        std::process::exit(1);
+    }
+    if !prep_matches {
+        eprintln!("FAIL: prepared execution diverged from the simple path");
+        std::process::exit(1);
+    }
+    if prepared_vs_simple < 1.3 {
+        eprintln!(
+            "FAIL: prepared path only {prepared_vs_simple:.2}x the simple path \
+             (gate: >= 1.3x)"
+        );
         std::process::exit(1);
     }
     if scaling_enforced && scaling_4_vs_1 < 2.0 {

@@ -327,6 +327,12 @@ fn put_expr(out: &mut Vec<u8>, e: &Expr) {
             put_bool(out, *star);
             put_bool(out, *distinct);
         }
+        // SPEAKS-FOR conditions come from CREATE TABLE annotations and
+        // never carry placeholders, but the codec must stay total.
+        Expr::Param(n) => {
+            out.push(10);
+            put_u32(out, *n);
+        }
     }
 }
 
@@ -409,6 +415,7 @@ fn read_expr(r: &mut Reader) -> Result<Expr, ProxyError> {
                 distinct,
             }
         }
+        10 => Expr::Param(r.u32()?),
         b => return Err(err(format!("bad expr tag {b}"))),
     })
 }

@@ -24,12 +24,16 @@ use cryptdb_ope::Ope;
 use cryptdb_paillier::PaillierPrivate;
 use cryptdb_runtime::{BlindingPool, BlindingStats, TaskHandle, WorkerPool};
 use cryptdb_sqlparser::{
-    parse, BinOp, ColumnDef, ColumnRef, ColumnType, CreateTable, Delete, Expr, Insert, Literal,
-    OrderBy, Select, SelectItem, SpeakerRef, Stmt, TableRef, Update,
+    parse, BinOp, ColumnDef, ColumnRef, CreateTable, Delete, Expr, Insert, Literal, OrderBy,
+    Select, SelectItem, SpeakerRef, Stmt, TableRef, Update,
 };
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+pub use self::prepared::{Param, PlanCacheStats, PreparedStatement};
+pub use cryptdb_sqlparser::ColumnType;
 
 /// Proxy operating mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +152,21 @@ pub struct Proxy {
     /// Multi-principal state: read lock for key resolution (the
     /// per-query path), write lock for login/logout/delegation.
     mp: RwLock<MultiPrincipal>,
+    /// Monotonic schema generation: bumped (under the schema write
+    /// lock) by every mutation that can change what a rewrite produces
+    /// — DDL, onion-layer exposure, join re-keying, stale flips,
+    /// min-level floors. Prepared plans capture the epoch they were
+    /// rewritten under and refuse to execute against a newer one, so a
+    /// cached plan can never outlive its schema.
+    schema_epoch: AtomicU64,
+    /// Bounded sharded cache of prepared rewrite plans keyed by the
+    /// normalized statement text (the same `ShardedMemo` pattern as
+    /// `eq_memo`): repeated `Parse` of one statement shape pays the
+    /// parse → analyze → rewrite pipeline once.
+    plan_cache: ShardedMemo<String, Arc<prepared::PlanEntry>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plans_invalidated: AtomicU64,
 }
 
 /// Cache key for equality-constant encryptions: the column plus the
@@ -159,6 +178,12 @@ type EqMemoKey = (String, String, String, String, Value);
 /// §3.5.2 "most common values" working set, matching `OpeCached`'s
 /// default result cap.
 const EQ_MEMO_CAP: usize = 30_000;
+
+/// Bound on cached prepared plans. An application's set of distinct
+/// statement *shapes* is small (the literals are parameters), so this
+/// comfortably covers real workloads while capping memory for an
+/// adversarial stream of one-off shapes.
+const PLAN_CACHE_CAP: usize = 1024;
 
 impl Proxy {
     /// Creates a proxy in front of `engine` with master key `mk`.
@@ -210,7 +235,26 @@ impl Proxy {
             hom_pool,
             eq_memo: ShardedMemo::new(EQ_MEMO_CAP),
             mp: RwLock::new(mp),
+            schema_epoch: AtomicU64::new(0),
+            plan_cache: ShardedMemo::new(PLAN_CACHE_CAP),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            plans_invalidated: AtomicU64::new(0),
         }
+    }
+
+    /// The current schema generation (see [`Self::plan_cache_stats`]).
+    /// Bumped by DDL and onion adjustments; prepared plans built under
+    /// an older epoch are invalidated before their next execution.
+    pub fn schema_epoch(&self) -> u64 {
+        self.schema_epoch.load(Ordering::Acquire)
+    }
+
+    /// Marks every cached plan stale. Must be called (with the schema
+    /// write lock held) by any mutation that changes what a rewrite of
+    /// an affected statement would produce.
+    pub(crate) fn bump_epoch(&self) {
+        self.schema_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// The underlying DBMS (what an adversary at the server sees).
@@ -248,6 +292,7 @@ impl Proxy {
             .column_mut(column)
             .ok_or_else(|| ProxyError::Schema(format!("unknown column {column}")))?;
         c.min_level = Some(level);
+        self.bump_epoch();
         self.log_schema(&schema)?;
         Ok(())
     }
@@ -268,6 +313,7 @@ impl Proxy {
                 .ok_or_else(|| ProxyError::Schema(format!("unknown column {c}")))?;
             col.ope_group = Some(group.to_string());
         }
+        self.bump_epoch();
         self.log_schema(&schema)?;
         Ok(())
     }
@@ -319,6 +365,9 @@ impl Proxy {
                 }
             }
             return 0;
+        }
+        if n > 0 {
+            self.bump_epoch();
         }
         n
     }
@@ -468,7 +517,10 @@ impl Proxy {
                     .engine
                     .execute_with_meta(&Stmt::DropTable { name: anon }, meta.as_deref())
                 {
-                    Ok(r) => Ok(r),
+                    Ok(r) => {
+                        self.bump_epoch();
+                        Ok(r)
+                    }
                     Err(e) => {
                         schema.insert(t)?;
                         Err(e.into())
@@ -714,11 +766,29 @@ impl Proxy {
             }
         }
         *self.schema.write() = restored;
+        self.bump_epoch();
         Ok(())
     }
 }
 
 // ---- small expression utilities ----
+
+/// Error raised wherever the CryptDB-mode rewriter meets a `$n`
+/// placeholder in a position it cannot turn into a typed parameter
+/// slot. [`prepared`]'s plan builder recognises it (see
+/// [`is_param_fallback`]) and falls back to the generic
+/// substitute-then-rewrite plan; on the simple-query path it surfaces
+/// as an ordinary error, since simple queries carry no bindings.
+pub(crate) fn param_fallback() -> ProxyError {
+    ProxyError::NeedsPlaintext(PARAM_FALLBACK_MARKER.into())
+}
+
+pub(crate) const PARAM_FALLBACK_MARKER: &str =
+    "parameter placeholders must be bound through the prepared-statement API";
+
+pub(crate) fn is_param_fallback(e: &ProxyError) -> bool {
+    matches!(e, ProxyError::NeedsPlaintext(msg) if msg == PARAM_FALLBACK_MARKER)
+}
 
 /// Folds a constant expression to a value (literals, arithmetic, unary
 /// minus). Errors on column references.
@@ -759,6 +829,11 @@ pub(crate) fn const_fold(e: &Expr) -> Result<Value, ProxyError> {
                 _ => unreachable!("arithmetic checked"),
             }))
         }
+        // A placeholder is a constant whose value arrives at Bind time;
+        // callers that can carry a slot check for `Expr::Param` before
+        // folding, so reaching it here means this position cannot be a
+        // typed slot and the statement takes the generic prepared path.
+        Expr::Param(_) => Err(param_fallback()),
         other => Err(ProxyError::NeedsPlaintext(format!(
             "expected a constant, found {other}"
         ))),
@@ -816,4 +891,5 @@ pub(crate) fn like_pattern_word(pattern: &str) -> Option<String> {
     Some(trimmed.to_string())
 }
 
+mod prepared;
 mod rewrite;

@@ -1,6 +1,7 @@
 //! Query analysis, onion adjustment, rewriting, and result decryption.
 
 use super::*;
+use std::cell::RefCell;
 
 /// Maps visible table names (aliases) in a query to schema tables.
 #[derive(Clone, Debug)]
@@ -263,6 +264,12 @@ impl Proxy {
                 if !col.sensitive {
                     return Ok(());
                 }
+                if matches!(&**pattern, Expr::Param(_)) {
+                    // Whether a pattern is an equality or a SEARCH
+                    // depends on its wildcards, unknown until Bind —
+                    // the statement takes the generic prepared path.
+                    return Err(param_fallback());
+                }
                 let Expr::Literal(Literal::Str(pat)) = &**pattern else {
                     return Err(ProxyError::NeedsPlaintext(
                         "LIKE with a column pattern (the banned-list idiom, §8.2)".into(),
@@ -326,7 +333,8 @@ impl Proxy {
                     Ok(())
                 }
             }
-            Expr::Literal(_) => Ok(()),
+            // A placeholder analyses like the constant it stands for.
+            Expr::Literal(_) | Expr::Param(_) => Ok(()),
             Expr::Binary { .. } | Expr::Neg(_) => {
                 if self.expr_has_sensitive(schema, resolver, e)? {
                     Err(ProxyError::NeedsPlaintext(format!(
@@ -567,17 +575,26 @@ impl Proxy {
 
     /// Applies every adjustment the requirements demand: RND peeling via
     /// `DECRYPT_RND`, join-group merging via `JOIN_ADJ`, stale refresh.
+    ///
+    /// Each helper reports whether it actually mutated the schema; only
+    /// real mutations bump the schema epoch. Re-checking an
+    /// already-exposed layer (the steady state for every repeated query
+    /// shape) must NOT invalidate cached plans, or the plan cache would
+    /// never serve a hit.
     pub(crate) fn apply_adjustments(&self, reqs: &[Req]) -> Result<(), ProxyError> {
         if reqs.is_empty() {
             return Ok(());
         }
         let mut schema = self.schema.write();
         let mut search_flipped = false;
+        let mut changed = false;
         for req in reqs {
             match req {
-                Req::RefreshStale(t, c) => self.refresh_stale_locked(&mut schema, t, c)?,
-                Req::Eq(t, c) => self.expose_det_locked(&mut schema, t, c)?,
-                Req::Ord(t, c) => self.expose_ope_locked(&mut schema, t, c)?,
+                Req::RefreshStale(t, c) => {
+                    changed |= self.refresh_stale_locked(&mut schema, t, c)?
+                }
+                Req::Eq(t, c) => changed |= self.expose_det_locked(&mut schema, t, c)?,
+                Req::Ord(t, c) => changed |= self.expose_ope_locked(&mut schema, t, c)?,
                 Req::Search(t, c) => {
                     locked_col(&schema, t, c)?.check_floor(SecLevel::Search)?;
                     let col = locked_col_mut(&mut schema, t, c)?;
@@ -585,15 +602,18 @@ impl Proxy {
                     col.search_used = true;
                 }
                 Req::OrdJoin(a, b) => {
-                    self.expose_ope_locked(&mut schema, &a.0, &a.1)?;
-                    self.expose_ope_locked(&mut schema, &b.0, &b.1)?;
+                    changed |= self.expose_ope_locked(&mut schema, &a.0, &a.1)?;
+                    changed |= self.expose_ope_locked(&mut schema, &b.0, &b.1)?;
                 }
                 Req::Join(a, b) => {
-                    self.expose_det_locked(&mut schema, &a.0, &a.1)?;
-                    self.expose_det_locked(&mut schema, &b.0, &b.1)?;
-                    self.merge_join_groups_locked(&mut schema, a, b)?;
+                    changed |= self.expose_det_locked(&mut schema, &a.0, &a.1)?;
+                    changed |= self.expose_det_locked(&mut schema, &b.0, &b.1)?;
+                    changed |= self.merge_join_groups_locked(&mut schema, a, b)?;
                 }
             }
+        }
+        if changed {
+            self.bump_epoch();
         }
         if search_flipped {
             // `search_used` affects only MinEnc accounting, but it must
@@ -608,7 +628,7 @@ impl Proxy {
         schema: &mut EncSchema,
         t: &str,
         c: &str,
-    ) -> Result<(), ProxyError> {
+    ) -> Result<bool, ProxyError> {
         let (anon_t, col) = {
             let table = schema.table(t)?;
             let col = table
@@ -617,7 +637,7 @@ impl Proxy {
             (table.anon.clone(), col.clone())
         };
         if col.eq_level == EqLevel::Det || !col.sensitive || !col.onions.eq {
-            return Ok(());
+            return Ok(false);
         }
         col.check_floor(SecLevel::Det)?;
         let keys = self.master_col_keys(&col, t);
@@ -657,7 +677,7 @@ impl Proxy {
                 .eq_level = EqLevel::Rnd;
             return Err(e.into());
         }
-        Ok(())
+        Ok(true)
     }
 
     fn expose_ope_locked(
@@ -665,7 +685,7 @@ impl Proxy {
         schema: &mut EncSchema,
         t: &str,
         c: &str,
-    ) -> Result<(), ProxyError> {
+    ) -> Result<bool, ProxyError> {
         let (anon_t, col) = {
             let table = schema.table(t)?;
             let col = table
@@ -674,7 +694,7 @@ impl Proxy {
             (table.anon.clone(), col.clone())
         };
         if col.ord_level == OrdLevel::Ope || !col.sensitive || !col.onions.ord {
-            return Ok(());
+            return Ok(false);
         }
         col.check_floor(SecLevel::Ope)?;
         let keys = self.master_col_keys(&col, t);
@@ -709,7 +729,7 @@ impl Proxy {
                 .ord_level = OrdLevel::Rnd;
             return Err(e.into());
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Merges the join transitivity groups of `a` and `b` (§3.4): all
@@ -719,11 +739,11 @@ impl Proxy {
         schema: &mut EncSchema,
         a: &(String, String),
         b: &(String, String),
-    ) -> Result<(), ProxyError> {
+    ) -> Result<bool, ProxyError> {
         let owner_a = locked_col(schema, &a.0, &a.1)?.join_owner.clone();
         let owner_b = locked_col(schema, &b.0, &b.1)?.join_owner.clone();
         if owner_a == owner_b {
-            return Ok(());
+            return Ok(false);
         }
         let mut members = schema.join_group_members(&owner_a);
         members.extend(schema.join_group_members(&owner_b));
@@ -780,7 +800,7 @@ impl Proxy {
                 return Err(e.into());
             }
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Re-encrypts a stale column from its (authoritative) Add onion —
@@ -791,7 +811,7 @@ impl Proxy {
         schema: &mut EncSchema,
         t: &str,
         c: &str,
-    ) -> Result<(), ProxyError> {
+    ) -> Result<bool, ProxyError> {
         let (anon_t, col) = {
             let table = schema.table(t)?;
             let col = table
@@ -800,7 +820,7 @@ impl Proxy {
             (table.anon.clone(), col.clone())
         };
         if !col.stale {
-            return Ok(());
+            return Ok(false);
         }
         let rows = self
             .engine
@@ -840,7 +860,7 @@ impl Proxy {
         // authoritative throughout).
         locked_col_mut(schema, t, c)?.stale = false;
         self.log_schema(schema)?;
-        Ok(())
+        Ok(true)
     }
 }
 
@@ -940,11 +960,16 @@ impl Proxy {
             c.ord_level = col.ord_level;
             return Err(e.into());
         }
+        self.bump_epoch();
         Ok(n)
     }
 }
 
-fn locked_col<'s>(schema: &'s EncSchema, t: &str, c: &str) -> Result<&'s ColumnState, ProxyError> {
+pub(crate) fn locked_col<'s>(
+    schema: &'s EncSchema,
+    t: &str,
+    c: &str,
+) -> Result<&'s ColumnState, ProxyError> {
     schema
         .table(t)?
         .column(c)
@@ -1085,6 +1110,7 @@ impl Proxy {
             schema.remove(&ct.name);
             return Err(e.into());
         }
+        self.bump_epoch();
         Ok(QueryResult::Ok)
     }
 
@@ -1167,6 +1193,45 @@ pub(crate) struct SelectPlan {
     pub proxy_sort: Vec<(usize, bool)>,
 }
 
+/// How one `$n` occurrence must be encrypted at Bind time.
+#[derive(Clone, Debug)]
+pub(crate) enum ParamSlot {
+    /// Plaintext position (non-sensitive column, plain expression).
+    Plain,
+    /// Equality comparison against this column's Eq onion (DET/JOIN).
+    Eq { table: String, col: String },
+    /// Order comparison against this column's Ord onion (OPE).
+    Ord { table: String, col: String },
+}
+
+/// One `$n` occurrence inside a rewritten SELECT: the user-visible
+/// 1-based parameter number plus the encryption the hole demands. The
+/// rewritten AST stores `Expr::Param(occurrence-index)` (0-based), so the
+/// same `$n` used twice gets two independently encrypted ciphertexts.
+#[derive(Clone, Debug)]
+pub(crate) struct ParamOcc {
+    pub n: u32,
+    pub slot: ParamSlot,
+}
+
+/// A fully rewritten SELECT, reusable across executions: the encrypted
+/// statement (with parameter holes), its decryption plan, the hole
+/// descriptors, and the schema epoch it was built against.
+#[derive(Clone, Debug)]
+pub(crate) struct CachedSelect {
+    pub stmt: Select,
+    pub plan: SelectPlan,
+    pub occ: Vec<ParamOcc>,
+    pub epoch: u64,
+}
+
+/// Outcome of running a cached plan against the live schema.
+pub(crate) enum RunOutcome {
+    Done(QueryResult),
+    /// The schema epoch moved since the plan was built; re-plan.
+    Stale,
+}
+
 struct SelectRw<'a> {
     proxy: &'a Proxy,
     schema: &'a EncSchema,
@@ -1174,6 +1239,13 @@ struct SelectRw<'a> {
     /// Qualify rewritten column refs with the visible alias (SELECT); DML
     /// statements execute against the bare anonymised table and must not.
     qualify: bool,
+    /// Whether `$n` placeholders may become bind-time holes. DML rewrites
+    /// and the simple-query path refuse them instead (the generic
+    /// prepared path substitutes plaintext before rewriting).
+    allow_params: bool,
+    /// Parameter occurrences recorded while rewriting (interior mutability
+    /// because predicate rewriting takes `&self`).
+    params: RefCell<Vec<ParamOcc>>,
     vis_items: Vec<SelectItem>,
     vis_slots: Vec<Slot>,
     vis_cols: Vec<Option<(String, String)>>,
@@ -1183,6 +1255,41 @@ struct SelectRw<'a> {
 }
 
 impl<'a> SelectRw<'a> {
+    fn new(
+        proxy: &'a Proxy,
+        schema: &'a EncSchema,
+        resolver: &'a Resolver,
+        qualify: bool,
+        allow_params: bool,
+    ) -> Self {
+        SelectRw {
+            proxy,
+            schema,
+            resolver,
+            qualify,
+            allow_params,
+            params: RefCell::new(Vec::new()),
+            vis_items: Vec::new(),
+            vis_slots: Vec::new(),
+            vis_cols: Vec::new(),
+            names: Vec::new(),
+            hid_items: Vec::new(),
+            hid_slots: Vec::new(),
+        }
+    }
+
+    /// Records a `$n` occurrence and returns the hole to splice into the
+    /// rewritten AST (`Expr::Param` carrying the 0-based occurrence id).
+    fn param_hole(&self, n: u32, slot: ParamSlot) -> Result<Expr, ProxyError> {
+        if !self.allow_params {
+            return Err(param_fallback());
+        }
+        let mut params = self.params.borrow_mut();
+        let occ = params.len() as u32;
+        params.push(ParamOcc { n, slot });
+        Ok(Expr::Param(occ))
+    }
+
     fn push_hidden(&mut self, item: SelectItem, slot: Slot) -> usize {
         self.hid_items.push(item);
         self.hid_slots.push(slot);
@@ -1288,6 +1395,7 @@ impl<'a> SelectRw<'a> {
                 self.qcol(&visible, col.anon.clone())
             }
             Expr::Literal(_) => e.clone(),
+            Expr::Param(n) => self.param_hole(*n, ParamSlot::Plain)?,
             Expr::Binary { op, left, right } => {
                 Expr::binary(*op, self.map_plain_expr(left)?, self.map_plain_expr(right)?)
             }
@@ -1398,6 +1506,31 @@ impl<'a> SelectRw<'a> {
                             unreachable!()
                         };
                         let (visible, _t, col) = self.resolver.resolve(self.schema, c)?;
+                        // A bare `$n` on the constant side becomes a typed
+                        // bind-time hole; anything else (including `$n`
+                        // buried in arithmetic) folds now or falls back.
+                        if let Expr::Param(n) = other {
+                            let (target, slot) = if !col.sensitive {
+                                (self.qcol(&visible, col.anon.clone()), ParamSlot::Plain)
+                            } else if op.is_order() {
+                                (
+                                    self.qcol(&visible, col.anon_ord()),
+                                    ParamSlot::Ord {
+                                        table: col.table.clone(),
+                                        col: col.name.clone(),
+                                    },
+                                )
+                            } else {
+                                (
+                                    self.qcol(&visible, col.anon_eq()),
+                                    ParamSlot::Eq {
+                                        table: col.table.clone(),
+                                        col: col.name.clone(),
+                                    },
+                                )
+                            };
+                            return Ok(Expr::binary(op, target, self.param_hole(*n, slot)?));
+                        }
                         if !col.sensitive {
                             return Ok(Expr::binary(
                                 op,
@@ -1492,6 +1625,15 @@ impl<'a> SelectRw<'a> {
                 let enc_list = list
                     .iter()
                     .map(|x| {
+                        if let Expr::Param(n) = x {
+                            return self.param_hole(
+                                *n,
+                                ParamSlot::Eq {
+                                    table: col.table.clone(),
+                                    col: col.name.clone(),
+                                },
+                            );
+                        }
                         let v = const_fold(x)?;
                         Ok(value_to_literal(self.encrypt_eq_const(col, &v)?))
                     })
@@ -1515,13 +1657,26 @@ impl<'a> SelectRw<'a> {
                 if !col.sensitive {
                     return self.map_plain_expr(e);
                 }
-                let keys = self.col_keys_of(col);
-                let lo = self.proxy.ope_encrypt_cached(&keys, &const_fold(low)?)?;
-                let hi = self.proxy.ope_encrypt_cached(&keys, &const_fold(high)?)?;
+                let bound = |e: &Expr| -> Result<Expr, ProxyError> {
+                    if let Expr::Param(n) = e {
+                        return self.param_hole(
+                            *n,
+                            ParamSlot::Ord {
+                                table: col.table.clone(),
+                                col: col.name.clone(),
+                            },
+                        );
+                    }
+                    let keys = self.col_keys_of(col);
+                    let enc = self.proxy.ope_encrypt_cached(&keys, &const_fold(e)?)?;
+                    Ok(value_to_literal(enc))
+                };
+                let lo = bound(low)?;
+                let hi = bound(high)?;
                 Ok(Expr::Between {
                     expr: Box::new(self.qcol(&visible, col.anon_ord())),
-                    low: Box::new(value_to_literal(lo)),
-                    high: Box::new(value_to_literal(hi)),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
                     negated: *negated,
                 })
             }
@@ -1561,6 +1716,19 @@ impl<'a> SelectRw<'a> {
     /// "caching ... encryptions of frequently used constants", which also
     /// skips the elliptic-curve JOIN-ADJ tag on repeats.
     fn encrypt_eq_const(&self, col: &ColumnState, v: &Value) -> Result<Value, ProxyError> {
+        self.proxy.encrypt_eq_const_in(self.schema, col, v)
+    }
+}
+
+impl Proxy {
+    /// Equality-constant encryption against a given schema snapshot; the
+    /// shared body behind both the rewrite-time and Bind-time paths.
+    pub(crate) fn encrypt_eq_const_in(
+        &self,
+        schema: &EncSchema,
+        col: &ColumnState,
+        v: &Value,
+    ) -> Result<Value, ProxyError> {
         let memo_key = (
             col.table.clone(),
             col.name.to_lowercase(),
@@ -1568,28 +1736,24 @@ impl<'a> SelectRw<'a> {
             col.join_owner.1.to_lowercase(),
             v.clone(),
         );
-        if self.proxy.config.precompute {
-            if let Some(hit) = self.proxy.eq_memo.get(&memo_key) {
+        if self.config.precompute {
+            if let Some(hit) = self.eq_memo.get(&memo_key) {
                 return Ok(hit);
             }
         }
-        let own_keys = self
-            .proxy
-            .col_keys(&col.table, &col.name, &self.proxy.mk, None);
-        let owner_col = locked_col(self.schema, &col.join_owner.0, &col.join_owner.1)?;
-        let owner_keys =
-            self.proxy
-                .col_keys(&owner_col.table, &owner_col.name, &self.proxy.mk, None);
+        let own_keys = self.col_keys(&col.table, &col.name, &self.mk, None);
+        let owner_col = locked_col(schema, &col.join_owner.0, &col.join_owner.1)?;
+        let owner_keys = self.col_keys(&owner_col.table, &owner_col.name, &self.mk, None);
         let out = encrypt_eq_constant(
             &own_keys,
-            &self.proxy.joinadj,
+            &self.joinadj,
             &owner_keys.join,
             v,
             col.ty,
             col.has_jtag,
         )?;
-        if self.proxy.config.precompute {
-            self.proxy.eq_memo.insert(memo_key, out.clone());
+        if self.config.precompute {
+            self.eq_memo.insert(memo_key, out.clone());
         }
         Ok(out)
     }
@@ -1610,22 +1774,93 @@ impl Proxy {
         if sel.from.is_empty() {
             return Ok(self.engine.execute(&Stmt::Select(sel.clone()))?);
         }
-        // 1–2: analyse and adjust (§3.2).
+        let cs = self.plan_select(sel, false)?;
+        match self.run_select_plan(&cs, &[], false)? {
+            RunOutcome::Done(r) => Ok(r),
+            RunOutcome::Stale => unreachable!("epoch unchecked on the simple path"),
+        }
+    }
+
+    /// Steps 1–3 of the paper's pipeline (§3.2): analyse, adjust onions,
+    /// rewrite. The result is reusable — `run_select_plan` performs the
+    /// per-execution work (bind, execute, decrypt).
+    pub(crate) fn plan_select(
+        &self,
+        sel: &Select,
+        allow_params: bool,
+    ) -> Result<CachedSelect, ProxyError> {
         let reqs = {
             let schema = self.schema.read();
             let resolver = Resolver::from_select(&schema, sel)?;
             self.collect_select_reqs(&schema, &resolver, sel)?
         };
         self.apply_adjustments(&reqs)?;
-        // 3: rewrite and execute.
-        let (stmt, plan) = {
+        // Capture the epoch under the same read guard the rewrite uses:
+        // writers mutate (and bump) under the write lock, so a plan tagged
+        // with epoch E provably saw the schema as of E.
+        let schema = self.schema.read();
+        let resolver = Resolver::from_select(&schema, sel)?;
+        let epoch = self.schema_epoch();
+        let (stmt, plan, occ) = self.rewrite_select(&schema, &resolver, sel, allow_params)?;
+        Ok(CachedSelect {
+            stmt,
+            plan,
+            occ,
+            epoch,
+        })
+    }
+
+    /// Binds parameters (encrypting each occurrence per its slot),
+    /// executes the cached rewritten SELECT, and decrypts the results.
+    /// With `check_epoch`, reports `Stale` instead of executing when the
+    /// schema moved since the plan was built — the epoch is re-read under
+    /// the same read guard the bind encryptions use, so a plan never
+    /// binds against a schema newer than the one it was rewritten for.
+    pub(crate) fn run_select_plan(
+        &self,
+        cs: &CachedSelect,
+        params: &[Value],
+        check_epoch: bool,
+    ) -> Result<RunOutcome, ProxyError> {
+        let stmt = {
             let schema = self.schema.read();
-            let resolver = Resolver::from_select(&schema, sel)?;
-            self.rewrite_select(&schema, &resolver, sel)?
+            if check_epoch && self.schema_epoch() != cs.epoch {
+                return Ok(RunOutcome::Stale);
+            }
+            if cs.occ.is_empty() {
+                cs.stmt.clone()
+            } else {
+                let mut bound = Vec::with_capacity(cs.occ.len());
+                for occ in &cs.occ {
+                    let v = params
+                        .get((occ.n as usize).wrapping_sub(1))
+                        .ok_or_else(|| {
+                            ProxyError::Schema(format!("parameter ${} not bound", occ.n))
+                        })?;
+                    let lit = match &occ.slot {
+                        ParamSlot::Plain => value_to_literal(v.clone()),
+                        ParamSlot::Eq { table, col } => {
+                            let col = locked_col(&schema, table, col)?;
+                            value_to_literal(self.encrypt_eq_const_in(&schema, col, v)?)
+                        }
+                        ParamSlot::Ord { table, col } => {
+                            let col = locked_col(&schema, table, col)?;
+                            let keys = self.col_keys(
+                                &col.table,
+                                &col.name,
+                                &self.mk,
+                                col.ope_group.as_deref(),
+                            );
+                            value_to_literal(self.ope_encrypt_cached(&keys, v)?)
+                        }
+                    };
+                    bound.push(lit);
+                }
+                super::prepared::subst_select(&cs.stmt, &|occ| bound[occ as usize].clone())
+            }
         };
         let result = self.engine.execute(&Stmt::Select(stmt))?;
-        // 4: decrypt.
-        self.decrypt_results(&plan, result)
+        self.decrypt_results(&cs.plan, result).map(RunOutcome::Done)
     }
 
     fn rewrite_select(
@@ -1633,19 +1868,9 @@ impl Proxy {
         schema: &EncSchema,
         resolver: &Resolver,
         sel: &Select,
-    ) -> Result<(Select, SelectPlan), ProxyError> {
-        let mut rw = SelectRw {
-            proxy: self,
-            schema,
-            resolver,
-            qualify: true,
-            vis_items: Vec::new(),
-            vis_slots: Vec::new(),
-            vis_cols: Vec::new(),
-            names: Vec::new(),
-            hid_items: Vec::new(),
-            hid_slots: Vec::new(),
-        };
+        allow_params: bool,
+    ) -> Result<(Select, SelectPlan, Vec<ParamOcc>), ProxyError> {
+        let mut rw = SelectRw::new(self, schema, resolver, true, allow_params);
 
         // Projections.
         for item in &sel.projections {
@@ -1850,7 +2075,7 @@ impl Proxy {
             names: rw.names,
             proxy_sort,
         };
-        Ok((rewritten, plan))
+        Ok((rewritten, plan, rw.params.into_inner()))
     }
 
     /// Rewrites one projected expression; returns the engine item, its

@@ -505,18 +505,7 @@ impl Proxy {
         let (stmt, stale_cols) = {
             let schema = self.schema.read();
             let resolver = Resolver::for_table(&schema, &upd.table)?;
-            let rw = SelectRw {
-                proxy: self,
-                schema: &schema,
-                resolver: &resolver,
-                qualify: false,
-                vis_items: Vec::new(),
-                vis_slots: Vec::new(),
-                vis_cols: Vec::new(),
-                names: Vec::new(),
-                hid_items: Vec::new(),
-                hid_slots: Vec::new(),
-            };
+            let rw = SelectRw::new(self, &schema, &resolver, false, false);
             let tstate = schema.table(&upd.table)?;
             let selection = upd.selection.as_ref().map(|w| rw.rw_pred(w)).transpose()?;
             let mut sets: Vec<(String, Expr)> = Vec::new();
@@ -633,7 +622,12 @@ impl Proxy {
         }
         let meta = self.meta_blob(&schema);
         match self.engine.execute_with_meta(&stmt, meta.as_deref()) {
-            Ok(result) => Ok(result),
+            Ok(result) => {
+                if !flipped.is_empty() {
+                    self.bump_epoch();
+                }
+                Ok(result)
+            }
             Err(e) => {
                 for c in &flipped {
                     locked_col_mut(&mut schema, &tlow, c)?.stale = false;
@@ -694,18 +688,7 @@ impl Proxy {
         let stmt = {
             let schema = self.schema.read();
             let resolver = Resolver::for_table(&schema, &del.table)?;
-            let rw = SelectRw {
-                proxy: self,
-                schema: &schema,
-                resolver: &resolver,
-                qualify: false,
-                vis_items: Vec::new(),
-                vis_slots: Vec::new(),
-                vis_cols: Vec::new(),
-                names: Vec::new(),
-                hid_items: Vec::new(),
-                hid_slots: Vec::new(),
-            };
+            let rw = SelectRw::new(self, &schema, &resolver, false, false);
             let selection = del.selection.as_ref().map(|w| rw.rw_pred(w)).transpose()?;
             Stmt::Delete(Delete {
                 table: schema.table(&del.table)?.anon.clone(),

@@ -129,7 +129,7 @@ impl Strawman {
     fn rw_expr(&self, t: &StrawTable, e: &Expr) -> Result<Expr, ProxyError> {
         Ok(match e {
             Expr::Column(c) => self.dec_expr(t, &c.column)?,
-            Expr::Literal(_) => e.clone(),
+            Expr::Literal(_) | Expr::Param(_) => e.clone(),
             Expr::Binary { op, left, right } => {
                 Expr::binary(*op, self.rw_expr(t, left)?, self.rw_expr(t, right)?)
             }

@@ -1,0 +1,223 @@
+//! Prepared-statement API tests: parse-once planning, parameter
+//! encryption per onion slot, plan-cache behaviour, and epoch-based
+//! invalidation (a plan cached before DDL or an onion adjustment is
+//! never executed stale).
+
+use cryptdb_core::proxy::{ColumnType, Param, Proxy, ProxyConfig};
+use cryptdb_core::ProxyError;
+use cryptdb_engine::{Engine, QueryResult, Value};
+use std::sync::Arc;
+
+fn proxy() -> Proxy {
+    let cfg = ProxyConfig {
+        paillier_bits: 256,
+        ..Default::default()
+    };
+    Proxy::new(Arc::new(Engine::new()), [42u8; 32], cfg)
+}
+
+fn seeded(p: &Proxy) {
+    p.execute(
+        "CREATE TABLE employees (id int, name text, dept text, salary int); \
+         INSERT INTO employees (id, name, dept, salary) VALUES \
+           (23, 'Alice', 'sales', 60000), \
+           (2, 'Bob', 'sales', 55000), \
+           (3, 'Carol', 'eng', 80000), \
+           (4, 'Dave', 'eng', 75000)",
+    )
+    .unwrap();
+}
+
+#[test]
+fn prepared_matches_simple_equality() {
+    let p = proxy();
+    seeded(&p);
+    let ps = p
+        .prepare("SELECT id FROM employees WHERE name = $1")
+        .unwrap();
+    assert_eq!(ps.param_count(), 1);
+    assert_eq!(ps.param_kinds(), &[Some(ColumnType::Text)]);
+    let prepared = p
+        .execute_prepared(&ps, &[Param::Str("Alice".into())])
+        .unwrap();
+    let simple = p
+        .execute("SELECT id FROM employees WHERE name = 'Alice'")
+        .unwrap();
+    assert_eq!(prepared.canonical_text(), simple.canonical_text());
+    assert_eq!(prepared.rows(), &[vec![Value::Int(23)]]);
+    // Same handle, different binding: the plan re-encrypts only the
+    // bound literal.
+    let r = p
+        .execute_prepared(&ps, &[Param::Str("Bob".into())])
+        .unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Int(2)]]);
+}
+
+#[test]
+fn prepare_is_answered_from_the_plan_cache() {
+    let p = proxy();
+    seeded(&p);
+    let before = p.plan_cache_stats();
+    let a = p
+        .prepare("SELECT id FROM employees WHERE name = $1")
+        .unwrap();
+    let b = p
+        .prepare("SELECT id FROM employees WHERE name = $1")
+        .unwrap();
+    // Whitespace-normalized key: trim-equal SQL shares one plan.
+    let c = p
+        .prepare("  SELECT id FROM employees WHERE name = $1  ")
+        .unwrap();
+    let after = p.plan_cache_stats();
+    assert_eq!(after.misses, before.misses + 1);
+    assert!(after.hits >= before.hits + 2);
+    assert!(after.cached >= 1);
+    for ps in [&a, &b, &c] {
+        let r = p
+            .execute_prepared(ps, &[Param::Str("Carol".into())])
+            .unwrap();
+        assert_eq!(r.rows(), &[vec![Value::Int(3)]]);
+    }
+}
+
+#[test]
+fn ordered_param_slot_uses_ope() {
+    let p = proxy();
+    seeded(&p);
+    let ps = p
+        .prepare("SELECT name FROM employees WHERE salary > $1 ORDER BY salary")
+        .unwrap();
+    assert_eq!(ps.param_kinds(), &[Some(ColumnType::Int)]);
+    let r = p.execute_prepared(&ps, &[Param::Int(70000)]).unwrap();
+    let names: Vec<_> = r
+        .rows()
+        .iter()
+        .map(|row| row[0].as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, ["Dave", "Carol"]);
+}
+
+#[test]
+fn same_placeholder_at_multiple_positions() {
+    let p = proxy();
+    seeded(&p);
+    // $1 occurs twice against different columns; each occurrence gets
+    // its own per-column ciphertext.
+    let ps = p
+        .prepare("SELECT id FROM employees WHERE name = $1 OR dept = $1")
+        .unwrap();
+    assert_eq!(ps.param_count(), 1);
+    let r = p
+        .execute_prepared(&ps, &[Param::Str("sales".into())])
+        .unwrap();
+    let mut ids: Vec<i64> = r
+        .rows()
+        .iter()
+        .map(|row| row[0].as_int().unwrap())
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, [2, 23]);
+}
+
+#[test]
+fn generic_plan_covers_writes_and_like() {
+    let p = proxy();
+    seeded(&p);
+    let ins = p
+        .prepare("INSERT INTO employees (id, name, dept, salary) VALUES ($1, $2, 'eng', $3)")
+        .unwrap();
+    let r = p
+        .execute_prepared(
+            &ins,
+            &[Param::Int(5), Param::Str("Eve".into()), Param::Int(90000)],
+        )
+        .unwrap();
+    assert_eq!(r, QueryResult::Affected(1));
+    // LIKE's rewrite depends on the wildcard shape, unknown until
+    // Bind, so it takes the generic (substitute-then-rewrite) path.
+    // The SEARCH onion is word search, so the pattern names the word.
+    let like = p
+        .prepare("SELECT name FROM employees WHERE name LIKE $1")
+        .unwrap();
+    let r = p
+        .execute_prepared(&like, &[Param::Str("%eve%".into())])
+        .unwrap();
+    let names: Vec<_> = r
+        .rows()
+        .iter()
+        .map(|row| row[0].as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, ["Eve"]);
+}
+
+#[test]
+fn arity_and_numbering_errors() {
+    let p = proxy();
+    seeded(&p);
+    let ps = p
+        .prepare("SELECT id FROM employees WHERE name = $1")
+        .unwrap();
+    let err = p.execute_prepared(&ps, &[]).unwrap_err();
+    assert!(matches!(err, ProxyError::Schema(_)), "{err}");
+    let err = p
+        .execute_prepared(&ps, &[Param::Str("a".into()), Param::Str("b".into())])
+        .unwrap_err();
+    assert!(matches!(err, ProxyError::Schema(_)), "{err}");
+    // $0 is rejected at the parser (placeholders are 1-based).
+    let err = p
+        .prepare("SELECT id FROM employees WHERE id = $0")
+        .unwrap_err();
+    assert!(
+        matches!(err, ProxyError::Schema(_) | ProxyError::Parse(_)),
+        "{err}"
+    );
+    let err = p.prepare("SELECT 1; SELECT 2").unwrap_err();
+    assert!(matches!(err, ProxyError::Schema(_)), "{err}");
+}
+
+#[test]
+fn ddl_invalidates_cached_plan() {
+    let p = proxy();
+    p.execute("CREATE TABLE t (k int, v text)").unwrap();
+    p.execute("INSERT INTO t (k, v) VALUES (1, 'old')").unwrap();
+    let ps = p.prepare("SELECT v FROM t WHERE k = $1").unwrap();
+    let r = p.execute_prepared(&ps, &[Param::Int(1)]).unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Str("old".into())]]);
+    // DROP + CREATE moves the schema epoch; the held handle must be
+    // re-planned against the new table, never run with the old keys.
+    p.execute("DROP TABLE t").unwrap();
+    p.execute("CREATE TABLE t (k int, v text)").unwrap();
+    p.execute("INSERT INTO t (k, v) VALUES (1, 'new')").unwrap();
+    let before = p.plan_cache_stats().invalidated;
+    let r = p.execute_prepared(&ps, &[Param::Int(1)]).unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Str("new".into())]]);
+    assert!(p.plan_cache_stats().invalidated > before);
+    // And the re-planned entry is reusable without another rebuild.
+    let stable = p.plan_cache_stats().invalidated;
+    let r = p.execute_prepared(&ps, &[Param::Int(1)]).unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Str("new".into())]]);
+    assert_eq!(p.plan_cache_stats().invalidated, stable);
+}
+
+#[test]
+fn onion_adjustment_invalidates_cached_plan() {
+    let p = proxy();
+    seeded(&p);
+    let ps = p
+        .prepare("SELECT id FROM employees WHERE name = $1")
+        .unwrap();
+    let r = p
+        .execute_prepared(&ps, &[Param::Str("Alice".into())])
+        .unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Int(23)]]);
+    // A simple-path range query exposes OPE on salary — an onion
+    // adjustment that bumps the schema epoch mid-session.
+    p.execute("SELECT id FROM employees WHERE salary > 70000")
+        .unwrap();
+    let before = p.plan_cache_stats().invalidated;
+    let r = p
+        .execute_prepared(&ps, &[Param::Str("Alice".into())])
+        .unwrap();
+    assert_eq!(r.rows(), &[vec![Value::Int(23)]]);
+    assert!(p.plan_cache_stats().invalidated > before);
+}

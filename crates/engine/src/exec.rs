@@ -292,6 +292,9 @@ pub fn eval(
             }
             scalar_function(name, &vals, ctx)
         }
+        // Placeholders must be bound (substituted with literals) before
+        // a statement reaches the engine.
+        Expr::Param(n) => Err(EngineError::TypeMismatch(format!("unbound parameter ${n}"))),
     }
 }
 

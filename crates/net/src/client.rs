@@ -103,6 +103,19 @@ impl WireQueryResult {
     }
 }
 
+/// What the server advertised for a named statement at prepare time
+/// ([`NetClient::prepare`]): `ParameterDescription` OIDs plus the
+/// `RowDescription` (empty when the statement returns no rows —
+/// `NoData`).
+#[derive(Debug, Clone)]
+pub struct WirePrepared {
+    /// Parameter type OIDs, one per `$n` slot (20 = int8, 25 = text).
+    pub param_oids: Vec<i32>,
+    /// `(name, type_oid)` per result column; empty for writes/DDL and
+    /// generic plans (`NoData`).
+    pub columns: Vec<(String, i32)>,
+}
+
 /// Connection-establishment knobs: attempts, timeout, backoff.
 ///
 /// The defaults (3 attempts, 1 s connect timeout, ~100 ms jittered
@@ -273,6 +286,9 @@ impl NetClient {
                         return Err(error.unwrap());
                     }
                 }
+                // EmptyQueryResponse: an empty query string ran; the
+                // result stays empty with an empty command tag.
+                b'I' => {}
                 b'N' | b'S' => {}
                 b'Z' => {
                     return match error {
@@ -283,6 +299,180 @@ impl NetClient {
                 other => {
                     return Err(WireError::Protocol(format!(
                         "unexpected frame {:?}",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Prepares a named server-side statement over the extended
+    /// protocol: sends `Parse` + `Describe`(statement) + `Sync` and
+    /// decodes through `ReadyForQuery`. A server error (e.g. `42P05`
+    /// duplicate name, `42601` syntax) is returned after the `Sync`
+    /// cycle completes, so the connection stays usable.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<WirePrepared, WireError> {
+        let mut parse = Vec::new();
+        parse.extend_from_slice(name.as_bytes());
+        parse.push(0);
+        parse.extend_from_slice(sql.as_bytes());
+        parse.push(0);
+        parse.extend_from_slice(&0i16.to_be_bytes());
+        protocol::write_frame(&mut self.writer, b'P', &parse)?;
+        let mut describe = vec![b'S'];
+        describe.extend_from_slice(name.as_bytes());
+        describe.push(0);
+        protocol::write_frame(&mut self.writer, b'D', &describe)?;
+        protocol::write_frame(&mut self.writer, b'S', &[])?;
+        self.writer.flush()?;
+        let mut prepared = WirePrepared {
+            param_oids: Vec::new(),
+            columns: Vec::new(),
+        };
+        let mut error: Option<WireError> = None;
+        loop {
+            let (tag, body) = protocol::read_frame(&mut self.reader)?;
+            match tag {
+                b'1' | b'n' | b'N' | b'S' => {}
+                b't' => prepared.param_oids = parse_param_description(&body)?,
+                b'T' => prepared.columns = parse_row_description(&body)?,
+                b'E' => {
+                    let (severity, code, message) = protocol::parse_error_body(&body);
+                    let fatal = severity == "FATAL";
+                    error = Some(WireError::Server {
+                        severity,
+                        code,
+                        message,
+                    });
+                    if fatal {
+                        return Err(error.unwrap());
+                    }
+                }
+                b'Z' => {
+                    return match error {
+                        Some(e) => Err(e),
+                        None => Ok(prepared),
+                    }
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected frame {:?} in prepare cycle",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Executes a previously [`prepare`](Self::prepare)d statement:
+    /// sends `Bind` (unnamed portal, text-format parameters; `None` is
+    /// NULL) + `Execute` + `Sync` and decodes through `ReadyForQuery`.
+    /// An empty prepared statement yields an empty result with an
+    /// empty command tag (`EmptyQueryResponse`).
+    pub fn execute_prepared(
+        &mut self,
+        name: &str,
+        params: &[Option<String>],
+    ) -> Result<WireQueryResult, WireError> {
+        let mut bind = Vec::new();
+        bind.push(0); // unnamed portal
+        bind.extend_from_slice(name.as_bytes());
+        bind.push(0);
+        bind.extend_from_slice(&0i16.to_be_bytes()); // all-text param formats
+        bind.extend_from_slice(&(params.len() as i16).to_be_bytes());
+        for p in params {
+            match p {
+                None => bind.extend_from_slice(&(-1i32).to_be_bytes()),
+                Some(text) => {
+                    bind.extend_from_slice(&(text.len() as i32).to_be_bytes());
+                    bind.extend_from_slice(text.as_bytes());
+                }
+            }
+        }
+        bind.extend_from_slice(&0i16.to_be_bytes()); // all-text result formats
+        protocol::write_frame(&mut self.writer, b'B', &bind)?;
+        let mut execute = Vec::new();
+        execute.push(0); // unnamed portal
+        execute.extend_from_slice(&0i32.to_be_bytes()); // no row limit
+        protocol::write_frame(&mut self.writer, b'E', &execute)?;
+        protocol::write_frame(&mut self.writer, b'S', &[])?;
+        self.writer.flush()?;
+        let mut result = WireQueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            command_tag: String::new(),
+        };
+        let mut error: Option<WireError> = None;
+        loop {
+            let (tag, body) = protocol::read_frame(&mut self.reader)?;
+            match tag {
+                b'2' | b'I' | b'N' | b'S' => {}
+                b'T' => result.columns = parse_row_description(&body)?,
+                b'D' => result.rows.push(parse_data_row(&body)?),
+                b'C' => result.command_tag = protocol::parse_cstr_body(&body)?,
+                b'E' => {
+                    let (severity, code, message) = protocol::parse_error_body(&body);
+                    let fatal = severity == "FATAL";
+                    error = Some(WireError::Server {
+                        severity,
+                        code,
+                        message,
+                    });
+                    if fatal {
+                        return Err(error.unwrap());
+                    }
+                }
+                b'Z' => {
+                    return match error {
+                        Some(e) => Err(e),
+                        None => Ok(result),
+                    }
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected frame {:?} in execute cycle",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Closes a named server-side statement (`Close` + `Sync`). Absent
+    /// names succeed — `Close` is idempotent on the wire.
+    pub fn close_statement(&mut self, name: &str) -> Result<(), WireError> {
+        let mut close = vec![b'S'];
+        close.extend_from_slice(name.as_bytes());
+        close.push(0);
+        protocol::write_frame(&mut self.writer, b'C', &close)?;
+        protocol::write_frame(&mut self.writer, b'S', &[])?;
+        self.writer.flush()?;
+        let mut error: Option<WireError> = None;
+        loop {
+            let (tag, body) = protocol::read_frame(&mut self.reader)?;
+            match tag {
+                b'3' | b'N' | b'S' => {}
+                b'E' => {
+                    let (severity, code, message) = protocol::parse_error_body(&body);
+                    let fatal = severity == "FATAL";
+                    error = Some(WireError::Server {
+                        severity,
+                        code,
+                        message,
+                    });
+                    if fatal {
+                        return Err(error.unwrap());
+                    }
+                }
+                b'Z' => {
+                    return match error {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected frame {:?} in close cycle",
                         other as char
                     )))
                 }
@@ -331,6 +521,24 @@ pub fn wire_canonical_dump(
         out.push('\n');
     }
     Ok(out)
+}
+
+fn parse_param_description(body: &[u8]) -> Result<Vec<i32>, WireError> {
+    let malformed = || WireError::Protocol("malformed ParameterDescription".into());
+    if body.len() < 2 {
+        return Err(malformed());
+    }
+    let n = i16::from_be_bytes(body[0..2].try_into().unwrap());
+    let mut oids = Vec::with_capacity(n.max(0) as usize);
+    let mut rest = &body[2..];
+    for _ in 0..n {
+        if rest.len() < 4 {
+            return Err(malformed());
+        }
+        oids.push(i32::from_be_bytes(rest[0..4].try_into().unwrap()));
+        rest = &rest[4..];
+    }
+    Ok(oids)
 }
 
 fn parse_row_description(body: &[u8]) -> Result<Vec<(String, i32)>, WireError> {

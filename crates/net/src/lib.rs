@@ -63,9 +63,20 @@
 //!
 //! The protocol subset: startup (+`SSLRequest` refused with `N`),
 //! `AuthenticationCleartextPassword`/`AuthenticationOk`, simple query
-//! `Q`, `RowDescription`/`DataRow`/`CommandComplete`, `ErrorResponse`,
-//! `ReadyForQuery`, `Terminate`. Extended-protocol (parse/bind),
-//! COPY, and cancellation are out of scope.
+//! `Q` (an empty query string answers `EmptyQueryResponse`),
+//! `RowDescription`/`DataRow`/`CommandComplete`, `ErrorResponse`,
+//! `ReadyForQuery`, `Terminate`, and the **extended protocol**:
+//! `Parse`/`Bind`/`Describe`/`Execute`/`Close`/`Sync` over
+//! [`Proxy::prepare`](cryptdb_core::proxy::Proxy::prepare)'s
+//! parse-once rewrite-plan cache, with named statements and portals
+//! per connection (bounded by
+//! [`NetLimits::max_prepared_statements`]), text-format parameters
+//! only, and pgwire error recovery (after an error, extended messages
+//! are skipped until `Sync`). Documented deviations: `Execute`
+//! responses include `RowDescription` (OIDs inferred from decrypted
+//! values; `Describe` advertises text), `Execute`'s max-row count is
+//! ignored (all rows return), and portals survive `Sync`. COPY and
+//! cancellation are out of scope.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,7 +87,9 @@ mod client;
 mod limits;
 mod mux;
 
-pub use client::{wire_canonical_dump, ConnectConfig, NetClient, WireError, WireQueryResult};
+pub use client::{
+    wire_canonical_dump, ConnectConfig, NetClient, WireError, WirePrepared, WireQueryResult,
+};
 pub use limits::NetLimits;
 
 use cryptdb_core::proxy::Proxy;
@@ -120,6 +133,17 @@ pub struct NetStats {
     /// Automatic snapshot attempts that failed (retried on a backoff;
     /// durability of acknowledged statements is unaffected).
     pub snapshot_failures: u64,
+    /// Rewrite plans currently held by the proxy's prepared-statement
+    /// plan cache.
+    pub plans_cached: u64,
+    /// `prepare` calls answered from the plan cache.
+    pub plan_hits: u64,
+    /// `prepare` calls that planned from scratch (key absent).
+    pub plan_misses: u64,
+    /// Cached plans discarded because the schema epoch moved under
+    /// them (DDL or onion-layer adjustment) — each one was re-planned,
+    /// never executed stale.
+    pub plans_invalidated: u64,
 }
 
 /// Outcome of a graceful [`NetServer::drain`].
@@ -270,6 +294,7 @@ impl NetServer {
     pub fn stats(&self) -> NetStats {
         let c = &self.shared.counters;
         let durability = self.proxy.engine().durability_stats();
+        let plans = self.proxy.plan_cache_stats();
         NetStats {
             live_connections: c.live.load(Ordering::Acquire),
             inflight_statements: self.shared.inflight.load(Ordering::Acquire),
@@ -282,6 +307,10 @@ impl NetServer {
             shed_writes: c.shed_writes.load(Ordering::Relaxed),
             wal_append_failures: durability.wal_append_failures,
             snapshot_failures: durability.snapshot_failures,
+            plans_cached: plans.cached,
+            plan_hits: plans.hits,
+            plan_misses: plans.misses,
+            plans_invalidated: plans.invalidated,
         }
     }
 

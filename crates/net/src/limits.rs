@@ -49,6 +49,10 @@ use std::time::Duration;
 /// 7. **Idle deadline** ([`idle_deadline`], off by default): an
 ///    authenticated connection with no traffic in this window is closed
 ///    with `FATAL` `57P05`.
+/// 8. **Prepared-statement cap** ([`max_prepared_statements`]): a
+///    `Parse` naming a new statement once the per-connection map is
+///    full draws `ERROR` `53400` (and puts the extended protocol in its
+///    error state until `Sync`); `Close` frees slots.
 ///
 /// [`max_connections`]: NetLimits::max_connections
 /// [`handshake_deadline`]: NetLimits::handshake_deadline
@@ -58,6 +62,7 @@ use std::time::Duration;
 /// [`egress_bytes`]: NetLimits::egress_bytes
 /// [`slow_consumer_grace`]: NetLimits::slow_consumer_grace
 /// [`idle_deadline`]: NetLimits::idle_deadline
+/// [`max_prepared_statements`]: NetLimits::max_prepared_statements
 #[derive(Clone, Debug)]
 pub struct NetLimits {
     /// Multiplexer threads servicing all connections (default 2). Each
@@ -102,6 +107,11 @@ pub struct NetLimits {
     /// How long a connection may stay at or over its egress bound
     /// before it is evicted as a slow consumer (default 2 s).
     pub slow_consumer_grace: Duration,
+    /// Per-connection cap on named prepared statements held at once
+    /// (default 64). A `Parse` that would grow the map past the cap is
+    /// answered with `ERROR` SQLSTATE `53400`; the unnamed statement
+    /// and redefinitions of an existing name never count against it.
+    pub max_prepared_statements: usize,
     /// Longest a multiplexer thread parks when every socket is quiet
     /// (default 2 ms). Parks start at ~1/10th of this after activity
     /// and back off; egress completions wake the thread early, so this
@@ -123,6 +133,7 @@ impl Default for NetLimits {
             idle_deadline: None,
             statement_deadline: None,
             slow_consumer_grace: Duration::from_secs(2),
+            max_prepared_statements: 64,
             poll_interval: Duration::from_millis(2),
         }
     }
@@ -139,6 +150,7 @@ impl NetLimits {
         self.max_connections = self.max_connections.max(1);
         self.max_inflight_statements = self.max_inflight_statements.max(1);
         self.ingress_statements = self.ingress_statements.max(1);
+        self.max_prepared_statements = self.max_prepared_statements.max(1);
         self.max_frame = self.max_frame.clamp(64, i32::MAX as usize - 4);
         self
     }

@@ -24,11 +24,11 @@
 use crate::limits::NetLimits;
 use crate::protocol;
 use crate::{command_verb, push_query_result, sqlstate};
-use cryptdb_core::proxy::Proxy;
+use cryptdb_core::proxy::{ColumnType, Param, PreparedStatement, Proxy};
 use cryptdb_core::ProxyError;
 use cryptdb_engine::QueryResult;
 use cryptdb_server::StatementSession;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -237,6 +237,49 @@ fn respond_frames(verb: &str, result: Result<QueryResult, ProxyError>) -> Vec<u8
     out
 }
 
+/// Pushes one `ERROR`-severity `ErrorResponse` (no `ReadyForQuery`):
+/// the extended-protocol error shape. Callers set [`ExtState::failed`]
+/// themselves, under the lock they already hold.
+fn push_err(egress: &Egress, code: &str, message: &str) {
+    let mut out = Vec::new();
+    protocol::push_frame(
+        &mut out,
+        b'E',
+        &protocol::error_body("ERROR", code, message),
+    );
+    egress.push(out);
+}
+
+/// A server-side statement created by `Parse`. `prepared` is `None` for
+/// an empty (whitespace-only) query string, which `Execute` answers
+/// with `EmptyQueryResponse` per pgwire.
+struct WireStatement {
+    prepared: Option<PreparedStatement>,
+}
+
+/// A portal created by `Bind`: the source statement plus its decoded
+/// parameter values, ready for `Execute`.
+#[derive(Clone)]
+struct Portal {
+    stmt: Arc<WireStatement>,
+    params: Vec<Param>,
+}
+
+/// Per-connection extended-protocol state. The mux thread only clones
+/// the `Arc` handle; every read and write happens inside the session's
+/// *ordered* jobs (and responder closures), so named-statement
+/// bookkeeping is sequenced exactly like statement execution — a
+/// pipelined `Parse`/`Bind`/`Execute` can never observe a peer
+/// message's effects out of order.
+#[derive(Default)]
+struct ExtState {
+    stmts: HashMap<String, Arc<WireStatement>>,
+    portals: HashMap<String, Portal>,
+    /// An extended-protocol error was sent: skip subsequent extended
+    /// messages until `Sync` resets this (pgwire error recovery).
+    failed: bool,
+}
+
 /// Connection protocol phase (pre-session states are the handshake).
 enum Phase {
     /// Waiting for a startup packet (possibly after an `SSLRequest`
@@ -266,6 +309,8 @@ pub(crate) struct Conn {
     wbuf: Vec<u8>,
     woff: usize,
     egress: Arc<Egress>,
+    /// Extended-protocol statement/portal maps (see [`ExtState`]).
+    ext: Arc<Mutex<ExtState>>,
     phase: Phase,
     session: Option<StatementSession>,
     principal: Option<String>,
@@ -306,6 +351,7 @@ impl Conn {
             wbuf: Vec::new(),
             woff: 0,
             egress: Arc::new(Egress::new(waker)),
+            ext: Arc::new(Mutex::new(ExtState::default())),
             phase: Phase::Startup,
             session: None,
             principal: None,
@@ -525,6 +571,12 @@ impl Conn {
                 self.fatal_close("08P01", "expected cleartext PasswordMessage");
             }
             (Phase::Ready, b'Q') => self.on_query(shared, body),
+            (Phase::Ready, b'P') => self.on_parse(shared, body),
+            (Phase::Ready, b'B') => self.on_bind(body),
+            (Phase::Ready, b'D') => self.on_describe(body),
+            (Phase::Ready, b'E') => self.on_execute(shared, body),
+            (Phase::Ready, b'C') => self.on_close_target(body),
+            (Phase::Ready, b'S') => self.on_sync(),
             (Phase::Ready, b'X') => {
                 // Graceful terminate. PostgreSQL processes messages in
                 // order, so statements pipelined BEFORE the Terminate
@@ -584,8 +636,25 @@ impl Conn {
             return;
         };
         let Some(session) = &self.session else { return };
-        let verb = command_verb(&sql);
+        let ext = self.ext.clone();
         let egress = self.egress.clone();
+        if sql.trim().is_empty() {
+            // PostgreSQL answers an empty query string with
+            // EmptyQueryResponse, not a zero-row SELECT or a syntax
+            // error. Sequenced as an ordered job so pipelined
+            // statements ahead of it still respond first.
+            session.submit_job(move |_proxy| {
+                // ReadyForQuery ends the cycle, which also resets the
+                // extended protocol's error state (pgwire).
+                ext.lock().unwrap().failed = false;
+                let mut out = Vec::new();
+                protocol::push_frame(&mut out, b'I', &[]);
+                protocol::push_frame(&mut out, b'Z', &protocol::ready_body());
+                egress.push(out);
+            });
+            return;
+        }
+        let verb = command_verb(&sql);
         // Degraded read-only mode: the WAL cannot accept appends, so
         // every write is doomed to fail inside the engine anyway. Shed
         // them here — before they consume in-flight budget or a crypto
@@ -617,6 +686,7 @@ impl Conn {
                             .into(),
                     ),
                     move |result, _service_ns| {
+                        ext.lock().unwrap().failed = false;
                         egress.push(respond_frames(&verb, result));
                     },
                 );
@@ -627,6 +697,7 @@ impl Conn {
             Some(guard) => {
                 let deadline = shared.limits.statement_deadline.map(|d| Instant::now() + d);
                 session.submit_with_deadline(sql, deadline, move |result, _service_ns| {
+                    ext.lock().unwrap().failed = false;
                     egress.push(respond_frames(&verb, result));
                     drop(guard);
                 });
@@ -643,11 +714,381 @@ impl Conn {
                         "in-flight statement budget exhausted; retry later".into(),
                     ),
                     move |result, _service_ns| {
+                        ext.lock().unwrap().failed = false;
                         egress.push(respond_frames(&verb, result));
                     },
                 );
             }
         }
+    }
+
+    /// `Parse`: plan a named server-side statement. The reader thread
+    /// only decodes the frame; planning (`Proxy::prepare` — parse,
+    /// rewrite, onion-level selection, key resolution) runs as an
+    /// ordered session job, sequenced with every other message on this
+    /// connection.
+    fn on_parse(&mut self, shared: &Arc<Shared>, body: &[u8]) {
+        let Ok((name, sql, _oid_hints)) = protocol::parse_parse_body(body) else {
+            self.fatal_close("08P01", "malformed Parse message");
+            return;
+        };
+        let Some(session) = &self.session else { return };
+        let ext = self.ext.clone();
+        let egress = self.egress.clone();
+        let cap = shared.limits.max_prepared_statements;
+        session.submit_job(move |proxy| {
+            let mut st = ext.lock().unwrap();
+            if st.failed {
+                return;
+            }
+            // The unnamed statement ("") may be redefined freely;
+            // named ones must be Closed first, as in PostgreSQL.
+            if !name.is_empty() && st.stmts.contains_key(&name) {
+                st.failed = true;
+                push_err(
+                    &egress,
+                    "42P05",
+                    &format!("prepared statement \"{name}\" already exists"),
+                );
+                return;
+            }
+            if !st.stmts.contains_key(&name) && st.stmts.len() >= cap {
+                st.failed = true;
+                push_err(
+                    &egress,
+                    "53400",
+                    "too many prepared statements on this connection",
+                );
+                return;
+            }
+            let prepared = if sql.trim().is_empty() {
+                None
+            } else {
+                let planned =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| proxy.prepare(&sql)));
+                match planned {
+                    Ok(Ok(ps)) => Some(ps),
+                    Ok(Err(e)) => {
+                        st.failed = true;
+                        push_err(&egress, sqlstate(&e), &e.to_string());
+                        return;
+                    }
+                    Err(_) => {
+                        st.failed = true;
+                        push_err(&egress, "XX000", "statement planning panicked");
+                        return;
+                    }
+                }
+            };
+            st.stmts.insert(name, Arc::new(WireStatement { prepared }));
+            let mut out = Vec::new();
+            protocol::push_frame(&mut out, b'1', &[]);
+            egress.push(out);
+        });
+    }
+
+    /// `Bind`: decode text-format parameter values against the
+    /// statement's plan-derived slot types and create a portal. An
+    /// integer-typed slot (the target column stores ints) parses the
+    /// text as `i64`; a text slot binds verbatim; an untyped slot
+    /// (plaintext column or no typed target) binds ints when the text
+    /// parses as one, text otherwise.
+    fn on_bind(&mut self, body: &[u8]) {
+        let Ok((portal, stmt_name, raw_params)) = protocol::parse_bind_body(body) else {
+            self.fatal_close("08P01", "malformed Bind message");
+            return;
+        };
+        let Some(session) = &self.session else { return };
+        let ext = self.ext.clone();
+        let egress = self.egress.clone();
+        session.submit_job(move |_proxy| {
+            let mut st = ext.lock().unwrap();
+            if st.failed {
+                return;
+            }
+            let Some(ws) = st.stmts.get(&stmt_name).cloned() else {
+                st.failed = true;
+                push_err(
+                    &egress,
+                    "26000",
+                    &format!("prepared statement \"{stmt_name}\" does not exist"),
+                );
+                return;
+            };
+            let want = ws.prepared.as_ref().map_or(0, |ps| ps.param_count());
+            if raw_params.len() != want {
+                st.failed = true;
+                push_err(
+                    &egress,
+                    "08P01",
+                    &format!(
+                        "bind message supplies {} parameters, but prepared statement \
+                         \"{stmt_name}\" requires {want}",
+                        raw_params.len()
+                    ),
+                );
+                return;
+            }
+            let kinds: Vec<Option<ColumnType>> = ws
+                .prepared
+                .as_ref()
+                .map(|ps| ps.param_kinds().to_vec())
+                .unwrap_or_default();
+            let mut params = Vec::with_capacity(raw_params.len());
+            for (i, raw) in raw_params.into_iter().enumerate() {
+                let value = match raw {
+                    None => Param::Null,
+                    Some(bytes) => {
+                        let Ok(text) = String::from_utf8(bytes) else {
+                            st.failed = true;
+                            push_err(
+                                &egress,
+                                "22P02",
+                                &format!("parameter ${} is not valid UTF-8", i + 1),
+                            );
+                            return;
+                        };
+                        match kinds.get(i).copied().flatten() {
+                            Some(ColumnType::Int) => match text.parse::<i64>() {
+                                Ok(n) => Param::Int(n),
+                                Err(_) => {
+                                    st.failed = true;
+                                    push_err(
+                                        &egress,
+                                        "22P02",
+                                        &format!(
+                                            "invalid integer for parameter ${}: {text:?}",
+                                            i + 1
+                                        ),
+                                    );
+                                    return;
+                                }
+                            },
+                            Some(ColumnType::Text) => Param::Str(text),
+                            None => match text.parse::<i64>() {
+                                Ok(n) => Param::Int(n),
+                                Err(_) => Param::Str(text),
+                            },
+                        }
+                    }
+                };
+                params.push(value);
+            }
+            st.portals.insert(portal, Portal { stmt: ws, params });
+            let mut out = Vec::new();
+            protocol::push_frame(&mut out, b'2', &[]);
+            egress.push(out);
+        });
+    }
+
+    /// `Describe`: `ParameterDescription` (+`RowDescription` or
+    /// `NoData`) for a statement, `RowDescription`/`NoData` for a
+    /// portal. Result-column OIDs are advertised as text here and
+    /// refined from actual decrypted values at `Execute` (this
+    /// front-end's documented subset).
+    fn on_describe(&mut self, body: &[u8]) {
+        let Ok((kind, name)) = protocol::parse_describe_body(body) else {
+            self.fatal_close("08P01", "malformed Describe message");
+            return;
+        };
+        let Some(session) = &self.session else { return };
+        let ext = self.ext.clone();
+        let egress = self.egress.clone();
+        session.submit_job(move |_proxy| {
+            let mut st = ext.lock().unwrap();
+            if st.failed {
+                return;
+            }
+            let stmt = if kind == b'S' {
+                match st.stmts.get(&name) {
+                    Some(ws) => ws.clone(),
+                    None => {
+                        st.failed = true;
+                        push_err(
+                            &egress,
+                            "26000",
+                            &format!("prepared statement \"{name}\" does not exist"),
+                        );
+                        return;
+                    }
+                }
+            } else {
+                match st.portals.get(&name) {
+                    Some(p) => p.stmt.clone(),
+                    None => {
+                        st.failed = true;
+                        push_err(
+                            &egress,
+                            "34000",
+                            &format!("portal \"{name}\" does not exist"),
+                        );
+                        return;
+                    }
+                }
+            };
+            let mut out = Vec::new();
+            if kind == b'S' {
+                let oids: Vec<i32> = stmt
+                    .prepared
+                    .as_ref()
+                    .map(|ps| {
+                        ps.param_kinds()
+                            .iter()
+                            .map(|k| match k {
+                                Some(ColumnType::Int) => protocol::OID_INT8,
+                                _ => protocol::OID_TEXT,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                protocol::push_frame(&mut out, b't', &protocol::param_description_body(&oids));
+            }
+            match stmt.prepared.as_ref().and_then(|ps| ps.columns()) {
+                Some(cols) => {
+                    let described: Vec<(String, i32)> = cols
+                        .iter()
+                        .map(|c| (c.clone(), protocol::OID_TEXT))
+                        .collect();
+                    protocol::push_frame(
+                        &mut out,
+                        b'T',
+                        &protocol::row_description_body(&described),
+                    );
+                }
+                // Writes, DDL, generic plans, and the empty statement
+                // have no describable result shape.
+                None => protocol::push_frame(&mut out, b'n', &[]),
+            }
+            egress.push(out);
+        });
+    }
+
+    /// `Execute`: run a bound portal. Result frames are pushed
+    /// *without* a trailing `ReadyForQuery` — that belongs to `Sync`.
+    /// Shares the global in-flight budget and queue-wait deadline with
+    /// the simple path.
+    fn on_execute(&mut self, shared: &Arc<Shared>, body: &[u8]) {
+        let Ok((portal, _maxrows)) = protocol::parse_execute_body(body) else {
+            self.fatal_close("08P01", "malformed Execute message");
+            return;
+        };
+        let Some(session) = &self.session else { return };
+        let ext = self.ext.clone();
+        let egress = self.egress.clone();
+        let Some(guard) = InflightGuard::try_acquire(shared) else {
+            shared
+                .counters
+                .rejected_statements
+                .fetch_add(1, Ordering::Relaxed);
+            session.submit_job(move |_proxy| {
+                let mut st = ext.lock().unwrap();
+                if st.failed {
+                    return;
+                }
+                st.failed = true;
+                push_err(
+                    &egress,
+                    "53400",
+                    "in-flight statement budget exhausted; retry later",
+                );
+            });
+            return;
+        };
+        let deadline = shared.limits.statement_deadline.map(|d| Instant::now() + d);
+        session.submit_job(move |proxy| {
+            let _guard = guard;
+            let mut st = ext.lock().unwrap();
+            if st.failed {
+                return;
+            }
+            if deadline.is_some_and(|d| Instant::now() > d) {
+                st.failed = true;
+                push_err(
+                    &egress,
+                    "57014",
+                    "canceling statement due to queue-wait deadline",
+                );
+                return;
+            }
+            let Some(p) = st.portals.get(&portal).cloned() else {
+                st.failed = true;
+                push_err(
+                    &egress,
+                    "34000",
+                    &format!("portal \"{portal}\" does not exist"),
+                );
+                return;
+            };
+            let Some(ps) = p.stmt.prepared.clone() else {
+                let mut out = Vec::new();
+                protocol::push_frame(&mut out, b'I', &[]);
+                egress.push(out);
+                return;
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                proxy.execute_prepared(&ps, &p.params)
+            }));
+            match result {
+                Ok(Ok(r)) => {
+                    let mut out = Vec::new();
+                    push_query_result(&mut out, &command_verb(ps.sql()), &r);
+                    egress.push(out);
+                }
+                Ok(Err(e)) => {
+                    st.failed = true;
+                    push_err(&egress, sqlstate(&e), &e.to_string());
+                }
+                Err(_) => {
+                    st.failed = true;
+                    push_err(&egress, "XX000", "statement execution panicked");
+                }
+            }
+        });
+    }
+
+    /// `Close`: drop a statement or portal. Idempotent — an absent
+    /// target still answers `CloseComplete`, as in PostgreSQL; closing
+    /// a statement also closes portals constructed from it.
+    fn on_close_target(&mut self, body: &[u8]) {
+        let Ok((kind, name)) = protocol::parse_describe_body(body) else {
+            self.fatal_close("08P01", "malformed Close message");
+            return;
+        };
+        let Some(session) = &self.session else { return };
+        let ext = self.ext.clone();
+        let egress = self.egress.clone();
+        session.submit_job(move |_proxy| {
+            let mut st = ext.lock().unwrap();
+            if st.failed {
+                return;
+            }
+            if kind == b'S' {
+                if let Some(ws) = st.stmts.remove(&name) {
+                    st.portals.retain(|_, p| !Arc::ptr_eq(&p.stmt, &ws));
+                }
+            } else {
+                st.portals.remove(&name);
+            }
+            let mut out = Vec::new();
+            protocol::push_frame(&mut out, b'3', &[]);
+            egress.push(out);
+        });
+    }
+
+    /// `Sync`: end the extended-protocol cycle — clear the error-skip
+    /// state and answer `ReadyForQuery`. Portals survive `Sync` here
+    /// (this subset has no wire-level transactions to scope them to);
+    /// they die on re-`Bind`, `Close`, or disconnect.
+    fn on_sync(&mut self) {
+        let Some(session) = &self.session else { return };
+        let ext = self.ext.clone();
+        let egress = self.egress.clone();
+        session.submit_job(move |_proxy| {
+            ext.lock().unwrap().failed = false;
+            let mut out = Vec::new();
+            protocol::push_frame(&mut out, b'Z', &protocol::ready_body());
+            egress.push(out);
+        });
     }
 
     /// FATAL error + orderly close: the error frame flushes, nothing

@@ -296,3 +296,123 @@ pub fn parse_cstr_body(body: &[u8]) -> io::Result<String> {
     let (s, _) = take_cstr(body)?;
     Ok(s)
 }
+
+// ---- extended-protocol frame bodies ----
+
+fn take_i16(buf: &[u8]) -> io::Result<(i16, &[u8])> {
+    if buf.len() < 2 {
+        return Err(bad("truncated int16"));
+    }
+    Ok((i16::from_be_bytes(buf[0..2].try_into().unwrap()), &buf[2..]))
+}
+
+fn take_i32(buf: &[u8]) -> io::Result<(i32, &[u8])> {
+    if buf.len() < 4 {
+        return Err(bad("truncated int32"));
+    }
+    Ok((i32::from_be_bytes(buf[0..4].try_into().unwrap()), &buf[4..]))
+}
+
+/// Parses a `Parse` body: statement name, query text, and the client's
+/// parameter-type OID hints (which this front-end accepts but ignores —
+/// parameter types come from the rewrite plan).
+pub fn parse_parse_body(body: &[u8]) -> io::Result<(String, String, Vec<i32>)> {
+    let (name, rest) = take_cstr(body)?;
+    let (sql, rest) = take_cstr(rest)?;
+    let (n, mut rest) = take_i16(rest)?;
+    if n < 0 {
+        return Err(bad("negative parameter-type count"));
+    }
+    let mut oids = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let (oid, tail) = take_i32(rest)?;
+        oids.push(oid);
+        rest = tail;
+    }
+    Ok((name, sql, oids))
+}
+
+/// Raw text-form parameter values from a `Bind` body (`None` = NULL).
+pub type BindValues = Vec<Option<Vec<u8>>>;
+
+/// Parses a `Bind` body: portal name, statement name, and the text-form
+/// parameter values (`None` = NULL). Binary parameter or result format
+/// codes are rejected — this front-end is text-only.
+pub fn parse_bind_body(body: &[u8]) -> io::Result<(String, String, BindValues)> {
+    let (portal, rest) = take_cstr(body)?;
+    let (stmt, rest) = take_cstr(rest)?;
+    let (nfmt, mut rest) = take_i16(rest)?;
+    if nfmt < 0 {
+        return Err(bad("negative format-code count"));
+    }
+    for _ in 0..nfmt {
+        let (code, tail) = take_i16(rest)?;
+        if code != 0 {
+            return Err(bad("binary parameter format not supported"));
+        }
+        rest = tail;
+    }
+    let (nparams, mut rest) = take_i16(rest)?;
+    if nparams < 0 {
+        return Err(bad("negative parameter count"));
+    }
+    let mut params = Vec::with_capacity(nparams as usize);
+    for _ in 0..nparams {
+        let (len, tail) = take_i32(rest)?;
+        if len < 0 {
+            params.push(None);
+            rest = tail;
+        } else {
+            let len = len as usize;
+            if tail.len() < len {
+                return Err(bad("truncated parameter value"));
+            }
+            params.push(Some(tail[..len].to_vec()));
+            rest = &tail[len..];
+        }
+    }
+    let (nres, mut rest) = take_i16(rest)?;
+    if nres < 0 {
+        return Err(bad("negative result-format count"));
+    }
+    for _ in 0..nres {
+        let (code, tail) = take_i16(rest)?;
+        if code != 0 {
+            return Err(bad("binary result format not supported"));
+        }
+        rest = tail;
+    }
+    let _ = rest;
+    Ok((portal, stmt, params))
+}
+
+/// Parses a `Describe` or `Close` body: target kind (`'S'` statement /
+/// `'P'` portal) plus name.
+pub fn parse_describe_body(body: &[u8]) -> io::Result<(u8, String)> {
+    let Some((&kind, rest)) = body.split_first() else {
+        return Err(bad("empty describe/close body"));
+    };
+    if kind != b'S' && kind != b'P' {
+        return Err(bad("describe/close target must be 'S' or 'P'"));
+    }
+    let (name, _) = take_cstr(rest)?;
+    Ok((kind, name))
+}
+
+/// Parses an `Execute` body: portal name plus max-row count (0 = all;
+/// this front-end always returns all rows, per its documented subset).
+pub fn parse_execute_body(body: &[u8]) -> io::Result<(String, i32)> {
+    let (portal, rest) = take_cstr(body)?;
+    let (maxrows, _) = take_i32(rest)?;
+    Ok((portal, maxrows))
+}
+
+/// Builds a `ParameterDescription` body from parameter type OIDs.
+pub fn param_description_body(oids: &[i32]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(oids.len() as i16).to_be_bytes());
+    for oid in oids {
+        body.extend_from_slice(&oid.to_be_bytes());
+    }
+    body
+}

@@ -40,7 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cryptdb_core::proxy::{Proxy, ProxyConfig};
+use cryptdb_core::proxy::{Param, PreparedStatement, Proxy, ProxyConfig};
 use cryptdb_core::ProxyError;
 use cryptdb_engine::{EngineRecovery, QueryResult, WalConfig};
 use cryptdb_runtime::{CancelToken, WorkerPool};
@@ -171,6 +171,10 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// (execution only, queue wait excluded), in submission order.
 pub type Responder = Box<dyn FnOnce(Result<QueryResult, ProxyError>, u64) + Send>;
 
+/// An ordered closure run against the session's proxy (see
+/// [`StatementSession::submit_job`]).
+pub type SessionJob = Box<dyn FnOnce(&Arc<Proxy>) + Send>;
+
 /// One queued unit of per-session work, executed in submission order.
 enum Entry {
     /// An ordinary statement, optionally with an execution deadline: if
@@ -191,6 +195,10 @@ enum Entry {
         error: ProxyError,
         respond: Responder,
     },
+    /// An arbitrary ordered job against the proxy (the extended-protocol
+    /// front-end runs Parse/Bind/Execute bookkeeping here so it
+    /// serialises with the session's simple statements).
+    Job(SessionJob),
 }
 
 struct SessionQueue {
@@ -282,6 +290,7 @@ impl SessionInner {
         let poison = ChainPoison { inner: &self };
         match entry {
             Entry::Reject { error, respond } => respond(Err(error), 0),
+            Entry::Job(job) => job(&self.proxy),
             Entry::Stmt {
                 deadline: Some(d),
                 respond,
@@ -410,6 +419,40 @@ impl StatementSession {
         self.push(Entry::Reject {
             error,
             respond: Box::new(respond),
+        });
+    }
+
+    /// Enqueues an arbitrary job in statement order: `job` runs on a
+    /// pool worker with the session's proxy, strictly after every
+    /// earlier entry and strictly before every later one. The extended
+    /// wire protocol (Parse/Bind/Describe/Execute) rides this so its
+    /// per-connection statement bookkeeping interleaves correctly with
+    /// simple `Q` statements on the same connection. A panicking job
+    /// poisons the session like a panicking responder.
+    pub fn submit_job(&self, job: impl FnOnce(&Arc<Proxy>) + Send + 'static) {
+        self.push(Entry::Job(Box::new(job)));
+    }
+
+    /// Enqueues one prepared-statement execution with `params` bound
+    /// positionally, ordered like [`submit`]: the responder runs with
+    /// the result and service time after every earlier entry's
+    /// responder. A panic during execution becomes an ordinary error
+    /// result, as on the simple path.
+    ///
+    /// [`submit`]: StatementSession::submit
+    pub fn submit_prepared(
+        &self,
+        ps: PreparedStatement,
+        params: Vec<Param>,
+        respond: impl FnOnce(Result<QueryResult, ProxyError>, u64) + Send + 'static,
+    ) {
+        self.submit_job(move |proxy| {
+            let t0 = Instant::now();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                proxy.execute_prepared(&ps, &params)
+            }))
+            .unwrap_or_else(|_| Err(ProxyError::Crypto("statement execution panicked".into())));
+            respond(result, t0.elapsed().as_nanos() as u64);
         });
     }
 

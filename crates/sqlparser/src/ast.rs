@@ -266,6 +266,11 @@ pub enum Expr {
         star: bool,
         distinct: bool,
     },
+    /// Positional parameter placeholder `$n` (1-based): a statement
+    /// *shape* token filled in at Bind/execute time. Statements holding
+    /// one cannot execute directly — the prepared-statement machinery
+    /// substitutes a literal for every occurrence first.
+    Param(u32),
 }
 
 impl Expr {
@@ -325,7 +330,7 @@ impl Expr {
                     a.walk(f);
                 }
             }
-            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => {}
         }
     }
 }
@@ -436,6 +441,7 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             }
             write!(f, ")")
         }
+        Expr::Param(n) => write!(f, "${n}"),
     }
 }
 

@@ -14,6 +14,9 @@ pub enum Token {
     Str(String),
     /// Hex-bytes literal `x'ab01'` (produced by the rewriter's printer).
     HexBytes(Vec<u8>),
+    /// Positional parameter placeholder `$n` (extended-protocol
+    /// prepared statements; 1-based).
+    Param(u32),
     LParen,
     RParen,
     Comma,
@@ -39,6 +42,7 @@ impl fmt::Display for Token {
             Token::Int(v) => write!(f, "{v}"),
             Token::Str(s) => write!(f, "'{s}'"),
             Token::HexBytes(_) => write!(f, "x'..'"),
+            Token::Param(n) => write!(f, "${n}"),
             Token::LParen => write!(f, "("),
             Token::RParen => write!(f, ")"),
             Token::Comma => write!(f, ","),
@@ -195,6 +199,7 @@ impl<'a> Lexer<'a> {
                     Token::Gt
                 }
             }
+            b'$' => self.lex_param()?,
             b'\'' => self.lex_string()?,
             b'"' | b'`' => self.lex_quoted_ident(c)?,
             b'0'..=b'9' => self.lex_number()?,
@@ -208,6 +213,26 @@ impl<'a> Lexer<'a> {
             }
         };
         Ok(Some(tok))
+    }
+
+    fn lex_param(&mut self) -> Result<Token, String> {
+        let dollar = self.bump();
+        debug_assert_eq!(dollar, Some(b'$'));
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected digits after '$' at {}", start));
+        }
+        let digits = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        let n: u32 = digits
+            .parse()
+            .map_err(|_| format!("parameter number ${digits} out of range"))?;
+        if n == 0 {
+            return Err("parameter numbers start at $1".into());
+        }
+        Ok(Token::Param(n))
     }
 
     fn lex_string(&mut self) -> Result<Token, String> {

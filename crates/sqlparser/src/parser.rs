@@ -668,6 +668,7 @@ impl Parser {
             Some(Token::Int(v)) => Ok(Expr::int(v)),
             Some(Token::Str(s)) => Ok(Expr::str(s)),
             Some(Token::HexBytes(b)) => Ok(Expr::Literal(Literal::Bytes(b))),
+            Some(Token::Param(n)) => Ok(Expr::Param(n)),
             Some(Token::LParen) => {
                 let e = self.expr()?;
                 self.expect(&Token::RParen)?;
@@ -827,6 +828,29 @@ mod tests {
             u.sets[0].1,
             Expr::binary(BinOp::Add, Expr::col("salary"), Expr::int(1))
         );
+    }
+
+    #[test]
+    fn param_placeholders_parse_and_roundtrip() {
+        let s = parse_statement("SELECT name FROM emp WHERE id = $1 AND age > $2").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let mut params = Vec::new();
+        sel.selection.as_ref().unwrap().walk(&mut |e| {
+            if let Expr::Param(n) = e {
+                params.push(*n);
+            }
+        });
+        assert_eq!(params, [1, 2]);
+        // Display round-trips the placeholder.
+        let e = Expr::binary(BinOp::Eq, Expr::col("id"), Expr::Param(7));
+        let printed = e.to_string();
+        assert!(printed.contains("$7"), "{printed}");
+        // $0 and a bare '$' are lex errors.
+        assert!(parse_statement("SELECT * FROM t WHERE a = $0").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE a = $").is_err());
+        // Params nest in IN lists and BETWEEN bounds.
+        parse_statement("SELECT * FROM t WHERE a IN ($1, $2, 3)").unwrap();
+        parse_statement("SELECT * FROM t WHERE a BETWEEN $1 AND $2").unwrap();
     }
 
     #[test]
