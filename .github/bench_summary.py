@@ -38,6 +38,9 @@ GATE_POLICY = {
     "diskfull_self_restored": ("flag", 1.0),
     "prepared_matches_simple": ("flag", 1.0),
     "prepared_vs_simple": ("min", 1.3),
+    "same_table_write_scaling": ("min", 2.0),
+    "same_table_matches_serial": ("flag", 1.0),
+    "same_table_errors": ("flag", 0.0),
 }
 
 
@@ -69,6 +72,14 @@ def gate_rows(path, data):
         # hosts (scaling_enforced flag); on a 1-thread build host the
         # ratio is informational, not a failure.
         if name == "scaling_4_vs_1" and gates.get("scaling_enforced") == 0:
+            yield path, name, value, ">= 2.0 (not armed: <4 threads)", "·"
+            continue
+        # Same policy for the same-table write ladder: its 2x bar is
+        # armed only on >= 4-hardware-thread hosts.
+        if (
+            name == "same_table_write_scaling"
+            and gates.get("same_table_scaling_enforced") == 0
+        ):
             yield path, name, value, ">= 2.0 (not armed: <4 threads)", "·"
             continue
         status, bar = verdict(name, value)
@@ -189,6 +200,18 @@ def main(paths):
                 f"{prepared.get('plan_hits', 0)} hits, "
                 f"{prepared.get('plan_misses', 0)} misses, "
                 f"{prepared.get('plans_invalidated', 0)} invalidated"
+            )
+        # Same-table contention rows postdate the sharded row store;
+        # the whole section is optional so older artifacts still render.
+        same_table = e2e.get("same_table")
+        if same_table:
+            qps1 = same_table.get("sessions_1", {}).get("qps", 0.0)
+            qps4 = same_table.get("sessions_4", {}).get("qps", 0.0)
+            print(
+                f"\nsame-table write contention "
+                f"({same_table.get('ops', 0)} pre-parsed ops on one table): "
+                f"{qps1:.1f} qps at 1 thread → {qps4:.1f} qps at 4 threads "
+                f"({same_table.get('scaling', 0):g}×)"
             )
         diskfull = e2e.get("disk_full")
         if diskfull:

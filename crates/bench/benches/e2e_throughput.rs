@@ -79,6 +79,17 @@
 //!   throughput. Measured in-process — wire round-trips would swamp
 //!   the per-statement planning cost this gate isolates. Enforced at
 //!   every size and host.
+//! * `same_table_write_scaling ≥ 2.0` / `same_table_matches_serial` /
+//!   `same_table_errors` — raw threads drive a fixed pre-parsed
+//!   INSERT/UPDATE statement set against ONE plaintext engine table at
+//!   1 and 4 threads. The hash-sharded row store must let same-table
+//!   writers run on separate cores (4-thread ≥ 2× 1-thread qps; before
+//!   sharding the table lock made this structurally ~1×), the ordered
+//!   dump after the concurrent run must be byte-identical to the serial
+//!   run, and every statement must succeed. The scaling ratio is
+//!   enforced only on ≥ 4 hardware threads
+//!   (`same_table_scaling_enforced` in the JSON); the parity and error
+//!   bars are enforced everywhere.
 //!
 //! Reduced-size knobs for CI: `CRYPTDB_BENCH_PAILLIER_BITS` (key size)
 //! and `CRYPTDB_E2E_STEPS` (driver steps per session; each step is one
@@ -1061,9 +1072,107 @@ fn main() {
         plan_stats.invalidated
     );
 
+    // ---- Same-table write contention ladder: raw threads hammering
+    // ONE engine table with pre-parsed plaintext INSERT/UPDATE
+    // statements, fixed total op count at 1 and 4 threads. This
+    // isolates the sharded row store from the crypto and proxy layers:
+    // before per-shard locking, same-table writers fully serialized on
+    // the table lock and this ratio was structurally ~1x no matter how
+    // many cores the host had.
+    const ST_THREADS: usize = 4;
+    // Plaintext engine ops run in ~1-2 µs; thousands per thread keep
+    // the level timings long enough to be scheduler-noise-free.
+    let st_ops_per_thread = (steps * 500).max(5_000);
+    let st_total_ops = ST_THREADS * st_ops_per_thread;
+    let st_traces: Vec<Vec<cryptdb_sqlparser::Stmt>> = (0..ST_THREADS)
+        .map(|t| {
+            let base = 100_000 * (t as i64 + 1);
+            let mut next = 0i64;
+            (0..st_ops_per_thread)
+                .map(|i| {
+                    let sql = if i % 4 == 3 {
+                        // Bump a row this partition inserted earlier —
+                        // point update through the id index.
+                        format!(
+                            "UPDATE contend SET v = v + {} WHERE id = {}",
+                            i % 7 + 1,
+                            base + (i as i64 % next.max(1))
+                        )
+                    } else {
+                        let id = base + next;
+                        next += 1;
+                        format!(
+                            "INSERT INTO contend (id, v, tag) VALUES ({id}, {}, 'w{t}-{i}')",
+                            (i as i64 * 3) % 97
+                        )
+                    };
+                    cryptdb_sqlparser::parse_statement(&sql).expect("contend trace parses")
+                })
+                .collect()
+        })
+        .collect();
+    // Runs the fixed statement set on `threads` raw threads (1 = serial
+    // oracle order) and returns (qps, errors, ordered canonical dump).
+    let st_run = |threads: usize| {
+        let engine = Engine::new();
+        engine
+            .execute_sql("CREATE TABLE contend (id int, v int, tag text)")
+            .unwrap();
+        engine.execute_sql("CREATE INDEX ON contend (id)").unwrap();
+        let mut errors = 0usize;
+        let t0 = Instant::now();
+        if threads == 1 {
+            for trace in &st_traces {
+                for stmt in trace {
+                    errors += usize::from(engine.execute(stmt).is_err());
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = st_traces
+                    .iter()
+                    .map(|trace| {
+                        let engine = &engine;
+                        scope.spawn(move || {
+                            trace.iter().filter(|s| engine.execute(s).is_err()).count()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    errors += h.join().unwrap();
+                }
+            });
+        }
+        let qps = st_total_ops as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        // Rowids interleave differently across schedules; ORDER BY id
+        // canonicalizes the dump (the traces commute by construction).
+        let dump = engine
+            .execute_sql("SELECT id, v, tag FROM contend ORDER BY id")
+            .unwrap()
+            .canonical_text();
+        (qps, errors, dump)
+    };
+    let (st_qps1, st_err1, st_dump1) = st_run(1);
+    let (st_qps4, st_err4, st_dump4) = st_run(ST_THREADS);
+    let same_table_scaling = st_qps4 / st_qps1;
+    let st_errors = st_err1 + st_err4;
+    let st_matches = st_dump1 == st_dump4;
+    println!(
+        "same-table ladder: 1-thread={st_qps1:.1} qps, {ST_THREADS}-thread={st_qps4:.1} qps \
+         ({same_table_scaling:.2}x over {st_total_ops} ops), parity={}, errors={st_errors}",
+        if st_matches {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
     // The 2× bar needs real hardware parallelism; below 4 threads the
     // ratio is reported but not enforced (see module docs).
     let scaling_enforced = host_parallelism >= 4 && worker_threads >= 4;
+    // The same-table ladder spawns its own raw threads, so it only
+    // needs the hardware, not the serving runtime's worker pool.
+    let same_table_enforced = host_parallelism >= 4;
 
     // ---- JSON + gates
     let gates = [
@@ -1114,6 +1223,16 @@ fn main() {
             if prep_matches { 1.0 } else { 0.0 },
         ),
         ("prepared_vs_simple", prepared_vs_simple),
+        ("same_table_write_scaling", same_table_scaling),
+        (
+            "same_table_scaling_enforced",
+            if same_table_enforced { 1.0 } else { 0.0 },
+        ),
+        (
+            "same_table_matches_serial",
+            if st_matches { 1.0 } else { 0.0 },
+        ),
+        ("same_table_errors", st_errors as f64),
     ];
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"modulus_bits\": {bits},\n"));
@@ -1199,6 +1318,12 @@ fn main() {
          \"plans_cached\": {}, \"plan_hits\": {}, \"plan_misses\": {}, \
          \"plans_invalidated\": {} }},\n",
         plan_stats.cached, plan_stats.hits, plan_stats.misses, plan_stats.invalidated
+    ));
+    json.push_str(&format!(
+        "  \"same_table\": {{ \"ops\": {st_total_ops}, \
+         \"sessions_1\": {{ \"qps\": {st_qps1:.1} }}, \
+         \"sessions_{ST_THREADS}\": {{ \"qps\": {st_qps4:.1} }}, \
+         \"scaling\": {same_table_scaling:.2} }},\n"
     ));
     json.push_str("  \"gates\": {\n");
     for (i, (name, x)) in gates.iter().enumerate() {
@@ -1311,6 +1436,14 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !st_matches {
+        eprintln!("FAIL: same-table concurrent run diverged from its serial oracle");
+        std::process::exit(1);
+    }
+    if st_errors > 0 {
+        eprintln!("FAIL: {st_errors} statements errored in the same-table ladder");
+        std::process::exit(1);
+    }
     if scaling_enforced && scaling_4_vs_1 < 2.0 {
         eprintln!(
             "FAIL: 4-session throughput only {scaling_4_vs_1:.2}x single-session \
@@ -1321,6 +1454,19 @@ fn main() {
     if !scaling_enforced {
         println!(
             "note: scaling gate reported but not enforced \
+             ({host_parallelism} hardware threads < 4)"
+        );
+    }
+    if same_table_enforced && same_table_scaling < 2.0 {
+        eprintln!(
+            "FAIL: same-table 4-thread write throughput only {same_table_scaling:.2}x \
+             single-thread (gate: >= 2.0x with {host_parallelism} hardware threads)"
+        );
+        std::process::exit(1);
+    }
+    if !same_table_enforced {
+        println!(
+            "note: same-table scaling gate reported but not enforced \
              ({host_parallelism} hardware threads < 4)"
         );
     }

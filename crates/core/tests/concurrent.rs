@@ -41,8 +41,9 @@ fn setup(proxy: &Proxy) {
 }
 
 /// Thread `t`'s trace: inserts into its own id partition, reads and
-/// sums freely, and increments only rows it owns — all operations
-/// commute across threads, so the final state is schedule-independent.
+/// sums freely, increments and deletes only rows it owns — all
+/// operations commute across threads, so the final state is
+/// schedule-independent.
 fn thread_trace(t: usize) -> Vec<String> {
     let base = 1000 * (t as i64 + 1);
     let mut stmts = Vec::new();
@@ -63,8 +64,19 @@ fn thread_trace(t: usize) -> Vec<String> {
                 t + 2
             ));
         }
+        if i % 4 == 1 {
+            // Deleting a row just inserted exercises the shard write
+            // path for removals without breaking commutativity (each
+            // thread only ever deletes its own ids).
+            stmts.push(format!("DELETE FROM ledger WHERE id = {id}"));
+        }
     }
     stmts
+}
+
+/// How many of a thread's rows its own trace deletes again.
+fn deleted_per_thread() -> i64 {
+    (0..ROWS_PER_THREAD).filter(|i| i % 4 == 1).count() as i64
 }
 
 fn dump(proxy: &Proxy) -> String {
@@ -105,7 +117,7 @@ fn interleaved_threads_match_serial_oracle() {
     let want = dump(&oracle);
     assert_eq!(
         got.lines().count(),
-        (THREADS as i64 * ROWS_PER_THREAD + 1) as usize,
+        (THREADS as i64 * (ROWS_PER_THREAD - deleted_per_thread()) + 1) as usize,
         "row count after concurrent run"
     );
     assert_eq!(got, want, "concurrent state diverged from serial oracle");

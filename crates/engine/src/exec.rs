@@ -1,7 +1,7 @@
 //! Query execution: expression evaluation, planning, joins, aggregation.
 
 use crate::error::EngineError;
-use crate::table::Table;
+use crate::table::{ColumnMeta, Table, TableView};
 use crate::udf::UdfRegistry;
 use crate::value::Value;
 use cryptdb_sqlparser::{BinOp, ColumnRef, Expr, Literal, Select, SelectItem, TableRef};
@@ -23,10 +23,15 @@ pub struct RowSchema {
 impl RowSchema {
     /// Builds a schema for a single table under an optional alias.
     pub fn for_table(table: &Table, alias: Option<&str>) -> Self {
+        Self::for_columns(table.columns(), alias)
+    }
+
+    /// Builds a schema from raw column metadata under an optional alias
+    /// (shared by [`RowSchema::for_table`] and view-based sources).
+    pub fn for_columns(columns: &[ColumnMeta], alias: Option<&str>) -> Self {
         let alias = alias.map(|a| a.to_lowercase());
         RowSchema {
-            cols: table
-                .columns()
+            cols: columns
                 .iter()
                 .map(|c| (alias.clone(), c.name.to_lowercase()))
                 .collect(),
@@ -564,38 +569,42 @@ fn eval_aggregate(
 
 // ---- SELECT planning & execution ----
 
-/// One scan source: a locked table plus its schema under its alias.
+/// One scan source: a shard-consistent table view plus its schema under
+/// its alias.
 pub struct Source<'a> {
-    pub table: &'a Table,
+    pub view: &'a TableView<'a>,
     pub schema: RowSchema,
 }
 
 impl<'a> Source<'a> {
-    pub fn new(table: &'a Table, tref: &TableRef) -> Self {
+    pub fn new(view: &'a TableView<'a>, tref: &TableRef) -> Self {
         let alias = Some(
             tref.alias
                 .clone()
                 .unwrap_or_else(|| tref.name.clone())
                 .to_lowercase(),
         );
-        let schema = RowSchema::for_table(table, alias.as_deref());
-        let _ = alias;
-        Source { table, schema }
+        let schema = RowSchema::for_columns(view.columns(), alias.as_deref());
+        Source { view, schema }
     }
 }
 
 /// Public wrapper used by UPDATE/DELETE planning in the engine facade.
 pub fn index_candidates_public(
-    table: &Table,
+    view: &TableView<'_>,
     schema: &RowSchema,
     filters: &[Expr],
 ) -> Option<Vec<u64>> {
-    index_candidates(table, schema, filters)
+    index_candidates(view, schema, filters)
 }
 
 /// Uses an index to produce candidate rowids for the given single-source
 /// filter conjuncts; `None` means full scan.
-fn index_candidates(table: &Table, schema: &RowSchema, filters: &[Expr]) -> Option<Vec<u64>> {
+fn index_candidates(
+    table: &TableView<'_>,
+    schema: &RowSchema,
+    filters: &[Expr],
+) -> Option<Vec<u64>> {
     // Prefer equality probes, then ranges.
     let mut range_choice: Option<Vec<u64>> = None;
     for f in filters {
@@ -698,16 +707,16 @@ fn scan_source(
         out.push(row.clone());
         Ok(())
     };
-    match index_candidates(src.table, &src.schema, filters) {
+    match index_candidates(src.view, &src.schema, filters) {
         Some(ids) => {
             for id in ids {
-                if let Some(row) = src.table.row(id) {
+                if let Some(row) = src.view.row(id) {
                     push(row)?;
                 }
             }
         }
         None => {
-            for (_, row) in src.table.iter() {
+            for (_, row) in src.view.iter() {
                 push(row)?;
             }
         }

@@ -19,8 +19,10 @@
 //! * a query executor with selection push-down, hash equi-joins, grouping
 //!   and aggregates, `ORDER BY`/`LIMIT`, `DISTINCT`,
 //! * scalar and aggregate UDF registries,
-//! * per-table reader/writer locks so multi-core throughput scales until
-//!   write contention (Fig. 10's shape),
+//! * hash-sharded row storage with per-shard reader/writer locks (the
+//!   table lock is only a schema/DDL lock), so multi-core throughput
+//!   scales even when every writer targets the same table (Fig. 10's
+//!   shape without the single-table write cliff),
 //! * snapshot transactions (`BEGIN`/`COMMIT`/`ROLLBACK`).
 
 #![forbid(unsafe_code)]
@@ -35,7 +37,7 @@ mod wal_store;
 
 pub use engine::{DurabilityStats, Engine, EngineRecovery, QueryResult};
 pub use error::EngineError;
-pub use table::{ColumnMeta, Table};
+pub use table::{ColumnMeta, RowIter, ShardWriteSet, Table, TableView};
 pub use udf::{AggregateUdf, ScalarUdf, UdfRegistry};
 pub use value::Value;
 pub use wal_store::WalOp;

@@ -1,9 +1,29 @@
-//! Table storage with secondary B-tree indexes.
+//! Hash-sharded table storage with secondary B-tree indexes.
+//!
+//! Row storage is partitioned into a fixed power-of-two number of
+//! rid-hashed shards (`shard_of(rid) = rid & mask`), each behind its
+//! own `RwLock`, so writers touching disjoint shards proceed in
+//! parallel. The table-level lock in the engine catalog is demoted to
+//! a schema/DDL lock: DML holds it shared and takes only the shard
+//! locks it touches, schema changes and snapshots hold it exclusively.
+//!
+//! Lock order (global, deadlock-free): catalog → table schema lock →
+//! shard locks in ascending index order → WAL mutex. Every multi-shard
+//! acquisition in this module ([`Table::read_view`],
+//! [`Table::lock_shards`], [`Table::lock_all_shards_write`], `Clone`)
+//! acquires ascending and holds until drop.
+//!
+//! Because consecutive rowids round-robin across shards, concurrent
+//! inserters almost never collide on a shard lock.
 
 use crate::error::EngineError;
 use crate::value::{OrdValue, Value};
 use cryptdb_sqlparser::ColumnType;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{btree_map, BTreeMap, BTreeSet, HashMap};
+use std::iter::Peekable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Column metadata.
 #[derive(Clone, Debug, PartialEq)]
@@ -12,21 +32,94 @@ pub struct ColumnMeta {
     pub ty: ColumnType,
 }
 
-/// An in-memory table: schema + rows keyed by rowid + secondary indexes.
-#[derive(Clone)]
+/// Shard count used by [`Table::new`]: `CRYPTDB_TABLE_SHARDS` rounded
+/// up to a power of two (clamped to 1..=1024), default 16.
+fn default_shard_count() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("CRYPTDB_TABLE_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(16)
+            .clamp(1, 1024)
+            .next_power_of_two()
+    })
+}
+
+/// One hash shard: a rowid-keyed row map plus this shard's fragment of
+/// every secondary index (column position → value → rowids).
+#[derive(Clone, Default)]
+struct Shard {
+    rows: BTreeMap<u64, Vec<Value>>,
+    indexes: HashMap<usize, BTreeMap<OrdValue, BTreeSet<u64>>>,
+}
+
+impl Shard {
+    fn insert_row(&mut self, rowid: u64, row: Vec<Value>) {
+        for (&col, index) in self.indexes.iter_mut() {
+            index
+                .entry(OrdValue(row[col].clone()))
+                .or_default()
+                .insert(rowid);
+        }
+        self.rows.insert(rowid, row);
+    }
+
+    fn remove_row(&mut self, rowid: u64) -> bool {
+        let Some(row) = self.rows.remove(&rowid) else {
+            return false;
+        };
+        for (&col, index) in self.indexes.iter_mut() {
+            let key = OrdValue(row[col].clone());
+            if let Some(set) = index.get_mut(&key) {
+                set.remove(&rowid);
+                if set.is_empty() {
+                    index.remove(&key);
+                }
+            }
+        }
+        true
+    }
+
+    fn set_cell(&mut self, rowid: u64, col: usize, value: Value) {
+        let Some(row) = self.rows.get_mut(&rowid) else {
+            return;
+        };
+        let old = std::mem::replace(&mut row[col], value.clone());
+        if let Some(index) = self.indexes.get_mut(&col) {
+            let key = OrdValue(old);
+            if let Some(set) = index.get_mut(&key) {
+                set.remove(&rowid);
+                if set.is_empty() {
+                    index.remove(&key);
+                }
+            }
+            index.entry(OrdValue(value)).or_default().insert(rowid);
+        }
+    }
+}
+
+/// An in-memory table: immutable schema + rid-hashed row shards, each
+/// behind its own `RwLock`, + a lock-free rowid allocator.
 pub struct Table {
     name: String,
     columns: Vec<ColumnMeta>,
     col_index: HashMap<String, usize>,
-    rows: BTreeMap<u64, Vec<Value>>,
-    next_rowid: u64,
-    /// column position → (value → rowids).
-    indexes: HashMap<usize, BTreeMap<OrdValue, BTreeSet<u64>>>,
+    shards: Box<[RwLock<Shard>]>,
+    shard_mask: u64,
+    next_rowid: AtomicU64,
 }
 
 impl Table {
-    /// Creates an empty table.
+    /// Creates an empty table with the process-default shard count.
     pub fn new(name: &str, columns: Vec<ColumnMeta>) -> Self {
+        Self::with_shard_count(name, columns, default_shard_count())
+    }
+
+    /// Creates an empty table with an explicit shard count (rounded up
+    /// to a power of two; tests use this to exercise small counts).
+    pub fn with_shard_count(name: &str, columns: Vec<ColumnMeta>, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
         let col_index = columns
             .iter()
             .enumerate()
@@ -36,9 +129,9 @@ impl Table {
             name: name.to_string(),
             columns,
             col_index,
-            rows: BTreeMap::new(),
-            next_rowid: 1,
-            indexes: HashMap::new(),
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_mask: (n - 1) as u64,
+            next_rowid: AtomicU64::new(1),
         }
     }
 
@@ -57,148 +150,174 @@ impl Table {
         self.col_index.get(&name.to_lowercase()).copied()
     }
 
-    /// Number of rows.
-    pub fn row_count(&self) -> usize {
-        self.rows.len()
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Iterates `(rowid, row)`.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &Vec<Value>)> {
-        self.rows.iter().map(|(id, r)| (*id, r))
+    /// The shard a rowid hashes to.
+    pub fn shard_of(&self, rowid: u64) -> usize {
+        (rowid & self.shard_mask) as usize
     }
 
-    /// Fetches one row.
-    pub fn row(&self, rowid: u64) -> Option<&Vec<Value>> {
-        self.rows.get(&rowid)
+    /// The rowid the next insert will receive.
+    pub fn next_rowid(&self) -> u64 {
+        self.next_rowid.load(Ordering::SeqCst)
     }
 
-    /// Inserts a full-width row, returning its rowid.
+    /// Advances the rowid allocator to at least `next` (snapshot
+    /// restore and WAL replay).
+    pub fn set_next_rowid(&self, next: u64) {
+        self.next_rowid.fetch_max(next, Ordering::SeqCst);
+    }
+
+    /// Allocates the next rowid (lock-free; the caller must insert the
+    /// row under the owning shard's write lock).
+    pub fn alloc_rowid(&self) -> u64 {
+        self.next_rowid.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Takes read guards on **all** shards (ascending) and returns a
+    /// consistent read view of the whole table.
+    pub fn read_view(&self) -> TableView<'_> {
+        let guards = self.shards.iter().map(|s| s.read()).collect();
+        TableView {
+            table: self,
+            slots: ShardSlots::Guards(guards),
+        }
+    }
+
+    /// Takes write guards on exactly the shards owning `rowids`,
+    /// acquired in ascending shard order (the global lock order).
+    pub fn lock_shards(&self, rowids: impl IntoIterator<Item = u64>) -> ShardWriteSet<'_> {
+        let mut idx: Vec<usize> = rowids.into_iter().map(|rid| self.shard_of(rid)).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let guards = idx.iter().map(|&i| self.shards[i].write()).collect();
+        ShardWriteSet {
+            table: self,
+            idx,
+            guards,
+        }
+    }
+
+    /// Takes write guards on every shard (ascending). Used by batch
+    /// DML that scans while mutating, and by index DDL.
+    pub fn lock_all_shards_write(&self) -> ShardWriteSet<'_> {
+        let idx: Vec<usize> = (0..self.shards.len()).collect();
+        let guards = self.shards.iter().map(|s| s.write()).collect();
+        ShardWriteSet {
+            table: self,
+            idx,
+            guards,
+        }
+    }
+
+    /// Inserts a full-width row, returning its rowid. Convenience
+    /// wrapper that allocates and takes the one shard lock internally.
     ///
     /// # Panics
     ///
     /// Panics if the row width differs from the schema width (callers
     /// validate and pad first).
-    pub fn insert(&mut self, row: Vec<Value>) -> u64 {
+    pub fn insert(&self, row: Vec<Value>) -> u64 {
         assert_eq!(row.len(), self.columns.len(), "row width mismatch");
-        let rowid = self.next_rowid;
-        self.next_rowid += 1;
-        for (&col, index) in self.indexes.iter_mut() {
-            index
-                .entry(OrdValue(row[col].clone()))
-                .or_default()
-                .insert(rowid);
-        }
-        self.rows.insert(rowid, row);
+        let rowid = self.alloc_rowid();
+        self.shards[self.shard_of(rowid)]
+            .write()
+            .insert_row(rowid, row);
         rowid
     }
 
     /// Inserts a full-width row under an explicit rowid (WAL replay and
-    /// snapshot restore, where rowids must match the logged run exactly).
-    /// Advances the rowid allocator past `rowid`.
+    /// snapshot restore, where rowids must match the logged run
+    /// exactly). Advances the rowid allocator past `rowid`.
     ///
     /// # Panics
     ///
     /// Panics if the row width differs from the schema width.
-    pub fn insert_with_rowid(&mut self, rowid: u64, row: Vec<Value>) {
+    pub fn insert_with_rowid(&self, rowid: u64, row: Vec<Value>) {
         assert_eq!(row.len(), self.columns.len(), "row width mismatch");
-        for (&col, index) in self.indexes.iter_mut() {
-            index
-                .entry(OrdValue(row[col].clone()))
-                .or_default()
-                .insert(rowid);
-        }
-        self.rows.insert(rowid, row);
-        self.next_rowid = self.next_rowid.max(rowid + 1);
+        self.shards[self.shard_of(rowid)]
+            .write()
+            .insert_row(rowid, row);
+        self.next_rowid.fetch_max(rowid + 1, Ordering::SeqCst);
     }
 
-    /// The rowid the next insert will receive.
-    pub fn next_rowid(&self) -> u64 {
-        self.next_rowid
+    /// Deletes a row by id; returns whether it existed. Convenience
+    /// wrapper that takes the one shard lock internally.
+    pub fn delete(&self, rowid: u64) -> bool {
+        self.shards[self.shard_of(rowid)].write().remove_row(rowid)
     }
 
-    /// Forces the rowid allocator (snapshot restore).
-    pub fn set_next_rowid(&mut self, next: u64) {
-        self.next_rowid = self.next_rowid.max(next);
+    /// Replaces one cell, maintaining indexes. Convenience wrapper
+    /// that takes the one shard lock internally.
+    pub fn update_cell(&self, rowid: u64, col: usize, value: Value) {
+        self.shards[self.shard_of(rowid)]
+            .write()
+            .set_cell(rowid, col, value);
     }
 
-    /// Column positions that carry a secondary index, sorted.
-    pub fn indexed_columns(&self) -> Vec<usize> {
-        let mut cols: Vec<usize> = self.indexes.keys().copied().collect();
-        cols.sort_unstable();
-        cols
+    /// Fetches one row (cloned out of its shard).
+    pub fn row(&self, rowid: u64) -> Option<Vec<Value>> {
+        self.shards[self.shard_of(rowid)]
+            .read()
+            .rows
+            .get(&rowid)
+            .cloned()
     }
 
-    /// Deletes a row by id; returns whether it existed.
-    pub fn delete(&mut self, rowid: u64) -> bool {
-        let Some(row) = self.rows.remove(&rowid) else {
-            return false;
-        };
-        for (&col, index) in self.indexes.iter_mut() {
-            if let Some(set) = index.get_mut(&OrdValue(row[col].clone())) {
-                set.remove(&rowid);
-                if set.is_empty() {
-                    index.remove(&OrdValue(row[col].clone()));
-                }
-            }
-        }
-        true
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().rows.len()).sum()
     }
 
-    /// Replaces one cell, maintaining indexes.
-    pub fn update_cell(&mut self, rowid: u64, col: usize, value: Value) {
-        let Some(row) = self.rows.get_mut(&rowid) else {
-            return;
-        };
-        let old = std::mem::replace(&mut row[col], value.clone());
-        if let Some(index) = self.indexes.get_mut(&col) {
-            if let Some(set) = index.get_mut(&OrdValue(old.clone())) {
-                set.remove(&rowid);
-                if set.is_empty() {
-                    index.remove(&OrdValue(old));
-                }
-            }
-            index.entry(OrdValue(value)).or_default().insert(rowid);
-        }
-    }
-
-    /// Builds (or rebuilds) an index on a column.
-    pub fn create_index(&mut self, column: &str) -> Result<(), EngineError> {
+    /// Builds (or rebuilds) an index on a column, atomically across
+    /// all shards (each shard carries its own index fragment).
+    pub fn create_index(&self, column: &str) -> Result<(), EngineError> {
         let col = self
             .column_position(column)
             .ok_or_else(|| EngineError::ColumnNotFound(column.to_string()))?;
-        let mut index: BTreeMap<OrdValue, BTreeSet<u64>> = BTreeMap::new();
-        for (&rowid, row) in &self.rows {
-            index
-                .entry(OrdValue(row[col].clone()))
-                .or_default()
-                .insert(rowid);
+        let mut ws = self.lock_all_shards_write();
+        for shard in ws.guards.iter_mut() {
+            let mut index: BTreeMap<OrdValue, BTreeSet<u64>> = BTreeMap::new();
+            for (&rowid, row) in &shard.rows {
+                index
+                    .entry(OrdValue(row[col].clone()))
+                    .or_default()
+                    .insert(rowid);
+            }
+            shard.indexes.insert(col, index);
         }
-        self.indexes.insert(col, index);
         Ok(())
-    }
-
-    /// True if the column has an index.
-    pub fn has_index(&self, col: usize) -> bool {
-        self.indexes.contains_key(&col)
     }
 
     /// Removes the index on a column, if any (the undo path for a
     /// `CREATE INDEX` whose WAL record never reached the log).
-    pub fn drop_index(&mut self, column: &str) {
+    pub fn drop_index(&self, column: &str) {
         if let Some(col) = self.column_position(column) {
-            self.indexes.remove(&col);
+            let mut ws = self.lock_all_shards_write();
+            for shard in ws.guards.iter_mut() {
+                shard.indexes.remove(&col);
+            }
         }
+    }
+
+    /// True if the column has an index.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.shards[0].read().indexes.contains_key(&col)
+    }
+
+    /// Column positions that carry a secondary index, sorted.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.shards[0].read().indexes.keys().copied().collect();
+        cols.sort_unstable();
+        cols
     }
 
     /// Rowids with `row[col] == value`, via the index.
     pub fn index_lookup(&self, col: usize, value: &Value) -> Option<Vec<u64>> {
-        let index = self.indexes.get(&col)?;
-        Some(
-            index
-                .get(&OrdValue(value.clone()))
-                .map(|s| s.iter().copied().collect())
-                .unwrap_or_default(),
-        )
+        self.read_view().index_lookup(col, value)
     }
 
     /// Rowids with `low <= row[col] <= high` (either bound optional).
@@ -208,23 +327,283 @@ impl Table {
         low: Option<&Value>,
         high: Option<&Value>,
     ) -> Option<Vec<u64>> {
-        use std::ops::Bound;
-        let index = self.indexes.get(&col)?;
-        let lo = low.map_or(Bound::Unbounded, |v| Bound::Included(OrdValue(v.clone())));
-        let hi = high.map_or(Bound::Unbounded, |v| Bound::Included(OrdValue(v.clone())));
-        let mut out = Vec::new();
-        for (_, set) in index.range((lo, hi)) {
-            out.extend(set.iter().copied());
-        }
-        Some(out)
+        self.read_view().index_range(col, low, high)
     }
 
     /// Total storage footprint of all cells (§8.4.3).
     pub fn storage_bytes(&self) -> usize {
-        self.rows
-            .values()
-            .map(|r| r.iter().map(Value::storage_bytes).sum::<usize>())
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .rows
+                    .values()
+                    .map(|r| r.iter().map(Value::storage_bytes).sum::<usize>())
+                    .sum::<usize>()
+            })
             .sum()
+    }
+}
+
+impl Clone for Table {
+    /// Clones the table under simultaneous read guards on every shard
+    /// (ascending), so the copy is a statement-consistent snapshot even
+    /// with concurrent shard writers (used by `BEGIN`).
+    fn clone(&self) -> Self {
+        let guards: Vec<RwLockReadGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.read()).collect();
+        let shards = guards
+            .iter()
+            .map(|g| RwLock::new((**g).clone()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Table {
+            name: self.name.clone(),
+            columns: self.columns.clone(),
+            col_index: self.col_index.clone(),
+            shards,
+            shard_mask: self.shard_mask,
+            next_rowid: AtomicU64::new(self.next_rowid.load(Ordering::SeqCst)),
+        }
+    }
+}
+
+/// How a [`TableView`] holds its shards: own read guards, or shard
+/// references borrowed from a [`ShardWriteSet`] that already holds
+/// every shard's write guard.
+enum ShardSlots<'a> {
+    Guards(Vec<RwLockReadGuard<'a, Shard>>),
+    Borrowed(Vec<&'a Shard>),
+}
+
+/// A consistent read view over all shards of one table. Holds the
+/// shard locks for its lifetime; iteration order and index results are
+/// byte-identical to the pre-sharding single-map layout.
+pub struct TableView<'a> {
+    table: &'a Table,
+    slots: ShardSlots<'a>,
+}
+
+impl<'a> TableView<'a> {
+    fn shard(&self, i: usize) -> &Shard {
+        match &self.slots {
+            ShardSlots::Guards(g) => &g[i],
+            ShardSlots::Borrowed(b) => b[i],
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        self.table.name()
+    }
+
+    /// Column metadata in declaration order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        self.table.columns()
+    }
+
+    /// Case-insensitive column lookup.
+    pub fn column_position(&self, name: &str) -> Option<usize> {
+        self.table.column_position(name)
+    }
+
+    /// Number of shards in the view.
+    pub fn shard_count(&self) -> usize {
+        self.table.shard_count()
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        (0..self.shard_count())
+            .map(|i| self.shard(i).rows.len())
+            .sum()
+    }
+
+    /// The rowid the next insert will receive.
+    pub fn next_rowid(&self) -> u64 {
+        self.table.next_rowid()
+    }
+
+    /// Fetches one row.
+    pub fn row(&self, rowid: u64) -> Option<&Vec<Value>> {
+        self.shard(self.table.shard_of(rowid)).rows.get(&rowid)
+    }
+
+    /// Iterates `(rowid, row)` across all shards in ascending rowid
+    /// order (k-way merge over the per-shard B-tree maps).
+    pub fn iter(&self) -> RowIter<'_> {
+        RowIter {
+            iters: (0..self.shard_count())
+                .map(|i| self.shard(i).rows.iter().peekable())
+                .collect(),
+        }
+    }
+
+    /// Iterates `(rowid, row)` within one shard, ascending by rowid.
+    pub fn shard_iter(&self, shard: usize) -> impl Iterator<Item = (u64, &Vec<Value>)> {
+        self.shard(shard).rows.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// True if the column has an index.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.shard(0).indexes.contains_key(&col)
+    }
+
+    /// Column positions that carry a secondary index, sorted.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.shard(0).indexes.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    /// Rowids with `row[col] == value`, via the per-shard index
+    /// fragments; ascending, matching the pre-sharding order.
+    pub fn index_lookup(&self, col: usize, value: &Value) -> Option<Vec<u64>> {
+        if !self.has_index(col) {
+            return None;
+        }
+        let key = OrdValue(value.clone());
+        let mut out = Vec::new();
+        for i in 0..self.shard_count() {
+            if let Some(set) = self.shard(i).indexes.get(&col).and_then(|ix| ix.get(&key)) {
+                out.extend(set.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Rowids with `low <= row[col] <= high` (either bound optional),
+    /// in `(value, rowid)` ascending order like the pre-sharding
+    /// single B-tree.
+    pub fn index_range(
+        &self,
+        col: usize,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Option<Vec<u64>> {
+        use std::ops::Bound;
+        if !self.has_index(col) {
+            return None;
+        }
+        let lo = low.map_or(Bound::Unbounded, |v| Bound::Included(OrdValue(v.clone())));
+        let hi = high.map_or(Bound::Unbounded, |v| Bound::Included(OrdValue(v.clone())));
+        let mut pairs: Vec<(&OrdValue, u64)> = Vec::new();
+        for i in 0..self.shard_count() {
+            if let Some(ix) = self.shard(i).indexes.get(&col) {
+                for (k, set) in ix.range((lo.clone(), hi.clone())) {
+                    pairs.extend(set.iter().map(|&rid| (k, rid)));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        Some(pairs.into_iter().map(|(_, rid)| rid).collect())
+    }
+
+    /// Total storage footprint of all cells (§8.4.3).
+    pub fn storage_bytes(&self) -> usize {
+        (0..self.shard_count())
+            .map(|i| {
+                self.shard(i)
+                    .rows
+                    .values()
+                    .map(|r| r.iter().map(Value::storage_bytes).sum::<usize>())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// Ascending-rowid merge over per-shard row maps.
+pub struct RowIter<'v> {
+    iters: Vec<Peekable<btree_map::Iter<'v, u64, Vec<Value>>>>,
+}
+
+impl<'v> Iterator for RowIter<'v> {
+    type Item = (u64, &'v Vec<Value>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, it) in self.iters.iter_mut().enumerate() {
+            if let Some((&rid, _)) = it.peek() {
+                if best.is_none_or(|(_, b)| rid < b) {
+                    best = Some((i, rid));
+                }
+            }
+        }
+        let (i, _) = best?;
+        self.iters[i].next().map(|(id, r)| (*id, r))
+    }
+}
+
+/// Write guards over a set of shards, acquired in ascending shard
+/// order and held until drop (two-phase locking: a statement's
+/// mutations and its WAL record are built under these guards).
+pub struct ShardWriteSet<'a> {
+    table: &'a Table,
+    /// Sorted shard indices, parallel to `guards`.
+    idx: Vec<usize>,
+    guards: Vec<RwLockWriteGuard<'a, Shard>>,
+}
+
+impl ShardWriteSet<'_> {
+    fn slot(&self, rowid: u64) -> usize {
+        let shard = self.table.shard_of(rowid);
+        self.idx
+            .binary_search(&shard)
+            .unwrap_or_else(|_| panic!("shard {shard} not locked for rowid {rowid}"))
+    }
+
+    /// Number of shards locked by this set.
+    pub fn locked_shards(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Inserts a full-width row under an explicit rowid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rowid's shard is not in the locked set or the row
+    /// width differs from the schema width.
+    pub fn insert_row(&mut self, rowid: u64, row: Vec<Value>) {
+        assert_eq!(row.len(), self.table.columns().len(), "row width mismatch");
+        let slot = self.slot(rowid);
+        self.guards[slot].insert_row(rowid, row);
+    }
+
+    /// Deletes a row; returns whether it existed.
+    pub fn delete(&mut self, rowid: u64) -> bool {
+        let slot = self.slot(rowid);
+        self.guards[slot].remove_row(rowid)
+    }
+
+    /// Replaces one cell, maintaining this shard's index fragments.
+    pub fn update_cell(&mut self, rowid: u64, col: usize, value: Value) {
+        let slot = self.slot(rowid);
+        self.guards[slot].set_cell(rowid, col, value);
+    }
+
+    /// Fetches one row from a locked shard.
+    pub fn row(&self, rowid: u64) -> Option<&Vec<Value>> {
+        self.guards[self.slot(rowid)].rows.get(&rowid)
+    }
+
+    /// A full-table view borrowed from these write guards. Only valid
+    /// when every shard is locked (batch DML scans while mutating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set does not cover all shards.
+    pub fn as_view(&self) -> TableView<'_> {
+        assert_eq!(
+            self.idx.len(),
+            self.table.shard_count(),
+            "as_view requires all shards locked"
+        );
+        TableView {
+            table: self.table,
+            slots: ShardSlots::Borrowed(self.guards.iter().map(|g| &**g).collect()),
+        }
     }
 }
 
@@ -233,7 +612,7 @@ mod tests {
     use super::*;
 
     fn t() -> Table {
-        let mut t = Table::new(
+        let t = Table::with_shard_count(
             "t",
             vec![
                 ColumnMeta {
@@ -245,6 +624,7 @@ mod tests {
                     ty: ColumnType::Text,
                 },
             ],
+            4,
         );
         t.create_index("id").unwrap();
         for i in 0..10 {
@@ -273,7 +653,7 @@ mod tests {
 
     #[test]
     fn delete_maintains_index() {
-        let mut t = t();
+        let t = t();
         let ids = t.index_lookup(0, &Value::Int(5)).unwrap();
         assert!(t.delete(ids[0]));
         assert!(t.index_lookup(0, &Value::Int(5)).unwrap().is_empty());
@@ -282,7 +662,7 @@ mod tests {
 
     #[test]
     fn update_maintains_index() {
-        let mut t = t();
+        let t = t();
         let ids = t.index_lookup(0, &Value::Int(5)).unwrap();
         t.update_cell(ids[0], 0, Value::Int(100));
         assert!(t.index_lookup(0, &Value::Int(5)).unwrap().is_empty());
@@ -291,7 +671,7 @@ mod tests {
 
     #[test]
     fn index_built_over_existing_rows() {
-        let mut t = t();
+        let t = t();
         t.create_index("name").unwrap();
         let ids = t.index_lookup(1, &Value::Str("row7".into())).unwrap();
         assert_eq!(ids.len(), 1);
@@ -303,5 +683,55 @@ mod tests {
         assert_eq!(t.column_position("ID"), Some(0));
         assert_eq!(t.column_position("Name"), Some(1));
         assert_eq!(t.column_position("missing"), None);
+    }
+
+    #[test]
+    fn view_iterates_in_ascending_rowid_order() {
+        let t = t();
+        let view = t.read_view();
+        let ids: Vec<u64> = view.iter().map(|(id, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn every_rowid_lives_in_its_hash_shard() {
+        let t = t();
+        let view = t.read_view();
+        let mut union = 0;
+        for s in 0..view.shard_count() {
+            for (rid, _) in view.shard_iter(s) {
+                assert_eq!(t.shard_of(rid), s);
+                union += 1;
+            }
+        }
+        assert_eq!(union, view.row_count());
+    }
+
+    #[test]
+    fn shard_write_set_routes_by_rowid() {
+        let t = t();
+        let all: Vec<u64> = t.read_view().iter().map(|(id, _)| id).collect();
+        let mut ws = t.lock_shards([all[0], all[5]]);
+        assert!(ws.locked_shards() <= 2);
+        assert!(ws.row(all[0]).is_some());
+        assert!(ws.delete(all[0]));
+        assert!(ws.row(all[0]).is_none());
+        ws.update_cell(all[5], 0, Value::Int(77));
+        drop(ws);
+        assert_eq!(t.row_count(), 9);
+        assert_eq!(t.index_lookup(0, &Value::Int(77)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn clone_is_deep_and_consistent() {
+        let t = t();
+        let c = t.clone();
+        t.delete(1);
+        assert_eq!(c.row_count(), 10);
+        assert_eq!(c.next_rowid(), t.next_rowid());
+        assert_eq!(c.indexed_columns(), vec![0]);
     }
 }

@@ -346,13 +346,19 @@ pub fn encode_snapshot(tables: &[(&str, &Table)], meta: Option<&[u8]>) -> Vec<u8
             });
         }
         put_u64(&mut out, t.next_rowid());
-        let indexed = t.indexed_columns();
+        // A consistent all-shard view; the caller holds each table's
+        // schema lock exclusively, so the shard read guards are
+        // uncontended. Iteration merges shards in ascending rowid
+        // order, keeping snapshot bytes identical to the pre-sharding
+        // layout.
+        let view = t.read_view();
+        let indexed = view.indexed_columns();
         put_u32(&mut out, indexed.len() as u32);
         for col in indexed {
             put_u32(&mut out, col as u32);
         }
-        put_u32(&mut out, t.row_count() as u32);
-        for (rowid, row) in t.iter() {
+        put_u32(&mut out, view.row_count() as u32);
+        for (rowid, row) in view.iter() {
             put_u64(&mut out, rowid);
             for v in row {
                 put_value(&mut out, v);
@@ -395,7 +401,7 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<(Vec<Table>, Option<Vec<u8>>), 
             columns.push(ColumnMeta { name: cname, ty });
         }
         let next_rowid = r.u64()?;
-        let mut table = Table::new(&name, columns);
+        let table = Table::new(&name, columns);
         let nindexed = r.u32()? as usize;
         let mut indexed = Vec::with_capacity(nindexed);
         for _ in 0..nindexed {
@@ -500,7 +506,7 @@ mod tests {
 
     #[test]
     fn snapshot_roundtrip_preserves_rowids_and_indexes() {
-        let mut t = Table::new(
+        let t = Table::new(
             "Orders",
             vec![
                 ColumnMeta {

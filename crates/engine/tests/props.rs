@@ -1,7 +1,10 @@
-//! Property tests: the SQL executor against a naive in-memory model.
+//! Property tests: the SQL executor against a naive in-memory model,
+//! plus shard-partitioning invariants of the hash-sharded table store.
 
-use cryptdb_engine::{Engine, Value};
+use cryptdb_engine::{ColumnMeta, Engine, Table, Value};
+use cryptdb_sqlparser::ColumnType;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 #[derive(Clone, Debug)]
 struct Row {
@@ -121,4 +124,187 @@ proptest! {
         prop_assert_eq!(count.scalar(),
                         Some(&Value::Int((rows.len() - expect_deleted) as i64)));
     }
+}
+
+// ---- shard invariants (raw Table API) ----
+
+/// One random mutation against a raw [`Table`] and its model.
+#[derive(Clone, Debug)]
+enum ShardOp {
+    Insert(i64, i64),
+    /// Delete the nth live row (modulo the live count).
+    Delete(usize),
+    /// Rewrite column 0 of the nth live row (modulo the live count).
+    Update(usize, i64),
+    /// (Re)build the index on column 0 or 1.
+    CreateIndex(u8),
+}
+
+fn shard_op_strategy() -> impl Strategy<Value = ShardOp> {
+    // Weighted selector (the vendored proptest stub has no prop_oneof):
+    // half the ops insert, the rest split between delete / update /
+    // index rebuilds.
+    (0u8..8, -10i64..10, -50i64..50, 0usize..64).prop_map(|(sel, a, b, i)| match sel {
+        0..=3 => ShardOp::Insert(a, b),
+        4 | 5 => ShardOp::Delete(i),
+        6 => ShardOp::Update(i, a),
+        _ => ShardOp::CreateIndex((b & 1) as u8),
+    })
+}
+
+fn shard_table(shards: usize) -> Table {
+    Table::with_shard_count(
+        "t",
+        vec![
+            ColumnMeta {
+                name: "a".into(),
+                ty: ColumnType::Int,
+            },
+            ColumnMeta {
+                name: "b".into(),
+                ty: ColumnType::Int,
+            },
+        ],
+        shards,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After an arbitrary op sequence: every rid lives in exactly the
+    /// shard it hashes to, full-table iteration equals the union of the
+    /// per-shard iterations (both equal to the model), and every
+    /// secondary index agrees with row state.
+    #[test]
+    fn shard_partition_and_indexes_stay_consistent(
+        ops in proptest::collection::vec(shard_op_strategy(), 0..120),
+        shards in 1usize..9,
+    ) {
+        let t = shard_table(shards);
+        t.create_index("a").unwrap();
+        let mut model: BTreeMap<u64, (i64, i64)> = BTreeMap::new();
+        for op in ops {
+            match op {
+                ShardOp::Insert(a, b) => {
+                    let rid = t.insert(vec![Value::Int(a), Value::Int(b)]);
+                    prop_assert!(model.insert(rid, (a, b)).is_none(), "rid reused");
+                }
+                ShardOp::Delete(i) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let rid = *model.keys().nth(i % model.len()).unwrap();
+                    prop_assert!(t.delete(rid));
+                    model.remove(&rid);
+                }
+                ShardOp::Update(i, v) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let rid = *model.keys().nth(i % model.len()).unwrap();
+                    t.update_cell(rid, 0, Value::Int(v));
+                    model.get_mut(&rid).unwrap().0 = v;
+                }
+                ShardOp::CreateIndex(c) => {
+                    t.create_index(if c == 0 { "a" } else { "b" }).unwrap();
+                }
+            }
+        }
+        let view = t.read_view();
+        // Full iteration is rid-ascending and equals the model.
+        let full: Vec<(u64, i64, i64)> = view
+            .iter()
+            .map(|(rid, r)| (rid, r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        let expect: Vec<(u64, i64, i64)> =
+            model.iter().map(|(&rid, &(a, b))| (rid, a, b)).collect();
+        prop_assert_eq!(&full, &expect);
+        // Every rid lives in exactly the shard it hashes to; the union
+        // of shard iterations is the full iteration.
+        let mut union: Vec<(u64, i64, i64)> = Vec::new();
+        for s in 0..view.shard_count() {
+            for (rid, r) in view.shard_iter(s) {
+                prop_assert_eq!(t.shard_of(rid), s, "rid in wrong shard");
+                union.push((rid, r[0].as_int().unwrap(), r[1].as_int().unwrap()));
+            }
+        }
+        union.sort_unstable();
+        prop_assert_eq!(&union, &expect);
+        // Every index agrees with row state, in both directions.
+        for col in view.indexed_columns() {
+            for (&rid, &(a, b)) in &model {
+                let v = if col == 0 { a } else { b };
+                let ids = view.index_lookup(col, &Value::Int(v)).unwrap();
+                prop_assert!(ids.contains(&rid), "row missing from its index entry");
+            }
+            // Reverse direction: an unbounded index range walks every
+            // entry — each must resolve to a live row, and the total
+            // must equal the live row count (no lingering dead rids).
+            let all_indexed = view.index_range(col, None, None).unwrap();
+            prop_assert_eq!(all_indexed.len(), model.len(), "index cardinality drift");
+            for rid in all_indexed {
+                prop_assert!(view.row(rid).is_some(), "index points at dead rid");
+            }
+        }
+    }
+}
+
+/// `create_index` racing concurrent writers must land a consistent
+/// index: it takes every shard write lock, and each writer maintains
+/// its own shard's fragments, so once the dust settles the index and
+/// row state agree exactly.
+#[test]
+fn create_index_concurrent_with_writes_is_consistent() {
+    const THREADS: usize = 4;
+    const OPS: usize = 200;
+    let t = shard_table(8);
+    std::thread::scope(|scope| {
+        for tid in 0..THREADS {
+            let t = &t;
+            scope.spawn(move || {
+                let mut mine: Vec<u64> = Vec::new();
+                for i in 0..OPS {
+                    let rid = t.insert(vec![
+                        Value::Int(tid as i64),
+                        Value::Int((tid * OPS + i) as i64),
+                    ]);
+                    mine.push(rid);
+                    // Drop every third row again, so the rebuild races
+                    // against removals too, not just inserts.
+                    if i % 3 == 0 {
+                        let victim = mine.remove(i % mine.len());
+                        assert!(t.delete(victim));
+                    }
+                }
+            });
+        }
+        let t = &t;
+        scope.spawn(move || {
+            for _ in 0..16 {
+                t.create_index("a").unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+    let view = t.read_view();
+    assert_eq!(view.indexed_columns(), vec![0]);
+    let mut live = 0usize;
+    for (rid, row) in view.iter() {
+        let ids = view
+            .index_lookup(0, &row[0])
+            .expect("index exists after quiesce");
+        assert!(ids.contains(&rid), "live row missing from index");
+        live += 1;
+    }
+    let mut indexed = 0usize;
+    for tid in 0..THREADS as i64 {
+        for rid in view.index_lookup(0, &Value::Int(tid)).unwrap() {
+            let row = view.row(rid).expect("index points at a live row");
+            assert_eq!(row[0], Value::Int(tid));
+            indexed += 1;
+        }
+    }
+    assert_eq!(indexed, live, "index cardinality drift after races");
+    assert_eq!(live, THREADS * (OPS - OPS.div_ceil(3)));
 }

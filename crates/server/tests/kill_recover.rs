@@ -277,6 +277,104 @@ fn randomized_kill_points_recover_to_acked_prefix() {
     assert_eq!(base_dump, oracle.dump_at(stmts.len()));
 }
 
+/// Statements that each mutate MANY shards at once: 8-row inserts
+/// (consecutive rowids round-robin across the hash shards), table-wide
+/// UPDATEs and windowed DELETEs. Under the sharded store each statement
+/// is assembled into ONE composite WAL record while every touched shard
+/// lock is held, so a kill anywhere inside that record must recover to
+/// all-or-nothing — never a partially applied statement. Plaintext
+/// values keep record sizes deterministic, so kill offsets land
+/// reliably inside the composite records.
+fn multi_shard_trace() -> Vec<String> {
+    let mut out = vec!["CREATE TABLE wide (id int, v int)".to_string()];
+    let mut next = 0i64;
+    for round in 0..10i64 {
+        let vals: Vec<String> = (0..8)
+            .map(|k| {
+                let id = next + k;
+                format!("({id}, {})", id * 3 + 1)
+            })
+            .collect();
+        next += 8;
+        out.push(format!(
+            "INSERT INTO wide (id, v) VALUES {}",
+            vals.join(", ")
+        ));
+        // Touches every live row, i.e. every populated shard.
+        out.push(format!(
+            "UPDATE wide SET v = v + {} WHERE id >= 0",
+            round + 1
+        ));
+        // Drops the first three rows of this round's batch.
+        out.push(format!(
+            "DELETE FROM wide WHERE id BETWEEN {} AND {}",
+            round * 8,
+            round * 8 + 2
+        ));
+    }
+    out
+}
+
+#[test]
+fn multi_shard_statements_recover_all_or_nothing() {
+    let stmts = multi_shard_trace();
+    let base_dir = tmpdir("shard-base");
+    let base = drive(&base_dir, WalConfig::default(), &stmts);
+    assert!(base.killed_at.is_none());
+    let (base_dump, base_report) = recover_dump(&base_dir);
+    assert!(!base_report.corruption_detected);
+    let _ = fs::remove_dir_all(&base_dir);
+
+    let mut rng = StdRng::seed_from_u64(0x5AAD_2026);
+    let hi = base.log_len * 9 / 10;
+    let mut outcomes = Vec::new();
+    let mut fired = 0usize;
+    for point in 0..12 {
+        let offset = rng.gen_range(1..hi);
+        let dir = tmpdir(&format!("shard-{point}"));
+        let wal = WalConfig {
+            fsync: FsyncPolicy::Always,
+            // Every third point also exercises snapshot + suffix replay
+            // across the composite records.
+            snapshot_every: if point % 3 == 2 { Some(8) } else { None },
+            fault: Some(FaultPlan::kill_at(offset)),
+            ..WalConfig::default()
+        };
+        let out = drive(&dir, wal, &stmts);
+        fired += usize::from(out.killed_at.is_some());
+        let (dump, report) = recover_dump(&dir);
+        assert!(
+            !report.corruption_detected,
+            "point {point}: a torn write is not CRC corruption"
+        );
+        let prefix = covered_prefix(&out.seqs, &report);
+        assert_eq!(
+            prefix,
+            out.seqs.len(),
+            "point {point}: an acknowledged multi-shard statement was lost \
+             (kill at byte {offset})"
+        );
+        outcomes.push((prefix, offset, dump));
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert!(
+        fired >= 8,
+        "only {fired}/12 kills fired; offsets are mis-sized"
+    );
+
+    outcomes.sort();
+    let mut oracle = Oracle::new(&stmts);
+    for (prefix, offset, dump) in &outcomes {
+        assert_eq!(
+            dump,
+            &oracle.dump_at(*prefix),
+            "kill at byte {offset}: a multi-shard composite record was \
+             applied partially ({prefix} statements recovered)"
+        );
+    }
+    assert_eq!(base_dump, oracle.dump_at(stmts.len()));
+}
+
 #[test]
 fn sync_kill_leaves_consistent_durable_but_unacked_state() {
     let stmts = trace();

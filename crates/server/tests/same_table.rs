@@ -1,0 +1,128 @@
+//! Same-table contention battery: N concurrent sessions hammer ONE
+//! table through the serving layer with a seeded INSERT / UPDATE /
+//! DELETE / SELECT / SUM mix, then the decrypted full-database state is
+//! byte-compared against a serial oracle replay of the identical
+//! traces. The per-session traces commute (each session owns an id
+//! partition), so any divergence is a real bug in the engine's sharded
+//! row locking or the proxy's shared state — this is the correctness
+//! side of the `same_table_write_scaling` bench gate.
+
+use cryptdb_core::proxy::{Proxy, ProxyConfig};
+use cryptdb_engine::{Engine, Value};
+use cryptdb_server::{canonical_dump, replay_serial, Server, SessionTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const SESSIONS: usize = 4;
+const OPS_PER_SESSION: usize = 48;
+const SEED: u64 = 0xC0DE_2026;
+
+fn test_proxy() -> Arc<Proxy> {
+    let cfg = ProxyConfig {
+        paillier_bits: 256, // Small key: this is a correctness test.
+        ..Default::default()
+    };
+    Arc::new(Proxy::new(Arc::new(Engine::new()), [9u8; 32], cfg))
+}
+
+/// Creates the one shared table and pre-adjusts every onion the traces
+/// need (equality on id/owner, SUM and increment on bal, deletes), so
+/// no session races an onion adjustment mid-run.
+fn setup(proxy: &Proxy) {
+    for stmt in [
+        "CREATE TABLE acct (id int, owner text, bal int, note text)",
+        "INSERT INTO acct (id, owner, bal, note) VALUES (0, 'seed', 1, 'seed row')",
+        "SELECT note FROM acct WHERE id = 0",
+        "SELECT SUM(bal) FROM acct WHERE owner = 'seed'",
+        "UPDATE acct SET bal = bal + 1 WHERE id = 0",
+        "DELETE FROM acct WHERE id = -1",
+    ] {
+        proxy
+            .execute(stmt)
+            .unwrap_or_else(|e| panic!("setup: {e}: {stmt}"));
+    }
+}
+
+/// Session `s`'s seeded trace against the shared table. Each session
+/// inserts into its own id partition and only updates/deletes rows it
+/// owns, so traces commute and the final state is schedule-independent.
+fn session_trace(s: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let base = 10_000 * (s as i64 + 1);
+    let mut live: Vec<i64> = Vec::new();
+    let mut next = 0i64;
+    let mut stmts = Vec::with_capacity(OPS_PER_SESSION);
+    for _ in 0..OPS_PER_SESSION {
+        let roll = rng.gen_range(0u32..100);
+        if roll < 40 || live.is_empty() {
+            let id = base + next;
+            next += 1;
+            stmts.push(format!(
+                "INSERT INTO acct (id, owner, bal, note) VALUES \
+                 ({id}, 'sess{s}', {}, 'entry {id}')",
+                rng.gen_range(0i64..1000)
+            ));
+            live.push(id);
+        } else if roll < 60 {
+            let id = live[rng.gen_range(0usize..live.len())];
+            stmts.push(format!(
+                "UPDATE acct SET bal = bal + {} WHERE id = {id}",
+                rng.gen_range(1i64..50)
+            ));
+        } else if roll < 75 {
+            let i = rng.gen_range(0usize..live.len());
+            let id = live.remove(i);
+            stmts.push(format!("DELETE FROM acct WHERE id = {id}"));
+        } else if roll < 90 {
+            let id = live[rng.gen_range(0usize..live.len())];
+            stmts.push(format!("SELECT note, bal FROM acct WHERE id = {id}"));
+        } else {
+            stmts.push(format!("SELECT SUM(bal) FROM acct WHERE owner = 'sess{s}'"));
+        }
+    }
+    stmts
+}
+
+fn traces(seed: u64) -> Vec<SessionTrace> {
+    (0..SESSIONS)
+        .map(|s| SessionTrace::new(format!("sess{s}"), session_trace(s, seed)))
+        .collect()
+}
+
+#[test]
+fn same_table_sessions_match_serial_oracle() {
+    // Concurrent run through the serving layer's shared worker pool.
+    let concurrent = test_proxy();
+    setup(&concurrent);
+    let server = Server::new(concurrent.clone());
+    let report = server.serve(traces(SEED));
+    assert_eq!(report.queries, SESSIONS * OPS_PER_SESSION);
+    assert_eq!(report.errors, 0, "concurrent run must be error-free");
+
+    // Serial oracle: identical traces, one session at a time.
+    let oracle = test_proxy();
+    setup(&oracle);
+    let (queries, errors) = replay_serial(&oracle, &traces(SEED));
+    assert_eq!(queries, SESSIONS * OPS_PER_SESSION);
+    assert_eq!(errors, 0, "serial oracle must be error-free");
+
+    let got = canonical_dump(&concurrent).unwrap();
+    let want = canonical_dump(&oracle).unwrap();
+    assert_eq!(
+        got, want,
+        "concurrent same-table state diverged from serial oracle"
+    );
+
+    // The per-session balances must also agree after the dust settles.
+    for s in 0..SESSIONS {
+        let q = format!("SELECT SUM(bal) FROM acct WHERE owner = 'sess{s}'");
+        let a = concurrent.execute(&q).unwrap();
+        let b = oracle.execute(&q).unwrap();
+        assert_eq!(
+            a.scalar().and_then(Value::as_int),
+            b.scalar().and_then(Value::as_int),
+            "session {s} balance"
+        );
+    }
+}
